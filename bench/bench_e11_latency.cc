@@ -1,0 +1,94 @@
+// E11 — Table "delivery latency and loss" (extension): the protocol on an
+// imperfect network. Latency opens a transit window during which the
+// server's view lags (bounded by delta + latency * stream motion); loss
+// desynchronizes replicas until the next correction, which periodic
+// FULL_SYNC upgrades repair.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "streams/generators.h"
+#include "suppression/policies.h"
+
+namespace {
+
+kc::LinkReport RunNetwork(int64_t latency, double loss, int64_t full_sync_every,
+                          kc::KalmanPredictor::SyncMode mode =
+                              kc::KalmanPredictor::SyncMode::kState,
+                          bool low_gain = false) {
+  kc::RandomWalkGenerator::Config walk;
+  walk.step_sigma = 0.3;
+  kc::RandomWalkGenerator stream(walk);
+  kc::KalmanPredictor::Config kf;
+  // Low gain (R >> Q) means each delivered correction only removes ~10%
+  // of any replica divergence, making loss damage persistent.
+  kf.model = low_gain ? kc::MakeRandomWalkModel(0.01, 1.0)
+                      : kc::MakeRandomWalkModel(0.09, 0.04);
+  kf.sync_mode = mode;
+  kc::KalmanPredictor proto(kf);
+  kc::LinkConfig config;
+  config.ticks = 20000;
+  config.delta = 1.0;
+  config.seed = 53;
+  config.channel.latency_ticks = latency;
+  config.channel.loss_prob = loss;
+  config.agent.full_sync_every = full_sync_every;
+  return kc::RunLink(stream, proto, config);
+}
+
+void PrintRow(const char* label, const kc::LinkReport& r) {
+  std::printf("%-28s %10lld %12.3f %12.3f %14lld\n", label,
+              static_cast<long long>(r.messages), r.err_vs_target.mean(),
+              r.err_vs_target.max(),
+              static_cast<long long>(r.contract_violations));
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader(
+      "E11 | Imperfect networks: latency and loss (extension)",
+      "random walk sigma=0.3, kalman policy, delta=1.0, 20000 readings");
+  std::printf("%-28s %10s %12s %12s %14s\n", "network", "messages",
+              "mean err", "max err", "violations");
+
+  std::printf("-- latency (state-sync kalman) --\n");
+  PrintRow("ideal (0 lat, 0 loss)", RunNetwork(0, 0.0, 0));
+  PrintRow("latency 2 ticks", RunNetwork(2, 0.0, 0));
+  PrintRow("latency 5 ticks", RunNetwork(5, 0.0, 0));
+  PrintRow("latency 10 ticks", RunNetwork(10, 0.0, 0));
+
+  std::printf("-- loss: state-sync corrections are self-healing --\n");
+  PrintRow("state-sync, loss 5%", RunNetwork(0, 0.05, 0));
+
+  using SyncMode = kc::KalmanPredictor::SyncMode;
+  std::printf("-- loss: measurement-sync needs FULL_SYNC repair --\n");
+  PrintRow("meas-sync, loss 0%",
+           RunNetwork(0, 0.0, 0, SyncMode::kMeasurement));
+  PrintRow("meas-sync, loss 5%",
+           RunNetwork(0, 0.05, 0, SyncMode::kMeasurement));
+  PrintRow("meas-sync, loss 5% + sync 3",
+           RunNetwork(0, 0.05, 3, SyncMode::kMeasurement));
+  PrintRow("meas low-gain, loss 5%",
+           RunNetwork(0, 0.05, 0, SyncMode::kMeasurement, true));
+  PrintRow("meas low-gain, loss5%+sync3",
+           RunNetwork(0, 0.05, 3, SyncMode::kMeasurement, true));
+
+  std::printf(
+      "\nExpected shape: the message count barely moves (the source's "
+      "decisions don't\ndepend on the network), while errors grow with "
+      "latency — the transit window\nduring which the server lags. Under "
+      "loss, the default state-sync protocol\nself-heals: every correction "
+      "carries the complete predictor state, so one\ndelivered message "
+      "restores the replica exactly. Measurement-sync corrections\nare "
+      "incremental; with a high-gain filter each delivered correction still "
+      "erases\nmost divergence, and with a low-gain (smoothing) filter a "
+      "lost correction's\ndamage persists for ~1/gain messages — there the "
+      "periodic FULL_SYNC upgrade\ntrims the violation window (~10%% fewer "
+      "violating ticks at sync-every-3). The\nbigger lesson is that the "
+      "protocol family is inherently loss-tolerant: every\nvariant re-bounds "
+      "its error within a handful of delivered messages. The paper\nassumes "
+      "reliable transport; this table quantifies that assumption.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E12 — Table "moving-object model ladder" (extension): the paper's
+// moving-object workload across the model hierarchy — static caching,
+// linear dead reckoning, linear CV Kalman, and the nonlinear
+// coordinated-turn EKF — at several precision bounds.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "suppression/ekf_policy.h"
+#include "suppression/policies.h"
+
+namespace {
+
+std::unique_ptr<kc::StreamGenerator> MakeVehicle() {
+  kc::Vehicle2DGenerator::Config config;
+  config.speed_mean = 10.0;
+  config.turn_change_prob = 0.002;  // Long sustained arcs: turns matter.
+  config.turn_rate_sigma = 0.002;
+  config.max_turn_rate = 0.06;
+  kc::NoiseConfig gps;
+  gps.gaussian_sigma = 2.0;
+  return std::make_unique<kc::NoisyStream>(
+      std::make_unique<kc::Vehicle2DGenerator>(config), gps);
+}
+
+kc::LinkReport RunVehicle(const kc::Predictor& proto, double delta) {
+  auto stream = MakeVehicle();
+  kc::LinkConfig config;
+  config.ticks = 10000;
+  config.delta = delta;
+  config.seed = 59;
+  return kc::RunLink(*stream, proto, config);
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader(
+      "E12 | Moving objects across the model ladder (extension)",
+      "arc-heavy 2-D vehicle, GPS sigma=2m, 10000 fixes; cells are "
+      "messages shipped");
+  std::printf("%10s %14s %10s %12s %14s\n", "delta (m)", "value_cache",
+              "linear", "kalman_cv", "ekf_coordturn");
+
+  kc::ValueCachePredictor cache(2);
+  kc::LinearPredictor linear(2);
+  kc::KalmanPredictor::Config cv;
+  cv.model = kc::MakeConstantVelocity2DModel(1.0, 0.05, 4.0);
+  kc::KalmanPredictor cv_kf(cv);
+  auto ekf = kc::MakeCoordinatedTurnPredictor(1.0, 4.0);
+
+  for (double delta : {5.0, 10.0, 25.0, 50.0}) {
+    long long c = RunVehicle(cache, delta).messages;
+    long long l = RunVehicle(linear, delta).messages;
+    long long k = RunVehicle(cv_kf, delta).messages;
+    long long e = RunVehicle(*ekf, delta).messages;
+    std::printf("%10.0f %14lld %10lld %12lld %14lld\n", delta, c, l, k, e);
+  }
+
+  std::printf(
+      "\nExpected shape: each rung of the ladder encodes more of the true "
+      "dynamics and\nsuppresses more — value caching < dead reckoning < "
+      "linear CV Kalman <\ncoordinated-turn EKF, with the EKF's edge "
+      "largest at tight bounds where the\nCV model's straight-line "
+      "extrapolation exits the corridor on every arc.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E13 — Table "mode-switching estimators" (extension): the IMM predictor
+// against the adaptive single filter and the frozen tunes on a stream that
+// flips between behavioural modes faster than windowed adaptation can
+// follow. The IMM carries both hypotheses at all times and re-weights
+// them within a few ticks of each flip.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.h"
+#include "common/stats.h"
+#include "streams/generators.h"
+#include "suppression/imm_policy.h"
+#include "suppression/policies.h"
+
+namespace {
+
+struct Row {
+  long long messages;
+  double rmse;
+  long long violations;
+};
+
+Row RunFlipper(const kc::Predictor& proto, int64_t flip_every) {
+  kc::RegimeSwitchingGenerator::Config regimes;
+  regimes.regimes = {{flip_every, 0.1, 0.0}, {flip_every, 1.5, 0.0}};
+  kc::RegimeSwitchingGenerator stream(regimes);
+  kc::LinkConfig config;
+  config.ticks = 12000;
+  config.delta = 0.75;
+  config.seed = 61;
+  kc::LinkReport report = kc::RunLink(stream, proto, config);
+  return {report.messages, report.err_vs_truth.rms(),
+          report.contract_violations};
+}
+
+std::unique_ptr<kc::Predictor> FixedKalman(double q, bool adaptive) {
+  kc::KalmanPredictor::Config config;
+  config.model = kc::MakeRandomWalkModel(q, 0.04);
+  if (adaptive) config.adaptive = kc::AdaptiveConfig{};
+  return std::make_unique<kc::KalmanPredictor>(std::move(config));
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader(
+      "E13 | Mode-switching streams: IMM vs adaptive vs frozen (extension)",
+      "volatility flips 0.1 <-> 1.5 every N ticks; delta=0.75; 12000 "
+      "readings; rmse vs truth");
+  std::printf("%12s | %-22s %10s %10s %12s\n", "flip every", "estimator",
+              "messages", "rmse", "violations");
+
+  for (int64_t flip : {2000, 500, 100}) {
+    struct Variant {
+      const char* name;
+      std::unique_ptr<kc::Predictor> proto;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"imm (2 modes)",
+                        kc::MakeTwoModeImmPredictor(0.01, 2.25, 0.04)});
+    variants.push_back({"adaptive_kf", FixedKalman(0.01, true)});
+    variants.push_back({"frozen_kf (loud tune)", FixedKalman(2.25, false)});
+    variants.push_back({"value_cache", kc::bench::MakePolicy("value_cache")});
+    for (const Variant& v : variants) {
+      Row row = RunFlipper(*v.proto, flip);
+      std::printf("%12lld | %-22s %10lld %10.3f %12lld\n",
+                  static_cast<long long>(flip), v.name, row.messages, row.rmse,
+                  row.violations);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: at slow flips every estimator has time to settle "
+      "and the\ndifferences are modest. As flips accelerate, the windowed "
+      "adaptive filter is\nperpetually mid-relearn while the IMM re-weights "
+      "its standing hypotheses within\na few ticks: it keeps the loud-tune's "
+      "accuracy at fewer messages, because it\nalso exploits every quiet "
+      "interval. All variants keep zero contract violations\n(the protocol "
+      "guarantee is independent of estimator quality).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E1 — Figure "tracking": the Kalman filter tracks noisy, time-varying
+// streams (claims C2/C3, qualitative basis for everything else).
+//
+// For each stream family and sensor-noise level, reports the RMSE of the
+// client-side Kalman estimate against ground truth next to the raw
+// sensor's RMSE. The filter must beat the sensor whenever there is noise
+// to remove, and track closely (low absolute RMSE) when there is not.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "common/stats.h"
+#include "kalman/adaptive.h"
+#include "kalman/kalman_filter.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+
+namespace {
+
+struct Row {
+  std::string stream;
+  double noise_sigma;
+  double raw_rmse;
+  double filter_rmse;
+};
+
+Row TrackOne(const std::string& family, double noise_sigma, uint64_t seed) {
+  using namespace kc;
+  std::unique_ptr<StreamGenerator> truth_gen;
+  if (family == "random_walk") {
+    RandomWalkGenerator::Config config;
+    config.step_sigma = 0.3;
+    truth_gen = std::make_unique<RandomWalkGenerator>(config);
+  } else if (family == "sinusoid") {
+    SinusoidGenerator::Config config;
+    config.amplitude = 5.0;
+    config.period = 200.0;
+    truth_gen = std::make_unique<SinusoidGenerator>(config);
+  } else {
+    RegimeSwitchingGenerator::Config config;
+    config.regimes = {{2000, 0.1, 0.0}, {2000, 1.0, 0.0}};
+    truth_gen = std::make_unique<RegimeSwitchingGenerator>(config);
+  }
+  NoiseConfig noise;
+  noise.gaussian_sigma = noise_sigma;
+  NoisyStream stream(std::move(truth_gen), noise);
+  stream.Reset(seed);
+
+  // An adaptive random-walk filter, deliberately generic: the point of the
+  // paper's choice of the KF is that one framework adapts everywhere.
+  KalmanFilter kf(MakeRandomWalkModel(0.09, std::max(noise_sigma, 0.05) *
+                                                std::max(noise_sigma, 0.05)),
+                  Vector{0.0}, Matrix{{100.0}});
+  AdaptiveNoiseEstimator adaptive;
+
+  RunningStats raw_err, filter_err;
+  for (int i = 0; i < 8000; ++i) {
+    Sample s = stream.Next();
+    kf.Predict();
+    if (!kf.Update(s.measured.value).ok()) continue;
+    adaptive.AfterUpdate(kf);
+    if (i < 100) continue;  // Skip convergence transient.
+    raw_err.Add(s.measured.scalar() - s.truth.scalar());
+    filter_err.Add(kf.state()[0] - s.truth.scalar());
+  }
+  return {family, noise_sigma, raw_err.rms(), filter_err.rms()};
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader(
+      "E1 | Kalman tracking quality on noisy, time-varying streams",
+      "RMSE vs ground truth of the adaptive KF estimate and the raw sensor "
+      "(8000 ticks)");
+  std::printf("%-16s %12s %12s %14s %10s\n", "stream", "noise sigma",
+              "raw rmse", "filter rmse", "gain");
+  for (const char* family : {"random_walk", "sinusoid", "regime_switch"}) {
+    for (double sigma : {0.1, 0.5, 1.0, 2.0}) {
+      Row row = TrackOne(family, sigma, 11);
+      std::printf("%-16s %12.2f %12.3f %14.3f %9.2fx\n", row.stream.c_str(),
+                  row.noise_sigma, row.raw_rmse, row.filter_rmse,
+                  row.raw_rmse / std::max(row.filter_rmse, 1e-9));
+    }
+  }
+  std::printf("\nExpected shape: at negligible noise the filter matches the "
+              "sensor (nothing to\nremove); from sigma=0.5 up it tracks "
+              "truth increasingly better than the raw\nreadings, with the "
+              "gain growing with noise (claims C2/C3).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E2 — Table "messages vs delta, synthetic streams": the headline
+// communication-overhead comparison (claims C1/C6).
+//
+// For every synthetic stream family and precision bound delta, prints the
+// number of messages each suppression policy ships over 10k readings
+// ("naive" streams every reading). Expected shape: kalman <= value_cache
+// everywhere the stream has learnable structure, with the gap widest on
+// trends and smooth drifts; every policy's cost falls as delta grows.
+
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  constexpr size_t kTicks = 10000;
+  constexpr uint64_t kSeed = 17;
+  const double kDeltas[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+  kc::bench::PrintHeader(
+      "E2 | Messages shipped vs precision bound (synthetic streams)",
+      "10000 readings per cell; 'naive' = stream every reading = 10000 "
+      "messages");
+
+  const std::vector<std::string> kPolicies = {"value_cache", "linear", "ewma",
+                                              "kalman", "kalman_cv"};
+  for (const std::string& family : kc::bench::SyntheticFamilies()) {
+    std::printf("\nstream: %s\n", family.c_str());
+    std::printf("%8s %12s %12s %12s %12s %12s %14s\n", "delta", "value_cache",
+                "linear", "ewma", "kalman", "kalman_cv", "best-kf saving");
+    for (double delta : kDeltas) {
+      long long counts[5];
+      int i = 0;
+      for (const std::string& policy : kPolicies) {
+        kc::LinkReport report =
+            kc::bench::RunOne(family, policy, delta, kTicks, kSeed);
+        counts[i++] = report.messages;
+      }
+      long long best_kf = std::min(counts[3], counts[4]);
+      double saving =
+          counts[0] > 0
+              ? 100.0 * (1.0 - static_cast<double>(best_kf) /
+                                   static_cast<double>(counts[0]))
+              : 0.0;
+      std::printf("%8.2f %12lld %12lld %12lld %12lld %12lld %13.1f%%\n", delta,
+                  counts[0], counts[1], counts[2], counts[3], counts[4],
+                  saving);
+    }
+  }
+
+  std::printf("\nExpected shape: every column shrinks as delta grows. The "
+              "random-walk kalman\nwins wherever there is noise or mean "
+              "reversion to exploit (noisy_walk, ar1,\nsmooth_walk); the "
+              "constant-velocity kalman_cv additionally crushes "
+              "linear_trend\nand locally-linear sinusoid segments — one "
+              "framework, swap the model (C1/C6).\n");
+  return 0;
+}

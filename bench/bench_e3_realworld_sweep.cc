@@ -1,0 +1,83 @@
+// E3 — Figure "messages vs delta, real-world streams" (claim C5).
+//
+// The paper evaluated on real sensor/moving-object/network traces; per the
+// substitution table in DESIGN.md these are stood in for by generators
+// matching each trace's statistical character (diurnal temperature,
+// GPS-noised vehicle trajectories, heavy-tailed bursty traffic). The CSV
+// trace loader (streams/trace.h) accepts real traces in place of these
+// generators without touching this harness.
+
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+/// Per-family delta grids, scaled to each signal's natural range.
+const double* DeltasFor(const std::string& family, size_t* n) {
+  static const double kTemperature[] = {0.1, 0.25, 0.5, 1.0, 2.0};
+  static const double kBursty[] = {0.5, 1.0, 2.0, 5.0, 10.0};
+  static const double kVehicle[] = {5.0, 10.0, 25.0, 50.0, 100.0};
+  *n = 5;
+  if (family == "temperature") return kTemperature;
+  if (family == "bursty") return kBursty;
+  return kVehicle;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kTicks = 10000;
+  constexpr uint64_t kSeed = 23;
+
+  kc::bench::PrintHeader(
+      "E3 | Messages shipped vs precision bound (real-world stand-ins)",
+      "10000 readings per cell; vehicle is 2-D (bounds in meters)");
+
+  for (const std::string& family : kc::bench::RealWorldFamilies()) {
+    size_t n_deltas = 0;
+    const double* deltas = DeltasFor(family, &n_deltas);
+    bool seasonal = family == "temperature";  // Model-matched extra column.
+    std::printf("\nstream: %s\n", family.c_str());
+    std::printf("%8s %12s %12s %12s %15s %14s\n", "delta", "value_cache",
+                "linear", "kalman", seasonal ? "kalman_seasonal" : "-",
+                "best-kf saving");
+    for (size_t d = 0; d < n_deltas; ++d) {
+      long long cache = kc::bench::RunOne(family, "value_cache", deltas[d],
+                                          kTicks, kSeed)
+                            .messages;
+      long long linear =
+          kc::bench::RunOne(family, "linear", deltas[d], kTicks, kSeed)
+              .messages;
+      long long kalman =
+          kc::bench::RunOne(family, "kalman", deltas[d], kTicks, kSeed)
+              .messages;
+      long long best_kf = kalman;
+      long long seasonal_msgs = 0;
+      if (seasonal) {
+        seasonal_msgs = kc::bench::RunOne(family, "kalman_seasonal", deltas[d],
+                                          kTicks, kSeed)
+                            .messages;
+        best_kf = std::min(best_kf, seasonal_msgs);
+      }
+      double saving = cache > 0 ? 100.0 * (1.0 - static_cast<double>(best_kf) /
+                                                     static_cast<double>(cache))
+                                : 0.0;
+      if (seasonal) {
+        std::printf("%8.2f %12lld %12lld %12lld %15lld %13.1f%%\n", deltas[d],
+                    cache, linear, kalman, seasonal_msgs, saving);
+      } else {
+        std::printf("%8.2f %12lld %12lld %12lld %15s %13.1f%%\n", deltas[d],
+                    cache, linear, kalman, "-", saving);
+      }
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: large kalman savings on temperature (smooth diurnal "
+      "structure)\nand vehicle (velocity structure + GPS noise); the "
+      "advantage narrows on bursty\ntraffic, whose jumps no predictor "
+      "anticipates — matching the paper's framing\nthat the KF adapts across "
+      "stream characteristics rather than winning one case.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E4 — Figure "noise sensitivity" (claim C2): message cost as a function
+// of sensor noise at a fixed precision bound.
+//
+// Memoryless policies must ship a correction whenever noise alone carries
+// the reading outside delta, so their cost explodes as sigma approaches
+// delta. The Kalman policy protects the *filtered* signal, shipping state
+// only when the underlying process actually moved.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "suppression/policies.h"
+
+namespace {
+
+kc::LinkReport RunNoisy(std::unique_ptr<kc::Predictor> proto,
+                        double noise_sigma, double delta) {
+  kc::RandomWalkGenerator::Config walk;
+  walk.step_sigma = 0.2;  // The true process drifts slowly.
+  kc::NoiseConfig noise;
+  noise.gaussian_sigma = noise_sigma;
+  kc::NoisyStream stream(std::make_unique<kc::RandomWalkGenerator>(walk),
+                         noise);
+  kc::LinkConfig config;
+  config.ticks = 10000;
+  config.delta = delta;
+  config.seed = 29;
+  return kc::RunLink(stream, *proto, config);
+}
+
+/// The R-adaptive dual KF: it does not need to be told the sensor noise;
+/// the innovation statistics reveal it online (claim C2).
+std::unique_ptr<kc::Predictor> AdaptiveRKalman() {
+  kc::KalmanPredictor::Config config;
+  config.model = kc::MakeRandomWalkModel(0.04, 0.16);
+  kc::AdaptiveConfig adaptive;
+  adaptive.adapt_q = true;
+  adaptive.adapt_r = true;
+  config.adaptive = adaptive;
+  return std::make_unique<kc::KalmanPredictor>(std::move(config));
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kDelta = 1.0;
+  kc::bench::PrintHeader(
+      "E4 | Message cost vs sensor noise (delta fixed at 1.0)",
+      "random walk with step sigma 0.2; 10000 readings; the kalman "
+      "variants are told R for sigma=0.4 only — kalman_adaptR must learn "
+      "the real noise online");
+  std::printf("%12s %12s %12s %12s %14s | %12s %14s\n", "noise sigma",
+              "value_cache", "ewma", "kalman", "kalman_adaptR", "cache rmse",
+              "adaptR rmse");
+  for (double sigma : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+    kc::LinkReport cache =
+        RunNoisy(kc::bench::MakePolicy("value_cache"), sigma, kDelta);
+    kc::LinkReport ewma = RunNoisy(kc::bench::MakePolicy("ewma"), sigma, kDelta);
+    kc::LinkReport kalman =
+        RunNoisy(kc::bench::MakePolicy("kalman"), sigma, kDelta);
+    kc::LinkReport adapt_r = RunNoisy(AdaptiveRKalman(), sigma, kDelta);
+    std::printf("%12.2f %12lld %12lld %12lld %14lld | %12.3f %14.3f\n", sigma,
+                static_cast<long long>(cache.messages),
+                static_cast<long long>(ewma.messages),
+                static_cast<long long>(kalman.messages),
+                static_cast<long long>(adapt_r.messages),
+                cache.err_vs_truth.rms(), adapt_r.err_vs_truth.rms());
+  }
+  std::printf(
+      "\nExpected shape: value_cache cost blows up once noise ~ delta (it "
+      "chases noise);\nEWMA damps some of it; the fixed-R kalman degrades "
+      "when the real noise exceeds\nits assumed R; the R-adaptive kalman "
+      "re-estimates the sensor noise from its\ninnovations and keeps both "
+      "cost and truth-error low across the whole sweep —\nthe paper's claim "
+      "that the filter adapts to sensor noise (C2).\n");
+  return 0;
+}

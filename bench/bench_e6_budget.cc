@@ -1,0 +1,59 @@
+// E6 — Figure "precision under a message budget" (claim C4): the second
+// direction of the precision-resource tradeoff. Instead of fixing delta
+// and counting messages, fix a message budget and measure the precision
+// each policy delivers (the BudgetController steers delta adaptively).
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "suppression/budget.h"
+
+namespace {
+
+kc::LinkReport RunBudgeted(const std::string& policy, double target_rate) {
+  kc::RandomWalkGenerator::Config walk;
+  walk.step_sigma = 0.25;
+  kc::NoiseConfig noise;
+  noise.gaussian_sigma = 0.5;
+  kc::NoisyStream stream(std::make_unique<kc::RandomWalkGenerator>(walk),
+                         noise);
+  auto proto = kc::bench::MakePolicy(policy);
+  kc::LinkConfig config;
+  config.ticks = 40000;
+  config.delta = 1.0;  // Starting point only; the controller takes over.
+  config.seed = 37;
+  config.budget = kc::BudgetConfig{};
+  config.budget->target_rate = target_rate;
+  config.budget->window = 400;
+  return kc::RunLink(stream, *proto, config);
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader(
+      "E6 | Achieved precision under a hard message budget",
+      "noisy random walk, 40000 readings; controller steers delta to the "
+      "budgeted rate");
+  std::printf("%10s | %12s %12s %12s | %12s %12s %12s\n", "budget",
+              "cache rate", "cache rmse", "cache delta", "kalman rate",
+              "kalman rmse", "kalman delta");
+  for (double budget : {0.005, 0.01, 0.02, 0.05, 0.10}) {
+    kc::LinkReport cache = RunBudgeted("value_cache", budget);
+    kc::LinkReport kalman = RunBudgeted("kalman", budget);
+    std::printf("%10.3f | %12.4f %12.3f %12.3f | %12.4f %12.3f %12.3f\n",
+                budget, cache.messages_per_tick, cache.err_vs_truth.rms(),
+                cache.final_delta, kalman.messages_per_tick,
+                kalman.err_vs_truth.rms(), kalman.final_delta);
+  }
+  std::printf(
+      "\nExpected shape: both policies converge to the budgeted rate, but at "
+      "every\nbudget the kalman policy's achieved error against the true "
+      "signal is lower —\nits corrections carry filtered state and its "
+      "predictions cover the gaps, so it\ncan afford a tighter delta at the "
+      "same message rate (claim C4).\n");
+  return 0;
+}

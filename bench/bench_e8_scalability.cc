@@ -1,0 +1,102 @@
+// E8 — Table "server scalability": end-to-end ingest throughput of the
+// stream server as sources and continuous queries scale (DSMS viability;
+// the paper's framing requires the filtering machinery to be cheap enough
+// to host per-source at the server).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common.h"
+#include "query/parser.h"
+#include "streams/generators.h"
+#include "suppression/policies.h"
+
+namespace {
+
+struct ScaleResult {
+  double readings_per_sec;
+  double messages_per_tick;
+  double query_evals_per_sec;
+};
+
+ScaleResult RunScale(int sources, int queries, size_t ticks) {
+  using namespace kc;
+  Fleet fleet;
+  for (int i = 0; i < sources; ++i) {
+    RandomWalkGenerator::Config walk;
+    walk.step_sigma = 0.2 + 0.01 * (i % 10);
+    fleet.AddSource(std::make_unique<RandomWalkGenerator>(walk),
+                    MakeDefaultKalmanPredictor(0.04, 0.01), /*delta=*/1.0);
+  }
+  // Warm up so every source is initialized before queries register.
+  (void)fleet.Run(2);
+
+  for (int q = 0; q < queries; ++q) {
+    // AVG over a rotating window of 8 sources.
+    std::string list;
+    for (int k = 0; k < 8; ++k) {
+      int id = (q * 8 + k) % sources;
+      list += (k ? "," : "") + std::string("s") + std::to_string(id);
+    }
+    auto spec = ParseQuery("SELECT AVG(" + list + ") WITHIN 10");
+    if (spec.ok()) {
+      (void)fleet.server().AddQuery("q" + std::to_string(q), *spec);
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  int64_t query_evals = 0;
+  for (size_t t = 0; t < ticks; ++t) {
+    if (!fleet.Step().ok()) break;
+    if (t % 10 == 9) {
+      auto results = fleet.server().EvaluateAll();
+      query_evals += static_cast<int64_t>(results.size());
+    }
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  ScaleResult out;
+  out.readings_per_sec =
+      static_cast<double>(sources) * static_cast<double>(ticks) / elapsed;
+  out.messages_per_tick =
+      static_cast<double>(fleet.TotalMessages()) /
+      (static_cast<double>(ticks) * static_cast<double>(sources));
+  out.query_evals_per_sec = static_cast<double>(query_evals) / elapsed;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader(
+      "E8 | Stream server scalability (adaptive dual-KF on every source)",
+      "readings/s = generator + client filter + suppression + server "
+      "replica, single thread");
+  std::printf("%8s %8s %10s %16s %16s %18s\n", "sources", "queries", "ticks",
+              "readings/sec", "msgs/src-tick", "query evals/sec");
+  struct Case {
+    int sources;
+    int queries;
+    size_t ticks;
+  };
+  const Case cases[] = {
+      {10, 2, 20000}, {50, 10, 8000},   {100, 20, 4000},
+      {500, 50, 800}, {1000, 100, 400},
+  };
+  for (const Case& c : cases) {
+    ScaleResult r = RunScale(c.sources, c.queries, c.ticks);
+    std::printf("%8d %8d %10zu %16.0f %16.4f %18.0f\n", c.sources, c.queries,
+                c.ticks, r.readings_per_sec, r.messages_per_tick,
+                r.query_evals_per_sec);
+  }
+  std::printf(
+      "\nExpected shape: throughput in the hundreds of thousands to millions "
+      "of\nreadings/sec and roughly flat per-source cost as the fleet grows "
+      "— the\nper-reading work is a constant-size filter step, so the "
+      "server scales\nlinearly in sources on one core.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E9 — Table "ablations": the design choices DESIGN.md calls out.
+//
+//   (a) Correction payload / sync mode: state vs state+cov vs raw
+//       measurement — bytes per message vs contract exactness.
+//   (b) Process-model order on a trending stream: RW vs CV vs CA.
+//   (c) Adaptive noise estimation on vs off across stream characters.
+//   (d) Joseph vs standard covariance update: numerical agreement.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "suppression/policies.h"
+
+namespace {
+
+using kc::KalmanPredictor;
+
+std::unique_ptr<kc::StreamGenerator> NoisyWalk() {
+  kc::RandomWalkGenerator::Config walk;
+  walk.step_sigma = 0.3;
+  kc::NoiseConfig noise;
+  noise.gaussian_sigma = 0.4;
+  return std::make_unique<kc::NoisyStream>(
+      std::make_unique<kc::RandomWalkGenerator>(walk), noise);
+}
+
+kc::LinkReport Run(const kc::Predictor& proto, kc::StreamGenerator& stream,
+                   double delta = 1.0, size_t ticks = 10000) {
+  kc::LinkConfig config;
+  config.ticks = ticks;
+  config.delta = delta;
+  config.seed = 41;
+  return kc::RunLink(stream, proto, config);
+}
+
+KalmanPredictor::Config BaseConfig() {
+  KalmanPredictor::Config config;
+  config.model = kc::MakeRandomWalkModel(0.09, 0.16);
+  config.adaptive = kc::AdaptiveConfig{};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  kc::bench::PrintHeader("E9 | Design ablations",
+                         "all cells: 10000 readings, delta=1.0 unless noted");
+
+  // (a) Sync mode. --------------------------------------------------------
+  std::printf("\n(a) correction payload / sync mode (noisy random walk)\n");
+  std::printf("%-14s %10s %12s %14s %16s\n", "mode", "messages", "bytes",
+              "bytes/msg", "violations");
+  for (auto mode : {KalmanPredictor::SyncMode::kState,
+                    KalmanPredictor::SyncMode::kStateAndCov,
+                    KalmanPredictor::SyncMode::kMeasurement}) {
+    KalmanPredictor::Config config = BaseConfig();
+    config.sync_mode = mode;
+    KalmanPredictor proto(config);
+    auto stream = NoisyWalk();
+    kc::LinkReport r = Run(proto, *stream);
+    std::printf("%-14s %10lld %12lld %14.1f %16lld\n", r.policy.c_str(),
+                static_cast<long long>(r.messages),
+                static_cast<long long>(r.bytes),
+                static_cast<double>(r.bytes) /
+                    static_cast<double>(std::max<int64_t>(r.messages, 1)),
+                static_cast<long long>(r.contract_violations));
+  }
+  std::printf("  -> state sync is contract-exact at minimal payload; "
+              "measurement sync can\n     briefly overshoot delta after "
+              "jumps (its violations are the cost of the\n     cheaper "
+              "protocol), and +cov pays extra bytes for server-side "
+              "uncertainty.\n");
+
+  // (b) Model order. -------------------------------------------------------
+  std::printf("\n(b) process-model order on a trending stream "
+              "(slope 0.3, wobble 0.05)\n");
+  std::printf("%-22s %10s %18s\n", "model", "messages", "rmse vs truth");
+  for (const char* model : {"random_walk", "constant_velocity",
+                            "constant_acceleration"}) {
+    KalmanPredictor::Config config;
+    if (std::string(model) == "random_walk") {
+      config.model = kc::MakeRandomWalkModel(0.09, 0.01);
+    } else if (std::string(model) == "constant_velocity") {
+      config.model = kc::MakeConstantVelocityModel(1.0, 0.01, 0.01);
+    } else {
+      config.model = kc::MakeConstantAccelerationModel(1.0, 0.001, 0.01);
+    }
+    KalmanPredictor proto(config);
+    kc::LinearDriftGenerator::Config trend;
+    trend.slope = 0.3;
+    trend.wobble_sigma = 0.05;
+    kc::LinearDriftGenerator stream(trend);
+    kc::LinkReport r = Run(proto, stream);
+    std::printf("%-22s %10lld %18.4f\n", model,
+                static_cast<long long>(r.messages), r.err_vs_truth.rms());
+  }
+  std::printf("  -> matching the model order to the dynamics (CV for a ramp) "
+              "suppresses an\n     order of magnitude more than a "
+              "zeroth-order model; over-modeling (CA)\n     buys nothing "
+              "further on a pure trend.\n");
+
+  // (c) Adaptive noise estimation. -----------------------------------------
+  std::printf("\n(c) adaptive process-noise estimation (regime-switching "
+              "stream, delta=0.75)\n");
+  std::printf("%-14s %10s %18s\n", "adaptation", "messages", "rmse vs truth");
+  for (bool adaptive : {false, true}) {
+    KalmanPredictor::Config config;
+    config.model = kc::MakeRandomWalkModel(0.01, 0.04);  // Quiet-regime tune.
+    if (adaptive) config.adaptive = kc::AdaptiveConfig{};
+    KalmanPredictor proto(config);
+    kc::RegimeSwitchingGenerator::Config regimes;
+    regimes.regimes = {{4000, 0.1, 0.0}, {4000, 1.5, 0.0}, {4000, 0.1, 0.0}};
+    kc::RegimeSwitchingGenerator stream(regimes);
+    kc::LinkReport r = Run(proto, stream, 0.75, 12000);
+    std::printf("%-14s %10lld %18.3f\n", adaptive ? "on" : "off",
+                static_cast<long long>(r.messages), r.err_vs_truth.rms());
+  }
+  std::printf("  -> the frozen quiet tune looks cheaper by message count "
+              "alone, but that is\n     over-smoothing: its estimate drifts "
+              "far from truth in the loud regime\n     (high rmse). "
+              "Adaptation spends messages to keep the estimate honest — \n"
+              "     see bench_e5_adaptation for the per-phase breakdown.\n");
+
+  // (d) Joseph vs standard update. -----------------------------------------
+  std::printf("\n(d) covariance update form (numerical check, 100k steps)\n");
+  {
+    kc::KalmanFilter joseph(kc::MakeRandomWalkModel(0.09, 0.16),
+                            kc::Vector{0.0}, kc::Matrix{{100.0}},
+                            kc::KalmanFilter::UpdateForm::kJoseph);
+    kc::KalmanFilter standard(kc::MakeRandomWalkModel(0.09, 0.16),
+                              kc::Vector{0.0}, kc::Matrix{{100.0}},
+                              kc::KalmanFilter::UpdateForm::kStandard);
+    auto stream = NoisyWalk();
+    stream->Reset(43);
+    double max_state_diff = 0.0, max_cov_diff = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+      kc::Sample s = stream->Next();
+      joseph.Predict();
+      standard.Predict();
+      (void)joseph.Update(s.measured.value);
+      (void)standard.Update(s.measured.value);
+      max_state_diff = std::max(
+          max_state_diff, std::fabs(joseph.state()[0] - standard.state()[0]));
+      max_cov_diff = std::max(max_cov_diff,
+                              std::fabs(joseph.covariance()(0, 0) -
+                                        standard.covariance()(0, 0)));
+    }
+    std::printf("  max |state(joseph) - state(standard)| = %.3g\n",
+                max_state_diff);
+    std::printf("  max |cov(joseph)  - cov(standard)|  = %.3g\n", max_cov_diff);
+    std::printf("  -> on well-conditioned scalar problems the forms agree to "
+                "float precision;\n     Joseph stays the default for its PSD "
+                "guarantee on ill-conditioned models\n     (property-tested "
+                "in tests/kalman_filter_test.cc).\n");
+  }
+  return 0;
+}

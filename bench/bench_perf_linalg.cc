@@ -1,0 +1,100 @@
+// P1 — linalg microbenchmarks: the dense kernels under every filter step.
+// Validates the DESIGN.md assumption that small-matrix math is not the
+// bottleneck at Kalman state dimensions (n <= 8).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/decomp.h"
+#include "linalg/matrix.h"
+
+namespace {
+
+kc::Matrix RandomMatrix(size_t n, uint64_t seed) {
+  kc::Rng rng(seed);
+  kc::Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m(r, c) = rng.Gaussian();
+  }
+  return m;
+}
+
+kc::Matrix RandomSpd(size_t n, uint64_t seed) {
+  kc::Matrix b = RandomMatrix(n, seed);
+  kc::Matrix a = b * b.Transposed() +
+                 kc::Matrix::ScalarDiagonal(n, static_cast<double>(n));
+  a.Symmetrize();
+  return a;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  kc::Matrix a = RandomMatrix(n, 1);
+  kc::Matrix b = RandomMatrix(n, 2);
+  for (auto _ : state) {
+    kc::Matrix c = a * b;
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Sandwich(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  kc::Matrix f = RandomMatrix(n, 3);
+  kc::Matrix p = RandomSpd(n, 4);
+  for (auto _ : state) {
+    kc::Matrix c = kc::Sandwich(f, p);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_Sandwich)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Cholesky(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  kc::Matrix a = RandomSpd(n, 5);
+  for (auto _ : state) {
+    kc::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.ok());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  kc::Matrix a = RandomSpd(n, 6);
+  kc::Cholesky chol(a);
+  kc::Vector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i) + 1.0;
+  for (auto _ : state) {
+    kc::Vector x = chol.Solve(b);
+    benchmark::DoNotOptimize(x.data().data());
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LuSolve(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  kc::Matrix a = RandomMatrix(n, 7) + kc::Matrix::ScalarDiagonal(n, 4.0);
+  kc::Vector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = 1.0;
+  for (auto _ : state) {
+    kc::PartialPivLu lu(a);
+    kc::Vector x = lu.Solve(b);
+    benchmark::DoNotOptimize(x.data().data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MatrixVector(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  kc::Matrix a = RandomMatrix(n, 8);
+  kc::Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = 1.0;
+  for (auto _ : state) {
+    kc::Vector out = a * v;
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_MatrixVector)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// P3 — server-path microbenchmarks: message application at a replica,
+// full fleet ticks, aggregate query evaluation, and CQL parsing.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "query/parser.h"
+#include "server/simulation.h"
+#include "streams/generators.h"
+#include "suppression/policies.h"
+
+namespace {
+
+void BM_ReplicaApplyCorrection(benchmark::State& state) {
+  kc::KalmanPredictor::Config config;
+  config.model = kc::MakeRandomWalkModel(0.1, 0.25);
+  kc::ServerReplica replica(0, std::make_unique<kc::KalmanPredictor>(config));
+  kc::Message init;
+  init.source_id = 0;
+  init.type = kc::MessageType::kInit;
+  init.payload = {1.0, 0.0};
+  (void)replica.OnMessage(init);
+
+  kc::Message correction;
+  correction.source_id = 0;
+  correction.type = kc::MessageType::kCorrection;
+  correction.payload = {1.0, 0.5};
+  int64_t seq = 0;
+  for (auto _ : state) {
+    correction.seq = ++seq;
+    correction.time = static_cast<double>(seq);
+    replica.Tick();
+    benchmark::DoNotOptimize(replica.OnMessage(correction).ok());
+  }
+}
+BENCHMARK(BM_ReplicaApplyCorrection);
+
+void BM_FleetStep(benchmark::State& state) {
+  auto sources = static_cast<int>(state.range(0));
+  kc::Fleet fleet;
+  for (int i = 0; i < sources; ++i) {
+    kc::RandomWalkGenerator::Config walk;
+    walk.step_sigma = 0.3;
+    fleet.AddSource(std::make_unique<kc::RandomWalkGenerator>(walk),
+                    kc::MakeDefaultKalmanPredictor(0.09, 0.01), 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * sources);
+}
+BENCHMARK(BM_FleetStep)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_AggregateEvaluate(benchmark::State& state) {
+  auto members = static_cast<int>(state.range(0));
+  kc::Fleet fleet;
+  for (int i = 0; i < members; ++i) {
+    kc::RandomWalkGenerator::Config walk;
+    fleet.AddSource(std::make_unique<kc::RandomWalkGenerator>(walk),
+                    std::make_unique<kc::ValueCachePredictor>(), 1.0);
+  }
+  (void)fleet.Run(2);
+  kc::QuerySpec spec;
+  spec.kind = kc::AggregateKind::kAvg;
+  for (int i = 0; i < members; ++i) spec.sources.push_back(i);
+  (void)fleet.server().AddQuery("avg", spec);
+  for (auto _ : state) {
+    auto result = fleet.server().Evaluate("avg");
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_AggregateEvaluate)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string query =
+      "SELECT AVG(s0, s1, s2, s3, s4, s5, s6, s7) WHEN > 42.5 WITHIN 0.25 "
+      "EVERY 10";
+  for (auto _ : state) {
+    auto spec = kc::ParseQuery(query);
+    benchmark::DoNotOptimize(spec.ok());
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// P4 — stream-substrate microbenchmarks: generator throughput, noise
+// injection, trace IO, and resampling. These bound how fast the
+// experiment harness itself can feed the system under test.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "streams/composite.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "streams/resample.h"
+#include "streams/trace.h"
+
+namespace {
+
+void BM_RandomWalkNext(benchmark::State& state) {
+  kc::RandomWalkGenerator gen(kc::RandomWalkGenerator::Config{});
+  gen.Reset(1);
+  for (auto _ : state) {
+    kc::Sample s = gen.Next();
+    benchmark::DoNotOptimize(s.truth.value.data().data());
+  }
+}
+BENCHMARK(BM_RandomWalkNext);
+
+void BM_Vehicle2DNext(benchmark::State& state) {
+  kc::Vehicle2DGenerator gen(kc::Vehicle2DGenerator::Config{});
+  gen.Reset(1);
+  for (auto _ : state) {
+    kc::Sample s = gen.Next();
+    benchmark::DoNotOptimize(s.truth.value.data().data());
+  }
+}
+BENCHMARK(BM_Vehicle2DNext);
+
+void BM_BurstyTrafficNext(benchmark::State& state) {
+  kc::BurstyTrafficGenerator gen(kc::BurstyTrafficGenerator::Config{});
+  gen.Reset(1);
+  for (auto _ : state) {
+    kc::Sample s = gen.Next();
+    benchmark::DoNotOptimize(s.truth.value.data().data());
+  }
+}
+BENCHMARK(BM_BurstyTrafficNext);
+
+void BM_NoisyStreamNext(benchmark::State& state) {
+  kc::NoiseConfig noise;
+  noise.gaussian_sigma = 0.5;
+  noise.outlier_prob = 0.01;
+  kc::NoisyStream gen(
+      std::make_unique<kc::RandomWalkGenerator>(kc::RandomWalkGenerator::Config{}),
+      noise);
+  gen.Reset(1);
+  for (auto _ : state) {
+    kc::Sample s = gen.Next();
+    benchmark::DoNotOptimize(s.measured.value.data().data());
+  }
+}
+BENCHMARK(BM_NoisyStreamNext);
+
+void BM_SumGeneratorNext(benchmark::State& state) {
+  std::vector<std::unique_ptr<kc::StreamGenerator>> parts;
+  parts.push_back(std::make_unique<kc::RandomWalkGenerator>(
+      kc::RandomWalkGenerator::Config{}));
+  parts.push_back(
+      std::make_unique<kc::SinusoidGenerator>(kc::SinusoidGenerator::Config{}));
+  kc::SumGenerator gen(std::move(parts), "combo");
+  gen.Reset(1);
+  for (auto _ : state) {
+    kc::Sample s = gen.Next();
+    benchmark::DoNotOptimize(s.truth.value.data().data());
+  }
+}
+BENCHMARK(BM_SumGeneratorNext);
+
+void BM_TraceSaveLoad(benchmark::State& state) {
+  kc::RandomWalkGenerator gen(kc::RandomWalkGenerator::Config{});
+  auto trace = kc::Materialize(gen, 1000, 7);
+  const std::string path = "/tmp/kc_bench_trace.csv";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kc::SaveTraceCsv(path, trace).ok());
+    auto loaded = kc::LoadTraceCsv(path);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceSaveLoad);
+
+void BM_Resample(benchmark::State& state) {
+  kc::RandomWalkGenerator gen(kc::RandomWalkGenerator::Config{});
+  auto trace = kc::Materialize(gen, 10000, 7);
+  for (auto _ : state) {
+    auto out = kc::ResampleTrace(trace, 0.5);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Resample);
+
+}  // namespace

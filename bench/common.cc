@@ -1,0 +1,138 @@
+#include "common.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "suppression/policies.h"
+
+namespace kc::bench {
+
+std::unique_ptr<StreamGenerator> MakeStream(const std::string& family) {
+  if (family == "smooth_walk") {
+    RandomWalkGenerator::Config config;
+    config.step_sigma = 0.5;
+    return std::make_unique<RandomWalkGenerator>(config);
+  }
+  if (family == "noisy_walk") {
+    RandomWalkGenerator::Config config;
+    config.step_sigma = 0.3;
+    NoiseConfig noise;
+    noise.gaussian_sigma = 0.4;
+    return std::make_unique<NoisyStream>(
+        std::make_unique<RandomWalkGenerator>(config), noise);
+  }
+  if (family == "linear_trend") {
+    LinearDriftGenerator::Config config;
+    config.slope = 0.3;
+    config.wobble_sigma = 0.05;
+    return std::make_unique<LinearDriftGenerator>(config);
+  }
+  if (family == "sinusoid") {
+    SinusoidGenerator::Config config;
+    config.amplitude = 5.0;
+    config.period = 200.0;
+    config.amplitude_drift_sigma = 0.01;
+    return std::make_unique<SinusoidGenerator>(config);
+  }
+  if (family == "ar1") {
+    Ar1Generator::Config config;
+    config.phi = 0.95;
+    config.sigma = 0.5;
+    return std::make_unique<Ar1Generator>(config);
+  }
+  if (family == "regime") {
+    RegimeSwitchingGenerator::Config config;
+    config.regimes = {{2500, 0.1, 0.0}, {2500, 1.5, 0.0}};
+    return std::make_unique<RegimeSwitchingGenerator>(config);
+  }
+  if (family == "bursty") {
+    BurstyTrafficGenerator::Config config;
+    config.base_rate = 10.0;
+    config.pareto_scale = 8.0;
+    return std::make_unique<BurstyTrafficGenerator>(config);
+  }
+  if (family == "temperature") {
+    DiurnalTemperatureGenerator::Config config;
+    NoiseConfig noise;
+    noise.gaussian_sigma = 0.3;
+    return std::make_unique<NoisyStream>(
+        std::make_unique<DiurnalTemperatureGenerator>(config), noise);
+  }
+  if (family == "vehicle") {
+    Vehicle2DGenerator::Config config;
+    NoiseConfig noise;
+    noise.gaussian_sigma = 3.0;
+    return std::make_unique<NoisyStream>(
+        std::make_unique<Vehicle2DGenerator>(config), noise);
+  }
+  assert(false && "unknown stream family");
+  return nullptr;
+}
+
+const std::vector<std::string>& SyntheticFamilies() {
+  static const std::vector<std::string>* families = new std::vector<std::string>{
+      "smooth_walk", "noisy_walk", "linear_trend", "sinusoid", "ar1"};
+  return *families;
+}
+
+const std::vector<std::string>& RealWorldFamilies() {
+  static const std::vector<std::string>* families =
+      new std::vector<std::string>{"temperature", "bursty", "vehicle"};
+  return *families;
+}
+
+std::unique_ptr<Predictor> MakePolicy(const std::string& name, size_t dims) {
+  if (name == "value_cache") return std::make_unique<ValueCachePredictor>(dims);
+  if (name == "linear") return std::make_unique<LinearPredictor>(dims);
+  if (name == "ewma") return std::make_unique<EwmaPredictor>(dims, 0.5);
+
+  KalmanPredictor::Config config;
+  if (dims == 2) {
+    config.model = MakeConstantVelocity2DModel(1.0, 0.5, 9.0);
+  } else if (name == "kalman_cv") {
+    config.model = MakeConstantVelocityModel(1.0, 0.05, 0.16);
+  } else if (name == "kalman_seasonal") {
+    // Tuned for the diurnal temperature stand-in (288-tick day).
+    config.model = MakeTrendSeasonalModel(2.0 * 3.14159265358979 / 288.0, 1.0,
+                                          1e-5, 1e-4, 0.09);
+  } else {
+    config.model = MakeRandomWalkModel(0.1, 0.16);
+  }
+  config.adaptive = AdaptiveConfig{};
+  if (name == "kalman_cov") {
+    config.sync_mode = KalmanPredictor::SyncMode::kStateAndCov;
+  } else if (name == "kalman_meas") {
+    config.sync_mode = KalmanPredictor::SyncMode::kMeasurement;
+  }
+  return std::make_unique<KalmanPredictor>(std::move(config));
+}
+
+const std::vector<std::string>& DefaultPolicies() {
+  static const std::vector<std::string>* policies = new std::vector<std::string>{
+      "value_cache", "linear", "ewma", "kalman"};
+  return *policies;
+}
+
+void PrintHeader(const std::string& title, const std::string& subtitle) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+LinkReport RunOne(const std::string& family, const std::string& policy,
+                  double delta, size_t ticks, uint64_t seed) {
+  auto stream = MakeStream(family);
+  auto proto = MakePolicy(policy, stream->dims());
+  LinkConfig config;
+  config.ticks = ticks;
+  config.delta = delta;
+  config.seed = seed;
+  return RunLink(*stream, *proto, config);
+}
+
+}  // namespace kc::bench

@@ -1,0 +1,92 @@
+// Historical reanalysis: archive a stream's measurements, then answer a
+// historical query with the RTS smoother instead of the forward filter.
+//
+// A stream server archives what sources ship anyway; when an analyst asks
+// "what was the signal really doing last Tuesday?", fixed-interval
+// smoothing over the archive reconstructs the past strictly better than
+// the filtered estimates the dashboard showed live. This example measures
+// that gap and demonstrates the trace CSV round trip that persistence
+// would use.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/stats.h"
+#include "kalman/smoother.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "streams/trace.h"
+
+int main() {
+  // A day of noisy sensor readings.
+  kc::RandomWalkGenerator::Config walk;
+  walk.step_sigma = 0.15;
+  kc::NoiseConfig noise;
+  noise.gaussian_sigma = 1.0;  // A very noisy sensor: smoothing shines.
+  kc::NoisyStream stream(std::make_unique<kc::RandomWalkGenerator>(walk),
+                         noise);
+
+  constexpr size_t kTicks = 2000;
+  std::vector<kc::Sample> archive = kc::Materialize(stream, kTicks, 2026);
+
+  // Persist and reload the archive exactly as a server's trace store would.
+  const std::string path = "/tmp/kalmancast_archive.csv";
+  if (!kc::SaveTraceCsv(path, archive).ok()) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  auto reloaded = kc::LoadTraceCsv(path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "failed to reload archive: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+
+  // Forward filter (what the live dashboard showed) vs RTS smoother (the
+  // reanalysis), both over the reloaded archive.
+  kc::StateSpaceModel model = kc::MakeRandomWalkModel(
+      walk.step_sigma * walk.step_sigma,
+      noise.gaussian_sigma * noise.gaussian_sigma);
+  std::vector<kc::Vector> observations;
+  observations.reserve(reloaded->size());
+  for (const kc::Sample& s : *reloaded) {
+    observations.push_back(s.measured.value);
+  }
+
+  kc::KalmanFilter forward(model, kc::Vector{0.0}, kc::Matrix{{100.0}});
+  std::vector<double> filtered;
+  for (const kc::Vector& z : observations) {
+    forward.Predict();
+    if (!forward.Update(z).ok()) return 1;
+    filtered.push_back(forward.state()[0]);
+  }
+  auto smoothed =
+      kc::RtsSmooth(model, kc::Vector{0.0}, kc::Matrix{{100.0}}, observations);
+  if (!smoothed.ok()) {
+    std::fprintf(stderr, "smoothing failed: %s\n",
+                 smoothed.status().ToString().c_str());
+    return 1;
+  }
+
+  kc::RunningStats raw_err, filt_err, smooth_err;
+  for (size_t k = 20; k + 20 < archive.size(); ++k) {
+    double truth = archive[k].truth.scalar();
+    raw_err.Add(archive[k].measured.scalar() - truth);
+    filt_err.Add(filtered[k] - truth);
+    smooth_err.Add((*smoothed)[k].x[0] - truth);
+  }
+
+  std::printf("historical_reanalysis: %zu archived readings "
+              "(sensor sigma=%.1f)\n\n",
+              kTicks, noise.gaussian_sigma);
+  std::printf("%-26s %12s\n", "estimate", "rmse vs truth");
+  std::printf("%-26s %12.3f\n", "raw archived measurements", raw_err.rms());
+  std::printf("%-26s %12.3f\n", "forward filter (live view)", filt_err.rms());
+  std::printf("%-26s %12.3f\n", "RTS smoother (reanalysis)", smooth_err.rms());
+  std::printf("\nThe smoother uses future context the live filter never had; "
+              "its interior-\npoint error is strictly lower, which is why "
+              "the server runs it for\nhistorical queries over the "
+              "correction archive.\n");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Vehicle tracking: a fleet of GPS-reporting vehicles tracked by the
+// server with a 2-D constant-velocity dual Kalman filter.
+//
+// Demonstrates multi-dimensional streams, model choice (CV vs random walk),
+// and the bandwidth saving on trajectory data — the paper's moving-object
+// use case. Each vehicle only transmits when the server's dead-reckoned
+// position estimate would drift more than `delta` meters from the
+// on-vehicle filtered fix.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "server/simulation.h"
+#include "streams/generators.h"
+#include "streams/noise.h"
+#include "suppression/policies.h"
+
+namespace {
+
+std::unique_ptr<kc::StreamGenerator> MakeVehicle(uint64_t seed) {
+  kc::Vehicle2DGenerator::Config config;
+  config.speed_mean = 12.0;      // ~43 km/h city driving, 1 Hz fixes.
+  config.turn_change_prob = 0.02;
+  config.seed = seed;
+  kc::NoiseConfig gps_noise;
+  gps_noise.gaussian_sigma = 3.0;  // Consumer GPS.
+  return std::make_unique<kc::NoisyStream>(
+      std::make_unique<kc::Vehicle2DGenerator>(config), gps_noise);
+}
+
+kc::KalmanPredictor::Config CvPredictor() {
+  kc::KalmanPredictor::Config config;
+  config.model = kc::MakeConstantVelocity2DModel(/*dt=*/1.0,
+                                                 /*accel_var=*/0.5,
+                                                 /*obs_var=*/9.0);
+  config.adaptive = kc::AdaptiveConfig{};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kTicks = 3600;  // One hour at 1 Hz.
+  std::printf("vehicle_tracking: 1 Hz GPS (sigma=3m), one hour, per-vehicle "
+              "precision bound sweep\n\n");
+  std::printf("%10s %16s %16s %18s %18s\n", "delta (m)", "msgs/vehicle",
+              "vs naive (%)", "rmse vs truth (m)", "max err vs fix (m)");
+
+  for (double delta : {5.0, 10.0, 25.0, 50.0}) {
+    // Average over a few vehicles for stable numbers.
+    double msgs = 0.0, rmse = 0.0, max_err = 0.0;
+    constexpr int kVehicles = 5;
+    for (int v = 0; v < kVehicles; ++v) {
+      auto vehicle = MakeVehicle(100 + static_cast<uint64_t>(v));
+      kc::KalmanPredictor proto(CvPredictor());
+      kc::LinkConfig config;
+      config.ticks = kTicks;
+      config.delta = delta;
+      config.seed = 7 + static_cast<uint64_t>(v);
+      kc::LinkReport report = kc::RunLink(*vehicle, proto, config);
+      msgs += static_cast<double>(report.messages);
+      rmse += report.err_vs_truth.rms();
+      max_err = std::max(max_err, report.err_vs_target.max());
+    }
+    msgs /= kVehicles;
+    rmse /= kVehicles;
+    std::printf("%10.0f %16.1f %15.1f%% %18.2f %18.2f\n", delta, msgs,
+                100.0 * msgs / static_cast<double>(kTicks), rmse, max_err);
+  }
+
+  std::printf(
+      "\nWith a 25 m bound a vehicle reports a few times per minute instead\n"
+      "of every second; the server dead-reckons the gap with the same\n"
+      "constant-velocity filter the vehicle used to smooth its GPS fixes.\n");
+  return 0;
+}

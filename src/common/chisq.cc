@@ -1,0 +1,75 @@
+#include "common/chisq.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kc {
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x) via series (x < a+1) or
+/// continued fraction (x >= a+1); standard Numerical-Recipes-style forms.
+double GammaP(double a, double x) {
+  assert(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x); P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e308;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double ChiSquaredCdf(double x, size_t k) {
+  assert(k >= 1);
+  if (x <= 0.0) return 0.0;
+  return GammaP(static_cast<double>(k) / 2.0, x / 2.0);
+}
+
+double ChiSquaredQuantile(double p, size_t k) {
+  assert(p > 0.0 && p < 1.0 && k >= 1);
+  double lo = 0.0;
+  double hi = 1.0;
+  while (ChiSquaredCdf(hi, k) < p) hi *= 2.0;  // Bracket.
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (ChiSquaredCdf(mid, k) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace kc

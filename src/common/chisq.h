@@ -1,0 +1,24 @@
+#ifndef KALMANCAST_COMMON_CHISQ_H_
+#define KALMANCAST_COMMON_CHISQ_H_
+
+#include <cstddef>
+
+namespace kc {
+
+/// Upper-tail chi-squared utilities used for innovation gating: a Kalman
+/// filter's NIS is chi-squared with obs_dim degrees of freedom when the
+/// model matches reality, so readings whose NIS exceeds a high quantile
+/// are flagged as outliers instead of being trusted.
+
+/// CDF of the chi-squared distribution with k degrees of freedom at x
+/// (k >= 1, x >= 0). Accurate to ~1e-10 over the ranges gating uses.
+double ChiSquaredCdf(double x, size_t k);
+
+/// Quantile (inverse CDF): smallest x with CDF(x) >= p, for p in (0, 1).
+/// Solved by bisection on the CDF; intended for setup-time gate
+/// computation, not per-sample work.
+double ChiSquaredQuantile(double p, size_t k);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_COMMON_CHISQ_H_

@@ -1,0 +1,42 @@
+#ifndef KALMANCAST_COMMON_LOGGING_H_
+#define KALMANCAST_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default kWarning so library
+/// users are not spammed; examples raise it to kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KC_LOG(level)                                                  \
+  ::kc::internal::LogMessage(::kc::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+}  // namespace kc
+
+#endif  // KALMANCAST_COMMON_LOGGING_H_

@@ -1,0 +1,134 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace kc {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  sumsq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double nn = static_cast<double>(n);
+  double mean = mean_ + delta * nb / nn;
+  m2_ = m2_ + other.m2_ + delta * delta * na * nb / nn;
+  mean_ = mean;
+  sumsq_ += other.sumsq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::rms() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(sumsq_ / static_cast<double>(count_));
+}
+
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(std::max(hi, lo + 1e-12)), counts_(std::max<size_t>(bins, 1), 0) {
+  width_ = (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // Float edge guard.
+  ++counts_[idx];
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = count_ = 0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    auto bar = static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                   static_cast<double>(peak) *
+                                   static_cast<double>(max_width));
+    os << "[" << bin_lo(i) << ", " << bin_lo(i) + width_ << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+double ExactQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace kc

@@ -1,0 +1,97 @@
+#ifndef KALMANCAST_COMMON_STATS_H_
+#define KALMANCAST_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace kc {
+
+/// Single-pass accumulator of count / mean / variance / min / max using
+/// Welford's numerically stable update. Used for stream summaries, error
+/// accounting in the suppression layer, and variance-proportional budget
+/// allocation in the server.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel/chunked summaries).
+  void Merge(const RunningStats& other);
+
+  /// Discards all observations.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n). Zero for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (divides by n-1). Zero for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  /// Root mean square of the observations (useful when observations are
+  /// errors: RMSE).
+  double rms() const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;       // Sum of squared deviations from the mean.
+  double sumsq_ = 0.0;    // Sum of squares (for rms()).
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi) with overflow/underflow buckets.
+/// Used by benches to report error distributions.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets spanning [lo, hi). Requires
+  /// lo < hi and bins >= 1 (enforced by clamping).
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  size_t num_bins() const { return counts_.size(); }
+  int64_t bin_count(size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bin. Returns lo/hi bounds for out-of-range mass.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering, for example binaries.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+};
+
+/// Exact quantile over a buffered sample (the experiment harness keeps whole
+/// error vectors; sizes are laptop-scale). q in [0,1]; empty input yields 0.
+double ExactQuantile(std::vector<double> values, double q);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_COMMON_STATS_H_

@@ -1,0 +1,142 @@
+#ifndef KALMANCAST_COMMON_STATUS_H_
+#define KALMANCAST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kc {
+
+/// Canonical error codes, modeled after absl::StatusCode. Only the codes
+/// the library actually produces are defined.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result carrier. kalmancast does not throw
+/// exceptions across API boundaries; fallible operations return Status (or
+/// StatusOr<T> when they also produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code with a
+  /// message is allowed but the message is ignored by ok().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the OK status.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// a non-OK StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// StatusOr<T>.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define KC_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::kc::Status kc_status_ = (expr);             \
+    if (!kc_status_.ok()) return kc_status_;      \
+  } while (0)
+
+}  // namespace kc
+
+#endif  // KALMANCAST_COMMON_STATUS_H_

@@ -1,0 +1,100 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kc {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  return v;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  std::string buf(s);
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args2);
+    return {};
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace kc

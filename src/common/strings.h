@@ -1,0 +1,39 @@
+#ifndef KALMANCAST_COMMON_STRINGS_H_
+#define KALMANCAST_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kc {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string ToUpper(std::string_view s);
+
+/// Parses a double, rejecting trailing garbage and empty input.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer, rejecting trailing garbage and empty
+/// input.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace kc
+
+#endif  // KALMANCAST_COMMON_STRINGS_H_

@@ -1,0 +1,73 @@
+#ifndef KALMANCAST_KALMAN_ADAPTIVE_H_
+#define KALMANCAST_KALMAN_ADAPTIVE_H_
+
+#include <deque>
+
+#include "kalman/kalman_filter.h"
+
+namespace kc {
+
+/// Configuration for innovation-based adaptive noise estimation.
+struct AdaptiveConfig {
+  /// Number of recent innovations averaged when estimating noise levels.
+  size_t window = 32;
+  /// Minimum updates before any adaptation kicks in.
+  size_t warmup = 8;
+  /// If true, rescale Q when the average NIS departs from its expected
+  /// value (obs_dim) — this is how the filter tracks *time-varying stream
+  /// dynamics* (the paper's adaptivity claim C3).
+  bool adapt_q = true;
+  /// If true, re-estimate R from the innovation sample covariance minus
+  /// H P H^T — this is how the filter tracks *sensor noise* (claim C2).
+  bool adapt_r = false;
+  /// Exponential smoothing applied to each adaptation step (0 = frozen,
+  /// 1 = jump immediately to the new estimate).
+  double smoothing = 0.2;
+  /// Clamp on the per-window Q scale factor, to keep a burst of outliers
+  /// from destabilizing the filter.
+  double max_scale_per_step = 10.0;
+  double min_scale_per_step = 0.1;
+  /// Floor applied to adapted variances (keeps Q, R positive definite).
+  double variance_floor = 1e-12;
+};
+
+/// Innovation-based adaptive noise estimator.
+///
+/// The Kalman filter is only optimal when Q and R match reality; streams in
+/// a DSMS drift (volatility regimes, sensor degradation). This monitor
+/// watches the filter's innovation sequence and rescales Q and/or
+/// re-estimates R so the normalized innovation squared (NIS) stays near its
+/// chi-squared expectation. Both the source and server replicas run the
+/// same estimator fed by the same correction stream, so their models stay
+/// identical without extra communication.
+class AdaptiveNoiseEstimator {
+ public:
+  explicit AdaptiveNoiseEstimator(AdaptiveConfig config = {});
+
+  /// Call after each successful filter.Update(); reads the innovation
+  /// diagnostics and possibly adjusts filter.mutable_model().
+  void AfterUpdate(KalmanFilter& filter);
+
+  /// Clears history (e.g. after a filter Reset).
+  void Reset();
+
+  /// Average NIS over the current window (0 if empty).
+  double WindowedNis() const;
+  /// Cumulative Q scale applied so far (1.0 = untouched).
+  double cumulative_q_scale() const { return cumulative_q_scale_; }
+  size_t window_fill() const { return nis_history_.size(); }
+
+  const AdaptiveConfig& config() const { return config_; }
+
+ private:
+  AdaptiveConfig config_;
+  std::deque<double> nis_history_;
+  // Innovation outer-product running sum for R estimation.
+  std::deque<Matrix> innovation_outer_;
+  double cumulative_q_scale_ = 1.0;
+  size_t updates_seen_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_ADAPTIVE_H_

@@ -1,0 +1,160 @@
+#include "kalman/ekf.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/decomp.h"
+
+namespace kc {
+
+Status NonlinearModel::Validate() const {
+  if (state_dim == 0 || obs_dim == 0) {
+    return Status::InvalidArgument("empty dimensions");
+  }
+  if (!f || !f_jacobian || !h || !h_jacobian) {
+    return Status::InvalidArgument("missing model callables");
+  }
+  if (q.rows() != state_dim || q.cols() != state_dim) {
+    return Status::InvalidArgument("Q shape mismatch");
+  }
+  if (r.rows() != obs_dim || r.cols() != obs_dim) {
+    return Status::InvalidArgument("R shape mismatch");
+  }
+  if (!IsPositiveSemiDefinite(q)) {
+    return Status::InvalidArgument("Q must be symmetric PSD");
+  }
+  if (!Cholesky(r).ok()) {
+    return Status::InvalidArgument("R must be symmetric PD");
+  }
+  return Status::Ok();
+}
+
+ExtendedKalmanFilter::ExtendedKalmanFilter(NonlinearModel model, Vector x0,
+                                           Matrix p0)
+    : model_(std::move(model)), x_(std::move(x0)), p_(std::move(p0)) {
+  assert(model_.Validate().ok());
+  assert(x_.size() == model_.state_dim);
+  assert(p_.rows() == model_.state_dim && p_.cols() == model_.state_dim);
+}
+
+void ExtendedKalmanFilter::Predict() {
+  Matrix f_jac = model_.f_jacobian(x_);
+  x_ = model_.f(x_);
+  p_ = Sandwich(f_jac, p_) + model_.q;
+  p_.Symmetrize();
+}
+
+Status ExtendedKalmanFilter::Update(const Vector& z) {
+  if (z.size() != model_.obs_dim) {
+    return Status::InvalidArgument("observation dimension mismatch");
+  }
+  Matrix h_jac = model_.h_jacobian(x_);
+  Vector nu = z - model_.h(x_);
+
+  Matrix s = Sandwich(h_jac, p_) + model_.r;
+  s.Symmetrize();
+  Cholesky chol(s);
+  if (!chol.ok()) {
+    return Status::FailedPrecondition("innovation covariance not PD");
+  }
+  Matrix ph_t = p_ * h_jac.Transposed();
+  Matrix k = chol.Solve(ph_t.Transposed()).Transposed();
+
+  x_ += k * nu;
+  Matrix i_kh = Matrix::Identity(model_.state_dim) - k * h_jac;
+  p_ = Sandwich(i_kh, p_) + Sandwich(k, model_.r);  // Joseph form.
+  p_.Symmetrize();
+
+  innovation_ = nu;
+  Vector s_inv_nu = chol.Solve(nu);
+  nis_ = nu.Dot(s_inv_nu);
+  double m = static_cast<double>(model_.obs_dim);
+  log_likelihood_ =
+      -0.5 * (nis_ + chol.LogDeterminant() + m * std::log(2.0 * std::numbers::pi));
+  ++update_count_;
+  return Status::Ok();
+}
+
+void ExtendedKalmanFilter::Reset(Vector x0, Matrix p0) {
+  assert(x0.size() == model_.state_dim);
+  x_ = std::move(x0);
+  p_ = std::move(p0);
+  innovation_ = Vector();
+  nis_ = 0.0;
+  log_likelihood_ = 0.0;
+  update_count_ = 0;
+}
+
+std::vector<double> ExtendedKalmanFilter::SerializeState() const {
+  std::vector<double> buf;
+  size_t n = model_.state_dim;
+  buf.reserve(n + n * n);
+  buf.insert(buf.end(), x_.data().begin(), x_.data().end());
+  buf.insert(buf.end(), p_.data().begin(), p_.data().end());
+  return buf;
+}
+
+Status ExtendedKalmanFilter::DeserializeState(const std::vector<double>& buf) {
+  size_t n = model_.state_dim;
+  if (buf.size() != n + n * n) {
+    return Status::InvalidArgument("serialized state has wrong size");
+  }
+  for (size_t i = 0; i < n; ++i) x_[i] = buf[i];
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) p_(r, c) = buf[n + r * n + c];
+  }
+  p_.Symmetrize();
+  return Status::Ok();
+}
+
+NonlinearModel MakeCoordinatedTurnModel(double dt, double q_pos,
+                                        double q_speed, double q_turn,
+                                        double obs_var) {
+  // State: [x, y, v, theta, omega].
+  NonlinearModel m;
+  m.name = "coordinated_turn";
+  m.state_dim = 5;
+  m.obs_dim = 2;
+
+  m.f = [dt](const Vector& x) {
+    double v = x[2], theta = x[3], omega = x[4];
+    Vector out(5);
+    out[0] = x[0] + v * std::cos(theta) * dt;
+    out[1] = x[1] + v * std::sin(theta) * dt;
+    out[2] = v;
+    out[3] = theta + omega * dt;
+    out[4] = omega;
+    return out;
+  };
+  m.f_jacobian = [dt](const Vector& x) {
+    double v = x[2], theta = x[3];
+    double ct = std::cos(theta), st = std::sin(theta);
+    Matrix j = Matrix::Identity(5);
+    j(0, 2) = ct * dt;
+    j(0, 3) = -v * st * dt;
+    j(1, 2) = st * dt;
+    j(1, 3) = v * ct * dt;
+    j(3, 4) = dt;
+    return j;
+  };
+  m.h = [](const Vector& x) { return Vector{x[0], x[1]}; };
+  m.h_jacobian = [](const Vector& x) {
+    (void)x;
+    Matrix j(2, 5);
+    j(0, 0) = 1.0;
+    j(1, 1) = 1.0;
+    return j;
+  };
+
+  m.q = Matrix(5, 5);
+  m.q(0, 0) = q_pos;
+  m.q(1, 1) = q_pos;
+  m.q(2, 2) = q_speed;
+  m.q(3, 3) = q_turn * dt;  // Heading diffuses through turn-rate noise too.
+  m.q(4, 4) = q_turn;
+  m.r = Matrix::ScalarDiagonal(2, obs_var);
+  return m;
+}
+
+}  // namespace kc

@@ -1,0 +1,92 @@
+#ifndef KALMANCAST_KALMAN_EKF_H_
+#define KALMANCAST_KALMAN_EKF_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace kc {
+
+/// A nonlinear discrete-time state-space model for the extended Kalman
+/// filter:
+///
+///   x_{k+1} = f(x_k) + w_k,  w_k ~ N(0, Q)
+///   z_k     = h(x_k) + v_k,  v_k ~ N(0, R)
+///
+/// `f_jacobian`/`h_jacobian` return the Jacobians dF/dx and dH/dx at the
+/// supplied state. All four callables must be pure (same input -> same
+/// output) so that source and server EKF replicas stay in lockstep.
+struct NonlinearModel {
+  std::string name;
+  size_t state_dim = 0;
+  size_t obs_dim = 0;
+
+  std::function<Vector(const Vector&)> f;
+  std::function<Matrix(const Vector&)> f_jacobian;
+  std::function<Vector(const Vector&)> h;
+  std::function<Matrix(const Vector&)> h_jacobian;
+
+  Matrix q;  ///< Process-noise covariance (state_dim x state_dim).
+  Matrix r;  ///< Observation-noise covariance (obs_dim x obs_dim).
+
+  Status Validate() const;
+};
+
+/// First-order extended Kalman filter. Same Predict/Update discipline and
+/// diagnostics as the linear KalmanFilter; linearizes the dynamics and
+/// observation around the current estimate each step (and uses the Joseph
+/// form for the covariance update unconditionally).
+class ExtendedKalmanFilter {
+ public:
+  ExtendedKalmanFilter(NonlinearModel model, Vector x0, Matrix p0);
+
+  /// Time update: x <- f(x), P <- F P F^T + Q with F = df/dx at x.
+  void Predict();
+
+  /// Measurement update. Fails (state untouched) on dimension mismatch or
+  /// a singular innovation covariance.
+  Status Update(const Vector& z);
+
+  Vector PredictObservation() const { return model_.h(x_); }
+
+  const Vector& state() const { return x_; }
+  const Matrix& covariance() const { return p_; }
+  const NonlinearModel& model() const { return model_; }
+
+  const Vector& last_innovation() const { return innovation_; }
+  double last_nis() const { return nis_; }
+  double last_log_likelihood() const { return log_likelihood_; }
+  int64_t update_count() const { return update_count_; }
+
+  void Reset(Vector x0, Matrix p0);
+
+  /// Flattened (x, P) — same layout as KalmanFilter::SerializeState.
+  std::vector<double> SerializeState() const;
+  Status DeserializeState(const std::vector<double>& buf);
+
+ private:
+  NonlinearModel model_;
+  Vector x_;
+  Matrix p_;
+
+  Vector innovation_;
+  double nis_ = 0.0;
+  double log_likelihood_ = 0.0;
+  int64_t update_count_ = 0;
+};
+
+/// Coordinated-turn vehicle model: state [x, y, speed, heading, turn_rate]
+/// observing [x, y]. The canonical nonlinear tracking model the linear
+/// constant-velocity filter approximates; pairs with Vehicle2DGenerator.
+/// `q_speed`, `q_heading`, `q_turn` are per-step process variances on the
+/// respective states; `obs_var` is the per-axis position noise variance.
+NonlinearModel MakeCoordinatedTurnModel(double dt, double q_pos,
+                                        double q_speed, double q_turn,
+                                        double obs_var);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_EKF_H_

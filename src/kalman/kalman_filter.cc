@@ -1,0 +1,112 @@
+#include "kalman/kalman_filter.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/decomp.h"
+
+namespace kc {
+
+KalmanFilter::KalmanFilter(StateSpaceModel model, Vector x0, Matrix p0,
+                           UpdateForm form)
+    : model_(std::move(model)), form_(form), x_(std::move(x0)), p_(std::move(p0)) {
+  assert(model_.Validate().ok());
+  assert(x_.size() == model_.state_dim());
+  assert(p_.rows() == model_.state_dim() && p_.cols() == model_.state_dim());
+}
+
+void KalmanFilter::Predict() {
+  x_ = model_.f * x_;
+  p_ = Sandwich(model_.f, p_) + model_.q;
+  p_.Symmetrize();
+}
+
+void KalmanFilter::PredictSteps(size_t steps) {
+  for (size_t i = 0; i < steps; ++i) Predict();
+}
+
+Status KalmanFilter::Update(const Vector& z) {
+  if (z.size() != model_.obs_dim()) {
+    return Status::InvalidArgument("observation dimension mismatch");
+  }
+  const Matrix& h = model_.h;
+  Vector predicted = h * x_;
+  Vector nu = z - predicted;
+
+  Matrix s = Sandwich(h, p_) + model_.r;
+  s.Symmetrize();
+  Cholesky chol(s);
+  if (!chol.ok()) {
+    return Status::FailedPrecondition("innovation covariance not PD");
+  }
+
+  // Gain K = P H^T S^{-1}; computed as solve(S, H P)^T to stay factored.
+  Matrix ph_t = p_ * h.Transposed();          // n x m
+  Matrix k = chol.Solve(ph_t.Transposed());   // m x n, equals S^{-1} H P
+  k = k.Transposed();                         // n x m
+
+  x_ += k * nu;
+
+  if (form_ == UpdateForm::kJoseph) {
+    Matrix i_kh = Matrix::Identity(state_dim()) - k * h;
+    p_ = Sandwich(i_kh, p_) + Sandwich(k, model_.r);
+  } else {
+    Matrix i_kh = Matrix::Identity(state_dim()) - k * h;
+    p_ = i_kh * p_;
+  }
+  p_.Symmetrize();
+
+  // Diagnostics.
+  innovation_ = nu;
+  s_ = s;
+  Vector s_inv_nu = chol.Solve(nu);
+  nis_ = nu.Dot(s_inv_nu);
+  double m = static_cast<double>(obs_dim());
+  log_likelihood_ =
+      -0.5 * (nis_ + chol.LogDeterminant() + m * std::log(2.0 * std::numbers::pi));
+  ++update_count_;
+  return Status::Ok();
+}
+
+Vector KalmanFilter::PredictObservation() const { return model_.h * x_; }
+
+Matrix KalmanFilter::InnovationCovariance() const {
+  Matrix s = Sandwich(model_.h, p_) + model_.r;
+  s.Symmetrize();
+  return s;
+}
+
+void KalmanFilter::Reset(Vector x0, Matrix p0) {
+  assert(x0.size() == model_.state_dim());
+  assert(p0.rows() == model_.state_dim() && p0.cols() == model_.state_dim());
+  x_ = std::move(x0);
+  p_ = std::move(p0);
+  innovation_ = Vector();
+  s_ = Matrix();
+  nis_ = 0.0;
+  log_likelihood_ = 0.0;
+  update_count_ = 0;
+}
+
+std::vector<double> KalmanFilter::SerializeState() const {
+  std::vector<double> buf;
+  buf.reserve(state_dim() + state_dim() * state_dim());
+  buf.insert(buf.end(), x_.data().begin(), x_.data().end());
+  buf.insert(buf.end(), p_.data().begin(), p_.data().end());
+  return buf;
+}
+
+Status KalmanFilter::DeserializeState(const std::vector<double>& buf) {
+  size_t n = state_dim();
+  if (buf.size() != n + n * n) {
+    return Status::InvalidArgument("serialized state has wrong size");
+  }
+  for (size_t i = 0; i < n; ++i) x_[i] = buf[i];
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) p_(r, c) = buf[n + r * n + c];
+  }
+  p_.Symmetrize();
+  return Status::Ok();
+}
+
+}  // namespace kc

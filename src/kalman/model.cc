@@ -1,0 +1,139 @@
+#include "kalman/model.h"
+
+#include <cmath>
+
+#include "linalg/decomp.h"
+
+namespace kc {
+
+Status StateSpaceModel::Validate() const {
+  size_t n = f.rows();
+  size_t m = h.rows();
+  if (n == 0) return Status::InvalidArgument("empty state dimension");
+  if (!f.IsSquare()) return Status::InvalidArgument("F must be square");
+  if (q.rows() != n || q.cols() != n) {
+    return Status::InvalidArgument("Q must be state_dim x state_dim");
+  }
+  if (m == 0) return Status::InvalidArgument("empty observation dimension");
+  if (h.cols() != n) {
+    return Status::InvalidArgument("H must be obs_dim x state_dim");
+  }
+  if (r.rows() != m || r.cols() != m) {
+    return Status::InvalidArgument("R must be obs_dim x obs_dim");
+  }
+  if (!IsPositiveSemiDefinite(q)) {
+    return Status::InvalidArgument("Q must be symmetric PSD");
+  }
+  if (!Cholesky(r).ok()) {
+    return Status::InvalidArgument("R must be symmetric positive definite");
+  }
+  return Status::Ok();
+}
+
+StateSpaceModel MakeRandomWalkModel(double process_var, double obs_var) {
+  StateSpaceModel m;
+  m.name = "random_walk";
+  m.f = Matrix::Identity(1);
+  m.q = Matrix{{process_var}};
+  m.h = Matrix::Identity(1);
+  m.r = Matrix{{obs_var}};
+  return m;
+}
+
+StateSpaceModel MakeConstantVelocityModel(double dt, double accel_var,
+                                          double obs_var) {
+  StateSpaceModel m;
+  m.name = "constant_velocity";
+  m.f = Matrix{{1.0, dt}, {0.0, 1.0}};
+  // Discretized white-noise acceleration.
+  double dt2 = dt * dt;
+  double dt3 = dt2 * dt;
+  m.q = accel_var * Matrix{{dt3 / 3.0, dt2 / 2.0}, {dt2 / 2.0, dt}};
+  m.h = Matrix{{1.0, 0.0}};
+  m.r = Matrix{{obs_var}};
+  return m;
+}
+
+StateSpaceModel MakeConstantAccelerationModel(double dt, double jerk_var,
+                                              double obs_var) {
+  StateSpaceModel m;
+  m.name = "constant_acceleration";
+  double dt2 = dt * dt;
+  m.f = Matrix{{1.0, dt, dt2 / 2.0}, {0.0, 1.0, dt}, {0.0, 0.0, 1.0}};
+  // Discretized white-noise jerk.
+  double dt3 = dt2 * dt;
+  double dt4 = dt3 * dt;
+  double dt5 = dt4 * dt;
+  m.q = jerk_var * Matrix{{dt5 / 20.0, dt4 / 8.0, dt3 / 6.0},
+                          {dt4 / 8.0, dt3 / 3.0, dt2 / 2.0},
+                          {dt3 / 6.0, dt2 / 2.0, dt}};
+  m.h = Matrix{{1.0, 0.0, 0.0}};
+  m.r = Matrix{{obs_var}};
+  return m;
+}
+
+StateSpaceModel MakeHarmonicModel(double omega, double dt, double process_var,
+                                  double obs_var) {
+  StateSpaceModel m;
+  m.name = "harmonic";
+  // State [s, c] rotates at omega; observation is s (the in-phase
+  // component). Rotation preserves amplitude; process noise lets the
+  // amplitude/phase drift slowly.
+  double wt = omega * dt;
+  double cw = std::cos(wt);
+  double sw = std::sin(wt);
+  m.f = Matrix{{cw, sw}, {-sw, cw}};
+  m.q = Matrix::ScalarDiagonal(2, process_var);
+  m.h = Matrix{{1.0, 0.0}};
+  m.r = Matrix{{obs_var}};
+  return m;
+}
+
+StateSpaceModel MakeTrendSeasonalModel(double omega, double dt,
+                                       double trend_var, double seasonal_var,
+                                       double obs_var) {
+  StateSpaceModel m;
+  m.name = "trend_seasonal";
+  double wt = omega * dt;
+  double cw = std::cos(wt);
+  double sw = std::sin(wt);
+  // Block diagonal: [level, slope] constant-velocity block, then the
+  // [s, c] rotation block.
+  m.f = Matrix{{1.0, dt, 0.0, 0.0},
+               {0.0, 1.0, 0.0, 0.0},
+               {0.0, 0.0, cw, sw},
+               {0.0, 0.0, -sw, cw}};
+  double dt2 = dt * dt;
+  double dt3 = dt2 * dt;
+  m.q = Matrix{{trend_var * dt3 / 3.0, trend_var * dt2 / 2.0, 0.0, 0.0},
+               {trend_var * dt2 / 2.0, trend_var * dt, 0.0, 0.0},
+               {0.0, 0.0, seasonal_var, 0.0},
+               {0.0, 0.0, 0.0, seasonal_var}};
+  m.h = Matrix{{1.0, 0.0, 1.0, 0.0}};
+  m.r = Matrix{{obs_var}};
+  return m;
+}
+
+StateSpaceModel MakeConstantVelocity2DModel(double dt, double accel_var,
+                                            double obs_var) {
+  StateSpaceModel m;
+  m.name = "constant_velocity_2d";
+  m.f = Matrix{{1.0, dt, 0.0, 0.0},
+               {0.0, 1.0, 0.0, 0.0},
+               {0.0, 0.0, 1.0, dt},
+               {0.0, 0.0, 0.0, 1.0}};
+  double dt2 = dt * dt;
+  double dt3 = dt2 * dt;
+  double q11 = accel_var * dt3 / 3.0;
+  double q12 = accel_var * dt2 / 2.0;
+  double q22 = accel_var * dt;
+  m.q = Matrix{{q11, q12, 0.0, 0.0},
+               {q12, q22, 0.0, 0.0},
+               {0.0, 0.0, q11, q12},
+               {0.0, 0.0, q12, q22}};
+  m.h = Matrix{{1.0, 0.0, 0.0, 0.0}, {0.0, 0.0, 1.0, 0.0}};
+  m.r = Matrix::ScalarDiagonal(2, obs_var);
+  return m;
+}
+
+}  // namespace kc

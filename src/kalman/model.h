@@ -1,0 +1,70 @@
+#ifndef KALMANCAST_KALMAN_MODEL_H_
+#define KALMANCAST_KALMAN_MODEL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace kc {
+
+/// A discrete-time linear-Gaussian state-space model:
+///
+///   x_{k+1} = F x_k + w_k,   w_k ~ N(0, Q)   (process)
+///   z_k     = H x_k + v_k,   v_k ~ N(0, R)   (observation)
+///
+/// This is the "dynamic procedure" the paper caches at the server in place
+/// of a static value: source and server agree on (F, Q, H, R) up front and
+/// then exchange only filter corrections.
+struct StateSpaceModel {
+  std::string name;
+  Matrix f;  ///< State transition, state_dim x state_dim.
+  Matrix q;  ///< Process-noise covariance, state_dim x state_dim.
+  Matrix h;  ///< Observation matrix, obs_dim x state_dim.
+  Matrix r;  ///< Observation-noise covariance, obs_dim x obs_dim.
+
+  size_t state_dim() const { return f.rows(); }
+  size_t obs_dim() const { return h.rows(); }
+
+  /// Checks shape consistency and that Q, R are symmetric PSD (R must be
+  /// strictly PD for the filter update to be well-posed).
+  Status Validate() const;
+};
+
+/// 1-state random-walk (local-level) model. `process_var` is the per-step
+/// drift variance, `obs_var` the measurement-noise variance. The default
+/// model for scalar sensor streams with no known dynamics.
+StateSpaceModel MakeRandomWalkModel(double process_var, double obs_var);
+
+/// 2-state constant-velocity model (position observed) with
+/// white-noise-acceleration discretization over step `dt`.
+/// `accel_var` is the continuous acceleration spectral density.
+StateSpaceModel MakeConstantVelocityModel(double dt, double accel_var,
+                                          double obs_var);
+
+/// 3-state constant-acceleration model (position observed) with
+/// white-noise-jerk discretization over step `dt`.
+StateSpaceModel MakeConstantAccelerationModel(double dt, double jerk_var,
+                                              double obs_var);
+
+/// 2-state harmonic oscillator at angular frequency `omega` (rad per unit
+/// time), position observed; models periodic streams (diurnal cycles).
+StateSpaceModel MakeHarmonicModel(double omega, double dt, double process_var,
+                                  double obs_var);
+
+/// 4-state planar constant-velocity model [x, vx, y, vy] with both
+/// positions observed; used for vehicle/GPS streams.
+StateSpaceModel MakeConstantVelocity2DModel(double dt, double accel_var,
+                                            double obs_var);
+
+/// 4-state trend + seasonality model: a constant-velocity local trend
+/// block [level, slope] plus a harmonic block [s, c] at angular frequency
+/// `omega`, observing level + s. Fits diurnal signals riding on weather
+/// fronts — the composite structure of real sensor streams.
+StateSpaceModel MakeTrendSeasonalModel(double omega, double dt,
+                                       double trend_var, double seasonal_var,
+                                       double obs_var);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_MODEL_H_

@@ -1,0 +1,56 @@
+#include "kalman/model_bank.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kc {
+
+ModelBank::ModelBank(size_t window) : window_(std::max<size_t>(window, 1)) {}
+
+void ModelBank::AddFilter(KalmanFilter filter) {
+  assert(filters_.empty() || filter.obs_dim() == filters_.front().obs_dim());
+  filters_.push_back(std::move(filter));
+  loglik_.emplace_back();
+}
+
+void ModelBank::Predict() {
+  for (auto& f : filters_) f.Predict();
+}
+
+Status ModelBank::Update(const Vector& z) {
+  assert(!filters_.empty());
+  Status first_error = Status::Ok();
+  for (size_t i = 0; i < filters_.size(); ++i) {
+    Status s = filters_[i].Update(z);
+    if (s.ok()) {
+      loglik_[i].push_back(filters_[i].last_log_likelihood());
+      if (loglik_[i].size() > window_) loglik_[i].pop_front();
+    } else if (first_error.ok()) {
+      first_error = s;
+    }
+  }
+  size_t best = active_;
+  double best_score = Score(active_);
+  for (size_t i = 0; i < filters_.size(); ++i) {
+    double score = Score(i);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  if (best != active_) {
+    active_ = best;
+    ++switch_count_;
+  }
+  return first_error;
+}
+
+double ModelBank::Score(size_t i) const {
+  assert(i < loglik_.size());
+  if (loglik_[i].empty()) return -1e300;
+  double sum = 0.0;
+  for (double v : loglik_[i]) sum += v;
+  return sum / static_cast<double>(loglik_[i].size());
+}
+
+}  // namespace kc

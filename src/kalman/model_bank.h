@@ -1,0 +1,66 @@
+#ifndef KALMANCAST_KALMAN_MODEL_BANK_H_
+#define KALMANCAST_KALMAN_MODEL_BANK_H_
+
+#include <deque>
+#include <vector>
+
+#include "kalman/kalman_filter.h"
+
+namespace kc {
+
+/// Runs several candidate Kalman filters in parallel over the same
+/// observation stream and designates the one with the highest windowed
+/// log-likelihood as "active".
+///
+/// The paper selects the Kalman filter as a *general* solution precisely
+/// because one framework covers many stream characteristics; the bank is
+/// how a deployment avoids hand-picking a model per stream — register a
+/// random-walk, a constant-velocity, and a harmonic model and let the data
+/// choose. All member filters are updated with every correction, so source
+/// and server banks stay in lockstep just like single filters.
+class ModelBank {
+ public:
+  /// `window`: number of recent updates over which log-likelihood is
+  /// summed when ranking models.
+  explicit ModelBank(size_t window = 16);
+
+  /// Adds a candidate filter. All filters must share obs_dim; asserted.
+  void AddFilter(KalmanFilter filter);
+
+  size_t size() const { return filters_.size(); }
+  bool empty() const { return filters_.empty(); }
+
+  /// Time-update every member filter.
+  void Predict();
+
+  /// Measurement-update every member filter and re-rank. Returns the first
+  /// error encountered (remaining filters are still updated).
+  Status Update(const Vector& z);
+
+  /// Index of the currently active (highest windowed likelihood) filter.
+  size_t active_index() const { return active_; }
+  const KalmanFilter& active() const { return filters_[active_]; }
+  KalmanFilter& active() { return filters_[active_]; }
+  const KalmanFilter& filter(size_t i) const { return filters_[i]; }
+  KalmanFilter& filter(size_t i) { return filters_[i]; }
+
+  /// Active filter's predicted observation.
+  Vector PredictObservation() const { return active().PredictObservation(); }
+
+  /// Windowed log-likelihood score of filter i.
+  double Score(size_t i) const;
+
+  /// Number of times the active model changed across Update() calls.
+  int64_t switch_count() const { return switch_count_; }
+
+ private:
+  size_t window_;
+  std::vector<KalmanFilter> filters_;
+  std::vector<std::deque<double>> loglik_;
+  size_t active_ = 0;
+  int64_t switch_count_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_MODEL_BANK_H_

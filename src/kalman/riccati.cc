@@ -1,0 +1,25 @@
+#include "kalman/riccati.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kc {
+
+ScalarSteadyState SolveScalarDare(double f, double q, double h, double r) {
+  assert(h != 0.0 && r > 0.0 && q >= 0.0);
+  // From p = f^2 p - (f p h)^2 / (h^2 p + r) + q, multiply through by
+  // (h^2 p + r) and simplify to the quadratic
+  //   h^2 p^2 + (r (1 - f^2) - q h^2) p - q r = 0.
+  double a = h * h;
+  double b = r * (1.0 - f * f) - q * a;
+  double c = -q * r;
+  double disc = b * b - 4.0 * a * c;
+  double p = (-b + std::sqrt(disc)) / (2.0 * a);
+  ScalarSteadyState out;
+  out.p_predict = p;
+  out.gain = p * h / (a * p + r);
+  out.p_update = (1.0 - out.gain * h) * p;
+  return out;
+}
+
+}  // namespace kc

@@ -1,0 +1,22 @@
+#ifndef KALMANCAST_KALMAN_RICCATI_H_
+#define KALMANCAST_KALMAN_RICCATI_H_
+
+namespace kc {
+
+/// Closed-form steady-state quantities for the scalar (1-state, 1-obs)
+/// Kalman filter x' = f x + w (var q), z = h x + v (var r). Used by tests
+/// to validate the iterative filter against analytic fixed points.
+struct ScalarSteadyState {
+  double p_predict;  ///< Steady-state prior (pre-update) variance.
+  double p_update;   ///< Steady-state posterior (post-update) variance.
+  double gain;       ///< Steady-state Kalman gain.
+};
+
+/// Solves the scalar discrete algebraic Riccati equation
+///   p = f^2 p r / (h^2 p + r) + q
+/// for its positive root. Requires h != 0, r > 0, q >= 0.
+ScalarSteadyState SolveScalarDare(double f, double q, double h, double r);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_RICCATI_H_

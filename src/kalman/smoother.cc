@@ -1,0 +1,53 @@
+#include "kalman/smoother.h"
+
+#include "linalg/decomp.h"
+
+namespace kc {
+
+StatusOr<std::vector<SmoothedEstimate>> RtsSmooth(
+    const StateSpaceModel& model, const Vector& x0, const Matrix& p0,
+    const std::vector<Vector>& observations) {
+  KC_RETURN_IF_ERROR(model.Validate());
+  if (x0.size() != model.state_dim()) {
+    return Status::InvalidArgument("x0 dimension mismatch");
+  }
+  if (observations.empty()) {
+    return Status::InvalidArgument("no observations to smooth");
+  }
+
+  size_t n = observations.size();
+  // Forward pass: store prior and posterior moments per step.
+  std::vector<Vector> x_prior(n), x_post(n);
+  std::vector<Matrix> p_prior(n), p_post(n);
+
+  KalmanFilter kf(model, x0, p0);
+  for (size_t k = 0; k < n; ++k) {
+    kf.Predict();
+    x_prior[k] = kf.state();
+    p_prior[k] = kf.covariance();
+    KC_RETURN_IF_ERROR(kf.Update(observations[k]));
+    x_post[k] = kf.state();
+    p_post[k] = kf.covariance();
+  }
+
+  // Backward pass.
+  std::vector<SmoothedEstimate> out(n);
+  out[n - 1] = {x_post[n - 1], p_post[n - 1]};
+  for (size_t k = n - 1; k-- > 0;) {
+    // Gain C = P_k F^T (P_prior_{k+1})^{-1}, computed via a solve against
+    // the (symmetric PD) prior covariance.
+    Cholesky chol(p_prior[k + 1]);
+    if (!chol.ok()) {
+      return Status::FailedPrecondition("prior covariance not PD in smoother");
+    }
+    Matrix fp = model.f * p_post[k];               // F P_k
+    Matrix c = chol.Solve(fp).Transposed();        // P_k F^T S^{-1}
+
+    out[k].x = x_post[k] + c * (out[k + 1].x - x_prior[k + 1]);
+    out[k].p = p_post[k] + Sandwich(c, out[k + 1].p - p_prior[k + 1]);
+    out[k].p.Symmetrize();
+  }
+  return out;
+}
+
+}  // namespace kc

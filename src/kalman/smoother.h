@@ -1,0 +1,32 @@
+#ifndef KALMANCAST_KALMAN_SMOOTHER_H_
+#define KALMANCAST_KALMAN_SMOOTHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "kalman/kalman_filter.h"
+
+namespace kc {
+
+/// One smoothed state estimate.
+struct SmoothedEstimate {
+  Vector x;
+  Matrix p;
+};
+
+/// Rauch–Tung–Striebel fixed-interval smoother.
+///
+/// The stream server archives correction history anyway (it is the basis
+/// of the cached procedure); when a historical query asks for the *best*
+/// reconstruction of a stream segment, running the RTS backward pass over
+/// the archived observations beats the filtered (forward-only) estimates
+/// everywhere except the final point. Observations are one per step,
+/// starting from the prior (x0, p0); the k-th output is the estimate of
+/// the state at step k given ALL observations.
+StatusOr<std::vector<SmoothedEstimate>> RtsSmooth(
+    const StateSpaceModel& model, const Vector& x0, const Matrix& p0,
+    const std::vector<Vector>& observations);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_SMOOTHER_H_

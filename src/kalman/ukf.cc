@@ -1,0 +1,141 @@
+#include "kalman/ukf.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/decomp.h"
+
+namespace kc {
+
+UnscentedKalmanFilter::UnscentedKalmanFilter(NonlinearModel model, Vector x0,
+                                             Matrix p0)
+    : UnscentedKalmanFilter(std::move(model), std::move(x0), std::move(p0),
+                            Params()) {}
+
+UnscentedKalmanFilter::UnscentedKalmanFilter(NonlinearModel model, Vector x0,
+                                             Matrix p0, Params params)
+    : model_(std::move(model)),
+      params_(params),
+      x_(std::move(x0)),
+      p_(std::move(p0)) {
+  assert(model_.Validate().ok());
+  assert(x_.size() == model_.state_dim);
+  double n = static_cast<double>(model_.state_dim);
+  lambda_ = params_.alpha * params_.alpha * (n + params_.kappa) - n;
+  size_t count = 2 * model_.state_dim + 1;
+  wm_.assign(count, 1.0 / (2.0 * (n + lambda_)));
+  wc_ = wm_;
+  wm_[0] = lambda_ / (n + lambda_);
+  wc_[0] = wm_[0] + (1.0 - params_.alpha * params_.alpha + params_.beta);
+}
+
+Status UnscentedKalmanFilter::SigmaPoints(const Vector& x, const Matrix& p,
+                                          std::vector<Vector>* points) const {
+  size_t n = model_.state_dim;
+  double scale = static_cast<double>(n) + lambda_;
+  Matrix scaled = scale * p;
+  Cholesky chol(scaled);
+  if (!chol.ok()) {
+    // Retry with a small diagonal jitter; covariances can brush the PSD
+    // boundary after aggressive updates.
+    Matrix jittered = scaled + Matrix::ScalarDiagonal(n, 1e-9 * (1.0 + scaled.MaxAbs()));
+    chol = Cholesky(jittered);
+    if (!chol.ok()) {
+      return Status::FailedPrecondition("sigma-point covariance not PD");
+    }
+  }
+  const Matrix& l = chol.L();
+  points->clear();
+  points->reserve(2 * n + 1);
+  points->push_back(x);
+  for (size_t i = 0; i < n; ++i) {
+    Vector column(n);
+    for (size_t r = 0; r < n; ++r) column[r] = l(r, i);
+    points->push_back(x + column);
+    points->push_back(x - column);
+  }
+  return Status::Ok();
+}
+
+void UnscentedKalmanFilter::Predict() {
+  std::vector<Vector> sigma;
+  if (!SigmaPoints(x_, p_, &sigma).ok()) {
+    // Degenerate covariance: fall back to propagating the mean only and
+    // inflating by Q, which keeps the filter alive.
+    x_ = model_.f(x_);
+    p_ += model_.q;
+    p_.Symmetrize();
+    return;
+  }
+  size_t n = model_.state_dim;
+  std::vector<Vector> propagated;
+  propagated.reserve(sigma.size());
+  for (const Vector& s : sigma) propagated.push_back(model_.f(s));
+
+  Vector mean(n);
+  for (size_t i = 0; i < propagated.size(); ++i) mean += wm_[i] * propagated[i];
+  Matrix cov(n, n);
+  for (size_t i = 0; i < propagated.size(); ++i) {
+    Vector d = propagated[i] - mean;
+    cov += wc_[i] * Matrix::Outer(d, d);
+  }
+  cov += model_.q;
+  cov.Symmetrize();
+  x_ = std::move(mean);
+  p_ = std::move(cov);
+}
+
+Status UnscentedKalmanFilter::Update(const Vector& z) {
+  if (z.size() != model_.obs_dim) {
+    return Status::InvalidArgument("observation dimension mismatch");
+  }
+  std::vector<Vector> sigma;
+  KC_RETURN_IF_ERROR(SigmaPoints(x_, p_, &sigma));
+
+  size_t n = model_.state_dim;
+  size_t m = model_.obs_dim;
+  std::vector<Vector> zs;
+  zs.reserve(sigma.size());
+  for (const Vector& s : sigma) zs.push_back(model_.h(s));
+
+  Vector z_mean(m);
+  for (size_t i = 0; i < zs.size(); ++i) z_mean += wm_[i] * zs[i];
+
+  Matrix s_mat(m, m);
+  Matrix cross(n, m);
+  for (size_t i = 0; i < zs.size(); ++i) {
+    Vector dz = zs[i] - z_mean;
+    Vector dx = sigma[i] - x_;
+    s_mat += wc_[i] * Matrix::Outer(dz, dz);
+    cross += wc_[i] * Matrix::Outer(dx, dz);
+  }
+  s_mat += model_.r;
+  s_mat.Symmetrize();
+  Cholesky chol(s_mat);
+  if (!chol.ok()) {
+    return Status::FailedPrecondition("innovation covariance not PD");
+  }
+
+  // K = cross * S^{-1}.
+  Matrix k = chol.Solve(cross.Transposed()).Transposed();
+  Vector nu = z - z_mean;
+  x_ += k * nu;
+  p_ -= Sandwich(k, s_mat);
+  p_.Symmetrize();
+
+  innovation_ = nu;
+  nis_ = nu.Dot(chol.Solve(nu));
+  ++update_count_;
+  return Status::Ok();
+}
+
+void UnscentedKalmanFilter::Reset(Vector x0, Matrix p0) {
+  assert(x0.size() == model_.state_dim);
+  x_ = std::move(x0);
+  p_ = std::move(p0);
+  innovation_ = Vector();
+  nis_ = 0.0;
+  update_count_ = 0;
+}
+
+}  // namespace kc

@@ -1,0 +1,73 @@
+#ifndef KALMANCAST_KALMAN_UKF_H_
+#define KALMANCAST_KALMAN_UKF_H_
+
+#include "common/status.h"
+#include "kalman/ekf.h"  // NonlinearModel.
+
+namespace kc {
+
+/// Unscented Kalman filter over the same NonlinearModel the EKF uses
+/// (the Jacobian callables are simply ignored).
+///
+/// Instead of linearizing, the UKF propagates 2n+1 deterministically
+/// chosen sigma points through the exact nonlinear functions and
+/// reconstructs the moments — second-order accurate where the EKF is
+/// first-order, at the cost of 2n+1 function evaluations per step. All
+/// steps are deterministic, so UKF replicas stay in lockstep under the
+/// suppression protocol.
+class UnscentedKalmanFilter {
+ public:
+  /// Standard UT scaling parameters. Defaults are the common
+  /// (alpha=1e-1, beta=2, kappa=0) choice, robust for the small state
+  /// dimensions this library targets.
+  struct Params {
+    double alpha = 0.1;
+    double beta = 2.0;
+    double kappa = 0.0;
+  };
+
+  UnscentedKalmanFilter(NonlinearModel model, Vector x0, Matrix p0);
+  UnscentedKalmanFilter(NonlinearModel model, Vector x0, Matrix p0,
+                        Params params);
+
+  /// Time update via the unscented transform of f.
+  void Predict();
+
+  /// Measurement update via the unscented transform of h. Fails (state
+  /// untouched) on dimension mismatch or non-PD covariances.
+  Status Update(const Vector& z);
+
+  Vector PredictObservation() const { return model_.h(x_); }
+
+  const Vector& state() const { return x_; }
+  const Matrix& covariance() const { return p_; }
+  const NonlinearModel& model() const { return model_; }
+
+  const Vector& last_innovation() const { return innovation_; }
+  double last_nis() const { return nis_; }
+  int64_t update_count() const { return update_count_; }
+
+  void Reset(Vector x0, Matrix p0);
+
+ private:
+  /// Generates the 2n+1 sigma points of N(x, P); fails if P is not PD
+  /// (after a jitter retry).
+  Status SigmaPoints(const Vector& x, const Matrix& p,
+                     std::vector<Vector>* points) const;
+
+  NonlinearModel model_;
+  Params params_;
+  double lambda_;
+  std::vector<double> wm_;  ///< Mean weights.
+  std::vector<double> wc_;  ///< Covariance weights.
+
+  Vector x_;
+  Matrix p_;
+  Vector innovation_;
+  double nis_ = 0.0;
+  int64_t update_count_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_KALMAN_UKF_H_

@@ -1,0 +1,183 @@
+#include "linalg/decomp.h"
+
+#include <cmath>
+
+namespace kc {
+
+Cholesky::Cholesky(const Matrix& a) {
+  if (!a.IsSquare() || a.rows() == 0) return;
+  size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      l_ = Matrix();
+      return;  // Not positive definite.
+    }
+    double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / ljj;
+    }
+  }
+  ok_ = true;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  assert(ok_ && b.size() == l_.rows());
+  size_t n = l_.rows();
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  assert(ok_ && b.rows() == l_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.Col(c));
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Matrix Cholesky::Inverse() const {
+  assert(ok_);
+  return Solve(Matrix::Identity(l_.rows()));
+}
+
+double Cholesky::LogDeterminant() const {
+  assert(ok_);
+  double sum = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+PartialPivLu::PartialPivLu(const Matrix& a) {
+  if (!a.IsSquare() || a.rows() == 0) return;
+  size_t n = a.rows();
+  lu_ = a;
+  perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot: largest |entry| in this column at or below the diagonal.
+    size_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      lu_ = Matrix();
+      return;  // Singular.
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(col, c));
+      std::swap(perm_[pivot], perm_[col]);
+      sign_ = -sign_;
+    }
+    // Eliminate below the diagonal.
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = lu_(r, col) / lu_(col, col);
+      lu_(r, col) = factor;  // Store L.
+      for (size_t c = col + 1; c < n; ++c) lu_(r, c) -= factor * lu_(col, c);
+    }
+  }
+  ok_ = true;
+}
+
+Vector PartialPivLu::Solve(const Vector& b) const {
+  assert(ok_ && b.size() == lu_.rows());
+  size_t n = lu_.rows();
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t k = 0; k < i; ++k) sum -= lu_(i, k) * y[k];
+    y[i] = sum;
+  }
+  // Back substitution with U.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= lu_(ii, k) * x[k];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix PartialPivLu::Solve(const Matrix& b) const {
+  assert(ok_ && b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.Col(c));
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Matrix PartialPivLu::Inverse() const {
+  assert(ok_);
+  return Solve(Matrix::Identity(lu_.rows()));
+}
+
+double PartialPivLu::Determinant() const {
+  if (!ok_) return 0.0;
+  double det = static_cast<double>(sign_);
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+StatusOr<Vector> SolveLinear(const Matrix& a, const Vector& b) {
+  if (!a.IsSquare()) return Status::InvalidArgument("matrix not square");
+  if (a.rows() != b.size()) return Status::InvalidArgument("shape mismatch");
+  if (a.IsSymmetric()) {
+    Cholesky chol(a);
+    if (chol.ok()) return chol.Solve(b);
+    // Symmetric but indefinite; fall through to LU.
+  }
+  PartialPivLu lu(a);
+  if (!lu.ok()) return Status::FailedPrecondition("matrix is singular");
+  return lu.Solve(b);
+}
+
+StatusOr<Matrix> Invert(const Matrix& a) {
+  if (!a.IsSquare()) return Status::InvalidArgument("matrix not square");
+  if (a.IsSymmetric()) {
+    Cholesky chol(a);
+    if (chol.ok()) return chol.Inverse();
+  }
+  PartialPivLu lu(a);
+  if (!lu.ok()) return Status::FailedPrecondition("matrix is singular");
+  return lu.Inverse();
+}
+
+bool IsPositiveSemiDefinite(const Matrix& a, double tol, double jitter) {
+  if (!a.IsSquare() || !a.IsSymmetric(tol)) return false;
+  // PSD iff A + jitter*I is positive definite for a small jitter scaled to
+  // the matrix magnitude.
+  double scale = std::max(a.MaxAbs(), 1.0);
+  Matrix shifted = a + Matrix::ScalarDiagonal(a.rows(), jitter * scale + tol);
+  return Cholesky(shifted).ok();
+}
+
+}  // namespace kc

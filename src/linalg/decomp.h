@@ -1,0 +1,76 @@
+#ifndef KALMANCAST_LINALG_DECOMP_H_
+#define KALMANCAST_LINALG_DECOMP_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace kc {
+
+/// Cholesky (LL^T) factorization of a symmetric positive-definite matrix.
+/// The workhorse for innovation-covariance solves in the Kalman update and
+/// for PSD validation of covariance matrices.
+class Cholesky {
+ public:
+  /// Factorizes `a`. Check ok() before using the results; factorization
+  /// fails if `a` is not (numerically) positive definite.
+  explicit Cholesky(const Matrix& a);
+
+  bool ok() const { return ok_; }
+
+  /// The lower-triangular factor L with A = L L^T. Valid only if ok().
+  const Matrix& L() const { return l_; }
+
+  /// Solves A x = b. Valid only if ok().
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column. Valid only if ok().
+  Matrix Solve(const Matrix& b) const;
+
+  /// A^{-1}. Valid only if ok().
+  Matrix Inverse() const;
+
+  /// log(det(A)) = 2 * sum(log L_ii). Valid only if ok().
+  double LogDeterminant() const;
+
+ private:
+  bool ok_ = false;
+  Matrix l_;
+};
+
+/// LU factorization with partial pivoting, for general square systems
+/// (model calibration, tests). PA = LU packed in-place.
+class PartialPivLu {
+ public:
+  explicit PartialPivLu(const Matrix& a);
+
+  /// False if the matrix is (numerically) singular.
+  bool ok() const { return ok_; }
+
+  Vector Solve(const Vector& b) const;
+  Matrix Solve(const Matrix& b) const;
+  Matrix Inverse() const;
+  double Determinant() const;
+
+ private:
+  bool ok_ = false;
+  Matrix lu_;                 // Combined L (unit diag, below) and U (on/above).
+  std::vector<size_t> perm_;  // Row permutation.
+  int sign_ = 1;              // Permutation parity, for the determinant.
+};
+
+/// Convenience: solves A x = b via Cholesky when A is symmetric, falling
+/// back to LU. Errors if A is singular or shapes mismatch.
+StatusOr<Vector> SolveLinear(const Matrix& a, const Vector& b);
+
+/// Convenience: A^{-1} via the same dispatch as SolveLinear.
+StatusOr<Matrix> Invert(const Matrix& a);
+
+/// True if `a` is symmetric (to `tol`) and positive semi-definite, checked
+/// by attempting a Cholesky factorization of A + jitter*I.
+bool IsPositiveSemiDefinite(const Matrix& a, double tol = 1e-9,
+                            double jitter = 1e-12);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_LINALG_DECOMP_H_

@@ -1,0 +1,214 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace kc {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_ && "ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::ScalarDiagonal(size_t n, double value) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = value;
+  return m;
+}
+
+Matrix Matrix::Outer(const Vector& a, const Vector& b) {
+  Matrix m(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    for (size_t c = 0; c < b.size(); ++c) m(r, c) = a[r] * b[c];
+  }
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Vector Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  Vector v(cols_);
+  for (size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  Vector v(rows_);
+  for (size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::Diag() const {
+  size_t n = std::min(rows_, cols_);
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = (*this)(i, i);
+  return v;
+}
+
+double Matrix::Trace() const {
+  assert(IsSquare());
+  double sum = 0.0;
+  for (size_t i = 0; i < rows_; ++i) sum += (*this)(i, i);
+  return sum;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (!IsSquare()) return false;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::Symmetrize() {
+  assert(IsSquare());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = r + 1; c < cols_; ++c) {
+      double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+  }
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t r = 0; r < rows_; ++r) {
+    if (r > 0) os << ", ";
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]";
+  }
+  os << "]";
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+Matrix operator*(Matrix m, double s) {
+  m *= s;
+  return m;
+}
+Matrix operator*(double s, Matrix m) {
+  m *= s;
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double av = a(r, k);
+      if (av == 0.0) continue;
+      for (size_t c = 0; c < b.cols(); ++c) out(r, c) += av * b(k, c);
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& m, const Vector& v) {
+  assert(m.cols() == v.size());
+  Vector out(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) sum += m(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix operator-(Matrix m) {
+  m *= -1.0;
+  return m;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() && a.data() == b.data();
+}
+
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+double QuadraticForm(const Matrix& a, const Vector& x) {
+  assert(a.IsSquare() && a.rows() == x.size());
+  return x.Dot(a * x);
+}
+
+Matrix Sandwich(const Matrix& a, const Matrix& b) {
+  return a * b * a.Transposed();
+}
+
+}  // namespace kc

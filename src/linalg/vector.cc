@@ -1,0 +1,106 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace kc {
+
+Vector Vector::Ones(size_t n) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = 1.0;
+  return v;
+}
+
+Vector Vector::Unit(size_t n, size_t i) {
+  assert(i < n);
+  Vector v(n);
+  v[i] = 1.0;
+  return v;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  assert(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  assert(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  for (double& v : data_) v /= s;
+  return *this;
+}
+
+double Vector::Dot(const Vector& other) const {
+  assert(size() == other.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) sum += data_[i] * other.data_[i];
+  return sum;
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const { return Dot(*this); }
+
+double Vector::NormInf() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Vector::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  a += b;
+  return a;
+}
+Vector operator-(Vector a, const Vector& b) {
+  a -= b;
+  return a;
+}
+Vector operator*(Vector v, double s) {
+  v *= s;
+  return v;
+}
+Vector operator*(double s, Vector v) {
+  v *= s;
+  return v;
+}
+Vector operator/(Vector v, double s) {
+  v /= s;
+  return v;
+}
+Vector operator-(Vector v) {
+  v *= -1.0;
+  return v;
+}
+
+bool operator==(const Vector& a, const Vector& b) { return a.data() == b.data(); }
+
+bool AlmostEqual(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace kc

@@ -1,0 +1,86 @@
+#ifndef KALMANCAST_LINALG_VECTOR_H_
+#define KALMANCAST_LINALG_VECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace kc {
+
+/// Dense real vector. This is the library's Eigen substitute for the small
+/// (n <= 8) state/observation vectors Kalman filtering needs; it favors
+/// clarity and asserts over micro-optimization.
+class Vector {
+ public:
+  /// Empty (size-0) vector.
+  Vector() = default;
+
+  /// Zero vector of dimension n.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+
+  /// Vector with explicit entries, e.g. Vector({1.0, 2.0}).
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  static Vector Zero(size_t n) { return Vector(n); }
+  /// Vector of all ones.
+  static Vector Ones(size_t n);
+  /// i-th standard basis vector of dimension n.
+  static Vector Unit(size_t n, size_t i);
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  double& operator[](size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double s);
+  Vector& operator/=(double s);
+
+  /// Inner product; dimensions must match.
+  double Dot(const Vector& other) const;
+
+  /// Euclidean norm.
+  double Norm() const;
+  /// Squared Euclidean norm.
+  double SquaredNorm() const;
+  /// Max-abs (infinity) norm.
+  double NormInf() const;
+
+  /// "[a, b, c]".
+  std::string ToString() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector v, double s);
+Vector operator*(double s, Vector v);
+Vector operator/(Vector v, double s);
+Vector operator-(Vector v);
+
+bool operator==(const Vector& a, const Vector& b);
+
+/// True if a and b have equal size and entries within `tol` of each other.
+bool AlmostEqual(const Vector& a, const Vector& b, double tol = 1e-9);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_LINALG_VECTOR_H_

@@ -1,0 +1,51 @@
+#include "net/channel.h"
+
+#include <sstream>
+
+namespace kc {
+
+std::string NetworkStats::ToString() const {
+  std::ostringstream os;
+  os << "sent=" << messages_sent << " delivered=" << messages_delivered
+     << " dropped=" << messages_dropped << " bytes=" << bytes_sent;
+  return os.str();
+}
+
+Channel::Channel() : Channel(Config()) {}
+
+Channel::Channel(Config config) : config_(config), rng_(config.seed) {}
+
+Status Channel::Send(const Message& msg) {
+  if (!receiver_) {
+    return Status::FailedPrecondition("channel has no receiver");
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += static_cast<int64_t>(msg.SizeBytes());
+  if (config_.loss_prob > 0.0 && rng_.Bernoulli(config_.loss_prob)) {
+    ++stats_.messages_dropped;
+    return Status::Ok();  // Silently lost, as on a real datagram link.
+  }
+  if (config_.latency_ticks > 0) {
+    pending_.push_back({now_ + config_.latency_ticks, msg});
+    return Status::Ok();
+  }
+  Deliver(msg);
+  return Status::Ok();
+}
+
+void Channel::AdvanceTick() {
+  ++now_;
+  while (!pending_.empty() && pending_.front().due_tick <= now_) {
+    Deliver(pending_.front().msg);
+    pending_.pop_front();
+  }
+}
+
+void Channel::Deliver(const Message& msg) {
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += static_cast<int64_t>(msg.SizeBytes());
+  ++stats_.by_type[static_cast<size_t>(msg.type)];
+  receiver_(msg);
+}
+
+}  // namespace kc

@@ -1,0 +1,90 @@
+#ifndef KALMANCAST_NET_CHANNEL_H_
+#define KALMANCAST_NET_CHANNEL_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/message.h"
+
+namespace kc {
+
+/// Aggregate transfer accounting for one channel.
+struct NetworkStats {
+  int64_t messages_sent = 0;
+  int64_t messages_delivered = 0;
+  int64_t messages_dropped = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_delivered = 0;
+  /// Per-type delivered counts, indexed by MessageType.
+  int64_t by_type[kNumMessageTypes] = {0, 0, 0, 0, 0};
+
+  void Reset() { *this = NetworkStats(); }
+  std::string ToString() const;
+};
+
+/// Simulated source-to-server link with exact message/byte accounting —
+/// the measurement instrument for every communication-overhead experiment.
+///
+/// Delivery is synchronous (the receiver callback runs inside Send), which
+/// keeps the source and server replicas in lockstep exactly as the paper's
+/// protocol requires. An optional loss probability exists to stress
+/// recovery logic; the precision contract is only guaranteed on a lossless
+/// channel (the paper assumes reliable delivery).
+class Channel {
+ public:
+  using Receiver = std::function<void(const Message&)>;
+
+  struct Config {
+    double loss_prob = 0.0;
+    /// Fixed delivery delay in stream ticks. 0 = synchronous delivery
+    /// inside Send() (the protocol's lockstep assumption); > 0 requires
+    /// the driver to call AdvanceTick() once per stream tick, and exposes
+    /// the transit window during which the server's view lags the source.
+    int64_t latency_ticks = 0;
+    uint64_t seed = 42;
+  };
+
+  Channel();
+  explicit Channel(Config config);
+
+  /// Installs the delivery callback (the server side).
+  void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Transfers one message: charges it to the stats, applies loss, then
+  /// either invokes the receiver (zero latency) or queues it for delivery
+  /// `latency_ticks` AdvanceTick() calls later. Fails if no receiver is
+  /// installed.
+  Status Send(const Message& msg);
+
+  /// Advances simulated time one tick and delivers every due in-flight
+  /// message (in send order). No-op on zero-latency channels.
+  void AdvanceTick();
+
+  /// Messages currently in flight (latency mode only).
+  size_t in_flight() const { return pending_.size(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct Pending {
+    int64_t due_tick;
+    Message msg;
+  };
+
+  void Deliver(const Message& msg);
+
+  Config config_;
+  Rng rng_;
+  Receiver receiver_;
+  NetworkStats stats_;
+  int64_t now_ = 0;
+  std::deque<Pending> pending_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_NET_CHANNEL_H_

@@ -1,0 +1,31 @@
+#include "net/message.h"
+
+#include <sstream>
+
+namespace kc {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kInit:
+      return "INIT";
+    case MessageType::kCorrection:
+      return "CORRECTION";
+    case MessageType::kFullSync:
+      return "FULL_SYNC";
+    case MessageType::kHeartbeat:
+      return "HEARTBEAT";
+    case MessageType::kSetBound:
+      return "SET_BOUND";
+  }
+  return "UNKNOWN";
+}
+
+std::string Message::ToString() const {
+  std::ostringstream os;
+  os << MessageTypeName(type) << " src=" << source_id << " seq=" << seq
+     << " t=" << time << " payload=" << payload.size() << "d ("
+     << SizeBytes() << "B)";
+  return os.str();
+}
+
+}  // namespace kc

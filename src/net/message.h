@@ -1,0 +1,56 @@
+#ifndef KALMANCAST_NET_MESSAGE_H_
+#define KALMANCAST_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kc {
+
+/// Wire-message kinds exchanged between a stream source and the server.
+enum class MessageType : uint8_t {
+  /// Source registration: carries the predictor's full initial state.
+  kInit = 0,
+  /// Precision-violation correction: carries the data the predictor needs
+  /// to resynchronize (for the Kalman predictor, the raw observation both
+  /// replicas fold in; for value caching, the new value).
+  kCorrection = 1,
+  /// Full predictor-state resynchronization (state + covariance). Larger
+  /// than a correction; used for recovery and by the resync-policy
+  /// ablation (E9).
+  kFullSync = 2,
+  /// Periodic liveness beacon with no payload; lets the server distinguish
+  /// "suppressed because predictable" from "source died".
+  kHeartbeat = 3,
+  /// Server-to-source control: payload[0] is the new precision bound the
+  /// source must adopt (budget reallocation pushed from the server).
+  kSetBound = 4,
+};
+
+/// Number of MessageType values (for per-type counters).
+inline constexpr size_t kNumMessageTypes = 5;
+
+const char* MessageTypeName(MessageType type);
+
+/// A simulated wire message. The evaluation metric of the reproduced paper
+/// is communication overhead, so the only fidelity that matters is the
+/// cost model: SizeBytes() charges a fixed header plus 8 bytes per payload
+/// double, mirroring a compact binary encoding.
+struct Message {
+  /// Fixed per-message overhead (source id, type, seq, timestamp, length).
+  static constexpr size_t kHeaderBytes = 20;
+
+  int32_t source_id = 0;
+  MessageType type = MessageType::kCorrection;
+  int64_t seq = 0;    ///< Sequence number of the triggering reading.
+  double time = 0.0;  ///< Stream time of the triggering reading.
+  std::vector<double> payload;
+
+  size_t SizeBytes() const { return kHeaderBytes + 8 * payload.size(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_NET_MESSAGE_H_

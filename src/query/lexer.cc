@@ -1,0 +1,140 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace kc {
+
+namespace {
+
+const char* const kKeywords[] = {"SELECT", "VALUE",  "SUM",   "AVG",
+                                 "MIN",    "MAX",    "WHEN",  "WITHIN",
+                                 "EVERY",  "FROM",   "TO",    "LAST"};
+
+bool IsKeyword(std::string_view upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      token.text = "(";
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      token.text = ")";
+      ++i;
+    } else if (c == ',') {
+      token.kind = TokenKind::kComma;
+      token.text = ",";
+      ++i;
+    } else if (c == '>') {
+      token.kind = TokenKind::kGreater;
+      token.text = ">";
+      ++i;
+    } else if (c == '<') {
+      token.kind = TokenKind::kLess;
+      token.text = "<";
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+               c == '-' || c == '+') {
+      size_t start = i;
+      if (c == '-' || c == '+') ++i;
+      bool saw_digit = false;
+      bool saw_dot = false;
+      bool saw_exp = false;
+      while (i < input.size()) {
+        char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          saw_digit = true;
+          ++i;
+        } else if (d == '.' && !saw_dot && !saw_exp) {
+          saw_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && saw_digit && !saw_exp) {
+          saw_exp = true;
+          ++i;
+          if (i < input.size() && (input[i] == '-' || input[i] == '+')) ++i;
+        } else {
+          break;
+        }
+      }
+      token.text = std::string(input.substr(start, i - start));
+      auto value = ParseDouble(token.text);
+      if (!saw_digit || !value.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("bad number '%s' at offset %zu", token.text.c_str(),
+                      start));
+      }
+      token.kind = TokenKind::kNumber;
+      token.number = *value;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdent;
+        token.text = word;
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    out.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = input.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace kc

@@ -1,0 +1,41 @@
+#ifndef KALMANCAST_QUERY_LEXER_H_
+#define KALMANCAST_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kc {
+
+/// Token kinds of the continuous-query language.
+enum class TokenKind {
+  kKeyword,  ///< SELECT, VALUE, SUM, AVG, MIN, MAX, WHEN, WITHIN, EVERY.
+  kIdent,    ///< Source names like "s12".
+  kNumber,   ///< Integer or decimal literal.
+  kLParen,
+  kRParen,
+  kComma,
+  kGreater,
+  kLess,
+  kEnd,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// One lexed token. Keywords are uppercased in `text`; numbers keep their
+/// literal text and carry the parsed value.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;  ///< Byte offset in the input (for error messages).
+};
+
+/// Tokenizes a query string. Fails on any character outside the language.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_QUERY_LEXER_H_

@@ -1,0 +1,185 @@
+#include "query/parser.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "query/lexer.h"
+
+namespace kc {
+
+namespace {
+
+/// Recursive-descent parser over the token list.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<QuerySpec> Parse() {
+    QuerySpec spec;
+    KC_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    auto kind = ParseAggregate();
+    if (!kind.ok()) return kind.status();
+    spec.kind = *kind;
+
+    KC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (true) {
+      auto source = ParseSource();
+      if (!source.ok()) return source.status();
+      spec.sources.push_back(*source);
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    KC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+
+    // Optional clauses, any order.
+    while (Peek().kind == TokenKind::kKeyword) {
+      const std::string clause = Peek().text;
+      Advance();
+      if (clause == "WHEN") {
+        TokenKind dir = Peek().kind;
+        if (dir != TokenKind::kGreater && dir != TokenKind::kLess) {
+          return Error("WHEN requires '>' or '<'");
+        }
+        Advance();
+        auto value = ExpectNumber();
+        if (!value.ok()) return value.status();
+        spec.threshold = *value;
+        spec.above = dir == TokenKind::kGreater;
+      } else if (clause == "WITHIN") {
+        auto value = ExpectNumber();
+        if (!value.ok()) return value.status();
+        spec.within = *value;
+      } else if (clause == "EVERY") {
+        auto value = ExpectNumber();
+        if (!value.ok()) return value.status();
+        if (*value <= 0.0 || *value != std::floor(*value)) {
+          return Error("EVERY requires a positive integer");
+        }
+        spec.every = static_cast<int64_t>(*value);
+      } else if (clause == "FROM") {
+        auto from = ExpectNumber();
+        if (!from.ok()) return from.status();
+        KC_RETURN_IF_ERROR(ExpectKeyword("TO"));
+        auto to = ExpectNumber();
+        if (!to.ok()) return to.status();
+        spec.from_time = *from;
+        spec.to_time = *to;
+      } else if (clause == "LAST") {
+        auto value = ExpectNumber();
+        if (!value.ok()) return value.status();
+        if (*value <= 0.0 || *value != std::floor(*value)) {
+          return Error("LAST requires a positive integer");
+        }
+        spec.last_ticks = static_cast<int64_t>(*value);
+      } else {
+        return Error("unexpected keyword " + clause);
+      }
+    }
+
+    KC_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    KC_RETURN_IF_ERROR(spec.Validate());
+    return spec;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("%s (at offset %zu)", message.c_str(), Peek().offset));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrFormat("expected %s, found %s", TokenKindName(kind),
+                             TokenKindName(Peek().kind)));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (Peek().kind != TokenKind::kKeyword || Peek().text != keyword) {
+      return Error("expected " + keyword);
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  StatusOr<double> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a number");
+    }
+    double value = Peek().number;
+    Advance();
+    return value;
+  }
+
+  StatusOr<AggregateKind> ParseAggregate() {
+    if (Peek().kind != TokenKind::kKeyword) {
+      return Error("expected an aggregate (VALUE/SUM/AVG/MIN/MAX)");
+    }
+    const std::string& word = Peek().text;
+    AggregateKind kind;
+    if (word == "VALUE") {
+      kind = AggregateKind::kValue;
+    } else if (word == "SUM") {
+      kind = AggregateKind::kSum;
+    } else if (word == "AVG") {
+      kind = AggregateKind::kAvg;
+    } else if (word == "MIN") {
+      kind = AggregateKind::kMin;
+    } else if (word == "MAX") {
+      kind = AggregateKind::kMax;
+    } else {
+      return Error("unknown aggregate " + word);
+    }
+    Advance();
+    return kind;
+  }
+
+  StatusOr<int32_t> ParseSource() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kNumber) {
+      if (token.number < 0.0 || token.number != std::floor(token.number)) {
+        return Error("source id must be a non-negative integer");
+      }
+      auto id = static_cast<int32_t>(token.number);
+      Advance();
+      return id;
+    }
+    if (token.kind == TokenKind::kIdent) {
+      std::string_view text = token.text;
+      if ((text.front() == 's' || text.front() == 'S') && text.size() > 1) {
+        auto id = ParseInt64(text.substr(1));
+        if (id.ok() && *id >= 0) {
+          Advance();
+          return static_cast<int32_t>(*id);
+        }
+      }
+      return Error("source must look like s<N>, got '" + token.text + "'");
+    }
+    return Error("expected a source");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QuerySpec> ParseQuery(std::string_view input) {
+  auto tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace kc

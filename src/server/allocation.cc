@@ -1,0 +1,77 @@
+#include "server/allocation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kc {
+
+const char* AllocationPolicyName(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kUniform:
+      return "uniform";
+    case AllocationPolicy::kVarianceProportional:
+      return "variance_proportional";
+    case AllocationPolicy::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+std::vector<double> AllocateBounds(AllocationPolicy policy, double delta_total,
+                                   const std::vector<double>& volatilities) {
+  size_t n = volatilities.size();
+  assert(n > 0 && delta_total > 0.0);
+  std::vector<double> out(n, delta_total / static_cast<double>(n));
+  if (policy != AllocationPolicy::kVarianceProportional) return out;
+
+  // Proportional to volatility, floored so a perfectly flat source still
+  // gets a usable bound.
+  double sum = 0.0;
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::max(volatilities[i], 1e-9);
+    sum += weights[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = delta_total * weights[i] / sum;
+  }
+  return out;
+}
+
+AdaptiveAllocator::AdaptiveAllocator(double delta_total, size_t n)
+    : AdaptiveAllocator(delta_total, n, Config()) {}
+
+AdaptiveAllocator::AdaptiveAllocator(double delta_total, size_t n, Config config)
+    : delta_total_(delta_total),
+      config_(config),
+      deltas_(n, delta_total / static_cast<double>(std::max<size_t>(n, 1))) {
+  assert(n > 0 && delta_total > 0.0);
+}
+
+void AdaptiveAllocator::Rebalance(const std::vector<int64_t>& messages) {
+  assert(messages.size() == deltas_.size());
+  size_t n = deltas_.size();
+
+  // Shrink everyone, pooling the reclaimed budget.
+  double pool = 0.0;
+  for (double& d : deltas_) {
+    double keep = d * config_.shrink;
+    pool += d - keep;
+    d = keep;
+  }
+
+  // Redistribute the pool proportionally to observed message pressure:
+  // chatty sources get looser bounds, quiet sources effectively tighten.
+  double weight_sum = 0.0;
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = static_cast<double>(messages[i]) + config_.rate_epsilon;
+    weight_sum += weights[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    deltas_[i] += pool * weights[i] / weight_sum;
+  }
+  ++rebalances_;
+}
+
+}  // namespace kc

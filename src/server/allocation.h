@@ -1,0 +1,71 @@
+#ifndef KALMANCAST_SERVER_ALLOCATION_H_
+#define KALMANCAST_SERVER_ALLOCATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kc {
+
+/// How an aggregate query's total error budget is divided among its member
+/// sources' precision bounds. For SUM the member bounds add up to the
+/// query's bound, so the split determines both answer quality and message
+/// cost: sources that are expensive to track should get looser bounds.
+enum class AllocationPolicy {
+  /// delta_i = delta_total / n.
+  kUniform,
+  /// delta_i proportional to the source's observed volatility (stddev of
+  /// per-tick changes). Volatile sources receive looser bounds, which
+  /// roughly equalizes message rates across members.
+  kVarianceProportional,
+  /// Start uniform, then periodically rebalance from observed message
+  /// rates (AdaptiveAllocator below).
+  kAdaptive,
+};
+
+const char* AllocationPolicyName(AllocationPolicy policy);
+
+/// Computes a static bound split summing to `delta_total`.
+/// `volatilities[i]` is an estimate of source i's per-tick change scale
+/// (ignored for kUniform; for kAdaptive this returns the uniform start
+/// point). All outputs are strictly positive provided delta_total > 0.
+std::vector<double> AllocateBounds(AllocationPolicy policy, double delta_total,
+                                   const std::vector<double>& volatilities);
+
+/// Online rebalancer for AllocationPolicy::kAdaptive.
+///
+/// Every window it shrinks all member bounds by a fixed factor and hands
+/// the reclaimed budget to the sources that sent the most messages — the
+/// classic adaptive bound-setting loop, which converges toward equalized
+/// marginal message cost without any prior knowledge of stream behaviour.
+class AdaptiveAllocator {
+ public:
+  struct Config {
+    /// Fraction of each bound retained before redistribution.
+    double shrink = 0.90;
+    /// Additive smoothing on message counts so idle sources keep nonzero
+    /// claim on the budget.
+    double rate_epsilon = 0.1;
+  };
+
+  AdaptiveAllocator(double delta_total, size_t n);
+  AdaptiveAllocator(double delta_total, size_t n, Config config);
+
+  /// Rebalances from the message counts observed since the last call.
+  /// `messages[i]` is source i's messages in the window.
+  void Rebalance(const std::vector<int64_t>& messages);
+
+  const std::vector<double>& deltas() const { return deltas_; }
+  double delta_total() const { return delta_total_; }
+  int64_t rebalances() const { return rebalances_; }
+
+ private:
+  double delta_total_;
+  Config config_;
+  std::vector<double> deltas_;
+  int64_t rebalances_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_ALLOCATION_H_

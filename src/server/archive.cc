@@ -1,0 +1,93 @@
+#include "server/archive.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kc {
+
+TickArchive::TickArchive(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  points_.reserve(capacity_);
+}
+
+void TickArchive::Record(double time, double value, double bound) {
+  assert(empty() || time >= newest_time());
+  if (points_.size() < capacity_) {
+    points_.push_back({time, value, bound});
+  } else {
+    points_[head_] = {time, value, bound};
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_recorded_;
+}
+
+double TickArchive::oldest_time() const {
+  return empty() ? 0.0 : Get(0).time;
+}
+
+double TickArchive::newest_time() const {
+  return empty() ? 0.0 : Get(points_.size() - 1).time;
+}
+
+std::vector<TickArchive::Point> TickArchive::Range(double t0, double t1) const {
+  std::vector<Point> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = Get(i);
+    if (p.time < t0) continue;
+    if (p.time > t1) break;  // Times are non-decreasing.
+    out.push_back(p);
+  }
+  return out;
+}
+
+StatusOr<QueryResult> TickArchive::Aggregate(AggregateKind kind, double t0,
+                                             double t1) const {
+  std::vector<Point> range = Range(t0, t1);
+  if (range.empty()) {
+    return Status::NotFound("no archived points in range");
+  }
+  QueryResult result;
+  result.name = "historical";
+  switch (kind) {
+    case AggregateKind::kValue: {
+      result.value = range.back().value;
+      result.bound = range.back().bound;
+      break;
+    }
+    case AggregateKind::kSum: {
+      for (const Point& p : range) {
+        result.value += p.value;
+        result.bound += p.bound;
+      }
+      break;
+    }
+    case AggregateKind::kAvg: {
+      for (const Point& p : range) {
+        result.value += p.value;
+        result.bound += p.bound;
+      }
+      result.value /= static_cast<double>(range.size());
+      result.bound /= static_cast<double>(range.size());
+      break;
+    }
+    case AggregateKind::kMin: {
+      result.value = range.front().value;
+      for (const Point& p : range) {
+        result.value = std::min(result.value, p.value);
+        result.bound = std::max(result.bound, p.bound);
+      }
+      break;
+    }
+    case AggregateKind::kMax: {
+      result.value = range.front().value;
+      for (const Point& p : range) {
+        result.value = std::max(result.value, p.value);
+        result.bound = std::max(result.bound, p.bound);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kc

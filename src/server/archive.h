@@ -1,0 +1,73 @@
+#ifndef KALMANCAST_SERVER_ARCHIVE_H_
+#define KALMANCAST_SERVER_ARCHIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "server/query.h"
+
+namespace kc {
+
+/// A bounded ring archive of one source's per-tick bounded views.
+///
+/// Stream systems compare live data against history; the suppression
+/// protocol makes that cheap, because the server can materialize a
+/// complete per-tick history *without any extra communication* — each
+/// tick's prediction plus its in-force precision bound is already a
+/// certified record of where the source was. The archive keeps the most
+/// recent `capacity` points and answers range and aggregate queries with
+/// propagated error bounds.
+class TickArchive {
+ public:
+  /// One archived view.
+  struct Point {
+    double time = 0.0;
+    double value = 0.0;
+    double bound = 0.0;
+  };
+
+  /// Keeps the most recent `capacity` points (>= 1 enforced).
+  explicit TickArchive(size_t capacity);
+
+  /// Appends a point; evicts the oldest when full. Times must be
+  /// non-decreasing (asserted in debug builds).
+  void Record(double time, double value, double bound);
+
+  size_t size() const { return points_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t total_recorded() const { return total_recorded_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Oldest and newest archived times (0 when empty).
+  double oldest_time() const;
+  double newest_time() const;
+
+  /// All points with t0 <= time <= t1, oldest first.
+  std::vector<Point> Range(double t0, double t1) const;
+
+  /// Aggregates the archived values in [t0, t1] with an error bound:
+  ///   SUM: sum(values) +/- sum(bounds)
+  ///   AVG: mean(values) +/- mean(bounds)
+  ///   MIN/MAX: extremum +/- max(bounds)
+  /// VALUE returns the latest point in range. Fails if the range is empty.
+  StatusOr<QueryResult> Aggregate(AggregateKind kind, double t0,
+                                  double t1) const;
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  ///< Index of the oldest element when full.
+  std::vector<Point> points_;  ///< Ring storage, logically ordered.
+  int64_t total_recorded_ = 0;
+
+  /// Logical index -> storage index.
+  size_t At(size_t logical) const {
+    return points_.size() < capacity_ ? logical
+                                      : (head_ + logical) % capacity_;
+  }
+  const Point& Get(size_t logical) const { return points_[At(logical)]; }
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_ARCHIVE_H_

@@ -1,0 +1,154 @@
+#include "server/query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kValue:
+      return "VALUE";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+  }
+  return "UNKNOWN";
+}
+
+const char* TriggerStateName(TriggerState state) {
+  switch (state) {
+    case TriggerState::kNo:
+      return "NO";
+    case TriggerState::kMaybe:
+      return "MAYBE";
+    case TriggerState::kYes:
+      return "YES";
+  }
+  return "UNKNOWN";
+}
+
+Status QuerySpec::Validate() const {
+  if (sources.empty()) {
+    return Status::InvalidArgument("query needs at least one source");
+  }
+  if (kind == AggregateKind::kValue && sources.size() != 1) {
+    return Status::InvalidArgument("VALUE takes exactly one source");
+  }
+  if (within < 0.0) return Status::InvalidArgument("WITHIN must be >= 0");
+  if (every <= 0) return Status::InvalidArgument("EVERY must be > 0");
+  if (from_time.has_value() != to_time.has_value()) {
+    return Status::InvalidArgument("FROM and TO must appear together");
+  }
+  if (from_time.has_value() && last_ticks.has_value()) {
+    return Status::InvalidArgument("FROM..TO and LAST are mutually exclusive");
+  }
+  if (last_ticks.has_value() && *last_ticks <= 0) {
+    return Status::InvalidArgument("LAST requires a positive tick count");
+  }
+  if (IsHistorical()) {
+    if (from_time.has_value() && *from_time > *to_time) {
+      return Status::InvalidArgument("FROM must not exceed TO");
+    }
+    if (sources.size() != 1) {
+      return Status::InvalidArgument(
+          "historical queries aggregate one source over time");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string QuerySpec::ToString() const {
+  std::ostringstream os;
+  os << "SELECT " << AggregateKindName(kind) << "(";
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "s" << sources[i];
+  }
+  os << ")";
+  if (from_time.has_value()) os << " FROM " << *from_time << " TO " << *to_time;
+  if (last_ticks.has_value()) os << " LAST " << *last_ticks;
+  if (threshold.has_value()) {
+    os << " WHEN " << (above ? ">" : "<") << " " << *threshold;
+  }
+  if (within > 0.0) os << " WITHIN " << within;
+  if (every > 1) os << " EVERY " << every;
+  return os.str();
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  os << name << ": " << value << " +/- " << bound;
+  if (trigger.has_value()) os << " trigger=" << TriggerStateName(*trigger);
+  if (!meets_within) os << " (WITHIN NOT MET)";
+  if (stale) os << " (STALE)";
+  return os.str();
+}
+
+double AggregateErrorBound(AggregateKind kind,
+                           const std::vector<double>& member_bounds) {
+  assert(!member_bounds.empty());
+  switch (kind) {
+    case AggregateKind::kValue:
+      return member_bounds.front();
+    case AggregateKind::kSum: {
+      double sum = 0.0;
+      for (double b : member_bounds) sum += b;
+      return sum;
+    }
+    case AggregateKind::kAvg: {
+      double sum = 0.0;
+      for (double b : member_bounds) sum += b;
+      return sum / static_cast<double>(member_bounds.size());
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return *std::max_element(member_bounds.begin(), member_bounds.end());
+  }
+  return 0.0;
+}
+
+double AggregateValues(AggregateKind kind, const std::vector<double>& values) {
+  assert(!values.empty());
+  switch (kind) {
+    case AggregateKind::kValue:
+      return values.front();
+    case AggregateKind::kSum: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum;
+    }
+    case AggregateKind::kAvg: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum / static_cast<double>(values.size());
+    }
+    case AggregateKind::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case AggregateKind::kMax:
+      return *std::max_element(values.begin(), values.end());
+  }
+  return 0.0;
+}
+
+TriggerState EvaluateTrigger(double value, double bound, double threshold,
+                             bool above) {
+  if (above) {
+    if (value - bound > threshold) return TriggerState::kYes;
+    if (value + bound <= threshold) return TriggerState::kNo;
+    return TriggerState::kMaybe;
+  }
+  if (value + bound < threshold) return TriggerState::kYes;
+  if (value - bound >= threshold) return TriggerState::kNo;
+  return TriggerState::kMaybe;
+}
+
+}  // namespace kc

@@ -1,0 +1,99 @@
+#ifndef KALMANCAST_SERVER_QUERY_H_
+#define KALMANCAST_SERVER_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kc {
+
+/// Aggregates supported by continuous queries.
+enum class AggregateKind {
+  kValue,  ///< The (single) source's current value.
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// A registered continuous query: an aggregate over a set of scalar
+/// sources, answered from cached predictors with a guaranteed error bound.
+struct QuerySpec {
+  AggregateKind kind = AggregateKind::kValue;
+  std::vector<int32_t> sources;
+  /// Requested maximum answer error ("WITHIN x"). Zero means "no
+  /// requirement": the query reports whatever bound the current source
+  /// deltas imply.
+  double within = 0.0;
+  /// Evaluation cadence in ticks ("EVERY n"); informational.
+  int64_t every = 1;
+  /// Optional trigger: fire when the aggregate crosses this threshold.
+  std::optional<double> threshold;
+  /// Trigger direction: true = fire when aggregate > threshold.
+  bool above = true;
+  /// Optional historical range ("FROM t0 TO t1"): the aggregate runs over
+  /// the server's per-tick archive of the (single) source instead of its
+  /// live view. Requires archiving to be enabled on the server.
+  std::optional<double> from_time;
+  std::optional<double> to_time;
+  /// Optional sliding window ("LAST n"): like FROM..TO but anchored to
+  /// evaluation time — the aggregate covers the most recent n archived
+  /// ticks. Mutually exclusive with FROM..TO.
+  std::optional<int64_t> last_ticks;
+
+  /// True when this query reads the archive (FROM..TO or LAST).
+  bool IsHistorical() const {
+    return from_time.has_value() || last_ticks.has_value();
+  }
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// Three-valued trigger answer under bounded uncertainty.
+enum class TriggerState {
+  kNo,     ///< Definitely not crossed (even at the error bound's edge).
+  kMaybe,  ///< The bound straddles the threshold; can't say.
+  kYes,    ///< Definitely crossed.
+};
+
+const char* TriggerStateName(TriggerState state);
+
+/// One evaluation of a continuous query.
+struct QueryResult {
+  std::string name;
+  double value = 0.0;   ///< The aggregate computed over cached predictions.
+  double bound = 0.0;   ///< Guaranteed max |value - exact aggregate of
+                        ///  the contract targets|.
+  bool meets_within = true;  ///< bound <= spec.within (when within > 0).
+  /// True when a member source has been silent longer than the server's
+  /// staleness limit — the bound may then reflect a dead source rather
+  /// than successful suppression, so the answer is advisory only.
+  bool stale = false;
+  std::optional<TriggerState> trigger;
+
+  std::string ToString() const;
+};
+
+/// Derives the answer error bound for an aggregate whose member sources
+/// carry per-source precision bounds `member_bounds`:
+///   VALUE: delta_1;  SUM: sum(delta_i);  AVG: sum(delta_i)/n;
+///   MIN/MAX: max(delta_i).
+double AggregateErrorBound(AggregateKind kind,
+                           const std::vector<double>& member_bounds);
+
+/// Combines member values under `kind` (plain arithmetic; bounds handled
+/// separately by AggregateErrorBound).
+double AggregateValues(AggregateKind kind, const std::vector<double>& values);
+
+/// Classifies a bounded value against a threshold.
+TriggerState EvaluateTrigger(double value, double bound, double threshold,
+                             bool above);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_QUERY_H_

@@ -1,0 +1,55 @@
+#include "server/report.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+
+std::string DescribeServer(const StreamServer& server) {
+  std::ostringstream os;
+  os << "StreamServer @ tick " << server.ticks() << ": "
+     << server.num_sources() << " sources, " << server.num_queries()
+     << " queries, " << server.messages_processed()
+     << " messages processed\n";
+  if (server.staleness_limit() > 0) {
+    os << "staleness limit: " << server.staleness_limit() << " ticks\n";
+  }
+
+  os << "sources:\n";
+  for (int32_t id : server.SourceIds()) {
+    const ServerReplica* replica = server.replica(id);
+    if (replica == nullptr) continue;
+    os << "  s" << id << " [" << replica->predictor().name() << "] ";
+    if (!replica->initialized()) {
+      os << "(not initialized)\n";
+      continue;
+    }
+    Vector value = replica->Value();
+    os << "value=";
+    if (value.size() == 1) {
+      os << StrFormat("%.6g", value[0]);
+    } else {
+      os << value.ToString();
+    }
+    os << " +/-" << StrFormat("%.4g", replica->bound()) << " last_seq="
+       << replica->last_heard_seq() << " msgs="
+       << replica->messages_applied();
+    if (server.IsStale(id)) os << " STALE";
+    auto archive = server.Archive(id);
+    if (archive.ok()) {
+      os << " archive=" << (*archive)->size() << "pts";
+    }
+    os << "\n";
+  }
+
+  if (server.num_queries() > 0) {
+    os << "queries:\n";
+    for (const QueryResult& result : server.EvaluateAll()) {
+      os << "  " << result.ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace kc

@@ -1,0 +1,18 @@
+#ifndef KALMANCAST_SERVER_REPORT_H_
+#define KALMANCAST_SERVER_REPORT_H_
+
+#include <string>
+
+#include "server/server.h"
+
+namespace kc {
+
+/// Renders a human-readable status report of a stream server: per-source
+/// bounded views, liveness, policies, query results, and archive depth.
+/// This is the operator-facing "what does the server believe right now"
+/// view used by the cql_shell example and useful in logs.
+std::string DescribeServer(const StreamServer& server);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_REPORT_H_

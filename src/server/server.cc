@@ -1,0 +1,295 @@
+#include "server/server.h"
+
+#include "common/strings.h"
+
+namespace kc {
+
+Status StreamServer::RegisterSource(int32_t source_id,
+                                    std::unique_ptr<Predictor> predictor) {
+  if (predictor == nullptr) {
+    return Status::InvalidArgument("null predictor");
+  }
+  if (replicas_.count(source_id) > 0) {
+    return Status::AlreadyExists(StrFormat("source %d already registered",
+                                           source_id));
+  }
+  replicas_[source_id] =
+      std::make_unique<ServerReplica>(source_id, std::move(predictor));
+  return Status::Ok();
+}
+
+Status StreamServer::UnregisterSource(int32_t source_id) {
+  if (replicas_.erase(source_id) == 0) {
+    return Status::NotFound(StrFormat("unknown source %d", source_id));
+  }
+  return Status::Ok();
+}
+
+void StreamServer::Tick() {
+  for (auto& [id, replica] : replicas_) replica->Tick();
+  ++ticks_;
+  if (archive_capacity_ > 0) {
+    for (auto& [id, replica] : replicas_) {
+      if (!replica->initialized() || replica->predictor().dims() != 1) {
+        continue;
+      }
+      auto it = archives_.find(id);
+      if (it == archives_.end()) {
+        it = archives_.emplace(id, TickArchive(archive_capacity_)).first;
+      }
+      it->second.Record(static_cast<double>(ticks_), replica->Value()[0],
+                        replica->bound());
+    }
+  }
+}
+
+Status StreamServer::OnMessage(const Message& msg) {
+  auto it = replicas_.find(msg.source_id);
+  if (it == replicas_.end()) {
+    return Status::NotFound(StrFormat("message from unknown source %d",
+                                      msg.source_id));
+  }
+  ++messages_processed_;
+  return it->second->OnMessage(msg);
+}
+
+StatusOr<BoundedAnswer> StreamServer::SourceValue(int32_t source_id) const {
+  auto it = replicas_.find(source_id);
+  if (it == replicas_.end()) {
+    return Status::NotFound(StrFormat("unknown source %d", source_id));
+  }
+  const ServerReplica& r = *it->second;
+  if (!r.initialized()) {
+    return Status::FailedPrecondition(
+        StrFormat("source %d has not reported yet", source_id));
+  }
+  BoundedAnswer answer;
+  answer.value = r.Value();
+  answer.bound = r.bound();
+  answer.last_heard_seq = r.last_heard_seq();
+  return answer;
+}
+
+Status StreamServer::AddQuery(const std::string& name, QuerySpec spec) {
+  KC_RETURN_IF_ERROR(spec.Validate());
+  if (queries_.count(name) > 0) {
+    return Status::AlreadyExists("query name taken: " + name);
+  }
+  for (int32_t id : spec.sources) {
+    auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      return Status::NotFound(StrFormat("query references unknown source %d",
+                                        id));
+    }
+    if (it->second->predictor().dims() != 1) {
+      return Status::InvalidArgument(
+          StrFormat("source %d is not scalar; aggregates need scalar "
+                    "sources",
+                    id));
+    }
+  }
+  queries_[name] = QueryEntry{std::move(spec), -1};
+  return Status::Ok();
+}
+
+Status StreamServer::RemoveQuery(const std::string& name) {
+  if (queries_.erase(name) == 0) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> StreamServer::Evaluate(const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  return EvaluateSpec(it->second.spec, name);
+}
+
+StatusOr<QueryResult> StreamServer::EvaluateSpec(const QuerySpec& spec,
+                                                 const std::string& name) const {
+  KC_RETURN_IF_ERROR(spec.Validate());
+  if (spec.IsHistorical()) {
+    // LAST n anchors to evaluation time: the most recent n archived ticks.
+    double from = spec.last_ticks.has_value()
+                      ? static_cast<double>(ticks_ - *spec.last_ticks + 1)
+                      : *spec.from_time;
+    double to = spec.last_ticks.has_value() ? static_cast<double>(ticks_)
+                                            : *spec.to_time;
+    auto result =
+        HistoricalAggregate(spec.sources.front(), spec.kind, from, to);
+    if (!result.ok()) return result.status();
+    result->name = name;
+    result->meets_within = spec.within <= 0.0 || result->bound <= spec.within;
+    if (spec.threshold.has_value()) {
+      result->trigger = EvaluateTrigger(result->value, result->bound,
+                                        *spec.threshold, spec.above);
+    }
+    return result;
+  }
+  std::vector<double> values;
+  std::vector<double> bounds;
+  values.reserve(spec.sources.size());
+  bounds.reserve(spec.sources.size());
+  for (int32_t id : spec.sources) {
+    auto answer = SourceValue(id);
+    if (!answer.ok()) return answer.status();
+    if (answer->value.size() != 1) {
+      return Status::InvalidArgument(
+          StrFormat("source %d is not scalar", id));
+    }
+    values.push_back(answer->value[0]);
+    bounds.push_back(answer->bound);
+  }
+  QueryResult result;
+  result.name = name;
+  result.value = AggregateValues(spec.kind, values);
+  result.bound = AggregateErrorBound(spec.kind, bounds);
+  result.meets_within = spec.within <= 0.0 || result.bound <= spec.within;
+  if (staleness_limit_ > 0) {
+    for (int32_t id : spec.sources) {
+      if (IsStale(id)) {
+        result.stale = true;
+        break;
+      }
+    }
+  }
+  if (spec.threshold.has_value()) {
+    result.trigger =
+        EvaluateTrigger(result.value, result.bound, *spec.threshold, spec.above);
+  }
+  return result;
+}
+
+std::vector<QueryResult> StreamServer::EvaluateAll() const {
+  std::vector<QueryResult> out;
+  out.reserve(queries_.size());
+  for (const auto& [name, entry] : queries_) {
+    auto result = EvaluateSpec(entry.spec, name);
+    if (result.ok()) {
+      out.push_back(*result);
+    } else {
+      QueryResult failed;
+      failed.name = name + " (error: " + result.status().ToString() + ")";
+      out.push_back(failed);
+    }
+  }
+  return out;
+}
+
+std::vector<QueryResult> StreamServer::EvaluateDue() {
+  std::vector<QueryResult> out;
+  for (auto& [name, entry] : queries_) {
+    if (entry.last_due_eval >= 0 &&
+        ticks_ - entry.last_due_eval < entry.spec.every) {
+      continue;
+    }
+    auto result = EvaluateSpec(entry.spec, name);
+    if (result.ok()) {
+      entry.last_due_eval = ticks_;
+      out.push_back(*result);
+    }
+    // Unevaluable queries (uninitialized sources) stay due and retry on
+    // the next tick rather than silently skipping a period.
+  }
+  return out;
+}
+
+Status StreamServer::PushBound(int32_t source_id, double delta) {
+  if (!control_sink_) {
+    return Status::FailedPrecondition("no control sink installed");
+  }
+  if (replicas_.count(source_id) == 0) {
+    return Status::NotFound(StrFormat("unknown source %d", source_id));
+  }
+  if (delta <= 0.0) {
+    return Status::InvalidArgument("bound must be positive");
+  }
+  Message msg;
+  msg.source_id = source_id;
+  msg.type = MessageType::kSetBound;
+  msg.seq = 0;
+  msg.time = static_cast<double>(ticks_);
+  msg.payload = {delta};
+  return control_sink_(msg);
+}
+
+void StreamServer::EnableArchiving(size_t capacity) {
+  archive_capacity_ = std::max<size_t>(capacity, 1);
+}
+
+StatusOr<const TickArchive*> StreamServer::Archive(int32_t source_id) const {
+  if (archive_capacity_ == 0) {
+    return Status::FailedPrecondition("archiving not enabled");
+  }
+  auto it = archives_.find(source_id);
+  if (it == archives_.end()) {
+    return Status::NotFound(
+        StrFormat("no archive for source %d (unknown, non-scalar, or no "
+                  "ticks recorded yet)",
+                  source_id));
+  }
+  return &it->second;
+}
+
+StatusOr<QueryResult> StreamServer::HistoricalAggregate(int32_t source_id,
+                                                        AggregateKind kind,
+                                                        double t0,
+                                                        double t1) const {
+  auto archive = Archive(source_id);
+  if (!archive.ok()) return archive.status();
+  return (*archive)->Aggregate(kind, t0, t1);
+}
+
+bool StreamServer::IsStale(int32_t source_id) const {
+  if (staleness_limit_ <= 0) return false;
+  auto it = replicas_.find(source_id);
+  if (it == replicas_.end() || !it->second->initialized()) return false;
+  return it->second->TicksSinceHeard() > staleness_limit_;
+}
+
+const ServerReplica* StreamServer::replica(int32_t source_id) const {
+  auto it = replicas_.find(source_id);
+  return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> StreamServer::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, entry] : queries_) names.push_back(name);
+  return names;
+}
+
+std::vector<int32_t> StreamServer::SourceIds() const {
+  std::vector<int32_t> ids;
+  ids.reserve(replicas_.size());
+  for (const auto& [id, replica] : replicas_) ids.push_back(id);
+  return ids;
+}
+
+StatusOr<QuerySpec> StreamServer::GetQuery(const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  return it->second.spec;
+}
+
+Status StreamServer::RestoreArchivePoint(int32_t source_id, double time,
+                                         double value, double bound) {
+  if (archive_capacity_ == 0) {
+    return Status::FailedPrecondition("archiving not enabled");
+  }
+  if (replicas_.count(source_id) == 0) {
+    return Status::NotFound(StrFormat("unknown source %d", source_id));
+  }
+  auto it = archives_.find(source_id);
+  if (it == archives_.end()) {
+    it = archives_.emplace(source_id, TickArchive(archive_capacity_)).first;
+  }
+  it->second.Record(time, value, bound);
+  return Status::Ok();
+}
+
+}  // namespace kc

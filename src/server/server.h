@@ -1,0 +1,157 @@
+#ifndef KALMANCAST_SERVER_SERVER_H_
+#define KALMANCAST_SERVER_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "server/archive.h"
+#include "server/query.h"
+#include "suppression/replica.h"
+
+namespace kc {
+
+/// A source's current bounded answer.
+struct BoundedAnswer {
+  Vector value;
+  double bound = 0.0;
+  int64_t last_heard_seq = -1;
+};
+
+/// The stream management server: a registry of per-source predictor
+/// replicas plus a set of continuous queries answered from those cached
+/// procedures — i.e. "without the clients' involvement", which is the
+/// communication saving the paper measures.
+///
+/// Single-threaded by design: the whole system is a discrete-event
+/// simulation driven by Tick()/OnMessage() from the harness (or an
+/// embedding application's event loop).
+class StreamServer {
+ public:
+  StreamServer() = default;
+
+  /// Registers a source. `predictor` must be a fresh clone of the
+  /// source-side predictor's configuration. Fails on duplicate ids.
+  Status RegisterSource(int32_t source_id, std::unique_ptr<Predictor> predictor);
+
+  /// Removes a source (its queries start failing with NotFound).
+  Status UnregisterSource(int32_t source_id);
+
+  /// Advances every replica one stream tick.
+  void Tick();
+
+  /// Routes a wire message to its source's replica.
+  Status OnMessage(const Message& msg);
+
+  /// The current bounded answer for one source.
+  StatusOr<BoundedAnswer> SourceValue(int32_t source_id) const;
+
+  /// Registers a named continuous query. Fails if the spec is invalid,
+  /// the name is taken, or a referenced source is unknown.
+  Status AddQuery(const std::string& name, QuerySpec spec);
+
+  Status RemoveQuery(const std::string& name);
+
+  /// Evaluates one registered query now.
+  StatusOr<QueryResult> Evaluate(const std::string& name) const;
+
+  /// Evaluates an ad-hoc spec without registering it.
+  StatusOr<QueryResult> EvaluateSpec(const QuerySpec& spec,
+                                     const std::string& name = "adhoc") const;
+
+  /// Evaluates every registered query (order: by name).
+  std::vector<QueryResult> EvaluateAll() const;
+
+  /// Evaluates exactly the queries whose EVERY cadence has elapsed since
+  /// their previous due evaluation, and marks them evaluated. Call once
+  /// per tick (after Tick()) for paper-style continuous query semantics.
+  std::vector<QueryResult> EvaluateDue();
+
+  /// Sets the liveness threshold: a source silent (no message, heartbeats
+  /// included) for more than `max_silent_ticks` replica ticks marks every
+  /// query touching it stale. 0 disables staleness tracking (default).
+  void SetStalenessLimit(int64_t max_silent_ticks) {
+    staleness_limit_ = max_silent_ticks;
+  }
+  int64_t staleness_limit() const { return staleness_limit_; }
+
+  /// True if the source exists, is initialized, and has exceeded the
+  /// staleness limit.
+  bool IsStale(int32_t source_id) const;
+
+  /// Enables per-tick archiving of every *scalar* source's bounded view
+  /// into a ring of `capacity` points (multi-dimensional sources are
+  /// skipped). Costs one append per source per tick and zero
+  /// communication — the archive is built entirely from cached
+  /// predictions. Call before the ticks you want recorded.
+  void EnableArchiving(size_t capacity);
+
+  /// The archive for one source; error if archiving is disabled or the
+  /// source is unknown/non-scalar.
+  StatusOr<const TickArchive*> Archive(int32_t source_id) const;
+
+  /// Historical aggregate over one source's archived views in [t0, t1].
+  StatusOr<QueryResult> HistoricalAggregate(int32_t source_id,
+                                            AggregateKind kind, double t0,
+                                            double t1) const;
+
+  /// Installs the downlink used to push control messages (SET_BOUND) back
+  /// to sources. The deployment (e.g. Fleet) routes by source_id.
+  using ControlSink = std::function<Status(const Message&)>;
+  void SetControlSink(ControlSink sink) { control_sink_ = std::move(sink); }
+
+  /// Pushes a new precision bound to a source over the control downlink.
+  /// The source adopts it on its next reading; the server's replica keeps
+  /// reporting the old bound until the source's next data message confirms
+  /// the change (the contract is never overstated in the interim).
+  Status PushBound(int32_t source_id, double delta);
+
+  size_t num_sources() const { return replicas_.size(); }
+  size_t num_queries() const { return queries_.size(); }
+  int64_t ticks() const { return ticks_; }
+  int64_t messages_processed() const { return messages_processed_; }
+
+  /// Direct replica access (diagnostics/tests); nullptr if unknown.
+  const ServerReplica* replica(int32_t source_id) const;
+
+  /// Registered query names (sorted).
+  std::vector<std::string> QueryNames() const;
+
+  /// Registered source ids (sorted).
+  std::vector<int32_t> SourceIds() const;
+
+  /// The spec of a registered query.
+  StatusOr<QuerySpec> GetQuery(const std::string& name) const;
+
+  /// Restores the server clock (snapshot loading only; see
+  /// server/snapshot.h). Must be called before any Tick().
+  void RestoreTicks(int64_t ticks) { ticks_ = ticks; }
+
+  /// Appends one archived point for a source (snapshot loading only).
+  /// Requires archiving enabled.
+  Status RestoreArchivePoint(int32_t source_id, double time, double value,
+                             double bound);
+
+ private:
+  struct QueryEntry {
+    QuerySpec spec;
+    int64_t last_due_eval = -1;  ///< Tick of the last EvaluateDue() firing.
+  };
+
+  std::map<int32_t, std::unique_ptr<ServerReplica>> replicas_;
+  std::map<std::string, QueryEntry> queries_;
+  std::map<int32_t, TickArchive> archives_;
+  ControlSink control_sink_;
+  size_t archive_capacity_ = 0;  ///< 0 = archiving disabled.
+  int64_t ticks_ = 0;
+  int64_t messages_processed_ = 0;
+  int64_t staleness_limit_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_SERVER_H_

@@ -1,0 +1,230 @@
+#include "server/simulation.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+
+namespace {
+
+constexpr double kContractSlack = 1e-9;
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+LinkReport RunLinkImpl(StreamGenerator& generator, const Predictor& prototype,
+                       const LinkConfig& config,
+                       std::vector<TrajectoryPoint>* trajectory) {
+  generator.Reset(config.seed);
+
+  Channel channel(config.channel);
+  ServerReplica replica(/*source_id=*/0, prototype.Clone());
+  channel.SetReceiver([&replica](const Message& msg) {
+    Status s = replica.OnMessage(msg);
+    assert(s.ok());
+    (void)s;
+  });
+
+  AgentConfig agent_config = config.agent;
+  agent_config.delta = config.delta;
+  SourceAgent agent(/*source_id=*/0, prototype.Clone(), agent_config, &channel);
+
+  std::optional<BudgetController> budget;
+  if (config.budget.has_value()) budget.emplace(*config.budget);
+
+  LinkReport report;
+  report.policy = prototype.name();
+  report.stream = generator.name();
+  report.delta = config.delta;
+  report.ticks = static_cast<int64_t>(config.ticks);
+
+  for (size_t i = 0; i < config.ticks; ++i) {
+    Sample sample = generator.Next();
+    int64_t messages_before =
+        channel.stats().messages_sent - agent.stats().heartbeats;
+
+    // Server first (its replica advances on the tick boundary), in-flight
+    // deliveries next (latency mode), then the source decides; with zero
+    // latency, delivery is synchronous inside Offer, mirroring the
+    // paper's lockstep protocol.
+    replica.Tick();
+    channel.AdvanceTick();
+    Status s = agent.Offer(sample.measured);
+    assert(s.ok());
+    (void)s;
+
+    double in_force_delta = agent.delta();
+    if (replica.initialized()) {
+      Vector view = replica.Value();
+      double target_err = MaxAbsDiff(view, agent.ContractTarget());
+      double measured_err = MaxAbsDiff(view, sample.measured.value);
+      double truth_err = MaxAbsDiff(view, sample.truth.value);
+      report.err_vs_target.Add(target_err);
+      report.err_vs_measured.Add(measured_err);
+      report.err_vs_truth.Add(truth_err);
+      if (target_err > in_force_delta + kContractSlack) {
+        ++report.contract_violations;
+      }
+      if (trajectory != nullptr) {
+        TrajectoryPoint p;
+        p.time = sample.truth.time;
+        p.truth = sample.truth.scalar();
+        p.measured = sample.measured.scalar();
+        p.server_view = view.empty() ? 0.0 : view[0];
+        p.delta = in_force_delta;
+        int64_t messages_now =
+            channel.stats().messages_sent - agent.stats().heartbeats;
+        p.message_sent = messages_now > messages_before;
+        p.cumulative_messages = messages_now;
+        trajectory->push_back(p);
+      }
+    }
+
+    if (budget.has_value()) budget->OnTick(&agent);
+  }
+
+  report.agent = agent.stats();
+  report.net = channel.stats();
+  report.messages = channel.stats().messages_sent - agent.stats().heartbeats;
+  report.bytes = channel.stats().bytes_sent;
+  report.messages_per_tick =
+      static_cast<double>(report.messages) / static_cast<double>(config.ticks);
+  report.final_delta = agent.delta();
+  return report;
+}
+
+}  // namespace
+
+std::string LinkReport::ToString() const {
+  std::ostringstream os;
+  os << policy << " on " << stream << " delta=" << delta << ": "
+     << messages << " msgs (" << StrFormat("%.4f", messages_per_tick)
+     << "/tick), " << bytes << " B, err(target) mean="
+     << StrFormat("%.4g", err_vs_target.mean())
+     << " max=" << StrFormat("%.4g", err_vs_target.max())
+     << ", violations=" << contract_violations;
+  return os.str();
+}
+
+LinkReport RunLink(StreamGenerator& generator, const Predictor& prototype,
+                   const LinkConfig& config) {
+  return RunLinkImpl(generator, prototype, config, nullptr);
+}
+
+LinkReport RunLinkTraced(StreamGenerator& generator, const Predictor& prototype,
+                         const LinkConfig& config,
+                         std::vector<TrajectoryPoint>* trajectory) {
+  return RunLinkImpl(generator, prototype, config, trajectory);
+}
+
+Fleet::Fleet() : Fleet(Config()) {}
+
+Fleet::Fleet(Config config) : config_(config) {
+  // Control downlink: route SET_BOUND pushes to the addressed source's
+  // control channel.
+  server_.SetControlSink([this](const Message& msg) -> Status {
+    auto idx = static_cast<size_t>(msg.source_id);
+    if (idx >= sources_.size()) {
+      return Status::NotFound("control message for unknown source");
+    }
+    return sources_[idx]->control_channel->Send(msg);
+  });
+}
+
+int32_t Fleet::AddSource(std::unique_ptr<StreamGenerator> generator,
+                         std::unique_ptr<Predictor> predictor, double delta) {
+  auto id = static_cast<int32_t>(sources_.size());
+  auto slot = std::make_unique<SourceSlot>();
+
+  slot->generator = std::move(generator);
+  slot->generator->Reset(config_.seed + static_cast<uint64_t>(id) * 7919);
+
+  Channel::Config channel_config = config_.channel;
+  channel_config.seed = config_.seed ^ (static_cast<uint64_t>(id) << 17);
+  slot->channel = std::make_unique<Channel>(channel_config);
+  StreamServer* server = &server_;
+  slot->channel->SetReceiver([server](const Message& msg) {
+    Status s = server->OnMessage(msg);
+    assert(s.ok());
+    (void)s;
+  });
+
+  Status reg = server_.RegisterSource(id, predictor->Clone());
+  assert(reg.ok());
+  (void)reg;
+
+  AgentConfig agent_config = config_.agent_base;
+  agent_config.delta = delta;
+  slot->agent = std::make_unique<SourceAgent>(id, std::move(predictor),
+                                              agent_config, slot->channel.get());
+
+  // Downlink for server-pushed bound changes.
+  Channel::Config control_config;
+  control_config.seed = config_.seed ^ (static_cast<uint64_t>(id) << 29);
+  slot->control_channel = std::make_unique<Channel>(control_config);
+  SourceAgent* agent = slot->agent.get();
+  slot->control_channel->SetReceiver([agent](const Message& msg) {
+    Status s = agent->OnControl(msg);
+    assert(s.ok());
+    (void)s;
+  });
+
+  sources_.push_back(std::move(slot));
+  return id;
+}
+
+Status Fleet::Step() {
+  server_.Tick();
+  for (auto& slot : sources_) {
+    slot->channel->AdvanceTick();
+    slot->last_sample = slot->generator->Next();
+    KC_RETURN_IF_ERROR(slot->agent->Offer(slot->last_sample.measured));
+  }
+  ++ticks_;
+  return Status::Ok();
+}
+
+Status Fleet::Run(size_t ticks) {
+  for (size_t i = 0; i < ticks; ++i) {
+    KC_RETURN_IF_ERROR(Step());
+  }
+  return Status::Ok();
+}
+
+int64_t Fleet::MessagesOf(int32_t id) const {
+  const AgentStats& s = sources_[id]->agent->stats();
+  return s.corrections + s.full_syncs + 1;  // +1 for INIT.
+}
+
+int64_t Fleet::TotalMessages() const {
+  int64_t total = 0;
+  for (const auto& slot : sources_) {
+    total += slot->channel->stats().messages_sent;
+  }
+  return total;
+}
+
+int64_t Fleet::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& slot : sources_) {
+    total += slot->channel->stats().bytes_sent;
+  }
+  return total;
+}
+
+int64_t Fleet::TotalControlMessages() const {
+  int64_t total = 0;
+  for (const auto& slot : sources_) {
+    total += slot->control_channel->stats().messages_sent;
+  }
+  return total;
+}
+
+}  // namespace kc

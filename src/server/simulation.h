@@ -1,0 +1,156 @@
+#ifndef KALMANCAST_SERVER_SIMULATION_H_
+#define KALMANCAST_SERVER_SIMULATION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/channel.h"
+#include "server/server.h"
+#include "streams/generator.h"
+#include "suppression/agent.h"
+#include "suppression/budget.h"
+#include "suppression/replica.h"
+
+namespace kc {
+
+/// Configuration for a single source-to-server link experiment.
+struct LinkConfig {
+  size_t ticks = 10000;
+  /// Precision bound (overrides agent.delta).
+  double delta = 1.0;
+  uint64_t seed = 1;
+  AgentConfig agent;
+  Channel::Config channel;
+  /// When set, run in resource-constrained mode: the controller steers
+  /// delta to hit the message budget instead of holding it fixed.
+  std::optional<BudgetConfig> budget;
+};
+
+/// Everything the experiment tables report about one link run.
+struct LinkReport {
+  std::string policy;
+  std::string stream;
+  double delta = 0.0;  ///< Configured (initial) precision bound.
+  int64_t ticks = 0;
+
+  int64_t messages = 0;  ///< Data messages (INIT + corrections + syncs).
+  int64_t bytes = 0;
+  double messages_per_tick = 0.0;
+
+  /// |server view - contract target| each tick; the protocol guarantee.
+  RunningStats err_vs_target;
+  /// |server view - raw measurement| each tick.
+  RunningStats err_vs_measured;
+  /// |server view - noiseless ground truth| each tick — the scientifically
+  /// interesting accuracy (only differs from measured under sensor noise).
+  RunningStats err_vs_truth;
+  /// Ticks where err_vs_target exceeded the in-force delta (should be 0
+  /// for contract-exact policies on a lossless channel).
+  int64_t contract_violations = 0;
+
+  AgentStats agent;
+  NetworkStats net;
+  /// delta in force at the end (differs from `delta` in budget mode).
+  double final_delta = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Runs one generator against one suppression policy for config.ticks and
+/// reports communication and error statistics. The generator is
+/// Reset(config.seed) first; `prototype` is cloned for both ends of the
+/// link, so the caller's object is untouched.
+LinkReport RunLink(StreamGenerator& generator, const Predictor& prototype,
+                   const LinkConfig& config);
+
+/// As RunLink, but additionally appends the per-tick (server view, truth,
+/// in-force delta) triples to `trajectory` — used by the figure-style
+/// benches that print time series.
+struct TrajectoryPoint {
+  double time = 0.0;
+  double truth = 0.0;
+  double measured = 0.0;
+  double server_view = 0.0;
+  double delta = 0.0;
+  bool message_sent = false;
+  int64_t cumulative_messages = 0;
+};
+
+LinkReport RunLinkTraced(StreamGenerator& generator, const Predictor& prototype,
+                         const LinkConfig& config,
+                         std::vector<TrajectoryPoint>* trajectory);
+
+/// A multi-source deployment: N generator+agent pairs feeding one
+/// StreamServer over per-source channels. Drives the aggregate-query and
+/// scalability experiments (E7, E8) and the example applications.
+class Fleet {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    AgentConfig agent_base;  ///< delta is overridden per source.
+    Channel::Config channel;
+  };
+
+  Fleet();
+  explicit Fleet(Config config);
+
+  /// Adds a source; returns its id (sequential from 0). The predictor
+  /// prototype is cloned for the agent and the server replica; the
+  /// generator is Reset with a per-source seed derived from config.seed.
+  int32_t AddSource(std::unique_ptr<StreamGenerator> generator,
+                    std::unique_ptr<Predictor> predictor, double delta);
+
+  /// Advances the whole system one stream tick.
+  Status Step();
+
+  /// Runs `ticks` steps, stopping on the first error.
+  Status Run(size_t ticks);
+
+  StreamServer& server() { return server_; }
+  const StreamServer& server() const { return server_; }
+
+  size_t num_sources() const { return sources_.size(); }
+  int64_t ticks() const { return ticks_; }
+
+  const SourceAgent& agent(int32_t id) const { return *sources_[id]->agent; }
+  /// Changes a source's precision bound (adaptive allocation).
+  void SetDelta(int32_t id, double delta) {
+    sources_[id]->agent->set_delta(delta);
+  }
+
+  /// Ground truth of the source's latest sample (scalar streams).
+  double TruthOf(int32_t id) const {
+    return sources_[id]->last_sample.truth.scalar();
+  }
+  const Sample& LastSampleOf(int32_t id) const {
+    return sources_[id]->last_sample;
+  }
+  /// Data messages this source has sent so far.
+  int64_t MessagesOf(int32_t id) const;
+
+  int64_t TotalMessages() const;
+  int64_t TotalBytes() const;
+  /// Server-to-source control traffic (SET_BOUND pushes).
+  int64_t TotalControlMessages() const;
+
+ private:
+  struct SourceSlot {
+    std::unique_ptr<StreamGenerator> generator;
+    std::unique_ptr<Channel> channel;          ///< Uplink: source -> server.
+    std::unique_ptr<Channel> control_channel;  ///< Downlink: server -> source.
+    std::unique_ptr<SourceAgent> agent;
+    Sample last_sample;
+  };
+
+  Config config_;
+  StreamServer server_;
+  std::vector<std::unique_ptr<SourceSlot>> sources_;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_SIMULATION_H_

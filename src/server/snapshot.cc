@@ -1,0 +1,237 @@
+#include "server/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+
+namespace {
+
+constexpr const char* kMagic = "KALMANCAST_SNAPSHOT";
+constexpr int kVersion = 1;
+
+void WriteQuery(std::ostream& out, const std::string& name,
+                const QuerySpec& spec) {
+  out << "query " << name << " " << static_cast<int>(spec.kind) << " "
+      << spec.sources.size();
+  for (int32_t id : spec.sources) out << " " << id;
+  out << " " << spec.within << " " << spec.every;
+  out << " " << (spec.threshold.has_value() ? 1 : 0) << " "
+      << spec.threshold.value_or(0.0) << " " << (spec.above ? 1 : 0);
+  out << " " << (spec.from_time.has_value() ? 1 : 0) << " "
+      << spec.from_time.value_or(0.0) << " " << spec.to_time.value_or(0.0);
+  out << " " << (spec.last_ticks.has_value() ? 1 : 0) << " "
+      << spec.last_ticks.value_or(0);
+  out << "\n";
+}
+
+StatusOr<QuerySpec> ReadQuery(std::istream& in, std::string* name) {
+  QuerySpec spec;
+  int kind = 0;
+  size_t n_sources = 0;
+  if (!(in >> *name >> kind >> n_sources)) {
+    return Status::DataLoss("malformed query line");
+  }
+  spec.kind = static_cast<AggregateKind>(kind);
+  for (size_t i = 0; i < n_sources; ++i) {
+    int32_t id = 0;
+    if (!(in >> id)) return Status::DataLoss("malformed query sources");
+    spec.sources.push_back(id);
+  }
+  int has_thresh = 0, above = 0, has_from = 0, has_last = 0;
+  double thresh = 0.0, from = 0.0, to = 0.0;
+  int64_t last = 0;
+  if (!(in >> spec.within >> spec.every >> has_thresh >> thresh >> above >>
+        has_from >> from >> to >> has_last >> last)) {
+    return Status::DataLoss("malformed query clauses");
+  }
+  if (has_thresh) spec.threshold = thresh;
+  spec.above = above != 0;
+  if (has_from) {
+    spec.from_time = from;
+    spec.to_time = to;
+  }
+  if (has_last) spec.last_ticks = last;
+  return spec;
+}
+
+}  // namespace
+
+Status SaveServerSnapshot(const StreamServer& server, const std::string& path,
+                          bool include_archives) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out.precision(17);
+
+  out << kMagic << " " << kVersion << "\n";
+  out << "ticks " << server.ticks() << "\n";
+  out << "staleness " << server.staleness_limit() << "\n";
+
+  for (int32_t id : server.SourceIds()) {
+    const ServerReplica* replica = server.replica(id);
+    if (replica == nullptr) continue;
+    if (!replica->initialized()) {
+      out << "source_uninit " << id << "\n";
+      continue;
+    }
+    Vector value = replica->Value();
+    std::vector<double> state = replica->predictor().EncodeFullState();
+    if (state.empty()) {
+      return Status::Unimplemented(
+          StrFormat("source %d predictor does not support full-state "
+                    "serialization",
+                    id));
+    }
+    out << "source " << id << " " << replica->bound() << " "
+        << replica->last_heard_seq() << " " << replica->last_heard_time()
+        << " " << value.size();
+    for (size_t d = 0; d < value.size(); ++d) out << " " << value[d];
+    out << " " << state.size();
+    for (double v : state) out << " " << v;
+    out << "\n";
+  }
+
+  for (const std::string& name : server.QueryNames()) {
+    if (name.find_first_of(" \t\n") != std::string::npos) {
+      return Status::InvalidArgument("query names with whitespace cannot be "
+                                     "snapshotted: " +
+                                     name);
+    }
+    auto spec = server.GetQuery(name);
+    if (!spec.ok()) return spec.status();
+    WriteQuery(out, name, *spec);
+  }
+
+  if (include_archives) {
+    for (int32_t id : server.SourceIds()) {
+      auto archive = server.Archive(id);
+      if (!archive.ok()) continue;  // Archiving off or no points.
+      auto points = (*archive)->Range(-1e300, 1e300);
+      out << "archive " << id << " " << (*archive)->capacity() << " "
+          << points.size();
+      for (const auto& p : points) {
+        out << " " << p.time << " " << p.value << " " << p.bound;
+      }
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  if (!out) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadServerSnapshot(const std::string& path,
+                          const PredictorFactory& factory,
+                          StreamServer* server) {
+  if (server == nullptr || factory == nullptr) {
+    return Status::InvalidArgument("null server or factory");
+  }
+  if (server->num_sources() != 0 || server->ticks() != 0) {
+    return Status::FailedPrecondition("snapshot must load into a fresh server");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion) {
+    return Status::DataLoss("not a kalmancast snapshot: " + path);
+  }
+
+  bool archiving_enabled = false;
+  std::string tag;
+  while (in >> tag) {
+    if (tag == "end") return Status::Ok();
+    if (tag == "ticks") {
+      int64_t ticks = 0;
+      if (!(in >> ticks)) return Status::DataLoss("bad ticks");
+      server->RestoreTicks(ticks);
+    } else if (tag == "staleness") {
+      int64_t limit = 0;
+      if (!(in >> limit)) return Status::DataLoss("bad staleness");
+      server->SetStalenessLimit(limit);
+    } else if (tag == "source_uninit") {
+      int32_t id = 0;
+      if (!(in >> id)) return Status::DataLoss("bad source_uninit");
+      auto predictor = factory(id);
+      if (predictor == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("factory returned null for source %d", id));
+      }
+      KC_RETURN_IF_ERROR(server->RegisterSource(id, std::move(predictor)));
+    } else if (tag == "source") {
+      int32_t id = 0;
+      double bound = 0.0, time = 0.0;
+      int64_t seq = 0;
+      size_t dims = 0;
+      if (!(in >> id >> bound >> seq >> time >> dims)) {
+        return Status::DataLoss("bad source header");
+      }
+      std::vector<double> value(dims);
+      for (double& v : value) {
+        if (!(in >> v)) return Status::DataLoss("bad source value");
+      }
+      size_t state_len = 0;
+      if (!(in >> state_len)) return Status::DataLoss("bad state length");
+      std::vector<double> state(state_len);
+      for (double& v : state) {
+        if (!(in >> v)) return Status::DataLoss("bad state payload");
+      }
+
+      auto predictor = factory(id);
+      if (predictor == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("factory returned null for source %d", id));
+      }
+      KC_RETURN_IF_ERROR(server->RegisterSource(id, std::move(predictor)));
+
+      // Replay the restoration through the ordinary protocol path: an
+      // INIT with the archived view, then a FULL_SYNC with the exact
+      // predictor state.
+      Message init;
+      init.source_id = id;
+      init.type = MessageType::kInit;
+      init.seq = seq;
+      init.time = time;
+      init.payload.push_back(bound);
+      init.payload.insert(init.payload.end(), value.begin(), value.end());
+      KC_RETURN_IF_ERROR(server->OnMessage(init));
+
+      Message sync;
+      sync.source_id = id;
+      sync.type = MessageType::kFullSync;
+      sync.seq = seq;
+      sync.time = time;
+      sync.payload.push_back(bound);
+      sync.payload.insert(sync.payload.end(), state.begin(), state.end());
+      KC_RETURN_IF_ERROR(server->OnMessage(sync));
+    } else if (tag == "query") {
+      std::string name;
+      auto spec = ReadQuery(in, &name);
+      if (!spec.ok()) return spec.status();
+      KC_RETURN_IF_ERROR(server->AddQuery(name, *spec));
+    } else if (tag == "archive") {
+      int32_t id = 0;
+      size_t capacity = 0, count = 0;
+      if (!(in >> id >> capacity >> count)) {
+        return Status::DataLoss("bad archive header");
+      }
+      if (!archiving_enabled) {
+        server->EnableArchiving(capacity);
+        archiving_enabled = true;
+      }
+      for (size_t i = 0; i < count; ++i) {
+        double t = 0.0, v = 0.0, b = 0.0;
+        if (!(in >> t >> v >> b)) return Status::DataLoss("bad archive point");
+        KC_RETURN_IF_ERROR(server->RestoreArchivePoint(id, t, v, b));
+      }
+    } else {
+      return Status::DataLoss("unknown snapshot tag: " + tag);
+    }
+  }
+  return Status::DataLoss("snapshot truncated (no end marker): " + path);
+}
+
+}  // namespace kc

@@ -1,0 +1,41 @@
+#ifndef KALMANCAST_SERVER_SNAPSHOT_H_
+#define KALMANCAST_SERVER_SNAPSHOT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "server/server.h"
+
+namespace kc {
+
+/// Reconstructs a fresh, configured (but uninitialized) predictor for a
+/// source id — the same prototype that was registered originally. The
+/// snapshot stores predictor *state*, not configuration; configuration
+/// (models, noise parameters, sync modes) lives in the deployment's code,
+/// exactly like the paper's protocol where source and server agree on the
+/// procedure out of band.
+using PredictorFactory =
+    std::function<std::unique_ptr<Predictor>(int32_t source_id)>;
+
+/// Writes the server's durable state to a line-oriented text file:
+/// ticks, staleness limit, per-source replica state (bound, liveness,
+/// predictor full state), registered queries, and (optionally) the
+/// per-source archives.
+///
+/// Predictor state round-trips through the same EncodeFullState /
+/// ApplyFullState path the FULL_SYNC wire message uses, so a restored
+/// server answers exactly what the saved one answered.
+Status SaveServerSnapshot(const StreamServer& server, const std::string& path,
+                          bool include_archives = true);
+
+/// Restores a snapshot into `server` (which must be default-constructed /
+/// empty). `factory` must produce predictors with the same configuration
+/// as at save time; state mismatches surface as payload-size errors.
+Status LoadServerSnapshot(const std::string& path,
+                          const PredictorFactory& factory,
+                          StreamServer* server);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_SNAPSHOT_H_

@@ -1,0 +1,50 @@
+#include "server/volatility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace kc {
+
+StatusOr<double> VolatilityEstimator::FromArchive(const TickArchive& archive,
+                                                  size_t window) {
+  if (archive.size() < 3) {
+    return Status::FailedPrecondition("not enough archived points");
+  }
+  double newest = archive.newest_time();
+  double oldest_wanted = newest - static_cast<double>(window);
+  std::vector<TickArchive::Point> points =
+      archive.Range(oldest_wanted, newest);
+  if (points.size() < 3) {
+    return Status::FailedPrecondition("not enough points in window");
+  }
+  RunningStats diffs;
+  for (size_t i = 1; i < points.size(); ++i) {
+    double dt = points[i].time - points[i - 1].time;
+    if (dt <= 0.0) continue;
+    diffs.Add((points[i].value - points[i - 1].value) / dt);
+  }
+  if (diffs.count() < 2) {
+    return Status::FailedPrecondition("degenerate time axis");
+  }
+  return diffs.stddev();
+}
+
+std::vector<double> VolatilityEstimator::FromArchives(
+    const std::vector<const TickArchive*>& archives, size_t window,
+    double fallback) {
+  std::vector<double> out;
+  out.reserve(archives.size());
+  for (const TickArchive* archive : archives) {
+    if (archive == nullptr) {
+      out.push_back(fallback);
+      continue;
+    }
+    auto estimate = FromArchive(*archive, window);
+    out.push_back(estimate.ok() ? std::max(*estimate, fallback) : fallback);
+  }
+  return out;
+}
+
+}  // namespace kc

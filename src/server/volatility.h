@@ -1,0 +1,40 @@
+#ifndef KALMANCAST_SERVER_VOLATILITY_H_
+#define KALMANCAST_SERVER_VOLATILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/archive.h"
+
+namespace kc {
+
+/// Estimates each source's per-tick volatility (stddev of first
+/// differences) from the server's own archive — no client cooperation,
+/// no extra communication. Feeds AllocateBounds'
+/// kVarianceProportional policy when the deployment cannot pre-profile
+/// its sources.
+///
+/// The estimate is computed over archived *server views*, which move in
+/// steps (corrections) rather than smoothly; over windows much longer
+/// than the correction interval the first-difference stddev still ranks
+/// sources by volatility correctly, which is all allocation needs.
+class VolatilityEstimator {
+ public:
+  /// Estimates from the most recent `window` points of `archive`
+  /// (needs at least 3 points in range). Returns the per-tick stddev of
+  /// value changes.
+  static StatusOr<double> FromArchive(const TickArchive& archive,
+                                      size_t window);
+
+  /// Convenience: volatility estimates for several archives at once.
+  /// Archives with insufficient data get `fallback`.
+  static std::vector<double> FromArchives(
+      const std::vector<const TickArchive*>& archives, size_t window,
+      double fallback = 1e-3);
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_VOLATILITY_H_

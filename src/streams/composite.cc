@@ -1,0 +1,59 @@
+#include "streams/composite.h"
+
+#include <cassert>
+
+namespace kc {
+
+SumGenerator::SumGenerator(
+    std::vector<std::unique_ptr<StreamGenerator>> components, std::string name)
+    : components_(std::move(components)), name_(std::move(name)) {
+  assert(!components_.empty());
+  for (const auto& c : components_) {
+    assert(c != nullptr && c->dims() == 1 && "SumGenerator is scalar-only");
+    (void)c;
+  }
+}
+
+Sample SumGenerator::Next() {
+  Sample out = components_.front()->Next();
+  for (size_t i = 1; i < components_.size(); ++i) {
+    Sample part = components_[i]->Next();
+    out.truth.value[0] += part.truth.scalar();
+  }
+  out.measured = out.truth;
+  return out;
+}
+
+void SumGenerator::Reset(uint64_t seed) {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    components_[i]->Reset(seed + 0x9E3779B9ULL * (i + 1));
+  }
+}
+
+std::unique_ptr<StreamGenerator> SumGenerator::Clone() const {
+  std::vector<std::unique_ptr<StreamGenerator>> clones;
+  clones.reserve(components_.size());
+  for (const auto& c : components_) clones.push_back(c->Clone());
+  return std::make_unique<SumGenerator>(std::move(clones), name_);
+}
+
+ScaledGenerator::ScaledGenerator(std::unique_ptr<StreamGenerator> inner,
+                                 double scale, double offset)
+    : inner_(std::move(inner)), scale_(scale), offset_(offset) {
+  assert(inner_ != nullptr && inner_->dims() == 1);
+}
+
+Sample ScaledGenerator::Next() {
+  Sample s = inner_->Next();
+  s.truth.value[0] = scale_ * s.truth.scalar() + offset_;
+  s.measured = s.truth;
+  return s;
+}
+
+void ScaledGenerator::Reset(uint64_t seed) { inner_->Reset(seed); }
+
+std::unique_ptr<StreamGenerator> ScaledGenerator::Clone() const {
+  return std::make_unique<ScaledGenerator>(inner_->Clone(), scale_, offset_);
+}
+
+}  // namespace kc

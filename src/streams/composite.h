@@ -1,0 +1,56 @@
+#ifndef KALMANCAST_STREAMS_COMPOSITE_H_
+#define KALMANCAST_STREAMS_COMPOSITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "streams/generator.h"
+
+namespace kc {
+
+/// Sums the ground truths of several scalar component generators — the
+/// standard way to build realistic workloads (trend + seasonality +
+/// bursts) from the primitive families. Components receive distinct
+/// derived seeds on Reset so they stay independent. Measurement noise
+/// should be layered on the composite with NoisyStream, not on the
+/// components.
+class SumGenerator : public StreamGenerator {
+ public:
+  SumGenerator(std::vector<std::unique_ptr<StreamGenerator>> components,
+               std::string name);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return name_; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+  size_t num_components() const { return components_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<StreamGenerator>> components_;
+  std::string name_;
+};
+
+/// Affine transform of a scalar generator's truth: out = scale * in +
+/// offset. Lets one calibrated family serve several magnitudes.
+class ScaledGenerator : public StreamGenerator {
+ public:
+  ScaledGenerator(std::unique_ptr<StreamGenerator> inner, double scale,
+                  double offset);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return inner_->name() + "_scaled"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  std::unique_ptr<StreamGenerator> inner_;
+  double scale_;
+  double offset_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_STREAMS_COMPOSITE_H_

@@ -1,0 +1,37 @@
+#ifndef KALMANCAST_STREAMS_GENERATOR_H_
+#define KALMANCAST_STREAMS_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "streams/reading.h"
+
+namespace kc {
+
+/// Interface for stream sources. Implementations are deterministic under
+/// Reset(seed): the same seed yields the same sample sequence, which is what
+/// makes every experiment in bench/ reproducible.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  /// Produces the next sample (ground truth + measurement).
+  virtual Sample Next() = 0;
+
+  /// Restarts the stream from the beginning with the given seed.
+  virtual void Reset(uint64_t seed) = 0;
+
+  /// Dimensionality of the produced values.
+  virtual size_t dims() const = 0;
+
+  /// Human-readable family name ("random_walk", "vehicle_2d", ...).
+  virtual std::string name() const = 0;
+
+  /// Deep copy (same configuration and current RNG/seed state at the time
+  /// of the call is NOT preserved — clones must be Reset before use).
+  virtual std::unique_ptr<StreamGenerator> Clone() const = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_STREAMS_GENERATOR_H_

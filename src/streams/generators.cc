@@ -1,0 +1,271 @@
+#include "streams/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace kc {
+
+namespace {
+
+/// Builds a Sample whose measurement equals the truth (noise is layered on
+/// by NoisyStream when wanted).
+Sample MakeScalarSample(int64_t seq, double time, double value) {
+  Sample s;
+  s.truth.seq = seq;
+  s.truth.time = time;
+  s.truth.value = Vector{value};
+  s.measured = s.truth;
+  return s;
+}
+
+Sample MakePlanarSample(int64_t seq, double time, double x, double y) {
+  Sample s;
+  s.truth.seq = seq;
+  s.truth.time = time;
+  s.truth.value = Vector{x, y};
+  s.measured = s.truth;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RandomWalk
+
+RandomWalkGenerator::RandomWalkGenerator(Config config)
+    : config_(config), rng_(config.seed), x_(config.start) {}
+
+Sample RandomWalkGenerator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  Sample s = MakeScalarSample(seq_, time, x_);
+  x_ += config_.drift * config_.dt + rng_.Gaussian(0.0, config_.step_sigma);
+  ++seq_;
+  return s;
+}
+
+void RandomWalkGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  x_ = config_.start;
+}
+
+std::unique_ptr<StreamGenerator> RandomWalkGenerator::Clone() const {
+  return std::make_unique<RandomWalkGenerator>(config_);
+}
+
+// --------------------------------------------------------------- LinearDrift
+
+LinearDriftGenerator::LinearDriftGenerator(Config config)
+    : config_(config), rng_(config.seed) {}
+
+Sample LinearDriftGenerator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  double value = config_.start + config_.slope * time + wobble_;
+  Sample s = MakeScalarSample(seq_, time, value);
+  wobble_ += rng_.Gaussian(0.0, config_.wobble_sigma);
+  ++seq_;
+  return s;
+}
+
+void LinearDriftGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  wobble_ = 0.0;
+}
+
+std::unique_ptr<StreamGenerator> LinearDriftGenerator::Clone() const {
+  return std::make_unique<LinearDriftGenerator>(config_);
+}
+
+// ------------------------------------------------------------------ Sinusoid
+
+SinusoidGenerator::SinusoidGenerator(Config config)
+    : config_(config), rng_(config.seed), amplitude_(config.amplitude) {}
+
+Sample SinusoidGenerator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  double angle = 2.0 * std::numbers::pi * time / config_.period + config_.phase;
+  double value = config_.offset + amplitude_ * std::sin(angle);
+  Sample s = MakeScalarSample(seq_, time, value);
+  if (config_.amplitude_drift_sigma > 0.0) {
+    amplitude_ += rng_.Gaussian(0.0, config_.amplitude_drift_sigma);
+    amplitude_ = std::max(amplitude_, 0.0);
+  }
+  ++seq_;
+  return s;
+}
+
+void SinusoidGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  amplitude_ = config_.amplitude;
+}
+
+std::unique_ptr<StreamGenerator> SinusoidGenerator::Clone() const {
+  return std::make_unique<SinusoidGenerator>(config_);
+}
+
+// ----------------------------------------------------------------------- AR1
+
+Ar1Generator::Ar1Generator(Config config)
+    : config_(config), rng_(config.seed), x_(config.mean) {}
+
+Sample Ar1Generator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  Sample s = MakeScalarSample(seq_, time, x_);
+  x_ = config_.mean + config_.phi * (x_ - config_.mean) +
+       rng_.Gaussian(0.0, config_.sigma);
+  ++seq_;
+  return s;
+}
+
+void Ar1Generator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  x_ = config_.mean;
+}
+
+std::unique_ptr<StreamGenerator> Ar1Generator::Clone() const {
+  return std::make_unique<Ar1Generator>(config_);
+}
+
+// ------------------------------------------------------------ RegimeSwitching
+
+RegimeSwitchingGenerator::RegimeSwitchingGenerator(Config config)
+    : config_(std::move(config)), rng_(config_.seed), x_(config_.start) {
+  assert(!config_.regimes.empty());
+}
+
+Sample RegimeSwitchingGenerator::Next() {
+  const Regime& regime = config_.regimes[regime_];
+  double time = static_cast<double>(seq_) * config_.dt;
+  Sample s = MakeScalarSample(seq_, time, x_);
+  x_ += regime.drift * config_.dt + rng_.Gaussian(0.0, regime.step_sigma);
+  ++seq_;
+  if (++ticks_in_regime_ >= regime.length_ticks) {
+    ticks_in_regime_ = 0;
+    regime_ = (regime_ + 1) % config_.regimes.size();
+  }
+  return s;
+}
+
+void RegimeSwitchingGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  ticks_in_regime_ = 0;
+  regime_ = 0;
+  x_ = config_.start;
+}
+
+std::unique_ptr<StreamGenerator> RegimeSwitchingGenerator::Clone() const {
+  return std::make_unique<RegimeSwitchingGenerator>(config_);
+}
+
+// ------------------------------------------------------------- BurstyTraffic
+
+BurstyTrafficGenerator::BurstyTrafficGenerator(Config config)
+    : config_(config), rng_(config.seed), level_(config.base_rate) {}
+
+Sample BurstyTrafficGenerator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  Sample s = MakeScalarSample(seq_, time, level_);
+
+  // ON/OFF Markov chain with Pareto burst magnitudes.
+  if (in_burst_) {
+    if (rng_.Bernoulli(config_.burst_end_prob)) {
+      in_burst_ = false;
+      burst_level_ = 0.0;
+    }
+  } else if (rng_.Bernoulli(config_.burst_start_prob)) {
+    in_burst_ = true;
+    burst_level_ = rng_.Pareto(config_.pareto_scale, config_.pareto_shape);
+  }
+  double raw = config_.base_rate + burst_level_ +
+               rng_.Gaussian(0.0, config_.jitter_sigma);
+  raw = std::max(raw, 0.0);
+  level_ = config_.smoothing * level_ + (1.0 - config_.smoothing) * raw;
+  ++seq_;
+  return s;
+}
+
+void BurstyTrafficGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  in_burst_ = false;
+  burst_level_ = 0.0;
+  level_ = config_.base_rate;
+}
+
+std::unique_ptr<StreamGenerator> BurstyTrafficGenerator::Clone() const {
+  return std::make_unique<BurstyTrafficGenerator>(config_);
+}
+
+// ------------------------------------------------------- DiurnalTemperature
+
+DiurnalTemperatureGenerator::DiurnalTemperatureGenerator(Config config)
+    : config_(config), rng_(config.seed) {}
+
+Sample DiurnalTemperatureGenerator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  double angle = 2.0 * std::numbers::pi * time / config_.day_length;
+  // Coldest at "dawn" (angle 0 shifted), warmest mid-"day".
+  double value = config_.mean +
+                 config_.daily_amplitude * std::sin(angle - std::numbers::pi / 2.0) +
+                 weather_;
+  Sample s = MakeScalarSample(seq_, time, value);
+  weather_ = config_.weather_decay * weather_ +
+             rng_.Gaussian(0.0, config_.weather_sigma);
+  ++seq_;
+  return s;
+}
+
+void DiurnalTemperatureGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  weather_ = 0.0;
+}
+
+std::unique_ptr<StreamGenerator> DiurnalTemperatureGenerator::Clone() const {
+  return std::make_unique<DiurnalTemperatureGenerator>(config_);
+}
+
+// ----------------------------------------------------------------- Vehicle2D
+
+Vehicle2DGenerator::Vehicle2DGenerator(Config config)
+    : config_(config), rng_(config.seed), speed_(config.speed_mean) {}
+
+Sample Vehicle2DGenerator::Next() {
+  double time = static_cast<double>(seq_) * config_.dt;
+  Sample s = MakePlanarSample(seq_, time, x_, y_);
+
+  // Occasionally pick a new maneuver (turn rate), otherwise jitter it.
+  if (rng_.Bernoulli(config_.turn_change_prob)) {
+    turn_rate_ = rng_.Uniform(-config_.max_turn_rate, config_.max_turn_rate);
+  } else {
+    turn_rate_ += rng_.Gaussian(0.0, config_.turn_rate_sigma);
+    turn_rate_ = std::clamp(turn_rate_, -config_.max_turn_rate,
+                            config_.max_turn_rate);
+  }
+  heading_ += turn_rate_ * config_.dt;
+  speed_ += rng_.Gaussian(0.0, config_.speed_sigma);
+  speed_ = std::clamp(speed_, 0.0, 2.0 * config_.speed_mean);
+  x_ += speed_ * std::cos(heading_) * config_.dt;
+  y_ += speed_ * std::sin(heading_) * config_.dt;
+  ++seq_;
+  return s;
+}
+
+void Vehicle2DGenerator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  seq_ = 0;
+  x_ = y_ = 0.0;
+  heading_ = 0.0;
+  turn_rate_ = 0.0;
+  speed_ = config_.speed_mean;
+}
+
+std::unique_ptr<StreamGenerator> Vehicle2DGenerator::Clone() const {
+  return std::make_unique<Vehicle2DGenerator>(config_);
+}
+
+}  // namespace kc

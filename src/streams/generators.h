@@ -1,0 +1,263 @@
+#ifndef KALMANCAST_STREAMS_GENERATORS_H_
+#define KALMANCAST_STREAMS_GENERATORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "streams/generator.h"
+
+namespace kc {
+
+/// Scalar random walk: x_{k+1} = x_k + drift*dt + N(0, step_sigma^2).
+/// The canonical "unknown dynamics" stream; matches the random-walk
+/// state-space model exactly, so it calibrates the whole pipeline.
+class RandomWalkGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double start = 0.0;
+    double step_sigma = 1.0;
+    double drift = 0.0;
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit RandomWalkGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "random_walk"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  double x_;
+};
+
+/// Linear trend plus a small random-walk wobble:
+/// x(t) = start + slope*t + w(t). Dead-reckoning's best case; exposes how
+/// much of the Kalman advantage survives when a linear predictor is ideal.
+class LinearDriftGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double start = 0.0;
+    double slope = 0.5;
+    double wobble_sigma = 0.05;
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit LinearDriftGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "linear_drift"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  double wobble_ = 0.0;
+};
+
+/// Sinusoid with slowly drifting amplitude:
+/// x(t) = offset + A(t) * sin(2*pi*t/period + phase). Models periodic
+/// signals (daily load, temperature cycles) where value caching thrashes
+/// on every slope change.
+class SinusoidGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double offset = 0.0;
+    double amplitude = 10.0;
+    double period = 200.0;  ///< In time units.
+    double phase = 0.0;
+    double amplitude_drift_sigma = 0.0;
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit SinusoidGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "sinusoid"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  double amplitude_;
+};
+
+/// Mean-reverting AR(1): x_{k+1} = mean + phi*(x_k - mean) + N(0, sigma^2).
+class Ar1Generator : public StreamGenerator {
+ public:
+  struct Config {
+    double mean = 0.0;
+    double phi = 0.95;  ///< |phi| < 1 for stationarity.
+    double sigma = 1.0;
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit Ar1Generator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "ar1"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  double x_;
+};
+
+/// One volatility regime of a RegimeSwitchingGenerator.
+struct Regime {
+  int64_t length_ticks = 1000;
+  double step_sigma = 1.0;
+  double drift = 0.0;
+};
+
+/// Random walk whose (sigma, drift) switch on a schedule, cycling through
+/// `regimes`. The adaptation experiment (E5) uses this to show the
+/// adaptive Kalman filter re-learning stream dynamics after a shift.
+class RegimeSwitchingGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double start = 0.0;
+    std::vector<Regime> regimes = {{1000, 0.2, 0.0}, {1000, 2.0, 0.0}};
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit RegimeSwitchingGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "regime_switching"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+  /// Index of the regime that produced the most recent sample.
+  size_t current_regime() const { return regime_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  int64_t ticks_in_regime_ = 0;
+  size_t regime_ = 0;
+  double x_;
+};
+
+/// Self-similar network-traffic-like stream: an ON/OFF Markov modulated
+/// rate with Pareto-distributed burst intensities, lightly smoothed.
+/// Stands in for the paper's real IP-traffic traces (see DESIGN.md
+/// substitutions table).
+class BurstyTrafficGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double base_rate = 10.0;       ///< OFF-state rate level.
+    double burst_start_prob = 0.02;
+    double burst_end_prob = 0.10;
+    double pareto_scale = 5.0;     ///< Burst magnitude scale (xm).
+    double pareto_shape = 1.5;     ///< Tail index (heavier when smaller).
+    double smoothing = 0.5;        ///< EWMA applied to the raw rate.
+    double jitter_sigma = 0.5;     ///< Per-tick rate jitter.
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit BurstyTrafficGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "bursty_traffic"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  bool in_burst_ = false;
+  double burst_level_ = 0.0;
+  double level_;
+};
+
+/// Diurnal temperature: daily sinusoid + slow weather-front random walk.
+/// Stands in for the paper's real sensor traces.
+class DiurnalTemperatureGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double mean = 18.0;             ///< Long-run average, degrees C.
+    double daily_amplitude = 6.0;
+    double day_length = 288.0;      ///< Ticks per day (5-min samples).
+    double weather_sigma = 0.05;    ///< Per-tick front drift.
+    double weather_decay = 0.999;   ///< Mean reversion of the front.
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit DiurnalTemperatureGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 1; }
+  std::string name() const override { return "diurnal_temperature"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  double weather_ = 0.0;
+};
+
+/// Planar vehicle trajectory [x, y]: constant speed with a slowly varying
+/// heading (random turn-rate changes). Stands in for the paper's GPS /
+/// moving-object traces; pairs with the 2-D constant-velocity model.
+class Vehicle2DGenerator : public StreamGenerator {
+ public:
+  struct Config {
+    double speed_mean = 10.0;
+    double speed_sigma = 0.5;        ///< Per-tick speed jitter.
+    double turn_rate_sigma = 0.02;   ///< Radians/tick jitter on heading rate.
+    double turn_change_prob = 0.01;  ///< Chance of a new maneuver per tick.
+    double max_turn_rate = 0.15;     ///< Radians/tick cap.
+    double dt = 1.0;
+    uint64_t seed = 1;
+  };
+
+  explicit Vehicle2DGenerator(Config config);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return 2; }
+  std::string name() const override { return "vehicle_2d"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  double x_ = 0.0;
+  double y_ = 0.0;
+  double heading_ = 0.0;
+  double turn_rate_ = 0.0;
+  double speed_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_STREAMS_GENERATORS_H_

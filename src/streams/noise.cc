@@ -1,0 +1,43 @@
+#include "streams/noise.h"
+
+namespace kc {
+
+NoisyStream::NoisyStream(std::unique_ptr<StreamGenerator> inner,
+                         NoiseConfig noise, uint64_t seed)
+    : inner_(std::move(inner)), noise_(noise), seed_(seed), rng_(seed) {}
+
+Sample NoisyStream::Next() {
+  Sample s = inner_->Next();
+  s.measured = s.truth;
+
+  if (noise_.stuck_prob > 0.0 && have_prev_ && rng_.Bernoulli(noise_.stuck_prob)) {
+    s.measured.value = prev_measured_;
+  } else {
+    for (size_t d = 0; d < s.measured.value.size(); ++d) {
+      if (noise_.outlier_prob > 0.0 && rng_.Bernoulli(noise_.outlier_prob)) {
+        double mag = noise_.gaussian_sigma * noise_.outlier_scale;
+        s.measured.value[d] += rng_.Uniform(-mag, mag);
+      } else if (noise_.gaussian_sigma > 0.0) {
+        s.measured.value[d] += rng_.Gaussian(0.0, noise_.gaussian_sigma);
+      }
+    }
+  }
+  prev_measured_ = s.measured.value;
+  have_prev_ = true;
+  return s;
+}
+
+void NoisyStream::Reset(uint64_t seed) {
+  // Derive distinct sub-seeds so the truth process and the noise process
+  // are independent but both reproducible.
+  inner_->Reset(seed);
+  rng_.Seed(seed ^ 0xA5A5A5A5DEADBEEFULL);
+  have_prev_ = false;
+  prev_measured_ = Vector();
+}
+
+std::unique_ptr<StreamGenerator> NoisyStream::Clone() const {
+  return std::make_unique<NoisyStream>(inner_->Clone(), noise_, seed_);
+}
+
+}  // namespace kc

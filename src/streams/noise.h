@@ -1,0 +1,54 @@
+#ifndef KALMANCAST_STREAMS_NOISE_H_
+#define KALMANCAST_STREAMS_NOISE_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "streams/generator.h"
+
+namespace kc {
+
+/// Measurement-noise model applied on top of a ground-truth stream.
+struct NoiseConfig {
+  /// Standard deviation of additive i.i.d. Gaussian sensor noise (applied
+  /// per dimension).
+  double gaussian_sigma = 0.0;
+  /// Probability of replacing a sample with an outlier.
+  double outlier_prob = 0.0;
+  /// Outlier magnitude: uniform in +/- [gaussian_sigma*outlier_scale].
+  double outlier_scale = 10.0;
+  /// Probability a measurement is dropped entirely (sensor glitch). The
+  /// generator then repeats the previous *measured* value, which is how
+  /// cheap sensors actually behave.
+  double stuck_prob = 0.0;
+};
+
+/// Decorator that layers sensor noise on another generator's ground truth.
+/// Keeps truth intact in the emitted Sample so the experiment harness can
+/// report errors against reality, exactly what the paper's noisy-stream
+/// experiments need.
+class NoisyStream : public StreamGenerator {
+ public:
+  NoisyStream(std::unique_ptr<StreamGenerator> inner, NoiseConfig noise,
+              uint64_t seed = 7777);
+
+  Sample Next() override;
+  void Reset(uint64_t seed) override;
+  size_t dims() const override { return inner_->dims(); }
+  std::string name() const override { return inner_->name() + "+noise"; }
+  std::unique_ptr<StreamGenerator> Clone() const override;
+
+  const NoiseConfig& noise() const { return noise_; }
+
+ private:
+  std::unique_ptr<StreamGenerator> inner_;
+  NoiseConfig noise_;
+  uint64_t seed_;
+  Rng rng_;
+  bool have_prev_ = false;
+  Vector prev_measured_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_STREAMS_NOISE_H_

@@ -1,0 +1,13 @@
+#include "streams/reading.h"
+
+#include <sstream>
+
+namespace kc {
+
+std::string Reading::ToString() const {
+  std::ostringstream os;
+  os << "#" << seq << " t=" << time << " v=" << value.ToString();
+  return os.str();
+}
+
+}  // namespace kc

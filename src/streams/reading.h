@@ -1,0 +1,35 @@
+#ifndef KALMANCAST_STREAMS_READING_H_
+#define KALMANCAST_STREAMS_READING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/vector.h"
+
+namespace kc {
+
+/// One timestamped observation produced by a stream source. `value` is a
+/// small vector (dimension 1 for scalar sensors, 2 for planar trajectories).
+struct Reading {
+  int64_t seq = 0;   ///< Sequence number, 0-based, contiguous per stream.
+  double time = 0.0; ///< Timestamp in stream time units (ticks * dt).
+  Vector value;      ///< Observed value(s).
+
+  /// First component; convenience for scalar streams.
+  double scalar() const { return value.empty() ? 0.0 : value[0]; }
+
+  std::string ToString() const;
+};
+
+/// A generator step: the noiseless ground truth and the (possibly noisy)
+/// measurement a real sensor would report. Suppression policies only ever
+/// see `measured`; the experiment harness uses `truth` to report how close
+/// the server's bounded answers track reality.
+struct Sample {
+  Reading truth;
+  Reading measured;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_STREAMS_READING_H_

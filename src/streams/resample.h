@@ -1,0 +1,35 @@
+#ifndef KALMANCAST_STREAMS_RESAMPLE_H_
+#define KALMANCAST_STREAMS_RESAMPLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "streams/reading.h"
+
+namespace kc {
+
+/// Resamples an irregularly-timed trace onto a uniform grid.
+///
+/// Real exported streams rarely tick uniformly (sensor duty cycles, GPS
+/// dropouts), but the suppression protocol and the bundled discrete
+/// models assume a fixed dt. ResampleTrace linearly interpolates both
+/// truth and measurement onto t0, t0+dt, t0+2dt, ..., covering the input
+/// span; sequence numbers are renumbered from 0.
+///
+/// Requirements: at least two samples, strictly increasing times, dt > 0.
+/// Values are interpolated per dimension; a grid point beyond the final
+/// input time is clamped to the last sample (at most one such point,
+/// from floating-point edge effects).
+StatusOr<std::vector<Sample>> ResampleTrace(const std::vector<Sample>& trace,
+                                            double dt);
+
+/// Drops samples whose timestamps are non-increasing relative to the
+/// previous *kept* sample — the standard cleanup for merged/battery-
+/// glitched sensor exports. Returns the number of dropped samples via
+/// `dropped` (optional).
+std::vector<Sample> DropNonMonotonic(const std::vector<Sample>& trace,
+                                     size_t* dropped = nullptr);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_STREAMS_RESAMPLE_H_

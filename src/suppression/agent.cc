@@ -1,0 +1,144 @@
+#include "suppression/agent.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kc {
+
+namespace {
+
+/// L-infinity distance between measurement and prediction.
+double MaxAbsError(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace
+
+SourceAgent::SourceAgent(int32_t source_id, std::unique_ptr<Predictor> predictor,
+                         AgentConfig config, Channel* channel)
+    : source_id_(source_id),
+      predictor_(std::move(predictor)),
+      config_(config),
+      channel_(channel) {
+  assert(predictor_ != nullptr && channel_ != nullptr);
+}
+
+Status SourceAgent::Offer(const Reading& measured) {
+  if (measured.value.size() != predictor_->dims()) {
+    return Status::InvalidArgument("reading dimension mismatch");
+  }
+  // A NaN/Inf reading (sensor fault, corrupt trace) must not poison the
+  // replicated procedures — once inside a filter it never washes out.
+  for (size_t d = 0; d < measured.value.size(); ++d) {
+    if (!std::isfinite(measured.value[d])) {
+      return Status::InvalidArgument("non-finite reading rejected");
+    }
+  }
+  ++stats_.ticks;
+
+  if (!initialized_) {
+    KC_RETURN_IF_ERROR(SendInit(measured));
+    predictor_->Init(measured);
+    initialized_ = true;
+    return Status::Ok();
+  }
+
+  predictor_->Tick();
+  predictor_->ObserveLocal(measured);
+  double err = MaxAbsError(predictor_->Target(), predictor_->Predict());
+  if (err > config_.delta) {
+    bool full = config_.always_full_state ||
+                (config_.full_sync_every > 0 &&
+                 (stats_.corrections + stats_.full_syncs + 1) %
+                         config_.full_sync_every ==
+                     0);
+    KC_RETURN_IF_ERROR(SendCorrection(measured, full));
+    silent_ticks_ = 0;
+    return Status::Ok();
+  }
+
+  ++stats_.suppressed;
+  ++silent_ticks_;
+  if (config_.heartbeat_every > 0 && silent_ticks_ >= config_.heartbeat_every) {
+    Message hb;
+    hb.source_id = source_id_;
+    hb.type = MessageType::kHeartbeat;
+    hb.seq = measured.seq;
+    hb.time = measured.time;
+    KC_RETURN_IF_ERROR(channel_->Send(hb));
+    ++stats_.heartbeats;
+    silent_ticks_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status SourceAgent::OnControl(const Message& msg) {
+  if (msg.source_id != source_id_) {
+    return Status::InvalidArgument("control message routed to wrong agent");
+  }
+  switch (msg.type) {
+    case MessageType::kSetBound: {
+      if (msg.payload.empty() || msg.payload[0] <= 0.0) {
+        return Status::InvalidArgument("SET_BOUND needs a positive bound");
+      }
+      config_.delta = msg.payload[0];
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("unexpected control message type");
+  }
+}
+
+Status SourceAgent::SendInit(const Reading& measured) {
+  Message msg;
+  msg.source_id = source_id_;
+  msg.type = MessageType::kInit;
+  msg.seq = measured.seq;
+  msg.time = measured.time;
+  msg.payload.reserve(1 + measured.value.size());
+  msg.payload.push_back(config_.delta);
+  msg.payload.insert(msg.payload.end(), measured.value.data().begin(),
+                     measured.value.data().end());
+  return channel_->Send(msg);
+}
+
+Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
+  Message msg;
+  msg.source_id = source_id_;
+  msg.seq = measured.seq;
+  msg.time = measured.time;
+  msg.payload.push_back(config_.delta);
+
+  if (full_state) {
+    // Fold the measurement in locally first, then ship the resulting
+    // complete predictor state; the server overwrites its replica with it.
+    KC_RETURN_IF_ERROR(predictor_->ApplyCorrection(
+        measured.seq, measured.time, predictor_->EncodeCorrection(measured)));
+    std::vector<double> state = predictor_->EncodeFullState();
+    if (state.empty()) {
+      return Status::Unimplemented("predictor does not support full sync");
+    }
+    msg.type = MessageType::kFullSync;
+    msg.payload.insert(msg.payload.end(), state.begin(), state.end());
+    KC_RETURN_IF_ERROR(channel_->Send(msg));
+    ++stats_.full_syncs;
+    return Status::Ok();
+  }
+
+  std::vector<double> correction = predictor_->EncodeCorrection(measured);
+  msg.type = MessageType::kCorrection;
+  msg.payload.insert(msg.payload.end(), correction.begin(), correction.end());
+  // Apply locally exactly as the server will; replicas stay in lockstep.
+  KC_RETURN_IF_ERROR(
+      predictor_->ApplyCorrection(measured.seq, measured.time, correction));
+  KC_RETURN_IF_ERROR(channel_->Send(msg));
+  ++stats_.corrections;
+  return Status::Ok();
+}
+
+}  // namespace kc

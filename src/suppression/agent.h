@@ -1,0 +1,101 @@
+#ifndef KALMANCAST_SUPPRESSION_AGENT_H_
+#define KALMANCAST_SUPPRESSION_AGENT_H_
+
+#include <memory>
+
+#include "net/channel.h"
+#include "suppression/predictor.h"
+
+namespace kc {
+
+/// Configuration of a stream source's suppression behaviour.
+struct AgentConfig {
+  /// Precision bound delta: the source ships a correction whenever the
+  /// shared predictor's error exceeds this (L-infinity across dimensions).
+  double delta = 1.0;
+  /// If > 0, send a HEARTBEAT after this many consecutive silent ticks so
+  /// the server can distinguish suppression from source failure.
+  int64_t heartbeat_every = 0;
+  /// If > 0, every Nth correction is upgraded to a FULL_SYNC carrying the
+  /// predictor's complete state (recovery hardening; E9 ablation).
+  int64_t full_sync_every = 0;
+  /// If true, *all* corrections ship full predictor state instead of the
+  /// compact observation payload (E9 ablation: payload size vs robustness).
+  bool always_full_state = false;
+};
+
+/// Per-agent counters.
+struct AgentStats {
+  int64_t ticks = 0;
+  int64_t corrections = 0;
+  int64_t full_syncs = 0;
+  int64_t heartbeats = 0;
+  int64_t suppressed = 0;
+
+  /// Fraction of post-init ticks that required no correction.
+  double SuppressionRatio() const {
+    int64_t decisions = corrections + full_syncs + suppressed;
+    if (decisions <= 0) return 0.0;
+    return static_cast<double>(suppressed) / static_cast<double>(decisions);
+  }
+};
+
+/// The client (source) half of the precision-bounded suppression protocol.
+///
+/// Owns the source-side predictor replica. Offer() is called once per
+/// stream tick with the sensor's measurement; the agent ticks the
+/// predictor, checks the precision contract, and ships a correction over
+/// the channel only on violation — the message suppression that is the
+/// whole point of the reproduced paper.
+class SourceAgent {
+ public:
+  /// `channel` must outlive the agent.
+  SourceAgent(int32_t source_id, std::unique_ptr<Predictor> predictor,
+              AgentConfig config, Channel* channel);
+
+  /// Processes one measurement. The first call emits INIT; later calls
+  /// emit at most one CORRECTION/FULL_SYNC (or HEARTBEAT).
+  Status Offer(const Reading& measured);
+
+  /// Applies a server-originated control message (e.g. SET_BOUND from a
+  /// budget reallocation). The new bound takes effect from the next
+  /// Offer; the server learns it back with the next data message.
+  Status OnControl(const Message& msg);
+
+  /// Current precision bound.
+  double delta() const { return config_.delta; }
+  /// Adjusts the bound (used by BudgetController in resource-constrained
+  /// mode). Takes effect from the next Offer; the server learns the new
+  /// bound with the next message.
+  void set_delta(double delta) { config_.delta = delta; }
+
+  int32_t source_id() const { return source_id_; }
+  const AgentStats& stats() const { return stats_; }
+  const Predictor& predictor() const { return *predictor_; }
+  bool initialized() const { return initialized_; }
+
+  /// The source-side predictor's current prediction (mirrors the server's
+  /// view on a lossless channel).
+  Vector PredictedValue() const { return predictor_->Predict(); }
+
+  /// The value the precision contract protects (raw measurement for
+  /// memoryless policies; the client's filtered estimate for the
+  /// state-sync Kalman policy).
+  Vector ContractTarget() const { return predictor_->Target(); }
+
+ private:
+  Status SendInit(const Reading& measured);
+  Status SendCorrection(const Reading& measured, bool full_state);
+
+  int32_t source_id_;
+  std::unique_ptr<Predictor> predictor_;
+  AgentConfig config_;
+  Channel* channel_;
+  AgentStats stats_;
+  bool initialized_ = false;
+  int64_t silent_ticks_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SUPPRESSION_AGENT_H_

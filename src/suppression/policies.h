@@ -1,0 +1,188 @@
+#ifndef KALMANCAST_SUPPRESSION_POLICIES_H_
+#define KALMANCAST_SUPPRESSION_POLICIES_H_
+
+#include <memory>
+#include <optional>
+
+#include "kalman/adaptive.h"
+#include "kalman/kalman_filter.h"
+#include "suppression/predictor.h"
+
+namespace kc {
+
+/// Olston-style approximate caching — the paper's principal baseline.
+/// The server holds the last shipped value; prediction is constant between
+/// corrections. Correction payload: the new value. Contract-exact: after a
+/// correction the server holds the measurement itself.
+class ValueCachePredictor : public Predictor {
+ public:
+  explicit ValueCachePredictor(size_t dims = 1);
+
+  void Init(const Reading& first) override;
+  void Tick() override {}
+  Vector Predict() const override { return cached_; }
+  std::vector<double> EncodeCorrection(const Reading& measured) const override;
+  Status ApplyCorrection(int64_t seq, double time,
+                         const std::vector<double>& payload) override;
+  std::vector<double> EncodeFullState() const override { return cached_.data(); }
+  Status ApplyFullState(const std::vector<double>& payload) override {
+    return ApplyCorrection(0, 0.0, payload);
+  }
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override { return "value_cache"; }
+  size_t dims() const override { return dims_; }
+
+ private:
+  size_t dims_;
+  Vector cached_;
+};
+
+/// Two-point dead reckoning — the fixed linear-prediction baseline.
+/// Prediction extrapolates the line through the last two corrections; the
+/// slope is derived identically on both replicas from the shipped values,
+/// so the payload is no bigger than value caching's. Contract-exact.
+class LinearPredictor : public Predictor {
+ public:
+  /// `dt` must equal the stream's tick spacing.
+  explicit LinearPredictor(size_t dims = 1, double dt = 1.0);
+
+  void Init(const Reading& first) override;
+  void Tick() override { now_ += dt_; }
+  Vector Predict() const override;
+  std::vector<double> EncodeCorrection(const Reading& measured) const override;
+  Status ApplyCorrection(int64_t seq, double time,
+                         const std::vector<double>& payload) override;
+  /// [base_time, now, base..., slope...] — the complete extrapolator.
+  std::vector<double> EncodeFullState() const override;
+  Status ApplyFullState(const std::vector<double>& payload) override;
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override { return "linear"; }
+  size_t dims() const override { return dims_; }
+
+ private:
+  size_t dims_;
+  double dt_;
+  double now_ = 0.0;
+  double base_time_ = 0.0;
+  Vector base_;
+  Vector slope_;
+};
+
+/// Client-side exponential smoothing: the source maintains a private EWMA
+/// of its measurements (the protected Target()); the server caches the last
+/// shipped level. Resists shipping corrections for pure noise. Corrections
+/// carry the private level, so the contract is exact against the smoothed
+/// signal.
+class EwmaPredictor : public Predictor {
+ public:
+  explicit EwmaPredictor(size_t dims = 1, double alpha = 0.5);
+
+  void Init(const Reading& first) override;
+  void Tick() override {}
+  void ObserveLocal(const Reading& measured) override;
+  Vector Target() const override { return level_; }
+  Vector Predict() const override { return cached_; }
+  std::vector<double> EncodeCorrection(const Reading& measured) const override;
+  Status ApplyCorrection(int64_t seq, double time,
+                         const std::vector<double>& payload) override;
+  /// [level..., cached...] — private smoother plus server-visible hold.
+  std::vector<double> EncodeFullState() const override;
+  Status ApplyFullState(const std::vector<double>& payload) override;
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override { return "ewma"; }
+  size_t dims() const override { return dims_; }
+
+ private:
+  size_t dims_;
+  double alpha_;
+  Vector level_;   ///< Client-private smoothed signal.
+  Vector cached_;  ///< Server-visible shipped level.
+};
+
+/// The paper's contribution: a dual Kalman filter.
+///
+/// State-sync modes (the default, matching the paper's "cache a dynamic
+/// procedure" semantics): the source runs a private filter over every
+/// measurement; the server replica predicts by pure time-updates of the
+/// last shipped state; when the replica's prediction drifts more than
+/// delta from the private estimate, the source ships its state and the two
+/// coincide again — the contract is exact against the filtered signal.
+///
+/// Measurement-sync mode (E9 ablation, Olston-adjacent): corrections carry
+/// the raw observation and both replicas fold it in with an identical
+/// Update(); cheapest payload, but the post-update residual can briefly
+/// exceed delta on jumps.
+class KalmanPredictor : public Predictor {
+ public:
+  /// What a correction carries and how replicas resynchronize.
+  enum class SyncMode {
+    kState,        ///< Ship x only (server ignores covariance). Default.
+    kStateAndCov,  ///< Ship x and P (server can report uncertainty).
+    kMeasurement,  ///< Ship z; both replicas Update(z).
+  };
+
+  struct Config {
+    StateSpaceModel model;
+    SyncMode sync_mode = SyncMode::kState;
+    /// Initial state variance put on every state component at Init.
+    double init_var = 100.0;
+    /// Innovation-based adaptation of the private filter (client side).
+    std::optional<AdaptiveConfig> adaptive;
+    KalmanFilter::UpdateForm update_form = KalmanFilter::UpdateForm::kJoseph;
+    /// If > 0 (e.g. 0.999), readings whose NIS against the private filter
+    /// exceeds this chi-squared quantile are treated as sensor outliers:
+    /// skipped by the filter rather than shipped to the server (state-sync
+    /// modes only). A run of `outlier_gate_limit` consecutive rejections
+    /// is accepted as a genuine jump, so the gate cannot wedge the filter.
+    double outlier_gate_prob = 0.0;
+    int outlier_gate_limit = 3;
+  };
+
+  explicit KalmanPredictor(Config config);
+
+  void Init(const Reading& first) override;
+  void Tick() override;
+  void ObserveLocal(const Reading& measured) override;
+  Vector Target() const override;
+  Vector Predict() const override;
+  std::vector<double> EncodeCorrection(const Reading& measured) const override;
+  Status ApplyCorrection(int64_t seq, double time,
+                         const std::vector<double>& payload) override;
+  std::vector<double> EncodeFullState() const override;
+  Status ApplyFullState(const std::vector<double>& payload) override;
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override;
+  size_t dims() const override { return config_.model.obs_dim(); }
+
+  /// The replicated (server-view) filter.
+  const KalmanFilter& shadow_filter() const;
+  /// The client's private filter (only meaningful on the source side and
+  /// in state-sync modes).
+  const KalmanFilter& private_filter() const;
+
+  const Config& config() const { return config_; }
+  /// Readings rejected by the innovation gate so far (source side).
+  int64_t outliers_rejected() const { return outliers_rejected_; }
+
+ private:
+  Config config_;
+  double gate_threshold_ = 0.0;  ///< Chi-squared NIS cutoff (0 = no gate).
+  int consecutive_rejects_ = 0;
+  int64_t outliers_rejected_ = 0;
+  /// The server-view procedure: advanced by Tick(), overwritten (or
+  /// Update()d in measurement mode) by corrections. Present on both sides.
+  std::optional<KalmanFilter> shadow_;
+  /// Client-only full filter over every measurement (state-sync modes).
+  std::optional<KalmanFilter> private_;
+  std::optional<AdaptiveNoiseEstimator> adaptive_;
+};
+
+/// Convenience factory: a scalar state-sync dual-KF predictor over a
+/// random-walk model with adaptive process noise — the recommended default
+/// for unknown scalar streams.
+std::unique_ptr<Predictor> MakeDefaultKalmanPredictor(double process_var,
+                                                      double obs_var);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SUPPRESSION_POLICIES_H_

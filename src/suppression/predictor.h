@@ -1,0 +1,91 @@
+#ifndef KALMANCAST_SUPPRESSION_PREDICTOR_H_
+#define KALMANCAST_SUPPRESSION_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector.h"
+#include "streams/reading.h"
+
+namespace kc {
+
+/// A deterministic prediction procedure replicated at the stream source and
+/// at the server — the paper's "cached dynamic procedure".
+///
+/// Protocol contract: two Predictor replicas that (1) start from the same
+/// Init() reading, (2) receive the same Tick() cadence, and (3) apply the
+/// same sequence of ApplyCorrection()/ApplyFullState() payloads MUST
+/// produce bit-identical Predict() outputs. Every implementation is pure
+/// and deterministic; all randomness lives in the streams, never here.
+///
+/// Per-tick usage at the source: Tick(); ObserveLocal(measured); if
+/// |Target() - Predict()| > delta, ship EncodeCorrection() and apply it
+/// locally. At the server: Tick() each tick; apply payloads as they
+/// arrive. Predict() is then always within delta of Target() — the value
+/// the contract protects — on a lossless channel.
+///
+/// Target() is the raw measurement for memoryless policies; for the
+/// state-sync Kalman policy it is the client's *filtered* estimate, which
+/// is the paper's semantics (the client filters noisy data locally and the
+/// server predicts that clean signal without the client's involvement).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Initializes from the stream's first reading (both replicas receive it
+  /// via the INIT message).
+  virtual void Init(const Reading& first) = 0;
+
+  /// Advances the procedure's clock by one stream tick.
+  virtual void Tick() = 0;
+
+  /// Source side only: folds the tick's measurement into private state
+  /// (e.g. the client's own filter). Default: remembers the reading so
+  /// Target() can return it.
+  virtual void ObserveLocal(const Reading& measured) { last_observed_ = measured; }
+
+  /// The value the precision contract protects. Default: the most recent
+  /// measurement passed to ObserveLocal().
+  virtual Vector Target() const { return last_observed_.value; }
+
+  /// Current prediction of the source's observed value.
+  virtual Vector Predict() const = 0;
+
+  /// Builds the correction payload for a violating measurement
+  /// (source side). Must not mutate state.
+  virtual std::vector<double> EncodeCorrection(const Reading& measured) const = 0;
+
+  /// Applies a correction payload (identical call on both replicas).
+  /// `seq`/`time` identify the triggering reading.
+  virtual Status ApplyCorrection(int64_t seq, double time,
+                                 const std::vector<double>& payload) = 0;
+
+  /// Serializes complete internal state (source side; larger than a
+  /// correction). Default: unsupported.
+  virtual std::vector<double> EncodeFullState() const { return {}; }
+
+  /// Restores complete internal state. Default: unsupported.
+  virtual Status ApplyFullState(const std::vector<double>& /*payload*/) {
+    return Status::Unimplemented("full-state sync not supported");
+  }
+
+  /// Fresh, un-Init()ed replica with the same configuration. This is how
+  /// the server constructs its twin of a source's predictor.
+  virtual std::unique_ptr<Predictor> Clone() const = 0;
+
+  /// Policy name for reports ("kalman", "value_cache", ...).
+  virtual std::string name() const = 0;
+
+  /// Dimensionality of the predicted observation.
+  virtual size_t dims() const = 0;
+
+ protected:
+  /// Backing store for the default ObserveLocal()/Target().
+  Reading last_observed_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SUPPRESSION_PREDICTOR_H_

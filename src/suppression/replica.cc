@@ -1,0 +1,85 @@
+#include "suppression/replica.h"
+
+#include <cassert>
+
+namespace kc {
+
+ServerReplica::ServerReplica(int32_t source_id,
+                             std::unique_ptr<Predictor> predictor)
+    : source_id_(source_id), predictor_(std::move(predictor)) {
+  assert(predictor_ != nullptr);
+}
+
+void ServerReplica::Tick() {
+  if (!initialized_) return;
+  predictor_->Tick();
+  ++ticks_;
+}
+
+Status ServerReplica::OnMessage(const Message& msg) {
+  if (msg.source_id != source_id_) {
+    return Status::InvalidArgument("message routed to wrong replica");
+  }
+  // Sequencing guard: a delayed duplicate or reordered datagram must not
+  // roll the replica backwards.
+  if (initialized_ && msg.type != MessageType::kInit &&
+      msg.seq < last_heard_seq_) {
+    ++messages_ignored_;
+    return Status::Ok();
+  }
+  switch (msg.type) {
+    case MessageType::kInit: {
+      if (msg.payload.size() < 2) {
+        return Status::InvalidArgument("INIT payload too small");
+      }
+      delta_ = msg.payload[0];
+      Reading first;
+      first.seq = msg.seq;
+      first.time = msg.time;
+      first.value = Vector(
+          std::vector<double>(msg.payload.begin() + 1, msg.payload.end()));
+      if (first.value.size() != predictor_->dims()) {
+        return Status::InvalidArgument("INIT dimension mismatch");
+      }
+      predictor_->Init(first);
+      initialized_ = true;
+      break;
+    }
+    case MessageType::kCorrection: {
+      if (!initialized_) {
+        return Status::FailedPrecondition("CORRECTION before INIT");
+      }
+      if (msg.payload.empty()) {
+        return Status::InvalidArgument("empty CORRECTION payload");
+      }
+      delta_ = msg.payload[0];
+      std::vector<double> body(msg.payload.begin() + 1, msg.payload.end());
+      KC_RETURN_IF_ERROR(predictor_->ApplyCorrection(msg.seq, msg.time, body));
+      break;
+    }
+    case MessageType::kFullSync: {
+      if (!initialized_) {
+        return Status::FailedPrecondition("FULL_SYNC before INIT");
+      }
+      if (msg.payload.empty()) {
+        return Status::InvalidArgument("empty FULL_SYNC payload");
+      }
+      delta_ = msg.payload[0];
+      std::vector<double> body(msg.payload.begin() + 1, msg.payload.end());
+      KC_RETURN_IF_ERROR(predictor_->ApplyFullState(body));
+      break;
+    }
+    case MessageType::kHeartbeat:
+      break;  // Liveness only.
+    case MessageType::kSetBound:
+      // Downlink-only control; a replica must never receive it.
+      return Status::InvalidArgument("SET_BOUND is not an uplink message");
+  }
+  last_heard_seq_ = msg.seq;
+  last_heard_time_ = msg.time;
+  tick_at_last_heard_ = ticks_;
+  ++messages_applied_;
+  return Status::Ok();
+}
+
+}  // namespace kc

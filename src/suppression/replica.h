@@ -1,0 +1,73 @@
+#ifndef KALMANCAST_SUPPRESSION_REPLICA_H_
+#define KALMANCAST_SUPPRESSION_REPLICA_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "suppression/predictor.h"
+
+namespace kc {
+
+/// The server half of the suppression protocol: the cached dynamic
+/// procedure that answers queries for one source without contacting it.
+///
+/// Tick() advances the predictor clock once per stream tick; OnMessage()
+/// folds in whatever the source ships. Between messages, Value() returns
+/// the prediction, which the protocol guarantees is within bound() of the
+/// source's measurements (lossless channel).
+class ServerReplica {
+ public:
+  /// `predictor` must be a fresh Clone() of the source's predictor.
+  ServerReplica(int32_t source_id, std::unique_ptr<Predictor> predictor);
+
+  /// Advances one stream tick (no-op before INIT arrives).
+  void Tick();
+
+  /// Applies a message from this replica's source. Messages for other
+  /// sources are rejected.
+  Status OnMessage(const Message& msg);
+
+  bool initialized() const { return initialized_; }
+  int32_t source_id() const { return source_id_; }
+
+  /// Current bounded estimate of the source value. Requires initialized().
+  Vector Value() const { return predictor_->Predict(); }
+
+  /// Precision bound the source most recently declared.
+  double bound() const { return delta_; }
+
+  /// Bookkeeping for staleness/liveness monitoring.
+  int64_t last_heard_seq() const { return last_heard_seq_; }
+  double last_heard_time() const { return last_heard_time_; }
+  int64_t ticks() const { return ticks_; }
+  int64_t messages_applied() const { return messages_applied_; }
+  /// Out-of-order messages dropped by the sequencing guard.
+  int64_t messages_ignored() const { return messages_ignored_; }
+
+  /// Replica ticks elapsed since the source was last heard from (any
+  /// message type, heartbeats included). Returns a huge value before the
+  /// first message.
+  int64_t TicksSinceHeard() const {
+    return tick_at_last_heard_ < 0 ? (int64_t{1} << 60)
+                                   : ticks_ - tick_at_last_heard_;
+  }
+
+  const Predictor& predictor() const { return *predictor_; }
+
+ private:
+  int32_t source_id_;
+  std::unique_ptr<Predictor> predictor_;
+  bool initialized_ = false;
+  double delta_ = 0.0;
+  int64_t last_heard_seq_ = -1;
+  double last_heard_time_ = 0.0;
+  int64_t ticks_ = 0;
+  int64_t tick_at_last_heard_ = -1;
+  int64_t messages_applied_ = 0;
+  int64_t messages_ignored_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SUPPRESSION_REPLICA_H_

@@ -1,0 +1,111 @@
+#include "suppression/ukf_policy.h"
+
+#include <cassert>
+
+namespace kc {
+
+UkfPredictor::UkfPredictor(Config config) : config_(std::move(config)) {
+  assert(config_.model.Validate().ok());
+  assert(config_.init_state != nullptr);
+}
+
+void UkfPredictor::Init(const Reading& first) {
+  assert(first.value.size() == config_.model.obs_dim);
+  Vector x0 = config_.init_state(first.value);
+  assert(x0.size() == config_.model.state_dim);
+  Matrix p0 = Matrix::ScalarDiagonal(config_.model.state_dim, config_.init_var);
+  shadow_.emplace(config_.model, x0, p0, config_.params);
+  private_.emplace(config_.model, x0, p0, config_.params);
+  last_observed_ = first;
+}
+
+void UkfPredictor::Tick() {
+  assert(shadow_.has_value());
+  shadow_->Predict();
+}
+
+void UkfPredictor::ObserveLocal(const Reading& measured) {
+  last_observed_ = measured;
+  assert(private_.has_value());
+  private_->Predict();
+  Status s = private_->Update(measured.value);
+  assert(s.ok());
+  (void)s;
+}
+
+Vector UkfPredictor::Target() const {
+  assert(private_.has_value());
+  return private_->PredictObservation();
+}
+
+Vector UkfPredictor::Predict() const {
+  assert(shadow_.has_value());
+  return shadow_->PredictObservation();
+}
+
+std::vector<double> UkfPredictor::Pack(const UnscentedKalmanFilter& f) const {
+  size_t n = config_.model.state_dim;
+  std::vector<double> buf;
+  buf.reserve(n + n * n);
+  buf.insert(buf.end(), f.state().data().begin(), f.state().data().end());
+  buf.insert(buf.end(), f.covariance().data().begin(),
+             f.covariance().data().end());
+  return buf;
+}
+
+Status UkfPredictor::Unpack(const std::vector<double>& buf,
+                            UnscentedKalmanFilter* f) {
+  size_t n = config_.model.state_dim;
+  if (buf.size() != n + n * n) {
+    return Status::InvalidArgument("UKF state payload has wrong size");
+  }
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = buf[i];
+  Matrix p(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) p(r, c) = buf[n + r * n + c];
+  }
+  p.Symmetrize();
+  f->Reset(std::move(x), std::move(p));
+  return Status::Ok();
+}
+
+std::vector<double> UkfPredictor::EncodeCorrection(
+    const Reading& /*measured*/) const {
+  assert(private_.has_value());
+  return Pack(*private_);
+}
+
+Status UkfPredictor::ApplyCorrection(int64_t /*seq*/, double /*time*/,
+                                     const std::vector<double>& payload) {
+  if (!shadow_.has_value()) {
+    return Status::FailedPrecondition("predictor not initialized");
+  }
+  return Unpack(payload, &*shadow_);
+}
+
+std::vector<double> UkfPredictor::EncodeFullState() const {
+  // Shadow = the shared replicated state (see KalmanPredictor note).
+  assert(shadow_.has_value());
+  return Pack(*shadow_);
+}
+
+Status UkfPredictor::ApplyFullState(const std::vector<double>& payload) {
+  return ApplyCorrection(0, 0.0, payload);
+}
+
+std::unique_ptr<Predictor> UkfPredictor::Clone() const {
+  return std::make_unique<UkfPredictor>(config_);
+}
+
+const UnscentedKalmanFilter& UkfPredictor::shadow_filter() const {
+  assert(shadow_.has_value());
+  return *shadow_;
+}
+
+const UnscentedKalmanFilter& UkfPredictor::private_filter() const {
+  assert(private_.has_value());
+  return *private_;
+}
+
+}  // namespace kc

@@ -1,0 +1,57 @@
+#ifndef KALMANCAST_SUPPRESSION_UKF_POLICY_H_
+#define KALMANCAST_SUPPRESSION_UKF_POLICY_H_
+
+#include <optional>
+
+#include "kalman/ukf.h"
+#include "suppression/predictor.h"
+
+namespace kc {
+
+/// Dual *unscented* Kalman filter predictor: like EkfPredictor but with
+/// sigma-point moment propagation instead of linearization — preferable
+/// when the dynamics or observation are strongly nonlinear at the
+/// operating point. State-sync only; corrections carry (x, P) so the two
+/// replicas' sigma points coincide exactly.
+class UkfPredictor : public Predictor {
+ public:
+  struct Config {
+    NonlinearModel model;
+    double init_var = 100.0;
+    /// Maps the first observation to an initial state (pure).
+    std::function<Vector(const Vector&)> init_state;
+    UnscentedKalmanFilter::Params params;
+  };
+
+  explicit UkfPredictor(Config config);
+
+  void Init(const Reading& first) override;
+  void Tick() override;
+  void ObserveLocal(const Reading& measured) override;
+  Vector Target() const override;
+  Vector Predict() const override;
+  std::vector<double> EncodeCorrection(const Reading& measured) const override;
+  Status ApplyCorrection(int64_t seq, double time,
+                         const std::vector<double>& payload) override;
+  std::vector<double> EncodeFullState() const override;
+  Status ApplyFullState(const std::vector<double>& payload) override;
+  std::unique_ptr<Predictor> Clone() const override;
+  std::string name() const override { return "ukf"; }
+  size_t dims() const override { return config_.model.obs_dim; }
+
+  const UnscentedKalmanFilter& shadow_filter() const;
+  const UnscentedKalmanFilter& private_filter() const;
+
+ private:
+  /// (x, P) round trip helpers shared by corrections and full sync.
+  std::vector<double> Pack(const UnscentedKalmanFilter& f) const;
+  Status Unpack(const std::vector<double>& buf, UnscentedKalmanFilter* f);
+
+  Config config_;
+  std::optional<UnscentedKalmanFilter> shadow_;
+  std::optional<UnscentedKalmanFilter> private_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SUPPRESSION_UKF_POLICY_H_

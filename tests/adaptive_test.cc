@@ -1,0 +1,125 @@
+#include "kalman/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kc {
+namespace {
+
+TEST(AdaptiveTest, NoAdaptationDuringWarmup) {
+  AdaptiveConfig config;
+  config.warmup = 100;
+  AdaptiveNoiseEstimator est(config);
+  KalmanFilter kf(MakeRandomWalkModel(0.1, 1.0), Vector{0.0}, Matrix{{1.0}});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{rng.Gaussian(0.0, 5.0)}).ok());
+    est.AfterUpdate(kf);
+  }
+  EXPECT_DOUBLE_EQ(est.cumulative_q_scale(), 1.0);
+}
+
+TEST(AdaptiveTest, InflatesQWhenModelTooConfident) {
+  // Q is 100x too small for the true volatility: the estimator must
+  // inflate it substantially.
+  double true_step = 1.0;
+  AdaptiveConfig config;
+  config.adapt_q = true;
+  config.warmup = 8;
+  AdaptiveNoiseEstimator est(config);
+  KalmanFilter kf(MakeRandomWalkModel(0.01 * true_step * true_step, 0.25),
+                  Vector{0.0}, Matrix{{1.0}});
+  Rng rng(2);
+  double truth = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    truth += rng.Gaussian(0.0, true_step);
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{truth + rng.Gaussian(0.0, 0.5)}).ok());
+    est.AfterUpdate(kf);
+  }
+  EXPECT_GT(est.cumulative_q_scale(), 10.0);
+  // After adaptation the windowed NIS should be in the right ballpark
+  // (within a few x of its chi-squared expectation of 1), not the ~100x
+  // it starts at with the misconfigured Q.
+  EXPECT_GT(est.WindowedNis(), 0.2);
+  EXPECT_LT(est.WindowedNis(), 4.0);
+}
+
+TEST(AdaptiveTest, DeflatesQWhenModelTooUncertain) {
+  // Q is 100x too big: the estimator should shrink it.
+  AdaptiveConfig config;
+  config.adapt_q = true;
+  config.warmup = 8;
+  AdaptiveNoiseEstimator est(config);
+  KalmanFilter kf(MakeRandomWalkModel(1.0, 0.25), Vector{0.0}, Matrix{{1.0}});
+  Rng rng(3);
+  double truth = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    truth += rng.Gaussian(0.0, 0.1);
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{truth + rng.Gaussian(0.0, 0.5)}).ok());
+    est.AfterUpdate(kf);
+  }
+  EXPECT_LT(est.cumulative_q_scale(), 0.3);
+}
+
+TEST(AdaptiveTest, EstimatesRFromInnovations) {
+  // Model thinks the sensor noise is sigma=0.1; reality is sigma=2.
+  AdaptiveConfig config;
+  config.adapt_q = false;
+  config.adapt_r = true;
+  config.warmup = 8;
+  config.window = 64;
+  config.smoothing = 0.3;
+  AdaptiveNoiseEstimator est(config);
+  KalmanFilter kf(MakeRandomWalkModel(0.04, 0.01), Vector{0.0}, Matrix{{1.0}});
+  Rng rng(4);
+  double truth = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    truth += rng.Gaussian(0.0, 0.2);
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{truth + rng.Gaussian(0.0, 2.0)}).ok());
+    est.AfterUpdate(kf);
+  }
+  double r_hat = kf.model().r(0, 0);
+  EXPECT_GT(r_hat, 1.0);   // Moved far from 0.01...
+  EXPECT_LT(r_hat, 10.0);  // ...toward the true 4.0.
+}
+
+TEST(AdaptiveTest, QScaleClampedPerStep) {
+  AdaptiveConfig config;
+  config.adapt_q = true;
+  config.warmup = 2;
+  config.window = 2;
+  config.smoothing = 1.0;  // Full step, so the clamp binds.
+  config.max_scale_per_step = 2.0;
+  AdaptiveNoiseEstimator est(config);
+  KalmanFilter kf(MakeRandomWalkModel(1e-6, 0.01), Vector{0.0}, Matrix{{1e-6}});
+  // Feed a massive jump: NIS is astronomical, but Q may only double per
+  // update.
+  for (int i = 0; i < 3; ++i) {
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{100.0}).ok());
+    double q_before = kf.model().q(0, 0);
+    est.AfterUpdate(kf);
+    EXPECT_LE(kf.model().q(0, 0), q_before * 2.0 + 1e-12);
+  }
+}
+
+TEST(AdaptiveTest, ResetClearsHistory) {
+  AdaptiveNoiseEstimator est;
+  KalmanFilter kf(MakeRandomWalkModel(0.1, 1.0), Vector{0.0}, Matrix{{1.0}});
+  kf.Predict();
+  ASSERT_TRUE(kf.Update(Vector{1.0}).ok());
+  est.AfterUpdate(kf);
+  EXPECT_GT(est.window_fill(), 0u);
+  est.Reset();
+  EXPECT_EQ(est.window_fill(), 0u);
+  EXPECT_DOUBLE_EQ(est.cumulative_q_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(est.WindowedNis(), 0.0);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,244 @@
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/channel.h"
+#include "suppression/agent.h"
+#include "suppression/policies.h"
+#include "suppression/replica.h"
+
+namespace kc {
+namespace {
+
+Reading MakeReading(int64_t seq, double value) {
+  Reading r;
+  r.seq = seq;
+  r.time = static_cast<double>(seq);
+  r.value = Vector{value};
+  return r;
+}
+
+/// A wired agent+replica pair over a lossless channel.
+struct Link {
+  Channel channel;
+  std::unique_ptr<ServerReplica> replica;
+  std::unique_ptr<SourceAgent> agent;
+
+  Link(std::unique_ptr<Predictor> proto, AgentConfig config) {
+    replica = std::make_unique<ServerReplica>(0, proto->Clone());
+    ServerReplica* r = replica.get();
+    channel.SetReceiver([r](const Message& msg) {
+      ASSERT_TRUE(r->OnMessage(msg).ok());
+    });
+    agent = std::make_unique<SourceAgent>(0, std::move(proto), config, &channel);
+  }
+
+  void Step(const Reading& reading) {
+    replica->Tick();
+    ASSERT_TRUE(agent->Offer(reading).ok());
+  }
+};
+
+TEST(AgentReplicaTest, FirstOfferSendsInit) {
+  AgentConfig config;
+  config.delta = 1.0;
+  Link link(std::make_unique<ValueCachePredictor>(), config);
+  link.Step(MakeReading(0, 5.0));
+  EXPECT_TRUE(link.replica->initialized());
+  EXPECT_EQ(link.channel.stats().by_type[static_cast<size_t>(MessageType::kInit)],
+            1);
+  EXPECT_DOUBLE_EQ(link.replica->Value()[0], 5.0);
+  EXPECT_DOUBLE_EQ(link.replica->bound(), 1.0);
+}
+
+TEST(AgentReplicaTest, SuppressesInsideBound) {
+  AgentConfig config;
+  config.delta = 1.0;
+  Link link(std::make_unique<ValueCachePredictor>(), config);
+  link.Step(MakeReading(0, 5.0));
+  // All these stay within +/-1 of the cached 5.0: no further messages.
+  for (int64_t i = 1; i <= 10; ++i) {
+    link.Step(MakeReading(i, 5.0 + 0.09 * static_cast<double>(i % 10)));
+  }
+  EXPECT_EQ(link.channel.stats().messages_sent, 1);  // Just the INIT.
+  EXPECT_EQ(link.agent->stats().suppressed, 10);
+}
+
+TEST(AgentReplicaTest, CorrectsOnViolation) {
+  AgentConfig config;
+  config.delta = 1.0;
+  Link link(std::make_unique<ValueCachePredictor>(), config);
+  link.Step(MakeReading(0, 5.0));
+  link.Step(MakeReading(1, 7.0));  // |7-5| > 1: correction.
+  EXPECT_EQ(link.agent->stats().corrections, 1);
+  EXPECT_DOUBLE_EQ(link.replica->Value()[0], 7.0);
+  EXPECT_EQ(link.replica->last_heard_seq(), 1);
+}
+
+TEST(AgentReplicaTest, ServerMirrorsClientForKalman) {
+  AgentConfig config;
+  config.delta = 0.5;
+  KalmanPredictor::Config kf_config;
+  kf_config.model = MakeRandomWalkModel(0.1, 0.5);
+  Link link(std::make_unique<KalmanPredictor>(kf_config), config);
+  Rng rng(1);
+  double truth = 0.0;
+  for (int64_t i = 0; i < 500; ++i) {
+    truth += rng.Gaussian(0.0, 0.3);
+    link.Step(MakeReading(i, truth + rng.Gaussian(0.0, 0.2)));
+    if (link.replica->initialized()) {
+      // Server view == client's shadow view at every tick.
+      ASSERT_NEAR(link.replica->Value()[0], link.agent->PredictedValue()[0],
+                  1e-15);
+      // Contract: server within delta of the client's filtered estimate.
+      ASSERT_LE(std::fabs(link.replica->Value()[0] -
+                          link.agent->ContractTarget()[0]),
+                0.5 + 1e-9);
+    }
+  }
+  EXPECT_GT(link.agent->stats().suppressed, 0);
+  EXPECT_GT(link.agent->stats().corrections, 0);
+}
+
+TEST(AgentReplicaTest, HeartbeatsEmittedWhenSilent) {
+  AgentConfig config;
+  config.delta = 100.0;  // Never violated: pure suppression.
+  config.heartbeat_every = 5;
+  Link link(std::make_unique<ValueCachePredictor>(), config);
+  for (int64_t i = 0; i <= 20; ++i) link.Step(MakeReading(i, 1.0));
+  EXPECT_EQ(link.agent->stats().heartbeats, 4);  // Ticks 5,10,15,20.
+  EXPECT_EQ(
+      link.channel.stats().by_type[static_cast<size_t>(MessageType::kHeartbeat)],
+      4);
+  // Heartbeats refresh liveness at the replica.
+  EXPECT_EQ(link.replica->last_heard_seq(), 20);
+}
+
+TEST(AgentReplicaTest, PeriodicFullSyncUpgradesCorrections) {
+  AgentConfig config;
+  config.delta = 0.1;
+  config.full_sync_every = 3;  // Every 3rd data message is a FULL_SYNC.
+  KalmanPredictor::Config kf_config;
+  kf_config.model = MakeRandomWalkModel(0.1, 0.5);
+  Link link(std::make_unique<KalmanPredictor>(kf_config), config);
+  Rng rng(2);
+  double v = 0.0;
+  for (int64_t i = 0; i < 300; ++i) {
+    v += rng.Gaussian(0.0, 1.0);  // Volatile: frequent corrections.
+    link.Step(MakeReading(i, v));
+  }
+  EXPECT_GT(link.agent->stats().full_syncs, 0);
+  EXPECT_GT(link.agent->stats().corrections, 0);
+  EXPECT_EQ(
+      link.channel.stats().by_type[static_cast<size_t>(MessageType::kFullSync)],
+      link.agent->stats().full_syncs);
+}
+
+TEST(AgentReplicaTest, AlwaysFullStateMode) {
+  AgentConfig config;
+  config.delta = 0.1;
+  config.always_full_state = true;
+  KalmanPredictor::Config kf_config;
+  kf_config.model = MakeRandomWalkModel(0.1, 0.5);
+  Link link(std::make_unique<KalmanPredictor>(kf_config), config);
+  Rng rng(3);
+  double v = 0.0;
+  for (int64_t i = 0; i < 100; ++i) {
+    v += rng.Gaussian(0.0, 1.0);
+    link.Step(MakeReading(i, v));
+  }
+  EXPECT_EQ(link.agent->stats().corrections, 0);
+  EXPECT_GT(link.agent->stats().full_syncs, 0);
+}
+
+TEST(AgentReplicaTest, FullStateModeWorksForEveryPolicy) {
+  AgentConfig config;
+  config.delta = 0.1;
+  config.always_full_state = true;
+  Channel channel;
+  ServerReplica replica(0, std::make_unique<ValueCachePredictor>());
+  channel.SetReceiver([&replica](const Message& m) {
+    (void)replica.OnMessage(m);
+  });
+  SourceAgent agent(0, std::make_unique<ValueCachePredictor>(), config,
+                    &channel);
+  ASSERT_TRUE(agent.Offer(MakeReading(0, 0.0)).ok());  // INIT.
+  ASSERT_TRUE(agent.Offer(MakeReading(1, 10.0)).ok());
+  EXPECT_EQ(agent.stats().full_syncs, 1);
+  EXPECT_DOUBLE_EQ(replica.Value()[0], 10.0);
+}
+
+TEST(AgentReplicaTest, DeltaChangePropagatesWithNextMessage) {
+  AgentConfig config;
+  config.delta = 1.0;
+  Link link(std::make_unique<ValueCachePredictor>(), config);
+  link.Step(MakeReading(0, 0.0));
+  link.agent->set_delta(3.0);
+  link.Step(MakeReading(1, 2.0));  // Within new delta: suppressed.
+  EXPECT_DOUBLE_EQ(link.replica->bound(), 1.0);  // Server hasn't heard yet.
+  link.Step(MakeReading(2, 10.0));  // Violation: correction carries delta.
+  EXPECT_DOUBLE_EQ(link.replica->bound(), 3.0);
+}
+
+TEST(AgentReplicaTest, NonFiniteReadingsRejected) {
+  AgentConfig config;
+  Channel channel;
+  channel.SetReceiver([](const Message&) {});
+  SourceAgent agent(0, std::make_unique<ValueCachePredictor>(), config,
+                    &channel);
+  ASSERT_TRUE(agent.Offer(MakeReading(0, 1.0)).ok());
+  Reading nan = MakeReading(1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(agent.Offer(nan).ok());
+  Reading inf = MakeReading(2, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(agent.Offer(inf).ok());
+  // The predictor is untouched: a good reading still works.
+  EXPECT_TRUE(agent.Offer(MakeReading(3, 1.1)).ok());
+}
+
+TEST(AgentReplicaTest, DimensionMismatchRejected) {
+  AgentConfig config;
+  Channel channel;
+  channel.SetReceiver([](const Message&) {});
+  SourceAgent agent(0, std::make_unique<ValueCachePredictor>(1), config,
+                    &channel);
+  Reading planar;
+  planar.value = Vector{1.0, 2.0};
+  EXPECT_FALSE(agent.Offer(planar).ok());
+}
+
+TEST(ReplicaTest, RejectsWrongSource) {
+  ServerReplica replica(7, std::make_unique<ValueCachePredictor>());
+  Message msg;
+  msg.source_id = 8;
+  EXPECT_FALSE(replica.OnMessage(msg).ok());
+}
+
+TEST(ReplicaTest, RejectsCorrectionBeforeInit) {
+  ServerReplica replica(0, std::make_unique<ValueCachePredictor>());
+  Message msg;
+  msg.source_id = 0;
+  msg.type = MessageType::kCorrection;
+  msg.payload = {1.0, 2.0};
+  EXPECT_FALSE(replica.OnMessage(msg).ok());
+}
+
+TEST(ReplicaTest, RejectsMalformedInit) {
+  ServerReplica replica(0, std::make_unique<ValueCachePredictor>());
+  Message msg;
+  msg.source_id = 0;
+  msg.type = MessageType::kInit;
+  msg.payload = {1.0};  // Delta but no value.
+  EXPECT_FALSE(replica.OnMessage(msg).ok());
+}
+
+TEST(ReplicaTest, TickBeforeInitIsNoop) {
+  ServerReplica replica(0, std::make_unique<ValueCachePredictor>());
+  replica.Tick();
+  EXPECT_EQ(replica.ticks(), 0);
+  EXPECT_FALSE(replica.initialized());
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,82 @@
+#include "server/allocation.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace kc {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(AllocateBoundsTest, UniformSplitsEvenly) {
+  auto deltas = AllocateBounds(AllocationPolicy::kUniform, 4.0,
+                               {1.0, 10.0, 100.0, 5.0});
+  ASSERT_EQ(deltas.size(), 4u);
+  for (double d : deltas) EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(AllocateBoundsTest, VarianceProportionalFollowsVolatility) {
+  auto deltas = AllocateBounds(AllocationPolicy::kVarianceProportional, 6.0,
+                               {1.0, 2.0, 3.0});
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_DOUBLE_EQ(deltas[0], 1.0);
+  EXPECT_DOUBLE_EQ(deltas[1], 2.0);
+  EXPECT_DOUBLE_EQ(deltas[2], 3.0);
+  EXPECT_NEAR(Sum(deltas), 6.0, 1e-12);
+}
+
+TEST(AllocateBoundsTest, ZeroVolatilityGetsFloorNotZero) {
+  auto deltas = AllocateBounds(AllocationPolicy::kVarianceProportional, 2.0,
+                               {0.0, 1.0});
+  EXPECT_GT(deltas[0], 0.0);
+  EXPECT_NEAR(Sum(deltas), 2.0, 1e-12);
+}
+
+TEST(AllocateBoundsTest, AdaptiveStartsUniform) {
+  auto deltas = AllocateBounds(AllocationPolicy::kAdaptive, 3.0,
+                               {5.0, 1.0, 9.0});
+  for (double d : deltas) EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(AllocateBoundsTest, PolicyNames) {
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kUniform), "uniform");
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kVarianceProportional),
+               "variance_proportional");
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kAdaptive), "adaptive");
+}
+
+TEST(AdaptiveAllocatorTest, PreservesTotalBudget) {
+  AdaptiveAllocator alloc(10.0, 5);
+  EXPECT_NEAR(Sum(alloc.deltas()), 10.0, 1e-12);
+  alloc.Rebalance({100, 0, 0, 0, 0});
+  EXPECT_NEAR(Sum(alloc.deltas()), 10.0, 1e-12);
+  alloc.Rebalance({0, 50, 50, 0, 0});
+  EXPECT_NEAR(Sum(alloc.deltas()), 10.0, 1e-12);
+}
+
+TEST(AdaptiveAllocatorTest, ChattySourceGainsBudget) {
+  AdaptiveAllocator alloc(10.0, 2);
+  double before_0 = alloc.deltas()[0];
+  for (int i = 0; i < 20; ++i) alloc.Rebalance({100, 0});
+  EXPECT_GT(alloc.deltas()[0], before_0);
+  EXPECT_GT(alloc.deltas()[0], 5.0 * alloc.deltas()[1]);
+  EXPECT_EQ(alloc.rebalances(), 20);
+}
+
+TEST(AdaptiveAllocatorTest, QuietSourceKeepsNonzeroBound) {
+  AdaptiveAllocator alloc(10.0, 2);
+  for (int i = 0; i < 200; ++i) alloc.Rebalance({1000, 0});
+  EXPECT_GT(alloc.deltas()[1], 0.0);
+}
+
+TEST(AdaptiveAllocatorTest, SymmetricLoadStaysBalanced) {
+  AdaptiveAllocator alloc(8.0, 4);
+  for (int i = 0; i < 50; ++i) alloc.Rebalance({10, 10, 10, 10});
+  for (double d : alloc.deltas()) EXPECT_NEAR(d, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,109 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+
+namespace kc {
+namespace {
+
+Message MakeMessage(size_t payload_doubles) {
+  Message msg;
+  msg.source_id = 3;
+  msg.type = MessageType::kCorrection;
+  msg.seq = 10;
+  msg.time = 1.5;
+  msg.payload.assign(payload_doubles, 1.0);
+  return msg;
+}
+
+TEST(MessageTest, SizeModel) {
+  EXPECT_EQ(MakeMessage(0).SizeBytes(), Message::kHeaderBytes);
+  EXPECT_EQ(MakeMessage(3).SizeBytes(), Message::kHeaderBytes + 24);
+}
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kInit), "INIT");
+  EXPECT_STREQ(MessageTypeName(MessageType::kCorrection), "CORRECTION");
+  EXPECT_STREQ(MessageTypeName(MessageType::kFullSync), "FULL_SYNC");
+  EXPECT_STREQ(MessageTypeName(MessageType::kHeartbeat), "HEARTBEAT");
+}
+
+TEST(MessageTest, ToStringMentionsEssentials) {
+  std::string s = MakeMessage(2).ToString();
+  EXPECT_NE(s.find("CORRECTION"), std::string::npos);
+  EXPECT_NE(s.find("src=3"), std::string::npos);
+}
+
+TEST(ChannelTest, RequiresReceiver) {
+  Channel channel;
+  EXPECT_FALSE(channel.Send(MakeMessage(1)).ok());
+}
+
+TEST(ChannelTest, DeliversAndCounts) {
+  Channel channel;
+  int delivered = 0;
+  channel.SetReceiver([&delivered](const Message&) { ++delivered; });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(channel.Send(MakeMessage(2)).ok());
+  }
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(channel.stats().messages_sent, 5);
+  EXPECT_EQ(channel.stats().messages_delivered, 5);
+  EXPECT_EQ(channel.stats().messages_dropped, 0);
+  EXPECT_EQ(channel.stats().bytes_sent,
+            5 * static_cast<int64_t>(MakeMessage(2).SizeBytes()));
+  EXPECT_EQ(channel.stats().by_type[static_cast<size_t>(
+                MessageType::kCorrection)],
+            5);
+}
+
+TEST(ChannelTest, LossDropsApproximatelyAtRate) {
+  Channel::Config config;
+  config.loss_prob = 0.3;
+  config.seed = 7;
+  Channel channel(config);
+  int delivered = 0;
+  channel.SetReceiver([&delivered](const Message&) { ++delivered; });
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(channel.Send(MakeMessage(1)).ok());
+  }
+  EXPECT_EQ(channel.stats().messages_sent, n);
+  EXPECT_EQ(channel.stats().messages_dropped + channel.stats().messages_delivered,
+            n);
+  double drop_rate =
+      static_cast<double>(channel.stats().messages_dropped) / n;
+  EXPECT_NEAR(drop_rate, 0.3, 0.03);
+  EXPECT_EQ(delivered, channel.stats().messages_delivered);
+}
+
+TEST(ChannelTest, BytesSentChargedEvenWhenDropped) {
+  Channel::Config config;
+  config.loss_prob = 1.0;
+  Channel channel(config);
+  channel.SetReceiver([](const Message&) { FAIL() << "must not deliver"; });
+  ASSERT_TRUE(channel.Send(MakeMessage(2)).ok());
+  EXPECT_GT(channel.stats().bytes_sent, 0);
+  EXPECT_EQ(channel.stats().bytes_delivered, 0);
+}
+
+TEST(ChannelTest, ResetStatsClears) {
+  Channel channel;
+  channel.SetReceiver([](const Message&) {});
+  ASSERT_TRUE(channel.Send(MakeMessage(1)).ok());
+  channel.ResetStats();
+  EXPECT_EQ(channel.stats().messages_sent, 0);
+  EXPECT_EQ(channel.stats().bytes_sent, 0);
+}
+
+TEST(NetworkStatsTest, ToStringMentionsCounts) {
+  Channel channel;
+  channel.SetReceiver([](const Message&) {});
+  ASSERT_TRUE(channel.Send(MakeMessage(1)).ok());
+  std::string s = channel.stats().ToString();
+  EXPECT_NE(s.find("sent=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,74 @@
+#include "common/chisq.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kc {
+namespace {
+
+TEST(ChiSquaredCdfTest, KnownValuesK1) {
+  // chi^2(1) CDF(x) = erf(sqrt(x/2)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 1), std::erf(std::sqrt(x / 2.0)), 1e-10)
+        << "x=" << x;
+  }
+}
+
+TEST(ChiSquaredCdfTest, KnownValuesK2) {
+  // chi^2(2) is Exponential(1/2): CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.25, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2), 1.0 - std::exp(-x / 2.0), 1e-10);
+  }
+}
+
+TEST(ChiSquaredCdfTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 3), 0.0);
+  EXPECT_GT(ChiSquaredCdf(1000.0, 3), 1.0 - 1e-12);
+}
+
+TEST(ChiSquaredCdfTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 30.0; x += 0.5) {
+    double cur = ChiSquaredCdf(x, 4);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ChiSquaredQuantileTest, TabulatedCriticalValues) {
+  // Classic table entries.
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 1), 3.841, 0.01);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 2), 5.991, 0.01);
+  EXPECT_NEAR(ChiSquaredQuantile(0.99, 1), 6.635, 0.01);
+  EXPECT_NEAR(ChiSquaredQuantile(0.999, 2), 13.816, 0.02);
+  EXPECT_NEAR(ChiSquaredQuantile(0.5, 1), 0.455, 0.005);
+}
+
+TEST(ChiSquaredQuantileTest, InvertsTheCdf) {
+  for (size_t k : {1u, 2u, 5u}) {
+    for (double p : {0.1, 0.5, 0.9, 0.99}) {
+      double q = ChiSquaredQuantile(p, k);
+      EXPECT_NEAR(ChiSquaredCdf(q, k), p, 1e-9) << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquaredQuantileTest, EmpiricalGateRate) {
+  // Draw NIS = z^2 with z ~ N(0,1); ~1% should exceed the 0.99 quantile.
+  Rng rng(5);
+  double gate = ChiSquaredQuantile(0.99, 1);
+  int exceed = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double z = rng.Gaussian();
+    if (z * z > gate) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / n, 0.01, 0.002);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,116 @@
+#include "streams/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "streams/generators.h"
+
+namespace kc {
+namespace {
+
+std::unique_ptr<StreamGenerator> Flat(double value) {
+  LinearDriftGenerator::Config config;
+  config.start = value;
+  config.slope = 0.0;
+  config.wobble_sigma = 0.0;
+  return std::make_unique<LinearDriftGenerator>(config);
+}
+
+std::unique_ptr<StreamGenerator> Ramp(double slope) {
+  LinearDriftGenerator::Config config;
+  config.slope = slope;
+  config.wobble_sigma = 0.0;
+  return std::make_unique<LinearDriftGenerator>(config);
+}
+
+TEST(SumGeneratorTest, SumsComponentTruths) {
+  std::vector<std::unique_ptr<StreamGenerator>> parts;
+  parts.push_back(Flat(3.0));
+  parts.push_back(Ramp(1.0));
+  SumGenerator sum(std::move(parts), "flat_plus_ramp");
+  sum.Reset(1);
+  EXPECT_DOUBLE_EQ(sum.Next().truth.scalar(), 3.0);   // t=0.
+  EXPECT_DOUBLE_EQ(sum.Next().truth.scalar(), 4.0);   // t=1.
+  EXPECT_DOUBLE_EQ(sum.Next().truth.scalar(), 5.0);
+  EXPECT_EQ(sum.name(), "flat_plus_ramp");
+  EXPECT_EQ(sum.num_components(), 2u);
+}
+
+TEST(SumGeneratorTest, DeterministicUnderSeedWithStochasticParts) {
+  auto make = [] {
+    std::vector<std::unique_ptr<StreamGenerator>> parts;
+    parts.push_back(std::make_unique<RandomWalkGenerator>(
+        RandomWalkGenerator::Config{}));
+    parts.push_back(std::make_unique<SinusoidGenerator>(
+        SinusoidGenerator::Config{}));
+    return std::make_unique<SumGenerator>(std::move(parts), "walk_sine");
+  };
+  auto a = make();
+  auto b = make();
+  a->Reset(77);
+  b->Reset(77);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_DOUBLE_EQ(a->Next().truth.scalar(), b->Next().truth.scalar());
+  }
+}
+
+TEST(SumGeneratorTest, ComponentsGetIndependentSeeds) {
+  // Two identical random-walk components: if they shared a seed, the sum
+  // would be exactly 2x one walk, i.e. increments perfectly correlated.
+  std::vector<std::unique_ptr<StreamGenerator>> parts;
+  parts.push_back(
+      std::make_unique<RandomWalkGenerator>(RandomWalkGenerator::Config{}));
+  parts.push_back(
+      std::make_unique<RandomWalkGenerator>(RandomWalkGenerator::Config{}));
+  SumGenerator sum(std::move(parts), "two_walks");
+  sum.Reset(5);
+
+  RandomWalkGenerator lone(RandomWalkGenerator::Config{});
+  lone.Reset(5);
+  bool differs = false;
+  for (int i = 0; i < 100 && !differs; ++i) {
+    if (std::fabs(sum.Next().truth.scalar() -
+                  2.0 * lone.Next().truth.scalar()) > 1e-12) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SumGeneratorTest, CloneReproduces) {
+  std::vector<std::unique_ptr<StreamGenerator>> parts;
+  parts.push_back(
+      std::make_unique<RandomWalkGenerator>(RandomWalkGenerator::Config{}));
+  parts.push_back(Ramp(0.5));
+  SumGenerator sum(std::move(parts), "combo");
+  auto clone = sum.Clone();
+  sum.Reset(9);
+  clone->Reset(9);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(sum.Next().truth.scalar(), clone->Next().truth.scalar());
+  }
+}
+
+TEST(ScaledGeneratorTest, AffineTransform) {
+  ScaledGenerator scaled(Ramp(1.0), 2.0, 10.0);
+  scaled.Reset(1);
+  EXPECT_DOUBLE_EQ(scaled.Next().truth.scalar(), 10.0);  // 2*0 + 10.
+  EXPECT_DOUBLE_EQ(scaled.Next().truth.scalar(), 12.0);  // 2*1 + 10.
+  EXPECT_EQ(scaled.name(), "linear_drift_scaled");
+}
+
+TEST(ScaledGeneratorTest, CloneAndReset) {
+  ScaledGenerator scaled(
+      std::make_unique<RandomWalkGenerator>(RandomWalkGenerator::Config{}),
+      0.5, -1.0);
+  auto clone = scaled.Clone();
+  scaled.Reset(3);
+  clone->Reset(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_DOUBLE_EQ(scaled.Next().truth.scalar(),
+                     clone->Next().truth.scalar());
+  }
+}
+
+}  // namespace
+}  // namespace kc

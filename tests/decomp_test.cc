@@ -1,0 +1,173 @@
+#include "linalg/decomp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kc {
+namespace {
+
+/// Random symmetric positive-definite matrix A = B B^T + n*I.
+Matrix RandomSpd(size_t n, Rng& rng) {
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b(r, c) = rng.Gaussian();
+  }
+  Matrix a = b * b.Transposed() +
+             Matrix::ScalarDiagonal(n, static_cast<double>(n));
+  a.Symmetrize();
+  return a;
+}
+
+TEST(CholeskyTest, FactorizesKnownMatrix) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.L();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_TRUE(AlmostEqual(l * l.Transposed(), a, 1e-12));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // Eigenvalues 3, -1.
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquareAndEmpty) {
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+  EXPECT_FALSE(Cholesky(Matrix()).ok());
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  Vector x_true{1.0, -2.0};
+  Vector b = a * x_true;
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_TRUE(AlmostEqual(chol.Solve(b), x_true, 1e-12));
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(1);
+  Matrix a = RandomSpd(4, rng);
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_TRUE(AlmostEqual(a * chol.Inverse(), Matrix::Identity(4), 1e-9));
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnown) {
+  Matrix a = Matrix::Diagonal(Vector{2.0, 8.0});
+  Cholesky chol(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol.LogDeterminant(), std::log(16.0), 1e-12);
+}
+
+TEST(LuTest, SolvesGeneralSystem) {
+  Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  Vector x_true{2.0, -1.0, 3.0};
+  Vector b = a * x_true;
+  PartialPivLu lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(AlmostEqual(lu.Solve(b), x_true, 1e-10));
+}
+
+TEST(LuTest, DetectsSingular) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(PartialPivLu(a).ok());
+  EXPECT_DOUBLE_EQ(PartialPivLu(a).Determinant(), 0.0);
+}
+
+TEST(LuTest, DeterminantWithPivoting) {
+  // Leading zero forces a row swap; det = -(2*1 - 1*3) ... compute directly.
+  Matrix a{{0.0, 1.0}, {2.0, 3.0}};
+  PartialPivLu lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Determinant(), -2.0, 1e-12);
+}
+
+TEST(LuTest, InverseMatchesSolveIdentity) {
+  Rng rng(7);
+  Matrix a(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = rng.Gaussian();
+  }
+  a += Matrix::ScalarDiagonal(3, 5.0);  // Make it comfortably nonsingular.
+  PartialPivLu lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(AlmostEqual(a * lu.Inverse(), Matrix::Identity(3), 1e-9));
+}
+
+TEST(SolveLinearTest, DispatchesAndValidates) {
+  Matrix spd{{2.0, 0.5}, {0.5, 1.0}};
+  Vector b{1.0, 2.0};
+  auto x = SolveLinear(spd, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(spd * *x, b, 1e-12));
+
+  EXPECT_FALSE(SolveLinear(Matrix(2, 3), b).ok());
+  EXPECT_FALSE(SolveLinear(spd, Vector{1.0}).ok());
+  Matrix singular{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(SolveLinear(singular, b).ok());
+}
+
+TEST(SolveLinearTest, SymmetricIndefiniteFallsBackToLu) {
+  Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};
+  Vector b{3.0, 3.0};
+  auto x = SolveLinear(indefinite, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(indefinite * *x, b, 1e-10));
+}
+
+TEST(InvertTest, SpdAndGeneral) {
+  Matrix spd{{4.0, 1.0}, {1.0, 2.0}};
+  auto inv = Invert(spd);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(AlmostEqual(spd * *inv, Matrix::Identity(2), 1e-10));
+
+  Matrix general{{0.0, 1.0}, {1.0, 0.0}};
+  auto inv2 = Invert(general);
+  ASSERT_TRUE(inv2.ok());
+  EXPECT_TRUE(AlmostEqual(general * *inv2, Matrix::Identity(2), 1e-10));
+}
+
+TEST(IsPsdTest, Classification) {
+  EXPECT_TRUE(IsPositiveSemiDefinite(Matrix::Identity(3)));
+  EXPECT_TRUE(IsPositiveSemiDefinite(Matrix(2, 2)));  // Zero matrix is PSD.
+  Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(IsPositiveSemiDefinite(indefinite));
+  Matrix asym{{1.0, 0.5}, {0.0, 1.0}};
+  EXPECT_FALSE(IsPositiveSemiDefinite(asym));
+}
+
+/// Parameterized sweep: Cholesky and LU agree with each other and recover
+/// solutions across random SPD systems of several sizes.
+class DecompSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecompSweepTest, SolversAgreeOnRandomSpd) {
+  auto [n, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Matrix a = RandomSpd(static_cast<size_t>(n), rng);
+  Vector x_true(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) x_true[static_cast<size_t>(i)] = rng.Gaussian();
+  Vector b = a * x_true;
+
+  Cholesky chol(a);
+  PartialPivLu lu(a);
+  ASSERT_TRUE(chol.ok());
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(AlmostEqual(chol.Solve(b), x_true, 1e-8));
+  EXPECT_TRUE(AlmostEqual(lu.Solve(b), x_true, 1e-8));
+  EXPECT_TRUE(AlmostEqual(chol.Solve(b), lu.Solve(b), 1e-8));
+  EXPECT_NEAR(chol.LogDeterminant(), std::log(std::fabs(lu.Determinant())),
+              1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, DecompSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values(11, 22, 33)));
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,150 @@
+#include "kalman/ekf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kalman/kalman_filter.h"
+#include "linalg/decomp.h"
+
+namespace kc {
+namespace {
+
+/// Wraps a linear model as a NonlinearModel; the EKF must then match the
+/// linear KF exactly.
+NonlinearModel WrapLinear(const StateSpaceModel& linear) {
+  NonlinearModel m;
+  m.name = linear.name + "_wrapped";
+  m.state_dim = linear.state_dim();
+  m.obs_dim = linear.obs_dim();
+  Matrix f = linear.f;
+  Matrix h = linear.h;
+  m.f = [f](const Vector& x) { return f * x; };
+  m.f_jacobian = [f](const Vector&) { return f; };
+  m.h = [h](const Vector& x) { return h * x; };
+  m.h_jacobian = [h](const Vector&) { return h; };
+  m.q = linear.q;
+  m.r = linear.r;
+  return m;
+}
+
+TEST(NonlinearModelTest, ValidateChecksEverything) {
+  NonlinearModel m = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 0.001, 1.0);
+  EXPECT_TRUE(m.Validate().ok());
+
+  NonlinearModel broken = m;
+  broken.f = nullptr;
+  EXPECT_FALSE(broken.Validate().ok());
+
+  broken = m;
+  broken.q = Matrix(2, 2);
+  EXPECT_FALSE(broken.Validate().ok());
+
+  broken = m;
+  broken.r = Matrix::Zero(2, 2);  // Not PD.
+  EXPECT_FALSE(broken.Validate().ok());
+}
+
+TEST(EkfTest, MatchesLinearKalmanOnLinearModel) {
+  StateSpaceModel linear = MakeConstantVelocityModel(1.0, 0.1, 0.5);
+  KalmanFilter kf(linear, Vector{0.0, 1.0}, Matrix::Identity(2));
+  ExtendedKalmanFilter ekf(WrapLinear(linear), Vector{0.0, 1.0},
+                           Matrix::Identity(2));
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double z = rng.Gaussian(static_cast<double>(i), 0.5);
+    kf.Predict();
+    ekf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{z}).ok());
+    ASSERT_TRUE(ekf.Update(Vector{z}).ok());
+    ASSERT_TRUE(AlmostEqual(kf.state(), ekf.state(), 1e-10)) << "i=" << i;
+    ASSERT_TRUE(AlmostEqual(kf.covariance(), ekf.covariance(), 1e-10));
+    ASSERT_NEAR(kf.last_nis(), ekf.last_nis(), 1e-10);
+    ASSERT_NEAR(kf.last_log_likelihood(), ekf.last_log_likelihood(), 1e-10);
+  }
+}
+
+TEST(EkfTest, TracksCircularMotion) {
+  // A target circling at constant speed and turn rate; the coordinated-
+  // turn EKF should track it far better than a straight-line projection.
+  double dt = 1.0, speed = 5.0, omega = 0.05;
+  NonlinearModel model =
+      MakeCoordinatedTurnModel(dt, 0.01, 0.01, 1e-5, 0.25);
+  Vector x0(5);
+  x0[2] = speed;
+  x0[4] = omega;
+  ExtendedKalmanFilter ekf(model, x0, Matrix::ScalarDiagonal(5, 1.0));
+
+  Rng rng(2);
+  double theta = 0.0, px = 0.0, py = 0.0;
+  RunningStats err;
+  for (int i = 0; i < 500; ++i) {
+    px += speed * std::cos(theta) * dt;
+    py += speed * std::sin(theta) * dt;
+    theta += omega * dt;
+    Vector z{px + rng.Gaussian(0.0, 0.5), py + rng.Gaussian(0.0, 0.5)};
+    ekf.Predict();
+    ASSERT_TRUE(ekf.Update(z).ok());
+    if (i > 50) {
+      err.Add(std::hypot(ekf.state()[0] - px, ekf.state()[1] - py));
+    }
+  }
+  EXPECT_LT(err.mean(), 0.5);  // Within sensor noise scale.
+  // It should also have learned the turn rate.
+  EXPECT_NEAR(ekf.state()[4], omega, 0.01);
+}
+
+TEST(EkfTest, CovarianceStaysPsd) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  Vector x0(5);
+  x0[2] = 3.0;
+  ExtendedKalmanFilter ekf(model, x0, Matrix::ScalarDiagonal(5, 10.0));
+  Rng rng(3);
+  double theta = 0.0, px = 0.0, py = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    px += 3.0 * std::cos(theta);
+    py += 3.0 * std::sin(theta);
+    theta += rng.Gaussian(0.0, 0.02);
+    ekf.Predict();
+    ASSERT_TRUE(
+        ekf.Update(Vector{px + rng.Gaussian(0.0, 0.7),
+                          py + rng.Gaussian(0.0, 0.7)})
+            .ok());
+  }
+  EXPECT_TRUE(IsPositiveSemiDefinite(ekf.covariance()));
+}
+
+TEST(EkfTest, RejectsWrongObservationDim) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  ExtendedKalmanFilter ekf(model, Vector(5), Matrix::ScalarDiagonal(5, 1.0));
+  EXPECT_FALSE(ekf.Update(Vector{1.0}).ok());
+}
+
+TEST(EkfTest, SerializeRoundTrip) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  ExtendedKalmanFilter a(model, Vector(5), Matrix::ScalarDiagonal(5, 1.0));
+  a.Predict();
+  ASSERT_TRUE(a.Update(Vector{1.0, 2.0}).ok());
+
+  ExtendedKalmanFilter b(model, Vector(5), Matrix::ScalarDiagonal(5, 9.0));
+  ASSERT_TRUE(b.DeserializeState(a.SerializeState()).ok());
+  EXPECT_TRUE(AlmostEqual(a.state(), b.state(), 1e-15));
+  EXPECT_TRUE(AlmostEqual(a.covariance(), b.covariance(), 1e-15));
+  EXPECT_FALSE(b.DeserializeState({1.0, 2.0}).ok());
+}
+
+TEST(EkfTest, ResetClearsDiagnostics) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  ExtendedKalmanFilter ekf(model, Vector(5), Matrix::ScalarDiagonal(5, 1.0));
+  ekf.Predict();
+  ASSERT_TRUE(ekf.Update(Vector{1.0, 1.0}).ok());
+  EXPECT_EQ(ekf.update_count(), 1);
+  ekf.Reset(Vector(5), Matrix::ScalarDiagonal(5, 2.0));
+  EXPECT_EQ(ekf.update_count(), 0);
+  EXPECT_DOUBLE_EQ(ekf.covariance()(0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,253 @@
+#include "streams/generators.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace kc {
+namespace {
+
+std::unique_ptr<StreamGenerator> MakeByName(const std::string& name) {
+  if (name == "random_walk") {
+    return std::make_unique<RandomWalkGenerator>(RandomWalkGenerator::Config{});
+  }
+  if (name == "linear_drift") {
+    return std::make_unique<LinearDriftGenerator>(LinearDriftGenerator::Config{});
+  }
+  if (name == "sinusoid") {
+    SinusoidGenerator::Config config;
+    config.amplitude_drift_sigma = 0.05;  // Give the seed something to do.
+    return std::make_unique<SinusoidGenerator>(config);
+  }
+  if (name == "ar1") {
+    return std::make_unique<Ar1Generator>(Ar1Generator::Config{});
+  }
+  if (name == "regime_switching") {
+    return std::make_unique<RegimeSwitchingGenerator>(
+        RegimeSwitchingGenerator::Config{});
+  }
+  if (name == "bursty_traffic") {
+    return std::make_unique<BurstyTrafficGenerator>(
+        BurstyTrafficGenerator::Config{});
+  }
+  if (name == "diurnal_temperature") {
+    return std::make_unique<DiurnalTemperatureGenerator>(
+        DiurnalTemperatureGenerator::Config{});
+  }
+  return std::make_unique<Vehicle2DGenerator>(Vehicle2DGenerator::Config{});
+}
+
+/// Parameterized over every generator family: shared invariants.
+class GeneratorSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorSweepTest, DeterministicUnderSeed) {
+  auto a = MakeByName(GetParam());
+  auto b = MakeByName(GetParam());
+  a->Reset(99);
+  b->Reset(99);
+  for (int i = 0; i < 200; ++i) {
+    Sample sa = a->Next();
+    Sample sb = b->Next();
+    ASSERT_TRUE(sa.truth.value == sb.truth.value) << GetParam() << " @" << i;
+    ASSERT_EQ(sa.truth.seq, sb.truth.seq);
+  }
+}
+
+TEST_P(GeneratorSweepTest, DifferentSeedsDiverge) {
+  auto a = MakeByName(GetParam());
+  auto b = MakeByName(GetParam());
+  a->Reset(1);
+  b->Reset(2);
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    if (!(a->Next().truth.value == b->Next().truth.value)) diverged = true;
+  }
+  // The pure deterministic part (seq 0) may match; later values must not
+  // all coincide. (LinearDrift with tiny wobble still wobbles.)
+  EXPECT_TRUE(diverged) << GetParam();
+}
+
+TEST_P(GeneratorSweepTest, SequenceNumbersAndTimesAdvance) {
+  auto gen = MakeByName(GetParam());
+  gen->Reset(7);
+  double prev_time = -1.0;
+  for (int64_t i = 0; i < 100; ++i) {
+    Sample s = gen->Next();
+    EXPECT_EQ(s.truth.seq, i);
+    EXPECT_GT(s.truth.time, prev_time);
+    prev_time = s.truth.time;
+    ASSERT_EQ(s.truth.value.size(), gen->dims());
+    ASSERT_TRUE(s.measured.value == s.truth.value)
+        << "bare generators emit noiseless measurements";
+    for (size_t d = 0; d < s.truth.value.size(); ++d) {
+      ASSERT_TRUE(std::isfinite(s.truth.value[d]));
+    }
+  }
+}
+
+TEST_P(GeneratorSweepTest, CloneThenResetReproduces) {
+  auto gen = MakeByName(GetParam());
+  auto clone = gen->Clone();
+  gen->Reset(42);
+  clone->Reset(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(gen->Next().truth.value == clone->Next().truth.value);
+  }
+}
+
+TEST_P(GeneratorSweepTest, ResetRestartsStream) {
+  auto gen = MakeByName(GetParam());
+  gen->Reset(5);
+  std::vector<double> first;
+  for (int i = 0; i < 50; ++i) first.push_back(gen->Next().truth.scalar());
+  gen->Reset(5);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_DOUBLE_EQ(gen->Next().truth.scalar(), first[static_cast<size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, GeneratorSweepTest,
+    ::testing::Values("random_walk", "linear_drift", "sinusoid", "ar1",
+                      "regime_switching", "bursty_traffic",
+                      "diurnal_temperature", "vehicle_2d"));
+
+TEST(RandomWalkTest, DriftAccumulates) {
+  RandomWalkGenerator::Config config;
+  config.drift = 1.0;
+  config.step_sigma = 0.0;
+  RandomWalkGenerator gen(config);
+  gen.Reset(1);
+  Sample last;
+  for (int i = 0; i < 11; ++i) last = gen.Next();
+  EXPECT_DOUBLE_EQ(last.truth.scalar(), 10.0);
+}
+
+TEST(LinearDriftTest, PureLineWithoutWobble) {
+  LinearDriftGenerator::Config config;
+  config.start = 2.0;
+  config.slope = 0.5;
+  config.wobble_sigma = 0.0;
+  LinearDriftGenerator gen(config);
+  gen.Reset(1);
+  gen.Next();
+  gen.Next();
+  EXPECT_DOUBLE_EQ(gen.Next().truth.scalar(), 2.0 + 0.5 * 2.0);
+}
+
+TEST(SinusoidTest, PeriodAndAmplitude) {
+  SinusoidGenerator::Config config;
+  config.offset = 1.0;
+  config.amplitude = 3.0;
+  config.period = 4.0;  // Ticks 0..3 cover one cycle.
+  config.amplitude_drift_sigma = 0.0;
+  SinusoidGenerator gen(config);
+  gen.Reset(1);
+  EXPECT_NEAR(gen.Next().truth.scalar(), 1.0, 1e-12);        // sin(0)
+  EXPECT_NEAR(gen.Next().truth.scalar(), 4.0, 1e-12);        // sin(pi/2)
+  EXPECT_NEAR(gen.Next().truth.scalar(), 1.0, 1e-12);        // sin(pi)
+  EXPECT_NEAR(gen.Next().truth.scalar(), -2.0, 1e-12);       // sin(3pi/2)
+}
+
+TEST(Ar1Test, MeanRevertsAndIsStationary) {
+  Ar1Generator::Config config;
+  config.mean = 10.0;
+  config.phi = 0.9;
+  config.sigma = 1.0;
+  Ar1Generator gen(config);
+  gen.Reset(3);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(gen.Next().truth.scalar());
+  EXPECT_NEAR(stats.mean(), 10.0, 0.5);
+  // Stationary variance sigma^2/(1-phi^2) = 1/0.19 ≈ 5.26.
+  EXPECT_NEAR(stats.variance(), 1.0 / (1.0 - 0.81), 1.0);
+}
+
+TEST(RegimeSwitchingTest, VolatilityChangesOnSchedule) {
+  RegimeSwitchingGenerator::Config config;
+  config.regimes = {{500, 0.1, 0.0}, {500, 5.0, 0.0}};
+  RegimeSwitchingGenerator gen(config);
+  gen.Reset(4);
+  RunningStats quiet, loud;
+  double prev = gen.Next().truth.scalar();
+  for (int i = 1; i < 1000; ++i) {
+    double v = gen.Next().truth.scalar();
+    (i < 500 ? quiet : loud).Add(std::fabs(v - prev));
+    prev = v;
+  }
+  EXPECT_LT(quiet.mean() * 10.0, loud.mean());
+}
+
+TEST(RegimeSwitchingTest, RegimesCycle) {
+  RegimeSwitchingGenerator::Config config;
+  config.regimes = {{10, 0.1, 0.0}, {10, 1.0, 0.0}};
+  RegimeSwitchingGenerator gen(config);
+  gen.Reset(5);
+  for (int i = 0; i < 10; ++i) gen.Next();
+  EXPECT_EQ(gen.current_regime(), 1u);
+  for (int i = 0; i < 10; ++i) gen.Next();
+  EXPECT_EQ(gen.current_regime(), 0u);
+}
+
+TEST(BurstyTrafficTest, NonNegativeAndBursty) {
+  BurstyTrafficGenerator gen(BurstyTrafficGenerator::Config{});
+  gen.Reset(6);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    double v = gen.Next().truth.scalar();
+    ASSERT_GE(v, 0.0);
+    stats.Add(v);
+  }
+  // Heavy right tail: max far above mean.
+  EXPECT_GT(stats.max(), 3.0 * stats.mean());
+}
+
+TEST(DiurnalTemperatureTest, DailyCycleVisible) {
+  DiurnalTemperatureGenerator::Config config;
+  config.weather_sigma = 0.0;
+  config.mean = 18.0;
+  config.daily_amplitude = 6.0;
+  config.day_length = 288.0;
+  DiurnalTemperatureGenerator gen(config);
+  gen.Reset(7);
+  double min_v = 1e9, max_v = -1e9;
+  for (int i = 0; i < 288; ++i) {
+    double v = gen.Next().truth.scalar();
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_NEAR(min_v, 12.0, 0.1);
+  EXPECT_NEAR(max_v, 24.0, 0.1);
+}
+
+TEST(Vehicle2DTest, SpeedBoundsStepDistance) {
+  Vehicle2DGenerator::Config config;
+  Vehicle2DGenerator gen(config);
+  gen.Reset(8);
+  Sample prev = gen.Next();
+  for (int i = 0; i < 1000; ++i) {
+    Sample cur = gen.Next();
+    double dx = cur.truth.value[0] - prev.truth.value[0];
+    double dy = cur.truth.value[1] - prev.truth.value[1];
+    double dist = std::hypot(dx, dy);
+    ASSERT_LE(dist, 2.0 * config.speed_mean + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(Vehicle2DTest, ActuallyMoves) {
+  Vehicle2DGenerator gen(Vehicle2DGenerator::Config{});
+  gen.Reset(9);
+  Sample first = gen.Next();
+  Sample last;
+  for (int i = 0; i < 500; ++i) last = gen.Next();
+  double dist = std::hypot(last.truth.value[0] - first.truth.value[0],
+                           last.truth.value[1] - first.truth.value[1]);
+  EXPECT_GT(dist, 10.0);
+}
+
+}  // namespace
+}  // namespace kc

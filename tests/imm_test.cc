@@ -1,0 +1,123 @@
+#include "kalman/imm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/decomp.h"
+
+namespace kc {
+namespace {
+
+/// Two-mode bank over the same random-walk state space: a quiet model and
+/// a maneuvering (high-Q) model.
+Imm MakeTwoModeImm(double sticky = 0.95) {
+  std::vector<KalmanFilter> filters;
+  filters.emplace_back(MakeRandomWalkModel(0.01, 0.25), Vector{0.0},
+                       Matrix{{1.0}});
+  filters.emplace_back(MakeRandomWalkModel(4.0, 0.25), Vector{0.0},
+                       Matrix{{1.0}});
+  Matrix transition{{sticky, 1.0 - sticky}, {1.0 - sticky, sticky}};
+  return Imm(std::move(filters), transition, Vector{0.5, 0.5});
+}
+
+TEST(ImmTest, ValidateCatchesBadConfigs) {
+  std::vector<KalmanFilter> one;
+  one.emplace_back(MakeRandomWalkModel(0.1, 1.0), Vector{0.0}, Matrix{{1.0}});
+  // Constructor asserts in debug; exercise Validate() directly through a
+  // well-formed object instead.
+  Imm good = MakeTwoModeImm();
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(ImmTest, ProbabilitiesStayNormalized) {
+  Imm imm = MakeTwoModeImm();
+  Rng rng(1);
+  double x = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    x += rng.Gaussian(0.0, 0.1);
+    imm.Predict();
+    ASSERT_TRUE(imm.Update(Vector{x + rng.Gaussian(0.0, 0.5)}).ok());
+    double sum = 0.0;
+    for (size_t j = 0; j < imm.mode_probabilities().size(); ++j) {
+      double p = imm.mode_probabilities()[j];
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0 + 1e-12);
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ImmTest, QuietStreamFavorsQuietMode) {
+  Imm imm = MakeTwoModeImm();
+  Rng rng(2);
+  double x = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    x += rng.Gaussian(0.0, 0.1);
+    imm.Predict();
+    ASSERT_TRUE(imm.Update(Vector{x + rng.Gaussian(0.0, 0.5)}).ok());
+  }
+  EXPECT_EQ(imm.MostLikelyMode(), 0u);
+  EXPECT_GT(imm.mode_probabilities()[0], 0.7);
+}
+
+TEST(ImmTest, ManeuverFlipsToLoudMode) {
+  Imm imm = MakeTwoModeImm();
+  Rng rng(3);
+  double x = 0.0;
+  for (int i = 0; i < 300; ++i) {  // Quiet phase.
+    x += rng.Gaussian(0.0, 0.1);
+    imm.Predict();
+    ASSERT_TRUE(imm.Update(Vector{x + rng.Gaussian(0.0, 0.5)}).ok());
+  }
+  ASSERT_EQ(imm.MostLikelyMode(), 0u);
+  for (int i = 0; i < 100; ++i) {  // Violent phase.
+    x += rng.Gaussian(0.0, 2.5);
+    imm.Predict();
+    ASSERT_TRUE(imm.Update(Vector{x + rng.Gaussian(0.0, 0.5)}).ok());
+  }
+  EXPECT_EQ(imm.MostLikelyMode(), 1u);
+}
+
+TEST(ImmTest, CombinedEstimateTracksTruth) {
+  Imm imm = MakeTwoModeImm();
+  Rng rng(4);
+  double x = 0.0;
+  double sse = 0.0;
+  int count = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double sigma = (i / 250) % 2 == 0 ? 0.1 : 2.0;  // Alternating regimes.
+    x += rng.Gaussian(0.0, sigma);
+    imm.Predict();
+    ASSERT_TRUE(imm.Update(Vector{x + rng.Gaussian(0.0, 0.5)}).ok());
+    if (i > 50) {
+      double e = imm.CombinedState()[0] - x;
+      sse += e * e;
+      ++count;
+    }
+  }
+  double rmse = std::sqrt(sse / count);
+  EXPECT_LT(rmse, 0.6);  // Near sensor noise despite regime flips.
+}
+
+TEST(ImmTest, CombinedCovarianceIsPsdAndIncludesSpread) {
+  Imm imm = MakeTwoModeImm();
+  imm.Predict();
+  ASSERT_TRUE(imm.Update(Vector{3.0}).ok());
+  Matrix p = imm.CombinedCovariance();
+  EXPECT_TRUE(IsPositiveSemiDefinite(p));
+  // With disagreeing modes, combined variance >= min individual variance.
+  double min_var = std::min(imm.filter(0).covariance()(0, 0),
+                            imm.filter(1).covariance()(0, 0));
+  EXPECT_GE(p(0, 0), min_var - 1e-12);
+}
+
+TEST(ImmTest, PredictObservationUsesCombinedState) {
+  Imm imm = MakeTwoModeImm();
+  imm.Predict();
+  ASSERT_TRUE(imm.Update(Vector{5.0}).ok());
+  EXPECT_NEAR(imm.PredictObservation()[0], imm.CombinedState()[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace kc

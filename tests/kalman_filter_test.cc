@@ -1,0 +1,212 @@
+#include "kalman/kalman_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kalman/riccati.h"
+#include "linalg/decomp.h"
+
+namespace kc {
+namespace {
+
+KalmanFilter MakeScalarFilter(double q, double r,
+                              KalmanFilter::UpdateForm form =
+                                  KalmanFilter::UpdateForm::kJoseph) {
+  return KalmanFilter(MakeRandomWalkModel(q, r), Vector{0.0},
+                      Matrix{{1.0}}, form);
+}
+
+TEST(KalmanFilterTest, PredictPropagatesMeanAndCovariance) {
+  StateSpaceModel m = MakeConstantVelocityModel(1.0, 0.1, 1.0);
+  KalmanFilter kf(m, Vector{1.0, 2.0}, Matrix::Identity(2));
+  kf.Predict();
+  // x = F x: position 1 + 2*1 = 3, velocity 2.
+  EXPECT_DOUBLE_EQ(kf.state()[0], 3.0);
+  EXPECT_DOUBLE_EQ(kf.state()[1], 2.0);
+  // P grows: F P F^T + Q with P = I.
+  Matrix expected = Sandwich(m.f, Matrix::Identity(2)) + m.q;
+  EXPECT_TRUE(AlmostEqual(kf.covariance(), expected, 1e-12));
+}
+
+TEST(KalmanFilterTest, UpdateMovesTowardObservation) {
+  KalmanFilter kf = MakeScalarFilter(0.1, 1.0);
+  kf.Predict();
+  ASSERT_TRUE(kf.Update(Vector{5.0}).ok());
+  EXPECT_GT(kf.state()[0], 0.0);
+  EXPECT_LT(kf.state()[0], 5.0);
+  EXPECT_EQ(kf.update_count(), 1);
+}
+
+TEST(KalmanFilterTest, UpdateRejectsWrongDimension) {
+  KalmanFilter kf = MakeScalarFilter(0.1, 1.0);
+  EXPECT_FALSE(kf.Update(Vector{1.0, 2.0}).ok());
+  EXPECT_EQ(kf.update_count(), 0);
+}
+
+TEST(KalmanFilterTest, ConvergesToScalarRiccatiFixedPoint) {
+  double q = 0.3, r = 2.0;
+  ScalarSteadyState ss = SolveScalarDare(1.0, q, 1.0, r);
+  KalmanFilter kf = MakeScalarFilter(q, r);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{rng.Gaussian()}).ok());
+  }
+  // Posterior variance should sit at the steady-state updated variance.
+  EXPECT_NEAR(kf.covariance()(0, 0), ss.p_update, 1e-9);
+  // One more predict lands on the prior steady state.
+  kf.Predict();
+  EXPECT_NEAR(kf.covariance()(0, 0), ss.p_predict, 1e-9);
+}
+
+TEST(KalmanFilterTest, JosephAndStandardAgreeOnWellConditioned) {
+  KalmanFilter a = MakeScalarFilter(0.5, 1.0, KalmanFilter::UpdateForm::kJoseph);
+  KalmanFilter b =
+      MakeScalarFilter(0.5, 1.0, KalmanFilter::UpdateForm::kStandard);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    double z = rng.Gaussian(0.0, 2.0);
+    a.Predict();
+    b.Predict();
+    ASSERT_TRUE(a.Update(Vector{z}).ok());
+    ASSERT_TRUE(b.Update(Vector{z}).ok());
+  }
+  EXPECT_NEAR(a.state()[0], b.state()[0], 1e-9);
+  EXPECT_NEAR(a.covariance()(0, 0), b.covariance()(0, 0), 1e-9);
+}
+
+TEST(KalmanFilterTest, TracksNoisyRandomWalkBetterThanRawMeasurements) {
+  double process_sigma = 0.2, noise_sigma = 2.0;
+  KalmanFilter kf = MakeScalarFilter(process_sigma * process_sigma,
+                                     noise_sigma * noise_sigma);
+  Rng rng(13);
+  double truth = 0.0;
+  RunningStats filter_err, raw_err;
+  for (int i = 0; i < 5000; ++i) {
+    truth += rng.Gaussian(0.0, process_sigma);
+    double z = truth + rng.Gaussian(0.0, noise_sigma);
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{z}).ok());
+    filter_err.Add(kf.state()[0] - truth);
+    raw_err.Add(z - truth);
+  }
+  // The filter's RMSE should be far below the sensor's.
+  EXPECT_LT(filter_err.rms(), 0.5 * raw_err.rms());
+}
+
+TEST(KalmanFilterTest, NisAveragesNearObsDimWhenModelMatches) {
+  double q = 0.09, r = 1.0;
+  KalmanFilter kf = MakeScalarFilter(q, r);
+  Rng rng(17);
+  double truth = 0.0;
+  RunningStats nis;
+  for (int i = 0; i < 20000; ++i) {
+    truth += rng.Gaussian(0.0, 0.3);
+    double z = truth + rng.Gaussian(0.0, 1.0);
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{z}).ok());
+    if (i > 100) nis.Add(kf.last_nis());
+  }
+  // NIS ~ chi^2(1): mean 1.
+  EXPECT_NEAR(nis.mean(), 1.0, 0.1);
+}
+
+TEST(KalmanFilterTest, LogLikelihoodIsGaussianDensity) {
+  KalmanFilter kf = MakeScalarFilter(0.1, 1.0);
+  kf.Predict();
+  ASSERT_TRUE(kf.Update(Vector{0.7}).ok());
+  // Manually: before update x=0, P=1.1; S = 1.1 + 1 = 2.1; nu = 0.7.
+  double s = 2.1, nu = 0.7;
+  double expected = -0.5 * (nu * nu / s + std::log(s) + std::log(2 * M_PI));
+  EXPECT_NEAR(kf.last_log_likelihood(), expected, 1e-12);
+  EXPECT_NEAR(kf.last_nis(), nu * nu / s, 1e-12);
+}
+
+TEST(KalmanFilterTest, PredictObservationAndInnovationCovariance) {
+  StateSpaceModel m = MakeConstantVelocityModel(1.0, 0.1, 2.0);
+  KalmanFilter kf(m, Vector{4.0, 1.0}, Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(kf.PredictObservation()[0], 4.0);
+  Matrix s = kf.InnovationCovariance();
+  EXPECT_DOUBLE_EQ(s(0, 0), 1.0 + 2.0);  // H P H^T + R with P = I.
+}
+
+TEST(KalmanFilterTest, SerializeDeserializeRoundTrip) {
+  StateSpaceModel m = MakeConstantVelocityModel(1.0, 0.2, 1.0);
+  KalmanFilter a(m, Vector{1.0, -1.0}, Matrix::Identity(2));
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    a.Predict();
+    ASSERT_TRUE(a.Update(Vector{rng.Gaussian()}).ok());
+  }
+  KalmanFilter b(m, Vector{0.0, 0.0}, Matrix::Identity(2));
+  ASSERT_TRUE(b.DeserializeState(a.SerializeState()).ok());
+  EXPECT_TRUE(AlmostEqual(a.state(), b.state(), 1e-15));
+  EXPECT_TRUE(AlmostEqual(a.covariance(), b.covariance(), 1e-15));
+
+  // And they evolve identically afterwards.
+  a.Predict();
+  b.Predict();
+  ASSERT_TRUE(a.Update(Vector{0.5}).ok());
+  ASSERT_TRUE(b.Update(Vector{0.5}).ok());
+  EXPECT_TRUE(AlmostEqual(a.state(), b.state(), 1e-15));
+}
+
+TEST(KalmanFilterTest, DeserializeRejectsWrongSize) {
+  KalmanFilter kf = MakeScalarFilter(0.1, 1.0);
+  EXPECT_FALSE(kf.DeserializeState({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(KalmanFilterTest, ResetClearsDiagnostics) {
+  KalmanFilter kf = MakeScalarFilter(0.1, 1.0);
+  kf.Predict();
+  ASSERT_TRUE(kf.Update(Vector{1.0}).ok());
+  kf.Reset(Vector{2.0}, Matrix{{4.0}});
+  EXPECT_EQ(kf.update_count(), 0);
+  EXPECT_DOUBLE_EQ(kf.state()[0], 2.0);
+  EXPECT_DOUBLE_EQ(kf.covariance()(0, 0), 4.0);
+}
+
+/// Property sweep: covariance stays symmetric PSD over long runs for every
+/// bundled model under the Joseph update.
+class CovariancePsdTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ public:
+  static StateSpaceModel ModelByName(const std::string& name) {
+    if (name == "random_walk") return MakeRandomWalkModel(0.2, 1.0);
+    if (name == "cv") return MakeConstantVelocityModel(1.0, 0.1, 1.0);
+    if (name == "ca") return MakeConstantAccelerationModel(1.0, 0.05, 1.0);
+    if (name == "harmonic") return MakeHarmonicModel(0.15, 1.0, 0.01, 1.0);
+    return MakeConstantVelocity2DModel(1.0, 0.1, 1.0);
+  }
+};
+
+TEST_P(CovariancePsdTest, StaysSymmetricPsdOverLongRuns) {
+  auto [name, seed] = GetParam();
+  StateSpaceModel m = ModelByName(name);
+  size_t n = m.state_dim();
+  KalmanFilter kf(m, Vector(n), Matrix::ScalarDiagonal(n, 10.0));
+  Rng rng(static_cast<uint64_t>(seed));
+  for (int i = 0; i < 5000; ++i) {
+    kf.Predict();
+    Vector z(m.obs_dim());
+    for (size_t d = 0; d < m.obs_dim(); ++d) z[d] = rng.Gaussian(0.0, 3.0);
+    ASSERT_TRUE(kf.Update(z).ok());
+    if (i % 500 == 0) {
+      ASSERT_TRUE(kf.covariance().IsSymmetric(1e-9)) << name << " @" << i;
+      ASSERT_TRUE(IsPositiveSemiDefinite(kf.covariance())) << name << " @" << i;
+    }
+  }
+  EXPECT_TRUE(IsPositiveSemiDefinite(kf.covariance()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, CovariancePsdTest,
+    ::testing::Combine(::testing::Values("random_walk", "cv", "ca", "harmonic",
+                                         "cv2d"),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace kc

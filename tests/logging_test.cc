@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace kc {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  KC_LOG(Info) << "should be suppressed";
+  KC_LOG(Warning) << "warn line " << 42;
+  KC_LOG(Error) << "error line";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should be suppressed"), std::string::npos);
+  EXPECT_NE(err.find("warn line 42"), std::string::npos);
+  EXPECT_NE(err.find("error line"), std::string::npos);
+  // Lines carry the level tag and source location basename.
+  EXPECT_NE(err.find("W logging_test.cc"), std::string::npos);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, DebugVisibleWhenEnabled) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  KC_LOG(Debug) << "debug detail";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("debug detail"), std::string::npos);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,138 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kc {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  m(1, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+}
+
+TEST(MatrixTest, IdentityDiagonalScalar) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+
+  Matrix diag = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+
+  Matrix scalar = Matrix::ScalarDiagonal(2, 5.0);
+  EXPECT_DOUBLE_EQ(scalar(1, 1), 5.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  Matrix o = Matrix::Outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix b{{0.0, 2.0}, {3.0, 0.0}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 1), 2.0);
+  Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 0), -3.0);
+  Matrix scaled = b * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 4.0);
+  Matrix negated = -a;
+  EXPECT_DOUBLE_EQ(negated(0, 0), -1.0);
+}
+
+TEST(MatrixTest, MatrixMultiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, NonSquareMultiply) {
+  Matrix a{{1.0, 2.0, 3.0}};           // 1x3
+  Matrix b{{1.0}, {2.0}, {3.0}};       // 3x1
+  Matrix c = a * b;                    // 1x1
+  EXPECT_DOUBLE_EQ(c(0, 0), 14.0);
+  Matrix d = b * a;                    // 3x3
+  EXPECT_DOUBLE_EQ(d(2, 2), 9.0);
+}
+
+TEST(MatrixTest, MatrixVectorMultiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector v{1.0, 1.0};
+  Vector out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(MatrixTest, TransposeRowColDiag) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(AlmostEqual(a.Row(1), Vector({4.0, 5.0, 6.0})));
+  EXPECT_TRUE(AlmostEqual(a.Col(2), Vector({3.0, 6.0})));
+  EXPECT_TRUE(AlmostEqual(a.Diag(), Vector({1.0, 5.0})));
+}
+
+TEST(MatrixTest, TraceMaxAbsFrobenius) {
+  Matrix a{{1.0, -5.0}, {2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(a.Trace(), 4.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 5.0);
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), std::sqrt(1.0 + 25.0 + 4.0 + 9.0));
+}
+
+TEST(MatrixTest, SymmetryCheckAndSymmetrize) {
+  Matrix sym{{2.0, 1.0}, {1.0, 2.0}};
+  EXPECT_TRUE(sym.IsSymmetric());
+  Matrix asym{{2.0, 1.0}, {1.0 + 1e-6, 2.0}};
+  EXPECT_FALSE(asym.IsSymmetric(1e-9));
+  asym.Symmetrize();
+  EXPECT_TRUE(asym.IsSymmetric(1e-12));
+  EXPECT_NEAR(asym(0, 1), 1.0 + 5e-7, 1e-12);
+}
+
+TEST(MatrixTest, QuadraticForm) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  Vector x{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(QuadraticForm(a, x), 2.0 + 12.0);
+}
+
+TEST(MatrixTest, SandwichIsABAt) {
+  Matrix a{{1.0, 1.0}, {0.0, 1.0}};
+  Matrix b = Matrix::Identity(2);
+  Matrix s = Sandwich(a, b);  // A A^T
+  EXPECT_DOUBLE_EQ(s(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 1.0);
+}
+
+TEST(MatrixTest, EqualityAndAlmostEqual) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.0, 2.0}};
+  EXPECT_TRUE(a == b);
+  Matrix c{{1.0, 2.0 + 1e-12}};
+  EXPECT_TRUE(AlmostEqual(a, c, 1e-9));
+  EXPECT_FALSE(AlmostEqual(a, Matrix{{1.0}, {2.0}}, 1e-9));
+}
+
+TEST(MatrixTest, ToStringFormat) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.ToString(), "[[1, 2], [3, 4]]");
+}
+
+}  // namespace
+}  // namespace kc

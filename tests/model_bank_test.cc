@@ -1,0 +1,87 @@
+#include "kalman/model_bank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kc {
+namespace {
+
+ModelBank MakeBank() {
+  ModelBank bank(/*window=*/32);
+  bank.AddFilter(KalmanFilter(MakeRandomWalkModel(0.01, 1.0), Vector{0.0},
+                              Matrix{{10.0}}));
+  bank.AddFilter(KalmanFilter(MakeConstantVelocityModel(1.0, 0.01, 1.0),
+                              Vector{0.0, 0.0}, Matrix::ScalarDiagonal(2, 10.0)));
+  return bank;
+}
+
+TEST(ModelBankTest, EmptyAndSize) {
+  ModelBank bank;
+  EXPECT_TRUE(bank.empty());
+  bank = MakeBank();
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.active_index(), 0u);
+}
+
+TEST(ModelBankTest, PicksConstantVelocityOnTrendingStream) {
+  ModelBank bank = MakeBank();
+  Rng rng(1);
+  double truth = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    truth += 0.8;  // Strong linear trend.
+    bank.Predict();
+    ASSERT_TRUE(bank.Update(Vector{truth + rng.Gaussian(0.0, 0.3)}).ok());
+  }
+  EXPECT_EQ(bank.active_index(), 1u) << "CV model should win on a ramp";
+}
+
+TEST(ModelBankTest, PicksRandomWalkOnDriftlessStream) {
+  ModelBank bank = MakeBank();
+  Rng rng(2);
+  double truth = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    truth += rng.Gaussian(0.0, 0.05);
+    bank.Predict();
+    ASSERT_TRUE(bank.Update(Vector{truth + rng.Gaussian(0.0, 1.0)}).ok());
+  }
+  EXPECT_EQ(bank.active_index(), 0u) << "RW model should win on drifting noise";
+}
+
+TEST(ModelBankTest, SwitchesWhenRegimeChanges) {
+  ModelBank bank = MakeBank();
+  Rng rng(3);
+  double truth = 0.0;
+  // Phase 1: flat noise (random walk wins).
+  for (int i = 0; i < 200; ++i) {
+    truth += rng.Gaussian(0.0, 0.05);
+    bank.Predict();
+    ASSERT_TRUE(bank.Update(Vector{truth + rng.Gaussian(0.0, 1.0)}).ok());
+  }
+  size_t active_flat = bank.active_index();
+  // Phase 2: strong ramp (constant velocity should take over).
+  for (int i = 0; i < 200; ++i) {
+    truth += 1.0;
+    bank.Predict();
+    ASSERT_TRUE(bank.Update(Vector{truth + rng.Gaussian(0.0, 0.3)}).ok());
+  }
+  EXPECT_NE(bank.active_index(), active_flat);
+  EXPECT_GE(bank.switch_count(), 1);
+}
+
+TEST(ModelBankTest, ActivePredictionComesFromActiveFilter) {
+  ModelBank bank = MakeBank();
+  bank.Predict();
+  ASSERT_TRUE(bank.Update(Vector{2.0}).ok());
+  Vector from_bank = bank.PredictObservation();
+  Vector from_active = bank.active().PredictObservation();
+  EXPECT_TRUE(AlmostEqual(from_bank, from_active, 0.0));
+}
+
+TEST(ModelBankTest, ScoreOfUnupdatedFilterIsFloor) {
+  ModelBank bank = MakeBank();
+  EXPECT_LT(bank.Score(0), -1e200);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,88 @@
+#include "kalman/model.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/decomp.h"
+
+namespace kc {
+namespace {
+
+TEST(ModelTest, RandomWalkShapeAndValues) {
+  StateSpaceModel m = MakeRandomWalkModel(0.5, 2.0);
+  EXPECT_EQ(m.state_dim(), 1u);
+  EXPECT_EQ(m.obs_dim(), 1u);
+  EXPECT_DOUBLE_EQ(m.f(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.q(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.r(0, 0), 2.0);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(ModelTest, ConstantVelocityDiscretization) {
+  double dt = 0.5, qa = 2.0;
+  StateSpaceModel m = MakeConstantVelocityModel(dt, qa, 1.0);
+  EXPECT_EQ(m.state_dim(), 2u);
+  EXPECT_DOUBLE_EQ(m.f(0, 1), dt);
+  // Q must be the white-noise-acceleration discretization.
+  EXPECT_DOUBLE_EQ(m.q(0, 0), qa * dt * dt * dt / 3.0);
+  EXPECT_DOUBLE_EQ(m.q(0, 1), qa * dt * dt / 2.0);
+  EXPECT_DOUBLE_EQ(m.q(1, 1), qa * dt);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_TRUE(IsPositiveSemiDefinite(m.q));
+}
+
+TEST(ModelTest, ConstantAccelerationValid) {
+  StateSpaceModel m = MakeConstantAccelerationModel(1.0, 0.1, 0.5);
+  EXPECT_EQ(m.state_dim(), 3u);
+  EXPECT_DOUBLE_EQ(m.f(0, 2), 0.5);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_TRUE(IsPositiveSemiDefinite(m.q));
+}
+
+TEST(ModelTest, HarmonicRotationIsOrthogonal) {
+  StateSpaceModel m = MakeHarmonicModel(0.1, 1.0, 0.01, 0.5);
+  EXPECT_TRUE(m.Validate().ok());
+  // F is a rotation: F F^T = I.
+  EXPECT_TRUE(AlmostEqual(m.f * m.f.Transposed(), Matrix::Identity(2), 1e-12));
+}
+
+TEST(ModelTest, ConstantVelocity2DShapes) {
+  StateSpaceModel m = MakeConstantVelocity2DModel(1.0, 0.5, 2.0);
+  EXPECT_EQ(m.state_dim(), 4u);
+  EXPECT_EQ(m.obs_dim(), 2u);
+  EXPECT_TRUE(m.Validate().ok());
+  // H selects x (slot 0) and y (slot 2).
+  EXPECT_DOUBLE_EQ(m.h(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.h(1, 2), 1.0);
+}
+
+TEST(ModelTest, ValidateRejectsBadShapes) {
+  StateSpaceModel m = MakeRandomWalkModel(1.0, 1.0);
+  m.q = Matrix(2, 2);
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = MakeRandomWalkModel(1.0, 1.0);
+  m.h = Matrix(1, 2);
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = MakeRandomWalkModel(1.0, 1.0);
+  m.r = Matrix(2, 2);
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(ModelTest, ValidateRejectsBadNoise) {
+  StateSpaceModel m = MakeRandomWalkModel(1.0, 1.0);
+  m.r = Matrix{{0.0}};  // R must be strictly PD.
+  EXPECT_FALSE(m.Validate().ok());
+
+  m = MakeRandomWalkModel(1.0, 1.0);
+  m.q = Matrix{{-1.0}};  // Q must be PSD.
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(ModelTest, ValidateRejectsEmpty) {
+  StateSpaceModel m;
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,144 @@
+#include "streams/noise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "streams/generators.h"
+
+namespace kc {
+namespace {
+
+std::unique_ptr<StreamGenerator> FlatTruth() {
+  LinearDriftGenerator::Config config;
+  config.start = 5.0;
+  config.slope = 0.0;
+  config.wobble_sigma = 0.0;
+  return std::make_unique<LinearDriftGenerator>(config);
+}
+
+TEST(NoisyStreamTest, TruthPreservedMeasurementPerturbed) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 1.0;
+  NoisyStream stream(FlatTruth(), noise);
+  stream.Reset(1);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    Sample s = stream.Next();
+    EXPECT_DOUBLE_EQ(s.truth.scalar(), 5.0);
+    if (s.measured.scalar() != s.truth.scalar()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(NoisyStreamTest, NoiseLevelMatchesSigma) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 2.0;
+  NoisyStream stream(FlatTruth(), noise);
+  stream.Reset(2);
+  RunningStats err;
+  for (int i = 0; i < 20000; ++i) {
+    Sample s = stream.Next();
+    err.Add(s.measured.scalar() - s.truth.scalar());
+  }
+  EXPECT_NEAR(err.stddev(), 2.0, 0.1);
+  EXPECT_NEAR(err.mean(), 0.0, 0.05);
+}
+
+TEST(NoisyStreamTest, ZeroSigmaIsTransparent) {
+  NoisyStream stream(FlatTruth(), NoiseConfig{});
+  stream.Reset(3);
+  for (int i = 0; i < 50; ++i) {
+    Sample s = stream.Next();
+    EXPECT_DOUBLE_EQ(s.measured.scalar(), s.truth.scalar());
+  }
+}
+
+TEST(NoisyStreamTest, OutliersOccurAtConfiguredRate) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 0.1;
+  noise.outlier_prob = 0.05;
+  noise.outlier_scale = 100.0;  // Outliers are up to +/-10 wide.
+  NoisyStream stream(FlatTruth(), noise);
+  stream.Reset(4);
+  int outliers = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Sample s = stream.Next();
+    if (std::fabs(s.measured.scalar() - s.truth.scalar()) > 1.0) ++outliers;
+  }
+  double rate = static_cast<double>(outliers) / n;
+  EXPECT_NEAR(rate, 0.05 * 0.9, 0.02);  // ~90% of outliers exceed 1.0.
+}
+
+TEST(NoisyStreamTest, StuckSensorRepeatsPreviousMeasurement) {
+  RandomWalkGenerator::Config walk;
+  walk.step_sigma = 5.0;  // Truth moves a lot each tick.
+  NoiseConfig noise;
+  noise.stuck_prob = 0.5;
+  noise.gaussian_sigma = 0.0;
+  NoisyStream stream(std::make_unique<RandomWalkGenerator>(walk), noise);
+  stream.Reset(5);
+  Sample prev = stream.Next();
+  int stuck = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Sample cur = stream.Next();
+    if (cur.measured.scalar() == prev.measured.scalar()) ++stuck;
+    prev = cur;
+  }
+  EXPECT_NEAR(static_cast<double>(stuck) / 2000.0, 0.5, 0.05);
+}
+
+TEST(NoisyStreamTest, DeterministicUnderSeed) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 1.0;
+  noise.outlier_prob = 0.01;
+  NoisyStream a(FlatTruth(), noise);
+  NoisyStream b(FlatTruth(), noise);
+  a.Reset(9);
+  b.Reset(9);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_DOUBLE_EQ(a.Next().measured.scalar(), b.Next().measured.scalar());
+  }
+}
+
+TEST(NoisyStreamTest, NameAndDimsDelegate) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 0.5;
+  NoisyStream stream(
+      std::make_unique<Vehicle2DGenerator>(Vehicle2DGenerator::Config{}), noise);
+  EXPECT_EQ(stream.dims(), 2u);
+  EXPECT_EQ(stream.name(), "vehicle_2d+noise");
+}
+
+TEST(NoisyStreamTest, MultiDimNoiseIsPerDimension) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 1.0;
+  NoisyStream stream(
+      std::make_unique<Vehicle2DGenerator>(Vehicle2DGenerator::Config{}), noise);
+  stream.Reset(11);
+  RunningStats err_x, err_y;
+  for (int i = 0; i < 5000; ++i) {
+    Sample s = stream.Next();
+    err_x.Add(s.measured.value[0] - s.truth.value[0]);
+    err_y.Add(s.measured.value[1] - s.truth.value[1]);
+  }
+  EXPECT_NEAR(err_x.stddev(), 1.0, 0.1);
+  EXPECT_NEAR(err_y.stddev(), 1.0, 0.1);
+}
+
+TEST(NoisyStreamTest, CloneIsIndependentButEquivalent) {
+  NoiseConfig noise;
+  noise.gaussian_sigma = 1.0;
+  NoisyStream a(FlatTruth(), noise);
+  auto b = a.Clone();
+  a.Reset(13);
+  b->Reset(13);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.Next().measured.scalar(), b->Next().measured.scalar());
+  }
+}
+
+}  // namespace
+}  // namespace kc

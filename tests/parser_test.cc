@@ -1,0 +1,179 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+
+namespace kc {
+namespace {
+
+TEST(LexerTest, TokenizesAllKinds) {
+  auto tokens = Tokenize("SELECT avg(s1, 2) WHEN > 4.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // Including End.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "AVG");  // Uppercased keyword.
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLParen);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[3].text, "s1");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kComma);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[5].number, 2.0);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kRParen);
+  EXPECT_EQ((*tokens)[7].text, "WHEN");
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kGreater);
+  EXPECT_DOUBLE_EQ((*tokens)[9].number, 4.5);
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersWithSignsAndExponents) {
+  auto tokens = Tokenize("-3.5e-2 +7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, -0.035);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 7.0);
+}
+
+TEST(LexerTest, RejectsGarbageCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+  EXPECT_FALSE(Tokenize("SELECT ;").ok());
+}
+
+TEST(LexerTest, RejectsMalformedNumber) {
+  EXPECT_FALSE(Tokenize("-").ok());
+  EXPECT_FALSE(Tokenize(".").ok());
+}
+
+TEST(ParserTest, MinimalValueQuery) {
+  auto spec = ParseQuery("SELECT VALUE(s3)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->kind, AggregateKind::kValue);
+  ASSERT_EQ(spec->sources.size(), 1u);
+  EXPECT_EQ(spec->sources[0], 3);
+  EXPECT_DOUBLE_EQ(spec->within, 0.0);
+  EXPECT_EQ(spec->every, 1);
+  EXPECT_FALSE(spec->threshold.has_value());
+}
+
+TEST(ParserTest, FullAggregateQuery) {
+  auto spec =
+      ParseQuery("select avg(s0, s1, s2) within 0.5 every 10");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->kind, AggregateKind::kAvg);
+  EXPECT_EQ(spec->sources, (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(spec->within, 0.5);
+  EXPECT_EQ(spec->every, 10);
+}
+
+TEST(ParserTest, ThresholdQueries) {
+  auto spec = ParseQuery("SELECT MAX(s0, s1) WHEN > 40 WITHIN 0.25");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->kind, AggregateKind::kMax);
+  ASSERT_TRUE(spec->threshold.has_value());
+  EXPECT_DOUBLE_EQ(*spec->threshold, 40.0);
+  EXPECT_TRUE(spec->above);
+
+  spec = ParseQuery("SELECT MIN(s0) WHEN < -5");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->above);
+  EXPECT_DOUBLE_EQ(*spec->threshold, -5.0);
+}
+
+TEST(ParserTest, ClausesInAnyOrder) {
+  auto spec = ParseQuery("SELECT SUM(s1, s2) EVERY 5 WITHIN 2 WHEN > 0");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->every, 5);
+  EXPECT_DOUBLE_EQ(spec->within, 2.0);
+  EXPECT_TRUE(spec->threshold.has_value());
+}
+
+TEST(ParserTest, BareIntegerSources) {
+  auto spec = ParseQuery("SELECT SUM(0, 1, 2)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->sources, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(ParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("AVG(s1)").ok());              // Missing SELECT.
+  EXPECT_FALSE(ParseQuery("SELECT AVG s1").ok());        // Missing parens.
+  EXPECT_FALSE(ParseQuery("SELECT AVG()").ok());         // Empty sources.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1,)").ok());      // Trailing comma.
+  EXPECT_FALSE(ParseQuery("SELECT FOO(s1)").ok());       // Unknown aggregate.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1) garbage").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1) WITHIN").ok());  // Missing number.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1) WHEN 5").ok());  // Missing direction.
+}
+
+TEST(ParserTest, RejectsSemanticErrors) {
+  EXPECT_FALSE(ParseQuery("SELECT VALUE(s1, s2)").ok());  // VALUE is unary.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1) WITHIN -2").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1) EVERY 2.5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s1) EVERY 0").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(x9)").ok());   // Bad source name.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(-3)").ok());   // Negative id.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(1.5)").ok());  // Fractional id.
+}
+
+TEST(ParserTest, HistoricalQueries) {
+  auto spec = ParseQuery("SELECT AVG(s2) FROM 100 TO 200");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->IsHistorical());
+  EXPECT_DOUBLE_EQ(*spec->from_time, 100.0);
+  EXPECT_DOUBLE_EQ(*spec->to_time, 200.0);
+
+  spec = ParseQuery("SELECT MAX(s0) FROM 0 TO 50 WHEN > 10 WITHIN 0.5");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->IsHistorical());
+  EXPECT_TRUE(spec->threshold.has_value());
+}
+
+TEST(ParserTest, HistoricalQueryErrors) {
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0) FROM 100").ok());      // No TO.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0) FROM 200 TO 100").ok());  // Inverted.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0, s1) FROM 0 TO 10").ok());  // Multi.
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0) TO 10").ok());         // TO alone.
+}
+
+TEST(ParserTest, SlidingWindowQueries) {
+  auto spec = ParseQuery("SELECT AVG(s0) LAST 100");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->IsHistorical());
+  ASSERT_TRUE(spec->last_ticks.has_value());
+  EXPECT_EQ(*spec->last_ticks, 100);
+  EXPECT_FALSE(spec->from_time.has_value());
+
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0) LAST 0").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0) LAST 2.5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0) LAST 10 FROM 0 TO 5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(s0, s1) LAST 10").ok());  // Multi.
+
+  auto round = ParseQuery(spec->ToString());
+  ASSERT_TRUE(round.ok()) << spec->ToString();
+  EXPECT_EQ(*round->last_ticks, 100);
+}
+
+TEST(ParserTest, HistoricalRoundTripsThroughToString) {
+  auto spec = ParseQuery("SELECT MIN(s1) FROM 10 TO 20 WITHIN 2");
+  ASSERT_TRUE(spec.ok());
+  auto again = ParseQuery(spec->ToString());
+  ASSERT_TRUE(again.ok()) << spec->ToString();
+  EXPECT_DOUBLE_EQ(*again->from_time, 10.0);
+  EXPECT_DOUBLE_EQ(*again->to_time, 20.0);
+}
+
+TEST(ParserTest, RoundTripsThroughSpecToString) {
+  auto spec = ParseQuery("SELECT AVG(s0, s1) WHEN > 40 WITHIN 0.5 EVERY 10");
+  ASSERT_TRUE(spec.ok());
+  auto again = ParseQuery(spec->ToString());
+  ASSERT_TRUE(again.ok()) << "ToString must stay parseable: "
+                          << spec->ToString();
+  EXPECT_EQ(again->kind, spec->kind);
+  EXPECT_EQ(again->sources, spec->sources);
+  EXPECT_DOUBLE_EQ(again->within, spec->within);
+  EXPECT_EQ(again->every, spec->every);
+  EXPECT_DOUBLE_EQ(*again->threshold, *spec->threshold);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,103 @@
+#include "server/query.h"
+
+#include <gtest/gtest.h>
+
+namespace kc {
+namespace {
+
+TEST(QuerySpecTest, ValidationRules) {
+  QuerySpec spec;
+  spec.kind = AggregateKind::kAvg;
+  EXPECT_FALSE(spec.Validate().ok());  // No sources.
+
+  spec.sources = {1, 2};
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec.kind = AggregateKind::kValue;
+  EXPECT_FALSE(spec.Validate().ok());  // VALUE wants exactly one.
+  spec.sources = {1};
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec.within = -1.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.within = 0.5;
+  spec.every = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(QuerySpecTest, ToStringReadable) {
+  QuerySpec spec;
+  spec.kind = AggregateKind::kAvg;
+  spec.sources = {0, 1};
+  spec.within = 0.5;
+  spec.every = 10;
+  spec.threshold = 40.0;
+  spec.above = true;
+  std::string s = spec.ToString();
+  EXPECT_NE(s.find("AVG"), std::string::npos);
+  EXPECT_NE(s.find("s0"), std::string::npos);
+  EXPECT_NE(s.find("WITHIN"), std::string::npos);
+  EXPECT_NE(s.find("EVERY"), std::string::npos);
+  EXPECT_NE(s.find("WHEN"), std::string::npos);
+}
+
+TEST(AggregateValuesTest, AllKinds) {
+  std::vector<double> v = {1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kSum, v), 9.0);
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kAvg, v), 3.0);
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kMin, v), 1.0);
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kMax, v), 5.0);
+  EXPECT_DOUBLE_EQ(AggregateValues(AggregateKind::kValue, {7.0}), 7.0);
+}
+
+TEST(AggregateErrorBoundTest, BoundPropagation) {
+  std::vector<double> b = {0.5, 1.0, 0.25};
+  EXPECT_DOUBLE_EQ(AggregateErrorBound(AggregateKind::kSum, b), 1.75);
+  EXPECT_DOUBLE_EQ(AggregateErrorBound(AggregateKind::kAvg, b), 1.75 / 3.0);
+  EXPECT_DOUBLE_EQ(AggregateErrorBound(AggregateKind::kMin, b), 1.0);
+  EXPECT_DOUBLE_EQ(AggregateErrorBound(AggregateKind::kMax, b), 1.0);
+  EXPECT_DOUBLE_EQ(AggregateErrorBound(AggregateKind::kValue, {0.5}), 0.5);
+}
+
+TEST(AggregateErrorBoundTest, SumBoundIsTightForWorstCase) {
+  // If each member can be off by delta_i in the same direction, the sum is
+  // off by exactly sum(delta_i): the bound must not be smaller.
+  std::vector<double> bounds = {0.1, 0.2};
+  double bound = AggregateErrorBound(AggregateKind::kSum, bounds);
+  double worst = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(bound, worst);
+}
+
+TEST(TriggerTest, AboveThreshold) {
+  EXPECT_EQ(EvaluateTrigger(10.0, 1.0, 5.0, true), TriggerState::kYes);
+  EXPECT_EQ(EvaluateTrigger(3.0, 1.0, 5.0, true), TriggerState::kNo);
+  EXPECT_EQ(EvaluateTrigger(5.5, 1.0, 5.0, true), TriggerState::kMaybe);
+  // Exactly at the edge: value - bound == threshold is not a definite yes.
+  EXPECT_EQ(EvaluateTrigger(6.0, 1.0, 5.0, true), TriggerState::kMaybe);
+}
+
+TEST(TriggerTest, BelowThreshold) {
+  EXPECT_EQ(EvaluateTrigger(2.0, 1.0, 5.0, false), TriggerState::kYes);
+  EXPECT_EQ(EvaluateTrigger(8.0, 1.0, 5.0, false), TriggerState::kNo);
+  EXPECT_EQ(EvaluateTrigger(5.0, 1.0, 5.0, false), TriggerState::kMaybe);
+}
+
+TEST(TriggerTest, ZeroBoundIsCrisp) {
+  EXPECT_EQ(EvaluateTrigger(5.1, 0.0, 5.0, true), TriggerState::kYes);
+  EXPECT_EQ(EvaluateTrigger(5.0, 0.0, 5.0, true), TriggerState::kNo);
+}
+
+TEST(QueryResultTest, ToStringMentionsBoundAndTrigger) {
+  QueryResult r;
+  r.name = "q1";
+  r.value = 3.5;
+  r.bound = 0.25;
+  r.trigger = TriggerState::kMaybe;
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("q1"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  EXPECT_NE(s.find("MAYBE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,109 @@
+#include "kalman/smoother.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "linalg/decomp.h"
+
+namespace kc {
+namespace {
+
+TEST(RtsSmootherTest, RejectsBadInputs) {
+  StateSpaceModel model = MakeRandomWalkModel(0.1, 1.0);
+  EXPECT_FALSE(RtsSmooth(model, Vector{0.0}, Matrix{{1.0}}, {}).ok());
+  EXPECT_FALSE(
+      RtsSmooth(model, Vector{0.0, 0.0}, Matrix{{1.0}}, {Vector{1.0}}).ok());
+  StateSpaceModel broken = model;
+  broken.r = Matrix{{0.0}};
+  EXPECT_FALSE(
+      RtsSmooth(broken, Vector{0.0}, Matrix{{1.0}}, {Vector{1.0}}).ok());
+}
+
+TEST(RtsSmootherTest, LastEstimateMatchesFilter) {
+  StateSpaceModel model = MakeRandomWalkModel(0.2, 0.5);
+  Rng rng(1);
+  std::vector<Vector> obs;
+  for (int i = 0; i < 50; ++i) obs.push_back(Vector{rng.Gaussian()});
+
+  KalmanFilter kf(model, Vector{0.0}, Matrix{{1.0}});
+  for (const Vector& z : obs) {
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(z).ok());
+  }
+  auto smoothed = RtsSmooth(model, Vector{0.0}, Matrix{{1.0}}, obs);
+  ASSERT_TRUE(smoothed.ok());
+  ASSERT_EQ(smoothed->size(), obs.size());
+  EXPECT_TRUE(AlmostEqual(smoothed->back().x, kf.state(), 1e-12));
+  EXPECT_TRUE(AlmostEqual(smoothed->back().p, kf.covariance(), 1e-12));
+}
+
+TEST(RtsSmootherTest, SmoothedBeatsFilteredOnInteriorPoints) {
+  StateSpaceModel model = MakeRandomWalkModel(0.04, 1.0);
+  Rng rng(2);
+  std::vector<double> truth;
+  std::vector<Vector> obs;
+  double x = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    x += rng.Gaussian(0.0, 0.2);
+    truth.push_back(x);
+    obs.push_back(Vector{x + rng.Gaussian(0.0, 1.0)});
+  }
+
+  KalmanFilter kf(model, Vector{0.0}, Matrix{{1.0}});
+  std::vector<double> filtered;
+  for (const Vector& z : obs) {
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(z).ok());
+    filtered.push_back(kf.state()[0]);
+  }
+  auto smoothed = RtsSmooth(model, Vector{0.0}, Matrix{{1.0}}, obs);
+  ASSERT_TRUE(smoothed.ok());
+
+  RunningStats filt_err, smooth_err;
+  for (size_t k = 10; k + 10 < truth.size(); ++k) {
+    filt_err.Add(filtered[k] - truth[k]);
+    smooth_err.Add((*smoothed)[k].x[0] - truth[k]);
+  }
+  EXPECT_LT(smooth_err.rms(), 0.9 * filt_err.rms())
+      << "smoothed rmse=" << smooth_err.rms()
+      << " filtered rmse=" << filt_err.rms();
+}
+
+TEST(RtsSmootherTest, SmoothedVarianceNotLargerThanFiltered) {
+  StateSpaceModel model = MakeRandomWalkModel(0.1, 0.5);
+  Rng rng(3);
+  std::vector<Vector> obs;
+  for (int i = 0; i < 100; ++i) obs.push_back(Vector{rng.Gaussian()});
+
+  KalmanFilter kf(model, Vector{0.0}, Matrix{{1.0}});
+  std::vector<double> filt_var;
+  for (const Vector& z : obs) {
+    kf.Predict();
+    ASSERT_TRUE(kf.Update(z).ok());
+    filt_var.push_back(kf.covariance()(0, 0));
+  }
+  auto smoothed = RtsSmooth(model, Vector{0.0}, Matrix{{1.0}}, obs);
+  ASSERT_TRUE(smoothed.ok());
+  for (size_t k = 0; k < obs.size(); ++k) {
+    EXPECT_LE((*smoothed)[k].p(0, 0), filt_var[k] + 1e-12) << "k=" << k;
+    EXPECT_TRUE(IsPositiveSemiDefinite((*smoothed)[k].p));
+  }
+}
+
+TEST(RtsSmootherTest, WorksOnMultiStateModels) {
+  StateSpaceModel model = MakeConstantVelocityModel(1.0, 0.05, 0.5);
+  Rng rng(4);
+  std::vector<Vector> obs;
+  for (int i = 0; i < 60; ++i) {
+    obs.push_back(Vector{0.4 * i + rng.Gaussian(0.0, 0.7)});
+  }
+  auto smoothed =
+      RtsSmooth(model, Vector{0.0, 0.0}, Matrix::ScalarDiagonal(2, 10.0), obs);
+  ASSERT_TRUE(smoothed.ok());
+  // The smoothed velocity at an interior point should be near 0.4.
+  EXPECT_NEAR((*smoothed)[30].x[1], 0.4, 0.1);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,131 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kc {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.rms(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // Known population variance.
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStatsTest, RmsOfErrors) {
+  RunningStats s;
+  s.Add(3.0);
+  s.Add(-4.0);
+  EXPECT_DOUBLE_EQ(s.rms(), std::sqrt((9.0 + 16.0) / 2.0));
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Gaussian(1.0, 4.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Merge(b);  // Merge empty into non-empty.
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);  // Merge non-empty into empty.
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.num_bins(), 5u);
+  h.Add(0.0);   // bin 0
+  h.Add(1.99);  // bin 0
+  h.Add(2.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  h.Add(-1.0);  // underflow
+  h.Add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.count(), 6);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, AsciiRenderingMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find("2"), std::string::npos);
+  EXPECT_NE(art.find("#"), std::string::npos);
+}
+
+TEST(ExactQuantileTest, KnownPositions) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.25), 2.0);
+}
+
+TEST(ExactQuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(ExactQuantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace kc

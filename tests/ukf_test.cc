@@ -1,0 +1,140 @@
+#include "kalman/ukf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kalman/kalman_filter.h"
+#include "linalg/decomp.h"
+
+namespace kc {
+namespace {
+
+NonlinearModel WrapLinear(const StateSpaceModel& linear) {
+  NonlinearModel m;
+  m.name = linear.name + "_wrapped";
+  m.state_dim = linear.state_dim();
+  m.obs_dim = linear.obs_dim();
+  Matrix f = linear.f;
+  Matrix h = linear.h;
+  m.f = [f](const Vector& x) { return f * x; };
+  m.f_jacobian = [f](const Vector&) { return f; };
+  m.h = [h](const Vector& x) { return h * x; };
+  m.h_jacobian = [h](const Vector&) { return h; };
+  m.q = linear.q;
+  m.r = linear.r;
+  return m;
+}
+
+TEST(UkfTest, MatchesLinearKalmanOnLinearModel) {
+  // The unscented transform is exact for linear functions, so the UKF must
+  // reproduce the KF trajectory on a linear model.
+  StateSpaceModel linear = MakeConstantVelocityModel(1.0, 0.1, 0.5);
+  KalmanFilter kf(linear, Vector{0.0, 1.0}, Matrix::Identity(2));
+  UnscentedKalmanFilter ukf(WrapLinear(linear), Vector{0.0, 1.0},
+                            Matrix::Identity(2));
+  Rng rng(1);
+  for (int i = 0; i < 150; ++i) {
+    double z = rng.Gaussian(static_cast<double>(i), 0.5);
+    kf.Predict();
+    ukf.Predict();
+    ASSERT_TRUE(kf.Update(Vector{z}).ok());
+    ASSERT_TRUE(ukf.Update(Vector{z}).ok());
+    ASSERT_TRUE(AlmostEqual(kf.state(), ukf.state(), 1e-7)) << "i=" << i;
+    ASSERT_TRUE(AlmostEqual(kf.covariance(), ukf.covariance(), 1e-7));
+  }
+}
+
+TEST(UkfTest, TracksCoordinatedTurn) {
+  double dt = 1.0, speed = 5.0, omega = 0.08;
+  NonlinearModel model = MakeCoordinatedTurnModel(dt, 0.01, 0.01, 1e-5, 0.25);
+  Vector x0(5);
+  x0[2] = speed;
+  UnscentedKalmanFilter ukf(model, x0, Matrix::ScalarDiagonal(5, 1.0));
+
+  Rng rng(2);
+  double theta = 0.0, px = 0.0, py = 0.0;
+  RunningStats err;
+  for (int i = 0; i < 500; ++i) {
+    px += speed * std::cos(theta) * dt;
+    py += speed * std::sin(theta) * dt;
+    theta += omega * dt;
+    ukf.Predict();
+    ASSERT_TRUE(ukf.Update(Vector{px + rng.Gaussian(0.0, 0.5),
+                                  py + rng.Gaussian(0.0, 0.5)})
+                    .ok());
+    if (i > 50) err.Add(std::hypot(ukf.state()[0] - px, ukf.state()[1] - py));
+  }
+  EXPECT_LT(err.mean(), 0.6);
+  EXPECT_NEAR(ukf.state()[4], omega, 0.02);
+}
+
+TEST(UkfTest, HandlesStrongObservationNonlinearity) {
+  // Range-only observation z = sqrt(x^2 + 1): the EKF's linearization at
+  // x near 0 is poor; the UKF should remain a consistent estimator.
+  NonlinearModel m;
+  m.name = "range_only";
+  m.state_dim = 1;
+  m.obs_dim = 1;
+  m.f = [](const Vector& x) { return x; };
+  m.f_jacobian = [](const Vector&) { return Matrix::Identity(1); };
+  m.h = [](const Vector& x) {
+    return Vector{std::sqrt(x[0] * x[0] + 1.0)};
+  };
+  m.h_jacobian = [](const Vector& x) {
+    return Matrix{{x[0] / std::sqrt(x[0] * x[0] + 1.0)}};
+  };
+  m.q = Matrix{{0.01}};
+  m.r = Matrix{{0.01}};
+  ASSERT_TRUE(m.Validate().ok());
+
+  UnscentedKalmanFilter ukf(m, Vector{2.5}, Matrix{{1.0}});
+  Rng rng(3);
+  double truth = 3.0;
+  for (int i = 0; i < 300; ++i) {
+    double z = std::sqrt(truth * truth + 1.0) + rng.Gaussian(0.0, 0.1);
+    ukf.Predict();
+    ASSERT_TRUE(ukf.Update(Vector{z}).ok());
+  }
+  EXPECT_NEAR(std::fabs(ukf.state()[0]), truth, 0.3);
+}
+
+TEST(UkfTest, CovarianceStaysPsd) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  Vector x0(5);
+  x0[2] = 3.0;
+  UnscentedKalmanFilter ukf(model, x0, Matrix::ScalarDiagonal(5, 10.0));
+  Rng rng(4);
+  double theta = 0.0, px = 0.0, py = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    px += 3.0 * std::cos(theta);
+    py += 3.0 * std::sin(theta);
+    theta += rng.Gaussian(0.0, 0.02);
+    ukf.Predict();
+    ASSERT_TRUE(ukf.Update(Vector{px + rng.Gaussian(0.0, 0.7),
+                                  py + rng.Gaussian(0.0, 0.7)})
+                    .ok());
+  }
+  EXPECT_TRUE(IsPositiveSemiDefinite(ukf.covariance()));
+}
+
+TEST(UkfTest, RejectsWrongObservationDim) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  UnscentedKalmanFilter ukf(model, Vector(5), Matrix::ScalarDiagonal(5, 1.0));
+  EXPECT_FALSE(ukf.Update(Vector{1.0}).ok());
+}
+
+TEST(UkfTest, ResetClearsDiagnostics) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.5);
+  UnscentedKalmanFilter ukf(model, Vector(5), Matrix::ScalarDiagonal(5, 1.0));
+  ukf.Predict();
+  ASSERT_TRUE(ukf.Update(Vector{1.0, 1.0}).ok());
+  EXPECT_EQ(ukf.update_count(), 1);
+  ukf.Reset(Vector(5), Matrix::ScalarDiagonal(5, 1.0));
+  EXPECT_EQ(ukf.update_count(), 0);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,87 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kc {
+namespace {
+
+TEST(VectorTest, ConstructionVariants) {
+  Vector empty;
+  EXPECT_TRUE(empty.empty());
+
+  Vector zeros(3);
+  EXPECT_EQ(zeros.size(), 3u);
+  EXPECT_DOUBLE_EQ(zeros[0], 0.0);
+
+  Vector init{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(init[2], 3.0);
+
+  Vector adopted(std::vector<double>{4.0, 5.0});
+  EXPECT_DOUBLE_EQ(adopted[1], 5.0);
+}
+
+TEST(VectorTest, OnesAndUnit) {
+  Vector ones = Vector::Ones(4);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(ones[i], 1.0);
+  Vector e1 = Vector::Unit(3, 1);
+  EXPECT_DOUBLE_EQ(e1[0], 0.0);
+  EXPECT_DOUBLE_EQ(e1[1], 1.0);
+  EXPECT_DOUBLE_EQ(e1[2], 0.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+  Vector divided = b / 2.0;
+  EXPECT_DOUBLE_EQ(divided[0], 1.5);
+  Vector negated = -a;
+  EXPECT_DOUBLE_EQ(negated[0], -1.0);
+}
+
+TEST(VectorTest, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.NormInf(), 4.0);
+  Vector b{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+}
+
+TEST(VectorTest, EqualityAndAlmostEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0, 2.0};
+  Vector c{1.0, 2.0 + 1e-12};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(AlmostEqual(a, c, 1e-9));
+  EXPECT_FALSE(AlmostEqual(a, Vector{1.0}, 1e-9));
+  EXPECT_FALSE(AlmostEqual(a, Vector{1.0, 3.0}, 1e-9));
+}
+
+TEST(VectorTest, ToStringFormat) {
+  EXPECT_EQ((Vector{1.0, 2.5}).ToString(), "[1, 2.5]");
+  EXPECT_EQ(Vector().ToString(), "[]");
+}
+
+TEST(VectorTest, CompoundAssignment) {
+  Vector a{1.0, 1.0};
+  a += Vector{1.0, 2.0};
+  a -= Vector{0.5, 0.5};
+  a *= 2.0;
+  a /= 4.0;
+  EXPECT_DOUBLE_EQ(a[0], 0.75);
+  EXPECT_DOUBLE_EQ(a[1], 1.25);
+}
+
+}  // namespace
+}  // namespace kc
