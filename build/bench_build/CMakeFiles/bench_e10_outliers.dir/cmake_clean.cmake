@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_outliers"
+  "../bench/bench_e10_outliers.pdb"
+  "CMakeFiles/bench_e10_outliers.dir/bench_e10_outliers.cc.o"
+  "CMakeFiles/bench_e10_outliers.dir/bench_e10_outliers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

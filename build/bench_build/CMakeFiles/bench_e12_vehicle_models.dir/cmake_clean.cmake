@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_vehicle_models"
+  "../bench/bench_e12_vehicle_models.pdb"
+  "CMakeFiles/bench_e12_vehicle_models.dir/bench_e12_vehicle_models.cc.o"
+  "CMakeFiles/bench_e12_vehicle_models.dir/bench_e12_vehicle_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_vehicle_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

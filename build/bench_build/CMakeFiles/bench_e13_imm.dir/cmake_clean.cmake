@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_imm"
+  "../bench/bench_e13_imm.pdb"
+  "CMakeFiles/bench_e13_imm.dir/bench_e13_imm.cc.o"
+  "CMakeFiles/bench_e13_imm.dir/bench_e13_imm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_imm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_triggers"
+  "../bench/bench_e14_triggers.pdb"
+  "CMakeFiles/bench_e14_triggers.dir/bench_e14_triggers.cc.o"
+  "CMakeFiles/bench_e14_triggers.dir/bench_e14_triggers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_tracking"
+  "../bench/bench_e1_tracking.pdb"
+  "CMakeFiles/bench_e1_tracking.dir/bench_e1_tracking.cc.o"
+  "CMakeFiles/bench_e1_tracking.dir/bench_e1_tracking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

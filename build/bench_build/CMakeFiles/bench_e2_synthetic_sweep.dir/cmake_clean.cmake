@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_synthetic_sweep"
+  "../bench/bench_e2_synthetic_sweep.pdb"
+  "CMakeFiles/bench_e2_synthetic_sweep.dir/bench_e2_synthetic_sweep.cc.o"
+  "CMakeFiles/bench_e2_synthetic_sweep.dir/bench_e2_synthetic_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_synthetic_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

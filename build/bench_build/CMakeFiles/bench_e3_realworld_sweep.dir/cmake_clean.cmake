@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_realworld_sweep"
+  "../bench/bench_e3_realworld_sweep.pdb"
+  "CMakeFiles/bench_e3_realworld_sweep.dir/bench_e3_realworld_sweep.cc.o"
+  "CMakeFiles/bench_e3_realworld_sweep.dir/bench_e3_realworld_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_realworld_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

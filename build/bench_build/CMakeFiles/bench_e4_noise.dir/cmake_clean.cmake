@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_noise"
+  "../bench/bench_e4_noise.pdb"
+  "CMakeFiles/bench_e4_noise.dir/bench_e4_noise.cc.o"
+  "CMakeFiles/bench_e4_noise.dir/bench_e4_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_adaptation"
+  "../bench/bench_e5_adaptation.pdb"
+  "CMakeFiles/bench_e5_adaptation.dir/bench_e5_adaptation.cc.o"
+  "CMakeFiles/bench_e5_adaptation.dir/bench_e5_adaptation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_budget"
+  "../bench/bench_e6_budget.pdb"
+  "CMakeFiles/bench_e6_budget.dir/bench_e6_budget.cc.o"
+  "CMakeFiles/bench_e6_budget.dir/bench_e6_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

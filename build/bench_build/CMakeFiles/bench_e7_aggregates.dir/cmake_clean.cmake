@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_aggregates"
+  "../bench/bench_e7_aggregates.pdb"
+  "CMakeFiles/bench_e7_aggregates.dir/bench_e7_aggregates.cc.o"
+  "CMakeFiles/bench_e7_aggregates.dir/bench_e7_aggregates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_kalman"
+  "../bench/bench_perf_kalman.pdb"
+  "CMakeFiles/bench_perf_kalman.dir/bench_perf_kalman.cc.o"
+  "CMakeFiles/bench_perf_kalman.dir/bench_perf_kalman.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

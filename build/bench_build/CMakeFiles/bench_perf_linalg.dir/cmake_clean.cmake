@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_linalg"
+  "../bench/bench_perf_linalg.pdb"
+  "CMakeFiles/bench_perf_linalg.dir/bench_perf_linalg.cc.o"
+  "CMakeFiles/bench_perf_linalg.dir/bench_perf_linalg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_server"
+  "../bench/bench_perf_server.pdb"
+  "CMakeFiles/bench_perf_server.dir/bench_perf_server.cc.o"
+  "CMakeFiles/bench_perf_server.dir/bench_perf_server.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

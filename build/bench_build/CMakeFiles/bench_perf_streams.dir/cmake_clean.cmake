@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_streams"
+  "../bench/bench_perf_streams.pdb"
+  "CMakeFiles/bench_perf_streams.dir/bench_perf_streams.cc.o"
+  "CMakeFiles/bench_perf_streams.dir/bench_perf_streams.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

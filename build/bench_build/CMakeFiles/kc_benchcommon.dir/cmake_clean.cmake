@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_benchcommon.dir/common.cc.o"
+  "CMakeFiles/kc_benchcommon.dir/common.cc.o.d"
+  "libkc_benchcommon.a"
+  "libkc_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkc_benchcommon.a"
+)

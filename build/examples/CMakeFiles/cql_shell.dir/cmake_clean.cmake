@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_shell.dir/cql_shell.cpp.o"
+  "CMakeFiles/cql_shell.dir/cql_shell.cpp.o.d"
+  "cql_shell"
+  "cql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_reanalysis.dir/historical_reanalysis.cpp.o"
+  "CMakeFiles/historical_reanalysis.dir/historical_reanalysis.cpp.o.d"
+  "historical_reanalysis"
+  "historical_reanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_reanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

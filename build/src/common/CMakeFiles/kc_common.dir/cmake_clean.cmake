@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_common.dir/chisq.cc.o"
+  "CMakeFiles/kc_common.dir/chisq.cc.o.d"
+  "CMakeFiles/kc_common.dir/logging.cc.o"
+  "CMakeFiles/kc_common.dir/logging.cc.o.d"
+  "CMakeFiles/kc_common.dir/rng.cc.o"
+  "CMakeFiles/kc_common.dir/rng.cc.o.d"
+  "CMakeFiles/kc_common.dir/stats.cc.o"
+  "CMakeFiles/kc_common.dir/stats.cc.o.d"
+  "CMakeFiles/kc_common.dir/status.cc.o"
+  "CMakeFiles/kc_common.dir/status.cc.o.d"
+  "CMakeFiles/kc_common.dir/strings.cc.o"
+  "CMakeFiles/kc_common.dir/strings.cc.o.d"
+  "libkc_common.a"
+  "libkc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kalman/adaptive.cc" "src/kalman/CMakeFiles/kc_kalman.dir/adaptive.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/adaptive.cc.o.d"
+  "/root/repo/src/kalman/ekf.cc" "src/kalman/CMakeFiles/kc_kalman.dir/ekf.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/ekf.cc.o.d"
+  "/root/repo/src/kalman/imm.cc" "src/kalman/CMakeFiles/kc_kalman.dir/imm.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/imm.cc.o.d"
+  "/root/repo/src/kalman/kalman_filter.cc" "src/kalman/CMakeFiles/kc_kalman.dir/kalman_filter.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/kalman_filter.cc.o.d"
+  "/root/repo/src/kalman/model.cc" "src/kalman/CMakeFiles/kc_kalman.dir/model.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/model.cc.o.d"
+  "/root/repo/src/kalman/model_bank.cc" "src/kalman/CMakeFiles/kc_kalman.dir/model_bank.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/model_bank.cc.o.d"
+  "/root/repo/src/kalman/riccati.cc" "src/kalman/CMakeFiles/kc_kalman.dir/riccati.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/riccati.cc.o.d"
+  "/root/repo/src/kalman/smoother.cc" "src/kalman/CMakeFiles/kc_kalman.dir/smoother.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/smoother.cc.o.d"
+  "/root/repo/src/kalman/ukf.cc" "src/kalman/CMakeFiles/kc_kalman.dir/ukf.cc.o" "gcc" "src/kalman/CMakeFiles/kc_kalman.dir/ukf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/kc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

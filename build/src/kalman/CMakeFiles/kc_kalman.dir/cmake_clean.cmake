@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_kalman.dir/adaptive.cc.o"
+  "CMakeFiles/kc_kalman.dir/adaptive.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/ekf.cc.o"
+  "CMakeFiles/kc_kalman.dir/ekf.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/imm.cc.o"
+  "CMakeFiles/kc_kalman.dir/imm.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/kalman_filter.cc.o"
+  "CMakeFiles/kc_kalman.dir/kalman_filter.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/model.cc.o"
+  "CMakeFiles/kc_kalman.dir/model.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/model_bank.cc.o"
+  "CMakeFiles/kc_kalman.dir/model_bank.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/riccati.cc.o"
+  "CMakeFiles/kc_kalman.dir/riccati.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/smoother.cc.o"
+  "CMakeFiles/kc_kalman.dir/smoother.cc.o.d"
+  "CMakeFiles/kc_kalman.dir/ukf.cc.o"
+  "CMakeFiles/kc_kalman.dir/ukf.cc.o.d"
+  "libkc_kalman.a"
+  "libkc_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

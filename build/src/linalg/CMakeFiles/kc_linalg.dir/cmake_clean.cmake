@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_linalg.dir/decomp.cc.o"
+  "CMakeFiles/kc_linalg.dir/decomp.cc.o.d"
+  "CMakeFiles/kc_linalg.dir/matrix.cc.o"
+  "CMakeFiles/kc_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/kc_linalg.dir/vector.cc.o"
+  "CMakeFiles/kc_linalg.dir/vector.cc.o.d"
+  "libkc_linalg.a"
+  "libkc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

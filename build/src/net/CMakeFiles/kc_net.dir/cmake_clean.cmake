@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_net.dir/channel.cc.o"
+  "CMakeFiles/kc_net.dir/channel.cc.o.d"
+  "CMakeFiles/kc_net.dir/message.cc.o"
+  "CMakeFiles/kc_net.dir/message.cc.o.d"
+  "libkc_net.a"
+  "libkc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_query.dir/lexer.cc.o"
+  "CMakeFiles/kc_query.dir/lexer.cc.o.d"
+  "CMakeFiles/kc_query.dir/parser.cc.o"
+  "CMakeFiles/kc_query.dir/parser.cc.o.d"
+  "libkc_query.a"
+  "libkc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/allocation.cc" "src/server/CMakeFiles/kc_server.dir/allocation.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/allocation.cc.o.d"
+  "/root/repo/src/server/archive.cc" "src/server/CMakeFiles/kc_server.dir/archive.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/archive.cc.o.d"
+  "/root/repo/src/server/query.cc" "src/server/CMakeFiles/kc_server.dir/query.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/query.cc.o.d"
+  "/root/repo/src/server/report.cc" "src/server/CMakeFiles/kc_server.dir/report.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/report.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/kc_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/server.cc.o.d"
+  "/root/repo/src/server/simulation.cc" "src/server/CMakeFiles/kc_server.dir/simulation.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/simulation.cc.o.d"
+  "/root/repo/src/server/snapshot.cc" "src/server/CMakeFiles/kc_server.dir/snapshot.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/snapshot.cc.o.d"
+  "/root/repo/src/server/volatility.cc" "src/server/CMakeFiles/kc_server.dir/volatility.cc.o" "gcc" "src/server/CMakeFiles/kc_server.dir/volatility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suppression/CMakeFiles/kc_suppression.dir/DependInfo.cmake"
+  "/root/repo/build/src/kalman/CMakeFiles/kc_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/kc_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

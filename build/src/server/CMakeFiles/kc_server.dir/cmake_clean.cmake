@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_server.dir/allocation.cc.o"
+  "CMakeFiles/kc_server.dir/allocation.cc.o.d"
+  "CMakeFiles/kc_server.dir/archive.cc.o"
+  "CMakeFiles/kc_server.dir/archive.cc.o.d"
+  "CMakeFiles/kc_server.dir/query.cc.o"
+  "CMakeFiles/kc_server.dir/query.cc.o.d"
+  "CMakeFiles/kc_server.dir/report.cc.o"
+  "CMakeFiles/kc_server.dir/report.cc.o.d"
+  "CMakeFiles/kc_server.dir/server.cc.o"
+  "CMakeFiles/kc_server.dir/server.cc.o.d"
+  "CMakeFiles/kc_server.dir/simulation.cc.o"
+  "CMakeFiles/kc_server.dir/simulation.cc.o.d"
+  "CMakeFiles/kc_server.dir/snapshot.cc.o"
+  "CMakeFiles/kc_server.dir/snapshot.cc.o.d"
+  "CMakeFiles/kc_server.dir/volatility.cc.o"
+  "CMakeFiles/kc_server.dir/volatility.cc.o.d"
+  "libkc_server.a"
+  "libkc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

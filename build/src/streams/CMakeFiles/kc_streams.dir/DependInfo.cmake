@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streams/composite.cc" "src/streams/CMakeFiles/kc_streams.dir/composite.cc.o" "gcc" "src/streams/CMakeFiles/kc_streams.dir/composite.cc.o.d"
+  "/root/repo/src/streams/generators.cc" "src/streams/CMakeFiles/kc_streams.dir/generators.cc.o" "gcc" "src/streams/CMakeFiles/kc_streams.dir/generators.cc.o.d"
+  "/root/repo/src/streams/noise.cc" "src/streams/CMakeFiles/kc_streams.dir/noise.cc.o" "gcc" "src/streams/CMakeFiles/kc_streams.dir/noise.cc.o.d"
+  "/root/repo/src/streams/reading.cc" "src/streams/CMakeFiles/kc_streams.dir/reading.cc.o" "gcc" "src/streams/CMakeFiles/kc_streams.dir/reading.cc.o.d"
+  "/root/repo/src/streams/resample.cc" "src/streams/CMakeFiles/kc_streams.dir/resample.cc.o" "gcc" "src/streams/CMakeFiles/kc_streams.dir/resample.cc.o.d"
+  "/root/repo/src/streams/trace.cc" "src/streams/CMakeFiles/kc_streams.dir/trace.cc.o" "gcc" "src/streams/CMakeFiles/kc_streams.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/kc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_streams.dir/composite.cc.o"
+  "CMakeFiles/kc_streams.dir/composite.cc.o.d"
+  "CMakeFiles/kc_streams.dir/generators.cc.o"
+  "CMakeFiles/kc_streams.dir/generators.cc.o.d"
+  "CMakeFiles/kc_streams.dir/noise.cc.o"
+  "CMakeFiles/kc_streams.dir/noise.cc.o.d"
+  "CMakeFiles/kc_streams.dir/reading.cc.o"
+  "CMakeFiles/kc_streams.dir/reading.cc.o.d"
+  "CMakeFiles/kc_streams.dir/resample.cc.o"
+  "CMakeFiles/kc_streams.dir/resample.cc.o.d"
+  "CMakeFiles/kc_streams.dir/trace.cc.o"
+  "CMakeFiles/kc_streams.dir/trace.cc.o.d"
+  "libkc_streams.a"
+  "libkc_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

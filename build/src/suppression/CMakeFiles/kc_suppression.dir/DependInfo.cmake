@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suppression/agent.cc" "src/suppression/CMakeFiles/kc_suppression.dir/agent.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/agent.cc.o.d"
+  "/root/repo/src/suppression/budget.cc" "src/suppression/CMakeFiles/kc_suppression.dir/budget.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/budget.cc.o.d"
+  "/root/repo/src/suppression/ekf_policy.cc" "src/suppression/CMakeFiles/kc_suppression.dir/ekf_policy.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/ekf_policy.cc.o.d"
+  "/root/repo/src/suppression/imm_policy.cc" "src/suppression/CMakeFiles/kc_suppression.dir/imm_policy.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/imm_policy.cc.o.d"
+  "/root/repo/src/suppression/policies.cc" "src/suppression/CMakeFiles/kc_suppression.dir/policies.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/policies.cc.o.d"
+  "/root/repo/src/suppression/replica.cc" "src/suppression/CMakeFiles/kc_suppression.dir/replica.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/replica.cc.o.d"
+  "/root/repo/src/suppression/ukf_policy.cc" "src/suppression/CMakeFiles/kc_suppression.dir/ukf_policy.cc.o" "gcc" "src/suppression/CMakeFiles/kc_suppression.dir/ukf_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kalman/CMakeFiles/kc_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/kc_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

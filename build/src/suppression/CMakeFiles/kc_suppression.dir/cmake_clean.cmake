@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_suppression.dir/agent.cc.o"
+  "CMakeFiles/kc_suppression.dir/agent.cc.o.d"
+  "CMakeFiles/kc_suppression.dir/budget.cc.o"
+  "CMakeFiles/kc_suppression.dir/budget.cc.o.d"
+  "CMakeFiles/kc_suppression.dir/ekf_policy.cc.o"
+  "CMakeFiles/kc_suppression.dir/ekf_policy.cc.o.d"
+  "CMakeFiles/kc_suppression.dir/imm_policy.cc.o"
+  "CMakeFiles/kc_suppression.dir/imm_policy.cc.o.d"
+  "CMakeFiles/kc_suppression.dir/policies.cc.o"
+  "CMakeFiles/kc_suppression.dir/policies.cc.o.d"
+  "CMakeFiles/kc_suppression.dir/replica.cc.o"
+  "CMakeFiles/kc_suppression.dir/replica.cc.o.d"
+  "CMakeFiles/kc_suppression.dir/ukf_policy.cc.o"
+  "CMakeFiles/kc_suppression.dir/ukf_policy.cc.o.d"
+  "libkc_suppression.a"
+  "libkc_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_replica_test.dir/agent_replica_test.cc.o"
+  "CMakeFiles/agent_replica_test.dir/agent_replica_test.cc.o.d"
+  "agent_replica_test"
+  "agent_replica_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisq_test.dir/chisq_test.cc.o"
+  "CMakeFiles/chisq_test.dir/chisq_test.cc.o.d"
+  "chisq_test"
+  "chisq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

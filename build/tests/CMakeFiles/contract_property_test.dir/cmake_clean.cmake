@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_property_test.dir/contract_property_test.cc.o"
+  "CMakeFiles/contract_property_test.dir/contract_property_test.cc.o.d"
+  "contract_property_test"
+  "contract_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekf_policy_test.dir/ekf_policy_test.cc.o"
+  "CMakeFiles/ekf_policy_test.dir/ekf_policy_test.cc.o.d"
+  "ekf_policy_test"
+  "ekf_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekf_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekf_test.dir/ekf_test.cc.o"
+  "CMakeFiles/ekf_test.dir/ekf_test.cc.o.d"
+  "ekf_test"
+  "ekf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

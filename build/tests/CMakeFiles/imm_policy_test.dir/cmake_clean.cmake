@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imm_policy_test.dir/imm_policy_test.cc.o"
+  "CMakeFiles/imm_policy_test.dir/imm_policy_test.cc.o.d"
+  "imm_policy_test"
+  "imm_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imm_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

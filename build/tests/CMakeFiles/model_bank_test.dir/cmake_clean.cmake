@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_bank_test.dir/model_bank_test.cc.o"
+  "CMakeFiles/model_bank_test.dir/model_bank_test.cc.o.d"
+  "model_bank_test"
+  "model_bank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

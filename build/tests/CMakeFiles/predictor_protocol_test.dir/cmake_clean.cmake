@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_protocol_test.dir/predictor_protocol_test.cc.o"
+  "CMakeFiles/predictor_protocol_test.dir/predictor_protocol_test.cc.o.d"
+  "predictor_protocol_test"
+  "predictor_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukf_test.dir/ukf_test.cc.o"
+  "CMakeFiles/ukf_test.dir/ukf_test.cc.o.d"
+  "ukf_test"
+  "ukf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volatility_test.dir/volatility_test.cc.o"
+  "CMakeFiles/volatility_test.dir/volatility_test.cc.o.d"
+  "volatility_test"
+  "volatility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volatility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
