@@ -2,13 +2,21 @@
 // stream server as sources and continuous queries scale (DSMS viability;
 // the paper's framing requires the filtering machinery to be cheap enough
 // to host per-source at the server).
+//
+// --threads=N drives the sharded fleet executor with N worker threads
+// (default 1); --shards=M fixes the shard count (default max(threads, 8)).
+// The determinism contract guarantees every number except wall-clock
+// throughput is identical for any N and M.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "common.h"
+#include "fleet/sharded_fleet.h"
 #include "query/parser.h"
 #include "streams/generators.h"
 #include "suppression/policies.h"
@@ -19,11 +27,16 @@ struct ScaleResult {
   double readings_per_sec;
   double messages_per_tick;
   double query_evals_per_sec;
+  int64_t total_messages;
 };
 
-ScaleResult RunScale(int sources, int queries, size_t ticks) {
+ScaleResult RunScale(int sources, int queries, size_t ticks, size_t threads,
+                     size_t shards) {
   using namespace kc;
-  Fleet fleet;
+  ShardedFleet::Config config;
+  config.threads = threads;
+  config.num_shards = shards;
+  ShardedFleet fleet(config);
   for (int i = 0; i < sources; ++i) {
     RandomWalkGenerator::Config walk;
     walk.step_sigma = 0.2 + 0.01 * (i % 10);
@@ -34,7 +47,7 @@ ScaleResult RunScale(int sources, int queries, size_t ticks) {
   (void)fleet.Run(2);
 
   for (int q = 0; q < queries; ++q) {
-    // AVG over a rotating window of 8 sources.
+    // AVG over a rotating window of 8 sources (typically spanning shards).
     std::string list;
     for (int k = 0; k < 8; ++k) {
       int id = (q * 8 + k) % sources;
@@ -51,6 +64,7 @@ ScaleResult RunScale(int sources, int queries, size_t ticks) {
   for (size_t t = 0; t < ticks; ++t) {
     if (!fleet.Step().ok()) break;
     if (t % 10 == 9) {
+      // Query evaluation reads the merged view after the tick barrier.
       auto results = fleet.server().EvaluateAll();
       query_evals += static_cast<int64_t>(results.size());
     }
@@ -66,16 +80,32 @@ ScaleResult RunScale(int sources, int queries, size_t ticks) {
       static_cast<double>(fleet.TotalMessages()) /
       (static_cast<double>(ticks) * static_cast<double>(sources));
   out.query_evals_per_sec = static_cast<double>(query_evals) / elapsed;
+  out.total_messages = fleet.TotalMessages();
   return out;
+}
+
+size_t FlagValue(int argc, char** argv, const char* name, size_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      long v = std::atol(argv[i] + prefix.size());
+      if (v > 0) return static_cast<size_t>(v);
+    }
+  }
+  return fallback;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  size_t threads = FlagValue(argc, argv, "threads", 1);
+  size_t shards = FlagValue(argc, argv, "shards", 0);
   kc::bench::PrintHeader(
       "E8 | Stream server scalability (adaptive dual-KF on every source)",
       "readings/s = generator + client filter + suppression + server "
-      "replica, single thread");
+      "replica; --threads=" + std::to_string(threads) +
+      (shards ? " --shards=" + std::to_string(shards) : std::string()) +
+      " (sharded fleet executor)");
   std::printf("%8s %8s %10s %16s %16s %18s\n", "sources", "queries", "ticks",
               "readings/sec", "msgs/src-tick", "query evals/sec");
   struct Case {
@@ -88,15 +118,17 @@ int main() {
       {500, 50, 800}, {1000, 100, 400},
   };
   for (const Case& c : cases) {
-    ScaleResult r = RunScale(c.sources, c.queries, c.ticks);
+    ScaleResult r = RunScale(c.sources, c.queries, c.ticks, threads, shards);
     std::printf("%8d %8d %10zu %16.0f %16.4f %18.0f\n", c.sources, c.queries,
                 c.ticks, r.readings_per_sec, r.messages_per_tick,
                 r.query_evals_per_sec);
   }
   std::printf(
       "\nExpected shape: throughput in the hundreds of thousands to millions "
-      "of\nreadings/sec and roughly flat per-source cost as the fleet grows "
-      "— the\nper-reading work is a constant-size filter step, so the "
-      "server scales\nlinearly in sources on one core.\n");
+      "of\nreadings/sec, roughly flat per-source cost as the fleet grows, "
+      "and\nnear-linear scaling in --threads on multi-core hardware (the "
+      "per-reading\nwork is a constant-size filter step and shards share no "
+      "state). Message\ncounts and query answers are bit-identical for every "
+      "--threads value.\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "fleet/sharded_fleet.h"
 #include "query/parser.h"
 #include "server/simulation.h"
 #include "streams/generators.h"
@@ -52,6 +53,32 @@ void BM_FleetStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sources);
 }
 BENCHMARK(BM_FleetStep)->Arg(10)->Arg(100)->Arg(1000);
+
+// The sharded executor on the same workload: {sources, threads}. At
+// threads=1 this measures the sharding overhead (it should be near
+// BM_FleetStep); at threads=N it measures the parallel speedup. Answers
+// are bit-identical across rows with the same source count.
+void BM_ShardedFleetStep(benchmark::State& state) {
+  auto sources = static_cast<int>(state.range(0));
+  kc::ShardedFleet::Config config;
+  config.threads = static_cast<size_t>(state.range(1));
+  kc::ShardedFleet fleet(config);
+  for (int i = 0; i < sources; ++i) {
+    kc::RandomWalkGenerator::Config walk;
+    walk.step_sigma = 0.3;
+    fleet.AddSource(std::make_unique<kc::RandomWalkGenerator>(walk),
+                    kc::MakeDefaultKalmanPredictor(0.09, 0.01), 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * sources);
+}
+BENCHMARK(BM_ShardedFleetStep)
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Args({10000, 4});
 
 void BM_AggregateEvaluate(benchmark::State& state) {
   auto members = static_cast<int>(state.range(0));

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the sharded fleet executor.
+#
+# Configures a dedicated build tree with -fsanitize=thread and runs the
+# concurrency-sensitive tests (the thread pool and the sharded fleet
+# determinism suite). Any data race makes the tests fail: TSAN_OPTIONS
+# sets halt_on_error so a race aborts the offending test binary.
+#
+# Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+
+cmake --build "$BUILD_DIR" -j --target thread_pool_test sharded_fleet_test
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+"$BUILD_DIR"/tests/thread_pool_test
+"$BUILD_DIR"/tests/sharded_fleet_test
+
+echo "ci_tsan: OK (no data races reported)"

@@ -1,0 +1,155 @@
+#include "fleet/sharded_fleet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kc {
+
+namespace {
+
+size_t ResolveShards(const ShardedFleet::Config& config) {
+  if (config.num_shards > 0) return config.num_shards;
+  return std::max<size_t>(std::max<size_t>(config.threads, 1), 8);
+}
+
+}  // namespace
+
+ShardedFleet::ShardedFleet() : ShardedFleet(Config()) {}
+
+ShardedFleet::ShardedFleet(Config config)
+    : config_(config),
+      server_(ResolveShards(config)),
+      shards_(ResolveShards(config)),
+      pool_(std::max<size_t>(config.threads, 1)) {
+  // Control downlink: route SET_BOUND pushes to the addressed source's
+  // control channel. Driver thread only (PushBound between Steps).
+  server_.SetControlSink([this](const Message& msg) -> Status {
+    auto idx = static_cast<size_t>(msg.source_id);
+    if (idx >= by_id_.size()) {
+      return Status::NotFound("control message for unknown source");
+    }
+    return by_id_[idx]->control_channel->Send(msg);
+  });
+}
+
+int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
+                                std::unique_ptr<Predictor> predictor,
+                                double delta) {
+  auto id = static_cast<int32_t>(by_id_.size());
+  size_t shard_index = server_.ShardOf(id);
+  auto slot = std::make_unique<SourceSlot>();
+  slot->id = id;
+
+  // Identical seed derivation to the single-threaded Fleet: pure function
+  // of (fleet seed, id), never of shard or thread count.
+  slot->generator = std::move(generator);
+  slot->generator->Reset(SourceGeneratorSeed(config_.seed, id));
+
+  Channel::Config channel_config = config_.channel;
+  channel_config.seed = SourceUplinkSeed(config_.seed, id);
+  slot->channel = std::make_unique<Channel>(channel_config);
+  // The uplink delivers straight into the owning shard's StreamServer, so
+  // a shard worker's sends never cross shard boundaries.
+  StreamServer* shard_server = &server_.shard(shard_index);
+  slot->channel->SetReceiver([shard_server](const Message& msg) {
+    Status s = shard_server->OnMessage(msg);
+    assert(s.ok());
+    (void)s;
+  });
+
+  Status reg = server_.RegisterSource(id, predictor->Clone());
+  assert(reg.ok());
+  (void)reg;
+
+  AgentConfig agent_config = config_.agent_base;
+  agent_config.delta = delta;
+  slot->agent = std::make_unique<SourceAgent>(id, std::move(predictor),
+                                              agent_config,
+                                              slot->channel.get());
+
+  Channel::Config control_config;
+  control_config.seed = SourceControlSeed(config_.seed, id);
+  slot->control_channel = std::make_unique<Channel>(control_config);
+  SourceAgent* agent = slot->agent.get();
+  slot->control_channel->SetReceiver([agent](const Message& msg) {
+    Status s = agent->OnControl(msg);
+    assert(s.ok());
+    (void)s;
+  });
+
+  by_id_.push_back(slot.get());
+  shards_[shard_index].sources.push_back(std::move(slot));
+  return id;
+}
+
+void ShardedFleet::StepShard(size_t index) {
+  server_.TickShard(index);
+  Shard& shard = shards_[index];
+  for (auto& slot : shard.sources) {
+    slot->channel->AdvanceTick();
+    slot->last_sample = slot->generator->Next();
+    Status s = slot->agent->Offer(slot->last_sample.measured);
+    if (!s.ok() && shard.status.ok()) shard.status = s;
+  }
+}
+
+Status ShardedFleet::Step() {
+  pool_.ParallelFor(shards_.size(), [this](size_t s) { StepShard(s); });
+  // Barrier passed: every shard has ticked once and drained its messages;
+  // the merged view is consistent.
+  ++ticks_;
+  for (const Shard& shard : shards_) {
+    if (!shard.status.ok()) return shard.status;
+  }
+  return Status::Ok();
+}
+
+Status ShardedFleet::Run(size_t ticks) {
+  for (size_t i = 0; i < ticks; ++i) {
+    KC_RETURN_IF_ERROR(Step());
+  }
+  return Status::Ok();
+}
+
+int64_t ShardedFleet::MessagesOf(int32_t id) const {
+  const AgentStats& s = by_id_[id]->agent->stats();
+  return s.corrections + s.full_syncs + 1;  // +1 for INIT.
+}
+
+int64_t ShardedFleet::TotalMessages() const {
+  int64_t total = 0;
+  for (const SourceSlot* slot : by_id_) {
+    total += slot->channel->stats().messages_sent;
+  }
+  return total;
+}
+
+int64_t ShardedFleet::TotalBytes() const {
+  int64_t total = 0;
+  for (const SourceSlot* slot : by_id_) {
+    total += slot->channel->stats().bytes_sent;
+  }
+  return total;
+}
+
+int64_t ShardedFleet::TotalControlMessages() const {
+  int64_t total = 0;
+  for (const SourceSlot* slot : by_id_) {
+    total += slot->control_channel->stats().messages_sent;
+  }
+  return total;
+}
+
+NetworkStats ShardedFleet::TotalNetworkStats() const {
+  NetworkStats merged;
+  // Merge shard by shard, id order within each shard: deterministic, and
+  // int64 sums are order-independent anyway.
+  for (const Shard& shard : shards_) {
+    for (const auto& slot : shard.sources) {
+      merged.Merge(slot->channel->stats());
+    }
+  }
+  return merged;
+}
+
+}  // namespace kc

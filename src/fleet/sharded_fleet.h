@@ -1,0 +1,129 @@
+#ifndef KALMANCAST_FLEET_SHARDED_FLEET_H_
+#define KALMANCAST_FLEET_SHARDED_FLEET_H_
+
+#include <memory>
+#include <vector>
+
+#include "fleet/sharded_server.h"
+#include "fleet/thread_pool.h"
+#include "server/simulation.h"
+
+namespace kc {
+
+/// The sharded, multi-threaded fleet simulation: N generator+agent pairs
+/// feeding a ShardedServer, partitioned into shards driven in parallel by
+/// a persistent worker pool.
+///
+/// Each shard exclusively owns its sources' generators, agents, uplink
+/// and control channels, and its ShardedServer shard (replicas +
+/// archives) — including every RNG stream those components draw from. A
+/// Step() runs one worker per shard: the shard's server tick, its
+/// channels' in-flight deliveries, its generators' samples, and its
+/// agents' suppression decisions, with zero cross-shard traffic. The
+/// ParallelFor join is the barrier; queries, stats, and archives are then
+/// read from the merged view on the driver thread.
+///
+/// Determinism contract: every RNG seed derives from (config.seed,
+/// source id) alone — see SourceGeneratorSeed and friends in
+/// server/simulation.h — and shard assignment is a fixed hash of the id,
+/// so per-source answers, query results, and merged NetworkStats are
+/// bit-identical for ANY `threads` and ANY `num_shards`, and identical to
+/// a single-threaded Fleet run with the same seed and AddSource order.
+class ShardedFleet {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    AgentConfig agent_base;  ///< delta is overridden per source.
+    Channel::Config channel;
+    /// Worker threads driving shards (1 = fully sequential, no workers).
+    size_t threads = 1;
+    /// Shard count; 0 picks max(threads, 8). More shards than threads is
+    /// fine (workers pick up shards dynamically); results never depend on
+    /// either knob.
+    size_t num_shards = 0;
+  };
+
+  ShardedFleet();
+  explicit ShardedFleet(Config config);
+
+  /// Adds a source; returns its id (sequential from 0). The predictor
+  /// prototype is cloned for the agent and the server replica; all RNG
+  /// seeds derive from (config.seed, id) only. Not thread-safe; add
+  /// sources before the first Step or between Steps.
+  int32_t AddSource(std::unique_ptr<StreamGenerator> generator,
+                    std::unique_ptr<Predictor> predictor, double delta);
+
+  /// Advances the whole system one stream tick: shards in parallel, then
+  /// the barrier. On error the first failing shard's status (lowest shard
+  /// index) is returned — deterministically, regardless of thread
+  /// interleaving.
+  Status Step();
+
+  /// Runs `ticks` steps, stopping on the first error.
+  Status Run(size_t ticks);
+
+  ShardedServer& server() { return server_; }
+  const ShardedServer& server() const { return server_; }
+
+  size_t num_sources() const { return by_id_.size(); }
+  int64_t ticks() const { return ticks_; }
+  size_t num_shards() const { return server_.num_shards(); }
+  size_t threads() const { return pool_.threads(); }
+
+  const SourceAgent& agent(int32_t id) const { return *by_id_[id]->agent; }
+  /// Changes a source's precision bound (adaptive allocation). Driver
+  /// thread only, between Steps.
+  void SetDelta(int32_t id, double delta) {
+    by_id_[id]->agent->set_delta(delta);
+  }
+
+  /// Ground truth of the source's latest sample (scalar streams).
+  double TruthOf(int32_t id) const {
+    return by_id_[id]->last_sample.truth.scalar();
+  }
+  const Sample& LastSampleOf(int32_t id) const {
+    return by_id_[id]->last_sample;
+  }
+  /// Data messages this source has sent so far.
+  int64_t MessagesOf(int32_t id) const;
+
+  int64_t TotalMessages() const;
+  int64_t TotalBytes() const;
+  /// Server-to-source control traffic (SET_BOUND pushes).
+  int64_t TotalControlMessages() const;
+
+  /// Shard-local uplink NetworkStats merged on read (driver thread, after
+  /// the barrier): the fleet-wide sent/delivered/dropped/bytes/per-type
+  /// accounting the overhead experiments report.
+  NetworkStats TotalNetworkStats() const;
+
+ private:
+  struct SourceSlot {
+    int32_t id = 0;
+    std::unique_ptr<StreamGenerator> generator;
+    std::unique_ptr<Channel> channel;          ///< Uplink: source -> server.
+    std::unique_ptr<Channel> control_channel;  ///< Downlink: server -> source.
+    std::unique_ptr<SourceAgent> agent;
+    Sample last_sample;
+  };
+
+  /// One shard's exclusively-owned simulation state. `sources` is kept in
+  /// id order so a shard's work is independent of AddSource interleaving.
+  struct Shard {
+    std::vector<std::unique_ptr<SourceSlot>> sources;
+    Status status;  ///< Sticky first error seen by this shard's worker.
+  };
+
+  void StepShard(size_t index);
+
+  Config config_;
+  ShardedServer server_;
+  std::vector<Shard> shards_;
+  std::vector<SourceSlot*> by_id_;  ///< id -> slot (owned by its shard).
+  ThreadPool pool_;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_FLEET_SHARDED_FLEET_H_

@@ -1,0 +1,144 @@
+#include "fleet/sharded_server.h"
+
+#include <algorithm>
+
+namespace kc {
+
+ShardedServer::ShardedServer(size_t num_shards) {
+  shards_.reserve(std::max<size_t>(num_shards, 1));
+  for (size_t i = 0; i < std::max<size_t>(num_shards, 1); ++i) {
+    shards_.push_back(std::make_unique<StreamServer>());
+  }
+}
+
+size_t ShardedServer::ShardOf(int32_t source_id) const {
+  // Fixed-width multiplicative hash (splitmix-style): platform-independent
+  // and independent of registration order, so a source's owning shard is a
+  // pure function of (id, num_shards).
+  uint64_t h = static_cast<uint64_t>(static_cast<uint32_t>(source_id)) *
+               0x9E3779B97F4A7C15ULL;
+  return static_cast<size_t>((h >> 32) % shards_.size());
+}
+
+Status ShardedServer::RegisterSource(int32_t source_id,
+                                     std::unique_ptr<Predictor> predictor) {
+  return shards_[ShardOf(source_id)]->RegisterSource(source_id,
+                                                     std::move(predictor));
+}
+
+Status ShardedServer::UnregisterSource(int32_t source_id) {
+  return shards_[ShardOf(source_id)]->UnregisterSource(source_id);
+}
+
+void ShardedServer::Tick() {
+  for (auto& shard : shards_) shard->Tick();
+}
+
+void ShardedServer::TickShard(size_t index) { shards_[index]->Tick(); }
+
+Status ShardedServer::OnMessage(const Message& msg) {
+  return shards_[ShardOf(msg.source_id)]->OnMessage(msg);
+}
+
+StatusOr<BoundedAnswer> ShardedServer::SourceValue(int32_t source_id) const {
+  return shards_[ShardOf(source_id)]->SourceValue(source_id);
+}
+
+const ServerReplica* ShardedServer::replica(int32_t source_id) const {
+  return shards_[ShardOf(source_id)]->replica(source_id);
+}
+
+bool ShardedServer::IsStale(int32_t source_id) const {
+  return shards_[ShardOf(source_id)]->IsStale(source_id);
+}
+
+StatusOr<const TickArchive*> ShardedServer::Archive(int32_t source_id) const {
+  return shards_[ShardOf(source_id)]->Archive(source_id);
+}
+
+int64_t ShardedServer::ticks() const { return shards_.front()->ticks(); }
+
+StatusOr<QueryResult> ShardedServer::HistoricalAggregate(int32_t source_id,
+                                                         AggregateKind kind,
+                                                         double t0,
+                                                         double t1) const {
+  return shards_[ShardOf(source_id)]->HistoricalAggregate(source_id, kind, t0,
+                                                          t1);
+}
+
+size_t ShardedServer::num_sources() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_sources();
+  return total;
+}
+
+int64_t ShardedServer::messages_processed() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->messages_processed();
+  return total;
+}
+
+std::vector<int32_t> ShardedServer::SourceIds() const {
+  std::vector<int32_t> ids;
+  for (const auto& shard : shards_) {
+    std::vector<int32_t> shard_ids = shard->SourceIds();
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ShardedServer::SetStalenessLimit(int64_t max_silent_ticks) {
+  for (auto& shard : shards_) shard->SetStalenessLimit(max_silent_ticks);
+}
+
+int64_t ShardedServer::staleness_limit() const {
+  return shards_.front()->staleness_limit();
+}
+
+void ShardedServer::EnableArchiving(size_t capacity) {
+  for (auto& shard : shards_) shard->EnableArchiving(capacity);
+}
+
+void ShardedServer::SetControlSink(StreamServer::ControlSink sink) {
+  for (auto& shard : shards_) shard->SetControlSink(sink);
+}
+
+Status ShardedServer::PushBound(int32_t source_id, double delta) {
+  return shards_[ShardOf(source_id)]->PushBound(source_id, delta);
+}
+
+Status ShardedServer::AddQuery(const std::string& name, QuerySpec spec) {
+  return queries_.Add(*this, name, std::move(spec));
+}
+
+Status ShardedServer::RemoveQuery(const std::string& name) {
+  return queries_.Remove(name);
+}
+
+StatusOr<QueryResult> ShardedServer::Evaluate(const std::string& name) const {
+  return queries_.Evaluate(*this, name);
+}
+
+StatusOr<QueryResult> ShardedServer::EvaluateSpec(
+    const QuerySpec& spec, const std::string& name) const {
+  return EvaluateSpecOn(*this, spec, name);
+}
+
+std::vector<QueryResult> ShardedServer::EvaluateAll() const {
+  return queries_.EvaluateAll(*this);
+}
+
+std::vector<QueryResult> ShardedServer::EvaluateDue() {
+  return queries_.EvaluateDue(*this);
+}
+
+StatusOr<QuerySpec> ShardedServer::GetQuery(const std::string& name) const {
+  return queries_.Get(name);
+}
+
+std::vector<std::string> ShardedServer::QueryNames() const {
+  return queries_.Names();
+}
+
+}  // namespace kc

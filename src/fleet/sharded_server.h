@@ -1,0 +1,122 @@
+#ifndef KALMANCAST_FLEET_SHARDED_SERVER_H_
+#define KALMANCAST_FLEET_SHARDED_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+
+namespace kc {
+
+/// A fleet-scale stream server: N single-threaded StreamServer shards,
+/// each owning the replicas, channels-facing state, and tick archives of
+/// the sources hashed to it.
+///
+/// Threading model (the determinism contract):
+///  - Sources are partitioned by a fixed hash of source_id, so shard
+///    assignment never depends on registration order or thread count.
+///  - During a tick, each shard is driven by exactly one worker thread
+///    (TickShard + the shard's message deliveries); shards share no
+///    mutable state, so no locks are needed on the hot path.
+///  - Readers (queries, stats, archives) run after the driver's barrier
+///    (ThreadPool::ParallelFor join) on one thread, against a merged,
+///    consistent view: every shard has ticked the same number of times
+///    and drained its messages.
+///  - All randomness lives in per-source RNG streams owned by the shard
+///    (seeded from the fleet seed and source id only), so answers are
+///    bit-identical for any shard or thread count.
+///
+/// The cross-shard continuous-query registry lives here, evaluated
+/// against the merged SourceView; a single query may span sources on any
+/// subset of shards.
+class ShardedServer : public SourceView {
+ public:
+  explicit ShardedServer(size_t num_shards = 1);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard owning a source id (fixed hash; stable across runs).
+  size_t ShardOf(int32_t source_id) const;
+
+  /// Direct shard access (the sharded fleet wires each source's channel
+  /// straight into its owning shard). Shard references are stable for the
+  /// server's lifetime.
+  StreamServer& shard(size_t index) { return *shards_[index]; }
+  const StreamServer& shard(size_t index) const { return *shards_[index]; }
+
+  /// Registers a source on its owning shard. Fails on duplicate ids.
+  Status RegisterSource(int32_t source_id,
+                        std::unique_ptr<Predictor> predictor);
+
+  /// Removes a source (and its shard-local archive).
+  Status UnregisterSource(int32_t source_id);
+
+  /// Advances every shard one stream tick, in shard order, on the calling
+  /// thread. Threaded drivers call TickShard(s) from their per-shard
+  /// workers instead.
+  void Tick();
+
+  /// Advances one shard one stream tick. Thread-affine: at most one
+  /// thread per shard per tick.
+  void TickShard(size_t index);
+
+  /// Routes a wire message to the owning shard's replica. In threaded
+  /// use, call only from the thread driving that shard this tick.
+  Status OnMessage(const Message& msg);
+
+  // --- Merged reads (call after the tick barrier) ---
+
+  StatusOr<BoundedAnswer> SourceValue(int32_t source_id) const override;
+  const ServerReplica* replica(int32_t source_id) const override;
+  bool IsStale(int32_t source_id) const override;
+  StatusOr<const TickArchive*> Archive(int32_t source_id) const override;
+  /// The merged stream clock. All shards tick together, so this is shard
+  /// 0's clock.
+  int64_t ticks() const override;
+
+  StatusOr<QueryResult> HistoricalAggregate(int32_t source_id,
+                                            AggregateKind kind, double t0,
+                                            double t1) const;
+
+  /// Sources registered across all shards.
+  size_t num_sources() const;
+  /// Messages processed across all shards (merged on read).
+  int64_t messages_processed() const;
+  /// Registered source ids across all shards (sorted).
+  std::vector<int32_t> SourceIds() const;
+
+  // --- Fleet-wide configuration (applied to every shard) ---
+
+  void SetStalenessLimit(int64_t max_silent_ticks);
+  int64_t staleness_limit() const;
+  void EnableArchiving(size_t capacity);
+
+  /// Installs the control downlink on every shard (PushBound routes
+  /// through the owning shard so the pushed message carries that shard's
+  /// clock).
+  void SetControlSink(StreamServer::ControlSink sink);
+  Status PushBound(int32_t source_id, double delta);
+
+  // --- Cross-shard continuous queries ---
+
+  Status AddQuery(const std::string& name, QuerySpec spec);
+  Status RemoveQuery(const std::string& name);
+  StatusOr<QueryResult> Evaluate(const std::string& name) const;
+  StatusOr<QueryResult> EvaluateSpec(const QuerySpec& spec,
+                                     const std::string& name = "adhoc") const;
+  std::vector<QueryResult> EvaluateAll() const;
+  std::vector<QueryResult> EvaluateDue();
+  StatusOr<QuerySpec> GetQuery(const std::string& name) const;
+  std::vector<std::string> QueryNames() const;
+  size_t num_queries() const { return queries_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<StreamServer>> shards_;
+  QueryTable queries_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_FLEET_SHARDED_SERVER_H_

@@ -1,0 +1,70 @@
+#include "fleet/thread_pool.h"
+
+namespace kc {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunItems(*batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return batch->completed == batch->n; });
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    RunItems(*batch);
+  }
+}
+
+void ThreadPool::RunItems(Batch& batch) {
+  for (;;) {
+    size_t i = batch.next.fetch_add(1);
+    if (i >= batch.n) return;
+    (*batch.body)(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++batch.completed == batch.n) done_cv_.notify_all();
+  }
+}
+
+}  // namespace kc

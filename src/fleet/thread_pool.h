@@ -1,0 +1,71 @@
+#ifndef KALMANCAST_FLEET_THREAD_POOL_H_
+#define KALMANCAST_FLEET_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kc {
+
+/// A persistent pool of worker threads driving fork/join batches.
+///
+/// ParallelFor(n, body) runs body(0..n-1) across the workers (the calling
+/// thread participates) and returns only after every item has finished —
+/// the join is the barrier the sharded executor relies on: after
+/// ParallelFor returns, every side effect of every body(i) is visible to
+/// the caller (the completion count is published under the pool mutex).
+///
+/// With `threads <= 1` no workers are spawned and ParallelFor degrades to
+/// a plain sequential loop, so a --threads=1 run executes exactly the
+/// code a --threads=N run executes, minus the scheduling.
+///
+/// Contract: one driver thread; bodies must not throw and must not call
+/// back into the pool.
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread:
+  /// threads-1 workers are spawned. 0 is treated as 1.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(i) for every i in [0, n), dynamically load-balanced across
+  /// the pool, and blocks until all n items completed.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Total parallelism (workers + the calling thread).
+  size_t threads() const { return workers_.size() + 1; }
+
+ private:
+  /// One fork/join batch. Heap-allocated and shared with the workers so a
+  /// straggler waking up late sees a monotonically exhausted index space
+  /// of the *old* batch instead of stealing items from the next one.
+  struct Batch {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    size_t completed = 0;  ///< Guarded by ThreadPool::mu_.
+  };
+
+  void WorkerLoop();
+  void RunItems(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> batch_;  ///< Guarded by mu_.
+  uint64_t generation_ = 0;       ///< Guarded by mu_.
+  bool shutdown_ = false;         ///< Guarded by mu_.
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_FLEET_THREAD_POOL_H_

@@ -4,10 +4,25 @@
 
 namespace kc {
 
+void NetworkStats::Merge(const NetworkStats& other) {
+  messages_sent += other.messages_sent;
+  messages_delivered += other.messages_delivered;
+  messages_dropped += other.messages_dropped;
+  bytes_sent += other.bytes_sent;
+  bytes_delivered += other.bytes_delivered;
+  for (size_t i = 0; i < kNumMessageTypes; ++i) by_type[i] += other.by_type[i];
+}
+
 std::string NetworkStats::ToString() const {
   std::ostringstream os;
   os << "sent=" << messages_sent << " delivered=" << messages_delivered
-     << " dropped=" << messages_dropped << " bytes=" << bytes_sent;
+     << " dropped=" << messages_dropped << " bytes_sent=" << bytes_sent
+     << " bytes_delivered=" << bytes_delivered << " by_type=[";
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    if (i > 0) os << " ";
+    os << MessageTypeName(static_cast<MessageType>(i)) << ":" << by_type[i];
+  }
+  os << "]";
   return os.str();
 }
 

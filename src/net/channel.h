@@ -22,6 +22,11 @@ struct NetworkStats {
   int64_t by_type[kNumMessageTypes] = {0, 0, 0, 0, 0};
 
   void Reset() { *this = NetworkStats(); }
+
+  /// Accumulates another channel's counters into this one — how a sharded
+  /// deployment merges shard-local stats into the fleet-wide view on read.
+  void Merge(const NetworkStats& other);
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,164 @@
+#include "server/query_eval.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace kc {
+
+Status ValidateSpecSources(const SourceView& view, const QuerySpec& spec) {
+  for (int32_t id : spec.sources) {
+    const ServerReplica* replica = view.replica(id);
+    if (replica == nullptr) {
+      return Status::NotFound(
+          StrFormat("query references unknown source %d", id));
+    }
+    if (replica->predictor().dims() != 1) {
+      return Status::InvalidArgument(
+          StrFormat("source %d is not scalar; aggregates need scalar "
+                    "sources",
+                    id));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> EvaluateSpecOn(const SourceView& view,
+                                     const QuerySpec& spec,
+                                     const std::string& name) {
+  KC_RETURN_IF_ERROR(spec.Validate());
+  if (spec.IsHistorical()) {
+    auto archive = view.Archive(spec.sources.front());
+    if (!archive.ok()) return archive.status();
+    double from;
+    double to;
+    if (spec.last_ticks.has_value()) {
+      // LAST n anchors to evaluation time: the most recent n archived
+      // ticks. When n exceeds the recorded history the naive
+      // ticks - n + 1 goes negative; clamp to the archive's oldest time.
+      to = static_cast<double>(view.ticks());
+      from = static_cast<double>(view.ticks() - *spec.last_ticks + 1);
+      from = std::max(from, (*archive)->oldest_time());
+    } else {
+      from = *spec.from_time;
+      to = *spec.to_time;
+    }
+    auto result = (*archive)->Aggregate(spec.kind, from, to);
+    if (!result.ok()) return result.status();
+    result->name = name;
+    result->meets_within = spec.within <= 0.0 || result->bound <= spec.within;
+    if (spec.threshold.has_value()) {
+      result->trigger = EvaluateTrigger(result->value, result->bound,
+                                        *spec.threshold, spec.above);
+    }
+    return result;
+  }
+  std::vector<double> values;
+  std::vector<double> bounds;
+  values.reserve(spec.sources.size());
+  bounds.reserve(spec.sources.size());
+  for (int32_t id : spec.sources) {
+    auto answer = view.SourceValue(id);
+    if (!answer.ok()) return answer.status();
+    if (answer->value.size() != 1) {
+      return Status::InvalidArgument(StrFormat("source %d is not scalar", id));
+    }
+    values.push_back(answer->value[0]);
+    bounds.push_back(answer->bound);
+  }
+  QueryResult result;
+  result.name = name;
+  result.value = AggregateValues(spec.kind, values);
+  result.bound = AggregateErrorBound(spec.kind, bounds);
+  result.meets_within = spec.within <= 0.0 || result.bound <= spec.within;
+  for (int32_t id : spec.sources) {
+    if (view.IsStale(id)) {
+      result.stale = true;
+      break;
+    }
+  }
+  if (spec.threshold.has_value()) {
+    result.trigger =
+        EvaluateTrigger(result.value, result.bound, *spec.threshold,
+                        spec.above);
+  }
+  return result;
+}
+
+Status QueryTable::Add(const SourceView& view, const std::string& name,
+                       QuerySpec spec) {
+  KC_RETURN_IF_ERROR(spec.Validate());
+  if (entries_.count(name) > 0) {
+    return Status::AlreadyExists("query name taken: " + name);
+  }
+  KC_RETURN_IF_ERROR(ValidateSpecSources(view, spec));
+  entries_[name] = Entry{std::move(spec), -1};
+  return Status::Ok();
+}
+
+Status QueryTable::Remove(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  return Status::Ok();
+}
+
+StatusOr<QuerySpec> QueryTable::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  return it->second.spec;
+}
+
+StatusOr<QueryResult> QueryTable::Evaluate(const SourceView& view,
+                                           const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown query: " + name);
+  }
+  return EvaluateSpecOn(view, it->second.spec, name);
+}
+
+std::vector<QueryResult> QueryTable::EvaluateAll(const SourceView& view) const {
+  std::vector<QueryResult> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    auto result = EvaluateSpecOn(view, entry.spec, name);
+    if (result.ok()) {
+      out.push_back(*result);
+    } else {
+      QueryResult failed;
+      failed.name = name + " (error: " + result.status().ToString() + ")";
+      out.push_back(failed);
+    }
+  }
+  return out;
+}
+
+std::vector<QueryResult> QueryTable::EvaluateDue(const SourceView& view) {
+  std::vector<QueryResult> out;
+  for (auto& [name, entry] : entries_) {
+    if (entry.last_due_eval >= 0 &&
+        view.ticks() - entry.last_due_eval < entry.spec.every) {
+      continue;
+    }
+    auto result = EvaluateSpecOn(view, entry.spec, name);
+    if (result.ok()) {
+      entry.last_due_eval = view.ticks();
+      out.push_back(*result);
+    }
+    // Unevaluable queries (uninitialized sources) stay due and retry on
+    // the next tick rather than silently skipping a period.
+  }
+  return out;
+}
+
+std::vector<std::string> QueryTable::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace kc

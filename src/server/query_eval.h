@@ -1,0 +1,107 @@
+#ifndef KALMANCAST_SERVER_QUERY_EVAL_H_
+#define KALMANCAST_SERVER_QUERY_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/archive.h"
+#include "server/query.h"
+#include "suppression/replica.h"
+
+namespace kc {
+
+/// A source's current bounded answer.
+struct BoundedAnswer {
+  Vector value;
+  double bound = 0.0;
+  int64_t last_heard_seq = -1;
+};
+
+/// Read-only view of a set of sources that query evaluation runs against.
+///
+/// StreamServer implements it for a single shard; ShardedServer
+/// (src/fleet) implements it across shards by routing each lookup to the
+/// owning shard. Keeping evaluation against this interface is what lets
+/// one query span sources scattered over many shards while every shard
+/// keeps exclusive ownership of its replicas and archives.
+class SourceView {
+ public:
+  virtual ~SourceView() = default;
+
+  /// The current bounded answer for one source.
+  virtual StatusOr<BoundedAnswer> SourceValue(int32_t source_id) const = 0;
+
+  /// Direct replica access; nullptr if unknown.
+  virtual const ServerReplica* replica(int32_t source_id) const = 0;
+
+  /// True if the source exists, is initialized, and has exceeded the
+  /// staleness limit (false when staleness tracking is disabled).
+  virtual bool IsStale(int32_t source_id) const = 0;
+
+  /// The archive for one source; error if archiving is disabled or the
+  /// source is unknown/non-scalar.
+  virtual StatusOr<const TickArchive*> Archive(int32_t source_id) const = 0;
+
+  /// The view's stream clock (ticks elapsed).
+  virtual int64_t ticks() const = 0;
+};
+
+/// Checks that every source a spec references exists in the view and is
+/// scalar (aggregates are defined over scalar sources only).
+Status ValidateSpecSources(const SourceView& view, const QuerySpec& spec);
+
+/// Evaluates a spec against the view: live aggregates read each member's
+/// bounded answer; historical specs (FROM..TO / LAST n) read the single
+/// source's archive. A LAST n window larger than the recorded history is
+/// clamped to the archive's oldest time rather than silently querying
+/// t < 0.
+StatusOr<QueryResult> EvaluateSpecOn(const SourceView& view,
+                                     const QuerySpec& spec,
+                                     const std::string& name);
+
+/// The registered-continuous-query table shared by StreamServer and
+/// ShardedServer: name -> spec plus the EVERY-cadence bookkeeping that
+/// EvaluateDue needs. Not thread-safe; the driver evaluates queries from
+/// one thread after the tick barrier.
+class QueryTable {
+ public:
+  /// Validates the spec (including its sources against `view`) and
+  /// registers it. Fails if the name is taken.
+  Status Add(const SourceView& view, const std::string& name, QuerySpec spec);
+
+  Status Remove(const std::string& name);
+
+  StatusOr<QuerySpec> Get(const std::string& name) const;
+
+  /// Evaluates one registered query now.
+  StatusOr<QueryResult> Evaluate(const SourceView& view,
+                                 const std::string& name) const;
+
+  /// Evaluates every registered query (order: by name). Evaluation errors
+  /// are folded into the result name, matching StreamServer semantics.
+  std::vector<QueryResult> EvaluateAll(const SourceView& view) const;
+
+  /// Evaluates exactly the queries whose EVERY cadence has elapsed since
+  /// their previous due evaluation, and marks them evaluated.
+  std::vector<QueryResult> EvaluateDue(const SourceView& view);
+
+  /// Registered query names (sorted).
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    QuerySpec spec;
+    int64_t last_due_eval = -1;  ///< Tick of the last EvaluateDue() firing.
+  };
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_QUERY_EVAL_H_

@@ -22,6 +22,10 @@ Status StreamServer::UnregisterSource(int32_t source_id) {
   if (replicas_.erase(source_id) == 0) {
     return Status::NotFound(StrFormat("unknown source %d", source_id));
   }
+  // Drop the archive with the replica: a re-registered id must not resume
+  // the dead source's history (Record's non-decreasing-time invariant can
+  // fire after a snapshot restore otherwise).
+  archives_.erase(source_id);
   return Status::Ok();
 }
 
@@ -71,129 +75,28 @@ StatusOr<BoundedAnswer> StreamServer::SourceValue(int32_t source_id) const {
 }
 
 Status StreamServer::AddQuery(const std::string& name, QuerySpec spec) {
-  KC_RETURN_IF_ERROR(spec.Validate());
-  if (queries_.count(name) > 0) {
-    return Status::AlreadyExists("query name taken: " + name);
-  }
-  for (int32_t id : spec.sources) {
-    auto it = replicas_.find(id);
-    if (it == replicas_.end()) {
-      return Status::NotFound(StrFormat("query references unknown source %d",
-                                        id));
-    }
-    if (it->second->predictor().dims() != 1) {
-      return Status::InvalidArgument(
-          StrFormat("source %d is not scalar; aggregates need scalar "
-                    "sources",
-                    id));
-    }
-  }
-  queries_[name] = QueryEntry{std::move(spec), -1};
-  return Status::Ok();
+  return queries_.Add(*this, name, std::move(spec));
 }
 
 Status StreamServer::RemoveQuery(const std::string& name) {
-  if (queries_.erase(name) == 0) {
-    return Status::NotFound("unknown query: " + name);
-  }
-  return Status::Ok();
+  return queries_.Remove(name);
 }
 
 StatusOr<QueryResult> StreamServer::Evaluate(const std::string& name) const {
-  auto it = queries_.find(name);
-  if (it == queries_.end()) {
-    return Status::NotFound("unknown query: " + name);
-  }
-  return EvaluateSpec(it->second.spec, name);
+  return queries_.Evaluate(*this, name);
 }
 
 StatusOr<QueryResult> StreamServer::EvaluateSpec(const QuerySpec& spec,
                                                  const std::string& name) const {
-  KC_RETURN_IF_ERROR(spec.Validate());
-  if (spec.IsHistorical()) {
-    // LAST n anchors to evaluation time: the most recent n archived ticks.
-    double from = spec.last_ticks.has_value()
-                      ? static_cast<double>(ticks_ - *spec.last_ticks + 1)
-                      : *spec.from_time;
-    double to = spec.last_ticks.has_value() ? static_cast<double>(ticks_)
-                                            : *spec.to_time;
-    auto result =
-        HistoricalAggregate(spec.sources.front(), spec.kind, from, to);
-    if (!result.ok()) return result.status();
-    result->name = name;
-    result->meets_within = spec.within <= 0.0 || result->bound <= spec.within;
-    if (spec.threshold.has_value()) {
-      result->trigger = EvaluateTrigger(result->value, result->bound,
-                                        *spec.threshold, spec.above);
-    }
-    return result;
-  }
-  std::vector<double> values;
-  std::vector<double> bounds;
-  values.reserve(spec.sources.size());
-  bounds.reserve(spec.sources.size());
-  for (int32_t id : spec.sources) {
-    auto answer = SourceValue(id);
-    if (!answer.ok()) return answer.status();
-    if (answer->value.size() != 1) {
-      return Status::InvalidArgument(
-          StrFormat("source %d is not scalar", id));
-    }
-    values.push_back(answer->value[0]);
-    bounds.push_back(answer->bound);
-  }
-  QueryResult result;
-  result.name = name;
-  result.value = AggregateValues(spec.kind, values);
-  result.bound = AggregateErrorBound(spec.kind, bounds);
-  result.meets_within = spec.within <= 0.0 || result.bound <= spec.within;
-  if (staleness_limit_ > 0) {
-    for (int32_t id : spec.sources) {
-      if (IsStale(id)) {
-        result.stale = true;
-        break;
-      }
-    }
-  }
-  if (spec.threshold.has_value()) {
-    result.trigger =
-        EvaluateTrigger(result.value, result.bound, *spec.threshold, spec.above);
-  }
-  return result;
+  return EvaluateSpecOn(*this, spec, name);
 }
 
 std::vector<QueryResult> StreamServer::EvaluateAll() const {
-  std::vector<QueryResult> out;
-  out.reserve(queries_.size());
-  for (const auto& [name, entry] : queries_) {
-    auto result = EvaluateSpec(entry.spec, name);
-    if (result.ok()) {
-      out.push_back(*result);
-    } else {
-      QueryResult failed;
-      failed.name = name + " (error: " + result.status().ToString() + ")";
-      out.push_back(failed);
-    }
-  }
-  return out;
+  return queries_.EvaluateAll(*this);
 }
 
 std::vector<QueryResult> StreamServer::EvaluateDue() {
-  std::vector<QueryResult> out;
-  for (auto& [name, entry] : queries_) {
-    if (entry.last_due_eval >= 0 &&
-        ticks_ - entry.last_due_eval < entry.spec.every) {
-      continue;
-    }
-    auto result = EvaluateSpec(entry.spec, name);
-    if (result.ok()) {
-      entry.last_due_eval = ticks_;
-      out.push_back(*result);
-    }
-    // Unevaluable queries (uninitialized sources) stay due and retry on
-    // the next tick rather than silently skipping a period.
-  }
-  return out;
+  return queries_.EvaluateDue(*this);
 }
 
 Status StreamServer::PushBound(int32_t source_id, double delta) {
@@ -255,10 +158,7 @@ const ServerReplica* StreamServer::replica(int32_t source_id) const {
 }
 
 std::vector<std::string> StreamServer::QueryNames() const {
-  std::vector<std::string> names;
-  names.reserve(queries_.size());
-  for (const auto& [name, entry] : queries_) names.push_back(name);
-  return names;
+  return queries_.Names();
 }
 
 std::vector<int32_t> StreamServer::SourceIds() const {
@@ -269,11 +169,7 @@ std::vector<int32_t> StreamServer::SourceIds() const {
 }
 
 StatusOr<QuerySpec> StreamServer::GetQuery(const std::string& name) const {
-  auto it = queries_.find(name);
-  if (it == queries_.end()) {
-    return Status::NotFound("unknown query: " + name);
-  }
-  return it->second.spec;
+  return queries_.Get(name);
 }
 
 Status StreamServer::RestoreArchivePoint(int32_t source_id, double time,

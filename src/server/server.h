@@ -11,26 +11,22 @@
 #include "net/message.h"
 #include "server/archive.h"
 #include "server/query.h"
+#include "server/query_eval.h"
 #include "suppression/replica.h"
 
 namespace kc {
-
-/// A source's current bounded answer.
-struct BoundedAnswer {
-  Vector value;
-  double bound = 0.0;
-  int64_t last_heard_seq = -1;
-};
 
 /// The stream management server: a registry of per-source predictor
 /// replicas plus a set of continuous queries answered from those cached
 /// procedures — i.e. "without the clients' involvement", which is the
 /// communication saving the paper measures.
 ///
-/// Single-threaded by design: the whole system is a discrete-event
-/// simulation driven by Tick()/OnMessage() from the harness (or an
-/// embedding application's event loop).
-class StreamServer {
+/// Single-threaded by design: one StreamServer is driven by
+/// Tick()/OnMessage() from a single harness thread (or an embedding
+/// application's event loop). Multi-core deployments run one StreamServer
+/// per shard behind a ShardedServer (src/fleet/sharded_server.h), which
+/// keeps every instance thread-confined to its shard worker.
+class StreamServer : public SourceView {
  public:
   StreamServer() = default;
 
@@ -38,7 +34,10 @@ class StreamServer {
   /// source-side predictor's configuration. Fails on duplicate ids.
   Status RegisterSource(int32_t source_id, std::unique_ptr<Predictor> predictor);
 
-  /// Removes a source (its queries start failing with NotFound).
+  /// Removes a source (its queries start failing with NotFound). The
+  /// source's archive is erased with it: a later registration under the
+  /// same id starts a fresh history instead of resuming the dead
+  /// source's.
   Status UnregisterSource(int32_t source_id);
 
   /// Advances every replica one stream tick.
@@ -48,7 +47,7 @@ class StreamServer {
   Status OnMessage(const Message& msg);
 
   /// The current bounded answer for one source.
-  StatusOr<BoundedAnswer> SourceValue(int32_t source_id) const;
+  StatusOr<BoundedAnswer> SourceValue(int32_t source_id) const override;
 
   /// Registers a named continuous query. Fails if the spec is invalid,
   /// the name is taken, or a referenced source is unknown.
@@ -81,7 +80,7 @@ class StreamServer {
 
   /// True if the source exists, is initialized, and has exceeded the
   /// staleness limit.
-  bool IsStale(int32_t source_id) const;
+  bool IsStale(int32_t source_id) const override;
 
   /// Enables per-tick archiving of every *scalar* source's bounded view
   /// into a ring of `capacity` points (multi-dimensional sources are
@@ -92,7 +91,7 @@ class StreamServer {
 
   /// The archive for one source; error if archiving is disabled or the
   /// source is unknown/non-scalar.
-  StatusOr<const TickArchive*> Archive(int32_t source_id) const;
+  StatusOr<const TickArchive*> Archive(int32_t source_id) const override;
 
   /// Historical aggregate over one source's archived views in [t0, t1].
   StatusOr<QueryResult> HistoricalAggregate(int32_t source_id,
@@ -112,11 +111,11 @@ class StreamServer {
 
   size_t num_sources() const { return replicas_.size(); }
   size_t num_queries() const { return queries_.size(); }
-  int64_t ticks() const { return ticks_; }
+  int64_t ticks() const override { return ticks_; }
   int64_t messages_processed() const { return messages_processed_; }
 
   /// Direct replica access (diagnostics/tests); nullptr if unknown.
-  const ServerReplica* replica(int32_t source_id) const;
+  const ServerReplica* replica(int32_t source_id) const override;
 
   /// Registered query names (sorted).
   std::vector<std::string> QueryNames() const;
@@ -137,13 +136,8 @@ class StreamServer {
                              double bound);
 
  private:
-  struct QueryEntry {
-    QuerySpec spec;
-    int64_t last_due_eval = -1;  ///< Tick of the last EvaluateDue() firing.
-  };
-
   std::map<int32_t, std::unique_ptr<ServerReplica>> replicas_;
-  std::map<std::string, QueryEntry> queries_;
+  QueryTable queries_;
   std::map<int32_t, TickArchive> archives_;
   ControlSink control_sink_;
   size_t archive_capacity_ = 0;  ///< 0 = archiving disabled.

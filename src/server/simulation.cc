@@ -144,10 +144,10 @@ int32_t Fleet::AddSource(std::unique_ptr<StreamGenerator> generator,
   auto slot = std::make_unique<SourceSlot>();
 
   slot->generator = std::move(generator);
-  slot->generator->Reset(config_.seed + static_cast<uint64_t>(id) * 7919);
+  slot->generator->Reset(SourceGeneratorSeed(config_.seed, id));
 
   Channel::Config channel_config = config_.channel;
-  channel_config.seed = config_.seed ^ (static_cast<uint64_t>(id) << 17);
+  channel_config.seed = SourceUplinkSeed(config_.seed, id);
   slot->channel = std::make_unique<Channel>(channel_config);
   StreamServer* server = &server_;
   slot->channel->SetReceiver([server](const Message& msg) {
@@ -167,7 +167,7 @@ int32_t Fleet::AddSource(std::unique_ptr<StreamGenerator> generator,
 
   // Downlink for server-pushed bound changes.
   Channel::Config control_config;
-  control_config.seed = config_.seed ^ (static_cast<uint64_t>(id) << 29);
+  control_config.seed = SourceControlSeed(config_.seed, id);
   slot->control_channel = std::make_unique<Channel>(control_config);
   SourceAgent* agent = slot->agent.get();
   slot->control_channel->SetReceiver([agent](const Message& msg) {

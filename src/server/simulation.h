@@ -83,9 +83,29 @@ LinkReport RunLinkTraced(StreamGenerator& generator, const Predictor& prototype,
                          const LinkConfig& config,
                          std::vector<TrajectoryPoint>* trajectory);
 
+/// Deterministic per-source seed derivation shared by Fleet and the
+/// sharded multi-threaded harness (src/fleet/sharded_fleet.h). Every
+/// stochastic component of a simulated source — its generator, its uplink
+/// channel, its control downlink — draws from an RNG seeded purely from
+/// (fleet seed, source id). Because no seed depends on shard assignment
+/// or thread count, a fleet's trajectory is bit-identical for any
+/// --threads/--shards configuration: the determinism contract the
+/// scalability experiments rely on.
+inline uint64_t SourceGeneratorSeed(uint64_t fleet_seed, int32_t id) {
+  return fleet_seed + static_cast<uint64_t>(id) * 7919;
+}
+inline uint64_t SourceUplinkSeed(uint64_t fleet_seed, int32_t id) {
+  return fleet_seed ^ (static_cast<uint64_t>(id) << 17);
+}
+inline uint64_t SourceControlSeed(uint64_t fleet_seed, int32_t id) {
+  return fleet_seed ^ (static_cast<uint64_t>(id) << 29);
+}
+
 /// A multi-source deployment: N generator+agent pairs feeding one
 /// StreamServer over per-source channels. Drives the aggregate-query and
 /// scalability experiments (E7, E8) and the example applications.
+/// Single-threaded; see kc::ShardedFleet (src/fleet) for the sharded
+/// multi-threaded equivalent with identical (bit-for-bit) results.
 class Fleet {
  public:
   struct Config {

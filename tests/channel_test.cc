@@ -97,12 +97,98 @@ TEST(ChannelTest, ResetStatsClears) {
   EXPECT_EQ(channel.stats().bytes_sent, 0);
 }
 
+TEST(ChannelTest, LossDecidedAtSendTimeUnderLatency) {
+  // Loss is decided when the message is offered to the link, not at
+  // delivery: a dropped message must never enter the pending queue, and
+  // AdvanceTick must never deliver it later.
+  Channel::Config config;
+  config.loss_prob = 1.0;
+  config.latency_ticks = 2;
+  Channel channel(config);
+  channel.SetReceiver([](const Message&) { FAIL() << "must not deliver"; });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(channel.Send(MakeMessage(1)).ok());
+  }
+  EXPECT_EQ(channel.in_flight(), 0u) << "dropped messages must not be queued";
+  for (int i = 0; i < 5; ++i) channel.AdvanceTick();
+  EXPECT_EQ(channel.stats().messages_sent, 4);
+  EXPECT_EQ(channel.stats().messages_dropped, 4);
+  EXPECT_EQ(channel.stats().messages_delivered, 0);
+  EXPECT_EQ(channel.stats().bytes_delivered, 0);
+}
+
+TEST(ChannelTest, PartialLossWithLatencyAccountsExactly) {
+  Channel::Config config;
+  config.loss_prob = 0.4;
+  config.latency_ticks = 3;
+  config.seed = 11;
+  Channel channel(config);
+  int delivered = 0;
+  channel.SetReceiver([&delivered](const Message&) { ++delivered; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(channel.Send(MakeMessage(1)).ok());
+    channel.AdvanceTick();
+  }
+  // Drain the transit window.
+  for (int i = 0; i < 3; ++i) channel.AdvanceTick();
+  EXPECT_EQ(channel.in_flight(), 0u);
+  EXPECT_EQ(channel.stats().messages_sent, n);
+  EXPECT_EQ(channel.stats().messages_delivered + channel.stats().messages_dropped,
+            n);
+  EXPECT_EQ(delivered, channel.stats().messages_delivered);
+  EXPECT_GT(channel.stats().messages_dropped, 0);
+  EXPECT_GT(channel.stats().messages_delivered, 0);
+  EXPECT_EQ(channel.stats().bytes_delivered,
+            channel.stats().messages_delivered *
+                static_cast<int64_t>(MakeMessage(1).SizeBytes()));
+}
+
 TEST(NetworkStatsTest, ToStringMentionsCounts) {
   Channel channel;
   channel.SetReceiver([](const Message&) {});
   ASSERT_TRUE(channel.Send(MakeMessage(1)).ok());
   std::string s = channel.stats().ToString();
   EXPECT_NE(s.find("sent=1"), std::string::npos);
+}
+
+TEST(NetworkStatsTest, ToStringReportsDeliveredBytesAndPerType) {
+  // Regression: ToString used to print bytes_sent under the ambiguous
+  // label "bytes=" and omit bytes_delivered (the number the paper's
+  // overhead metric uses) and the per-type breakdown entirely.
+  Channel channel;
+  channel.SetReceiver([](const Message&) {});
+  ASSERT_TRUE(channel.Send(MakeMessage(2)).ok());
+  std::string s = channel.stats().ToString();
+  EXPECT_NE(s.find("bytes_sent=36"), std::string::npos) << s;
+  EXPECT_NE(s.find("bytes_delivered=36"), std::string::npos) << s;
+  EXPECT_NE(s.find("CORRECTION:1"), std::string::npos) << s;
+}
+
+TEST(NetworkStatsTest, MergeSumsShardLocalStats) {
+  // Two shard-local channels; the fleet-wide view merges on read.
+  Channel::Config lossy;
+  lossy.loss_prob = 1.0;
+  Channel a(lossy);
+  Channel b;
+  a.SetReceiver([](const Message&) {});
+  b.SetReceiver([](const Message&) {});
+  ASSERT_TRUE(a.Send(MakeMessage(1)).ok());
+  ASSERT_TRUE(a.Send(MakeMessage(1)).ok());
+  ASSERT_TRUE(b.Send(MakeMessage(3)).ok());
+
+  NetworkStats merged;
+  merged.Merge(a.stats());
+  merged.Merge(b.stats());
+  EXPECT_EQ(merged.messages_sent, 3);
+  EXPECT_EQ(merged.messages_dropped, 2);
+  EXPECT_EQ(merged.messages_delivered, 1);
+  EXPECT_EQ(merged.bytes_sent,
+            2 * static_cast<int64_t>(MakeMessage(1).SizeBytes()) +
+                static_cast<int64_t>(MakeMessage(3).SizeBytes()));
+  EXPECT_EQ(merged.bytes_delivered,
+            static_cast<int64_t>(MakeMessage(3).SizeBytes()));
+  EXPECT_EQ(merged.by_type[static_cast<size_t>(MessageType::kCorrection)], 1);
 }
 
 }  // namespace

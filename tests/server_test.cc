@@ -185,6 +185,79 @@ TEST(StreamServerTest, QueryOnUninitializedSourceFails) {
   EXPECT_FALSE(server.EvaluateSpec(spec, "v").ok());
 }
 
+TEST(StreamServerTest, UnregisterErasesArchiveForIdReuse) {
+  // Regression: UnregisterSource used to leave the source's TickArchive
+  // behind, so re-registering the same id resumed the dead source's
+  // history (and Record's non-decreasing-time invariant could fire after
+  // a snapshot restore rewound the clock).
+  StreamServer server;
+  server.EnableArchiving(16);
+  ASSERT_TRUE(server.RegisterSource(0, std::make_unique<ValueCachePredictor>())
+                  .ok());
+  ASSERT_TRUE(server.OnMessage(InitMessage(0, 0.5, 1.0)).ok());
+  for (int i = 0; i < 5; ++i) server.Tick();
+  ASSERT_TRUE(server.Archive(0).ok());
+  ASSERT_EQ((*server.Archive(0))->size(), 5u);
+
+  ASSERT_TRUE(server.UnregisterSource(0).ok());
+  EXPECT_FALSE(server.Archive(0).ok()) << "archive must die with the source";
+
+  // Re-register the same id: a fresh history, not the dead source's.
+  ASSERT_TRUE(server.RegisterSource(0, std::make_unique<ValueCachePredictor>())
+                  .ok());
+  EXPECT_FALSE(server.Archive(0).ok());
+  ASSERT_TRUE(server.OnMessage(InitMessage(0, 0.5, 7.0)).ok());
+  server.Tick();
+  auto archive = server.Archive(0);
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ((*archive)->size(), 1u);
+  EXPECT_EQ((*archive)->total_recorded(), 1);
+
+  // Snapshot-restore style id reuse onto a rewound clock: with the stale
+  // archive erased, restoring earlier points must be accepted.
+  ASSERT_TRUE(server.UnregisterSource(0).ok());
+  ASSERT_TRUE(server.RegisterSource(0, std::make_unique<ValueCachePredictor>())
+                  .ok());
+  EXPECT_TRUE(server.RestoreArchivePoint(0, 1.0, 2.0, 0.5).ok());
+  archive = server.Archive(0);
+  ASSERT_TRUE(archive.ok());
+  EXPECT_DOUBLE_EQ((*archive)->oldest_time(), 1.0);
+}
+
+TEST(StreamServerTest, LastWindowLargerThanHistoryClamps) {
+  // Regression: LAST n with n > ticks computed from = ticks - n + 1 < 0
+  // instead of clamping to the archive's oldest recorded time.
+  StreamServer server;
+  server.EnableArchiving(8);
+  ASSERT_TRUE(server.RegisterSource(0, std::make_unique<ValueCachePredictor>())
+                  .ok());
+  ASSERT_TRUE(server.OnMessage(InitMessage(0, 0.5, 3.0)).ok());
+  for (int i = 0; i < 4; ++i) server.Tick();  // Archive holds t = 1..4.
+
+  QuerySpec spec;
+  spec.kind = AggregateKind::kAvg;
+  spec.sources = {0};
+  spec.last_ticks = 1000;  // Far more history than exists.
+  auto result = server.EvaluateSpec(spec, "last");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->value, 3.0);
+
+  // The clamped window is exactly the recorded range: same answer as an
+  // explicit FROM oldest TO now.
+  auto full = server.HistoricalAggregate(0, AggregateKind::kAvg, 1.0, 4.0);
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(result->value, full->value);
+  EXPECT_DOUBLE_EQ(result->bound, full->bound);
+
+  // A LAST window within history still covers exactly n ticks.
+  spec.last_ticks = 2;
+  result = server.EvaluateSpec(spec, "last2");
+  ASSERT_TRUE(result.ok());
+  auto tail = server.HistoricalAggregate(0, AggregateKind::kAvg, 3.0, 4.0);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_DOUBLE_EQ(result->value, tail->value);
+}
+
 TEST(StreamServerTest, AggregateOverPlanarSourceRejected) {
   StreamServer server;
   KalmanPredictor::Config config;

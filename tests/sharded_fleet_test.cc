@@ -1,0 +1,263 @@
+#include "fleet/sharded_fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fleet/sharded_server.h"
+#include "query/parser.h"
+#include "streams/generators.h"
+#include "suppression/policies.h"
+
+namespace kc {
+namespace {
+
+KalmanPredictor::Config ScalarKalman(double q = 0.1, double r = 0.25) {
+  KalmanPredictor::Config config;
+  config.model = MakeRandomWalkModel(q, r);
+  return config;
+}
+
+void AddStandardSources(ShardedFleet& fleet, int n) {
+  for (int i = 0; i < n; ++i) {
+    RandomWalkGenerator::Config walk;
+    walk.start = 5.0 * i;
+    walk.step_sigma = 0.2 + 0.05 * (i % 4);
+    fleet.AddSource(std::make_unique<RandomWalkGenerator>(walk),
+                    std::make_unique<KalmanPredictor>(ScalarKalman()),
+                    /*delta=*/0.5 + 0.1 * (i % 3));
+  }
+}
+
+/// Everything the determinism contract promises to hold fixed.
+struct Fingerprint {
+  /// Whether each source's replica initialized (INIT can be lost on a
+  /// lossy channel — deterministically, so this too must match).
+  std::vector<bool> initialized;
+  std::vector<double> values;
+  std::vector<double> bounds;
+  std::vector<double> query_values;
+  std::vector<double> query_bounds;
+  int64_t total_messages = 0;
+  int64_t total_bytes = 0;
+  int64_t messages_processed = 0;
+  NetworkStats net;
+};
+
+void ExpectEqualFingerprints(const Fingerprint& a, const Fingerprint& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.values.size(), b.values.size()) << label;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.initialized[i], b.initialized[i]) << label << " init " << i;
+    EXPECT_EQ(a.values[i], b.values[i]) << label << " value " << i;
+    EXPECT_EQ(a.bounds[i], b.bounds[i]) << label << " bound " << i;
+  }
+  ASSERT_EQ(a.query_values.size(), b.query_values.size()) << label;
+  for (size_t i = 0; i < a.query_values.size(); ++i) {
+    EXPECT_EQ(a.query_values[i], b.query_values[i]) << label << " query " << i;
+    EXPECT_EQ(a.query_bounds[i], b.query_bounds[i]) << label << " query " << i;
+  }
+  EXPECT_EQ(a.total_messages, b.total_messages) << label;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << label;
+  EXPECT_EQ(a.messages_processed, b.messages_processed) << label;
+  EXPECT_EQ(a.net.messages_sent, b.net.messages_sent) << label;
+  EXPECT_EQ(a.net.messages_delivered, b.net.messages_delivered) << label;
+  EXPECT_EQ(a.net.messages_dropped, b.net.messages_dropped) << label;
+  EXPECT_EQ(a.net.bytes_sent, b.net.bytes_sent) << label;
+  EXPECT_EQ(a.net.bytes_delivered, b.net.bytes_delivered) << label;
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    EXPECT_EQ(a.net.by_type[i], b.net.by_type[i]) << label << " type " << i;
+  }
+}
+
+Fingerprint RunSharded(size_t threads, size_t shards,
+                       Channel::Config channel = Channel::Config()) {
+  ShardedFleet::Config config;
+  config.seed = 12345;
+  config.threads = threads;
+  config.num_shards = shards;
+  config.channel = channel;
+  ShardedFleet fleet(config);
+  AddStandardSources(fleet, 12);
+
+  EXPECT_TRUE(fleet.Run(2).ok());  // Initialize before registering queries.
+  auto avg = ParseQuery("SELECT AVG(s0, s3, s5, s7, s9, s11) WITHIN 10");
+  EXPECT_TRUE(avg.ok());
+  EXPECT_TRUE(fleet.server().AddQuery("avg", *avg).ok());
+  auto mx = ParseQuery("SELECT MAX(s1, s2, s4, s6, s8, s10) EVERY 7");
+  EXPECT_TRUE(mx.ok());
+  EXPECT_TRUE(fleet.server().AddQuery("max", *mx).ok());
+
+  Fingerprint fp;
+  for (int t = 0; t < 300; ++t) {
+    EXPECT_TRUE(fleet.Step().ok());
+    std::vector<QueryResult> due = fleet.server().EvaluateDue();
+    for (const QueryResult& r : due) {
+      fp.query_values.push_back(r.value);
+      fp.query_bounds.push_back(r.bound);
+    }
+  }
+  for (int32_t id = 0; id < static_cast<int32_t>(fleet.num_sources()); ++id) {
+    auto answer = fleet.server().SourceValue(id);
+    fp.initialized.push_back(answer.ok());
+    fp.values.push_back(answer.ok() ? answer->value[0] : 0.0);
+    fp.bounds.push_back(answer.ok() ? answer->bound : 0.0);
+  }
+  fp.total_messages = fleet.TotalMessages();
+  fp.total_bytes = fleet.TotalBytes();
+  fp.messages_processed = fleet.server().messages_processed();
+  fp.net = fleet.TotalNetworkStats();
+  return fp;
+}
+
+TEST(ShardedFleetTest, BitIdenticalForAnyThreadCount) {
+  Fingerprint one = RunSharded(/*threads=*/1, /*shards=*/8);
+  Fingerprint two = RunSharded(/*threads=*/2, /*shards=*/8);
+  Fingerprint four = RunSharded(/*threads=*/4, /*shards=*/8);
+  ExpectEqualFingerprints(one, two, "threads 1 vs 2");
+  ExpectEqualFingerprints(one, four, "threads 1 vs 4");
+}
+
+TEST(ShardedFleetTest, BitIdenticalForAnyShardCount) {
+  Fingerprint s1 = RunSharded(/*threads=*/2, /*shards=*/1);
+  Fingerprint s3 = RunSharded(/*threads=*/2, /*shards=*/3);
+  Fingerprint s8 = RunSharded(/*threads=*/2, /*shards=*/8);
+  ExpectEqualFingerprints(s1, s3, "shards 1 vs 3");
+  ExpectEqualFingerprints(s1, s8, "shards 1 vs 8");
+}
+
+TEST(ShardedFleetTest, BitIdenticalUnderLossAndLatency) {
+  Channel::Config lossy;
+  lossy.loss_prob = 0.2;
+  lossy.latency_ticks = 3;
+  Fingerprint one = RunSharded(1, 8, lossy);
+  Fingerprint four = RunSharded(4, 8, lossy);
+  EXPECT_GT(one.net.messages_dropped, 0);
+  ExpectEqualFingerprints(one, four, "lossy threads 1 vs 4");
+}
+
+TEST(ShardedFleetTest, MatchesSingleThreadedFleet) {
+  // The sharded executor must reproduce the classic Fleet bit-for-bit:
+  // same seed, same AddSource order => same per-source answers and the
+  // same fleet-wide message accounting.
+  Fleet::Config flat_config;
+  flat_config.seed = 777;
+  Fleet flat(flat_config);
+  ShardedFleet::Config sharded_config;
+  sharded_config.seed = 777;
+  sharded_config.threads = 4;
+  sharded_config.num_shards = 5;
+  ShardedFleet sharded(sharded_config);
+  for (int i = 0; i < 9; ++i) {
+    RandomWalkGenerator::Config walk;
+    walk.start = 2.0 * i;
+    walk.step_sigma = 0.3;
+    flat.AddSource(std::make_unique<RandomWalkGenerator>(walk),
+                   std::make_unique<KalmanPredictor>(ScalarKalman()), 0.5);
+    sharded.AddSource(std::make_unique<RandomWalkGenerator>(walk),
+                      std::make_unique<KalmanPredictor>(ScalarKalman()), 0.5);
+  }
+  ASSERT_TRUE(flat.Run(250).ok());
+  ASSERT_TRUE(sharded.Run(250).ok());
+  for (int32_t id = 0; id < 9; ++id) {
+    auto a = flat.server().SourceValue(id);
+    auto b = sharded.server().SourceValue(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->value[0], b->value[0]) << "source " << id;
+    EXPECT_EQ(a->bound, b->bound) << "source " << id;
+    EXPECT_EQ(flat.MessagesOf(id), sharded.MessagesOf(id)) << "source " << id;
+  }
+  EXPECT_EQ(flat.TotalMessages(), sharded.TotalMessages());
+  EXPECT_EQ(flat.TotalBytes(), sharded.TotalBytes());
+  EXPECT_EQ(flat.server().messages_processed(),
+            sharded.server().messages_processed());
+}
+
+TEST(ShardedFleetTest, CrossShardQueriesAndArchives) {
+  ShardedFleet::Config config;
+  config.seed = 9;
+  config.threads = 2;
+  config.num_shards = 4;
+  ShardedFleet fleet(config);
+  AddStandardSources(fleet, 8);
+  fleet.server().EnableArchiving(64);
+  ASSERT_TRUE(fleet.Run(50).ok());
+
+  // A query spanning every shard evaluates against the merged view.
+  QuerySpec spec;
+  spec.kind = AggregateKind::kAvg;
+  for (int32_t id = 0; id < 8; ++id) spec.sources.push_back(id);
+  ASSERT_TRUE(fleet.server().AddQuery("all", spec).ok());
+  auto result = fleet.server().Evaluate("all");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->bound, 0.0);
+
+  // Shard-local archives answer historical queries through the merged
+  // view, including a LAST window larger than recorded history.
+  for (int32_t id = 0; id < 8; ++id) {
+    auto archive = fleet.server().Archive(id);
+    ASSERT_TRUE(archive.ok()) << "source " << id;
+    EXPECT_GT((*archive)->size(), 0u);
+    QuerySpec last;
+    last.kind = AggregateKind::kAvg;
+    last.sources.push_back(id);
+    last.last_ticks = 10000;  // Far more than the 50 recorded ticks.
+    auto hist = fleet.server().EvaluateSpec(last, "hist");
+    ASSERT_TRUE(hist.ok()) << hist.status();
+  }
+
+  // The registry behaves like StreamServer's.
+  EXPECT_FALSE(fleet.server().AddQuery("all", spec).ok());
+  EXPECT_EQ(fleet.server().QueryNames(),
+            (std::vector<std::string>{"all"}));
+  EXPECT_TRUE(fleet.server().RemoveQuery("all").ok());
+  EXPECT_FALSE(fleet.server().Evaluate("all").ok());
+}
+
+TEST(ShardedFleetTest, SourceLifecycleOnShards) {
+  ShardedServer server(4);
+  ASSERT_TRUE(
+      server.RegisterSource(3, std::make_unique<ValueCachePredictor>()).ok());
+  EXPECT_FALSE(
+      server.RegisterSource(3, std::make_unique<ValueCachePredictor>()).ok());
+  EXPECT_EQ(server.num_sources(), 1u);
+  EXPECT_EQ(server.SourceIds(), (std::vector<int32_t>{3}));
+  EXPECT_TRUE(server.UnregisterSource(3).ok());
+  EXPECT_FALSE(server.UnregisterSource(3).ok());
+  EXPECT_EQ(server.num_sources(), 0u);
+}
+
+TEST(ShardedFleetTest, ControlPushReachesSource) {
+  ShardedFleet::Config config;
+  config.threads = 2;
+  config.num_shards = 3;
+  ShardedFleet fleet(config);
+  RandomWalkGenerator::Config walk;
+  fleet.AddSource(std::make_unique<RandomWalkGenerator>(walk),
+                  std::make_unique<ValueCachePredictor>(), 1.0);
+  ASSERT_TRUE(fleet.Run(3).ok());
+  ASSERT_TRUE(fleet.server().PushBound(0, 2.5).ok());
+  EXPECT_EQ(fleet.TotalControlMessages(), 1);
+  ASSERT_TRUE(fleet.Run(1).ok());
+  EXPECT_DOUBLE_EQ(fleet.agent(0).delta(), 2.5);
+}
+
+TEST(ShardedFleetTest, ShardAssignmentIsStable) {
+  ShardedServer a(8);
+  ShardedServer b(8);
+  for (int32_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(a.ShardOf(id), b.ShardOf(id));
+    EXPECT_LT(a.ShardOf(id), 8u);
+  }
+  // The hash must actually spread sources around.
+  std::vector<int> counts(8, 0);
+  for (int32_t id = 0; id < 1000; ++id) ++counts[a.ShardOf(id)];
+  for (int shard = 0; shard < 8; ++shard) {
+    EXPECT_GT(counts[shard], 50) << "shard " << shard;
+  }
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,78 @@
+#include "fleet/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kc {
+namespace {
+
+TEST(ThreadPoolTest, SequentialWhenSingleThreaded) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&order](size_t i) { order.push_back(i); });
+  // No workers: runs inline, in index order.
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, JoinIsABarrier) {
+  // After ParallelFor returns, every body's writes must be visible to the
+  // caller without further synchronization.
+  ThreadPool pool(4);
+  std::vector<int> out(257, 0);
+  pool.ParallelFor(out.size(), [&out](size_t i) {
+    out[i] = static_cast<int>(i) * 3;
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  // Back-to-back batches must not leak items across generations (a
+  // straggler from batch k must never claim an index of batch k+1).
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(7, [&sum](size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    ASSERT_EQ(sum.load(), 28) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, HandlesZeroAndOneItem) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, MoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  const size_t n = 10000;
+  pool.ParallelFor(n, [&sum](size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), static_cast<long>(n * (n - 1) / 2));
+}
+
+}  // namespace
+}  // namespace kc
