@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "common/rng.h"
 #include "kalman/adaptive.h"
 #include "kalman/ekf.h"
@@ -23,8 +26,12 @@ kc::StateSpaceModel ModelFor(int id) {
       return kc::MakeConstantVelocityModel(1.0, 0.1, 0.25);
     case 2:
       return kc::MakeConstantAccelerationModel(1.0, 0.05, 0.25);
-    default:
+    case 3:
       return kc::MakeConstantVelocity2DModel(1.0, 0.1, 0.25);
+    case 4:
+      return kc::MakeConstantAcceleration2DModel(1.0, 0.05, 0.25);
+    default:
+      return kc::MakeConstantJerk2DModel(1.0, 0.01, 0.25);
   }
 }
 
@@ -33,16 +40,24 @@ void BM_PredictUpdate(benchmark::State& state) {
   size_t n = model.state_dim();
   size_t m = model.obs_dim();
   kc::KalmanFilter kf(model, kc::Vector(n), kc::Matrix::ScalarDiagonal(n, 1.0));
+  // Observations are drawn ahead of the timed loop: a Gaussian draw costs
+  // ~55 ns, which would otherwise swamp the filter step being measured.
   kc::Rng rng(1);
+  constexpr size_t kSteps = 1024;  // Power of two so the wrap is a mask.
+  std::vector<double> zs(kSteps * m);
+  for (double& v : zs) v = rng.Gaussian();
   kc::Vector z(m);
+  size_t step = 0;
   for (auto _ : state) {
-    for (size_t d = 0; d < m; ++d) z[d] = rng.Gaussian();
+    const double* src = zs.data() + (step & (kSteps - 1)) * m;
+    for (size_t d = 0; d < m; ++d) z[d] = src[d];
+    ++step;
     kf.Predict();
     benchmark::DoNotOptimize(kf.Update(z).ok());
   }
   state.SetLabel(model.name);
 }
-BENCHMARK(BM_PredictUpdate)->DenseRange(0, 3);
+BENCHMARK(BM_PredictUpdate)->DenseRange(0, 5);
 
 void BM_PredictOnly(benchmark::State& state) {
   kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));
@@ -54,7 +69,7 @@ void BM_PredictOnly(benchmark::State& state) {
   }
   state.SetLabel(model.name);
 }
-BENCHMARK(BM_PredictOnly)->DenseRange(0, 3);
+BENCHMARK(BM_PredictOnly)->DenseRange(0, 5);
 
 void BM_AdaptiveOverhead(benchmark::State& state) {
   kc::KalmanFilter kf(kc::MakeRandomWalkModel(0.1, 0.25), kc::Vector{0.0},

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer gate.
+#
+# Configures a dedicated build tree with -fsanitize=address,undefined and
+# runs the full test suite. The SmallBuf inline/heap storage and the
+# destination-passing kernels are the main customers: any out-of-bounds
+# write, use-after-free on a spilled buffer, or UB in the hot loop fails
+# the run (halt_on_error aborts the offending test binary).
+#
+# Usage: scripts/ci_asan.sh [build-dir]   (default: build-asan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+cmake --build "$BUILD_DIR" -j
+
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "ci_asan: OK (no memory errors reported)"

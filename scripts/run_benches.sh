@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the perf microbenchmarks and refreshes BENCH_perf.json at the repo
+# root: an optimized build tree, each bench_perf_* binary with JSON output,
+# then a merge of the per-binary reports into one file.
+#
+# Usage: scripts/run_benches.sh [build-dir]   (default: build-bench)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j \
+  --target bench_perf_kalman bench_perf_linalg bench_perf_server
+
+OUT_DIR="$BUILD_DIR/bench-json"
+mkdir -p "$OUT_DIR"
+for bench in bench_perf_kalman bench_perf_linalg bench_perf_server; do
+  "$BUILD_DIR/bench/$bench" \
+    --benchmark_format=json \
+    --benchmark_out="$OUT_DIR/$bench.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2
+done
+
+python3 - "$OUT_DIR" <<'EOF'
+import json, os, sys
+
+out_dir = sys.argv[1]
+merged = {"context": None, "benchmarks": []}
+for name in ("bench_perf_kalman", "bench_perf_linalg", "bench_perf_server"):
+    with open(os.path.join(out_dir, name + ".json")) as f:
+        report = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = report.get("context", {})
+    for bench in report.get("benchmarks", []):
+        bench["binary"] = name
+        merged["benchmarks"].append(bench)
+with open("BENCH_perf.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"BENCH_perf.json: {len(merged['benchmarks'])} benchmarks")
+EOF
+
+echo "run_benches: OK"

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "linalg/decomp.h"
+#include "linalg/kernels.h"
 
 namespace kc {
 
@@ -39,9 +40,13 @@ ExtendedKalmanFilter::ExtendedKalmanFilter(NonlinearModel model, Vector x0,
 }
 
 void ExtendedKalmanFilter::Predict() {
-  Matrix f_jac = model_.f_jacobian(x_);
+  // The model callables return by value, but their results stay in inline
+  // storage; everything else routes through ws_, so the steady-state step
+  // performs zero heap allocations.
+  ws_.jac = model_.f_jacobian(x_);
   x_ = model_.f(x_);
-  p_ = Sandwich(f_jac, p_) + model_.q;
+  SandwichInto(ws_.jac, p_, &ws_.tmp1, &ws_.j1);
+  AddInto(ws_.j1, model_.q, &p_);
   p_.Symmetrize();
 }
 
@@ -49,29 +54,36 @@ Status ExtendedKalmanFilter::Update(const Vector& z) {
   if (z.size() != model_.obs_dim) {
     return Status::InvalidArgument("observation dimension mismatch");
   }
-  Matrix h_jac = model_.h_jacobian(x_);
-  Vector nu = z - model_.h(x_);
+  ws_.jac = model_.h_jacobian(x_);
+  ws_.hx = model_.h(x_);
+  SubInto(z, ws_.hx, &ws_.nu);
 
-  Matrix s = Sandwich(h_jac, p_) + model_.r;
-  s.Symmetrize();
-  Cholesky chol(s);
-  if (!chol.ok()) {
+  SandwichInto(ws_.jac, p_, &ws_.tmp1, &ws_.s);
+  ws_.s += model_.r;
+  ws_.s.Symmetrize();
+  if (!Cholesky::FactorInto(ws_.s, &ws_.l)) {
     return Status::FailedPrecondition("innovation covariance not PD");
   }
-  Matrix ph_t = p_ * h_jac.Transposed();
-  Matrix k = chol.Solve(ph_t.Transposed()).Transposed();
+  MultiplyTransposedInto(p_, ws_.jac, &ws_.ph_t);
+  TransposeInto(ws_.ph_t, &ws_.tmp1);
+  Cholesky::SolveInto(ws_.l, ws_.tmp1, &ws_.kt);
+  TransposeInto(ws_.kt, &ws_.k);
 
-  x_ += k * nu;
-  Matrix i_kh = Matrix::Identity(model_.state_dim) - k * h_jac;
-  p_ = Sandwich(i_kh, p_) + Sandwich(k, model_.r);  // Joseph form.
+  MultiplyInto(ws_.k, ws_.nu, &ws_.knu);
+  x_ += ws_.knu;
+  MultiplyInto(ws_.k, ws_.jac, &ws_.kh);
+  IdentityMinusInto(ws_.kh, &ws_.i_kh);
+  SandwichInto(ws_.i_kh, p_, &ws_.tmp1, &ws_.j1);     // Joseph form.
+  SandwichInto(ws_.k, model_.r, &ws_.tmp1, &ws_.krk);
+  AddInto(ws_.j1, ws_.krk, &p_);
   p_.Symmetrize();
 
-  innovation_ = nu;
-  Vector s_inv_nu = chol.Solve(nu);
-  nis_ = nu.Dot(s_inv_nu);
+  innovation_ = ws_.nu;
+  Cholesky::SolveInto(ws_.l, ws_.nu, &ws_.sinv_nu);
+  nis_ = ws_.nu.Dot(ws_.sinv_nu);
   double m = static_cast<double>(model_.obs_dim);
-  log_likelihood_ =
-      -0.5 * (nis_ + chol.LogDeterminant() + m * std::log(2.0 * std::numbers::pi));
+  log_likelihood_ = -0.5 * (nis_ + Cholesky::LogDeterminantOf(ws_.l) +
+                            m * std::log(2.0 * std::numbers::pi));
   ++update_count_;
   return Status::Ok();
 }

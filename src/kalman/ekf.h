@@ -68,9 +68,30 @@ class ExtendedKalmanFilter {
   Status DeserializeState(const std::vector<double>& buf);
 
  private:
+  /// Scratch reused across Predict/Update so steady-state EKF steps perform
+  /// zero heap allocations (same contract as KalmanFilter::Workspace).
+  struct Workspace {
+    Vector hx;       ///< h(x).
+    Vector nu;       ///< Innovation.
+    Vector knu;      ///< K nu.
+    Vector sinv_nu;  ///< S^{-1} nu.
+    Matrix jac;      ///< f/h Jacobian at the current state.
+    Matrix tmp1;     ///< Sandwich/transpose scratch.
+    Matrix s;        ///< Innovation covariance.
+    Matrix l;        ///< Cholesky factor of s.
+    Matrix ph_t;     ///< P H^T.
+    Matrix kt;       ///< K^T.
+    Matrix k;        ///< Gain K.
+    Matrix kh;       ///< K H.
+    Matrix i_kh;     ///< I - K H.
+    Matrix j1;       ///< Joseph term (I-KH) P (I-KH)^T.
+    Matrix krk;      ///< Joseph term K R K^T.
+  };
+
   NonlinearModel model_;
   Vector x_;
   Matrix p_;
+  Workspace ws_;
 
   Vector innovation_;
   double nis_ = 0.0;

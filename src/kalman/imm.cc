@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace kc {
 
 namespace {
@@ -15,6 +17,8 @@ Imm::Imm(std::vector<KalmanFilter> filters, Matrix transition,
       transition_(std::move(transition)),
       mu_(std::move(initial_prob)) {
   assert(Validate().ok());
+  mixed_x_.resize(filters_.size());
+  mixed_p_.resize(filters_.size());
 }
 
 Status Imm::Validate() const {
@@ -66,28 +70,31 @@ void Imm::Predict() {
     c[j] = std::max(c[j], kProbFloor);
   }
 
-  // Mixing probabilities mu_{i|j} and mixed initial conditions.
-  std::vector<Vector> mixed_x(k, Vector(n));
-  std::vector<Matrix> mixed_p(k, Matrix(n, n));
+  // Mixing probabilities mu_{i|j} and mixed initial conditions, written
+  // into the persistent buffers. All mixing is computed against the
+  // pre-update filter states before any Reset below, and the fused
+  // accumulators are bit-identical to the operator chains they replaced.
   for (size_t j = 0; j < k; ++j) {
-    Vector x0(n);
+    Vector& x0 = mixed_x_[j];
+    x0.ResizeUninit(n);
+    x0.SetZero();
     for (size_t i = 0; i < k; ++i) {
       double w = transition_(i, j) * mu_[i] / c[j];
-      x0 += w * filters_[i].state();
+      AddScaledInPlace(w, filters_[i].state(), &x0);
     }
-    Matrix p0(n, n);
+    Matrix& p0 = mixed_p_[j];
+    p0.ResizeUninit(n, n);
+    p0.SetZero();
     for (size_t i = 0; i < k; ++i) {
       double w = transition_(i, j) * mu_[i] / c[j];
       Vector d = filters_[i].state() - x0;
-      p0 += w * (filters_[i].covariance() + Matrix::Outer(d, d));
+      AddScaledPlusOuterInPlace(w, filters_[i].covariance(), d, &p0);
     }
     p0.Symmetrize();
-    mixed_x[j] = std::move(x0);
-    mixed_p[j] = std::move(p0);
   }
 
   for (size_t j = 0; j < k; ++j) {
-    filters_[j].Reset(std::move(mixed_x[j]), std::move(mixed_p[j]));
+    filters_[j].Reset(mixed_x_[j], mixed_p_[j]);
     filters_[j].Predict();
   }
   mu_ = c;

@@ -64,6 +64,11 @@ class Imm {
   std::vector<KalmanFilter> filters_;
   Matrix transition_;
   Vector mu_;  ///< Current mode probabilities.
+
+  // Persistent mixing buffers (sized once at construction) so steady-state
+  // Predict() performs zero heap allocations.
+  std::vector<Vector> mixed_x_;  ///< Mixed initial states, one per mode.
+  std::vector<Matrix> mixed_p_;  ///< Mixed initial covariances, one per mode.
 };
 
 }  // namespace kc

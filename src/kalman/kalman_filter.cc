@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "linalg/decomp.h"
+#include "linalg/kernels.h"
 
 namespace kc {
 
@@ -16,8 +17,13 @@ KalmanFilter::KalmanFilter(StateSpaceModel model, Vector x0, Matrix p0,
 }
 
 void KalmanFilter::Predict() {
-  x_ = model_.f * x_;
-  p_ = Sandwich(model_.f, p_) + model_.q;
+  // All temporaries live in ws_, so the steady-state time update performs
+  // zero heap allocations; the kernels are bit-identical to the
+  // value-returning operators they replaced.
+  MultiplyInto(model_.f, x_, &ws_.fx);
+  x_ = ws_.fx;
+  SandwichInto(model_.f, p_, &ws_.tmp1, &ws_.j1);
+  AddInto(ws_.j1, model_.q, &p_);
   p_.Symmetrize();
 }
 
@@ -30,40 +36,47 @@ Status KalmanFilter::Update(const Vector& z) {
     return Status::InvalidArgument("observation dimension mismatch");
   }
   const Matrix& h = model_.h;
-  Vector predicted = h * x_;
-  Vector nu = z - predicted;
+  MultiplyInto(h, x_, &ws_.hx);
+  SubInto(z, ws_.hx, &ws_.nu);
 
-  Matrix s = Sandwich(h, p_) + model_.r;
-  s.Symmetrize();
-  Cholesky chol(s);
-  if (!chol.ok()) {
+  SandwichInto(h, p_, &ws_.tmp1, &ws_.s);
+  ws_.s += model_.r;
+  ws_.s.Symmetrize();
+  if (!Cholesky::FactorInto(ws_.s, &ws_.l)) {
     return Status::FailedPrecondition("innovation covariance not PD");
   }
 
   // Gain K = P H^T S^{-1}; computed as solve(S, H P)^T to stay factored.
-  Matrix ph_t = p_ * h.Transposed();          // n x m
-  Matrix k = chol.Solve(ph_t.Transposed());   // m x n, equals S^{-1} H P
-  k = k.Transposed();                         // n x m
+  MultiplyTransposedInto(p_, h, &ws_.ph_t);    // n x m
+  TransposeInto(ws_.ph_t, &ws_.tmp1);          // m x n
+  Cholesky::SolveInto(ws_.l, ws_.tmp1, &ws_.kt);  // m x n, equals S^{-1} H P
+  TransposeInto(ws_.kt, &ws_.k);               // n x m
 
-  x_ += k * nu;
+  MultiplyInto(ws_.k, ws_.nu, &ws_.knu);
+  x_ += ws_.knu;
 
+  // The gain complement I - K H feeds both covariance forms; compute it
+  // once above the branch.
+  MultiplyInto(ws_.k, h, &ws_.kh);
+  IdentityMinusInto(ws_.kh, &ws_.i_kh);
   if (form_ == UpdateForm::kJoseph) {
-    Matrix i_kh = Matrix::Identity(state_dim()) - k * h;
-    p_ = Sandwich(i_kh, p_) + Sandwich(k, model_.r);
+    SandwichInto(ws_.i_kh, p_, &ws_.tmp1, &ws_.j1);
+    SandwichInto(ws_.k, model_.r, &ws_.tmp1, &ws_.krk);
+    AddInto(ws_.j1, ws_.krk, &p_);
   } else {
-    Matrix i_kh = Matrix::Identity(state_dim()) - k * h;
-    p_ = i_kh * p_;
+    MultiplyInto(ws_.i_kh, p_, &ws_.j1);
+    p_ = ws_.j1;
   }
   p_.Symmetrize();
 
   // Diagnostics.
-  innovation_ = nu;
-  s_ = s;
-  Vector s_inv_nu = chol.Solve(nu);
-  nis_ = nu.Dot(s_inv_nu);
+  innovation_ = ws_.nu;
+  s_ = ws_.s;
+  Cholesky::SolveInto(ws_.l, ws_.nu, &ws_.sinv_nu);
+  nis_ = ws_.nu.Dot(ws_.sinv_nu);
   double m = static_cast<double>(obs_dim());
-  log_likelihood_ =
-      -0.5 * (nis_ + chol.LogDeterminant() + m * std::log(2.0 * std::numbers::pi));
+  log_likelihood_ = -0.5 * (nis_ + Cholesky::LogDeterminantOf(ws_.l) +
+                            m * std::log(2.0 * std::numbers::pi));
   ++update_count_;
   return Status::Ok();
 }
@@ -74,6 +87,12 @@ Matrix KalmanFilter::InnovationCovariance() const {
   Matrix s = Sandwich(model_.h, p_) + model_.r;
   s.Symmetrize();
   return s;
+}
+
+void KalmanFilter::InnovationCovarianceInto(Matrix* out) {
+  SandwichInto(model_.h, p_, &ws_.tmp1, out);
+  *out += model_.r;
+  out->Symmetrize();
 }
 
 void KalmanFilter::Reset(Vector x0, Matrix p0) {

@@ -55,6 +55,12 @@ class KalmanFilter {
   /// Innovation covariance S = H P H^T + R for the current state.
   Matrix InnovationCovariance() const;
 
+  /// Destination-passing variant of InnovationCovariance for hot paths:
+  /// computes S into caller-owned `*out` using this filter's scratch
+  /// workspace, performing no heap allocations in steady state. `out` must
+  /// not alias this filter's own matrices.
+  void InnovationCovarianceInto(Matrix* out);
+
   const Vector& state() const { return x_; }
   const Matrix& covariance() const { return p_; }
   const StateSpaceModel& model() const { return model_; }
@@ -86,10 +92,33 @@ class KalmanFilter {
   Status DeserializeState(const std::vector<double>& buf);
 
  private:
+  /// Scratch storage reused across Predict/Update so steady-state filter
+  /// steps perform zero heap allocations: every temporary the update needs
+  /// lives here, is reshaped once on first use, and is fully overwritten by
+  /// the *Into kernels each step (see docs/PERF.md).
+  struct Workspace {
+    Vector fx;       ///< F x.
+    Vector hx;       ///< H x (predicted observation).
+    Vector nu;       ///< Innovation z - H x.
+    Vector knu;      ///< K nu.
+    Vector sinv_nu;  ///< S^{-1} nu (NIS solve).
+    Matrix tmp1;     ///< Sandwich scratch (F P, H P, (I-KH) P, K R).
+    Matrix s;        ///< Innovation covariance H P H^T + R.
+    Matrix l;        ///< Cholesky factor of s.
+    Matrix ph_t;     ///< P H^T.
+    Matrix kt;       ///< K^T = S^{-1} H P.
+    Matrix k;        ///< Gain K.
+    Matrix kh;       ///< K H.
+    Matrix i_kh;     ///< I - K H.
+    Matrix j1;       ///< (I-KH) P (I-KH)^T (Joseph) or (I-KH) P (standard).
+    Matrix krk;      ///< K R K^T (Joseph).
+  };
+
   StateSpaceModel model_;
   UpdateForm form_;
   Vector x_;
   Matrix p_;
+  Workspace ws_;
 
   // Last-update diagnostics.
   Vector innovation_;

@@ -136,4 +136,83 @@ StateSpaceModel MakeConstantVelocity2DModel(double dt, double accel_var,
   return m;
 }
 
+StateSpaceModel MakeConstantAcceleration2DModel(double dt, double jerk_var,
+                                                double obs_var) {
+  StateSpaceModel m;
+  m.name = "constant_acceleration_2d";
+  double dt2 = dt * dt;
+  double dt3 = dt2 * dt;
+  double dt4 = dt3 * dt;
+  double dt5 = dt4 * dt;
+  // Two independent [pos, vel, acc] integrator chains with discretized
+  // white-noise jerk (same per-axis block as MakeConstantAccelerationModel).
+  m.f = Matrix{{1.0, dt, dt2 / 2.0, 0.0, 0.0, 0.0},
+               {0.0, 1.0, dt, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 1.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, 1.0, dt, dt2 / 2.0},
+               {0.0, 0.0, 0.0, 0.0, 1.0, dt},
+               {0.0, 0.0, 0.0, 0.0, 0.0, 1.0}};
+  double q11 = jerk_var * dt5 / 20.0;
+  double q12 = jerk_var * dt4 / 8.0;
+  double q13 = jerk_var * dt3 / 6.0;
+  double q22 = jerk_var * dt3 / 3.0;
+  double q23 = jerk_var * dt2 / 2.0;
+  double q33 = jerk_var * dt;
+  m.q = Matrix{{q11, q12, q13, 0.0, 0.0, 0.0},
+               {q12, q22, q23, 0.0, 0.0, 0.0},
+               {q13, q23, q33, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, q11, q12, q13},
+               {0.0, 0.0, 0.0, q12, q22, q23},
+               {0.0, 0.0, 0.0, q13, q23, q33}};
+  m.h = Matrix{{1.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, 1.0, 0.0, 0.0}};
+  m.r = Matrix::ScalarDiagonal(2, obs_var);
+  return m;
+}
+
+StateSpaceModel MakeConstantJerk2DModel(double dt, double snap_var,
+                                        double obs_var) {
+  StateSpaceModel m;
+  m.name = "constant_jerk_2d";
+  double dt2 = dt * dt;
+  double dt3 = dt2 * dt;
+  double dt4 = dt3 * dt;
+  double dt5 = dt4 * dt;
+  double dt6 = dt5 * dt;
+  double dt7 = dt6 * dt;
+  // Two independent [pos, vel, acc, jerk] integrator chains. Q follows the
+  // standard discretization of white-noise snap over an N-fold integrator:
+  // Q(i,j) = s * dt^(2N+1-i-j) / ((2N+1-i-j) * (N-i)! * (N-j)!), N = 3.
+  m.f = Matrix{{1.0, dt, dt2 / 2.0, dt3 / 6.0, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 1.0, dt, dt2 / 2.0, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 1.0, dt, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, 0.0, 1.0, dt, dt2 / 2.0, dt3 / 6.0},
+               {0.0, 0.0, 0.0, 0.0, 0.0, 1.0, dt, dt2 / 2.0},
+               {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, dt},
+               {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0}};
+  double q11 = snap_var * dt7 / 252.0;
+  double q12 = snap_var * dt6 / 72.0;
+  double q13 = snap_var * dt5 / 30.0;
+  double q14 = snap_var * dt4 / 24.0;
+  double q22 = snap_var * dt5 / 20.0;
+  double q23 = snap_var * dt4 / 8.0;
+  double q24 = snap_var * dt3 / 6.0;
+  double q33 = snap_var * dt3 / 3.0;
+  double q34 = snap_var * dt2 / 2.0;
+  double q44 = snap_var * dt;
+  m.q = Matrix{{q11, q12, q13, q14, 0.0, 0.0, 0.0, 0.0},
+               {q12, q22, q23, q24, 0.0, 0.0, 0.0, 0.0},
+               {q13, q23, q33, q34, 0.0, 0.0, 0.0, 0.0},
+               {q14, q24, q34, q44, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, 0.0, q11, q12, q13, q14},
+               {0.0, 0.0, 0.0, 0.0, q12, q22, q23, q24},
+               {0.0, 0.0, 0.0, 0.0, q13, q23, q33, q34},
+               {0.0, 0.0, 0.0, 0.0, q14, q24, q34, q44}};
+  m.h = Matrix{{1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+               {0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0}};
+  m.r = Matrix::ScalarDiagonal(2, obs_var);
+  return m;
+}
+
 }  // namespace kc

@@ -57,6 +57,19 @@ StateSpaceModel MakeHarmonicModel(double omega, double dt, double process_var,
 StateSpaceModel MakeConstantVelocity2DModel(double dt, double accel_var,
                                             double obs_var);
 
+/// 6-state planar constant-acceleration model [x, vx, ax, y, vy, ay] with
+/// both positions observed; exercises the mid-size (dim-6) fast path.
+/// `jerk_var` is the white-noise-jerk spectral density per axis.
+StateSpaceModel MakeConstantAcceleration2DModel(double dt, double jerk_var,
+                                                double obs_var);
+
+/// 8-state planar constant-jerk model [x, vx, ax, jx, y, vy, ay, jy] with
+/// both positions observed; fills the full inline-storage envelope
+/// (state_dim = 8). `snap_var` is the white-noise-snap spectral density
+/// per axis.
+StateSpaceModel MakeConstantJerk2DModel(double dt, double snap_var,
+                                        double obs_var);
+
 /// 4-state trend + seasonality model: a constant-velocity local trend
 /// block [level, slope] plus a harmonic block [s, c] at angular frequency
 /// `omega`, observing level + s. Fits diurnal signals riding on weather

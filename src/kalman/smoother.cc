@@ -1,6 +1,7 @@
 #include "kalman/smoother.h"
 
 #include "linalg/decomp.h"
+#include "linalg/kernels.h"
 
 namespace kc {
 
@@ -30,21 +31,28 @@ StatusOr<std::vector<SmoothedEstimate>> RtsSmooth(
     p_post[k] = kf.covariance();
   }
 
-  // Backward pass.
+  // Backward pass. Scratch is hoisted out of the loop and reused through
+  // the destination-passing kernels, so each step is allocation-free.
   std::vector<SmoothedEstimate> out(n);
   out[n - 1] = {x_post[n - 1], p_post[n - 1]};
+  Matrix l, fp, ct, c, dp, tmp1, sand;
+  Vector dx, cdx;
   for (size_t k = n - 1; k-- > 0;) {
     // Gain C = P_k F^T (P_prior_{k+1})^{-1}, computed via a solve against
     // the (symmetric PD) prior covariance.
-    Cholesky chol(p_prior[k + 1]);
-    if (!chol.ok()) {
+    if (!Cholesky::FactorInto(p_prior[k + 1], &l)) {
       return Status::FailedPrecondition("prior covariance not PD in smoother");
     }
-    Matrix fp = model.f * p_post[k];               // F P_k
-    Matrix c = chol.Solve(fp).Transposed();        // P_k F^T S^{-1}
+    MultiplyInto(model.f, p_post[k], &fp);  // F P_k
+    Cholesky::SolveInto(l, fp, &ct);        // S^{-1} F P_k
+    TransposeInto(ct, &c);                  // P_k F^T S^{-1}
 
-    out[k].x = x_post[k] + c * (out[k + 1].x - x_prior[k + 1]);
-    out[k].p = p_post[k] + Sandwich(c, out[k + 1].p - p_prior[k + 1]);
+    SubInto(out[k + 1].x, x_prior[k + 1], &dx);
+    MultiplyInto(c, dx, &cdx);
+    AddInto(x_post[k], cdx, &out[k].x);
+    SubInto(out[k + 1].p, p_prior[k + 1], &dp);
+    SandwichInto(c, dp, &tmp1, &sand);
+    AddInto(p_post[k], sand, &out[k].p);
     out[k].p.Symmetrize();
   }
   return out;

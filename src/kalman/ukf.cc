@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/decomp.h"
+#include "linalg/kernels.h"
 
 namespace kc {
 
@@ -30,21 +31,25 @@ UnscentedKalmanFilter::UnscentedKalmanFilter(NonlinearModel model, Vector x0,
 }
 
 Status UnscentedKalmanFilter::SigmaPoints(const Vector& x, const Matrix& p,
-                                          std::vector<Vector>* points) const {
+                                          std::vector<Vector>* points) {
   size_t n = model_.state_dim;
   double scale = static_cast<double>(n) + lambda_;
-  Matrix scaled = scale * p;
-  Cholesky chol(scaled);
-  if (!chol.ok()) {
+  ws_.scaled.ResizeUninit(p.rows(), p.cols());
+  {
+    const double* pp = p.data().data();
+    double* ps = ws_.scaled.data().data();
+    for (size_t i = 0; i < p.data().size(); ++i) ps[i] = pp[i] * scale;
+  }
+  if (!Cholesky::FactorInto(ws_.scaled, &ws_.l)) {
     // Retry with a small diagonal jitter; covariances can brush the PSD
     // boundary after aggressive updates.
-    Matrix jittered = scaled + Matrix::ScalarDiagonal(n, 1e-9 * (1.0 + scaled.MaxAbs()));
-    chol = Cholesky(jittered);
-    if (!chol.ok()) {
+    Matrix jittered = ws_.scaled + Matrix::ScalarDiagonal(
+                                       n, 1e-9 * (1.0 + ws_.scaled.MaxAbs()));
+    if (!Cholesky::FactorInto(jittered, &ws_.l)) {
       return Status::FailedPrecondition("sigma-point covariance not PD");
     }
   }
-  const Matrix& l = chol.L();
+  const Matrix& l = ws_.l;
   points->clear();
   points->reserve(2 * n + 1);
   points->push_back(x);
@@ -58,8 +63,11 @@ Status UnscentedKalmanFilter::SigmaPoints(const Vector& x, const Matrix& p,
 }
 
 void UnscentedKalmanFilter::Predict() {
-  std::vector<Vector> sigma;
-  if (!SigmaPoints(x_, p_, &sigma).ok()) {
+  // All temporaries route through ws_; the sigma-point containers keep
+  // their capacity and their Vectors stay inline, so steady-state steps
+  // perform zero heap allocations while remaining bit-identical to the
+  // operator-based implementation they replaced.
+  if (!SigmaPoints(x_, p_, &ws_.sigma).ok()) {
     // Degenerate covariance: fall back to propagating the mean only and
     // inflating by Q, which keeps the filter alive.
     x_ = model_.f(x_);
@@ -68,63 +76,75 @@ void UnscentedKalmanFilter::Predict() {
     return;
   }
   size_t n = model_.state_dim;
-  std::vector<Vector> propagated;
-  propagated.reserve(sigma.size());
-  for (const Vector& s : sigma) propagated.push_back(model_.f(s));
+  ws_.propagated.clear();
+  ws_.propagated.reserve(ws_.sigma.size());
+  for (const Vector& s : ws_.sigma) ws_.propagated.push_back(model_.f(s));
 
-  Vector mean(n);
-  for (size_t i = 0; i < propagated.size(); ++i) mean += wm_[i] * propagated[i];
-  Matrix cov(n, n);
-  for (size_t i = 0; i < propagated.size(); ++i) {
-    Vector d = propagated[i] - mean;
-    cov += wc_[i] * Matrix::Outer(d, d);
+  ws_.mean.ResizeUninit(n);
+  ws_.mean.SetZero();
+  for (size_t i = 0; i < ws_.propagated.size(); ++i) {
+    AddScaledInPlace(wm_[i], ws_.propagated[i], &ws_.mean);
   }
-  cov += model_.q;
-  cov.Symmetrize();
-  x_ = std::move(mean);
-  p_ = std::move(cov);
+  ws_.cov.ResizeUninit(n, n);
+  ws_.cov.SetZero();
+  for (size_t i = 0; i < ws_.propagated.size(); ++i) {
+    SubInto(ws_.propagated[i], ws_.mean, &ws_.d);
+    AddScaledOuterInPlace(wc_[i], ws_.d, &ws_.cov);
+  }
+  ws_.cov += model_.q;
+  ws_.cov.Symmetrize();
+  x_ = ws_.mean;
+  p_ = ws_.cov;
 }
 
 Status UnscentedKalmanFilter::Update(const Vector& z) {
   if (z.size() != model_.obs_dim) {
     return Status::InvalidArgument("observation dimension mismatch");
   }
-  std::vector<Vector> sigma;
-  KC_RETURN_IF_ERROR(SigmaPoints(x_, p_, &sigma));
+  KC_RETURN_IF_ERROR(SigmaPoints(x_, p_, &ws_.sigma));
 
   size_t n = model_.state_dim;
   size_t m = model_.obs_dim;
-  std::vector<Vector> zs;
-  zs.reserve(sigma.size());
-  for (const Vector& s : sigma) zs.push_back(model_.h(s));
+  ws_.zs.clear();
+  ws_.zs.reserve(ws_.sigma.size());
+  for (const Vector& s : ws_.sigma) ws_.zs.push_back(model_.h(s));
 
-  Vector z_mean(m);
-  for (size_t i = 0; i < zs.size(); ++i) z_mean += wm_[i] * zs[i];
-
-  Matrix s_mat(m, m);
-  Matrix cross(n, m);
-  for (size_t i = 0; i < zs.size(); ++i) {
-    Vector dz = zs[i] - z_mean;
-    Vector dx = sigma[i] - x_;
-    s_mat += wc_[i] * Matrix::Outer(dz, dz);
-    cross += wc_[i] * Matrix::Outer(dx, dz);
+  ws_.z_mean.ResizeUninit(m);
+  ws_.z_mean.SetZero();
+  for (size_t i = 0; i < ws_.zs.size(); ++i) {
+    AddScaledInPlace(wm_[i], ws_.zs[i], &ws_.z_mean);
   }
-  s_mat += model_.r;
-  s_mat.Symmetrize();
-  Cholesky chol(s_mat);
-  if (!chol.ok()) {
+
+  ws_.s.ResizeUninit(m, m);
+  ws_.s.SetZero();
+  ws_.cross.ResizeUninit(n, m);
+  ws_.cross.SetZero();
+  for (size_t i = 0; i < ws_.zs.size(); ++i) {
+    SubInto(ws_.zs[i], ws_.z_mean, &ws_.dz);
+    SubInto(ws_.sigma[i], x_, &ws_.dx);
+    AddScaledOuterInPlace(wc_[i], ws_.dz, ws_.dz, &ws_.s);
+    AddScaledOuterInPlace(wc_[i], ws_.dx, ws_.dz, &ws_.cross);
+  }
+  ws_.s += model_.r;
+  ws_.s.Symmetrize();
+  if (!Cholesky::FactorInto(ws_.s, &ws_.ls)) {
     return Status::FailedPrecondition("innovation covariance not PD");
   }
 
-  // K = cross * S^{-1}.
-  Matrix k = chol.Solve(cross.Transposed()).Transposed();
-  Vector nu = z - z_mean;
-  x_ += k * nu;
-  p_ -= Sandwich(k, s_mat);
+  // K = cross * S^{-1}, computed as solve(S, cross^T)^T to stay factored.
+  TransposeInto(ws_.cross, &ws_.crosst);
+  Cholesky::SolveInto(ws_.ls, ws_.crosst, &ws_.kt);
+  TransposeInto(ws_.kt, &ws_.k);
+  SubInto(z, ws_.z_mean, &ws_.nu);
+  MultiplyInto(ws_.k, ws_.nu, &ws_.knu);
+  x_ += ws_.knu;
+  SandwichInto(ws_.k, ws_.s, &ws_.tmp1, &ws_.ksk);
+  p_ -= ws_.ksk;
   p_.Symmetrize();
 
-  innovation_ = nu;
-  nis_ = nu.Dot(chol.Solve(nu));
+  innovation_ = ws_.nu;
+  Cholesky::SolveInto(ws_.ls, ws_.nu, &ws_.sinv_nu);
+  nis_ = ws_.nu.Dot(ws_.sinv_nu);
   ++update_count_;
   return Status::Ok();
 }

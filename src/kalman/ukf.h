@@ -51,9 +51,37 @@ class UnscentedKalmanFilter {
 
  private:
   /// Generates the 2n+1 sigma points of N(x, P); fails if P is not PD
-  /// (after a jitter retry).
+  /// (after a jitter retry). Writes through ws_ scratch, hence non-const.
   Status SigmaPoints(const Vector& x, const Matrix& p,
-                     std::vector<Vector>* points) const;
+                     std::vector<Vector>* points);
+
+  /// Scratch reused across Predict/Update so steady-state UKF steps perform
+  /// zero heap allocations: the sigma-point containers keep their capacity
+  /// across calls and the Vectors inside them stay in inline storage.
+  struct Workspace {
+    Matrix scaled;   ///< (n + lambda) P.
+    Matrix l;        ///< Cholesky factor for sigma-point generation.
+    Matrix ls;       ///< Cholesky factor of the innovation covariance.
+    Matrix s;        ///< Innovation covariance.
+    Matrix cross;    ///< State/observation cross-covariance.
+    Matrix crosst;   ///< cross^T.
+    Matrix kt;       ///< K^T.
+    Matrix k;        ///< Gain K.
+    Matrix tmp1;     ///< Sandwich scratch.
+    Matrix ksk;      ///< K S K^T.
+    Matrix cov;      ///< Predicted covariance accumulator.
+    Vector mean;     ///< Predicted mean accumulator.
+    Vector z_mean;   ///< Predicted observation mean.
+    Vector d;        ///< Sigma-point deviation.
+    Vector dz;       ///< Observation deviation.
+    Vector dx;       ///< State deviation.
+    Vector nu;       ///< Innovation.
+    Vector knu;      ///< K nu.
+    Vector sinv_nu;  ///< S^{-1} nu.
+    std::vector<Vector> sigma;       ///< Sigma points.
+    std::vector<Vector> propagated;  ///< f(sigma points).
+    std::vector<Vector> zs;          ///< h(sigma points).
+  };
 
   NonlinearModel model_;
   Params params_;
@@ -63,6 +91,7 @@ class UnscentedKalmanFilter {
 
   Vector x_;
   Matrix p_;
+  Workspace ws_;
   Vector innovation_;
   double nis_ = 0.0;
   int64_t update_count_ = 0;

@@ -5,54 +5,21 @@
 namespace kc {
 
 Cholesky::Cholesky(const Matrix& a) {
-  if (!a.IsSquare() || a.rows() == 0) return;
-  size_t n = a.rows();
-  l_ = Matrix(n, n);
-  for (size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) {
-      l_ = Matrix();
-      return;  // Not positive definite.
-    }
-    double ljj = std::sqrt(diag);
-    l_(j, j) = ljj;
-    for (size_t i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      for (size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
-      l_(i, j) = sum / ljj;
-    }
-  }
-  ok_ = true;
+  ok_ = FactorInto(a, &l_);
+  if (!ok_) l_ = Matrix();
 }
 
 Vector Cholesky::Solve(const Vector& b) const {
   assert(ok_ && b.size() == l_.rows());
-  size_t n = l_.rows();
-  // Forward substitution: L y = b.
-  Vector y(n);
-  for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
-    y[i] = sum / l_(i, i);
-  }
-  // Back substitution: L^T x = y.
-  Vector x(n);
-  for (size_t ii = n; ii-- > 0;) {
-    double sum = y[ii];
-    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
-    x[ii] = sum / l_(ii, ii);
-  }
+  Vector x;
+  SolveInto(l_, b, &x);
   return x;
 }
 
 Matrix Cholesky::Solve(const Matrix& b) const {
   assert(ok_ && b.rows() == l_.rows());
-  Matrix x(b.rows(), b.cols());
-  for (size_t c = 0; c < b.cols(); ++c) {
-    Vector col = Solve(b.Col(c));
-    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
-  }
+  Matrix x;
+  SolveInto(l_, b, &x);
   return x;
 }
 

@@ -1,6 +1,9 @@
 #ifndef KALMANCAST_LINALG_DECOMP_H_
 #define KALMANCAST_LINALG_DECOMP_H_
 
+#include <cassert>
+#include <cmath>
+
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
@@ -10,6 +13,10 @@ namespace kc {
 /// Cholesky (LL^T) factorization of a symmetric positive-definite matrix.
 /// The workhorse for innovation-covariance solves in the Kalman update and
 /// for PSD validation of covariance matrices.
+///
+/// The static FactorInto/SolveInto interface operates on a caller-owned
+/// factor matrix so hot loops can reuse scratch storage and stay
+/// allocation-free (see docs/PERF.md); the member interface wraps it.
 class Cholesky {
  public:
   /// Factorizes `a`. Check ok() before using the results; factorization
@@ -24,7 +31,8 @@ class Cholesky {
   /// Solves A x = b. Valid only if ok().
   Vector Solve(const Vector& b) const;
 
-  /// Solves A X = B column-by-column. Valid only if ok().
+  /// Solves A X = B, all right-hand sides in one pass over the factor.
+  /// Valid only if ok().
   Matrix Solve(const Matrix& b) const;
 
   /// A^{-1}. Valid only if ok().
@@ -32,6 +40,23 @@ class Cholesky {
 
   /// log(det(A)) = 2 * sum(log L_ii). Valid only if ok().
   double LogDeterminant() const;
+
+  /// Factorizes `a` into caller-owned `*l` (reshaped as needed), returning
+  /// false if `a` is not square or not (numerically) positive definite; on
+  /// failure *l's contents are unspecified. Allocation-free whenever *l's
+  /// storage already fits (always true within the inline envelope).
+  static bool FactorInto(const Matrix& a, Matrix* l);
+
+  /// Solves (L L^T) x = b given a factor produced by FactorInto. `*x` may
+  /// alias `b` (the substitution runs in place).
+  static void SolveInto(const Matrix& l, const Vector& b, Vector* x);
+
+  /// Solves (L L^T) X = B for every column of B in one pass over the
+  /// factor. `*x` may alias `b`.
+  static void SolveInto(const Matrix& l, const Matrix& b, Matrix* x);
+
+  /// log(det(L L^T)) = 2 * sum(log L_ii) for a factor from FactorInto.
+  static double LogDeterminantOf(const Matrix& l);
 
  private:
   bool ok_ = false;
@@ -70,6 +95,110 @@ StatusOr<Matrix> Invert(const Matrix& a);
 /// by attempting a Cholesky factorization of A + jitter*I.
 bool IsPositiveSemiDefinite(const Matrix& a, double tol = 1e-9,
                             double jitter = 1e-12);
+
+// The static factor/solve entry points run once per filter step, on
+// matrices no larger than the state dimension; they are defined inline
+// with hoisted raw storage pointers for the same reason as the kernels in
+// linalg/kernels.h (call overhead and per-access indirection dominate at
+// n <= 8). The arithmetic and its ordering are unchanged from the
+// out-of-line versions, so results are bit-identical.
+
+inline bool Cholesky::FactorInto(const Matrix& a, Matrix* l) {
+  if (!a.IsSquare() || a.rows() == 0) return false;
+  size_t n = a.rows();
+  l->ResizeUninit(n, n);
+  l->SetZero();
+  const double* pa = a.data().data();
+  double* pl = l->data().data();
+  for (size_t j = 0; j < n; ++j) {
+    const double* pl_j = pl + j * n;
+    double diag = pa[j * n + j];
+    for (size_t k = 0; k < j; ++k) diag -= pl_j[k] * pl_j[k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return false;  // Not positive definite.
+    }
+    double ljj = std::sqrt(diag);
+    pl[j * n + j] = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double* pl_i = pl + i * n;
+      double sum = pa[i * n + j];
+      for (size_t k = 0; k < j; ++k) sum -= pl_i[k] * pl_j[k];
+      pl_i[j] = sum / ljj;
+    }
+  }
+  return true;
+}
+
+inline void Cholesky::SolveInto(const Matrix& l, const Vector& b, Vector* x) {
+  size_t n = l.rows();
+  assert(b.size() == n);
+  const double* pl = l.data().data();
+  if (x != &b) {
+    x->ResizeUninit(n);
+    const double* pb = b.data().data();
+    double* px0 = x->data().data();
+    for (size_t i = 0; i < n; ++i) px0[i] = pb[i];
+  }
+  double* px = x->data().data();
+  // Forward substitution L y = b, in place: px[i] is read before it is
+  // overwritten and entries above i already hold y.
+  for (size_t i = 0; i < n; ++i) {
+    const double* pl_i = pl + i * n;
+    double sum = px[i];
+    for (size_t k = 0; k < i; ++k) sum -= pl_i[k] * px[k];
+    px[i] = sum / pl_i[i];
+  }
+  // Back substitution L^T x = y, in place: entries below ii already hold x.
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = px[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= pl[k * n + ii] * px[k];
+    px[ii] = sum / pl[ii * n + ii];
+  }
+}
+
+inline void Cholesky::SolveInto(const Matrix& l, const Matrix& b, Matrix* x) {
+  size_t n = l.rows();
+  assert(b.rows() == n);
+  const double* pl = l.data().data();
+  if (x != &b) {
+    x->ResizeUninit(n, b.cols());
+    const double* pb = b.data().data();
+    double* px0 = x->data().data();
+    size_t total = n * b.cols();
+    for (size_t i = 0; i < total; ++i) px0[i] = pb[i];
+  }
+  size_t cols = x->cols();
+  double* px = x->data().data();
+  // Forward then back substitution applied to every right-hand side in one
+  // pass over the factor; per column the arithmetic matches the Vector
+  // solve operation-for-operation, so results are bit-identical.
+  for (size_t i = 0; i < n; ++i) {
+    double* px_i = px + i * cols;
+    for (size_t k = 0; k < i; ++k) {
+      double lik = pl[i * n + k];
+      const double* px_k = px + k * cols;
+      for (size_t c = 0; c < cols; ++c) px_i[c] -= lik * px_k[c];
+    }
+    double lii = pl[i * n + i];
+    for (size_t c = 0; c < cols; ++c) px_i[c] /= lii;
+  }
+  for (size_t ii = n; ii-- > 0;) {
+    double* px_ii = px + ii * cols;
+    for (size_t k = ii + 1; k < n; ++k) {
+      double lki = pl[k * n + ii];
+      const double* px_k = px + k * cols;
+      for (size_t c = 0; c < cols; ++c) px_ii[c] -= lki * px_k[c];
+    }
+    double lii = pl[ii * n + ii];
+    for (size_t c = 0; c < cols; ++c) px_ii[c] /= lii;
+  }
+}
+
+inline double Cholesky::LogDeterminantOf(const Matrix& l) {
+  double sum = 0.0;
+  for (size_t i = 0; i < l.rows(); ++i) sum += std::log(l(i, i));
+  return 2.0 * sum;
+}
 
 }  // namespace kc
 

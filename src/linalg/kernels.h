@@ -1,0 +1,237 @@
+#ifndef KALMANCAST_LINALG_KERNELS_H_
+#define KALMANCAST_LINALG_KERNELS_H_
+
+#include <cassert>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace kc {
+
+/// Destination-passing fused kernels for the Kalman hot loop.
+///
+/// Conventions (see docs/PERF.md):
+///   - Destinations are reshaped as needed via ResizeUninit and fully
+///     overwritten; reuse of a caller-owned destination is allocation-free
+///     once its storage has the right capacity (always true within the
+///     inline envelope).
+///   - Aliasing: for the multiply/transpose kernels the destination (and
+///     `tmp` for SandwichInto) must not alias any input (asserted in debug
+///     builds). The elementwise kernels (AddInto/SubInto/IdentityMinusInto
+///     and the *InPlace accumulators) tolerate any aliasing.
+///   - Bit-identity: every kernel performs the same floating-point
+///     operations in the same order as the value-returning operator it
+///     backs, so results are bit-for-bit identical — required by the
+///     replica-lockstep suppression protocol and the sharded-fleet
+///     determinism tests.
+///
+/// The kernels are defined inline: filter-sized matrices are tiny (n <= 8),
+/// so call overhead is a measurable fraction of each operation, and the
+/// inner loops index hoisted raw storage pointers for the same reason.
+/// Inlining does not reorder floating-point arithmetic, so the bit-identity
+/// guarantee is unaffected.
+
+/// out = a b.
+inline void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  assert(out->data().data() != a.data().data() &&
+         out->data().data() != b.data().data());
+  size_t ar = a.rows(), ac = a.cols(), bc = b.cols();
+  out->ResizeUninit(ar, bc);
+  out->SetZero();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out->data().data();
+  // Same loop structure (and zero-skip) as the value-returning operator*,
+  // so results are bit-identical.
+  for (size_t r = 0; r < ar; ++r) {
+    double* po_row = po + r * bc;
+    const double* pa_row = pa + r * ac;
+    for (size_t k = 0; k < ac; ++k) {
+      double av = pa_row[k];
+      if (av == 0.0) continue;
+      const double* pb_row = pb + k * bc;
+      for (size_t c = 0; c < bc; ++c) po_row[c] += av * pb_row[c];
+    }
+  }
+}
+
+/// out = a v.
+inline void MultiplyInto(const Matrix& a, const Vector& v, Vector* out) {
+  assert(a.cols() == v.size());
+  assert(out->data().data() != v.data().data());
+  size_t ar = a.rows(), ac = a.cols();
+  out->ResizeUninit(ar);
+  const double* pa = a.data().data();
+  const double* pv = v.data().data();
+  double* po = out->data().data();
+  for (size_t r = 0; r < ar; ++r) {
+    const double* pa_row = pa + r * ac;
+    double sum = 0.0;
+    for (size_t c = 0; c < ac; ++c) sum += pa_row[c] * pv[c];
+    po[r] = sum;
+  }
+}
+
+/// out = a b^T (without materializing the transpose).
+inline void MultiplyTransposedInto(const Matrix& a, const Matrix& b,
+                                   Matrix* out) {
+  assert(a.cols() == b.cols());
+  assert(out->data().data() != a.data().data() &&
+         out->data().data() != b.data().data());
+  size_t ar = a.rows(), ac = a.cols(), br = b.rows();
+  out->ResizeUninit(ar, br);
+  out->SetZero();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out->data().data();
+  // Mirrors a * b.Transposed() entry-for-entry: b^T(k, c) == b(c, k).
+  for (size_t r = 0; r < ar; ++r) {
+    double* po_row = po + r * br;
+    const double* pa_row = pa + r * ac;
+    for (size_t k = 0; k < ac; ++k) {
+      double av = pa_row[k];
+      if (av == 0.0) continue;
+      for (size_t c = 0; c < br; ++c) po_row[c] += av * pb[c * ac + k];
+    }
+  }
+}
+
+/// out = a b a^T via tmp = a b; the congruence transform of covariance
+/// propagation. `tmp` and `out` must be distinct from each other and from
+/// the inputs.
+inline void SandwichInto(const Matrix& a, const Matrix& b, Matrix* tmp,
+                         Matrix* out) {
+  assert(tmp != out);
+  MultiplyInto(a, b, tmp);
+  MultiplyTransposedInto(*tmp, a, out);
+}
+
+/// out = a + b (elementwise; out may alias a or b).
+inline void AddInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  out->ResizeUninit(a.rows(), a.cols());
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out->data().data();
+  size_t n = a.data().size();
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+inline void AddInto(const Vector& a, const Vector& b, Vector* out) {
+  assert(a.size() == b.size());
+  out->ResizeUninit(a.size());
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out->data().data();
+  size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+/// out = a - b (elementwise; out may alias a or b).
+inline void SubInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  out->ResizeUninit(a.rows(), a.cols());
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out->data().data();
+  size_t n = a.data().size();
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+}
+
+inline void SubInto(const Vector& a, const Vector& b, Vector* out) {
+  assert(a.size() == b.size());
+  out->ResizeUninit(a.size());
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out->data().data();
+  size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+}
+
+/// out = a^T.
+inline void TransposeInto(const Matrix& a, Matrix* out) {
+  assert(out->data().data() != a.data().data());
+  size_t ar = a.rows(), ac = a.cols();
+  out->ResizeUninit(ac, ar);
+  const double* pa = a.data().data();
+  double* po = out->data().data();
+  for (size_t r = 0; r < ar; ++r) {
+    const double* pa_row = pa + r * ac;
+    for (size_t c = 0; c < ac; ++c) po[c * ar + r] = pa_row[c];
+  }
+}
+
+/// out = I - a for square a (the gain complement I - K H).
+inline void IdentityMinusInto(const Matrix& a, Matrix* out) {
+  assert(a.IsSquare());
+  size_t n = a.rows();
+  out->ResizeUninit(n, n);
+  const double* pa = a.data().data();
+  double* po = out->data().data();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      po[r * n + c] = (r == c ? 1.0 : 0.0) - pa[r * n + c];
+    }
+  }
+}
+
+/// acc += w * v.
+inline void AddScaledInPlace(double w, const Vector& v, Vector* acc) {
+  assert(acc->size() == v.size());
+  double* pa = acc->data().data();
+  const double* pv = v.data().data();
+  size_t n = v.size();
+  for (size_t i = 0; i < n; ++i) pa[i] += w * pv[i];
+}
+
+/// acc += w * (d d^T) — the sigma-point covariance accumulation.
+inline void AddScaledOuterInPlace(double w, const Vector& d, Matrix* acc) {
+  assert(acc->rows() == d.size() && acc->cols() == d.size());
+  size_t n = d.size();
+  const double* pd = d.data().data();
+  double* pa = acc->data().data();
+  for (size_t r = 0; r < n; ++r) {
+    double* pa_row = pa + r * n;
+    double dr = pd[r];
+    for (size_t c = 0; c < n; ++c) pa_row[c] += w * (dr * pd[c]);
+  }
+}
+
+/// acc += w * (a b^T) — the sigma-point cross-covariance accumulation.
+inline void AddScaledOuterInPlace(double w, const Vector& a, const Vector& b,
+                                  Matrix* acc) {
+  assert(acc->rows() == a.size() && acc->cols() == b.size());
+  size_t rows = a.size(), cols = b.size();
+  const double* pav = a.data().data();
+  const double* pbv = b.data().data();
+  double* pm = acc->data().data();
+  for (size_t r = 0; r < rows; ++r) {
+    double* pm_row = pm + r * cols;
+    double ar = pav[r];
+    for (size_t c = 0; c < cols; ++c) pm_row[c] += w * (ar * pbv[c]);
+  }
+}
+
+/// acc += w * (m + d d^T) — the IMM mixed-covariance accumulation.
+inline void AddScaledPlusOuterInPlace(double w, const Matrix& m,
+                                      const Vector& d, Matrix* acc) {
+  assert(m.rows() == d.size() && m.cols() == d.size());
+  assert(acc->rows() == d.size() && acc->cols() == d.size());
+  size_t n = d.size();
+  const double* pm = m.data().data();
+  const double* pd = d.data().data();
+  double* pa = acc->data().data();
+  for (size_t r = 0; r < n; ++r) {
+    const double* pm_row = pm + r * n;
+    double* pa_row = pa + r * n;
+    double dr = pd[r];
+    for (size_t c = 0; c < n; ++c) {
+      pa_row[c] += w * (pm_row[c] + dr * pd[c]);
+    }
+  }
+}
+
+}  // namespace kc
+
+#endif  // KALMANCAST_LINALG_KERNELS_H_

@@ -4,15 +4,18 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/kernels.h"
+
 namespace kc {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
   cols_ = rows_ > 0 ? rows.begin()->size() : 0;
-  data_.reserve(rows_ * cols_);
+  data_.ResizeUninit(rows_ * cols_);
+  size_t i = 0;
   for (const auto& row : rows) {
     assert(row.size() == cols_ && "ragged initializer");
-    data_.insert(data_.end(), row.begin(), row.end());
+    for (double v : row) data_[i++] = v;
   }
 }
 
@@ -42,28 +45,9 @@ Matrix Matrix::Outer(const Vector& a, const Vector& b) {
   return m;
 }
 
-Matrix& Matrix::operator+=(const Matrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
-  return *this;
-}
-
-Matrix& Matrix::operator-=(const Matrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
-  return *this;
-}
-
-Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
-  return *this;
-}
-
 Matrix Matrix::Transposed() const {
-  Matrix t(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
-  }
+  Matrix t;
+  TransposeInto(*this, &t);
   return t;
 }
 
@@ -117,17 +101,6 @@ bool Matrix::IsSymmetric(double tol) const {
   return true;
 }
 
-void Matrix::Symmetrize() {
-  assert(IsSquare());
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = r + 1; c < cols_; ++c) {
-      double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
-      (*this)(r, c) = avg;
-      (*this)(c, r) = avg;
-    }
-  }
-}
-
 std::string Matrix::ToString() const {
   std::ostringstream os;
   os << "[";
@@ -162,26 +135,14 @@ Matrix operator*(double s, Matrix m) {
 }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      double av = a(r, k);
-      if (av == 0.0) continue;
-      for (size_t c = 0; c < b.cols(); ++c) out(r, c) += av * b(k, c);
-    }
-  }
+  Matrix out;
+  MultiplyInto(a, b, &out);
   return out;
 }
 
 Vector operator*(const Matrix& m, const Vector& v) {
-  assert(m.cols() == v.size());
-  Vector out(m.rows());
-  for (size_t r = 0; r < m.rows(); ++r) {
-    double sum = 0.0;
-    for (size_t c = 0; c < m.cols(); ++c) sum += m(r, c) * v[c];
-    out[r] = sum;
-  }
+  Vector out;
+  MultiplyInto(m, v, &out);
   return out;
 }
 
@@ -208,7 +169,10 @@ double QuadraticForm(const Matrix& a, const Vector& x) {
 }
 
 Matrix Sandwich(const Matrix& a, const Matrix& b) {
-  return a * b * a.Transposed();
+  Matrix tmp;
+  Matrix out;
+  SandwichInto(a, b, &tmp, &out);
+  return out;
 }
 
 }  // namespace kc

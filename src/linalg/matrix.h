@@ -1,26 +1,37 @@
 #ifndef KALMANCAST_LINALG_MATRIX_H_
 #define KALMANCAST_LINALG_MATRIX_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "linalg/small_buf.h"
 #include "linalg/vector.h"
 
 namespace kc {
 
 /// Dense row-major real matrix. Sized for Kalman filtering workloads
-/// (state dimension <= 8), so operations are straightforward triple loops;
-/// the microbenchmarks in bench/ confirm they are not the bottleneck.
+/// (state dimension <= 8), so operations are straightforward triple loops.
+/// Storage is small-buffer optimized: up to kInlineCap entries (8x8) live
+/// inline, so filter-sized matrices never touch the allocator; the hot
+/// filter paths additionally route through the destination-passing kernels
+/// in linalg/kernels.h (see docs/PERF.md).
 class Matrix {
  public:
+  /// Matrices with rows*cols up to this live in inline storage (covers the
+  /// documented state_dim <= 8 envelope: 8x8 = 64).
+  static constexpr size_t kInlineCap = 64;
+  using Store = SmallBuf<kInlineCap>;
+
   /// Empty (0x0) matrix.
   Matrix() = default;
 
   /// Zero matrix of shape rows x cols.
-  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
   /// Row-wise initialization:
   ///   Matrix m({{1.0, 2.0}, {3.0, 4.0}});
@@ -50,12 +61,45 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const Store& data() const { return data_; }
+  Store& data() { return data_; }
 
-  Matrix& operator+=(const Matrix& other);
-  Matrix& operator-=(const Matrix& other);
-  Matrix& operator*=(double s);
+  /// Reshapes to rows x cols; contents are unspecified afterwards (the
+  /// *Into kernels fully overwrite their destinations). Allocation-free
+  /// whenever rows*cols <= kInlineCap or existing heap storage suffices.
+  void ResizeUninit(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.ResizeUninit(rows * cols);
+  }
+  /// Sets every entry to zero.
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  // The in-place elementwise ops sit on the filter hot path (covariance
+  // accumulate/correct each step), so they are defined inline over the raw
+  // storage; op order matches the historical loops (bit-identical).
+  Matrix& operator+=(const Matrix& other) {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double* p = data_.data();
+    const double* q = other.data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] += q[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& other) {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double* p = data_.data();
+    const double* q = other.data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] -= q[i];
+    return *this;
+  }
+  Matrix& operator*=(double s) {
+    double* p = data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] *= s;
+    return *this;
+  }
 
   /// Matrix transpose.
   Matrix Transposed() const;
@@ -77,8 +121,20 @@ class Matrix {
   /// True if max |A - A^T| entry <= tol. Requires square.
   bool IsSymmetric(double tol = 1e-9) const;
   /// Replaces A with (A + A^T)/2 (guards covariance symmetry after
-  /// repeated filter updates). Requires square.
-  void Symmetrize();
+  /// repeated filter updates). Requires square. Runs once per filter step,
+  /// hence inline over raw storage like the in-place operators.
+  void Symmetrize() {
+    assert(IsSquare());
+    double* p = data_.data();
+    size_t n = rows_;
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = r + 1; c < n; ++c) {
+        double avg = 0.5 * (p[r * n + c] + p[c * n + r]);
+        p[r * n + c] = avg;
+        p[c * n + r] = avg;
+      }
+    }
+  }
 
   /// "[[a, b], [c, d]]".
   std::string ToString() const;
@@ -86,7 +142,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  Store data_;
 };
 
 Matrix operator+(Matrix a, const Matrix& b);

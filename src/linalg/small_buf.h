@@ -1,0 +1,159 @@
+#ifndef KALMANCAST_LINALG_SMALL_BUF_H_
+#define KALMANCAST_LINALG_SMALL_BUF_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <vector>
+
+namespace kc {
+
+/// Small-buffer-optimized contiguous double storage backing Vector and
+/// Matrix. Sizes up to InlineCap live in an inline array, so construction,
+/// copy, and move of filter-sized objects (state_dim <= 8) never touch the
+/// allocator; larger sizes spill to a heap buffer. The API mirrors the
+/// subset of std::vector<double> the library uses, so existing call sites
+/// (iteration, data(), equality) compile unchanged.
+template <size_t InlineCap>
+class SmallBuf {
+ public:
+  using value_type = double;
+  using iterator = double*;
+  using const_iterator = const double*;
+
+  SmallBuf() = default;
+
+  explicit SmallBuf(size_t n, double fill = 0.0) { Reset(n, fill); }
+
+  SmallBuf(std::initializer_list<double> values) {
+    ResizeUninit(values.size());
+    std::copy(values.begin(), values.end(), data());
+  }
+
+  template <typename It>
+  SmallBuf(It first, It last) {
+    ResizeUninit(static_cast<size_t>(std::distance(first, last)));
+    std::copy(first, last, data());
+  }
+
+  SmallBuf(const SmallBuf& other) {
+    ResizeUninit(other.size_);
+    std::copy(other.data(), other.data() + other.size_, data());
+  }
+
+  SmallBuf(SmallBuf&& other) noexcept {
+    if (!other.is_inline()) {
+      ptr_ = other.ptr_;
+      heap_cap_ = other.heap_cap_;
+      size_ = other.size_;
+      other.ptr_ = other.inline_;
+      other.heap_cap_ = 0;
+      other.size_ = 0;
+    } else {
+      size_ = other.size_;
+      std::copy(other.inline_, other.inline_ + other.size_, inline_);
+      other.size_ = 0;
+    }
+  }
+
+  SmallBuf& operator=(const SmallBuf& other) {
+    if (this == &other) return *this;
+    ResizeUninit(other.size_);
+    std::copy(other.data(), other.data() + other.size_, data());
+    return *this;
+  }
+
+  SmallBuf& operator=(SmallBuf&& other) noexcept {
+    if (this == &other) return *this;
+    if (!other.is_inline()) {
+      if (!is_inline()) delete[] ptr_;
+      ptr_ = other.ptr_;
+      heap_cap_ = other.heap_cap_;
+      size_ = other.size_;
+      other.ptr_ = other.inline_;
+      other.heap_cap_ = 0;
+      other.size_ = 0;
+    } else {
+      ResizeUninit(other.size_);
+      std::copy(other.inline_, other.inline_ + other.size_, data());
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallBuf() {
+    if (!is_inline()) delete[] ptr_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr size_t inline_capacity() { return InlineCap; }
+  /// True if the active storage is the inline array (no heap spill).
+  bool is_inline() const { return ptr_ == inline_; }
+
+  // ptr_ always points at the active storage (inline array or heap block),
+  // so element access is a single unconditional indirection — this keeps
+  // the kernels' inner loops branch-free.
+  double* data() { return ptr_; }
+  const double* data() const { return ptr_; }
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  double operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  double& operator[](size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  /// Reshapes to n elements, all set to `fill`.
+  void Reset(size_t n, double fill = 0.0) {
+    ResizeUninit(n);
+    std::fill(data(), data() + n, fill);
+  }
+
+  /// Reshapes to n elements; contents are unspecified afterwards (the *Into
+  /// kernels fully overwrite their destinations). Never allocates when
+  /// n <= InlineCap or when an existing heap buffer is large enough.
+  void ResizeUninit(size_t n) {
+    if (n <= InlineCap) {
+      if (!is_inline()) {
+        delete[] ptr_;
+        ptr_ = inline_;
+        heap_cap_ = 0;
+      }
+    } else if (n > heap_cap_) {
+      if (!is_inline()) delete[] ptr_;
+      ptr_ = new double[n];
+      heap_cap_ = n;
+    }
+    size_ = n;
+  }
+
+  /// Conversion for call sites that ship the contents as a std::vector
+  /// payload (e.g. Predictor::EncodeCorrection).
+  operator std::vector<double>() const {  // NOLINT(google-explicit-constructor)
+    return std::vector<double>(begin(), end());
+  }
+
+  friend bool operator==(const SmallBuf& a, const SmallBuf& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data(), a.data() + a.size_, b.data());
+  }
+
+ private:
+  size_t heap_cap_ = 0;  ///< Capacity of the heap block when spilled.
+  size_t size_ = 0;
+  double inline_[InlineCap];
+  double* ptr_ = inline_;  ///< Active storage: inline_ or a heap block.
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_LINALG_SMALL_BUF_H_

@@ -18,35 +18,6 @@ Vector Vector::Unit(size_t n, size_t i) {
   return v;
 }
 
-Vector& Vector::operator+=(const Vector& other) {
-  assert(size() == other.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
-  return *this;
-}
-
-Vector& Vector::operator-=(const Vector& other) {
-  assert(size() == other.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
-  return *this;
-}
-
-Vector& Vector::operator*=(double s) {
-  for (double& v : data_) v *= s;
-  return *this;
-}
-
-Vector& Vector::operator/=(double s) {
-  for (double& v : data_) v /= s;
-  return *this;
-}
-
-double Vector::Dot(const Vector& other) const {
-  assert(size() == other.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) sum += data_[i] * other.data_[i];
-  return sum;
-}
-
 double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
 
 double Vector::SquaredNorm() const { return Dot(*this); }

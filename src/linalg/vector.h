@@ -1,19 +1,29 @@
 #ifndef KALMANCAST_LINALG_VECTOR_H_
 #define KALMANCAST_LINALG_VECTOR_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "linalg/small_buf.h"
+
 namespace kc {
 
 /// Dense real vector. This is the library's Eigen substitute for the small
 /// (n <= 8) state/observation vectors Kalman filtering needs; it favors
-/// clarity and asserts over micro-optimization.
+/// clarity and asserts over micro-optimization. Storage is small-buffer
+/// optimized: dimensions up to kInlineCap live inline, so filter-sized
+/// vectors never touch the allocator (see docs/PERF.md).
 class Vector {
  public:
+  /// Dimensions up to this live in inline storage (the documented
+  /// state_dim <= 8 envelope).
+  static constexpr size_t kInlineCap = 8;
+  using Store = SmallBuf<kInlineCap>;
+
   /// Empty (size-0) vector.
   Vector() = default;
 
@@ -23,8 +33,9 @@ class Vector {
   /// Vector with explicit entries, e.g. Vector({1.0, 2.0}).
   Vector(std::initializer_list<double> values) : data_(values) {}
 
-  /// Adopts an existing buffer.
-  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+  /// Copies an existing buffer.
+  explicit Vector(const std::vector<double>& values)
+      : data_(values.begin(), values.end()) {}
 
   static Vector Zero(size_t n) { return Vector(n); }
   /// Vector of all ones.
@@ -44,16 +55,58 @@ class Vector {
     return data_[i];
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const Store& data() const { return data_; }
+  Store& data() { return data_; }
 
-  Vector& operator+=(const Vector& other);
-  Vector& operator-=(const Vector& other);
-  Vector& operator*=(double s);
-  Vector& operator/=(double s);
+  /// Reshapes to n entries; contents are unspecified afterwards (the *Into
+  /// kernels fully overwrite their destinations). Allocation-free whenever
+  /// n <= kInlineCap or existing heap storage suffices.
+  void ResizeUninit(size_t n) { data_.ResizeUninit(n); }
+  /// Sets every entry to zero.
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  // The in-place elementwise ops and Dot sit on the filter hot path
+  // (state correction, NIS), so they are defined inline over the raw
+  // storage; op order matches the historical loops (bit-identical).
+  Vector& operator+=(const Vector& other) {
+    assert(size() == other.size());
+    double* p = data_.data();
+    const double* q = other.data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] += q[i];
+    return *this;
+  }
+  Vector& operator-=(const Vector& other) {
+    assert(size() == other.size());
+    double* p = data_.data();
+    const double* q = other.data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] -= q[i];
+    return *this;
+  }
+  Vector& operator*=(double s) {
+    double* p = data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] *= s;
+    return *this;
+  }
+  Vector& operator/=(double s) {
+    double* p = data_.data();
+    size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) p[i] /= s;
+    return *this;
+  }
 
   /// Inner product; dimensions must match.
-  double Dot(const Vector& other) const;
+  double Dot(const Vector& other) const {
+    assert(size() == other.size());
+    const double* p = data_.data();
+    const double* q = other.data_.data();
+    size_t n = data_.size();
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += p[i] * q[i];
+    return sum;
+  }
 
   /// Euclidean norm.
   double Norm() const;
@@ -66,7 +119,7 @@ class Vector {
   std::string ToString() const;
 
  private:
-  std::vector<double> data_;
+  Store data_;
 };
 
 Vector operator+(Vector a, const Vector& b);

@@ -9,13 +9,15 @@ namespace kc {
 
 namespace {
 
-/// Copies payload doubles into a Vector, validating length.
+/// Copies payload doubles into a Vector, validating length. Writes straight
+/// into the destination's (usually inline) storage — no intermediate buffer.
 Status PayloadToVector(const std::vector<double>& payload, size_t dims,
                        Vector* out) {
   if (payload.size() != dims) {
     return Status::InvalidArgument("correction payload has wrong size");
   }
-  *out = Vector(std::vector<double>(payload.begin(), payload.end()));
+  out->ResizeUninit(dims);
+  for (size_t i = 0; i < dims; ++i) (*out)[i] = payload[i];
   return Status::Ok();
 }
 
@@ -215,10 +217,10 @@ void KalmanPredictor::ObserveLocal(const Reading& measured) {
     // server is polluted by it. A run of rejections means the stream
     // really jumped; accept and let the filter re-converge.
     Vector nu = measured.value - private_->PredictObservation();
-    Matrix s_mat = private_->InnovationCovariance();
-    Cholesky chol(s_mat);
-    if (chol.ok()) {
-      double nis = nu.Dot(chol.Solve(nu));
+    private_->InnovationCovarianceInto(&gate_.s);
+    if (Cholesky::FactorInto(gate_.s, &gate_.l)) {
+      Cholesky::SolveInto(gate_.l, nu, &gate_.sinv_nu);
+      double nis = nu.Dot(gate_.sinv_nu);
       if (nis > gate_threshold_ &&
           consecutive_rejects_ + 1 < config_.outlier_gate_limit) {
         ++consecutive_rejects_;

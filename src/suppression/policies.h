@@ -165,7 +165,16 @@ class KalmanPredictor : public Predictor {
   int64_t outliers_rejected() const { return outliers_rejected_; }
 
  private:
+  /// Scratch for the innovation gate in ObserveLocal, reused across ticks
+  /// so the gate check performs zero heap allocations.
+  struct GateScratch {
+    Matrix s;        ///< Innovation covariance.
+    Matrix l;        ///< Cholesky factor of s.
+    Vector sinv_nu;  ///< S^{-1} nu.
+  };
+
   Config config_;
+  GateScratch gate_;
   double gate_threshold_ = 0.0;  ///< Chi-squared NIS cutoff (0 = no gate).
   int consecutive_rejects_ = 0;
   int64_t outliers_rejected_ = 0;

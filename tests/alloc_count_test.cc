@@ -1,0 +1,266 @@
+// Proves the allocation-free fast path: steady-state Predict/Update on
+// every bundled filter performs ZERO heap allocations (the workspace +
+// inline-storage contract of docs/PERF.md), and exercises the SmallBuf
+// inline/heap boundary directly.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kalman/ekf.h"
+#include "kalman/imm.h"
+#include "kalman/kalman_filter.h"
+#include "kalman/model.h"
+#include "kalman/ukf.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "suppression/policies.h"
+
+namespace {
+
+std::atomic<long> g_news{0};
+
+}  // namespace
+
+// Counting global allocator. Covers the plain, array, sized, and nothrow
+// forms so no allocation path escapes the counters.
+void* operator new(std::size_t size) {
+  ++g_news;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  ++g_news;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace kc {
+namespace {
+
+long AllocCount() { return g_news.load(); }
+
+// ------------------------------------------------------------ filter loops
+
+/// Runs `steps` Predict/Update cycles and returns the number of heap
+/// allocations they performed.
+template <typename Filter>
+long CountFilterAllocs(Filter& filter, size_t obs_dim, int steps) {
+  Rng rng(42);
+  Vector z(obs_dim);
+  // Warmup: first cycles size the workspace and reserve containers.
+  for (int i = 0; i < 5; ++i) {
+    for (size_t d = 0; d < obs_dim; ++d) z[d] = rng.Gaussian();
+    filter.Predict();
+    EXPECT_TRUE(filter.Update(z).ok());
+  }
+  long before = AllocCount();
+  for (int i = 0; i < steps; ++i) {
+    for (size_t d = 0; d < obs_dim; ++d) z[d] = rng.Gaussian();
+    filter.Predict();
+    filter.Update(z).ok();
+  }
+  return AllocCount() - before;
+}
+
+TEST(ZeroAllocTest, KalmanFilterAllBundledModels) {
+  StateSpaceModel models[] = {
+      MakeRandomWalkModel(0.1, 0.25),
+      MakeConstantVelocityModel(1.0, 0.1, 0.25),
+      MakeConstantAccelerationModel(1.0, 0.05, 0.25),
+      MakeConstantVelocity2DModel(1.0, 0.1, 0.25),
+      MakeConstantAcceleration2DModel(1.0, 0.05, 0.25),
+      MakeConstantJerk2DModel(1.0, 0.01, 0.25),
+  };
+  for (const StateSpaceModel& model : models) {
+    size_t n = model.state_dim();
+    KalmanFilter kf(model, Vector(n), Matrix::ScalarDiagonal(n, 1.0));
+    EXPECT_EQ(CountFilterAllocs(kf, model.obs_dim(), 200), 0)
+        << "model " << model.name;
+  }
+}
+
+TEST(ZeroAllocTest, KalmanFilterStandardForm) {
+  StateSpaceModel model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  KalmanFilter kf(model, Vector(2), Matrix::ScalarDiagonal(2, 1.0),
+                  KalmanFilter::UpdateForm::kStandard);
+  EXPECT_EQ(CountFilterAllocs(kf, 1, 200), 0);
+}
+
+TEST(ZeroAllocTest, ExtendedKalmanFilter) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.25);
+  Vector x0(5);
+  x0[2] = 5.0;
+  ExtendedKalmanFilter ekf(model, x0, Matrix::ScalarDiagonal(5, 1.0));
+  EXPECT_EQ(CountFilterAllocs(ekf, 2, 200), 0);
+}
+
+TEST(ZeroAllocTest, UnscentedKalmanFilter) {
+  NonlinearModel model = MakeCoordinatedTurnModel(1.0, 0.01, 0.05, 1e-4, 0.25);
+  Vector x0(5);
+  x0[2] = 5.0;
+  UnscentedKalmanFilter ukf(model, x0, Matrix::ScalarDiagonal(5, 1.0));
+  EXPECT_EQ(CountFilterAllocs(ukf, 2, 200), 0);
+}
+
+TEST(ZeroAllocTest, Imm) {
+  std::vector<KalmanFilter> filters;
+  filters.emplace_back(MakeRandomWalkModel(0.01, 0.25), Vector{0.0},
+                       Matrix{{1.0}});
+  filters.emplace_back(MakeRandomWalkModel(4.0, 0.25), Vector{0.0},
+                       Matrix{{1.0}});
+  Imm imm(std::move(filters), Matrix{{0.95, 0.05}, {0.05, 0.95}},
+          Vector{0.5, 0.5});
+  EXPECT_EQ(CountFilterAllocs(imm, 1, 200), 0);
+}
+
+TEST(ZeroAllocTest, KalmanPredictorSuppressedTicks) {
+  KalmanPredictor::Config config;
+  config.model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  config.outlier_gate_prob = 0.999;  // Exercise the gate's scratch path.
+  KalmanPredictor predictor(std::move(config));
+  Reading first;
+  first.value = Vector{0.0};
+  predictor.Init(first);
+
+  Rng rng(7);
+  auto tick = [&](int64_t seq) {
+    Reading z;
+    z.seq = seq;
+    z.time = static_cast<double>(seq);
+    z.value = Vector{rng.Gaussian(0.0, 0.3)};
+    predictor.Tick();
+    predictor.ObserveLocal(z);
+    // The per-tick contract check a source performs between corrections.
+    Vector err = predictor.Target() - predictor.Predict();
+    return err.NormInf();
+  };
+  for (int64_t s = 1; s <= 5; ++s) tick(s);
+  long before = AllocCount();
+  double acc = 0.0;
+  for (int64_t s = 6; s <= 205; ++s) acc += tick(s);
+  EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
+}
+
+// ----------------------------------------------------------- SmallBuf edges
+
+TEST(SmallBufTest, VectorInlineUpToCapacityThenSpills) {
+  Vector v8(Vector::kInlineCap);
+  EXPECT_TRUE(v8.data().is_inline());
+  Vector v9(Vector::kInlineCap + 1);
+  EXPECT_FALSE(v9.data().is_inline());
+}
+
+TEST(SmallBufTest, MatrixInlineUpToCapacityThenSpills) {
+  Matrix m8(8, 8);
+  EXPECT_TRUE(m8.data().is_inline());
+  Matrix m9(9, 9);
+  EXPECT_FALSE(m9.data().is_inline());
+}
+
+TEST(SmallBufTest, ResizeAcrossBoundaryPreservesNothingButWorks) {
+  Vector v(8);
+  for (size_t i = 0; i < 8; ++i) v[i] = static_cast<double>(i);
+  v.ResizeUninit(9);  // Inline -> heap.
+  EXPECT_FALSE(v.data().is_inline());
+  EXPECT_EQ(v.size(), 9u);
+  for (size_t i = 0; i < 9; ++i) v[i] = static_cast<double>(10 + i);
+  v.ResizeUninit(4);  // Heap -> inline.
+  EXPECT_TRUE(v.data().is_inline());
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(SmallBufTest, InlineCopyAndMoveDoNotAllocate) {
+  Vector a{1.0, 2.0, 3.0};
+  long before = AllocCount();
+  Vector copied = a;
+  Vector moved = std::move(copied);
+  Vector assigned;
+  assigned = a;
+  EXPECT_EQ(AllocCount() - before, 0);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_DOUBLE_EQ(moved[2], 3.0);
+  EXPECT_DOUBLE_EQ(assigned[0], 1.0);
+}
+
+TEST(SmallBufTest, HeapMoveStealsStorage) {
+  Vector big(12);
+  for (size_t i = 0; i < 12; ++i) big[i] = static_cast<double>(i);
+  const double* storage = big.data().data();
+  long before = AllocCount();
+  Vector moved = std::move(big);
+  EXPECT_EQ(AllocCount() - before, 0);  // Pointer steal, no copy.
+  EXPECT_EQ(moved.data().data(), storage);
+  EXPECT_EQ(moved.size(), 12u);
+  EXPECT_DOUBLE_EQ(moved[11], 11.0);
+}
+
+TEST(SmallBufTest, HeapCopyIsDeep) {
+  Vector big(12);
+  for (size_t i = 0; i < 12; ++i) big[i] = static_cast<double>(i);
+  Vector copied = big;
+  EXPECT_NE(copied.data().data(), big.data().data());
+  EXPECT_TRUE(copied == big);
+  copied[0] = -1.0;
+  EXPECT_DOUBLE_EQ(big[0], 0.0);
+}
+
+TEST(SmallBufTest, SelfAssignmentIsSafe) {
+  Vector inl{1.0, 2.0};
+  Vector& inl_ref = inl;
+  inl = inl_ref;
+  EXPECT_EQ(inl.size(), 2u);
+  EXPECT_DOUBLE_EQ(inl[1], 2.0);
+
+  Vector heap(12);
+  heap[7] = 7.0;
+  Vector& heap_ref = heap;
+  heap = heap_ref;
+  EXPECT_EQ(heap.size(), 12u);
+  EXPECT_DOUBLE_EQ(heap[7], 7.0);
+}
+
+TEST(SmallBufTest, MatrixSpillRoundTripsThroughKernels) {
+  // 9x9 spills to heap; the kernels must still be correct there (they are
+  // only allocation-free inside the inline envelope).
+  Matrix a(9, 9);
+  for (size_t r = 0; r < 9; ++r) {
+    for (size_t c = 0; c < 9; ++c) a(r, c) = static_cast<double>(r * 9 + c);
+  }
+  Matrix id = Matrix::Identity(9);
+  Matrix out = a * id;
+  EXPECT_FALSE(out.data().is_inline());
+  EXPECT_TRUE(AlmostEqual(out, a));
+  EXPECT_TRUE(AlmostEqual(a.Transposed().Transposed(), a));
+}
+
+TEST(SmallBufTest, VectorToStdVectorConversion) {
+  Vector v{1.0, 2.0, 3.0};
+  std::vector<double> buf = v.data();
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_DOUBLE_EQ(buf[1], 2.0);
+}
+
+}  // namespace
+}  // namespace kc
