@@ -10,6 +10,8 @@
 
 #include "common/rng.h"
 #include "kalman/adaptive.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "kalman/ekf.h"
 #include "kalman/imm.h"
 #include "kalman/kalman_filter.h"
@@ -58,6 +60,42 @@ void BM_PredictUpdate(benchmark::State& state) {
   state.SetLabel(model.name);
 }
 BENCHMARK(BM_PredictUpdate)->DenseRange(0, 5);
+
+/// BM_PredictUpdate plus the exact per-decision telemetry the serving path
+/// adds: one trace scope (runtime-disabled, the production default), two
+/// counter increments, and one histogram record. The delta against the
+/// uninstrumented run is the observability tax; run_benches.sh writes it
+/// into BENCH_perf.json as `observability_overhead`.
+void BM_PredictUpdateInstrumented(benchmark::State& state) {
+  kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));
+  size_t n = model.state_dim();
+  size_t m = model.obs_dim();
+  kc::KalmanFilter kf(model, kc::Vector(n), kc::Matrix::ScalarDiagonal(n, 1.0));
+  kc::Rng rng(1);
+  constexpr size_t kSteps = 1024;
+  std::vector<double> zs(kSteps * m);
+  for (double& v : zs) v = rng.Gaussian();
+  kc::obs::MetricRegistry registry;
+  kc::obs::Counter* decisions = registry.GetCounter("kc.agent.decisions");
+  kc::obs::Counter* suppressed = registry.GetCounter("kc.agent.suppressed");
+  kc::obs::Histogram* innovation = registry.GetHistogram(
+      "kc.agent.innovation", kc::obs::Buckets::Exponential(1e-3, 4.0, 12));
+  kc::Vector z(m);
+  size_t step = 0;
+  for (auto _ : state) {
+    KC_TRACE_SCOPE("bench.predict_update");
+    const double* src = zs.data() + (step & (kSteps - 1)) * m;
+    for (size_t d = 0; d < m; ++d) z[d] = src[d];
+    ++step;
+    kf.Predict();
+    benchmark::DoNotOptimize(kf.Update(z).ok());
+    decisions->Inc();
+    suppressed->Inc();
+    innovation->Record(z[0]);
+  }
+  state.SetLabel(model.name);
+}
+BENCHMARK(BM_PredictUpdateInstrumented)->DenseRange(0, 5);
 
 void BM_PredictOnly(benchmark::State& state) {
   kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));

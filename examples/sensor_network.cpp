@@ -6,15 +6,22 @@
 // the reported numbers are identical for every N), StreamServer, the CQL
 // parser, per-query error budgets, bound allocation across aggregate
 // members, and three-valued threshold triggers.
+//
+// Pass --metrics-dump[=text|json|prom|all] to print the fleet's merged
+// telemetry after the run. Every mode except `all` excludes wall-clock
+// timings, so the dump (like the rest of the output) is byte-identical
+// for any --threads value.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "fleet/sharded_fleet.h"
+#include "obs/export.h"
 #include "query/parser.h"
 #include "server/allocation.h"
 #include "streams/generators.h"
@@ -41,13 +48,27 @@ int main(int argc, char** argv) {
   constexpr size_t kTicks = 2880;  // 10 days of 5-minute samples.
 
   kc::ShardedFleet::Config fleet_config;
+  bool metrics_dump = false;
+  kc::obs::ExportOptions dump_options;
+  dump_options.include_wall_clock = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       long v = std::atol(argv[i] + 10);
       if (v > 0) fleet_config.threads = static_cast<size_t>(v);
+    } else if (std::strncmp(argv[i], "--metrics-dump", 14) == 0) {
+      metrics_dump = true;
+      const char* mode = argv[i][14] == '=' ? argv[i] + 15 : "text";
+      if (std::strcmp(mode, "json") == 0) {
+        dump_options.format = kc::obs::ExportFormat::kJsonLines;
+      } else if (std::strcmp(mode, "prom") == 0) {
+        dump_options.format = kc::obs::ExportFormat::kPrometheus;
+      } else if (std::strcmp(mode, "all") == 0) {
+        dump_options.include_wall_clock = true;  // Run-dependent timings.
+      }
     }
   }
   kc::ShardedFleet fleet(fleet_config);
+  if (metrics_dump) fleet.EnableMetrics();
   kc::Rng rng(2026);
 
   // Every sensor runs the adaptive dual-Kalman predictor. The AVG query's
@@ -140,5 +161,12 @@ int main(int argc, char** argv) {
               messages, per_sensor_rate,
               std::max(std::fabs(avg_err.min()), std::fabs(avg_err.max())),
               avg_budget);
+
+  if (metrics_dump) {
+    kc::obs::MetricRegistry merged;
+    fleet.MergeMetricsInto(&merged);
+    std::printf("\n-- metrics --\n%s",
+                kc::obs::ExportMetrics(merged, dump_options).c_str());
+  }
   return 0;
 }

@@ -2,9 +2,11 @@
 # ThreadSanitizer gate for the sharded fleet executor.
 #
 # Configures a dedicated build tree with -fsanitize=thread and runs the
-# concurrency-sensitive tests (the thread pool and the sharded fleet
-# determinism suite). Any data race makes the tests fail: TSAN_OPTIONS
-# sets halt_on_error so a race aborts the offending test binary.
+# concurrency-sensitive tests: the thread pool, the sharded fleet
+# determinism suite, and the observability stress tests (concurrent
+# metric recording and per-thread trace rings). Any data race makes the
+# tests fail: TSAN_OPTIONS sets halt_on_error so a race aborts the
+# offending test binary.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -18,10 +20,16 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
-cmake --build "$BUILD_DIR" -j --target thread_pool_test sharded_fleet_test
+cmake --build "$BUILD_DIR" -j \
+  --target thread_pool_test sharded_fleet_test metrics_test trace_span_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sharded_fleet_test
+# PerThreadArenasMergeExactly runs 8 single-writer arenas concurrently and
+# ConcurrentReadsAreTornFree races a reader against the writer; the fleet
+# tests above already exercise per-shard arenas under threads.
+"$BUILD_DIR"/tests/metrics_test
+"$BUILD_DIR"/tests/trace_span_test
 
 echo "ci_tsan: OK (no data races reported)"

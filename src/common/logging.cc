@@ -1,13 +1,26 @@
 #include "common/logging.h"
 
-#include <atomic>
 #include <cstring>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace kc {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Guards the sink pointer and serializes sink invocations, so a sink
+/// swapped mid-run never races an in-flight emission.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink();  // Empty = default stderr writer.
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +45,13 @@ const char* Basename(const char* path) {
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
 
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = std::move(Sink());
+  Sink() = std::move(sink);
+  return previous;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -39,8 +59,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= g_min_level.load()) {
-    std::cerr << stream_.str() << "\n";
+  if (static_cast<int>(level_) < g_min_level.load()) return;
+  std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (Sink()) {
+    Sink()(level_, line);
+  } else {
+    std::cerr << line << "\n";
   }
 }
 

@@ -1,6 +1,9 @@
 #ifndef KALMANCAST_COMMON_LOGGING_H_
 #define KALMANCAST_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -8,10 +11,20 @@ namespace kc {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level emitted to stderr (default kWarning so library
-/// users are not spammed; examples raise it to kInfo).
+/// Sets the minimum level emitted (default kWarning so library users are
+/// not spammed; examples raise it to kInfo).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Destination for emitted log lines. `line` is the fully formatted
+/// record ("I file.cc:42] message"), without a trailing newline. Sinks
+/// may be called from any thread; calls are serialized by the logger.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs a sink replacing the default stderr writer (tests capture
+/// lines this way; exporters can forward them). Passing nullptr restores
+/// stderr. The previous sink is returned so callers can chain or restore.
+LogSink SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -36,6 +49,28 @@ class LogMessage {
 #define KC_LOG(level)                                                  \
   ::kc::internal::LogMessage(::kc::LogLevel::k##level, __FILE__, __LINE__) \
       .stream()
+
+/// Rate-limited logging: emits the 1st, (n+1)th, (2n+1)th... execution of
+/// this call site (per-site counter, thread-safe). Usage mirrors KC_LOG:
+///
+///   KC_LOG_EVERY_N(Warning, 100) << "dropped " << count << " messages";
+///
+/// The counter advances even when the line is below the level threshold,
+/// so enabling a lower level mid-run keeps the same cadence.
+///
+/// The inverted if/else makes the macro a single, else-safe statement: a
+/// surrounding `if (...) KC_LOG_EVERY_N(...) << ...; else ...` binds the
+/// else to the outer if, not to the macro's internals.
+#define KC_LOG_EVERY_N(level, n)                                         \
+  if (!([]() -> bool {                                                   \
+        static ::std::atomic<int64_t> kc_log_site_count{0};              \
+        return kc_log_site_count.fetch_add(                              \
+                   1, ::std::memory_order_relaxed) %                     \
+                   (n) ==                                                \
+               0;                                                        \
+      })()) {                                                            \
+  } else                                                                 \
+    KC_LOG(level)
 
 }  // namespace kc
 

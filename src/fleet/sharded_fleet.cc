@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace kc {
 
 namespace {
@@ -77,12 +79,41 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
     (void)s;
   });
 
+  if (server_.metrics_enabled()) BindSlotMetrics(slot.get(), shard_index);
+
   by_id_.push_back(slot.get());
   shards_[shard_index].sources.push_back(std::move(slot));
   return id;
 }
 
+void ShardedFleet::BindSlotMetrics(SourceSlot* slot, size_t shard_index) {
+  obs::MetricRegistry* arena = server_.shard_metrics(shard_index);
+  slot->channel->BindMetrics(arena);
+  slot->control_channel->BindMetrics(arena);
+  slot->agent->BindMetrics(arena);
+}
+
+void ShardedFleet::EnableMetrics() {
+  if (server_.metrics_enabled()) return;
+  server_.EnableMetrics();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (auto& slot : shards_[s].sources) BindSlotMetrics(slot.get(), s);
+  }
+  step_latency_us_ = server_.driver_metrics()->GetHistogram(
+      "kc.fleet.step_latency_us", obs::Buckets::Exponential(1.0, 2.0, 16),
+      /*wall_clock=*/true);
+}
+
+void ShardedFleet::EnablePeriodicMetricsReport(int64_t every_n_ticks,
+                                               ReportSink sink,
+                                               obs::ExportOptions options) {
+  report_every_ = sink ? every_n_ticks : 0;
+  report_sink_ = std::move(sink);
+  report_options_ = options;
+}
+
 void ShardedFleet::StepShard(size_t index) {
+  KC_TRACE_SCOPE("fleet.step_shard");
   server_.TickShard(index);
   Shard& shard = shards_[index];
   for (auto& slot : shard.sources) {
@@ -94,12 +125,26 @@ void ShardedFleet::StepShard(size_t index) {
 }
 
 Status ShardedFleet::Step() {
+  KC_TRACE_SCOPE("fleet.step");
+  int64_t t0 = step_latency_us_ != nullptr ? obs::TraceNowNs() : 0;
   pool_.ParallelFor(shards_.size(), [this](size_t s) { StepShard(s); });
   // Barrier passed: every shard has ticked once and drained its messages;
   // the merged view is consistent.
   ++ticks_;
+  if (step_latency_us_ != nullptr) {
+    step_latency_us_->Record(static_cast<double>(obs::TraceNowNs() - t0) *
+                             1e-3);
+  }
   for (const Shard& shard : shards_) {
     if (!shard.status.ok()) return shard.status;
+  }
+  if (report_every_ > 0 && ticks_ % report_every_ == 0) {
+    // Merge strictly after the barrier, in shard order: the report is a
+    // pure function of the simulated history, not of thread scheduling
+    // (wall-clock metrics are excluded unless the options opt in).
+    obs::MetricRegistry merged;
+    server_.MergeMetricsInto(&merged);
+    report_sink_(obs::ExportMetrics(merged, report_options_));
   }
   return Status::Ok();
 }

@@ -1,11 +1,14 @@
 #ifndef KALMANCAST_FLEET_SHARDED_FLEET_H_
 #define KALMANCAST_FLEET_SHARDED_FLEET_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fleet/sharded_server.h"
 #include "fleet/thread_pool.h"
+#include "obs/export.h"
 #include "server/simulation.h"
 
 namespace kc {
@@ -97,6 +100,34 @@ class ShardedFleet {
   /// accounting the overhead experiments report.
   NetworkStats TotalNetworkStats() const;
 
+  // --- Telemetry ---
+
+  /// Turns on per-shard metric arenas (ShardedServer::EnableMetrics) and
+  /// binds every source's uplink, control channel, and agent — including
+  /// sources added later — to its owning shard's arena. Also registers
+  /// the wall-clock kc.fleet.step_latency_us histogram on the driver
+  /// arena. Idempotent; call before the Steps you want recorded.
+  void EnableMetrics();
+  bool metrics_enabled() const { return server_.metrics_enabled(); }
+
+  /// Merges shard arenas (shard order) then the driver arena into `out`.
+  /// Driver thread, after Step returns. Deterministic across `threads`.
+  void MergeMetricsInto(obs::MetricRegistry* out) const {
+    server_.MergeMetricsInto(out);
+  }
+
+  /// Installs a periodic telemetry report: after the barrier of every
+  /// `every_n_ticks`-th Step, the merged metrics are exported and handed
+  /// to `sink` on the driver thread. Wall-clock metrics are included only
+  /// if `options.include_wall_clock` — exclude them (the default here)
+  /// when the report feeds golden-output comparisons. Pass every_n_ticks
+  /// <= 0 or a null sink to disable. Requires EnableMetrics().
+  using ReportSink = std::function<void(const std::string& report)>;
+  void EnablePeriodicMetricsReport(int64_t every_n_ticks, ReportSink sink,
+                                   obs::ExportOptions options = {
+                                       obs::ExportFormat::kText,
+                                       /*include_wall_clock=*/false});
+
  private:
   struct SourceSlot {
     int32_t id = 0;
@@ -115,6 +146,8 @@ class ShardedFleet {
   };
 
   void StepShard(size_t index);
+  /// Binds one slot's channels and agent to its shard's arena.
+  void BindSlotMetrics(SourceSlot* slot, size_t shard_index);
 
   Config config_;
   ShardedServer server_;
@@ -122,6 +155,10 @@ class ShardedFleet {
   std::vector<SourceSlot*> by_id_;  ///< id -> slot (owned by its shard).
   ThreadPool pool_;
   int64_t ticks_ = 0;
+  obs::Histogram* step_latency_us_ = nullptr;  ///< Wall-clock; driver arena.
+  int64_t report_every_ = 0;
+  ReportSink report_sink_;
+  obs::ExportOptions report_options_;
 };
 
 }  // namespace kc

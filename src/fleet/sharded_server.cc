@@ -116,21 +116,57 @@ Status ShardedServer::RemoveQuery(const std::string& name) {
   return queries_.Remove(name);
 }
 
+void ShardedServer::EnableMetrics() {
+  if (metrics_enabled()) return;
+  shard_metrics_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_metrics_.push_back(std::make_unique<obs::MetricRegistry>());
+    shards_[i]->BindMetrics(shard_metrics_[i].get());
+  }
+  driver_metrics_ = std::make_unique<obs::MetricRegistry>();
+  queries_served_ = driver_metrics_->GetCounter("kc.fleet.queries_served");
+  queries_failed_ = driver_metrics_->GetCounter("kc.fleet.queries_failed");
+  queries_stale_ = driver_metrics_->GetCounter("kc.fleet.queries_stale");
+}
+
+void ShardedServer::MergeMetricsInto(obs::MetricRegistry* out) const {
+  for (const auto& arena : shard_metrics_) out->MergeFrom(*arena);
+  if (driver_metrics_ != nullptr) out->MergeFrom(*driver_metrics_);
+}
+
+void ShardedServer::RecordQueryOutcome(bool ok, bool stale) const {
+  if (queries_served_ == nullptr) return;
+  if (!ok) {
+    queries_failed_->Inc();
+    return;
+  }
+  queries_served_->Inc();
+  if (stale) queries_stale_->Inc();
+}
+
 StatusOr<QueryResult> ShardedServer::Evaluate(const std::string& name) const {
-  return queries_.Evaluate(*this, name);
+  StatusOr<QueryResult> result = queries_.Evaluate(*this, name);
+  RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  return result;
 }
 
 StatusOr<QueryResult> ShardedServer::EvaluateSpec(
     const QuerySpec& spec, const std::string& name) const {
-  return EvaluateSpecOn(*this, spec, name);
+  StatusOr<QueryResult> result = EvaluateSpecOn(*this, spec, name);
+  RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  return result;
 }
 
 std::vector<QueryResult> ShardedServer::EvaluateAll() const {
-  return queries_.EvaluateAll(*this);
+  std::vector<QueryResult> results = queries_.EvaluateAll(*this);
+  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  return results;
 }
 
 std::vector<QueryResult> ShardedServer::EvaluateDue() {
-  return queries_.EvaluateDue(*this);
+  std::vector<QueryResult> results = queries_.EvaluateDue(*this);
+  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  return results;
 }
 
 StatusOr<QuerySpec> ShardedServer::GetQuery(const std::string& name) const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/server.h"
 
 namespace kc {
@@ -112,9 +113,41 @@ class ShardedServer : public SourceView {
   std::vector<std::string> QueryNames() const;
   size_t num_queries() const { return queries_.size(); }
 
+  // --- Per-shard telemetry ---
+
+  /// Creates one metric arena per shard plus a driver arena, and binds
+  /// each shard's StreamServer (replicas, predictors, later-registered
+  /// sources included) to its own arena. During a tick each shard worker
+  /// records only into its shard's arena, so the hot path never contends
+  /// or crosses shard boundaries; cross-shard query evaluations (driver
+  /// thread, post-barrier) record into the driver arena. Idempotent.
+  void EnableMetrics();
+  bool metrics_enabled() const { return !shard_metrics_.empty(); }
+
+  /// A shard's arena (nullptr before EnableMetrics). The sharded fleet
+  /// binds each source's channels and agent to its owning shard's arena.
+  obs::MetricRegistry* shard_metrics(size_t index) {
+    return shard_metrics_.empty() ? nullptr : shard_metrics_[index].get();
+  }
+  obs::MetricRegistry* driver_metrics() { return driver_metrics_.get(); }
+
+  /// Merges every shard arena — in shard order, a fixed function of the
+  /// source-id hash, never of thread schedule — then the driver arena
+  /// into `out`. Call after the tick barrier; the result is bit-identical
+  /// for any worker-thread count.
+  void MergeMetricsInto(obs::MetricRegistry* out) const;
+
  private:
+  /// Mirrors one cross-shard query evaluation onto the driver arena.
+  void RecordQueryOutcome(bool ok, bool stale) const;
+
   std::vector<std::unique_ptr<StreamServer>> shards_;
   QueryTable queries_;
+  std::vector<std::unique_ptr<obs::MetricRegistry>> shard_metrics_;
+  std::unique_ptr<obs::MetricRegistry> driver_metrics_;
+  obs::Counter* queries_served_ = nullptr;
+  obs::Counter* queries_failed_ = nullptr;
+  obs::Counter* queries_stale_ = nullptr;
 };
 
 }  // namespace kc

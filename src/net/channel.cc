@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "common/strings.h"
+#include "obs/trace.h"
+
 namespace kc {
 
 void NetworkStats::Merge(const NetworkStats& other) {
@@ -10,7 +13,11 @@ void NetworkStats::Merge(const NetworkStats& other) {
   messages_dropped += other.messages_dropped;
   bytes_sent += other.bytes_sent;
   bytes_delivered += other.bytes_delivered;
-  for (size_t i = 0; i < kNumMessageTypes; ++i) by_type[i] += other.by_type[i];
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    by_type[i] += other.by_type[i];
+    by_type_sent[i] += other.by_type_sent[i];
+    by_type_dropped[i] += other.by_type_dropped[i];
+  }
 }
 
 std::string NetworkStats::ToString() const {
@@ -20,7 +27,10 @@ std::string NetworkStats::ToString() const {
      << " bytes_delivered=" << bytes_delivered << " by_type=[";
   for (size_t i = 0; i < kNumMessageTypes; ++i) {
     if (i > 0) os << " ";
-    os << MessageTypeName(static_cast<MessageType>(i)) << ":" << by_type[i];
+    // sent/delivered/dropped per kind; sent - delivered - dropped is the
+    // count still in flight on a latency channel.
+    os << MessageTypeName(static_cast<MessageType>(i)) << ":" << by_type[i]
+       << "/" << by_type_sent[i] << "/" << by_type_dropped[i];
   }
   os << "]";
   return os.str();
@@ -30,14 +40,51 @@ Channel::Channel() : Channel(Config()) {}
 
 Channel::Channel(Config config) : config_(config), rng_(config.seed) {}
 
+void Channel::BindMetrics(obs::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_bound_ = false;
+    return;
+  }
+  metrics_.messages_sent = registry->GetCounter("kc.net.messages_sent");
+  metrics_.messages_delivered =
+      registry->GetCounter("kc.net.messages_delivered");
+  metrics_.messages_dropped = registry->GetCounter("kc.net.messages_dropped");
+  metrics_.bytes_sent = registry->GetCounter("kc.net.bytes_sent");
+  metrics_.bytes_delivered = registry->GetCounter("kc.net.bytes_delivered");
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    const char* type = MessageTypeName(static_cast<MessageType>(i));
+    metrics_.sent_by_type[i] =
+        registry->GetCounter(StrFormat("kc.net.sent.%s", type));
+    metrics_.delivered_by_type[i] =
+        registry->GetCounter(StrFormat("kc.net.delivered.%s", type));
+    metrics_.dropped_by_type[i] =
+        registry->GetCounter(StrFormat("kc.net.dropped.%s", type));
+  }
+  metrics_bound_ = true;
+}
+
 Status Channel::Send(const Message& msg) {
+  KC_TRACE_SCOPE("net.send");
   if (!receiver_) {
     return Status::FailedPrecondition("channel has no receiver");
   }
+  size_t type = static_cast<size_t>(msg.type);
+  int64_t bytes = static_cast<int64_t>(msg.SizeBytes());
   ++stats_.messages_sent;
-  stats_.bytes_sent += static_cast<int64_t>(msg.SizeBytes());
+  stats_.bytes_sent += bytes;
+  ++stats_.by_type_sent[type];
+  if (metrics_bound_) {
+    metrics_.messages_sent->Inc();
+    metrics_.bytes_sent->Inc(bytes);
+    metrics_.sent_by_type[type]->Inc();
+  }
   if (config_.loss_prob > 0.0 && rng_.Bernoulli(config_.loss_prob)) {
     ++stats_.messages_dropped;
+    ++stats_.by_type_dropped[type];
+    if (metrics_bound_) {
+      metrics_.messages_dropped->Inc();
+      metrics_.dropped_by_type[type]->Inc();
+    }
     return Status::Ok();  // Silently lost, as on a real datagram link.
   }
   if (config_.latency_ticks > 0) {
@@ -57,9 +104,16 @@ void Channel::AdvanceTick() {
 }
 
 void Channel::Deliver(const Message& msg) {
+  size_t type = static_cast<size_t>(msg.type);
+  int64_t bytes = static_cast<int64_t>(msg.SizeBytes());
   ++stats_.messages_delivered;
-  stats_.bytes_delivered += static_cast<int64_t>(msg.SizeBytes());
-  ++stats_.by_type[static_cast<size_t>(msg.type)];
+  stats_.bytes_delivered += bytes;
+  ++stats_.by_type[type];
+  if (metrics_bound_) {
+    metrics_.messages_delivered->Inc();
+    metrics_.bytes_delivered->Inc(bytes);
+    metrics_.delivered_by_type[type]->Inc();
+  }
   receiver_(msg);
 }
 

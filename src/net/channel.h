@@ -8,10 +8,17 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 
 namespace kc {
 
 /// Aggregate transfer accounting for one channel.
+///
+/// This struct is the *per-channel* view; when a channel is bound to a
+/// metric arena (Channel::BindMetrics) every event is mirrored onto the
+/// arena's shared `kc.net.*` counters, which aggregate across all
+/// channels bound to it. ToString/Merge stay the thin per-channel/merged
+/// read surface the experiments report.
 struct NetworkStats {
   int64_t messages_sent = 0;
   int64_t messages_delivered = 0;
@@ -20,6 +27,10 @@ struct NetworkStats {
   int64_t bytes_delivered = 0;
   /// Per-type delivered counts, indexed by MessageType.
   int64_t by_type[kNumMessageTypes] = {0, 0, 0, 0, 0};
+  /// Per-type sent and dropped counts, indexed by MessageType. Together
+  /// with `by_type` (delivered) they make loss visible per message kind.
+  int64_t by_type_sent[kNumMessageTypes] = {0, 0, 0, 0, 0};
+  int64_t by_type_dropped[kNumMessageTypes] = {0, 0, 0, 0, 0};
 
   void Reset() { *this = NetworkStats(); }
 
@@ -27,6 +38,8 @@ struct NetworkStats {
   /// deployment merges shard-local stats into the fleet-wide view on read.
   void Merge(const NetworkStats& other);
 
+  /// "sent=... delivered=... dropped=... bytes_sent=... bytes_delivered=...
+  ///  by_type=[TYPE:sent/delivered/dropped ...]".
   std::string ToString() const;
 };
 
@@ -58,6 +71,13 @@ class Channel {
   /// Installs the delivery callback (the server side).
   void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
+  /// Mirrors this channel's accounting onto `registry`'s `kc.net.*`
+  /// counters (shared with every other channel bound to the same arena).
+  /// Call before traffic flows; the mirror starts at the current event.
+  /// In a sharded fleet, each channel binds to its owning shard's arena
+  /// so hot-path recording never crosses shard boundaries.
+  void BindMetrics(obs::MetricRegistry* registry);
+
   /// Transfers one message: charges it to the stats, applies loss, then
   /// either invokes the receiver (zero latency) or queues it for delivery
   /// `latency_ticks` AdvanceTick() calls later. Fails if no receiver is
@@ -80,12 +100,27 @@ class Channel {
     Message msg;
   };
 
+  /// Arena counter handles, cached at bind time so the hot path performs
+  /// no registry lookups.
+  struct Metrics {
+    obs::Counter* messages_sent = nullptr;
+    obs::Counter* messages_delivered = nullptr;
+    obs::Counter* messages_dropped = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_delivered = nullptr;
+    obs::Counter* sent_by_type[kNumMessageTypes] = {};
+    obs::Counter* delivered_by_type[kNumMessageTypes] = {};
+    obs::Counter* dropped_by_type[kNumMessageTypes] = {};
+  };
+
   void Deliver(const Message& msg);
 
   Config config_;
   Rng rng_;
   Receiver receiver_;
   NetworkStats stats_;
+  Metrics metrics_;
+  bool metrics_bound_ = false;
   int64_t now_ = 0;
   std::deque<Pending> pending_;
 };

@@ -1,0 +1,167 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+namespace obs {
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Deterministic double rendering shared by every format.
+std::string Num(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return StrFormat("%.9g", v);
+}
+
+void TextRow(std::ostringstream& os, const MetricRow& row) {
+  os << StrFormat("%-40s %-9s ", row.name.c_str(), KindName(row.kind));
+  switch (row.kind) {
+    case MetricKind::kCounter:
+      os << row.counter << "\n";
+      break;
+    case MetricKind::kGauge:
+      os << Num(row.gauge) << "\n";
+      break;
+    case MetricKind::kHistogram: {
+      double mean = row.hist_count > 0
+                        ? row.hist_sum / static_cast<double>(row.hist_count)
+                        : 0.0;
+      os << "count=" << row.hist_count << " sum=" << Num(row.hist_sum)
+         << " mean=" << Num(mean) << "\n";
+      for (size_t i = 0; i < row.hist_counts.size(); ++i) {
+        if (row.hist_counts[i] == 0) continue;  // Keep the table compact.
+        double bound = i < row.hist_bounds.size()
+                           ? row.hist_bounds[i]
+                           : std::numeric_limits<double>::infinity();
+        os << StrFormat("%42s le %s: %lld\n", "", Num(bound).c_str(),
+                        static_cast<long long>(row.hist_counts[i]));
+      }
+      break;
+    }
+  }
+}
+
+void JsonRow(std::ostringstream& os, const MetricRow& row) {
+  os << "{\"name\":\"" << row.name << "\",\"kind\":\"" << KindName(row.kind)
+     << "\"";
+  switch (row.kind) {
+    case MetricKind::kCounter:
+      os << ",\"value\":" << row.counter;
+      break;
+    case MetricKind::kGauge:
+      os << ",\"value\":" << Num(row.gauge);
+      break;
+    case MetricKind::kHistogram: {
+      os << ",\"count\":" << row.hist_count << ",\"sum\":" << Num(row.hist_sum)
+         << ",\"buckets\":[";
+      for (size_t i = 0; i < row.hist_counts.size(); ++i) {
+        if (i > 0) os << ",";
+        if (i < row.hist_bounds.size()) {
+          os << "{\"le\":" << Num(row.hist_bounds[i]);
+        } else {
+          os << "{\"le\":\"+Inf\"";
+        }
+        os << ",\"n\":" << row.hist_counts[i] << "}";
+      }
+      os << "]";
+      break;
+    }
+  }
+  os << "}\n";
+}
+
+/// Prometheus metric names allow only [a-zA-Z0-9_:].
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void PromRow(std::ostringstream& os, const MetricRow& row) {
+  std::string name = PromName(row.name);
+  os << "# TYPE " << name << " " << KindName(row.kind) << "\n";
+  switch (row.kind) {
+    case MetricKind::kCounter:
+      os << name << " " << row.counter << "\n";
+      break;
+    case MetricKind::kGauge:
+      os << name << " " << Num(row.gauge) << "\n";
+      break;
+    case MetricKind::kHistogram: {
+      // Prometheus buckets are cumulative.
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < row.hist_counts.size(); ++i) {
+        cumulative += row.hist_counts[i];
+        std::string le = i < row.hist_bounds.size() ? Num(row.hist_bounds[i])
+                                                    : "+Inf";
+        os << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+      }
+      os << name << "_sum " << Num(row.hist_sum) << "\n";
+      os << name << "_count " << row.hist_count << "\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExportMetrics(const MetricRegistry& registry,
+                          const ExportOptions& options) {
+  std::ostringstream os;
+  for (const MetricRow& row : registry.Rows()) {
+    if (row.wall_clock && !options.include_wall_clock) continue;
+    switch (options.format) {
+      case ExportFormat::kText:
+        TextRow(os, row);
+        break;
+      case ExportFormat::kJsonLines:
+        JsonRow(os, row);
+        break;
+      case ExportFormat::kPrometheus:
+        PromRow(os, row);
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string ExportText(const MetricRegistry& registry,
+                       bool include_wall_clock) {
+  return ExportMetrics(registry,
+                       {ExportFormat::kText, include_wall_clock});
+}
+
+std::string ExportJsonLines(const MetricRegistry& registry,
+                            bool include_wall_clock) {
+  return ExportMetrics(registry,
+                       {ExportFormat::kJsonLines, include_wall_clock});
+}
+
+std::string ExportPrometheus(const MetricRegistry& registry,
+                             bool include_wall_clock) {
+  return ExportMetrics(registry,
+                       {ExportFormat::kPrometheus, include_wall_clock});
+}
+
+}  // namespace obs
+}  // namespace kc

@@ -1,0 +1,42 @@
+#ifndef KALMANCAST_OBS_EXPORT_H_
+#define KALMANCAST_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace kc {
+namespace obs {
+
+/// Exporter output format.
+enum class ExportFormat {
+  kText,        ///< Human-readable aligned table.
+  kJsonLines,   ///< One JSON object per metric per line.
+  kPrometheus,  ///< Prometheus text exposition format.
+};
+
+struct ExportOptions {
+  ExportFormat format = ExportFormat::kText;
+  /// Include metrics registered as wall-clock timings. These are the only
+  /// run-dependent metrics; excluding them makes the export byte-identical
+  /// across runs and thread counts for a deterministic workload.
+  bool include_wall_clock = true;
+};
+
+/// Renders every metric of `registry`, sorted by name. All formats are
+/// deterministic given the same metric values.
+std::string ExportMetrics(const MetricRegistry& registry,
+                          const ExportOptions& options = {});
+
+/// Convenience wrappers.
+std::string ExportText(const MetricRegistry& registry,
+                       bool include_wall_clock = true);
+std::string ExportJsonLines(const MetricRegistry& registry,
+                            bool include_wall_clock = true);
+std::string ExportPrometheus(const MetricRegistry& registry,
+                             bool include_wall_clock = true);
+
+}  // namespace obs
+}  // namespace kc
+
+#endif  // KALMANCAST_OBS_EXPORT_H_

@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace kc {
+namespace obs {
+
+Buckets Buckets::Exponential(double first, double factor, size_t n) {
+  Buckets b;
+  b.count = std::min(n, kMaxBounds);
+  double bound = first;
+  for (size_t i = 0; i < b.count; ++i) {
+    b.bounds[i] = bound;
+    bound *= factor;
+  }
+  return b;
+}
+
+Buckets Buckets::Linear(double start, double width, size_t n) {
+  Buckets b;
+  b.count = std::min(n, kMaxBounds);
+  for (size_t i = 0; i < b.count; ++i) {
+    b.bounds[i] = start + width * static_cast<double>(i);
+  }
+  return b;
+}
+
+Histogram::Histogram(const Buckets& buckets)
+    : num_bounds_(std::min(buckets.count, Buckets::kMaxBounds)),
+      bounds_(buckets.bounds) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_bound(size_t i) const {
+  return i < num_bounds_ ? bounds_[i]
+                         : std::numeric_limits<double>::infinity();
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kCounter;
+    entry.counter.reset(new Counter());
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != MetricKind::kCounter) return nullptr;
+  return it->second.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kGauge;
+    entry.gauge.reset(new Gauge());
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != MetricKind::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        const Buckets& buckets,
+                                        bool wall_clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kHistogram;
+    entry.wall_clock = wall_clock;
+    entry.histogram.reset(new Histogram(buckets));
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != MetricKind::kHistogram) return nullptr;
+  return it->second.histogram.get();
+}
+
+void MetricRegistry::MergeFrom(const MetricRegistry& other) {
+  for (const MetricRow& row : other.Rows()) {
+    switch (row.kind) {
+      case MetricKind::kCounter: {
+        Counter* c = GetCounter(row.name);
+        if (c != nullptr) c->Inc(row.counter);
+        break;
+      }
+      case MetricKind::kGauge: {
+        Gauge* g = GetGauge(row.name);
+        if (g != nullptr) g->Add(row.gauge);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        Buckets buckets;
+        buckets.count = std::min(row.hist_bounds.size(), Buckets::kMaxBounds);
+        for (size_t i = 0; i < buckets.count; ++i) {
+          buckets.bounds[i] = row.hist_bounds[i];
+        }
+        Histogram* h = GetHistogram(row.name, buckets, row.wall_clock);
+        if (h == nullptr) break;
+        // Add bucket-by-bucket: layouts agree because the first
+        // registration of a name fixes them fleet-wide.
+        size_t n = std::min(row.hist_counts.size(), h->num_buckets());
+        for (size_t i = 0; i < n; ++i) {
+          h->counts_[i].store(
+              h->counts_[i].load(std::memory_order_relaxed) +
+                  row.hist_counts[i],
+              std::memory_order_relaxed);
+        }
+        h->sum_.store(h->sum_.load(std::memory_order_relaxed) + row.hist_sum,
+                      std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<MetricRow> MetricRegistry::Rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  rows.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = entry.kind;
+    row.wall_clock = entry.wall_clock;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        row.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        row.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        row.hist_bounds.assign(h.bounds_.begin(),
+                               h.bounds_.begin() + h.num_bounds_);
+        row.hist_counts.reserve(h.num_buckets());
+        for (size_t i = 0; i < h.num_buckets(); ++i) {
+          row.hist_counts.push_back(h.bucket_count(i));
+        }
+        row.hist_count = h.count();
+        row.hist_sum = h.sum();
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+MetricRegistry& DefaultRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace kc

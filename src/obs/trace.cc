@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace kc {
+namespace obs {
+
+namespace {
+
+std::mutex& RecorderMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// All recorders ever created, in creation order. Entries are never
+/// removed: a recorder outlives its thread so late Snapshot calls stay
+/// valid, and staying reachable here keeps leak checkers quiet.
+std::vector<TraceRecorder*>& Recorders() {
+  static std::vector<TraceRecorder*>* recorders =
+      new std::vector<TraceRecorder*>();
+  return *recorders;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(uint32_t thread_index)
+    : events_(kCapacity), thread_index_(thread_index) {}
+
+TraceRecorder& TraceRecorder::ForCurrentThread() {
+  thread_local TraceRecorder* recorder = [] {
+    std::lock_guard<std::mutex> lock(RecorderMutex());
+    auto* r = new TraceRecorder(static_cast<uint32_t>(Recorders().size()));
+    Recorders().push_back(r);
+    return r;
+  }();
+  return *recorder;
+}
+
+void TraceRecorder::Snapshot(std::vector<TraceEvent>* out) const {
+  uint64_t retained = std::min<uint64_t>(head_, kCapacity);
+  for (uint64_t i = head_ - retained; i < head_; ++i) {
+    out->push_back(events_[i & (kCapacity - 1)]);
+  }
+}
+
+void SetTracingEnabled(bool enabled) {
+  TracingEnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::lock_guard<std::mutex> lock(RecorderMutex());
+  std::vector<TraceEvent> events;
+  for (const TraceRecorder* recorder : Recorders()) {
+    recorder->Snapshot(&events);
+  }
+  return events;
+}
+
+void ClearTraceEvents() {
+  std::lock_guard<std::mutex> lock(RecorderMutex());
+  for (TraceRecorder* recorder : Recorders()) {
+    recorder->Clear();
+  }
+}
+
+}  // namespace obs
+}  // namespace kc

@@ -1,0 +1,151 @@
+#ifndef KALMANCAST_OBS_TRACE_H_
+#define KALMANCAST_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace kc {
+namespace obs {
+
+/// Scoped trace spans (see docs/OBSERVABILITY.md):
+///
+///   void StreamServer::Tick() {
+///     KC_TRACE_SCOPE("server.tick");
+///     ...
+///   }
+///
+/// Each thread records completed spans into its own fixed-size ring
+/// buffer; recording is allocation-free and touches no shared state, so
+/// spans are safe (and cheap) on the shard workers' hot paths.
+///
+/// Two kill switches:
+///  - Runtime: tracing is OFF by default; SetTracingEnabled(true) turns
+///    it on. A disabled span costs one relaxed atomic load and a branch.
+///  - Compile time: building a translation unit with -DKC_TRACE_DISABLED
+///    expands KC_TRACE_SCOPE to nothing at all.
+///
+/// Collection (CollectTraceEvents) is a debugging/export surface, not a
+/// hot path: call it from the driver thread while recorders are quiescent
+/// (e.g. after the fleet's tick barrier).
+
+/// One completed span.
+struct TraceEvent {
+  const char* name = nullptr;  ///< Static string passed to KC_TRACE_SCOPE.
+  int64_t start_ns = 0;        ///< Steady-clock timestamp.
+  int64_t duration_ns = 0;
+  uint32_t depth = 0;  ///< Nesting depth within the recording thread.
+  uint32_t thread_index = 0;  ///< Stable per-thread recorder index.
+};
+
+/// Per-thread ring buffer of completed spans. Obtain via
+/// ForCurrentThread(); recorders are created on first use and live for
+/// the process (they stay reachable from the recorder registry, so leak
+/// checkers see them as live).
+class TraceRecorder {
+ public:
+  /// Ring capacity (spans) per thread; power of two so the wrap is a mask.
+  static constexpr size_t kCapacity = 4096;
+
+  static TraceRecorder& ForCurrentThread();
+
+  /// Opens a scope: returns the depth this span runs at.
+  uint32_t EnterScope() { return depth_++; }
+
+  /// Closes a scope and records the completed span.
+  void Emit(const char* name, uint32_t depth, int64_t start_ns,
+            int64_t duration_ns) {
+    --depth_;
+    TraceEvent& e = events_[head_ & (kCapacity - 1)];
+    e.name = name;
+    e.start_ns = start_ns;
+    e.duration_ns = duration_ns;
+    e.depth = depth;
+    e.thread_index = thread_index_;
+    ++head_;
+  }
+
+  /// Spans ever emitted on this thread (monotonic; exceeds kCapacity once
+  /// the ring has wrapped).
+  uint64_t total_emitted() const { return head_; }
+  uint32_t thread_index() const { return thread_index_; }
+
+  /// Copies the retained spans, oldest first (at most kCapacity).
+  void Snapshot(std::vector<TraceEvent>* out) const;
+
+  /// Discards retained spans (tests). Call only from the owning thread or
+  /// while it is quiescent.
+  void Clear() { head_ = 0; }
+
+ private:
+  explicit TraceRecorder(uint32_t thread_index);
+
+  std::vector<TraceEvent> events_;  ///< Sized kCapacity at construction.
+  uint64_t head_ = 0;
+  uint32_t depth_ = 0;
+  uint32_t thread_index_;
+};
+
+/// Runtime master switch (default off). Spans opened while disabled
+/// record nothing, even if tracing is re-enabled before they close.
+void SetTracingEnabled(bool enabled);
+inline std::atomic<bool>& TracingEnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+inline bool TracingEnabled() {
+  return TracingEnabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Steady-clock nanoseconds (monotonic within the process).
+int64_t TraceNowNs();
+
+/// Snapshot of every thread's retained spans, ordered by (thread_index,
+/// emission order). Call while recorders are quiescent.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Discards every thread's retained spans (tests).
+void ClearTraceEvents();
+
+/// RAII span. Use through KC_TRACE_SCOPE.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!TracingEnabled()) return;
+    recorder_ = &TraceRecorder::ForCurrentThread();
+    name_ = name;
+    depth_ = recorder_->EnterScope();
+    start_ns_ = TraceNowNs();
+  }
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->Emit(name_, depth_, start_ns_, TraceNowNs() - start_ns_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace obs
+}  // namespace kc
+
+#define KC_TRACE_CONCAT_INNER(a, b) a##b
+#define KC_TRACE_CONCAT(a, b) KC_TRACE_CONCAT_INNER(a, b)
+
+#ifdef KC_TRACE_DISABLED
+/// Compiled out: no object, no atomic load, nothing.
+#define KC_TRACE_SCOPE(name) \
+  do {                       \
+  } while (false)
+#else
+#define KC_TRACE_SCOPE(name) \
+  ::kc::obs::TraceSpan KC_TRACE_CONCAT(kc_trace_span_, __LINE__)(name)
+#endif
+
+#endif  // KALMANCAST_OBS_TRACE_H_

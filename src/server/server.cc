@@ -1,8 +1,45 @@
 #include "server/server.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kc {
+
+void StreamServer::BindMetrics(obs::MetricRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    metrics_ = Metrics();
+  } else {
+    metrics_.ticks = registry->GetCounter("kc.server.ticks");
+    metrics_.messages_in = registry->GetCounter("kc.server.messages_in");
+    metrics_.control_out = registry->GetCounter("kc.server.control_out");
+    metrics_.queries_served = registry->GetCounter("kc.server.queries_served");
+    metrics_.queries_failed = registry->GetCounter("kc.server.queries_failed");
+    metrics_.queries_stale = registry->GetCounter("kc.server.queries_stale");
+    metrics_.sources = registry->GetGauge("kc.server.sources");
+    // Tick latency is run-dependent by nature; flag it wall-clock so
+    // deterministic exports can exclude it. 1us..32ms in octaves.
+    metrics_.tick_latency_us = registry->GetHistogram(
+        "kc.server.tick_latency_us", obs::Buckets::Exponential(1.0, 2.0, 16),
+        /*wall_clock=*/true);
+    // Precision bounds span tight contracts to wide budget-relaxed ones.
+    metrics_.bound_width = registry->GetHistogram(
+        "kc.server.bound_width", obs::Buckets::Exponential(0.01, 4.0, 12));
+    metrics_.sources->Set(static_cast<double>(replicas_.size()));
+  }
+  for (auto& [id, replica] : replicas_) replica->BindMetrics(registry);
+}
+
+void StreamServer::RecordQueryOutcome(bool ok, bool stale) const {
+  if (metrics_.queries_served == nullptr) return;
+  if (!ok) {
+    metrics_.queries_failed->Inc();
+    return;
+  }
+  metrics_.queries_served->Inc();
+  if (stale) metrics_.queries_stale->Inc();
+}
 
 Status StreamServer::RegisterSource(int32_t source_id,
                                     std::unique_ptr<Predictor> predictor) {
@@ -13,8 +50,12 @@ Status StreamServer::RegisterSource(int32_t source_id,
     return Status::AlreadyExists(StrFormat("source %d already registered",
                                            source_id));
   }
-  replicas_[source_id] =
-      std::make_unique<ServerReplica>(source_id, std::move(predictor));
+  auto replica = std::make_unique<ServerReplica>(source_id, std::move(predictor));
+  if (registry_ != nullptr) replica->BindMetrics(registry_);
+  replicas_[source_id] = std::move(replica);
+  if (metrics_.sources != nullptr) {
+    metrics_.sources->Set(static_cast<double>(replicas_.size()));
+  }
   return Status::Ok();
 }
 
@@ -26,10 +67,16 @@ Status StreamServer::UnregisterSource(int32_t source_id) {
   // the dead source's history (Record's non-decreasing-time invariant can
   // fire after a snapshot restore otherwise).
   archives_.erase(source_id);
+  if (metrics_.sources != nullptr) {
+    metrics_.sources->Set(static_cast<double>(replicas_.size()));
+  }
   return Status::Ok();
 }
 
 void StreamServer::Tick() {
+  KC_TRACE_SCOPE("server.tick");
+  const bool bound = metrics_.ticks != nullptr;
+  int64_t t0 = bound ? obs::TraceNowNs() : 0;
   for (auto& [id, replica] : replicas_) replica->Tick();
   ++ticks_;
   if (archive_capacity_ > 0) {
@@ -45,6 +92,16 @@ void StreamServer::Tick() {
                         replica->bound());
     }
   }
+  if (bound) {
+    metrics_.ticks->Inc();
+    for (auto& [id, replica] : replicas_) {
+      if (replica->initialized()) {
+        metrics_.bound_width->Record(replica->bound());
+      }
+    }
+    metrics_.tick_latency_us->Record(
+        static_cast<double>(obs::TraceNowNs() - t0) * 1e-3);
+  }
 }
 
 Status StreamServer::OnMessage(const Message& msg) {
@@ -54,6 +111,7 @@ Status StreamServer::OnMessage(const Message& msg) {
                                       msg.source_id));
   }
   ++messages_processed_;
+  if (metrics_.messages_in != nullptr) metrics_.messages_in->Inc();
   return it->second->OnMessage(msg);
 }
 
@@ -83,20 +141,31 @@ Status StreamServer::RemoveQuery(const std::string& name) {
 }
 
 StatusOr<QueryResult> StreamServer::Evaluate(const std::string& name) const {
-  return queries_.Evaluate(*this, name);
+  KC_TRACE_SCOPE("server.evaluate");
+  StatusOr<QueryResult> result = queries_.Evaluate(*this, name);
+  RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  return result;
 }
 
 StatusOr<QueryResult> StreamServer::EvaluateSpec(const QuerySpec& spec,
                                                  const std::string& name) const {
-  return EvaluateSpecOn(*this, spec, name);
+  StatusOr<QueryResult> result = EvaluateSpecOn(*this, spec, name);
+  RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  return result;
 }
 
 std::vector<QueryResult> StreamServer::EvaluateAll() const {
-  return queries_.EvaluateAll(*this);
+  KC_TRACE_SCOPE("server.evaluate_all");
+  std::vector<QueryResult> results = queries_.EvaluateAll(*this);
+  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  return results;
 }
 
 std::vector<QueryResult> StreamServer::EvaluateDue() {
-  return queries_.EvaluateDue(*this);
+  KC_TRACE_SCOPE("server.evaluate_due");
+  std::vector<QueryResult> results = queries_.EvaluateDue(*this);
+  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  return results;
 }
 
 Status StreamServer::PushBound(int32_t source_id, double delta) {
@@ -115,7 +184,9 @@ Status StreamServer::PushBound(int32_t source_id, double delta) {
   msg.seq = 0;
   msg.time = static_cast<double>(ticks_);
   msg.payload = {delta};
-  return control_sink_(msg);
+  Status s = control_sink_(msg);
+  if (s.ok() && metrics_.control_out != nullptr) metrics_.control_out->Inc();
+  return s;
 }
 
 void StreamServer::EnableArchiving(size_t capacity) {

@@ -16,6 +16,13 @@
 
 namespace kc {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricRegistry;
+}  // namespace obs
+
 /// The stream management server: a registry of per-source predictor
 /// replicas plus a set of continuous queries answered from those cached
 /// procedures — i.e. "without the clients' involvement", which is the
@@ -135,11 +142,38 @@ class StreamServer : public SourceView {
   Status RestoreArchivePoint(int32_t source_id, double time, double value,
                              double bound);
 
+  /// Binds the serving path's telemetry to a metric arena: kc.server.*
+  /// counters/gauges, the wall-clock tick-latency histogram, and the
+  /// per-tick bound-width distribution. The binding propagates to every
+  /// registered replica (and their predictors); sources registered later
+  /// are bound on registration. In a sharded deployment each shard's
+  /// server binds its own arena, so hot-path recording never crosses
+  /// shard boundaries. Pass nullptr to unbind.
+  void BindMetrics(obs::MetricRegistry* registry);
+
  private:
+  /// Arena handles, cached at bind time; null until BindMetrics.
+  struct Metrics {
+    obs::Counter* ticks = nullptr;
+    obs::Counter* messages_in = nullptr;
+    obs::Counter* control_out = nullptr;
+    obs::Counter* queries_served = nullptr;
+    obs::Counter* queries_failed = nullptr;
+    obs::Counter* queries_stale = nullptr;
+    obs::Gauge* sources = nullptr;
+    obs::Histogram* tick_latency_us = nullptr;  ///< Wall-clock.
+    obs::Histogram* bound_width = nullptr;
+  };
+
+  /// Mirrors one query evaluation onto the arena (no-op when unbound).
+  void RecordQueryOutcome(bool ok, bool stale) const;
+
   std::map<int32_t, std::unique_ptr<ServerReplica>> replicas_;
   QueryTable queries_;
   std::map<int32_t, TickArchive> archives_;
   ControlSink control_sink_;
+  Metrics metrics_;
+  obs::MetricRegistry* registry_ = nullptr;
   size_t archive_capacity_ = 0;  ///< 0 = archiving disabled.
   int64_t ticks_ = 0;
   int64_t messages_processed_ = 0;

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace kc {
 
 namespace {
@@ -28,7 +31,26 @@ SourceAgent::SourceAgent(int32_t source_id, std::unique_ptr<Predictor> predictor
   assert(predictor_ != nullptr && channel_ != nullptr);
 }
 
+void SourceAgent::BindMetrics(obs::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics();
+    predictor_->BindMetrics(nullptr);
+    return;
+  }
+  metrics_.decisions = registry->GetCounter("kc.agent.decisions");
+  metrics_.suppressed = registry->GetCounter("kc.agent.suppressed");
+  metrics_.corrections = registry->GetCounter("kc.agent.corrections");
+  metrics_.full_syncs = registry->GetCounter("kc.agent.full_syncs");
+  metrics_.heartbeats = registry->GetCounter("kc.agent.heartbeats");
+  // Innovation magnitudes span noise-floor jitter to mode-change jumps;
+  // geometric buckets cover that range with constant relative resolution.
+  metrics_.innovation = registry->GetHistogram(
+      "kc.agent.innovation", obs::Buckets::Exponential(1e-3, 4.0, 12));
+  predictor_->BindMetrics(registry);
+}
+
 Status SourceAgent::Offer(const Reading& measured) {
+  KC_TRACE_SCOPE("agent.offer");
   if (measured.value.size() != predictor_->dims()) {
     return Status::InvalidArgument("reading dimension mismatch");
   }
@@ -51,6 +73,10 @@ Status SourceAgent::Offer(const Reading& measured) {
   predictor_->Tick();
   predictor_->ObserveLocal(measured);
   double err = MaxAbsError(predictor_->Target(), predictor_->Predict());
+  if (metrics_.decisions != nullptr) {
+    metrics_.decisions->Inc();
+    metrics_.innovation->Record(err);
+  }
   if (err > config_.delta) {
     bool full = config_.always_full_state ||
                 (config_.full_sync_every > 0 &&
@@ -63,6 +89,7 @@ Status SourceAgent::Offer(const Reading& measured) {
   }
 
   ++stats_.suppressed;
+  if (metrics_.suppressed != nullptr) metrics_.suppressed->Inc();
   ++silent_ticks_;
   if (config_.heartbeat_every > 0 && silent_ticks_ >= config_.heartbeat_every) {
     Message hb;
@@ -72,6 +99,7 @@ Status SourceAgent::Offer(const Reading& measured) {
     hb.time = measured.time;
     KC_RETURN_IF_ERROR(channel_->Send(hb));
     ++stats_.heartbeats;
+    if (metrics_.heartbeats != nullptr) metrics_.heartbeats->Inc();
     silent_ticks_ = 0;
   }
   return Status::Ok();
@@ -127,6 +155,7 @@ Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
     msg.payload.insert(msg.payload.end(), state.begin(), state.end());
     KC_RETURN_IF_ERROR(channel_->Send(msg));
     ++stats_.full_syncs;
+    if (metrics_.full_syncs != nullptr) metrics_.full_syncs->Inc();
     return Status::Ok();
   }
 
@@ -138,6 +167,7 @@ Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
       predictor_->ApplyCorrection(measured.seq, measured.time, correction));
   KC_RETURN_IF_ERROR(channel_->Send(msg));
   ++stats_.corrections;
+  if (metrics_.corrections != nullptr) metrics_.corrections->Inc();
   return Status::Ok();
 }
 

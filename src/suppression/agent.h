@@ -83,7 +83,23 @@ class SourceAgent {
   /// state-sync Kalman policy).
   Vector ContractTarget() const { return predictor_->Target(); }
 
+  /// Registers kc.agent.* counters and the kc.agent.innovation histogram
+  /// (per-decision |target - prediction|) on the arena, mirrors every
+  /// suppression decision onto them, and forwards the binding to the
+  /// owned predictor. Pass nullptr to unbind.
+  void BindMetrics(obs::MetricRegistry* registry);
+
  private:
+  /// Arena handles, cached at bind time; null until BindMetrics.
+  struct Metrics {
+    obs::Counter* decisions = nullptr;
+    obs::Counter* suppressed = nullptr;
+    obs::Counter* corrections = nullptr;
+    obs::Counter* full_syncs = nullptr;
+    obs::Counter* heartbeats = nullptr;
+    obs::Histogram* innovation = nullptr;
+  };
+
   Status SendInit(const Reading& measured);
   Status SendCorrection(const Reading& measured, bool full_state);
 
@@ -92,6 +108,7 @@ class SourceAgent {
   AgentConfig config_;
   Channel* channel_;
   AgentStats stats_;
+  Metrics metrics_;
   bool initialized_ = false;
   int64_t silent_ticks_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace kc {
 
 ImmPredictor::ImmPredictor(Config config) : config_(std::move(config)) {
@@ -30,7 +32,18 @@ void ImmPredictor::Init(const Reading& first) {
   assert(first.value.size() == dims());
   shadow_.emplace(BuildImm(first));
   private_.emplace(BuildImm(first));
+  last_mode_ = DominantMode();
+  model_switches_ = 0;
   last_observed_ = first;
+}
+
+int ImmPredictor::DominantMode() const {
+  const Vector& mu = private_->mode_probabilities();
+  int best = 0;
+  for (size_t m = 1; m < mu.size(); ++m) {
+    if (mu[m] > mu[best]) best = static_cast<int>(m);
+  }
+  return best;
 }
 
 void ImmPredictor::Tick() {
@@ -45,6 +58,12 @@ void ImmPredictor::ObserveLocal(const Reading& measured) {
   Status s = private_->Update(measured.value);
   assert(s.ok());
   (void)s;
+  int mode = DominantMode();
+  if (mode != last_mode_) {
+    last_mode_ = mode;
+    ++model_switches_;
+    if (switch_counter_ != nullptr) switch_counter_->Inc();
+  }
 }
 
 Vector ImmPredictor::Target() const {
@@ -79,6 +98,12 @@ std::vector<double> ImmPredictor::EncodeFullState() const {
 
 Status ImmPredictor::ApplyFullState(const std::vector<double>& payload) {
   return ApplyCorrection(0, 0.0, payload);
+}
+
+void ImmPredictor::BindMetrics(obs::MetricRegistry* registry) {
+  switch_counter_ = registry == nullptr
+                        ? nullptr
+                        : registry->GetCounter("kc.imm.model_switches");
 }
 
 std::unique_ptr<Predictor> ImmPredictor::Clone() const {

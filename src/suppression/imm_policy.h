@@ -9,6 +9,10 @@
 
 namespace kc {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// Dual interacting-multiple-model predictor: the suppression protocol
 /// over an IMM bank (e.g. a quiet low-Q mode and a maneuvering high-Q
 /// mode of the same state space).
@@ -43,6 +47,9 @@ class ImmPredictor : public Predictor {
                          const std::vector<double>& payload) override;
   std::vector<double> EncodeFullState() const override;
   Status ApplyFullState(const std::vector<double>& payload) override;
+  /// Registers kc.imm.model_switches (dominant private-bank mode changes)
+  /// on the arena and mirrors the event onto it.
+  void BindMetrics(obs::MetricRegistry* registry) override;
   std::unique_ptr<Predictor> Clone() const override;
   std::string name() const override { return "imm"; }
   size_t dims() const override { return config_.models.front().obs_dim(); }
@@ -50,12 +57,20 @@ class ImmPredictor : public Predictor {
   const Imm& private_imm() const;
   const Imm& shadow_imm() const;
 
+  /// Times the private bank's most-probable mode changed (source side).
+  int64_t model_switches() const { return model_switches_; }
+
  private:
   Imm BuildImm(const Reading& first) const;
+  /// Index of the private bank's most probable mode (first wins ties).
+  int DominantMode() const;
 
   Config config_;
   std::optional<Imm> shadow_;
   std::optional<Imm> private_;
+  int last_mode_ = -1;
+  int64_t model_switches_ = 0;
+  obs::Counter* switch_counter_ = nullptr;
 };
 
 /// Convenience: a scalar quiet/maneuver two-mode IMM predictor over

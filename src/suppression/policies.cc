@@ -4,6 +4,7 @@
 
 #include "common/chisq.h"
 #include "linalg/decomp.h"
+#include "obs/metrics.h"
 
 namespace kc {
 
@@ -221,11 +222,15 @@ void KalmanPredictor::ObserveLocal(const Reading& measured) {
     if (Cholesky::FactorInto(gate_.s, &gate_.l)) {
       Cholesky::SolveInto(gate_.l, nu, &gate_.sinv_nu);
       double nis = nu.Dot(gate_.sinv_nu);
-      if (nis > gate_threshold_ &&
-          consecutive_rejects_ + 1 < config_.outlier_gate_limit) {
-        ++consecutive_rejects_;
-        ++outliers_rejected_;
-        return;  // Predict-only this tick.
+      if (nis > gate_threshold_) {
+        if (consecutive_rejects_ + 1 < config_.outlier_gate_limit) {
+          ++consecutive_rejects_;
+          ++outliers_rejected_;
+          if (metrics_.outliers_rejected) metrics_.outliers_rejected->Inc();
+          return;  // Predict-only this tick.
+        }
+        // The rejection run hit the limit: the stream genuinely jumped.
+        if (metrics_.forced_accepts) metrics_.forced_accepts->Inc();
       }
     }
     consecutive_rejects_ = 0;
@@ -304,7 +309,20 @@ Status KalmanPredictor::ApplyFullState(const std::vector<double>& payload) {
   if (!shadow_.has_value()) {
     return Status::FailedPrecondition("predictor not initialized");
   }
+  if (metrics_.filter_resets) metrics_.filter_resets->Inc();
   return shadow_->DeserializeState(payload);
+}
+
+void KalmanPredictor::BindMetrics(obs::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics();
+    return;
+  }
+  metrics_.outliers_rejected =
+      registry->GetCounter("kc.kalman.outliers_rejected");
+  metrics_.forced_accepts =
+      registry->GetCounter("kc.kalman.gate_forced_accepts");
+  metrics_.filter_resets = registry->GetCounter("kc.kalman.filter_resets");
 }
 
 std::unique_ptr<Predictor> KalmanPredictor::Clone() const {

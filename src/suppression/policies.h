@@ -10,6 +10,10 @@
 
 namespace kc {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// Olston-style approximate caching — the paper's principal baseline.
 /// The server holds the last shipped value; prediction is constant between
 /// corrections. Correction payload: the new value. Contract-exact: after a
@@ -150,6 +154,9 @@ class KalmanPredictor : public Predictor {
                          const std::vector<double>& payload) override;
   std::vector<double> EncodeFullState() const override;
   Status ApplyFullState(const std::vector<double>& payload) override;
+  /// Registers kc.kalman.{outliers_rejected,gate_forced_accepts,
+  /// filter_resets} on the arena and mirrors those events onto it.
+  void BindMetrics(obs::MetricRegistry* registry) override;
   std::unique_ptr<Predictor> Clone() const override;
   std::string name() const override;
   size_t dims() const override { return config_.model.obs_dim(); }
@@ -173,8 +180,16 @@ class KalmanPredictor : public Predictor {
     Vector sinv_nu;  ///< S^{-1} nu.
   };
 
+  /// Arena counter handles, cached at bind time; null until BindMetrics.
+  struct Metrics {
+    obs::Counter* outliers_rejected = nullptr;
+    obs::Counter* forced_accepts = nullptr;
+    obs::Counter* filter_resets = nullptr;
+  };
+
   Config config_;
   GateScratch gate_;
+  Metrics metrics_;
   double gate_threshold_ = 0.0;  ///< Chi-squared NIS cutoff (0 = no gate).
   int consecutive_rejects_ = 0;
   int64_t outliers_rejected_ = 0;

@@ -11,6 +11,10 @@
 
 namespace kc {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// A deterministic prediction procedure replicated at the stream source and
 /// at the server — the paper's "cached dynamic procedure".
 ///
@@ -70,6 +74,13 @@ class Predictor {
   virtual Status ApplyFullState(const std::vector<double>& /*payload*/) {
     return Status::Unimplemented("full-state sync not supported");
   }
+
+  /// Binds the predictor's internal event counters (outlier gate fires,
+  /// filter resets, model switches, ...) to a metric arena. Optional:
+  /// implementations that expose no internals ignore it. Must never
+  /// change predictive behaviour — metrics observe the protocol, they are
+  /// not part of it.
+  virtual void BindMetrics(obs::MetricRegistry* /*registry*/) {}
 
   /// Fresh, un-Init()ed replica with the same configuration. This is how
   /// the server constructs its twin of a source's predictor.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace kc {
 
 ServerReplica::ServerReplica(int32_t source_id,
@@ -16,6 +18,18 @@ void ServerReplica::Tick() {
   ++ticks_;
 }
 
+void ServerReplica::BindMetrics(obs::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics();
+    predictor_->BindMetrics(nullptr);
+    return;
+  }
+  metrics_.applied = registry->GetCounter("kc.replica.messages_applied");
+  metrics_.ignored = registry->GetCounter("kc.replica.messages_ignored");
+  metrics_.full_syncs = registry->GetCounter("kc.replica.full_syncs");
+  predictor_->BindMetrics(registry);
+}
+
 Status ServerReplica::OnMessage(const Message& msg) {
   if (msg.source_id != source_id_) {
     return Status::InvalidArgument("message routed to wrong replica");
@@ -25,6 +39,7 @@ Status ServerReplica::OnMessage(const Message& msg) {
   if (initialized_ && msg.type != MessageType::kInit &&
       msg.seq < last_heard_seq_) {
     ++messages_ignored_;
+    if (metrics_.ignored != nullptr) metrics_.ignored->Inc();
     return Status::Ok();
   }
   switch (msg.type) {
@@ -67,6 +82,7 @@ Status ServerReplica::OnMessage(const Message& msg) {
       delta_ = msg.payload[0];
       std::vector<double> body(msg.payload.begin() + 1, msg.payload.end());
       KC_RETURN_IF_ERROR(predictor_->ApplyFullState(body));
+      if (metrics_.full_syncs != nullptr) metrics_.full_syncs->Inc();
       break;
     }
     case MessageType::kHeartbeat:
@@ -79,6 +95,7 @@ Status ServerReplica::OnMessage(const Message& msg) {
   last_heard_time_ = msg.time;
   tick_at_last_heard_ = ticks_;
   ++messages_applied_;
+  if (metrics_.applied != nullptr) metrics_.applied->Inc();
   return Status::Ok();
 }
 

@@ -9,6 +9,11 @@
 
 namespace kc {
 
+namespace obs {
+class Counter;
+class MetricRegistry;
+}  // namespace obs
+
 /// The server half of the suppression protocol: the cached dynamic
 /// procedure that answers queries for one source without contacting it.
 ///
@@ -55,9 +60,22 @@ class ServerReplica {
 
   const Predictor& predictor() const { return *predictor_; }
 
+  /// Registers kc.replica.{messages_applied,messages_ignored,full_syncs}
+  /// on the arena, mirrors message handling onto them, and forwards the
+  /// binding to the replicated predictor. Pass nullptr to unbind.
+  void BindMetrics(obs::MetricRegistry* registry);
+
  private:
+  /// Arena handles, cached at bind time; null until BindMetrics.
+  struct Metrics {
+    obs::Counter* applied = nullptr;
+    obs::Counter* ignored = nullptr;
+    obs::Counter* full_syncs = nullptr;
+  };
+
   int32_t source_id_;
   std::unique_ptr<Predictor> predictor_;
+  Metrics metrics_;
   bool initialized_ = false;
   double delta_ = 0.0;
   int64_t last_heard_seq_ = -1;

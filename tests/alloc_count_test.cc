@@ -17,6 +17,8 @@
 #include "kalman/ukf.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "suppression/policies.h"
 
 namespace {
@@ -161,6 +163,51 @@ TEST(ZeroAllocTest, KalmanPredictorSuppressedTicks) {
   double acc = 0.0;
   for (int64_t s = 6; s <= 205; ++s) acc += tick(s);
   EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
+}
+
+TEST(ZeroAllocTest, InstrumentedSuppressedTicksStayAllocationFree) {
+  // The serving path with telemetry bound: counter Incs, a histogram
+  // Record of the innovation, and a (runtime-disabled) trace span per
+  // tick. All metric storage is preallocated at registration, so the
+  // instrumented steady state must still be zero-alloc.
+  obs::MetricRegistry registry;  // Cold path: registration may allocate.
+  KalmanPredictor::Config config;
+  config.model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  config.outlier_gate_prob = 0.999;
+  KalmanPredictor predictor(std::move(config));
+  predictor.BindMetrics(&registry);
+  obs::Counter* decisions = registry.GetCounter("kc.agent.decisions");
+  obs::Counter* suppressed = registry.GetCounter("kc.agent.suppressed");
+  obs::Histogram* innovation = registry.GetHistogram(
+      "kc.agent.innovation", obs::Buckets::Exponential(1e-3, 4.0, 12));
+
+  Reading first;
+  first.value = Vector{0.0};
+  predictor.Init(first);
+
+  Rng rng(7);
+  auto tick = [&](int64_t seq) {
+    KC_TRACE_SCOPE("alloc_test.tick");  // Default-off: one load + branch.
+    Reading z;
+    z.seq = seq;
+    z.time = static_cast<double>(seq);
+    z.value = Vector{rng.Gaussian(0.0, 0.3)};
+    predictor.Tick();
+    predictor.ObserveLocal(z);
+    Vector err = predictor.Target() - predictor.Predict();
+    double e = err.NormInf();
+    decisions->Inc();
+    innovation->Record(e);
+    suppressed->Inc();
+    return e;
+  };
+  for (int64_t s = 1; s <= 5; ++s) tick(s);
+  long before = AllocCount();
+  double acc = 0.0;
+  for (int64_t s = 6; s <= 205; ++s) acc += tick(s);
+  EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
+  EXPECT_EQ(decisions->value(), 205);
+  EXPECT_EQ(innovation->count(), 205);
 }
 
 // ----------------------------------------------------------- SmallBuf edges

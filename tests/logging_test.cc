@@ -1,5 +1,9 @@
 #include "common/logging.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace kc {
@@ -37,6 +41,89 @@ TEST(LoggingTest, DebugVisibleWhenEnabled) {
   KC_LOG(Debug) << "debug detail";
   std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("debug detail"), std::string::npos);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SinkCapturesLinesAndBypassesStderr) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  LogSink previous = SetLogSink([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  ::testing::internal::CaptureStderr();
+  KC_LOG(Info) << "to the sink " << 7;
+  KC_LOG(Debug) << "below threshold";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  SetLogSink(std::move(previous));
+  SetLogLevel(before);
+
+  EXPECT_TRUE(err.empty());  // The sink replaced stderr entirely.
+  ASSERT_EQ(captured.size(), 1u);  // Threshold still applies with a sink.
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("to the sink 7"), std::string::npos);
+  // The formatted record keeps the level tag and source location.
+  EXPECT_NE(captured[0].second.find("I logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPreviousAndNullRestoresStderr) {
+  LogSink first = SetLogSink([](LogLevel, const std::string&) {});
+  LogSink second = SetLogSink(nullptr);  // Back to stderr.
+  EXPECT_TRUE(second);                   // The lambda installed above.
+  EXPECT_FALSE(first);                   // Default was the stderr writer.
+
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  KC_LOG(Warning) << "back on stderr";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(before);
+  EXPECT_NE(err.find("back on stderr"), std::string::npos);
+}
+
+TEST(LoggingTest, LogEveryNEmitsFirstAndEveryNth) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> captured;
+  LogSink previous = SetLogSink([&](LogLevel, const std::string& line) {
+    captured.push_back(line);
+  });
+  for (int i = 0; i < 10; ++i) {
+    KC_LOG_EVERY_N(Info, 4) << "iteration " << i;
+  }
+  SetLogSink(std::move(previous));
+  SetLogLevel(before);
+
+  // Executions 0, 4, 8 emit.
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_NE(captured[0].find("iteration 0"), std::string::npos);
+  EXPECT_NE(captured[1].find("iteration 4"), std::string::npos);
+  EXPECT_NE(captured[2].find("iteration 8"), std::string::npos);
+}
+
+TEST(LoggingTest, LogEveryNCountersArePerCallSite) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  int lines = 0;
+  LogSink previous =
+      SetLogSink([&](LogLevel, const std::string&) { ++lines; });
+  for (int i = 0; i < 3; ++i) {
+    KC_LOG_EVERY_N(Info, 100) << "site a";  // Emits once (i == 0).
+    KC_LOG_EVERY_N(Info, 100) << "site b";  // Independent counter.
+  }
+  SetLogSink(std::move(previous));
+  SetLogLevel(before);
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(LoggingTest, LogEveryNBindsAsOneStatement) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Must compile and behave as a single statement in an unbraced branch.
+  if (GetLogLevel() == LogLevel::kError)
+    KC_LOG_EVERY_N(Debug, 2) << "suppressed by level";
+  else
+    KC_LOG(Error) << "wrong branch";
   SetLogLevel(before);
 }
 

@@ -1,0 +1,286 @@
+// Metric registry: registration semantics, hot-path recording exactness
+// under the fleet thread pool, merge determinism, and exporter goldens.
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/thread_pool.h"
+#include "obs/export.h"
+
+namespace kc {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------ registration
+
+TEST(MetricRegistryTest, RegistrationReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* c1 = registry.GetCounter("kc.test.counter");
+  Counter* c2 = registry.GetCounter("kc.test.counter");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1, c2);  // Same metric, same handle.
+  c1->Inc();
+  c2->Inc(4);
+  EXPECT_EQ(c1->value(), 5);
+
+  Gauge* g = registry.GetGauge("kc.test.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(registry.GetGauge("kc.test.gauge"), g);
+
+  Histogram* h =
+      registry.GetHistogram("kc.test.hist", Buckets::Linear(1.0, 1.0, 3));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(registry.GetHistogram("kc.test.hist", Buckets::Linear(9.0, 9.0, 2)),
+            h);  // Layout fixed by first registration; later calls find it.
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricRegistryTest, KindMismatchReturnsNull) {
+  MetricRegistry registry;
+  ASSERT_NE(registry.GetCounter("kc.test.metric"), nullptr);
+  EXPECT_EQ(registry.GetGauge("kc.test.metric"), nullptr);
+  EXPECT_EQ(
+      registry.GetHistogram("kc.test.metric", Buckets::Linear(0.0, 1.0, 2)),
+      nullptr);
+  // The original registration is untouched.
+  EXPECT_NE(registry.GetCounter("kc.test.metric"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricRegistryTest, GaugeSetAndAdd) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("kc.test.gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(HistogramTest, BucketPlacement) {
+  MetricRegistry registry;
+  // Bounds 1, 2, 3 plus the implicit overflow bucket.
+  Histogram* h =
+      registry.GetHistogram("kc.test.hist", Buckets::Linear(1.0, 1.0, 3));
+  ASSERT_EQ(h->num_buckets(), 4u);
+  h->Record(0.5);  // <= 1 -> bucket 0.
+  h->Record(1.0);  // Bounds are inclusive upper limits -> bucket 0.
+  h->Record(1.5);  // Bucket 1.
+  h->Record(3.0);  // Bucket 2.
+  h->Record(99.0);  // Overflow.
+  EXPECT_EQ(h->bucket_count(0), 2);
+  EXPECT_EQ(h->bucket_count(1), 1);
+  EXPECT_EQ(h->bucket_count(2), 1);
+  EXPECT_EQ(h->bucket_count(3), 1);
+  EXPECT_EQ(h->count(), 5);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 3.0 + 99.0);
+  EXPECT_DOUBLE_EQ(h->bucket_bound(2), 3.0);
+  EXPECT_EQ(h->bucket_bound(3), std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, ExponentialBucketLayout) {
+  Buckets b = Buckets::Exponential(1.0, 2.0, 4);
+  ASSERT_EQ(b.count, 4u);
+  EXPECT_DOUBLE_EQ(b.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(b.bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(b.bounds[3], 8.0);
+  // Requests beyond the fixed storage clamp instead of allocating.
+  EXPECT_EQ(Buckets::Exponential(1.0, 2.0, 1000).count, Buckets::kMaxBounds);
+  EXPECT_EQ(Buckets::Linear(0.0, 1.0, 1000).count, Buckets::kMaxBounds);
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(MetricRegistryTest, MergeFromSumsAndRegistersMissing) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetCounter("kc.shared.counter")->Inc(3);
+  b.GetCounter("kc.shared.counter")->Inc(4);
+  b.GetCounter("kc.only_b.counter")->Inc(7);
+  a.GetGauge("kc.shared.gauge")->Set(1.5);
+  b.GetGauge("kc.shared.gauge")->Set(2.0);
+  Histogram* ha =
+      a.GetHistogram("kc.shared.hist", Buckets::Linear(1.0, 1.0, 2));
+  Histogram* hb =
+      b.GetHistogram("kc.shared.hist", Buckets::Linear(1.0, 1.0, 2));
+  ha->Record(0.5);
+  hb->Record(0.5);
+  hb->Record(10.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("kc.shared.counter")->value(), 7);
+  EXPECT_EQ(a.GetCounter("kc.only_b.counter")->value(), 7);
+  // Gauges merge by summation: per-shard levels add up to the fleet total.
+  EXPECT_DOUBLE_EQ(a.GetGauge("kc.shared.gauge")->value(), 3.5);
+  EXPECT_EQ(ha->bucket_count(0), 2);
+  EXPECT_EQ(ha->bucket_count(2), 1);
+  EXPECT_EQ(ha->count(), 3);
+  // `b` is read-only under MergeFrom.
+  EXPECT_EQ(hb->count(), 2);
+}
+
+TEST(MetricRegistryTest, MergeSkipsKindConflicts) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetCounter("kc.conflict")->Inc(1);
+  b.GetGauge("kc.conflict")->Set(9.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("kc.conflict")->value(), 1);  // Unchanged.
+}
+
+// ------------------------------------------------------ concurrent recording
+
+// Recording is single-writer by contract (one arena per shard, one thread
+// stepping each shard). This is the concurrency model the fleet executor
+// actually runs: N threads each recording into their own arena, merged
+// after the barrier. Totals must be exact.
+TEST(MetricRegistryTest, PerThreadArenasMergeExactly) {
+  constexpr size_t kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::unique_ptr<MetricRegistry>> arenas;
+  for (size_t t = 0; t < kThreads; ++t) {
+    arenas.push_back(std::make_unique<MetricRegistry>());
+  }
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t t) {
+    Counter* c = arenas[t]->GetCounter("kc.test.counter");
+    Histogram* h = arenas[t]->GetHistogram("kc.test.hist",
+                                           Buckets::Exponential(1.0, 2.0, 8));
+    for (int i = 0; i < kPerThread; ++i) {
+      c->Inc();
+      h->Record(static_cast<double>(t));  // Thread t -> one fixed bucket.
+    }
+  });
+  MetricRegistry merged;
+  for (const auto& arena : arenas) merged.MergeFrom(*arena);
+  Counter* c = merged.GetCounter("kc.test.counter");
+  Histogram* h = merged.GetHistogram("kc.test.hist",
+                                     Buckets::Exponential(1.0, 2.0, 8));
+  EXPECT_EQ(c->value(), static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t total = 0;
+  for (size_t i = 0; i < h->num_buckets(); ++i) total += h->bucket_count(i);
+  EXPECT_EQ(total, h->count());
+}
+
+// Readers on other threads see torn-free (if possibly stale) values while
+// the single writer records. Run under TSan by scripts/ci_tsan.sh.
+TEST(MetricRegistryTest, ConcurrentReadsAreTornFree) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kc.test.counter");
+  constexpr int kIncs = 200000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    int64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      int64_t v = c->value();
+      // Single-writer counters are monotonic even mid-recording.
+      EXPECT_GE(v, last);
+      EXPECT_LE(v, kIncs);
+      last = v;
+    }
+  });
+  for (int i = 0; i < kIncs; ++i) c->Inc();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(c->value(), kIncs);
+}
+
+// --------------------------------------------------------------- exporters
+
+/// A tiny fixed registry every exporter golden below renders.
+void FillGolden(MetricRegistry* registry) {
+  registry->GetCounter("kc.a.counter")->Inc(42);
+  registry->GetGauge("kc.b.gauge")->Set(2.5);
+  Histogram* h =
+      registry->GetHistogram("kc.c.hist", Buckets::Linear(1.0, 1.0, 2));
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(9.0);
+  registry->GetHistogram("kc.d.wall_us", Buckets::Linear(1.0, 1.0, 2),
+                         /*wall_clock=*/true)
+      ->Record(123.0);
+}
+
+TEST(ExportTest, TextGolden) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  std::string expected =
+      "kc.a.counter                             counter   42\n"
+      "kc.b.gauge                               gauge     2.5\n"
+      "kc.c.hist                                histogram "
+      "count=3 sum=11 mean=3.66666667\n"
+      "                                           le 1: 1\n"
+      "                                           le 2: 1\n"
+      "                                           le +Inf: 1\n";
+  EXPECT_EQ(ExportText(registry, /*include_wall_clock=*/false), expected);
+}
+
+TEST(ExportTest, JsonLinesGolden) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  std::string expected =
+      "{\"name\":\"kc.a.counter\",\"kind\":\"counter\",\"value\":42}\n"
+      "{\"name\":\"kc.b.gauge\",\"kind\":\"gauge\",\"value\":2.5}\n"
+      "{\"name\":\"kc.c.hist\",\"kind\":\"histogram\",\"count\":3,"
+      "\"sum\":11,\"buckets\":[{\"le\":1,\"n\":1},{\"le\":2,\"n\":1},"
+      "{\"le\":\"+Inf\",\"n\":1}]}\n";
+  EXPECT_EQ(ExportJsonLines(registry, /*include_wall_clock=*/false), expected);
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  std::string expected =
+      "# TYPE kc_a_counter counter\n"
+      "kc_a_counter 42\n"
+      "# TYPE kc_b_gauge gauge\n"
+      "kc_b_gauge 2.5\n"
+      "# TYPE kc_c_hist histogram\n"
+      "kc_c_hist_bucket{le=\"1\"} 1\n"
+      "kc_c_hist_bucket{le=\"2\"} 2\n"
+      "kc_c_hist_bucket{le=\"+Inf\"} 3\n"  // Cumulative.
+      "kc_c_hist_sum 11\n"
+      "kc_c_hist_count 3\n";
+  EXPECT_EQ(ExportPrometheus(registry, /*include_wall_clock=*/false),
+            expected);
+}
+
+TEST(ExportTest, WallClockMetricsIncludedOnRequest) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  std::string with = ExportText(registry, /*include_wall_clock=*/true);
+  std::string without = ExportText(registry, /*include_wall_clock=*/false);
+  EXPECT_NE(with.find("kc.d.wall_us"), std::string::npos);
+  EXPECT_EQ(without.find("kc.d.wall_us"), std::string::npos);
+}
+
+TEST(ExportTest, RowsSortedByName) {
+  MetricRegistry registry;
+  registry.GetCounter("kc.z");
+  registry.GetCounter("kc.a");
+  registry.GetCounter("kc.m");
+  std::vector<MetricRow> rows = registry.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "kc.a");
+  EXPECT_EQ(rows[1].name, "kc.m");
+  EXPECT_EQ(rows[2].name, "kc.z");
+}
+
+TEST(ExportTest, DefaultRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&DefaultRegistry(), &DefaultRegistry());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kc

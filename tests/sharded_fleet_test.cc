@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "fleet/sharded_server.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "streams/generators.h"
 #include "suppression/policies.h"
@@ -117,6 +119,80 @@ TEST(ShardedFleetTest, BitIdenticalForAnyThreadCount) {
   Fingerprint four = RunSharded(/*threads=*/4, /*shards=*/8);
   ExpectEqualFingerprints(one, two, "threads 1 vs 2");
   ExpectEqualFingerprints(one, four, "threads 1 vs 4");
+}
+
+/// Runs a fleet with telemetry enabled and returns the deterministic
+/// (non-wall-clock) part of the merged metrics export.
+std::string RunShardedMetricsExport(size_t threads) {
+  ShardedFleet::Config config;
+  config.seed = 777;
+  config.threads = threads;
+  config.num_shards = 8;
+  ShardedFleet fleet(config);
+  fleet.EnableMetrics();
+  AddStandardSources(fleet, 12);
+  EXPECT_TRUE(fleet.Run(200).ok());
+  obs::MetricRegistry merged;
+  fleet.MergeMetricsInto(&merged);
+  return obs::ExportText(merged, /*include_wall_clock=*/false);
+}
+
+TEST(ShardedFleetTest, MetricsExportBitIdenticalForAnyThreadCount) {
+  std::string one = RunShardedMetricsExport(1);
+  std::string four = RunShardedMetricsExport(4);
+  EXPECT_EQ(one, four);
+  // The export actually carries the serving path's telemetry.
+  EXPECT_NE(one.find("kc.agent.decisions"), std::string::npos);
+  EXPECT_NE(one.find("kc.net.messages_sent"), std::string::npos);
+  EXPECT_NE(one.find("kc.server.ticks"), std::string::npos);
+  EXPECT_NE(one.find("kc.agent.innovation"), std::string::npos);
+  // Wall-clock timings exist but are excluded from deterministic exports.
+  EXPECT_EQ(one.find("step_latency"), std::string::npos);
+}
+
+TEST(ShardedFleetTest, MetricsMirrorProtocolCounters) {
+  ShardedFleet::Config config;
+  config.seed = 99;
+  config.threads = 2;
+  config.num_shards = 4;
+  ShardedFleet fleet(config);
+  fleet.EnableMetrics();
+  AddStandardSources(fleet, 8);
+  ASSERT_TRUE(fleet.Run(150).ok());
+
+  obs::MetricRegistry merged;
+  fleet.MergeMetricsInto(&merged);
+  int64_t corrections = 0;
+  int64_t suppressed = 0;
+  for (int32_t id = 0; id < 8; ++id) {
+    corrections += fleet.agent(id).stats().corrections;
+    suppressed += fleet.agent(id).stats().suppressed;
+  }
+  EXPECT_EQ(merged.GetCounter("kc.agent.corrections")->value(), corrections);
+  EXPECT_EQ(merged.GetCounter("kc.agent.suppressed")->value(), suppressed);
+  EXPECT_EQ(merged.GetCounter("kc.net.messages_sent")->value(),
+            fleet.TotalNetworkStats().messages_sent);
+  EXPECT_EQ(merged.GetCounter("kc.server.messages_in")->value(),
+            fleet.server().messages_processed());
+  EXPECT_EQ(merged.GetCounter("kc.server.ticks")->value(),
+            static_cast<int64_t>(fleet.num_shards()) * 150);
+  EXPECT_DOUBLE_EQ(merged.GetGauge("kc.server.sources")->value(), 8.0);
+}
+
+TEST(ShardedFleetTest, PeriodicMetricsReportFiresOnCadence) {
+  ShardedFleet::Config config;
+  config.threads = 2;
+  ShardedFleet fleet(config);
+  fleet.EnableMetrics();
+  AddStandardSources(fleet, 4);
+  std::vector<std::string> reports;
+  fleet.EnablePeriodicMetricsReport(
+      10, [&](const std::string& report) { reports.push_back(report); });
+  ASSERT_TRUE(fleet.Run(35).ok());
+  ASSERT_EQ(reports.size(), 3u);  // Ticks 10, 20, 30.
+  EXPECT_NE(reports[0].find("kc.agent.decisions"), std::string::npos);
+  // Counters only grow tick over tick.
+  EXPECT_NE(reports[0], reports[2]);
 }
 
 TEST(ShardedFleetTest, BitIdenticalForAnyShardCount) {

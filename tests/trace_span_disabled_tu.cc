@@ -1,0 +1,20 @@
+// Compiled with -DKC_TRACE_DISABLED (tests/CMakeLists.txt sets it on this
+// source only): proves the compile-time kill switch expands KC_TRACE_SCOPE
+// to nothing — the spans below must never reach any recorder, even with
+// runtime tracing enabled.
+
+#define KC_TRACE_DISABLED 1  // Belt and braces with the build flag.
+
+#include "obs/trace.h"
+
+namespace kc::obs::testing {
+
+void RunCompileTimeDisabledSpans(int n) {
+  for (int i = 0; i < n; ++i) {
+    KC_TRACE_SCOPE("compiled_out");
+  }
+  // Also valid as an unbraced single statement.
+  if (n > 0) KC_TRACE_SCOPE("still_compiled_out");
+}
+
+}  // namespace kc::obs::testing
