@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -99,6 +101,56 @@ void BM_AggregateEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AggregateEvaluate)->Arg(4)->Arg(64)->Arg(256);
+
+// Deterministic loss-sweep smoke for the recovery protocol: one link,
+// fixed seeds, a Gilbert-Elliott channel whose stationary bad-state
+// fraction is the benchmark argument (in percent). The counters are the
+// recovery-time-to-bound numbers run_benches.sh folds into
+// BENCH_perf.json's loss_sweep_recovery table — identical on every run,
+// so regressions in the protocol (slower healing, more quarantine time)
+// show up as counter diffs, not timing noise.
+void BM_LossSweepRecovery(benchmark::State& state) {
+  const double bad = static_cast<double>(state.range(0)) / 100.0;
+  kc::LinkConfig config;
+  config.ticks = 2000;
+  config.delta = 0.5;
+  config.seed = 7;
+  config.agent.heartbeat_every = 4;
+  config.channel.seed = 8;
+  if (bad > 0.0) {
+    // enter/(enter+exit) == bad: the chain spends `bad` of its time in
+    // the bursty state, where every send is lost.
+    config.channel.faults.burst_exit_prob = 0.25;
+    config.channel.faults.burst_enter_prob = 0.25 * bad / (1.0 - bad);
+    config.channel.faults.burst_loss_prob = 1.0;
+  }
+  config.channel.faults.duplicate_prob = 0.05;
+  config.recovery.enabled = true;
+  config.recovery.suspect_after_silent_ticks = 10;
+
+  kc::KalmanPredictor::Config kf;
+  kf.model = kc::MakeRandomWalkModel(0.1, 0.25);
+  kc::KalmanPredictor prototype(kf);
+  kc::RandomWalkGenerator::Config walk;
+  walk.step_sigma = 0.3;
+
+  kc::LinkReport report;
+  for (auto _ : state) {
+    kc::RandomWalkGenerator generator(walk);
+    report = kc::RunLink(generator, prototype, config);
+    benchmark::DoNotOptimize(report.contract_violations);
+  }
+  state.counters["gaps"] = static_cast<double>(report.gaps);
+  state.counters["resyncs_served"] = static_cast<double>(report.resyncs_served);
+  state.counters["degraded_ticks"] =
+      static_cast<double>(report.degraded_ticks);
+  state.counters["recovery_ticks_per_resync"] =
+      static_cast<double>(report.degraded_ticks) /
+      static_cast<double>(std::max<int64_t>(report.resyncs_served, 1));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(config.ticks));
+}
+BENCHMARK(BM_LossSweepRecovery)->Arg(0)->Arg(5)->Arg(10)->Arg(20);
 
 void BM_ParseQuery(benchmark::State& state) {
   const std::string query =

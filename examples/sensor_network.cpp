@@ -11,6 +11,19 @@
 // telemetry after the run. Every mode except `all` excludes wall-clock
 // timings, so the dump (like the rest of the output) is byte-identical
 // for any --threads value.
+//
+// Pass --faults=... to degrade every sensor's uplink and watch the
+// loss-tolerant recovery protocol fight back (heartbeats, resync
+// requests over the control downlink, quarantined bounds). Spec is a
+// comma list of:
+//   loss=P                  independent per-message loss
+//   burst=ENTER:EXIT:LOSS   Gilbert-Elliott burst loss
+//   dup=P                   duplication
+//   reorder=P:MAX           reordering (extra delay 1..MAX ticks)
+//   partition=START:LEN[:EVERY]  scheduled blackout window(s)
+// e.g. --faults=burst=0.03:0.25:1.0,dup=0.05
+// Faults stay deterministic per (seed, sensor), so the simulated numbers
+// are still identical for every --threads value.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +54,47 @@ std::unique_ptr<kc::StreamGenerator> MakeSensor(kc::Rng& rng) {
       std::make_unique<kc::DiurnalTemperatureGenerator>(config), noise);
 }
 
+// Parses the --faults= spec into the fleet's channel config. Returns
+// false (after complaining) on a malformed token.
+bool ParseFaults(const char* spec, kc::ShardedFleet::Config* config) {
+  std::string s(spec);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    std::string tok = s.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? s.size() : comma + 1;
+    kc::FaultConfig& f = config->channel.faults;
+    double a = 0.0, b = 0.0, c = 0.0;
+    long x = 0, y = 0, z = 0;
+    if (std::sscanf(tok.c_str(), "loss=%lf", &a) == 1) {
+      config->channel.loss_prob = a;
+    } else if (std::sscanf(tok.c_str(), "burst=%lf:%lf:%lf", &a, &b, &c) ==
+               3) {
+      f.burst_enter_prob = a;
+      f.burst_exit_prob = b;
+      f.burst_loss_prob = c;
+    } else if (std::sscanf(tok.c_str(), "dup=%lf", &a) == 1) {
+      f.duplicate_prob = a;
+    } else if (std::sscanf(tok.c_str(), "reorder=%lf:%ld", &a, &x) == 2) {
+      f.reorder_prob = a;
+      f.reorder_max_ticks = x;
+    } else if (std::sscanf(tok.c_str(), "partition=%ld:%ld:%ld", &x, &y,
+                           &z) == 3) {
+      f.partition_start = x;
+      f.partition_length = y;
+      f.partition_every = z;
+    } else if (std::sscanf(tok.c_str(), "partition=%ld:%ld", &x, &y) == 2) {
+      f.partition_start = x;
+      f.partition_length = y;
+    } else {
+      std::fprintf(stderr, "unrecognized --faults token: %s\n", tok.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,7 +119,19 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(mode, "all") == 0) {
         dump_options.include_wall_clock = true;  // Run-dependent timings.
       }
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      if (!ParseFaults(argv[i] + 9, &fleet_config)) return 1;
     }
+  }
+  const bool faulty = fleet_config.channel.faults.any_enabled() ||
+                      fleet_config.channel.loss_prob > 0.0;
+  if (faulty) {
+    // A lossy uplink needs the recovery protocol: heartbeats so silence
+    // is distinguishable from loss, and resync-on-desync so replica
+    // bounds stay honest instead of silently wrong.
+    fleet_config.agent_base.heartbeat_every = 4;
+    fleet_config.recovery.enabled = true;
+    fleet_config.recovery.suspect_after_silent_ticks = 12;
   }
   kc::ShardedFleet fleet(fleet_config);
   if (metrics_dump) fleet.EnableMetrics();
@@ -161,6 +227,19 @@ int main(int argc, char** argv) {
               messages, per_sensor_rate,
               std::max(std::fabs(avg_err.min()), std::fabs(avg_err.max())),
               avg_budget);
+
+  if (faulty) {
+    kc::NetworkStats net = fleet.TotalNetworkStats();
+    std::printf("\nfault injection: %lld dropped (%lld burst, %lld "
+                "partition), %lld duplicated, %lld reordered; %lld control "
+                "msgs (resync requests + bound pushes)\n",
+                static_cast<long long>(net.messages_dropped),
+                static_cast<long long>(net.burst_drops),
+                static_cast<long long>(net.partition_drops),
+                static_cast<long long>(net.messages_duplicated),
+                static_cast<long long>(net.messages_reordered),
+                static_cast<long long>(fleet.TotalControlMessages()));
+  }
 
   if (metrics_dump) {
     kc::obs::MetricRegistry merged;

@@ -21,11 +21,15 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test sharded_fleet_test metrics_test trace_span_test
+  --target thread_pool_test sharded_fleet_test recovery_test metrics_test \
+  trace_span_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sharded_fleet_test
+# The recovery suite drives the sharded fleet with fault injection and the
+# control downlink active — resync requests cross the shard workers.
+"$BUILD_DIR"/tests/recovery_test
 # PerThreadArenasMergeExactly runs 8 single-writer arenas concurrently and
 # ConcurrentReadsAreTornFree races a reader against the writer; the fleet
 # tests above already exercise per-shard arenas under threads.

@@ -78,10 +78,32 @@ for key in sorted(plain.keys() & instrumented.keys()):
         "overhead_pct": round(100.0 * (inst - base) / base, 2),
     })
 merged["observability_overhead"] = overhead
+# Recovery-protocol loss sweep: BM_LossSweepRecovery runs a fixed-seed
+# faulty link per bad-state fraction and reports its healing counters.
+# Fully deterministic, so any diff here is a protocol change.
+loss_sweep = []
+for bench in merged["benchmarks"]:
+    if bench.get("run_type") != "iteration":
+        continue
+    run = bench.get("run_name", bench.get("name", ""))
+    if not run.startswith("BM_LossSweepRecovery/"):
+        continue
+    loss_sweep.append({
+        "bad_state_pct": int(run.rsplit("/", 1)[1]),
+        "gaps": bench.get("gaps"),
+        "resyncs_served": bench.get("resyncs_served"),
+        "degraded_ticks": bench.get("degraded_ticks"),
+        "recovery_ticks_per_resync": bench.get("recovery_ticks_per_resync"),
+    })
+merged["loss_sweep_recovery"] = loss_sweep
 with open("BENCH_perf.json", "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 print(f"BENCH_perf.json: {len(merged['benchmarks'])} benchmarks")
+for row in loss_sweep:
+    print(f"  loss sweep bad={row['bad_state_pct']}%: "
+          f"gaps={row['gaps']} resyncs={row['resyncs_served']} "
+          f"degraded_ticks={row['degraded_ticks']}")
 for row in overhead:
     print(f"  obs overhead {row['model']}: {row['base_ns']} -> "
           f"{row['instrumented_ns']} ns ({row['overhead_pct']:+.2f}%)")

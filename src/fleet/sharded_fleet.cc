@@ -32,6 +32,7 @@ ShardedFleet::ShardedFleet(Config config)
     }
     return by_id_[idx]->control_channel->Send(msg);
   });
+  if (config_.recovery.enabled) server_.SetRecovery(config_.recovery);
 }
 
 int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
@@ -53,9 +54,12 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
   // The uplink delivers straight into the owning shard's StreamServer, so
   // a shard worker's sends never cross shard boundaries.
   StreamServer* shard_server = &server_.shard(shard_index);
-  slot->channel->SetReceiver([shard_server](const Message& msg) {
+  const bool recovering = config_.recovery.enabled;
+  slot->channel->SetReceiver([shard_server, recovering](const Message& msg) {
     Status s = shard_server->OnMessage(msg);
-    assert(s.ok());
+    // With recovery on, a CORRECTION outliving its lost INIT is rejected
+    // here and healed later by re-INIT — not a programming error.
+    assert(s.ok() || recovering);
     (void)s;
   });
 
@@ -69,7 +73,7 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
                                               agent_config,
                                               slot->channel.get());
 
-  Channel::Config control_config;
+  Channel::Config control_config = config_.control_channel;
   control_config.seed = SourceControlSeed(config_.seed, id);
   slot->control_channel = std::make_unique<Channel>(control_config);
   SourceAgent* agent = slot->agent.get();
@@ -118,6 +122,9 @@ void ShardedFleet::StepShard(size_t index) {
   Shard& shard = shards_[index];
   for (auto& slot : shard.sources) {
     slot->channel->AdvanceTick();
+    // Control downlink advances with the uplink so delayed SET_BOUND /
+    // RESYNC_REQUEST traffic reaches the agent before this tick's Offer.
+    slot->control_channel->AdvanceTick();
     slot->last_sample = slot->generator->Next();
     Status s = slot->agent->Offer(slot->last_sample.measured);
     if (!s.ok() && shard.status.ok()) shard.status = s;

@@ -38,6 +38,14 @@ class ShardedFleet {
     uint64_t seed = 1;
     AgentConfig agent_base;  ///< delta is overridden per source.
     Channel::Config channel;
+    /// Server -> source downlink (SET_BOUND, RESYNC_REQUEST answers ride
+    /// the uplink; only the requests themselves travel here). The seed is
+    /// overridden per source, so downlink faults are as deterministic as
+    /// uplink ones.
+    Channel::Config control_channel;
+    /// Loss-tolerant replica recovery, applied to every shard when
+    /// enabled (see ReplicaRecoveryConfig).
+    ReplicaRecoveryConfig recovery;
     /// Worker threads driving shards (1 = fully sequential, no workers).
     size_t threads = 1;
     /// Shard count; 0 picks max(threads, 8). More shards than threads is

@@ -52,6 +52,10 @@ bool ShardedServer::IsStale(int32_t source_id) const {
   return shards_[ShardOf(source_id)]->IsStale(source_id);
 }
 
+bool ShardedServer::IsDesynced(int32_t source_id) const {
+  return shards_[ShardOf(source_id)]->IsDesynced(source_id);
+}
+
 StatusOr<const TickArchive*> ShardedServer::Archive(int32_t source_id) const {
   return shards_[ShardOf(source_id)]->Archive(source_id);
 }
@@ -98,6 +102,10 @@ int64_t ShardedServer::staleness_limit() const {
 
 void ShardedServer::EnableArchiving(size_t capacity) {
   for (auto& shard : shards_) shard->EnableArchiving(capacity);
+}
+
+void ShardedServer::SetRecovery(const ReplicaRecoveryConfig& config) {
+  for (auto& shard : shards_) shard->SetRecovery(config);
 }
 
 void ShardedServer::SetControlSink(StreamServer::ControlSink sink) {

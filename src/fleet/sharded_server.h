@@ -72,6 +72,7 @@ class ShardedServer : public SourceView {
   StatusOr<BoundedAnswer> SourceValue(int32_t source_id) const override;
   const ServerReplica* replica(int32_t source_id) const override;
   bool IsStale(int32_t source_id) const override;
+  bool IsDesynced(int32_t source_id) const override;
   StatusOr<const TickArchive*> Archive(int32_t source_id) const override;
   /// The merged stream clock. All shards tick together, so this is shard
   /// 0's clock.
@@ -93,6 +94,10 @@ class ShardedServer : public SourceView {
   void SetStalenessLimit(int64_t max_silent_ticks);
   int64_t staleness_limit() const;
   void EnableArchiving(size_t capacity);
+
+  /// Enables loss-tolerant replica recovery on every shard (current and
+  /// future sources).
+  void SetRecovery(const ReplicaRecoveryConfig& config);
 
   /// Installs the control downlink on every shard (PushBound routes
   /// through the owning shard so the pushed message carries that shard's

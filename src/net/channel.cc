@@ -1,6 +1,7 @@
 #include "net/channel.h"
 
 #include <sstream>
+#include <vector>
 
 #include "common/strings.h"
 #include "obs/trace.h"
@@ -13,6 +14,10 @@ void NetworkStats::Merge(const NetworkStats& other) {
   messages_dropped += other.messages_dropped;
   bytes_sent += other.bytes_sent;
   bytes_delivered += other.bytes_delivered;
+  messages_duplicated += other.messages_duplicated;
+  messages_reordered += other.messages_reordered;
+  burst_drops += other.burst_drops;
+  partition_drops += other.partition_drops;
   for (size_t i = 0; i < kNumMessageTypes; ++i) {
     by_type[i] += other.by_type[i];
     by_type_sent[i] += other.by_type_sent[i];
@@ -29,16 +34,23 @@ std::string NetworkStats::ToString() const {
     if (i > 0) os << " ";
     // sent/delivered/dropped per kind; sent - delivered - dropped is the
     // count still in flight on a latency channel.
-    os << MessageTypeName(static_cast<MessageType>(i)) << ":" << by_type[i]
-       << "/" << by_type_sent[i] << "/" << by_type_dropped[i];
+    os << MessageTypeName(static_cast<MessageType>(i)) << ":"
+       << by_type_sent[i] << "/" << by_type[i] << "/" << by_type_dropped[i];
   }
   os << "]";
+  if (messages_duplicated > 0 || messages_reordered > 0 || burst_drops > 0 ||
+      partition_drops > 0) {
+    os << " faults=[dup=" << messages_duplicated
+       << " reorder=" << messages_reordered << " burst_drop=" << burst_drops
+       << " partition_drop=" << partition_drops << "]";
+  }
   return os.str();
 }
 
 Channel::Channel() : Channel(Config()) {}
 
-Channel::Channel(Config config) : config_(config), rng_(config.seed) {}
+Channel::Channel(Config config)
+    : config_(config), rng_(config.seed), injector_(config.faults) {}
 
 void Channel::BindMetrics(obs::MetricRegistry* registry) {
   if (registry == nullptr) {
@@ -60,7 +72,25 @@ void Channel::BindMetrics(obs::MetricRegistry* registry) {
     metrics_.dropped_by_type[i] =
         registry->GetCounter(StrFormat("kc.net.dropped.%s", type));
   }
+  if (config_.faults.any_enabled()) {
+    // Registered only on channels with a fault model, so fault-free
+    // deployments export exactly the pre-fault metric inventory.
+    metrics_.duplicates = registry->GetCounter("kc.net.faults.duplicates");
+    metrics_.reorders = registry->GetCounter("kc.net.faults.reorders");
+    metrics_.burst_drops = registry->GetCounter("kc.net.faults.burst_drops");
+    metrics_.partition_drops =
+        registry->GetCounter("kc.net.faults.partition_drops");
+  }
   metrics_bound_ = true;
+}
+
+void Channel::ChargeDrop(size_t type) {
+  ++stats_.messages_dropped;
+  ++stats_.by_type_dropped[type];
+  if (metrics_bound_) {
+    metrics_.messages_dropped->Inc();
+    metrics_.dropped_by_type[type]->Inc();
+  }
 }
 
 Status Channel::Send(const Message& msg) {
@@ -78,29 +108,72 @@ Status Channel::Send(const Message& msg) {
     metrics_.bytes_sent->Inc(bytes);
     metrics_.sent_by_type[type]->Inc();
   }
-  if (config_.loss_prob > 0.0 && rng_.Bernoulli(config_.loss_prob)) {
-    ++stats_.messages_dropped;
-    ++stats_.by_type_dropped[type];
-    if (metrics_bound_) {
-      metrics_.messages_dropped->Inc();
-      metrics_.dropped_by_type[type]->Inc();
-    }
-    return Status::Ok();  // Silently lost, as on a real datagram link.
-  }
-  if (config_.latency_ticks > 0) {
-    pending_.push_back({now_ + config_.latency_ticks, msg});
+  if (config_.faults.InPartition(now_)) {
+    // The link is severed: the datagram vanishes. (In-flight messages
+    // queued before the window opened are held, not dropped — see
+    // AdvanceTick.) No RNG draw: partitions are schedule-driven.
+    ++stats_.partition_drops;
+    if (metrics_.partition_drops != nullptr) metrics_.partition_drops->Inc();
+    ChargeDrop(type);
     return Status::Ok();
   }
-  Deliver(msg);
+  SendFaults faults = injector_.OnSend(rng_);
+  if (faults.burst_drop) {
+    ++stats_.burst_drops;
+    if (metrics_.burst_drops != nullptr) metrics_.burst_drops->Inc();
+    ChargeDrop(type);
+    return Status::Ok();
+  }
+  if (config_.loss_prob > 0.0 && rng_.Bernoulli(config_.loss_prob)) {
+    ChargeDrop(type);
+    return Status::Ok();  // Silently lost, as on a real datagram link.
+  }
+  if (faults.duplicate) {
+    ++stats_.messages_duplicated;
+    if (metrics_.duplicates != nullptr) metrics_.duplicates->Inc();
+  }
+  if (faults.extra_delay > 0) {
+    ++stats_.messages_reordered;
+    if (metrics_.reorders != nullptr) metrics_.reorders->Inc();
+  }
+  int64_t delay = config_.latency_ticks + faults.extra_delay;
+  int copies = faults.duplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    if (delay > 0) {
+      pending_.push_back({now_ + delay, msg});
+    } else {
+      Deliver(msg);
+    }
+  }
   return Status::Ok();
 }
 
 void Channel::AdvanceTick() {
   ++now_;
-  while (!pending_.empty() && pending_.front().due_tick <= now_) {
-    Deliver(pending_.front().msg);
-    pending_.pop_front();
+  // Partition window: the receiving side is unreachable, so nothing
+  // delivers; due messages stay in flight and drain on the first tick
+  // after the window closes.
+  if (config_.faults.InPartition(now_)) return;
+  DeliverDue();
+}
+
+void Channel::DeliverDue() {
+  if (pending_.empty()) return;
+  // With reordering, due ticks are not monotone along the queue: collect
+  // every due message in send order (stable), keep the rest. Delivery
+  // happens after the scan so a receiver that triggers further sends
+  // never sees a half-updated queue.
+  std::vector<Message> due;
+  std::deque<Pending> keep;
+  for (Pending& p : pending_) {
+    if (p.due_tick <= now_) {
+      due.push_back(std::move(p.msg));
+    } else {
+      keep.push_back(std::move(p));
+    }
   }
+  pending_ = std::move(keep);
+  for (const Message& msg : due) Deliver(msg);
 }
 
 void Channel::Deliver(const Message& msg) {

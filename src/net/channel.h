@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/fault.h"
 #include "net/message.h"
 #include "obs/metrics.h"
 
@@ -19,18 +20,29 @@ namespace kc {
 /// arena's shared `kc.net.*` counters, which aggregate across all
 /// channels bound to it. ToString/Merge stay the thin per-channel/merged
 /// read surface the experiments report.
+///
+/// Accounting invariant: once the link is drained,
+///   delivered = sent - dropped + duplicated
+/// (without duplication faults this is the familiar sent = delivered +
+/// dropped). burst_drops and partition_drops are subsets of
+/// messages_dropped attributing the cause.
 struct NetworkStats {
   int64_t messages_sent = 0;
   int64_t messages_delivered = 0;
   int64_t messages_dropped = 0;
   int64_t bytes_sent = 0;
   int64_t bytes_delivered = 0;
+  /// Fault-injection events (see net/fault.h).
+  int64_t messages_duplicated = 0;
+  int64_t messages_reordered = 0;
+  int64_t burst_drops = 0;
+  int64_t partition_drops = 0;
   /// Per-type delivered counts, indexed by MessageType.
-  int64_t by_type[kNumMessageTypes] = {0, 0, 0, 0, 0};
+  int64_t by_type[kNumMessageTypes] = {};
   /// Per-type sent and dropped counts, indexed by MessageType. Together
   /// with `by_type` (delivered) they make loss visible per message kind.
-  int64_t by_type_sent[kNumMessageTypes] = {0, 0, 0, 0, 0};
-  int64_t by_type_dropped[kNumMessageTypes] = {0, 0, 0, 0, 0};
+  int64_t by_type_sent[kNumMessageTypes] = {};
+  int64_t by_type_dropped[kNumMessageTypes] = {};
 
   void Reset() { *this = NetworkStats(); }
 
@@ -39,7 +51,8 @@ struct NetworkStats {
   void Merge(const NetworkStats& other);
 
   /// "sent=... delivered=... dropped=... bytes_sent=... bytes_delivered=...
-  ///  by_type=[TYPE:sent/delivered/dropped ...]".
+  ///  by_type=[TYPE:sent/delivered/dropped ...]", followed by a
+  /// " faults=[...]" section only when fault events occurred.
   std::string ToString() const;
 };
 
@@ -48,9 +61,11 @@ struct NetworkStats {
 ///
 /// Delivery is synchronous (the receiver callback runs inside Send), which
 /// keeps the source and server replicas in lockstep exactly as the paper's
-/// protocol requires. An optional loss probability exists to stress
-/// recovery logic; the precision contract is only guaranteed on a lossless
-/// channel (the paper assumes reliable delivery).
+/// protocol requires. Loss, latency, and the FaultConfig fault model
+/// (burst loss, duplication, bounded reordering, partitions) stress the
+/// recovery protocol; the paper's exact precision contract holds on a
+/// lossless channel, and recovery (docs/PROTOCOL.md, "Recovery & fault
+/// model") restores it within a bounded window after faults.
 class Channel {
  public:
   using Receiver = std::function<void(const Message&)>;
@@ -63,6 +78,10 @@ class Channel {
     /// the transit window during which the server's view lags the source.
     int64_t latency_ticks = 0;
     uint64_t seed = 42;
+    /// Injected faults beyond i.i.d. loss (net/fault.h). Reordering and
+    /// partitions queue messages, so they require the driver to call
+    /// AdvanceTick() once per stream tick, like latency.
+    FaultConfig faults;
   };
 
   Channel();
@@ -75,21 +94,31 @@ class Channel {
   /// counters (shared with every other channel bound to the same arena).
   /// Call before traffic flows; the mirror starts at the current event.
   /// In a sharded fleet, each channel binds to its owning shard's arena
-  /// so hot-path recording never crosses shard boundaries.
+  /// so hot-path recording never crosses shard boundaries. Channels with
+  /// faults configured additionally register `kc.net.faults.*`.
   void BindMetrics(obs::MetricRegistry* registry);
 
-  /// Transfers one message: charges it to the stats, applies loss, then
-  /// either invokes the receiver (zero latency) or queues it for delivery
-  /// `latency_ticks` AdvanceTick() calls later. Fails if no receiver is
-  /// installed.
+  /// Transfers one message: charges it to the stats, applies the fault
+  /// model and loss, then either invokes the receiver (zero delay) or
+  /// queues it for delivery `latency_ticks` (+ any reordering delay)
+  /// AdvanceTick() calls later. During a partition window the message is
+  /// dropped. Fails if no receiver is installed.
   Status Send(const Message& msg);
 
   /// Advances simulated time one tick and delivers every due in-flight
-  /// message (in send order). No-op on zero-latency channels.
+  /// message (in send order; reordered messages wait for their extra
+  /// delay). During a partition window nothing is delivered — held
+  /// messages drain on the first tick after the window closes. No-op on
+  /// zero-latency fault-free channels.
   void AdvanceTick();
 
-  /// Messages currently in flight (latency mode only).
+  /// Messages currently in flight (latency/reorder/partition-hold).
   size_t in_flight() const { return pending_.size(); }
+
+  /// True if the link is currently inside a scheduled partition window.
+  bool InPartitionNow() const { return config_.faults.InPartition(now_); }
+  /// True if the Gilbert–Elliott chain is in its bursty (bad) state.
+  bool in_burst() const { return injector_.in_burst(); }
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -111,12 +140,20 @@ class Channel {
     obs::Counter* sent_by_type[kNumMessageTypes] = {};
     obs::Counter* delivered_by_type[kNumMessageTypes] = {};
     obs::Counter* dropped_by_type[kNumMessageTypes] = {};
+    /// kc.net.faults.* — registered only when faults are configured.
+    obs::Counter* duplicates = nullptr;
+    obs::Counter* reorders = nullptr;
+    obs::Counter* burst_drops = nullptr;
+    obs::Counter* partition_drops = nullptr;
   };
 
   void Deliver(const Message& msg);
+  void DeliverDue();
+  void ChargeDrop(size_t type);
 
   Config config_;
   Rng rng_;
+  FaultInjector injector_;
   Receiver receiver_;
   NetworkStats stats_;
   Metrics metrics_;

@@ -1,0 +1,36 @@
+#include "net/fault.h"
+
+namespace kc {
+
+bool FaultConfig::InPartition(int64_t tick) const {
+  if (!partitions_enabled() || tick < partition_start) return false;
+  int64_t offset = tick - partition_start;
+  if (partition_every > 0) offset %= partition_every;
+  return offset < partition_length;
+}
+
+SendFaults FaultInjector::OnSend(Rng& rng) {
+  SendFaults faults;
+  if (config_.burst_enabled()) {
+    // Evolve the chain first so a burst can start on this very message.
+    if (in_burst_) {
+      if (rng.Bernoulli(config_.burst_exit_prob)) in_burst_ = false;
+    } else {
+      if (rng.Bernoulli(config_.burst_enter_prob)) in_burst_ = true;
+    }
+    if (in_burst_ && rng.Bernoulli(config_.burst_loss_prob)) {
+      faults.burst_drop = true;
+      return faults;  // A dropped message can't be duplicated/reordered.
+    }
+  }
+  if (config_.duplicate_prob > 0.0 &&
+      rng.Bernoulli(config_.duplicate_prob)) {
+    faults.duplicate = true;
+  }
+  if (config_.reorder_enabled() && rng.Bernoulli(config_.reorder_prob)) {
+    faults.extra_delay = rng.UniformInt(1, config_.reorder_max_ticks);
+  }
+  return faults;
+}
+
+}  // namespace kc

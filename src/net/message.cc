@@ -16,6 +16,8 @@ const char* MessageTypeName(MessageType type) {
       return "HEARTBEAT";
     case MessageType::kSetBound:
       return "SET_BOUND";
+    case MessageType::kResyncRequest:
+      return "RESYNC_REQUEST";
   }
   return "UNKNOWN";
 }

@@ -25,10 +25,16 @@ enum class MessageType : uint8_t {
   /// Server-to-source control: payload[0] is the new precision bound the
   /// source must adopt (budget reallocation pushed from the server).
   kSetBound = 4,
+  /// Server-to-source control: the replica suspects it has desynchronized
+  /// (wire-sequence gap or silence past the escalation threshold) and asks
+  /// the source to re-anchor it. payload[0] is 1.0 if the replica is
+  /// initialized (answer: FULL_SYNC) and 0.0 if it never saw INIT (answer:
+  /// a fresh INIT). Sent with exponential backoff until a sync arrives.
+  kResyncRequest = 5,
 };
 
 /// Number of MessageType values (for per-type counters).
-inline constexpr size_t kNumMessageTypes = 5;
+inline constexpr size_t kNumMessageTypes = 6;
 
 const char* MessageTypeName(MessageType type);
 
@@ -37,12 +43,19 @@ const char* MessageTypeName(MessageType type);
 /// cost model: SizeBytes() charges a fixed header plus 8 bytes per payload
 /// double, mirroring a compact binary encoding.
 struct Message {
-  /// Fixed per-message overhead (source id, type, seq, timestamp, length).
+  /// Fixed per-message overhead (source id, type, reading seq, wire seq,
+  /// timestamp, length — modeled as a compact varint-style encoding).
   static constexpr size_t kHeaderBytes = 20;
 
   int32_t source_id = 0;
   MessageType type = MessageType::kCorrection;
   int64_t seq = 0;    ///< Sequence number of the triggering reading.
+  /// Per-link message counter, stamped by the sender on every uplink
+  /// message (INIT, CORRECTION, FULL_SYNC, HEARTBEAT alike). Unlike `seq`
+  /// — which skips the suppressed readings between messages — wire_seq is
+  /// dense, so a receiver can tell "nothing was sent" apart from
+  /// "something was sent and lost": the gap signal recovery runs on.
+  int64_t wire_seq = 0;
   double time = 0.0;  ///< Stream time of the triggering reading.
   std::vector<double> payload;
 

@@ -90,6 +90,7 @@ std::string QueryResult::ToString() const {
   if (trigger.has_value()) os << " trigger=" << TriggerStateName(*trigger);
   if (!meets_within) os << " (WITHIN NOT MET)";
   if (stale) os << " (STALE)";
+  if (degraded) os << " (DEGRADED)";
   return os.str();
 }
 

@@ -74,6 +74,11 @@ struct QueryResult {
   /// staleness limit — the bound may then reflect a dead source rather
   /// than successful suppression, so the answer is advisory only.
   bool stale = false;
+  /// True when a member source's replica is quarantined (suspected
+  /// desync after losses): `bound` already includes the widened
+  /// quarantine bound, so the answer stays honest but is degraded until
+  /// the source resyncs.
+  bool degraded = false;
   std::optional<TriggerState> trigger;
 
   std::string ToString() const;

@@ -77,6 +77,12 @@ StatusOr<QueryResult> EvaluateSpecOn(const SourceView& view,
       break;
     }
   }
+  for (int32_t id : spec.sources) {
+    if (view.IsDesynced(id)) {
+      result.degraded = true;
+      break;
+    }
+  }
   if (spec.threshold.has_value()) {
     result.trigger =
         EvaluateTrigger(result.value, result.bound, *spec.threshold,

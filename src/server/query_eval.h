@@ -18,6 +18,9 @@ struct BoundedAnswer {
   Vector value;
   double bound = 0.0;
   int64_t last_heard_seq = -1;
+  /// True while the replica is quarantined (suspected desync): `bound` is
+  /// already widened by the quarantine factor.
+  bool degraded = false;
 };
 
 /// Read-only view of a set of sources that query evaluation runs against.
@@ -40,6 +43,10 @@ class SourceView {
   /// True if the source exists, is initialized, and has exceeded the
   /// staleness limit (false when staleness tracking is disabled).
   virtual bool IsStale(int32_t source_id) const = 0;
+
+  /// True if the source's replica is quarantined pending resync (always
+  /// false when loss-tolerant recovery is disabled).
+  virtual bool IsDesynced(int32_t /*source_id*/) const { return false; }
 
   /// The archive for one source; error if archiving is disabled or the
   /// source is unknown/non-scalar.

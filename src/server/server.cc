@@ -52,6 +52,8 @@ Status StreamServer::RegisterSource(int32_t source_id,
   }
   auto replica = std::make_unique<ServerReplica>(source_id, std::move(predictor));
   if (registry_ != nullptr) replica->BindMetrics(registry_);
+  if (recovery_.enabled) replica->SetRecovery(recovery_);
+  InstallControlSender(replica.get());
   replicas_[source_id] = std::move(replica);
   if (metrics_.sources != nullptr) {
     metrics_.sources->Set(static_cast<double>(replicas_.size()));
@@ -129,6 +131,7 @@ StatusOr<BoundedAnswer> StreamServer::SourceValue(int32_t source_id) const {
   answer.value = r.Value();
   answer.bound = r.bound();
   answer.last_heard_seq = r.last_heard_seq();
+  answer.degraded = r.desynced();
   return answer;
 }
 
@@ -214,6 +217,27 @@ StatusOr<QueryResult> StreamServer::HistoricalAggregate(int32_t source_id,
   auto archive = Archive(source_id);
   if (!archive.ok()) return archive.status();
   return (*archive)->Aggregate(kind, t0, t1);
+}
+
+void StreamServer::SetRecovery(const ReplicaRecoveryConfig& config) {
+  recovery_ = config;
+  for (auto& [id, replica] : replicas_) replica->SetRecovery(recovery_);
+}
+
+bool StreamServer::IsDesynced(int32_t source_id) const {
+  auto it = replicas_.find(source_id);
+  return it != replicas_.end() && it->second->desynced();
+}
+
+void StreamServer::InstallControlSender(ServerReplica* replica) {
+  // Consults control_sink_ at send time, so the hookup survives any
+  // SetControlSink order relative to RegisterSource. A failed (or absent)
+  // downlink is swallowed: the replica's backoff simply retries.
+  replica->SetControlSender([this](const Message& msg) {
+    if (!control_sink_) return;
+    Status s = control_sink_(msg);
+    if (s.ok() && metrics_.control_out != nullptr) metrics_.control_out->Inc();
+  });
 }
 
 bool StreamServer::IsStale(int32_t source_id) const {

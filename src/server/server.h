@@ -89,6 +89,16 @@ class StreamServer : public SourceView {
   /// staleness limit.
   bool IsStale(int32_t source_id) const override;
 
+  /// Enables loss-tolerant recovery on every replica, current and future:
+  /// wire-seq gap detection, silence escalation, RESYNC_REQUEST emission
+  /// through the control sink, and bound-widening quarantine while
+  /// desynced (see ReplicaRecoveryConfig).
+  void SetRecovery(const ReplicaRecoveryConfig& config);
+  const ReplicaRecoveryConfig& recovery() const { return recovery_; }
+
+  /// True if the source's replica is quarantined pending resync.
+  bool IsDesynced(int32_t source_id) const override;
+
   /// Enables per-tick archiving of every *scalar* source's bounded view
   /// into a ring of `capacity` points (multi-dimensional sources are
   /// skipped). Costs one append per source per tick and zero
@@ -168,7 +178,11 @@ class StreamServer : public SourceView {
   /// Mirrors one query evaluation onto the arena (no-op when unbound).
   void RecordQueryOutcome(bool ok, bool stale) const;
 
+  /// Wires one replica's outbound RESYNC_REQUESTs into the control sink.
+  void InstallControlSender(ServerReplica* replica);
+
   std::map<int32_t, std::unique_ptr<ServerReplica>> replicas_;
+  ReplicaRecoveryConfig recovery_;
   QueryTable queries_;
   std::map<int32_t, TickArchive> archives_;
   ControlSink control_sink_;

@@ -26,15 +26,36 @@ LinkReport RunLinkImpl(StreamGenerator& generator, const Predictor& prototype,
 
   Channel channel(config.channel);
   ServerReplica replica(/*source_id=*/0, prototype.Clone());
-  channel.SetReceiver([&replica](const Message& msg) {
+  channel.SetReceiver([&replica, &config](const Message& msg) {
     Status s = replica.OnMessage(msg);
-    assert(s.ok());
+    // Under a lossy channel a CORRECTION can outlive its lost INIT and be
+    // rejected; the recovery protocol heals that via re-INIT, so rejects
+    // are only fatal on the lossless configuration.
+    assert(s.ok() || config.recovery.enabled);
     (void)s;
   });
 
   AgentConfig agent_config = config.agent;
   agent_config.delta = config.delta;
   SourceAgent agent(/*source_id=*/0, prototype.Clone(), agent_config, &channel);
+
+  // Control downlink: replica-emitted RESYNC_REQUESTs reach the agent
+  // through their own (possibly lossy) channel, so recovery traffic is
+  // byte-accounted and fault-injected like everything else.
+  Channel control_channel(config.control_channel);
+  control_channel.SetReceiver([&agent](const Message& msg) {
+    Status s = agent.OnControl(msg);
+    assert(s.ok());
+    (void)s;
+  });
+  if (config.recovery.enabled) {
+    replica.SetRecovery(config.recovery);
+    replica.SetControlSender([&control_channel](const Message& msg) {
+      // A failed request is just a lost request; backoff retries it.
+      Status s = control_channel.Send(msg);
+      (void)s;
+    });
+  }
 
   std::optional<BudgetController> budget;
   if (config.budget.has_value()) budget.emplace(*config.budget);
@@ -56,9 +77,11 @@ LinkReport RunLinkImpl(StreamGenerator& generator, const Predictor& prototype,
     // paper's lockstep protocol.
     replica.Tick();
     channel.AdvanceTick();
+    control_channel.AdvanceTick();
     Status s = agent.Offer(sample.measured);
     assert(s.ok());
     (void)s;
+    if (replica.desynced()) ++report.degraded_ticks;
 
     double in_force_delta = agent.delta();
     if (replica.initialized()) {
@@ -92,6 +115,10 @@ LinkReport RunLinkImpl(StreamGenerator& generator, const Predictor& prototype,
 
   report.agent = agent.stats();
   report.net = channel.stats();
+  report.control_net = control_channel.stats();
+  report.gaps = replica.gaps();
+  report.resyncs_requested = replica.resyncs_requested();
+  report.resyncs_served = agent.stats().resyncs_served;
   report.messages = channel.stats().messages_sent - agent.stats().heartbeats;
   report.bytes = channel.stats().bytes_sent;
   report.messages_per_tick =
@@ -110,6 +137,10 @@ std::string LinkReport::ToString() const {
      << StrFormat("%.4g", err_vs_target.mean())
      << " max=" << StrFormat("%.4g", err_vs_target.max())
      << ", violations=" << contract_violations;
+  if (gaps > 0 || resyncs_requested > 0) {
+    os << ", gaps=" << gaps << " resyncs=" << resyncs_requested << "/"
+       << resyncs_served << " degraded_ticks=" << degraded_ticks;
+  }
   return os.str();
 }
 
@@ -136,6 +167,7 @@ Fleet::Fleet(Config config) : config_(config) {
     }
     return sources_[idx]->control_channel->Send(msg);
   });
+  if (config_.recovery.enabled) server_.SetRecovery(config_.recovery);
 }
 
 int32_t Fleet::AddSource(std::unique_ptr<StreamGenerator> generator,
@@ -150,9 +182,12 @@ int32_t Fleet::AddSource(std::unique_ptr<StreamGenerator> generator,
   channel_config.seed = SourceUplinkSeed(config_.seed, id);
   slot->channel = std::make_unique<Channel>(channel_config);
   StreamServer* server = &server_;
-  slot->channel->SetReceiver([server](const Message& msg) {
+  const bool recovering = config_.recovery.enabled;
+  slot->channel->SetReceiver([server, recovering](const Message& msg) {
     Status s = server->OnMessage(msg);
-    assert(s.ok());
+    // With recovery on, a CORRECTION outliving its lost INIT is rejected
+    // here and healed later by re-INIT — not a programming error.
+    assert(s.ok() || recovering);
     (void)s;
   });
 
@@ -165,8 +200,8 @@ int32_t Fleet::AddSource(std::unique_ptr<StreamGenerator> generator,
   slot->agent = std::make_unique<SourceAgent>(id, std::move(predictor),
                                               agent_config, slot->channel.get());
 
-  // Downlink for server-pushed bound changes.
-  Channel::Config control_config;
+  // Downlink for server-pushed bound changes and resync requests.
+  Channel::Config control_config = config_.control_channel;
   control_config.seed = SourceControlSeed(config_.seed, id);
   slot->control_channel = std::make_unique<Channel>(control_config);
   SourceAgent* agent = slot->agent.get();
@@ -184,6 +219,7 @@ Status Fleet::Step() {
   server_.Tick();
   for (auto& slot : sources_) {
     slot->channel->AdvanceTick();
+    slot->control_channel->AdvanceTick();
     slot->last_sample = slot->generator->Next();
     KC_RETURN_IF_ERROR(slot->agent->Offer(slot->last_sample.measured));
   }

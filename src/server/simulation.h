@@ -24,6 +24,13 @@ struct LinkConfig {
   uint64_t seed = 1;
   AgentConfig agent;
   Channel::Config channel;
+  /// Server -> source control downlink (RESYNC_REQUESTs travel here; the
+  /// agent's answers ride the uplink). Lossy/faulty configs are honoured
+  /// just like the uplink's.
+  Channel::Config control_channel;
+  /// Loss-tolerant replica recovery (disabled by default: the lossless
+  /// lockstep protocol, exactly as before).
+  ReplicaRecoveryConfig recovery;
   /// When set, run in resource-constrained mode: the controller steers
   /// delta to hit the message budget instead of holding it fixed.
   std::optional<BudgetConfig> budget;
@@ -53,6 +60,13 @@ struct LinkReport {
 
   AgentStats agent;
   NetworkStats net;
+  /// Control-downlink traffic (RESYNC_REQUESTs; empty when recovery off).
+  NetworkStats control_net;
+  /// Recovery-protocol activity (all zero when recovery is disabled).
+  int64_t gaps = 0;               ///< Wire-seq gap events at the replica.
+  int64_t resyncs_requested = 0;  ///< RESYNC_REQUESTs the replica emitted.
+  int64_t resyncs_served = 0;     ///< Resyncs the agent answered.
+  int64_t degraded_ticks = 0;     ///< Ticks spent desynced (quarantined).
   /// delta in force at the end (differs from `delta` in budget mode).
   double final_delta = 0.0;
 
@@ -112,6 +126,10 @@ class Fleet {
     uint64_t seed = 1;
     AgentConfig agent_base;  ///< delta is overridden per source.
     Channel::Config channel;
+    /// Server -> source downlink; the seed is overridden per source.
+    Channel::Config control_channel;
+    /// Loss-tolerant replica recovery, applied server-wide when enabled.
+    ReplicaRecoveryConfig recovery;
   };
 
   Fleet();

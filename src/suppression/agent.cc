@@ -42,6 +42,7 @@ void SourceAgent::BindMetrics(obs::MetricRegistry* registry) {
   metrics_.corrections = registry->GetCounter("kc.agent.corrections");
   metrics_.full_syncs = registry->GetCounter("kc.agent.full_syncs");
   metrics_.heartbeats = registry->GetCounter("kc.agent.heartbeats");
+  metrics_.resyncs_served = registry->GetCounter("kc.agent.resyncs_served");
   // Innovation magnitudes span noise-floor jitter to mode-change jumps;
   // geometric buckets cover that range with constant relative resolution.
   metrics_.innovation = registry->GetHistogram(
@@ -67,6 +68,23 @@ Status SourceAgent::Offer(const Reading& measured) {
     KC_RETURN_IF_ERROR(SendInit(measured));
     predictor_->Init(measured);
     initialized_ = true;
+    // INIT anchors the replica completely; any queued resync is moot.
+    resync_pending_ = false;
+    reinit_pending_ = false;
+    return Status::Ok();
+  }
+
+  if (reinit_pending_) {
+    // The replica reported it never saw INIT (lost on the wire): restart
+    // both predictors from this measurement so the pair re-enters
+    // lockstep from a shared anchor.
+    reinit_pending_ = false;
+    resync_pending_ = false;
+    KC_RETURN_IF_ERROR(SendInit(measured));
+    predictor_->Init(measured);
+    ++stats_.resyncs_served;
+    if (metrics_.resyncs_served != nullptr) metrics_.resyncs_served->Inc();
+    silent_ticks_ = 0;
     return Status::Ok();
   }
 
@@ -76,6 +94,12 @@ Status SourceAgent::Offer(const Reading& measured) {
   if (metrics_.decisions != nullptr) {
     metrics_.decisions->Inc();
     metrics_.innovation->Record(err);
+  }
+  if (resync_pending_) {
+    resync_pending_ = false;
+    KC_RETURN_IF_ERROR(ServeResync(measured));
+    silent_ticks_ = 0;
+    return Status::Ok();
   }
   if (err > config_.delta) {
     bool full = config_.always_full_state ||
@@ -97,6 +121,7 @@ Status SourceAgent::Offer(const Reading& measured) {
     hb.type = MessageType::kHeartbeat;
     hb.seq = measured.seq;
     hb.time = measured.time;
+    hb.wire_seq = next_wire_seq_++;
     KC_RETURN_IF_ERROR(channel_->Send(hb));
     ++stats_.heartbeats;
     if (metrics_.heartbeats != nullptr) metrics_.heartbeats->Inc();
@@ -117,6 +142,16 @@ Status SourceAgent::OnControl(const Message& msg) {
       config_.delta = msg.payload[0];
       return Status::Ok();
     }
+    case MessageType::kResyncRequest: {
+      // payload[0] == 0.0 means the replica never saw INIT (it was lost);
+      // only a fresh INIT can help it. Anything else gets a FULL_SYNC.
+      if (!msg.payload.empty() && msg.payload[0] == 0.0) {
+        reinit_pending_ = true;
+      } else {
+        resync_pending_ = true;
+      }
+      return Status::Ok();
+    }
     default:
       return Status::InvalidArgument("unexpected control message type");
   }
@@ -132,7 +167,20 @@ Status SourceAgent::SendInit(const Reading& measured) {
   msg.payload.push_back(config_.delta);
   msg.payload.insert(msg.payload.end(), measured.value.data().begin(),
                      measured.value.data().end());
+  msg.wire_seq = next_wire_seq_++;
   return channel_->Send(msg);
+}
+
+Status SourceAgent::ServeResync(const Reading& measured) {
+  // Probe full-state support *before* SendCorrection: the full-sync path
+  // folds the measurement into the predictor before it would discover the
+  // encoding is unsupported, and a fallback retry would then apply the
+  // correction twice.
+  bool full = !predictor_->EncodeFullState().empty();
+  KC_RETURN_IF_ERROR(SendCorrection(measured, full));
+  ++stats_.resyncs_served;
+  if (metrics_.resyncs_served != nullptr) metrics_.resyncs_served->Inc();
+  return Status::Ok();
 }
 
 Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
@@ -153,6 +201,7 @@ Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
     }
     msg.type = MessageType::kFullSync;
     msg.payload.insert(msg.payload.end(), state.begin(), state.end());
+    msg.wire_seq = next_wire_seq_++;
     KC_RETURN_IF_ERROR(channel_->Send(msg));
     ++stats_.full_syncs;
     if (metrics_.full_syncs != nullptr) metrics_.full_syncs->Inc();
@@ -165,6 +214,7 @@ Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
   // Apply locally exactly as the server will; replicas stay in lockstep.
   KC_RETURN_IF_ERROR(
       predictor_->ApplyCorrection(measured.seq, measured.time, correction));
+  msg.wire_seq = next_wire_seq_++;
   KC_RETURN_IF_ERROR(channel_->Send(msg));
   ++stats_.corrections;
   if (metrics_.corrections != nullptr) metrics_.corrections->Inc();

@@ -31,6 +31,10 @@ struct AgentStats {
   int64_t full_syncs = 0;
   int64_t heartbeats = 0;
   int64_t suppressed = 0;
+  /// Replica-requested resyncs answered (with a FULL_SYNC, or a fresh
+  /// INIT when the replica never saw one). Each is also counted in
+  /// full_syncs / corrections as appropriate.
+  int64_t resyncs_served = 0;
 
   /// Fraction of post-init ticks that required no correction.
   double SuppressionRatio() const {
@@ -57,9 +61,12 @@ class SourceAgent {
   /// emit at most one CORRECTION/FULL_SYNC (or HEARTBEAT).
   Status Offer(const Reading& measured);
 
-  /// Applies a server-originated control message (e.g. SET_BOUND from a
-  /// budget reallocation). The new bound takes effect from the next
-  /// Offer; the server learns it back with the next data message.
+  /// Applies a server-originated control message: SET_BOUND (budget
+  /// reallocation; the new bound takes effect from the next Offer and the
+  /// server learns it back with the next data message) or RESYNC_REQUEST
+  /// (the replica suspects desync; the next Offer answers with a
+  /// FULL_SYNC, or a fresh INIT if the replica reported itself
+  /// uninitialized).
   Status OnControl(const Message& msg);
 
   /// Current precision bound.
@@ -97,11 +104,15 @@ class SourceAgent {
     obs::Counter* corrections = nullptr;
     obs::Counter* full_syncs = nullptr;
     obs::Counter* heartbeats = nullptr;
+    obs::Counter* resyncs_served = nullptr;
     obs::Histogram* innovation = nullptr;
   };
 
   Status SendInit(const Reading& measured);
   Status SendCorrection(const Reading& measured, bool full_state);
+  /// Answers a pending RESYNC_REQUEST with the strongest sync the
+  /// predictor supports (FULL_SYNC, else a forced CORRECTION).
+  Status ServeResync(const Reading& measured);
 
   int32_t source_id_;
   std::unique_ptr<Predictor> predictor_;
@@ -111,6 +122,12 @@ class SourceAgent {
   Metrics metrics_;
   bool initialized_ = false;
   int64_t silent_ticks_ = 0;
+  /// Dense per-link message counter stamped on every uplink send; the
+  /// replica detects losses as gaps in this sequence.
+  int64_t next_wire_seq_ = 0;
+  /// Set by OnControl(RESYNC_REQUEST); served at the next Offer.
+  bool resync_pending_ = false;
+  bool reinit_pending_ = false;
 };
 
 }  // namespace kc

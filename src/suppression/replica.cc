@@ -1,5 +1,6 @@
 #include "suppression/replica.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.h"
@@ -12,10 +13,63 @@ ServerReplica::ServerReplica(int32_t source_id,
   assert(predictor_ != nullptr);
 }
 
+void ServerReplica::SetRecovery(const ReplicaRecoveryConfig& config) {
+  recovery_ = config;
+  recovery_.max_gap_events = std::max<int64_t>(recovery_.max_gap_events, 1);
+  recovery_.backoff_initial_ticks =
+      std::max<int64_t>(recovery_.backoff_initial_ticks, 1);
+  recovery_.backoff_max_ticks = std::max<int64_t>(
+      recovery_.backoff_max_ticks, recovery_.backoff_initial_ticks);
+  recovery_.quarantine_bound_factor =
+      std::max(recovery_.quarantine_bound_factor, 1.0);
+  backoff_ = recovery_.backoff_initial_ticks;
+}
+
 void ServerReplica::Tick() {
-  if (!initialized_) return;
-  predictor_->Tick();
-  ++ticks_;
+  ++lifetime_ticks_;
+  if (initialized_) {
+    predictor_->Tick();
+    ++ticks_;
+  }
+  if (!recovery_.enabled) return;
+  if (!desynced_ && recovery_.suspect_after_silent_ticks > 0 &&
+      lifetime_ticks_ - lifetime_tick_at_heard_ >
+          recovery_.suspect_after_silent_ticks) {
+    MarkDesynced();
+  }
+  if (desynced_ && lifetime_ticks_ >= next_resync_tick_) {
+    SendResyncRequest();
+  }
+}
+
+void ServerReplica::MarkDesynced() {
+  if (desynced_) return;
+  desynced_ = true;
+  backoff_ = recovery_.backoff_initial_ticks;
+  // Ask on the replica's next Tick (requests always flow from the tick
+  // path, never from mid-delivery, which keeps control traffic ordered
+  // deterministically within the tick).
+  next_resync_tick_ = lifetime_ticks_;
+}
+
+void ServerReplica::ClearDesync() {
+  desynced_ = false;
+  gap_events_since_sync_ = 0;
+  backoff_ = recovery_.backoff_initial_ticks;
+}
+
+void ServerReplica::SendResyncRequest() {
+  Message req;
+  req.source_id = source_id_;
+  req.type = MessageType::kResyncRequest;
+  req.seq = last_heard_seq_;
+  req.time = static_cast<double>(lifetime_ticks_);
+  req.payload = {initialized_ ? 1.0 : 0.0};
+  if (control_sender_) control_sender_(req);
+  ++resyncs_requested_;
+  if (metrics_.resyncs_requested != nullptr) metrics_.resyncs_requested->Inc();
+  next_resync_tick_ = lifetime_ticks_ + backoff_;
+  backoff_ = std::min(backoff_ * 2, recovery_.backoff_max_ticks);
 }
 
 void ServerReplica::BindMetrics(obs::MetricRegistry* registry) {
@@ -27,6 +81,9 @@ void ServerReplica::BindMetrics(obs::MetricRegistry* registry) {
   metrics_.applied = registry->GetCounter("kc.replica.messages_applied");
   metrics_.ignored = registry->GetCounter("kc.replica.messages_ignored");
   metrics_.full_syncs = registry->GetCounter("kc.replica.full_syncs");
+  metrics_.gaps = registry->GetCounter("kc.replica.gaps");
+  metrics_.resyncs_requested =
+      registry->GetCounter("kc.replica.resyncs_requested");
   predictor_->BindMetrics(registry);
 }
 
@@ -34,13 +91,35 @@ Status ServerReplica::OnMessage(const Message& msg) {
   if (msg.source_id != source_id_) {
     return Status::InvalidArgument("message routed to wrong replica");
   }
-  // Sequencing guard: a delayed duplicate or reordered datagram must not
-  // roll the replica backwards.
+  // Any correctly-routed message proves the link is alive, even one the
+  // sequencing guard is about to discard (recovery escalation only).
+  lifetime_tick_at_heard_ = lifetime_ticks_;
+  // Sequencing guard: a duplicate or reordered datagram must not roll the
+  // replica backwards — nor be applied twice. An exact duplicate
+  // (seq == last_heard_seq_) used to slip through on `<` and re-apply a
+  // CORRECTION, double-updating the filter.
   if (initialized_ && msg.type != MessageType::kInit &&
-      msg.seq < last_heard_seq_) {
+      msg.seq <= last_heard_seq_) {
     ++messages_ignored_;
     if (metrics_.ignored != nullptr) metrics_.ignored->Inc();
     return Status::Ok();
+  }
+  // Wire-sequence gap detection: wire_seq is dense over the agent's sends,
+  // so a skip means an uplink message was lost (or is straggling behind a
+  // reordering window — a resync is safe either way).
+  if (recovery_.enabled && msg.type != MessageType::kInit &&
+      last_wire_seq_ >= 0 && msg.wire_seq > last_wire_seq_ + 1) {
+    ++gaps_;
+    ++gap_events_since_sync_;
+    if (metrics_.gaps != nullptr) metrics_.gaps->Inc();
+    if (gap_events_since_sync_ >= recovery_.max_gap_events) MarkDesynced();
+  }
+  // Non-INIT traffic before any INIT means the INIT itself was lost; no
+  // wire-seq baseline exists yet, so gap detection can't see it. Only a
+  // fresh INIT helps — the resync request advertises uninitialized state
+  // and the agent answers with one.
+  if (recovery_.enabled && !initialized_ && msg.type != MessageType::kInit) {
+    MarkDesynced();
   }
   switch (msg.type) {
     case MessageType::kInit: {
@@ -58,6 +137,7 @@ Status ServerReplica::OnMessage(const Message& msg) {
       }
       predictor_->Init(first);
       initialized_ = true;
+      ClearDesync();  // A (re-)INIT anchors the replica completely.
       break;
     }
     case MessageType::kCorrection: {
@@ -83,16 +163,19 @@ Status ServerReplica::OnMessage(const Message& msg) {
       std::vector<double> body(msg.payload.begin() + 1, msg.payload.end());
       KC_RETURN_IF_ERROR(predictor_->ApplyFullState(body));
       if (metrics_.full_syncs != nullptr) metrics_.full_syncs->Inc();
+      ClearDesync();  // Complete state received: quarantine lifts.
       break;
     }
     case MessageType::kHeartbeat:
       break;  // Liveness only.
     case MessageType::kSetBound:
-      // Downlink-only control; a replica must never receive it.
-      return Status::InvalidArgument("SET_BOUND is not an uplink message");
+    case MessageType::kResyncRequest:
+      // Downlink-only control; a replica must never receive these.
+      return Status::InvalidArgument("control message is not an uplink message");
   }
   last_heard_seq_ = msg.seq;
   last_heard_time_ = msg.time;
+  last_wire_seq_ = std::max(last_wire_seq_, msg.wire_seq);
   tick_at_last_heard_ = ticks_;
   ++messages_applied_;
   if (metrics_.applied != nullptr) metrics_.applied->Inc();
