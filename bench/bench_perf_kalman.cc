@@ -10,7 +10,9 @@
 
 #include "common/rng.h"
 #include "kalman/adaptive.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "kalman/ekf.h"
 #include "kalman/imm.h"
@@ -96,6 +98,48 @@ void BM_PredictUpdateInstrumented(benchmark::State& state) {
   state.SetLabel(model.name);
 }
 BENCHMARK(BM_PredictUpdateInstrumented)->DenseRange(0, 5);
+
+/// BM_PredictUpdateInstrumented plus this PR's flight-recorder and
+/// watchdog feeds: one ring-slot Record and the three SourceHealth
+/// On*() calls per decision. The delta against BM_PredictUpdate is the
+/// full black-box tax; run_benches.sh writes it into BENCH_perf.json as
+/// `recorder_overhead`.
+void BM_PredictUpdateRecorded(benchmark::State& state) {
+  kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));
+  size_t n = model.state_dim();
+  size_t m = model.obs_dim();
+  kc::KalmanFilter kf(model, kc::Vector(n), kc::Matrix::ScalarDiagonal(n, 1.0));
+  kc::Rng rng(1);
+  constexpr size_t kSteps = 1024;
+  std::vector<double> zs(kSteps * m);
+  for (double& v : zs) v = rng.Gaussian();
+  kc::obs::MetricRegistry registry;
+  kc::obs::FlightRecorder recorder(kc::obs::FlightRecorder::kDefaultCapacity);
+  kc::obs::HealthMonitor health;
+  recorder.BindMetrics(&registry);
+  health.BindMetrics(&registry);
+  health.BindRecorder(&recorder);
+  kc::obs::SourceRecorder* ring = recorder.ForSource(0);
+  kc::obs::SourceHealth* entry = health.ForSource(0, m);
+  kc::Vector z(m);
+  size_t step = 0;
+  int64_t tick = 0;
+  for (auto _ : state) {
+    KC_TRACE_SCOPE("bench.predict_update");
+    const double* src = zs.data() + (step & (kSteps - 1)) * m;
+    for (size_t d = 0; d < m; ++d) z[d] = src[d];
+    ++step;
+    kf.Predict();
+    benchmark::DoNotOptimize(kf.Update(z).ok());
+    ++tick;
+    ring->Record(tick, kc::obs::RecorderEventKind::kSuppress, tick, z[0]);
+    entry->OnTick();
+    entry->OnNis(static_cast<double>(m));  // In-band: no transition churn.
+    entry->OnDecision(/*suppressed=*/true);
+  }
+  state.SetLabel(model.name);
+}
+BENCHMARK(BM_PredictUpdateRecorded)->DenseRange(0, 5);
 
 void BM_PredictOnly(benchmark::State& state) {
   kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));

@@ -24,6 +24,17 @@
 // e.g. --faults=burst=0.03:0.25:1.0,dup=0.05
 // Faults stay deterministic per (seed, sensor), so the simulated numbers
 // are still identical for every --threads value.
+//
+// Observability extras (all deterministic for any --threads):
+//   --flight-recorder[=N]  per-sensor black-box ring of N protocol events
+//                          (default 128); sensors that end the run in a
+//                          non-OK health state get their ring dumped.
+//   --health               filter-health watchdog; prints the per-sensor
+//                          verdict table after the run.
+//   --trace-export=FILE    record trace spans and write a Chrome-trace /
+//                          Perfetto JSON file (load via chrome://tracing
+//                          or https://ui.perfetto.dev). Causal flow ids
+//                          stitch each agent send to its replica apply.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +46,9 @@
 #include "common/rng.h"
 #include "fleet/sharded_fleet.h"
 #include "obs/export.h"
+#include "obs/health.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "server/allocation.h"
 #include "streams/generators.h"
@@ -103,6 +117,9 @@ int main(int argc, char** argv) {
 
   kc::ShardedFleet::Config fleet_config;
   bool metrics_dump = false;
+  size_t flight_recorder_capacity = 0;
+  bool health_enabled = false;
+  const char* trace_file = nullptr;
   kc::obs::ExportOptions dump_options;
   dump_options.include_wall_clock = false;
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +138,16 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       if (!ParseFaults(argv[i] + 9, &fleet_config)) return 1;
+    } else if (std::strncmp(argv[i], "--flight-recorder", 17) == 0) {
+      flight_recorder_capacity = kc::obs::FlightRecorder::kDefaultCapacity;
+      if (argv[i][17] == '=') {
+        long v = std::atol(argv[i] + 18);
+        if (v > 0) flight_recorder_capacity = static_cast<size_t>(v);
+      }
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health_enabled = true;
+    } else if (std::strncmp(argv[i], "--trace-export=", 15) == 0) {
+      trace_file = argv[i] + 15;
     }
   }
   const bool faulty = fleet_config.channel.faults.any_enabled() ||
@@ -135,6 +162,11 @@ int main(int argc, char** argv) {
   }
   kc::ShardedFleet fleet(fleet_config);
   if (metrics_dump) fleet.EnableMetrics();
+  if (flight_recorder_capacity > 0) {
+    fleet.EnableFlightRecorder(flight_recorder_capacity);
+  }
+  if (health_enabled) fleet.EnableHealth();
+  if (trace_file != nullptr) kc::obs::SetTracingEnabled(true);
   kc::Rng rng(2026);
 
   // Every sensor runs the adaptive dual-Kalman predictor. The AVG query's
@@ -241,11 +273,51 @@ int main(int argc, char** argv) {
                 static_cast<long long>(fleet.TotalControlMessages()));
   }
 
+  if (health_enabled) {
+    int suspect = 0;
+    int diverged = 0;
+    for (int i = 0; i < kSensors; ++i) {
+      kc::obs::HealthState s = fleet.HealthOf(i);
+      if (s == kc::obs::HealthState::kSuspect) ++suspect;
+      if (s == kc::obs::HealthState::kDiverged) ++diverged;
+    }
+    std::printf("\n-- filter health: %d OK, %d SUSPECT, %d DIVERGED --\n%s",
+                kSensors - suspect - diverged, suspect, diverged,
+                fleet.HealthSummaryText().c_str());
+    if (flight_recorder_capacity > 0 && suspect + diverged > 0) {
+      // The black box earns its keep: dump the ring of every sensor the
+      // watchdog flagged, so the operator sees the decisions that led
+      // there without re-running anything.
+      std::printf("\n-- black boxes of flagged sensors --\n");
+      for (int32_t i = 0; i < kSensors; ++i) {
+        if (fleet.HealthOf(i) == kc::obs::HealthState::kOk) continue;
+        const kc::obs::FlightRecorder* recorder =
+            fleet.server().shard_recorder(fleet.server().ShardOf(i));
+        std::printf("%s", recorder->DumpText(i).c_str());
+      }
+    }
+  }
+
   if (metrics_dump) {
     kc::obs::MetricRegistry merged;
     fleet.MergeMetricsInto(&merged);
     std::printf("\n-- metrics --\n%s",
                 kc::obs::ExportMetrics(merged, dump_options).c_str());
+  }
+
+  if (trace_file != nullptr) {
+    std::vector<kc::obs::TraceEvent> events = kc::obs::CollectTraceEvents();
+    std::string json = kc::obs::ExportChromeTrace(events);
+    FILE* f = std::fopen(trace_file, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\ntrace: %zu spans -> %s (chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                events.size(), trace_file);
   }
   return 0;
 }

@@ -22,7 +22,7 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test sharded_fleet_test recovery_test metrics_test \
-  trace_span_test
+  recorder_test health_test trace_span_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/thread_pool_test
@@ -34,6 +34,11 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # ConcurrentReadsAreTornFree races a reader against the writer; the fleet
 # tests above already exercise per-shard arenas under threads.
 "$BUILD_DIR"/tests/metrics_test
+# Flight-recorder rings and watchdog entries follow the same single-writer
+# arena rule; the sharded observability test above runs them under 4
+# worker threads, these cover the cold-path registration locking.
+"$BUILD_DIR"/tests/recorder_test
+"$BUILD_DIR"/tests/health_test
 "$BUILD_DIR"/tests/trace_span_test
 
 echo "ci_tsan: OK (no data races reported)"

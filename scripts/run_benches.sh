@@ -53,6 +53,7 @@ for name in ("bench_perf_kalman", "bench_perf_linalg", "bench_perf_server"):
 # the medians, which shrug off transient machine-noise spikes.
 plain = {}
 instrumented = {}
+recorded = {}
 for bench in merged["benchmarks"]:
     is_median = bench.get("aggregate_name") == "median"
     if not is_median and bench.get("run_type") != "iteration":
@@ -60,6 +61,8 @@ for bench in merged["benchmarks"]:
     run = bench.get("run_name", bench.get("name", ""))
     if run.startswith("BM_PredictUpdateInstrumented/"):
         table = instrumented
+    elif run.startswith("BM_PredictUpdateRecorded/"):
+        table = recorded
     elif run.startswith("BM_PredictUpdate/"):
         table = plain
     else:
@@ -78,6 +81,19 @@ for key in sorted(plain.keys() & instrumented.keys()):
         "overhead_pct": round(100.0 * (inst - base) / base, 2),
     })
 merged["observability_overhead"] = overhead
+# Flight-recorder tax: the fully instrumented path (metrics + one ring
+# Record + the three watchdog feeds) vs the bare filter step.
+recorder_overhead = []
+for key in sorted(plain.keys() & recorded.keys()):
+    base = plain[key]["real_time"]
+    rec = recorded[key]["real_time"]
+    recorder_overhead.append({
+        "model": plain[key].get("label", key),
+        "base_ns": round(base, 2),
+        "recorded_ns": round(rec, 2),
+        "overhead_pct": round(100.0 * (rec - base) / base, 2),
+    })
+merged["recorder_overhead"] = recorder_overhead
 # Recovery-protocol loss sweep: BM_LossSweepRecovery runs a fixed-seed
 # faulty link per bad-state fraction and reports its healing counters.
 # Fully deterministic, so any diff here is a protocol change.
@@ -107,6 +123,9 @@ for row in loss_sweep:
 for row in overhead:
     print(f"  obs overhead {row['model']}: {row['base_ns']} -> "
           f"{row['instrumented_ns']} ns ({row['overhead_pct']:+.2f}%)")
+for row in recorder_overhead:
+    print(f"  recorder overhead {row['model']}: {row['base_ns']} -> "
+          f"{row['recorded_ns']} ns ({row['overhead_pct']:+.2f}%)")
 EOF
 
 echo "run_benches: OK"

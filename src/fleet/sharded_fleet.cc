@@ -84,6 +84,7 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
   });
 
   if (server_.metrics_enabled()) BindSlotMetrics(slot.get(), shard_index);
+  BindSlotObservability(slot.get(), shard_index);
 
   by_id_.push_back(slot.get());
   shards_[shard_index].sources.push_back(std::move(slot));
@@ -95,6 +96,37 @@ void ShardedFleet::BindSlotMetrics(SourceSlot* slot, size_t shard_index) {
   slot->channel->BindMetrics(arena);
   slot->control_channel->BindMetrics(arena);
   slot->agent->BindMetrics(arena);
+}
+
+void ShardedFleet::BindSlotObservability(SourceSlot* slot,
+                                         size_t shard_index) {
+  obs::FlightRecorder* recorder = server_.shard_recorder(shard_index);
+  obs::HealthMonitor* health = server_.shard_health(shard_index);
+  if (recorder == nullptr && health == nullptr) return;
+  // Agent and replica share the same per-source ring and watchdog entry:
+  // the source lives on exactly one shard, and that shard's worker is the
+  // single writer for both ends within a tick.
+  slot->agent->BindObservability(
+      recorder == nullptr ? nullptr : recorder->ForSource(slot->id),
+      health == nullptr
+          ? nullptr
+          : health->ForSource(slot->id, slot->agent->predictor().dims()));
+}
+
+void ShardedFleet::EnableFlightRecorder(size_t capacity_per_source) {
+  if (server_.flight_recorder_enabled()) return;
+  server_.EnableFlightRecorder(capacity_per_source);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (auto& slot : shards_[s].sources) BindSlotObservability(slot.get(), s);
+  }
+}
+
+void ShardedFleet::EnableHealth(const obs::HealthConfig& config) {
+  if (server_.health_enabled()) return;
+  server_.EnableHealth(config);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (auto& slot : shards_[s].sources) BindSlotObservability(slot.get(), s);
+  }
 }
 
 void ShardedFleet::EnableMetrics() {

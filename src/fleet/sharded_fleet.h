@@ -124,6 +124,30 @@ class ShardedFleet {
     server_.MergeMetricsInto(out);
   }
 
+  /// Turns on per-shard flight recorders (capacity events per source) and
+  /// binds every source's agent AND replica to its shard's per-source
+  /// ring — both ends of the protocol share one black box. Idempotent;
+  /// covers sources added later.
+  void EnableFlightRecorder(
+      size_t capacity_per_source = obs::FlightRecorder::kDefaultCapacity);
+  bool flight_recorder_enabled() const {
+    return server_.flight_recorder_enabled();
+  }
+
+  /// Turns on the per-shard filter-health watchdogs and feeds them from
+  /// every agent (ticks, NIS, decisions) and replica (resync requests).
+  /// Idempotent; covers sources added later.
+  void EnableHealth(const obs::HealthConfig& config = {});
+  bool health_enabled() const { return server_.health_enabled(); }
+
+  /// Fleet-wide deterministic dumps (empty when the facility is off);
+  /// driver thread, after the barrier. Forwarded from ShardedServer.
+  std::string DumpFlightRecorderText() const {
+    return server_.DumpFlightRecorderText();
+  }
+  std::string HealthSummaryText() const { return server_.HealthSummaryText(); }
+  obs::HealthState HealthOf(int32_t id) const { return server_.HealthOf(id); }
+
   /// Installs a periodic telemetry report: after the barrier of every
   /// `every_n_ticks`-th Step, the merged metrics are exported and handed
   /// to `sink` on the driver thread. Wall-clock metrics are included only
@@ -156,6 +180,9 @@ class ShardedFleet {
   void StepShard(size_t index);
   /// Binds one slot's channels and agent to its shard's arena.
   void BindSlotMetrics(SourceSlot* slot, size_t shard_index);
+  /// Binds one slot's agent to its shard's recorder ring / watchdog entry
+  /// (whichever facilities are enabled).
+  void BindSlotObservability(SourceSlot* slot, size_t shard_index);
 
   Config config_;
   ShardedServer server_;

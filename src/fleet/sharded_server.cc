@@ -130,11 +130,89 @@ void ShardedServer::EnableMetrics() {
   for (size_t i = 0; i < shards_.size(); ++i) {
     shard_metrics_.push_back(std::make_unique<obs::MetricRegistry>());
     shards_[i]->BindMetrics(shard_metrics_[i].get());
+    // Recorder/watchdog enabled first: late-bind them to the new arenas.
+    if (!shard_recorders_.empty()) {
+      shard_recorders_[i]->BindMetrics(shard_metrics_[i].get());
+    }
+    if (!shard_health_.empty()) {
+      shard_health_[i]->BindMetrics(shard_metrics_[i].get());
+    }
   }
   driver_metrics_ = std::make_unique<obs::MetricRegistry>();
   queries_served_ = driver_metrics_->GetCounter("kc.fleet.queries_served");
   queries_failed_ = driver_metrics_->GetCounter("kc.fleet.queries_failed");
   queries_stale_ = driver_metrics_->GetCounter("kc.fleet.queries_stale");
+}
+
+void ShardedServer::EnableFlightRecorder(size_t capacity_per_source) {
+  if (flight_recorder_enabled()) return;
+  shard_recorders_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_recorders_.push_back(
+        std::make_unique<obs::FlightRecorder>(capacity_per_source));
+    if (!shard_metrics_.empty()) {
+      shard_recorders_[i]->BindMetrics(shard_metrics_[i].get());
+    }
+    if (!shard_health_.empty()) {
+      shard_health_[i]->BindRecorder(shard_recorders_[i].get());
+    }
+    shards_[i]->BindFlightRecorder(shard_recorders_[i].get());
+  }
+}
+
+void ShardedServer::EnableHealth(const obs::HealthConfig& config) {
+  if (health_enabled()) return;
+  shard_health_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_health_.push_back(std::make_unique<obs::HealthMonitor>(config));
+    if (!shard_metrics_.empty()) {
+      shard_health_[i]->BindMetrics(shard_metrics_[i].get());
+    }
+    if (!shard_recorders_.empty()) {
+      shard_health_[i]->BindRecorder(shard_recorders_[i].get());
+    }
+    shards_[i]->BindHealth(shard_health_[i].get());
+  }
+}
+
+obs::HealthState ShardedServer::HealthOf(int32_t source_id) const {
+  if (shard_health_.empty()) return obs::HealthState::kOk;
+  return shard_health_[ShardOf(source_id)]->StateOf(source_id);
+}
+
+std::string ShardedServer::DumpFlightRecorderText() const {
+  if (shard_recorders_.empty()) return std::string();
+  // A source lives on exactly one shard, so walking the merged sorted id
+  // list gives the same dump for any worker-thread count.
+  std::string out;
+  for (int32_t id : SourceIds()) {
+    out += shard_recorders_[ShardOf(id)]->DumpText(id);
+  }
+  return out;
+}
+
+std::string ShardedServer::DumpFlightRecorderJson() const {
+  if (shard_recorders_.empty()) return "[]";
+  std::string out = "[";
+  bool first = true;
+  for (int32_t id : SourceIds()) {
+    if (shard_recorders_[ShardOf(id)]->Find(id) == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += shard_recorders_[ShardOf(id)]->DumpJson(id);
+  }
+  out += "]";
+  return out;
+}
+
+std::string ShardedServer::HealthSummaryText() const {
+  if (shard_health_.empty()) return std::string();
+  // Same global ascending-id walk as the recorder dump.
+  std::string out;
+  for (int32_t id : SourceIds()) {
+    out += shard_health_[ShardOf(id)]->SummaryLine(id);
+  }
+  return out;
 }
 
 void ShardedServer::MergeMetricsInto(obs::MetricRegistry* out) const {

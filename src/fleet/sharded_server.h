@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "server/server.h"
 
 namespace kc {
@@ -142,6 +144,39 @@ class ShardedServer : public SourceView {
   /// for any worker-thread count.
   void MergeMetricsInto(obs::MetricRegistry* out) const;
 
+  // --- Per-shard flight recorder & health watchdog ---
+
+  /// Creates one flight recorder per shard (capacity events per source)
+  /// and binds each shard's replicas — and the fleet's agents, via
+  /// shard_recorder() — to their shard's recorder. A source lives on
+  /// exactly one shard, so every dump walks sources in ascending-id order
+  /// and is bit-identical for any worker-thread count. Idempotent.
+  void EnableFlightRecorder(size_t capacity_per_source);
+  bool flight_recorder_enabled() const { return !shard_recorders_.empty(); }
+
+  /// Creates one health watchdog per shard, binds each to its shard's
+  /// metric arena (when metrics are enabled, in either order) and
+  /// recorder (likewise), and attaches each shard's replicas. Idempotent.
+  void EnableHealth(const obs::HealthConfig& config = {});
+  bool health_enabled() const { return !shard_health_.empty(); }
+
+  /// A shard's recorder/watchdog (nullptr before the matching Enable).
+  obs::FlightRecorder* shard_recorder(size_t index) {
+    return shard_recorders_.empty() ? nullptr : shard_recorders_[index].get();
+  }
+  obs::HealthMonitor* shard_health(size_t index) {
+    return shard_health_.empty() ? nullptr : shard_health_[index].get();
+  }
+
+  /// The watchdog's merged verdict for one source (kOk when disabled).
+  obs::HealthState HealthOf(int32_t source_id) const override;
+
+  /// Fleet-wide black-box dump / health summary, sources in ascending-id
+  /// order (deterministic for any thread count). Empty when disabled.
+  std::string DumpFlightRecorderText() const;
+  std::string DumpFlightRecorderJson() const;
+  std::string HealthSummaryText() const;
+
  private:
   /// Mirrors one cross-shard query evaluation onto the driver arena.
   void RecordQueryOutcome(bool ok, bool stale) const;
@@ -150,6 +185,8 @@ class ShardedServer : public SourceView {
   QueryTable queries_;
   std::vector<std::unique_ptr<obs::MetricRegistry>> shard_metrics_;
   std::unique_ptr<obs::MetricRegistry> driver_metrics_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> shard_recorders_;
+  std::vector<std::unique_ptr<obs::HealthMonitor>> shard_health_;
   obs::Counter* queries_served_ = nullptr;
   obs::Counter* queries_failed_ = nullptr;
   obs::Counter* queries_stale_ = nullptr;

@@ -56,6 +56,12 @@ struct Message {
   /// dense, so a receiver can tell "nothing was sent" apart from
   /// "something was sent and lost": the gap signal recovery runs on.
   int64_t wire_seq = 0;
+  /// Causal flow id stamped by the sender (CausalFlowId below); 0 when
+  /// unset. Pure diagnostic metadata — it links the sender's decision
+  /// trace span to the receiver's apply span — and is derivable from
+  /// (source_id, wire_seq), so it is NOT charged by SizeBytes(): a real
+  /// wire encoding would reconstruct it at the receiver.
+  uint64_t flow_id = 0;
   double time = 0.0;  ///< Stream time of the triggering reading.
   std::vector<double> payload;
 
@@ -63,6 +69,15 @@ struct Message {
 
   std::string ToString() const;
 };
+
+/// Deterministic causal id for one uplink message: source id in the high
+/// word, dense wire sequence (+1 so a valid id is never 0) in the low.
+/// Stamped by the agent at send time and carried into the replica's apply
+/// span, stitching both ends of the message into one trace flow.
+inline uint64_t CausalFlowId(int32_t source_id, int64_t wire_seq) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(source_id)) << 32) |
+         static_cast<uint32_t>(wire_seq + 1);
+}
 
 }  // namespace kc
 

@@ -1,7 +1,9 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "common/strings.h"
@@ -99,6 +101,10 @@ std::string PromName(const std::string& name) {
 
 void PromRow(std::ostringstream& os, const MetricRow& row) {
   std::string name = PromName(row.name);
+  // Exposition-format conventions: counters carry a `_total` suffix, and
+  // every family gets HELP + TYPE header lines.
+  if (row.kind == MetricKind::kCounter) name += "_total";
+  os << "# HELP " << name << " kalmancast metric " << row.name << "\n";
   os << "# TYPE " << name << " " << KindName(row.kind) << "\n";
   switch (row.kind) {
     case MetricKind::kCounter:
@@ -161,6 +167,51 @@ std::string ExportPrometheus(const MetricRegistry& registry,
                              bool include_wall_clock) {
   return ExportMetrics(registry,
                        {ExportFormat::kPrometheus, include_wall_clock});
+}
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  // Stable order: by start time, thread, then name, so the export is a
+  // pure function of the span set and each flow's "s" event comes from
+  // its earliest span.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const TraceEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->start_ns != b->start_ns) {
+                       return a->start_ns < b->start_ns;
+                     }
+                     return a->thread_index < b->thread_index;
+                   });
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::set<uint64_t> flows_started;
+  auto comma = [&os, &first] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const TraceEvent* e : ordered) {
+    std::string ts = StrFormat("%.3f", static_cast<double>(e->start_ns) / 1e3);
+    std::string dur =
+        StrFormat("%.3f", static_cast<double>(e->duration_ns) / 1e3);
+    comma();
+    os << "{\"name\":\"" << (e->name != nullptr ? e->name : "?")
+       << "\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
+       << ",\"pid\":0,\"tid\":" << e->thread_index
+       << ",\"args\":{\"depth\":" << e->depth << "}}";
+    if (e->flow_id == 0) continue;
+    // Flow stitching: the earliest span of a flow starts it ("s"); every
+    // later one binds to it ("f" with bp=e, "enclosing slice").
+    bool starts = flows_started.insert(e->flow_id).second;
+    comma();
+    os << "{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\""
+       << (starts ? "s" : "f") << "\"" << (starts ? "" : ",\"bp\":\"e\"")
+       << ",\"id\":" << e->flow_id << ",\"ts\":" << ts
+       << ",\"pid\":0,\"tid\":" << e->thread_index << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace obs

@@ -2,8 +2,10 @@
 #define KALMANCAST_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kc {
 namespace obs {
@@ -35,6 +37,14 @@ std::string ExportJsonLines(const MetricRegistry& registry,
                             bool include_wall_clock = true);
 std::string ExportPrometheus(const MetricRegistry& registry,
                              bool include_wall_clock = true);
+
+/// Renders trace spans (CollectTraceEvents) as Chrome trace-event JSON,
+/// loadable by chrome://tracing and Perfetto. Each span becomes a
+/// complete ("X") event on its recording thread's track; spans sharing a
+/// nonzero flow_id additionally emit flow ("s"/"f") events, so the
+/// agent-side decision and the replica-side apply of one message render
+/// as a connected arrow.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
 
 }  // namespace obs
 }  // namespace kc

@@ -1,0 +1,272 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/chisq.h"
+#include "common/strings.h"
+
+namespace kc {
+namespace obs {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "OK";
+    case HealthState::kSuspect:
+      return "SUSPECT";
+    case HealthState::kDiverged:
+      return "DIVERGED";
+  }
+  return "?";
+}
+
+SourceHealth::SourceHealth(HealthMonitor* owner, int32_t source_id,
+                           size_t obs_dim)
+    : owner_(owner), source_id_(source_id), obs_dim_(std::max<size_t>(obs_dim, 1)) {
+  const HealthConfig& c = owner_->config_;
+  size_t dof = c.nis_window * obs_dim_;
+  double tail = (1.0 - c.nis_confidence) / 2.0;
+  nis_sum_lo_ = ChiSquaredQuantile(tail, dof);
+  nis_sum_hi_ = ChiSquaredQuantile(1.0 - tail, dof);
+}
+
+void SourceHealth::OnTick() {
+  ++tick_;
+  ++ticks_in_window_;
+  if (ticks_in_window_ >= owner_->config_.rate_window_ticks) {
+    EvaluateRateWindow();
+  }
+}
+
+void SourceHealth::OnNis(double nis) {
+  if (nis < 0.0) return;  // Predictor had no consistency sample this tick.
+  nis_sum_ += nis;
+  if (++nis_count_ >= owner_->config_.nis_window) EvaluateNisWindow();
+}
+
+void SourceHealth::OnDecision(bool suppressed) {
+  ++decisions_in_window_;
+  if (suppressed) ++suppressed_in_window_;
+}
+
+void SourceHealth::OnResync() { ++resyncs_in_window_; }
+
+void SourceHealth::EvaluateNisWindow() {
+  const HealthConfig& c = owner_->config_;
+  bool breached = nis_sum_ < nis_sum_lo_ || nis_sum_ > nis_sum_hi_;
+  last_window_mean_nis_ = nis_sum_ / static_cast<double>(c.nis_window);
+  ++nis_windows_;
+  if (owner_->nis_windows_metric_ != nullptr) {
+    owner_->nis_windows_metric_->Inc();
+  }
+  if (breached) {
+    ++nis_breaches_;
+    if (owner_->nis_breaches_metric_ != nullptr) {
+      owner_->nis_breaches_metric_->Inc();
+    }
+  }
+  nis_state_ =
+      StepDetector(nis_state_, breached, &nis_breach_streak_,
+                   &nis_clean_streak_, c);
+  nis_sum_ = 0.0;
+  nis_count_ = 0;
+  Recombine(last_window_mean_nis_);
+}
+
+void SourceHealth::EvaluateRateWindow() {
+  const HealthConfig& c = owner_->config_;
+  double ticks = static_cast<double>(ticks_in_window_);
+  double resync_rate = static_cast<double>(resyncs_in_window_) / ticks;
+  bool breached = c.max_resync_rate > 0.0 && resync_rate > c.max_resync_rate;
+  if (c.min_suppression_rate > 0.0 && decisions_in_window_ > 0) {
+    double suppression_rate = static_cast<double>(suppressed_in_window_) /
+                              static_cast<double>(decisions_in_window_);
+    if (suppression_rate < c.min_suppression_rate) breached = true;
+  }
+  if (breached) {
+    ++rate_breaches_;
+    if (owner_->rate_breaches_metric_ != nullptr) {
+      owner_->rate_breaches_metric_->Inc();
+    }
+  }
+  rate_state_ =
+      StepDetector(rate_state_, breached, &rate_breach_streak_,
+                   &rate_clean_streak_, c);
+  ticks_in_window_ = 0;
+  resyncs_in_window_ = 0;
+  decisions_in_window_ = 0;
+  suppressed_in_window_ = 0;
+  Recombine(resync_rate);
+}
+
+HealthState SourceHealth::StepDetector(HealthState current, bool breached,
+                                       int* breach_streak, int* clean_streak,
+                                       const HealthConfig& config) {
+  if (breached) {
+    *clean_streak = 0;
+    ++*breach_streak;
+    if (*breach_streak >= config.windows_to_diverge) {
+      return HealthState::kDiverged;
+    }
+    // A DIVERGED detector stays diverged until it fully recovers; an OK
+    // one escalates to SUSPECT on its first breach.
+    return current == HealthState::kDiverged ? HealthState::kDiverged
+                                             : HealthState::kSuspect;
+  }
+  *breach_streak = 0;
+  ++*clean_streak;
+  if (*clean_streak >= config.windows_to_recover) return HealthState::kOk;
+  return current;
+}
+
+void SourceHealth::Recombine(double detail) {
+  HealthState next = std::max(nis_state_, rate_state_);
+  if (next == state_) return;
+  HealthState prev = state_;
+  state_ = next;
+  if (recorder_ != nullptr) {
+    RecorderEventKind kind = RecorderEventKind::kHealthOk;
+    if (next == HealthState::kSuspect) {
+      kind = RecorderEventKind::kHealthSuspect;
+    } else if (next == HealthState::kDiverged) {
+      kind = RecorderEventKind::kHealthDiverged;
+    }
+    recorder_->Record(tick_, kind, /*seq=*/0, detail);
+  }
+  owner_->OnTransition(source_id_, prev, next);
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  if (config_.nis_window == 0) config_.nis_window = 1;
+  if (config_.rate_window_ticks <= 0) config_.rate_window_ticks = 1;
+  if (config_.windows_to_diverge < 1) config_.windows_to_diverge = 1;
+  if (config_.windows_to_recover < 1) config_.windows_to_recover = 1;
+}
+
+SourceHealth* HealthMonitor::ForSource(int32_t source_id, size_t obs_dim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    it = sources_
+             .emplace(source_id,
+                      std::unique_ptr<SourceHealth>(
+                          new SourceHealth(this, source_id, obs_dim)))
+             .first;
+    if (recorder_ != nullptr) {
+      it->second->recorder_ = recorder_->ForSource(source_id);
+    }
+    ++num_ok_;  // New sources start OK.
+    UpdateStateGauges();
+  }
+  return it->second.get();
+}
+
+const SourceHealth* HealthMonitor::Find(int32_t source_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+HealthState HealthMonitor::StateOf(int32_t source_id) const {
+  const SourceHealth* health = Find(source_id);
+  return health == nullptr ? HealthState::kOk : health->state();
+}
+
+std::vector<int32_t> HealthMonitor::SourceIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int32_t> ids;
+  ids.reserve(sources_.size());
+  for (const auto& [id, health] : sources_) {
+    (void)health;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void HealthMonitor::BindMetrics(MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    nis_windows_metric_ = nullptr;
+    nis_breaches_metric_ = nullptr;
+    rate_breaches_metric_ = nullptr;
+    transitions_metric_ = nullptr;
+    ok_gauge_ = nullptr;
+    suspect_gauge_ = nullptr;
+    diverged_gauge_ = nullptr;
+    return;
+  }
+  nis_windows_metric_ = registry->GetCounter("kc.health.nis_windows");
+  nis_breaches_metric_ = registry->GetCounter("kc.health.nis_breaches");
+  rate_breaches_metric_ = registry->GetCounter("kc.health.rate_breaches");
+  transitions_metric_ = registry->GetCounter("kc.health.transitions");
+  ok_gauge_ = registry->GetGauge("kc.health.sources_ok");
+  suspect_gauge_ = registry->GetGauge("kc.health.sources_suspect");
+  diverged_gauge_ = registry->GetGauge("kc.health.sources_diverged");
+  UpdateStateGauges();
+}
+
+void HealthMonitor::BindRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+  for (auto& [id, health] : sources_) {
+    health->recorder_ =
+        recorder_ == nullptr ? nullptr : recorder_->ForSource(id);
+  }
+}
+
+void HealthMonitor::SetAnomalySink(HealthAnomalySink sink) {
+  anomaly_sink_ = std::move(sink);
+}
+
+void HealthMonitor::OnTransition(int32_t source_id, HealthState from,
+                                 HealthState to) {
+  auto count = [this](HealthState s) -> int64_t& {
+    switch (s) {
+      case HealthState::kSuspect:
+        return num_suspect_;
+      case HealthState::kDiverged:
+        return num_diverged_;
+      case HealthState::kOk:
+      default:
+        return num_ok_;
+    }
+  };
+  --count(from);
+  ++count(to);
+  UpdateStateGauges();
+  if (transitions_metric_ != nullptr) transitions_metric_->Inc();
+  if (to > from && anomaly_sink_) anomaly_sink_(source_id, from, to);
+}
+
+void HealthMonitor::UpdateStateGauges() {
+  if (ok_gauge_ != nullptr) ok_gauge_->Set(static_cast<double>(num_ok_));
+  if (suspect_gauge_ != nullptr) {
+    suspect_gauge_->Set(static_cast<double>(num_suspect_));
+  }
+  if (diverged_gauge_ != nullptr) {
+    diverged_gauge_->Set(static_cast<double>(num_diverged_));
+  }
+}
+
+std::string HealthMonitor::SummaryText() const {
+  std::ostringstream os;
+  for (int32_t id : SourceIds()) os << SummaryLine(id);
+  return os.str();
+}
+
+std::string HealthMonitor::SummaryLine(int32_t source_id) const {
+  const SourceHealth* h = Find(source_id);
+  if (h == nullptr) return std::string();
+  return StrFormat(
+      "source %4d  %-8s nis_windows=%lld breaches=%lld mean_nis=%s "
+      "rate_breaches=%lld\n",
+      source_id, HealthStateName(h->state()),
+      static_cast<long long>(h->nis_windows()),
+      static_cast<long long>(h->nis_breaches()),
+      StrFormat("%.6g", h->last_window_mean_nis()).c_str(),
+      static_cast<long long>(h->rate_breaches()));
+}
+
+}  // namespace obs
+}  // namespace kc

@@ -1,0 +1,26 @@
+#ifndef KALMANCAST_OBS_HEALTH_STATE_H_
+#define KALMANCAST_OBS_HEALTH_STATE_H_
+
+#include <cstdint>
+
+namespace kc {
+namespace obs {
+
+/// Per-source verdict of the filter-health watchdog (src/obs/health.h).
+/// Split into its own header so the query layer can carry a health state
+/// in QueryResult without pulling in the watchdog machinery.
+///
+/// Ordered by severity: combining detectors or aggregating sources takes
+/// the max.
+enum class HealthState : uint8_t {
+  kOk = 0,        ///< All detectors within bounds.
+  kSuspect = 1,   ///< A detector breached; not yet persistent.
+  kDiverged = 2,  ///< Breach persisted across consecutive windows.
+};
+
+const char* HealthStateName(HealthState state);
+
+}  // namespace obs
+}  // namespace kc
+
+#endif  // KALMANCAST_OBS_HEALTH_STATE_H_

@@ -3,8 +3,26 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/logging.h"
+
 namespace kc {
 namespace obs {
+
+namespace {
+
+const char* KindShortName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Buckets Buckets::Exponential(double first, double factor, size_t n) {
   Buckets b;
@@ -46,7 +64,10 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
     entry.counter.reset(new Counter());
     it = metrics_.emplace(std::string(name), std::move(entry)).first;
   }
-  if (it->second.kind != MetricKind::kCounter) return nullptr;
+  if (it->second.kind != MetricKind::kCounter) {
+    NoteConflictLocked(name, it->second.kind, MetricKind::kCounter);
+    return nullptr;
+  }
   return it->second.counter.get();
 }
 
@@ -59,7 +80,10 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
     entry.gauge.reset(new Gauge());
     it = metrics_.emplace(std::string(name), std::move(entry)).first;
   }
-  if (it->second.kind != MetricKind::kGauge) return nullptr;
+  if (it->second.kind != MetricKind::kGauge) {
+    NoteConflictLocked(name, it->second.kind, MetricKind::kGauge);
+    return nullptr;
+  }
   return it->second.gauge.get();
 }
 
@@ -75,7 +99,10 @@ Histogram* MetricRegistry::GetHistogram(std::string_view name,
     entry.histogram.reset(new Histogram(buckets));
     it = metrics_.emplace(std::string(name), std::move(entry)).first;
   }
-  if (it->second.kind != MetricKind::kHistogram) return nullptr;
+  if (it->second.kind != MetricKind::kHistogram) {
+    NoteConflictLocked(name, it->second.kind, MetricKind::kHistogram);
+    return nullptr;
+  }
   return it->second.histogram.get();
 }
 
@@ -154,6 +181,24 @@ std::vector<MetricRow> MetricRegistry::Rows() const {
 size_t MetricRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_.size();
+}
+
+std::vector<std::string> MetricRegistry::Validate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conflicts_;
+}
+
+void MetricRegistry::NoteConflictLocked(std::string_view name,
+                                        MetricKind registered,
+                                        MetricKind requested) {
+  std::string desc = std::string(name) + ": registered as " +
+                     KindShortName(registered) + ", requested as " +
+                     KindShortName(requested);
+  for (const std::string& seen : conflicts_) {
+    if (seen == desc) return;  // Log each distinct conflict once.
+  }
+  conflicts_.push_back(desc);
+  KC_LOG(Warning) << "metric kind conflict (instrument disabled): " << desc;
 }
 
 MetricRegistry& DefaultRegistry() {

@@ -175,6 +175,13 @@ class MetricRegistry {
 
   size_t size() const;
 
+  /// Kind conflicts seen so far ("name: registered as X, requested as
+  /// Y"), in first-seen order. A conflict means some caller got nullptr
+  /// and its instrument is silently disabled; each distinct conflict is
+  /// also logged once through the pluggable log sink when it first
+  /// happens. Empty means every registration agreed.
+  std::vector<std::string> Validate() const;
+
  private:
   struct Entry {
     MetricKind kind;
@@ -184,8 +191,13 @@ class MetricRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Records (and logs, first time) a kind conflict. Caller holds mu_.
+  void NoteConflictLocked(std::string_view name, MetricKind registered,
+                          MetricKind requested);
+
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> metrics_;
+  std::vector<std::string> conflicts_;
 };
 
 /// Process-wide default registry for single-arena deployments (examples,

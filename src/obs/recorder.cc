@@ -1,0 +1,179 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+namespace obs {
+
+const char* RecorderEventKindName(RecorderEventKind kind) {
+  switch (kind) {
+    case RecorderEventKind::kInit:
+      return "INIT";
+    case RecorderEventKind::kSuppress:
+      return "SUPPRESS";
+    case RecorderEventKind::kCorrection:
+      return "CORRECTION";
+    case RecorderEventKind::kFullSync:
+      return "FULL_SYNC";
+    case RecorderEventKind::kHeartbeat:
+      return "HEARTBEAT";
+    case RecorderEventKind::kGateOutlier:
+      return "GATE_OUTLIER";
+    case RecorderEventKind::kWireGap:
+      return "WIRE_GAP";
+    case RecorderEventKind::kResyncRequest:
+      return "RESYNC_REQUEST";
+    case RecorderEventKind::kResyncServed:
+      return "RESYNC_SERVED";
+    case RecorderEventKind::kQuarantineEnter:
+      return "QUARANTINE_ENTER";
+    case RecorderEventKind::kQuarantineExit:
+      return "QUARANTINE_EXIT";
+    case RecorderEventKind::kApply:
+      return "APPLY";
+    case RecorderEventKind::kIgnore:
+      return "IGNORE";
+    case RecorderEventKind::kHealthOk:
+      return "HEALTH_OK";
+    case RecorderEventKind::kHealthSuspect:
+      return "HEALTH_SUSPECT";
+    case RecorderEventKind::kHealthDiverged:
+      return "HEALTH_DIVERGED";
+  }
+  return "?";
+}
+
+SourceRecorder::SourceRecorder(int32_t source_id, size_t capacity)
+    : events_(std::max<size_t>(capacity, 1)), source_id_(source_id) {}
+
+std::vector<RecorderEvent> SourceRecorder::Snapshot() const {
+  std::vector<RecorderEvent> out;
+  uint64_t retained = std::min<uint64_t>(head_, events_.size());
+  out.reserve(retained);
+  for (uint64_t i = head_ - retained; i < head_; ++i) {
+    out.push_back(events_[i % events_.size()]);
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity_per_source)
+    : capacity_(std::max<size_t>(capacity_per_source, 1)) {}
+
+SourceRecorder* FlightRecorder::ForSource(int32_t source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    it = sources_
+             .emplace(source_id, std::unique_ptr<SourceRecorder>(
+                                     new SourceRecorder(source_id, capacity_)))
+             .first;
+    it->second->events_recorded_ = events_recorded_;
+    it->second->events_evicted_ = events_evicted_;
+  }
+  return it->second.get();
+}
+
+const SourceRecorder* FlightRecorder::Find(int32_t source_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+void FlightRecorder::BindMetrics(MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    events_recorded_ = nullptr;
+    events_evicted_ = nullptr;
+  } else {
+    events_recorded_ = registry->GetCounter("kc.recorder.events");
+    events_evicted_ = registry->GetCounter("kc.recorder.evicted");
+  }
+  for (auto& [id, ring] : sources_) {
+    (void)id;
+    ring->events_recorded_ = events_recorded_;
+    ring->events_evicted_ = events_evicted_;
+  }
+}
+
+std::vector<int32_t> FlightRecorder::SourceIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int32_t> ids;
+  ids.reserve(sources_.size());
+  for (const auto& [id, ring] : sources_) {
+    (void)ring;
+    ids.push_back(id);
+  }
+  return ids;  // std::map iteration order: already ascending.
+}
+
+namespace {
+
+void TextEvent(std::ostringstream& os, const RecorderEvent& e) {
+  os << StrFormat("  tick %8lld  %-16s seq=%lld value=%s\n",
+                  static_cast<long long>(e.tick), RecorderEventKindName(e.kind),
+                  static_cast<long long>(e.seq),
+                  StrFormat("%.9g", e.value).c_str());
+}
+
+void JsonEvent(std::ostringstream& os, const RecorderEvent& e, bool* first) {
+  if (!*first) os << ",";
+  *first = false;
+  os << "{\"tick\":" << e.tick << ",\"source\":" << e.source_id
+     << ",\"event\":\"" << RecorderEventKindName(e.kind)
+     << "\",\"seq\":" << e.seq << ",\"value\":" << StrFormat("%.9g", e.value)
+     << "}";
+}
+
+}  // namespace
+
+std::string FlightRecorder::DumpText(int32_t source_id) const {
+  const SourceRecorder* ring = Find(source_id);
+  std::ostringstream os;
+  os << "source " << source_id << " flight recorder";
+  if (ring == nullptr) {
+    os << ": no events\n";
+    return os.str();
+  }
+  std::vector<RecorderEvent> events = ring->Snapshot();
+  os << " (" << events.size() << " of " << ring->total_recorded()
+     << " events retained, capacity " << ring->capacity() << ")\n";
+  for (const RecorderEvent& e : events) TextEvent(os, e);
+  return os.str();
+}
+
+std::string FlightRecorder::DumpText() const {
+  std::ostringstream os;
+  for (int32_t id : SourceIds()) os << DumpText(id);
+  return os.str();
+}
+
+std::string FlightRecorder::DumpJson(int32_t source_id) const {
+  const SourceRecorder* ring = Find(source_id);
+  std::ostringstream os;
+  os << "{\"source\":" << source_id << ",\"events\":[";
+  bool first = true;
+  if (ring != nullptr) {
+    for (const RecorderEvent& e : ring->Snapshot()) JsonEvent(os, e, &first);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string FlightRecorder::DumpJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (int32_t id : SourceIds()) {
+    if (!first) os << ",";
+    first = false;
+    os << DumpJson(id);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace kc

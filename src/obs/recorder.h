@@ -1,0 +1,157 @@
+#ifndef KALMANCAST_OBS_RECORDER_H_
+#define KALMANCAST_OBS_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kc {
+namespace obs {
+
+/// The flight recorder (docs/OBSERVABILITY.md, "Flight recorder"):
+/// a per-source, fixed-capacity ring of structured protocol events — the
+/// "black box" an operator reads after an incident to see *which*
+/// decisions led a stream where it ended up.
+///
+/// The contract mirrors the metrics layer:
+///  - ForSource() is the cold path: takes the recorder mutex, allocates
+///    the source's ring once, returns a stable pointer callers cache at
+///    bind time.
+///  - SourceRecorder::Record() is the hot path: one ring-slot write, no
+///    locks, no allocations. Rings are single-writer by the same arena
+///    rule as metrics — one FlightRecorder per shard, and a source's
+///    agent and replica both live on that source's shard.
+///  - Dumps are deterministic: events carry tick stamps (never wall
+///    clock), sources are dumped in id order, and each ring is rendered
+///    oldest-first — so a fleet dump is bit-identical for any --threads.
+
+/// What happened. One enumerator per protocol decision / transition the
+/// black box retains.
+enum class RecorderEventKind : uint8_t {
+  kInit = 0,             ///< Agent sent INIT (value = in-force delta).
+  kSuppress,             ///< Agent held an update (value = |innovation|).
+  kCorrection,           ///< Agent sent CORRECTION (value = |innovation|).
+  kFullSync,             ///< Agent sent FULL_SYNC (value = |innovation|).
+  kHeartbeat,            ///< Agent sent HEARTBEAT.
+  kGateOutlier,          ///< Predictor's outlier gate rejected a reading
+                         ///< (value = the gated NIS).
+  kWireGap,              ///< Replica saw a wire-seq gap (value = missing).
+  kResyncRequest,        ///< Replica sent RESYNC_REQUEST.
+  kResyncServed,         ///< Agent answered a resync request.
+  kQuarantineEnter,      ///< Replica marked itself desynced.
+  kQuarantineExit,       ///< Replica cleared desync (sync arrived).
+  kApply,                ///< Replica applied a message (value = type).
+  kIgnore,               ///< Replica dropped a stale/duplicate message.
+  kHealthOk,             ///< Watchdog transition back to OK.
+  kHealthSuspect,        ///< Watchdog transition to SUSPECT.
+  kHealthDiverged,       ///< Watchdog transition to DIVERGED.
+};
+
+/// Number of RecorderEventKind values.
+inline constexpr size_t kNumRecorderEventKinds = 16;
+
+const char* RecorderEventKindName(RecorderEventKind kind);
+
+/// One retained event. POD — the ring is preallocated storage, and a
+/// Record() is a handful of member stores.
+struct RecorderEvent {
+  int64_t tick = 0;   ///< Recorder-side tick (agent or replica lifetime).
+  int64_t seq = 0;    ///< Wire seq (sends/applies) or reading seq.
+  double value = 0.0; ///< Kind-dependent detail; see RecorderEventKind.
+  int32_t source_id = 0;
+  RecorderEventKind kind = RecorderEventKind::kSuppress;
+};
+
+/// Fixed-capacity ring of one source's events. Obtained from
+/// FlightRecorder::ForSource(); single writer at a time (the shard that
+/// owns the source).
+class SourceRecorder {
+ public:
+  /// Hot path: one slot write. Oldest event is evicted once full.
+  void Record(int64_t tick, RecorderEventKind kind, int64_t seq = 0,
+              double value = 0.0) {
+    RecorderEvent& e = events_[head_ % events_.size()];
+    e.tick = tick;
+    e.seq = seq;
+    e.value = value;
+    e.source_id = source_id_;
+    e.kind = kind;
+    ++head_;
+    if (events_recorded_ != nullptr) events_recorded_->Inc();
+    if (head_ > events_.size() && events_evicted_ != nullptr) {
+      events_evicted_->Inc();
+    }
+  }
+
+  int32_t source_id() const { return source_id_; }
+  size_t capacity() const { return events_.size(); }
+  /// Events ever recorded (monotonic; exceeds capacity once wrapped).
+  uint64_t total_recorded() const { return head_; }
+
+  /// Copies retained events, oldest first (cold path, allocates).
+  std::vector<RecorderEvent> Snapshot() const;
+
+ private:
+  friend class FlightRecorder;
+  SourceRecorder(int32_t source_id, size_t capacity);
+
+  std::vector<RecorderEvent> events_;  ///< Sized `capacity` at creation.
+  uint64_t head_ = 0;
+  int32_t source_id_;
+  Counter* events_recorded_ = nullptr;  ///< kc.recorder.events (optional).
+  Counter* events_evicted_ = nullptr;   ///< kc.recorder.evicted (optional).
+};
+
+/// One flight-recorder arena: source id -> ring. One per shard in the
+/// fleet (merged dumps walk shards in source-id order), or one per
+/// process for single-threaded deployments.
+class FlightRecorder {
+ public:
+  /// Default ring capacity per source (events).
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit FlightRecorder(size_t capacity_per_source = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Cold path: creates the source's ring on first use; the returned
+  /// pointer is stable for the recorder's lifetime.
+  SourceRecorder* ForSource(int32_t source_id);
+
+  /// nullptr if the source never recorded.
+  const SourceRecorder* Find(int32_t source_id) const;
+
+  /// Registers kc.recorder.* counters and points every ring (current and
+  /// future) at them. Call before the hot path starts.
+  void BindMetrics(MetricRegistry* registry);
+
+  /// Registered source ids, ascending.
+  std::vector<int32_t> SourceIds() const;
+
+  size_t capacity_per_source() const { return capacity_; }
+
+  /// Deterministic dumps. Per-source renders one event per line; the
+  /// all-source forms walk sources in id order.
+  std::string DumpText(int32_t source_id) const;
+  std::string DumpText() const;
+  std::string DumpJson(int32_t source_id) const;
+  std::string DumpJson() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;  ///< Guards the map, not the rings.
+  std::map<int32_t, std::unique_ptr<SourceRecorder>> sources_;
+  Counter* events_recorded_ = nullptr;
+  Counter* events_evicted_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace kc
+
+#endif  // KALMANCAST_OBS_RECORDER_H_

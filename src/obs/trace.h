@@ -34,6 +34,11 @@ struct TraceEvent {
   const char* name = nullptr;  ///< Static string passed to KC_TRACE_SCOPE.
   int64_t start_ns = 0;        ///< Steady-clock timestamp.
   int64_t duration_ns = 0;
+  /// Causal flow id (0 = none). Spans on different threads carrying the
+  /// same flow id are stitched into one flow by the Chrome-trace export —
+  /// e.g. an agent's send span and the replica's apply span share the
+  /// message's CausalFlowId.
+  uint64_t flow_id = 0;
   uint32_t depth = 0;  ///< Nesting depth within the recording thread.
   uint32_t thread_index = 0;  ///< Stable per-thread recorder index.
 };
@@ -54,12 +59,13 @@ class TraceRecorder {
 
   /// Closes a scope and records the completed span.
   void Emit(const char* name, uint32_t depth, int64_t start_ns,
-            int64_t duration_ns) {
+            int64_t duration_ns, uint64_t flow_id = 0) {
     --depth_;
     TraceEvent& e = events_[head_ & (kCapacity - 1)];
     e.name = name;
     e.start_ns = start_ns;
     e.duration_ns = duration_ns;
+    e.flow_id = flow_id;
     e.depth = depth;
     e.thread_index = thread_index_;
     ++head_;
@@ -107,19 +113,21 @@ std::vector<TraceEvent> CollectTraceEvents();
 /// Discards every thread's retained spans (tests).
 void ClearTraceEvents();
 
-/// RAII span. Use through KC_TRACE_SCOPE.
+/// RAII span. Use through KC_TRACE_SCOPE / KC_TRACE_SCOPE_FLOW.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name) {
+  explicit TraceSpan(const char* name, uint64_t flow_id = 0) {
     if (!TracingEnabled()) return;
     recorder_ = &TraceRecorder::ForCurrentThread();
     name_ = name;
+    flow_id_ = flow_id;
     depth_ = recorder_->EnterScope();
     start_ns_ = TraceNowNs();
   }
   ~TraceSpan() {
     if (recorder_ == nullptr) return;
-    recorder_->Emit(name_, depth_, start_ns_, TraceNowNs() - start_ns_);
+    recorder_->Emit(name_, depth_, start_ns_, TraceNowNs() - start_ns_,
+                    flow_id_);
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -128,6 +136,7 @@ class TraceSpan {
  private:
   TraceRecorder* recorder_ = nullptr;
   const char* name_ = nullptr;
+  uint64_t flow_id_ = 0;
   int64_t start_ns_ = 0;
   uint32_t depth_ = 0;
 };
@@ -143,9 +152,17 @@ class TraceSpan {
 #define KC_TRACE_SCOPE(name) \
   do {                       \
   } while (false)
+#define KC_TRACE_SCOPE_FLOW(name, flow_id) \
+  do {                                     \
+  } while (false)
 #else
 #define KC_TRACE_SCOPE(name) \
   ::kc::obs::TraceSpan KC_TRACE_CONCAT(kc_trace_span_, __LINE__)(name)
+/// Span carrying a causal flow id: spans with the same id (typically
+/// CausalFlowId(source, wire_seq) on both ends of a message) are linked
+/// by the Chrome-trace export.
+#define KC_TRACE_SCOPE_FLOW(name, flow_id) \
+  ::kc::obs::TraceSpan KC_TRACE_CONCAT(kc_trace_span_, __LINE__)(name, flow_id)
 #endif
 
 #endif  // KALMANCAST_OBS_TRACE_H_

@@ -91,6 +91,9 @@ std::string QueryResult::ToString() const {
   if (!meets_within) os << " (WITHIN NOT MET)";
   if (stale) os << " (STALE)";
   if (degraded) os << " (DEGRADED)";
+  if (health != obs::HealthState::kOk) {
+    os << " (HEALTH " << obs::HealthStateName(health) << ")";
+  }
   return os.str();
 }
 

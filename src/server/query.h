@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/health_state.h"
 
 namespace kc {
 
@@ -79,6 +80,12 @@ struct QueryResult {
   /// quarantine bound, so the answer stays honest but is degraded until
   /// the source resyncs.
   bool degraded = false;
+  /// Worst filter-health verdict among member sources (kOk when the
+  /// health watchdog is not enabled). Unlike `degraded` — which reports
+  /// what the protocol *knows* went wrong (quarantine) — SUSPECT/DIVERGED
+  /// reports what the watchdog *suspects* is wrong (statistically
+  /// inconsistent filter), so the two flags are independent signals.
+  obs::HealthState health = obs::HealthState::kOk;
   std::optional<TriggerState> trigger;
 
   std::string ToString() const;

@@ -83,6 +83,10 @@ StatusOr<QueryResult> EvaluateSpecOn(const SourceView& view,
       break;
     }
   }
+  for (int32_t id : spec.sources) {
+    result.health = std::max(result.health, view.HealthOf(id));
+    if (result.health == obs::HealthState::kDiverged) break;
+  }
   if (spec.threshold.has_value()) {
     result.trigger =
         EvaluateTrigger(result.value, result.bound, *spec.threshold,

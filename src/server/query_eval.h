@@ -48,6 +48,12 @@ class SourceView {
   /// false when loss-tolerant recovery is disabled).
   virtual bool IsDesynced(int32_t /*source_id*/) const { return false; }
 
+  /// The health watchdog's verdict for one source (kOk when the watchdog
+  /// is disabled or the source is unknown).
+  virtual obs::HealthState HealthOf(int32_t /*source_id*/) const {
+    return obs::HealthState::kOk;
+  }
+
   /// The archive for one source; error if archiving is disabled or the
   /// source is unknown/non-scalar.
   virtual StatusOr<const TickArchive*> Archive(int32_t source_id) const = 0;

@@ -1,7 +1,9 @@
 #include "server/server.h"
 
 #include "common/strings.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace kc {
@@ -54,6 +56,7 @@ Status StreamServer::RegisterSource(int32_t source_id,
   if (registry_ != nullptr) replica->BindMetrics(registry_);
   if (recovery_.enabled) replica->SetRecovery(recovery_);
   InstallControlSender(replica.get());
+  BindReplicaObservability(replica.get());
   replicas_[source_id] = std::move(replica);
   if (metrics_.sources != nullptr) {
     metrics_.sources->Set(static_cast<double>(replicas_.size()));
@@ -238,6 +241,32 @@ void StreamServer::InstallControlSender(ServerReplica* replica) {
     Status s = control_sink_(msg);
     if (s.ok() && metrics_.control_out != nullptr) metrics_.control_out->Inc();
   });
+}
+
+void StreamServer::BindFlightRecorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  for (auto& [id, replica] : replicas_) BindReplicaObservability(replica.get());
+}
+
+void StreamServer::BindHealth(obs::HealthMonitor* health) {
+  health_ = health;
+  for (auto& [id, replica] : replicas_) BindReplicaObservability(replica.get());
+}
+
+void StreamServer::BindReplicaObservability(ServerReplica* replica) {
+  obs::SourceRecorder* ring =
+      recorder_ == nullptr ? nullptr : recorder_->ForSource(replica->source_id());
+  obs::SourceHealth* entry =
+      health_ == nullptr
+          ? nullptr
+          : health_->ForSource(replica->source_id(),
+                               replica->predictor().dims());
+  replica->BindObservability(ring, entry);
+}
+
+obs::HealthState StreamServer::HealthOf(int32_t source_id) const {
+  return health_ == nullptr ? obs::HealthState::kOk
+                            : health_->StateOf(source_id);
 }
 
 bool StreamServer::IsStale(int32_t source_id) const {

@@ -18,7 +18,9 @@ namespace kc {
 
 namespace obs {
 class Counter;
+class FlightRecorder;
 class Gauge;
+class HealthMonitor;
 class Histogram;
 class MetricRegistry;
 }  // namespace obs
@@ -161,6 +163,22 @@ class StreamServer : public SourceView {
   /// shard boundaries. Pass nullptr to unbind.
   void BindMetrics(obs::MetricRegistry* registry);
 
+  /// Attaches a flight recorder: every registered replica (and each one
+  /// registered later) gets its per-source ring and records the receive
+  /// side of the protocol into it. In a sharded deployment each shard's
+  /// server binds its own recorder so hot-path recording stays
+  /// shard-confined. Pass nullptr to detach.
+  void BindFlightRecorder(obs::FlightRecorder* recorder);
+
+  /// Attaches the filter-health watchdog: every replica feeds its
+  /// resync-rate detector, and HealthOf()/QueryResult.health surface the
+  /// verdicts. Same sharding discipline as BindFlightRecorder. Pass
+  /// nullptr to detach.
+  void BindHealth(obs::HealthMonitor* health);
+
+  /// The watchdog's verdict for one source (kOk when no watchdog bound).
+  obs::HealthState HealthOf(int32_t source_id) const override;
+
  private:
   /// Arena handles, cached at bind time; null until BindMetrics.
   struct Metrics {
@@ -181,6 +199,10 @@ class StreamServer : public SourceView {
   /// Wires one replica's outbound RESYNC_REQUESTs into the control sink.
   void InstallControlSender(ServerReplica* replica);
 
+  /// Re-binds one replica's recorder ring / watchdog entry from the
+  /// currently attached recorder_/health_ (either may be null).
+  void BindReplicaObservability(ServerReplica* replica);
+
   std::map<int32_t, std::unique_ptr<ServerReplica>> replicas_;
   ReplicaRecoveryConfig recovery_;
   QueryTable queries_;
@@ -188,6 +210,8 @@ class StreamServer : public SourceView {
   ControlSink control_sink_;
   Metrics metrics_;
   obs::MetricRegistry* registry_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::HealthMonitor* health_ = nullptr;
   size_t archive_capacity_ = 0;  ///< 0 = archiving disabled.
   int64_t ticks_ = 0;
   int64_t messages_processed_ = 0;

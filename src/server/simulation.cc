@@ -57,6 +57,27 @@ LinkReport RunLinkImpl(StreamGenerator& generator, const Predictor& prototype,
     });
   }
 
+  // Optional black box + watchdog, shared by both ends of the link (the
+  // whole link runs on this one thread, so the single-writer contract
+  // holds trivially).
+  std::optional<obs::FlightRecorder> recorder;
+  std::optional<obs::HealthMonitor> health;
+  obs::SourceRecorder* ring = nullptr;
+  obs::SourceHealth* health_entry = nullptr;
+  if (config.flight_recorder_capacity > 0) {
+    recorder.emplace(config.flight_recorder_capacity);
+    ring = recorder->ForSource(0);
+  }
+  if (config.health) {
+    health.emplace(config.health_config);
+    if (recorder.has_value()) health->BindRecorder(&*recorder);
+    health_entry = health->ForSource(0, prototype.dims());
+  }
+  if (ring != nullptr || health_entry != nullptr) {
+    agent.BindObservability(ring, health_entry);
+    replica.BindObservability(ring, health_entry);
+  }
+
   std::optional<BudgetController> budget;
   if (config.budget.has_value()) budget.emplace(*config.budget);
 
@@ -124,6 +145,11 @@ LinkReport RunLinkImpl(StreamGenerator& generator, const Predictor& prototype,
   report.messages_per_tick =
       static_cast<double>(report.messages) / static_cast<double>(config.ticks);
   report.final_delta = agent.delta();
+  if (health.has_value()) {
+    report.health = health->StateOf(0);
+    report.health_summary = health->SummaryText();
+  }
+  if (recorder.has_value()) report.black_box = recorder->DumpText(0);
   return report;
 }
 
@@ -140,6 +166,9 @@ std::string LinkReport::ToString() const {
   if (gaps > 0 || resyncs_requested > 0) {
     os << ", gaps=" << gaps << " resyncs=" << resyncs_requested << "/"
        << resyncs_served << " degraded_ticks=" << degraded_ticks;
+  }
+  if (health != obs::HealthState::kOk) {
+    os << ", health=" << obs::HealthStateName(health);
   }
   return os.str();
 }

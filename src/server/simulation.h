@@ -8,6 +8,8 @@
 
 #include "common/stats.h"
 #include "net/channel.h"
+#include "obs/health.h"
+#include "obs/recorder.h"
 #include "server/server.h"
 #include "streams/generator.h"
 #include "suppression/agent.h"
@@ -34,6 +36,14 @@ struct LinkConfig {
   /// When set, run in resource-constrained mode: the controller steers
   /// delta to hit the message budget instead of holding it fixed.
   std::optional<BudgetConfig> budget;
+  /// When > 0, both ends of the link record their protocol decisions into
+  /// a shared per-source flight-recorder ring of this capacity; the dump
+  /// lands in LinkReport::black_box.
+  size_t flight_recorder_capacity = 0;
+  /// When true, the filter-health watchdog runs over the link and its
+  /// verdict lands in LinkReport::{health,health_summary}.
+  bool health = false;
+  obs::HealthConfig health_config;
 };
 
 /// Everything the experiment tables report about one link run.
@@ -69,6 +79,14 @@ struct LinkReport {
   int64_t degraded_ticks = 0;     ///< Ticks spent desynced (quarantined).
   /// delta in force at the end (differs from `delta` in budget mode).
   double final_delta = 0.0;
+
+  /// Watchdog verdict at end of run (kOk unless LinkConfig::health).
+  obs::HealthState health = obs::HealthState::kOk;
+  /// One-line watchdog summary (empty unless LinkConfig::health).
+  std::string health_summary;
+  /// Flight-recorder dump of the run's tail (empty unless
+  /// LinkConfig::flight_recorder_capacity > 0).
+  std::string black_box;
 
   std::string ToString() const;
 };

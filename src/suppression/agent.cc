@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace kc {
@@ -50,6 +52,13 @@ void SourceAgent::BindMetrics(obs::MetricRegistry* registry) {
   predictor_->BindMetrics(registry);
 }
 
+void SourceAgent::BindObservability(obs::SourceRecorder* recorder,
+                                    obs::SourceHealth* health) {
+  recorder_ = recorder;
+  health_ = health;
+  seen_outliers_ = predictor_->OutliersRejected();
+}
+
 Status SourceAgent::Offer(const Reading& measured) {
   KC_TRACE_SCOPE("agent.offer");
   if (measured.value.size() != predictor_->dims()) {
@@ -84,6 +93,10 @@ Status SourceAgent::Offer(const Reading& measured) {
     predictor_->Init(measured);
     ++stats_.resyncs_served;
     if (metrics_.resyncs_served != nullptr) metrics_.resyncs_served->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(stats_.ticks, obs::RecorderEventKind::kResyncServed,
+                        next_wire_seq_ - 1);
+    }
     silent_ticks_ = 0;
     return Status::Ok();
   }
@@ -95,9 +108,26 @@ Status SourceAgent::Offer(const Reading& measured) {
     metrics_.decisions->Inc();
     metrics_.innovation->Record(err);
   }
+  if (health_ != nullptr) {
+    health_->OnTick();
+    health_->OnNis(predictor_->LastNis());
+  }
+  if (recorder_ != nullptr) {
+    int64_t outliers = predictor_->OutliersRejected();
+    if (outliers != seen_outliers_) {
+      seen_outliers_ = outliers;
+      recorder_->Record(stats_.ticks, obs::RecorderEventKind::kGateOutlier,
+                        measured.seq, predictor_->LastNis());
+    }
+  }
   if (resync_pending_) {
     resync_pending_ = false;
     KC_RETURN_IF_ERROR(ServeResync(measured));
+    if (health_ != nullptr) health_->OnDecision(/*suppressed=*/false);
+    if (recorder_ != nullptr) {
+      recorder_->Record(stats_.ticks, obs::RecorderEventKind::kResyncServed,
+                        next_wire_seq_ - 1, err);
+    }
     silent_ticks_ = 0;
     return Status::Ok();
   }
@@ -108,12 +138,24 @@ Status SourceAgent::Offer(const Reading& measured) {
                          config_.full_sync_every ==
                      0);
     KC_RETURN_IF_ERROR(SendCorrection(measured, full));
+    if (health_ != nullptr) health_->OnDecision(/*suppressed=*/false);
+    if (recorder_ != nullptr) {
+      recorder_->Record(stats_.ticks,
+                        full ? obs::RecorderEventKind::kFullSync
+                             : obs::RecorderEventKind::kCorrection,
+                        next_wire_seq_ - 1, err);
+    }
     silent_ticks_ = 0;
     return Status::Ok();
   }
 
   ++stats_.suppressed;
   if (metrics_.suppressed != nullptr) metrics_.suppressed->Inc();
+  if (health_ != nullptr) health_->OnDecision(/*suppressed=*/true);
+  if (recorder_ != nullptr) {
+    recorder_->Record(stats_.ticks, obs::RecorderEventKind::kSuppress,
+                      measured.seq, err);
+  }
   ++silent_ticks_;
   if (config_.heartbeat_every > 0 && silent_ticks_ >= config_.heartbeat_every) {
     Message hb;
@@ -122,9 +164,15 @@ Status SourceAgent::Offer(const Reading& measured) {
     hb.seq = measured.seq;
     hb.time = measured.time;
     hb.wire_seq = next_wire_seq_++;
+    hb.flow_id = CausalFlowId(source_id_, hb.wire_seq);
+    KC_TRACE_SCOPE_FLOW("agent.send", hb.flow_id);
     KC_RETURN_IF_ERROR(channel_->Send(hb));
     ++stats_.heartbeats;
     if (metrics_.heartbeats != nullptr) metrics_.heartbeats->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(stats_.ticks, obs::RecorderEventKind::kHeartbeat,
+                        hb.wire_seq);
+    }
     silent_ticks_ = 0;
   }
   return Status::Ok();
@@ -168,6 +216,12 @@ Status SourceAgent::SendInit(const Reading& measured) {
   msg.payload.insert(msg.payload.end(), measured.value.data().begin(),
                      measured.value.data().end());
   msg.wire_seq = next_wire_seq_++;
+  msg.flow_id = CausalFlowId(source_id_, msg.wire_seq);
+  if (recorder_ != nullptr) {
+    recorder_->Record(stats_.ticks, obs::RecorderEventKind::kInit,
+                      msg.wire_seq, config_.delta);
+  }
+  KC_TRACE_SCOPE_FLOW("agent.send", msg.flow_id);
   return channel_->Send(msg);
 }
 
@@ -202,6 +256,8 @@ Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
     msg.type = MessageType::kFullSync;
     msg.payload.insert(msg.payload.end(), state.begin(), state.end());
     msg.wire_seq = next_wire_seq_++;
+    msg.flow_id = CausalFlowId(source_id_, msg.wire_seq);
+    KC_TRACE_SCOPE_FLOW("agent.send", msg.flow_id);
     KC_RETURN_IF_ERROR(channel_->Send(msg));
     ++stats_.full_syncs;
     if (metrics_.full_syncs != nullptr) metrics_.full_syncs->Inc();
@@ -215,6 +271,8 @@ Status SourceAgent::SendCorrection(const Reading& measured, bool full_state) {
   KC_RETURN_IF_ERROR(
       predictor_->ApplyCorrection(measured.seq, measured.time, correction));
   msg.wire_seq = next_wire_seq_++;
+  msg.flow_id = CausalFlowId(source_id_, msg.wire_seq);
+  KC_TRACE_SCOPE_FLOW("agent.send", msg.flow_id);
   KC_RETURN_IF_ERROR(channel_->Send(msg));
   ++stats_.corrections;
   if (metrics_.corrections != nullptr) metrics_.corrections->Inc();

@@ -8,6 +8,11 @@
 
 namespace kc {
 
+namespace obs {
+class SourceRecorder;
+class SourceHealth;
+}  // namespace obs
+
 /// Configuration of a stream source's suppression behaviour.
 struct AgentConfig {
   /// Precision bound delta: the source ships a correction whenever the
@@ -96,6 +101,15 @@ class SourceAgent {
   /// owned predictor. Pass nullptr to unbind.
   void BindMetrics(obs::MetricRegistry* registry);
 
+  /// Attaches the flight recorder ring and/or health watchdog entry for
+  /// this source (either may be nullptr). The recorder retains every
+  /// protocol decision (INIT/suppress/correction/heartbeat/gate fires/
+  /// resyncs served); the watchdog is fed one tick, one NIS sample, and
+  /// one decision per Offer. Both are observation-only: binding them
+  /// never changes what goes on the wire.
+  void BindObservability(obs::SourceRecorder* recorder,
+                         obs::SourceHealth* health);
+
  private:
   /// Arena handles, cached at bind time; null until BindMetrics.
   struct Metrics {
@@ -120,6 +134,10 @@ class SourceAgent {
   Channel* channel_;
   AgentStats stats_;
   Metrics metrics_;
+  obs::SourceRecorder* recorder_ = nullptr;  ///< Optional black box.
+  obs::SourceHealth* health_ = nullptr;      ///< Optional watchdog feed.
+  /// Predictor gate fires already logged to the recorder.
+  int64_t seen_outliers_ = 0;
   bool initialized_ = false;
   int64_t silent_ticks_ = 0;
   /// Dense per-link message counter stamped on every uplink send; the

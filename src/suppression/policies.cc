@@ -198,6 +198,7 @@ void KalmanPredictor::Init(const Reading& first) {
   }
   consecutive_rejects_ = 0;
   outliers_rejected_ = 0;
+  last_nis_ = -1.0;
   last_observed_ = first;
 }
 
@@ -222,6 +223,7 @@ void KalmanPredictor::ObserveLocal(const Reading& measured) {
     if (Cholesky::FactorInto(gate_.s, &gate_.l)) {
       Cholesky::SolveInto(gate_.l, nu, &gate_.sinv_nu);
       double nis = nu.Dot(gate_.sinv_nu);
+      last_nis_ = nis;  // A rejected reading is still a consistency sample.
       if (nis > gate_threshold_) {
         if (consecutive_rejects_ + 1 < config_.outlier_gate_limit) {
           ++consecutive_rejects_;
@@ -241,6 +243,7 @@ void KalmanPredictor::ObserveLocal(const Reading& measured) {
   Status s = private_->Update(measured.value);
   assert(s.ok());
   (void)s;
+  last_nis_ = private_->last_nis();
   if (adaptive_.has_value()) adaptive_->AfterUpdate(*private_);
 }
 

@@ -157,6 +157,11 @@ class KalmanPredictor : public Predictor {
   /// Registers kc.kalman.{outliers_rejected,gate_forced_accepts,
   /// filter_resets} on the arena and mirrors those events onto it.
   void BindMetrics(obs::MetricRegistry* registry) override;
+  /// NIS of the last ObserveLocal reading against the private filter —
+  /// the gate's statistic when gating ran, the update's otherwise; -1 in
+  /// measurement-sync mode (no private filter).
+  double LastNis() const override { return last_nis_; }
+  int64_t OutliersRejected() const override { return outliers_rejected_; }
   std::unique_ptr<Predictor> Clone() const override;
   std::string name() const override;
   size_t dims() const override { return config_.model.obs_dim(); }
@@ -193,6 +198,7 @@ class KalmanPredictor : public Predictor {
   double gate_threshold_ = 0.0;  ///< Chi-squared NIS cutoff (0 = no gate).
   int consecutive_rejects_ = 0;
   int64_t outliers_rejected_ = 0;
+  double last_nis_ = -1.0;  ///< See LastNis().
   /// The server-view procedure: advanced by Tick(), overwritten (or
   /// Update()d in measurement mode) by corrections. Present on both sides.
   std::optional<KalmanFilter> shadow_;

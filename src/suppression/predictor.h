@@ -82,6 +82,19 @@ class Predictor {
   /// not part of it.
   virtual void BindMetrics(obs::MetricRegistry* /*registry*/) {}
 
+  /// Normalized innovation squared (nu' S^-1 nu) of the most recent
+  /// ObserveLocal() reading against the policy's private model, or a
+  /// negative value when the policy has no consistency statistic
+  /// (memoryless policies, measurement-sync mode, before Init). The
+  /// filter-health watchdog feeds on this; like BindMetrics it observes
+  /// the protocol without being part of it.
+  virtual double LastNis() const { return -1.0; }
+
+  /// Readings rejected by an internal outlier gate so far (0 if the
+  /// policy has no gate). Lets the serving path log gate fires without
+  /// knowing the concrete policy.
+  virtual int64_t OutliersRejected() const { return 0; }
+
   /// Fresh, un-Init()ed replica with the same configuration. This is how
   /// the server constructs its twin of a source's predictor.
   virtual std::unique_ptr<Predictor> Clone() const = 0;

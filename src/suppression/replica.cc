@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
 
 namespace kc {
 
@@ -50,9 +53,19 @@ void ServerReplica::MarkDesynced() {
   // path, never from mid-delivery, which keeps control traffic ordered
   // deterministically within the tick).
   next_resync_tick_ = lifetime_ticks_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(lifetime_ticks_, obs::RecorderEventKind::kQuarantineEnter,
+                      last_wire_seq_);
+  }
 }
 
 void ServerReplica::ClearDesync() {
+  // ClearDesync also runs on every INIT/FULL_SYNC while healthy; only an
+  // actual quarantine exit is a recordable transition.
+  if (desynced_ && recorder_ != nullptr) {
+    recorder_->Record(lifetime_ticks_, obs::RecorderEventKind::kQuarantineExit,
+                      last_wire_seq_);
+  }
   desynced_ = false;
   gap_events_since_sync_ = 0;
   backoff_ = recovery_.backoff_initial_ticks;
@@ -68,6 +81,11 @@ void ServerReplica::SendResyncRequest() {
   if (control_sender_) control_sender_(req);
   ++resyncs_requested_;
   if (metrics_.resyncs_requested != nullptr) metrics_.resyncs_requested->Inc();
+  if (recorder_ != nullptr) {
+    recorder_->Record(lifetime_ticks_, obs::RecorderEventKind::kResyncRequest,
+                      last_wire_seq_, initialized_ ? 1.0 : 0.0);
+  }
+  if (health_ != nullptr) health_->OnResync();
   next_resync_tick_ = lifetime_ticks_ + backoff_;
   backoff_ = std::min(backoff_ * 2, recovery_.backoff_max_ticks);
 }
@@ -87,10 +105,19 @@ void ServerReplica::BindMetrics(obs::MetricRegistry* registry) {
   predictor_->BindMetrics(registry);
 }
 
+void ServerReplica::BindObservability(obs::SourceRecorder* recorder,
+                                      obs::SourceHealth* health) {
+  recorder_ = recorder;
+  health_ = health;
+}
+
 Status ServerReplica::OnMessage(const Message& msg) {
   if (msg.source_id != source_id_) {
     return Status::InvalidArgument("message routed to wrong replica");
   }
+  // The sender stamped its decision span with the same flow id, so this
+  // apply span stitches into it in the exported trace.
+  KC_TRACE_SCOPE_FLOW("replica.apply", msg.flow_id);
   // Any correctly-routed message proves the link is alive, even one the
   // sequencing guard is about to discard (recovery escalation only).
   lifetime_tick_at_heard_ = lifetime_ticks_;
@@ -102,6 +129,10 @@ Status ServerReplica::OnMessage(const Message& msg) {
       msg.seq <= last_heard_seq_) {
     ++messages_ignored_;
     if (metrics_.ignored != nullptr) metrics_.ignored->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(lifetime_ticks_, obs::RecorderEventKind::kIgnore,
+                        msg.wire_seq, static_cast<double>(msg.type));
+    }
     return Status::Ok();
   }
   // Wire-sequence gap detection: wire_seq is dense over the agent's sends,
@@ -112,6 +143,12 @@ Status ServerReplica::OnMessage(const Message& msg) {
     ++gaps_;
     ++gap_events_since_sync_;
     if (metrics_.gaps != nullptr) metrics_.gaps->Inc();
+    if (recorder_ != nullptr) {
+      // value = how many uplink messages went missing in this gap.
+      recorder_->Record(
+          lifetime_ticks_, obs::RecorderEventKind::kWireGap, msg.wire_seq,
+          static_cast<double>(msg.wire_seq - last_wire_seq_ - 1));
+    }
     if (gap_events_since_sync_ >= recovery_.max_gap_events) MarkDesynced();
   }
   // Non-INIT traffic before any INIT means the INIT itself was lost; no
@@ -179,6 +216,12 @@ Status ServerReplica::OnMessage(const Message& msg) {
   tick_at_last_heard_ = ticks_;
   ++messages_applied_;
   if (metrics_.applied != nullptr) metrics_.applied->Inc();
+  // Heartbeats are liveness noise; the agent side already records the
+  // send, so only state-bearing applies earn a black-box entry.
+  if (recorder_ != nullptr && msg.type != MessageType::kHeartbeat) {
+    recorder_->Record(lifetime_ticks_, obs::RecorderEventKind::kApply,
+                      msg.wire_seq, static_cast<double>(msg.type));
+  }
   return Status::Ok();
 }
 

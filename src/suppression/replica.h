@@ -13,6 +13,8 @@ namespace kc {
 namespace obs {
 class Counter;
 class MetricRegistry;
+class SourceRecorder;
+class SourceHealth;
 }  // namespace obs
 
 /// Loss-tolerant recovery knobs for a server replica. Disabled by
@@ -127,6 +129,15 @@ class ServerReplica {
   /// nullptr to unbind.
   void BindMetrics(obs::MetricRegistry* registry);
 
+  /// Attaches the flight recorder ring and/or health watchdog entry for
+  /// this source (either may be nullptr). The recorder retains the
+  /// receive side of the protocol (applies, ignores, wire gaps,
+  /// quarantine transitions, resync requests); the watchdog is fed every
+  /// RESYNC_REQUEST for its resync-rate detector. Observation-only:
+  /// binding never changes protocol behaviour.
+  void BindObservability(obs::SourceRecorder* recorder,
+                         obs::SourceHealth* health);
+
  private:
   /// Arena handles, cached at bind time; null until BindMetrics.
   struct Metrics {
@@ -144,6 +155,8 @@ class ServerReplica {
   int32_t source_id_;
   std::unique_ptr<Predictor> predictor_;
   Metrics metrics_;
+  obs::SourceRecorder* recorder_ = nullptr;  ///< Optional black box.
+  obs::SourceHealth* health_ = nullptr;      ///< Optional watchdog feed.
   ReplicaRecoveryConfig recovery_;
   ControlSender control_sender_;
   bool initialized_ = false;

@@ -17,7 +17,9 @@
 #include "kalman/ukf.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "suppression/policies.h"
 
@@ -208,6 +210,58 @@ TEST(ZeroAllocTest, InstrumentedSuppressedTicksStayAllocationFree) {
   EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
   EXPECT_EQ(decisions->value(), 205);
   EXPECT_EQ(innovation->count(), 205);
+}
+
+TEST(ZeroAllocTest, RecorderAndHealthSuppressedTicksStayAllocationFree) {
+  // The full observability stack of this PR bound to the serving path:
+  // flight-recorder Record()s plus watchdog feeds per tick, with metrics
+  // behind both. Ring slots and chi-square bands are sized on the cold
+  // path (ForSource), so the instrumented steady state must be zero-alloc
+  // — including the ticks where a NIS window completes and is evaluated.
+  obs::MetricRegistry registry;
+  obs::FlightRecorder recorder(64);
+  obs::HealthMonitor health;  // Default config: nis_window 32.
+  recorder.BindMetrics(&registry);
+  health.BindMetrics(&registry);
+  health.BindRecorder(&recorder);
+  obs::SourceRecorder* ring = recorder.ForSource(0);
+  obs::SourceHealth* entry = health.ForSource(0, /*obs_dim=*/1);
+
+  KalmanPredictor::Config config;
+  config.model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  config.outlier_gate_prob = 0.999;
+  KalmanPredictor predictor(std::move(config));
+  Reading first;
+  first.value = Vector{0.0};
+  predictor.Init(first);
+
+  Rng rng(7);
+  auto tick = [&](int64_t seq) {
+    Reading z;
+    z.seq = seq;
+    z.time = static_cast<double>(seq);
+    z.value = Vector{rng.Gaussian(0.0, 0.3)};
+    predictor.Tick();
+    predictor.ObserveLocal(z);
+    Vector err = predictor.Target() - predictor.Predict();
+    double e = err.NormInf();
+    ring->Record(seq, obs::RecorderEventKind::kSuppress, seq, e);
+    entry->OnTick();
+    // In-band NIS (window sum == dof): the evaluated windows stay clean,
+    // so the hot loop also covers the no-transition Recombine path.
+    entry->OnNis(1.0);
+    entry->OnDecision(/*suppressed=*/true);
+    return e;
+  };
+  for (int64_t s = 1; s <= 5; ++s) tick(s);
+  long before = AllocCount();
+  double acc = 0.0;
+  for (int64_t s = 6; s <= 325; ++s) acc += tick(s);  // 320 ticks: 10 windows.
+  EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
+  EXPECT_EQ(ring->total_recorded(), 325u);  // Ring wrapped many times over.
+  EXPECT_GT(entry->nis_windows(), 5);
+  EXPECT_EQ(entry->state(), obs::HealthState::kOk);
+  EXPECT_EQ(registry.GetCounter("kc.recorder.events")->value(), 325);
 }
 
 // ----------------------------------------------------------- SmallBuf edges

@@ -6,12 +6,14 @@
 #include <atomic>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "fleet/thread_pool.h"
 #include "obs/export.h"
 
@@ -241,11 +243,16 @@ TEST(ExportTest, JsonLinesGolden) {
 TEST(ExportTest, PrometheusGolden) {
   MetricRegistry registry;
   FillGolden(&registry);
+  // Exposition-format spec: `_total` suffix on counters, HELP before TYPE
+  // for every family, cumulative bucket counts.
   std::string expected =
-      "# TYPE kc_a_counter counter\n"
-      "kc_a_counter 42\n"
+      "# HELP kc_a_counter_total kalmancast metric kc.a.counter\n"
+      "# TYPE kc_a_counter_total counter\n"
+      "kc_a_counter_total 42\n"
+      "# HELP kc_b_gauge kalmancast metric kc.b.gauge\n"
       "# TYPE kc_b_gauge gauge\n"
       "kc_b_gauge 2.5\n"
+      "# HELP kc_c_hist kalmancast metric kc.c.hist\n"
       "# TYPE kc_c_hist histogram\n"
       "kc_c_hist_bucket{le=\"1\"} 1\n"
       "kc_c_hist_bucket{le=\"2\"} 2\n"
@@ -256,6 +263,18 @@ TEST(ExportTest, PrometheusGolden) {
             expected);
 }
 
+TEST(ExportTest, PrometheusNameSanitization) {
+  MetricRegistry registry;
+  registry.GetCounter("kc.weird-name/with spaces")->Inc(1);
+  std::string out = ExportPrometheus(registry, /*include_wall_clock=*/false);
+  // Every illegal character maps to '_'; the original dotted name survives
+  // only in the HELP text.
+  EXPECT_NE(out.find("kc_weird_name_with_spaces_total 1\n"), std::string::npos);
+  EXPECT_NE(out.find("# HELP kc_weird_name_with_spaces_total kalmancast "
+                     "metric kc.weird-name/with spaces\n"),
+            std::string::npos);
+}
+
 TEST(ExportTest, WallClockMetricsIncludedOnRequest) {
   MetricRegistry registry;
   FillGolden(&registry);
@@ -263,6 +282,113 @@ TEST(ExportTest, WallClockMetricsIncludedOnRequest) {
   std::string without = ExportText(registry, /*include_wall_clock=*/false);
   EXPECT_NE(with.find("kc.d.wall_us"), std::string::npos);
   EXPECT_EQ(without.find("kc.d.wall_us"), std::string::npos);
+}
+
+// Every exporter must honour the wall-clock exclusion — one leaking format
+// would break the deterministic-output contract its consumers pin on.
+TEST(ExportTest, WallClockExclusionCoversEveryFormat) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  const std::string json = ExportJsonLines(registry, false);
+  const std::string prom = ExportPrometheus(registry, false);
+  EXPECT_EQ(json.find("wall_us"), std::string::npos);
+  EXPECT_EQ(prom.find("wall_us"), std::string::npos);
+  EXPECT_NE(ExportJsonLines(registry, true).find("kc.d.wall_us"),
+            std::string::npos);
+  EXPECT_NE(ExportPrometheus(registry, true).find("kc_d_wall_us"),
+            std::string::npos);
+}
+
+// JSON-lines round trip: parse each exported line back with a minimal
+// scanner and check it reproduces the registry's rows — guarding against
+// silent quoting/ordering regressions no golden string would survive.
+TEST(ExportTest, JsonLinesParsesBack) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  std::string out = ExportJsonLines(registry, /*include_wall_clock=*/false);
+
+  auto field = [](const std::string& line, const std::string& key) {
+    size_t at = line.find("\"" + key + "\":");
+    EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+    at += key.size() + 3;
+    size_t end = line.find_first_of(",}", line[at] == '"'
+                                              ? line.find('"', at + 1) + 1
+                                              : at);
+    std::string v = line.substr(at, end - at);
+    if (!v.empty() && v.front() == '"') v = v.substr(1, v.size() - 2);
+    return v;
+  };
+
+  std::vector<std::string> lines;
+  std::istringstream is(out);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  std::vector<MetricRow> rows;
+  for (const MetricRow& row : registry.Rows()) {
+    if (!row.wall_clock) rows.push_back(row);
+  }
+  ASSERT_EQ(lines.size(), rows.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    ASSERT_FALSE(lines[i].empty());
+    EXPECT_EQ(lines[i].front(), '{');
+    EXPECT_EQ(lines[i].back(), '}');
+    EXPECT_EQ(field(lines[i], "name"), rows[i].name);
+    switch (rows[i].kind) {
+      case MetricKind::kCounter:
+        EXPECT_EQ(field(lines[i], "kind"), "counter");
+        EXPECT_EQ(std::stoll(field(lines[i], "value")), rows[i].counter);
+        break;
+      case MetricKind::kGauge:
+        EXPECT_EQ(field(lines[i], "kind"), "gauge");
+        EXPECT_DOUBLE_EQ(std::stod(field(lines[i], "value")), rows[i].gauge);
+        break;
+      case MetricKind::kHistogram:
+        EXPECT_EQ(field(lines[i], "kind"), "histogram");
+        EXPECT_EQ(std::stoll(field(lines[i], "count")), rows[i].hist_count);
+        EXPECT_DOUBLE_EQ(std::stod(field(lines[i], "sum")), rows[i].hist_sum);
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------- conflict reporting
+
+TEST(MetricRegistryTest, ValidateEnumeratesKindConflicts) {
+  MetricRegistry registry;
+  EXPECT_TRUE(registry.Validate().empty());
+  registry.GetCounter("kc.conflict.a");
+  registry.GetGauge("kc.conflict.b");
+  EXPECT_EQ(registry.GetGauge("kc.conflict.a"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("kc.conflict.b",
+                                  Buckets::Linear(0.0, 1.0, 2)),
+            nullptr);
+  // The same bad request again must not duplicate the entry.
+  EXPECT_EQ(registry.GetGauge("kc.conflict.a"), nullptr);
+  std::vector<std::string> conflicts = registry.Validate();
+  ASSERT_EQ(conflicts.size(), 2u);  // First-seen order.
+  EXPECT_EQ(conflicts[0],
+            "kc.conflict.a: registered as counter, requested as gauge");
+  EXPECT_EQ(conflicts[1],
+            "kc.conflict.b: registered as gauge, requested as histogram");
+}
+
+TEST(MetricRegistryTest, KindConflictLogsOnceThroughSink) {
+  std::vector<std::string> captured;
+  LogSink previous = SetLogSink(
+      [&captured](LogLevel, const std::string& line) {
+        if (line.find("metric kind conflict") != std::string::npos) {
+          captured.push_back(line);
+        }
+      });
+  {
+    MetricRegistry registry;
+    registry.GetCounter("kc.conflict.logged");
+    registry.GetGauge("kc.conflict.logged");  // Logs.
+    registry.GetGauge("kc.conflict.logged");  // Duplicate: silent.
+  }
+  SetLogSink(std::move(previous));
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("kc.conflict.logged"), std::string::npos);
+  EXPECT_NE(captured[0].find("registered as counter"), std::string::npos);
 }
 
 TEST(ExportTest, RowsSortedByName) {

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fleet/sharded_server.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "streams/generators.h"
@@ -148,6 +150,82 @@ TEST(ShardedFleetTest, MetricsExportBitIdenticalForAnyThreadCount) {
   EXPECT_NE(one.find("kc.agent.innovation"), std::string::npos);
   // Wall-clock timings exist but are excluded from deterministic exports.
   EXPECT_EQ(one.find("step_latency"), std::string::npos);
+}
+
+/// One fault-injected observability run: recorder + watchdog + metrics on
+/// a lossy fleet with recovery. Returns every deterministic artefact the
+/// observability layer can emit.
+struct ObsArtifacts {
+  std::string recorder_text;
+  std::string recorder_json;
+  std::string health_summary;
+  std::string metrics;
+  std::vector<obs::HealthState> states;
+};
+
+ObsArtifacts RunShardedObservability(size_t threads) {
+  ShardedFleet::Config config;
+  config.seed = 4242;
+  config.threads = threads;
+  config.num_shards = 8;
+  config.channel.loss_prob = 0.05;
+  config.channel.faults.burst_enter_prob = 0.02;
+  config.channel.faults.burst_exit_prob = 0.3;
+  config.channel.faults.burst_loss_prob = 0.9;
+  config.channel.faults.partition_start = 80;
+  config.channel.faults.partition_length = 10;
+  config.recovery.enabled = true;
+  config.recovery.suspect_after_silent_ticks = 6;
+  ShardedFleet fleet(config);
+  fleet.EnableMetrics();
+  fleet.EnableFlightRecorder(/*capacity_per_source=*/256);
+  obs::HealthConfig health;
+  health.nis_window = 16;
+  fleet.EnableHealth(health);
+  AddStandardSources(fleet, 12);
+  EXPECT_TRUE(fleet.Run(300).ok());
+
+  ObsArtifacts out;
+  out.recorder_text = fleet.DumpFlightRecorderText();
+  out.recorder_json = fleet.server().DumpFlightRecorderJson();
+  out.health_summary = fleet.HealthSummaryText();
+  obs::MetricRegistry merged;
+  fleet.MergeMetricsInto(&merged);
+  out.metrics = obs::ExportText(merged, /*include_wall_clock=*/false);
+  for (int32_t id = 0; id < 12; ++id) out.states.push_back(fleet.HealthOf(id));
+  return out;
+}
+
+TEST(ShardedFleetTest, ObservabilityArtifactsBitIdenticalForAnyThreadCount) {
+  ObsArtifacts one = RunShardedObservability(1);
+  ObsArtifacts four = RunShardedObservability(4);
+  EXPECT_EQ(one.recorder_text, four.recorder_text);
+  EXPECT_EQ(one.recorder_json, four.recorder_json);
+  EXPECT_EQ(one.health_summary, four.health_summary);
+  EXPECT_EQ(one.metrics, four.metrics);
+  EXPECT_EQ(one.states, four.states);
+
+  // The run actually exercised the interesting paths: faults left a
+  // recovery trail in the black box, every source has a ring and a
+  // summary line, and the watchdog's telemetry landed in the export.
+  EXPECT_NE(one.recorder_text.find("WIRE_GAP"), std::string::npos);
+  EXPECT_NE(one.recorder_text.find("RESYNC_REQUEST"), std::string::npos);
+  for (int32_t id = 0; id < 12; ++id) {
+    std::string needle = "source " + std::to_string(id) + " flight recorder";
+    EXPECT_NE(one.recorder_text.find(needle), std::string::npos) << id;
+  }
+  EXPECT_NE(one.health_summary.find("source    0"), std::string::npos);
+  EXPECT_NE(one.health_summary.find("source   11"), std::string::npos);
+  // The injected loss is heavy enough that the watchdog flags at least
+  // one source (resync storms trip the rate detector).
+  int flagged = 0;
+  for (obs::HealthState s : one.states) {
+    if (s != obs::HealthState::kOk) ++flagged;
+  }
+  EXPECT_GT(flagged, 0) << one.health_summary;
+  EXPECT_NE(one.metrics.find("kc.recorder.events"), std::string::npos);
+  EXPECT_NE(one.metrics.find("kc.health.nis_windows"), std::string::npos);
+  EXPECT_NE(one.metrics.find("kc.health.sources_ok"), std::string::npos);
 }
 
 TEST(ShardedFleetTest, MetricsMirrorProtocolCounters) {

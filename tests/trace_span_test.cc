@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/export.h"
+
 // Compiled with KC_TRACE_DISABLED (see tests/CMakeLists.txt): runs `n`
 // KC_TRACE_SCOPE statements that must compile to nothing.
 namespace kc::obs::testing {
@@ -101,6 +103,57 @@ TEST_F(TraceSpanTest, ClearDiscardsRetainedSpans) {
   ASSERT_FALSE(CollectTraceEvents().empty());
   ClearTraceEvents();
   EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(TraceSpanTest, FlowIdsRideSpans) {
+  {
+    KC_TRACE_SCOPE_FLOW("send", 0x2A);
+  }
+  {
+    KC_TRACE_SCOPE("plain");
+  }
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(std::string(events[0].name), "send");
+  EXPECT_EQ(events[0].flow_id, 0x2Au);
+  EXPECT_EQ(events[1].flow_id, 0u);
+}
+
+// ------------------------------------------------------ Chrome-trace export
+
+TEST(ChromeTraceExportTest, EmitsCompleteEventsAndStitchesFlows) {
+  // Hand-built events: two spans on different "threads" sharing a flow id
+  // (an agent send and the replica apply of the same message), plus one
+  // unrelated span.
+  std::vector<TraceEvent> events(3);
+  events[0] = {"agent.send", 1000, 500, /*flow_id=*/7, 0, /*thread=*/0};
+  events[1] = {"replica.apply", 2000, 300, /*flow_id=*/7, 0, /*thread=*/1};
+  events[2] = {"server.tick", 1500, 100, /*flow_id=*/0, 1, /*thread=*/0};
+  std::string json = ExportChromeTrace(events);
+
+  // Minimal schema: a traceEvents array of "X" complete events with
+  // ts/dur in microseconds.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("{\"name\":\"agent.send\",\"ph\":\"X\",\"ts\":1.000,"
+                      "\"dur\":0.500,\"pid\":0,\"tid\":0,"
+                      "\"args\":{\"depth\":0}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"replica.apply\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"server.tick\""), std::string::npos);
+  // Flow stitching: the earlier span starts flow 7 ("s"), the later one
+  // finishes it ("f" binding to the enclosing slice); both carry the id.
+  size_t s_at = json.find("\"ph\":\"s\",\"id\":7");
+  size_t f_at = json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":7");
+  ASSERT_NE(s_at, std::string::npos);
+  ASSERT_NE(f_at, std::string::npos);
+  EXPECT_LT(s_at, f_at);  // "s" comes from the earliest span.
+  // The flow-less span contributes no flow events.
+  EXPECT_EQ(json.find("\"id\":0"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, EmptyInputIsValidJson) {
+  EXPECT_EQ(ExportChromeTrace({}), "{\"traceEvents\":[]}");
 }
 
 }  // namespace
