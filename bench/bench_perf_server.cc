@@ -82,6 +82,47 @@ BENCHMARK(BM_ShardedFleetStep)
     ->Args({1000, 4})
     ->Args({10000, 4});
 
+// Fleet-scale tick throughput: {sources, pooled}. The pooled rows run
+// the SoA FilterPool path (per-shard contiguous x/P slabs swept by one
+// batched PredictAll per tick); pooled=0 forces every source onto the
+// per-object virtual Predictor path the pools replaced. Single worker
+// thread so rows measure memory layout, not parallelism; answers are
+// bit-identical between the two paths (tests/pool_test.cc), so
+// items_per_second — sources ticked per second — is the only thing that
+// may differ. run_benches.sh folds these rows into BENCH_perf.json's
+// fleet_tick_1m table. The per-object baseline stops at 100k sources:
+// at ~44 KB per source it is memory-bound long before 1M.
+void BM_FleetTick_1M(benchmark::State& state) {
+  const auto sources = static_cast<int>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  kc::ShardedFleet::Config config;
+  config.threads = 1;
+  config.num_shards = 8;
+  config.pooling = pooled;
+  kc::ShardedFleet fleet(config);
+  kc::KalmanPredictor::Config kf;  // Non-adaptive: eligible for pooling.
+  kf.model = kc::MakeRandomWalkModel(0.1, 0.25);
+  for (int i = 0; i < sources; ++i) {
+    kc::RandomWalkGenerator::Config walk;
+    walk.step_sigma = 0.3;
+    // Wide delta: almost every tick is suppressed, so the rows measure
+    // the predict/gate hot loop rather than message serialization.
+    fleet.AddSource(std::make_unique<kc::RandomWalkGenerator>(walk),
+                    std::make_unique<kc::KalmanPredictor>(kf), 4.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * sources);
+  state.counters["sources"] = static_cast<double>(sources);
+  state.counters["pooled"] = pooled ? 1.0 : 0.0;
+}
+BENCHMARK(BM_FleetTick_1M)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AggregateEvaluate(benchmark::State& state) {
   auto members = static_cast<int>(state.range(0));
   kc::Fleet fleet;

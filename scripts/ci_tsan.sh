@@ -21,12 +21,19 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test sharded_fleet_test recovery_test metrics_test \
-  recorder_test health_test trace_span_test
+  --target thread_pool_test sharded_fleet_test pool_test recovery_test \
+  metrics_test recorder_test health_test trace_span_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/thread_pool_test
+# sharded_fleet_test includes the ParallelFor re-entrancy regression
+# (nested ParallelFor on the worker threads) and the pooled-vs-per-object
+# fleet runs under threads.
 "$BUILD_DIR"/tests/sharded_fleet_test
+# Per-shard filter pools are single-writer by construction; the pooled
+# fleet runs above plus this suite's ShardedServer id-reuse test check
+# that no pool state crosses shard workers.
+"$BUILD_DIR"/tests/pool_test
 # The recovery suite drives the sharded fleet with fault injection and the
 # control downlink active — resync requests cross the shard workers.
 "$BUILD_DIR"/tests/recovery_test

@@ -112,6 +112,34 @@ for bench in merged["benchmarks"]:
         "recovery_ticks_per_resync": bench.get("recovery_ticks_per_resync"),
     })
 merged["loss_sweep_recovery"] = loss_sweep
+# Fleet tick throughput at scale: BM_FleetTick_1M rows (sources ticked
+# per second) for the SoA filter-pool path vs the per-object baseline.
+# The headline numbers for the pooling work: the 100k pooled/per-object
+# ratio, and the absolute 1M-source pooled rate.
+fleet_tick = []
+for bench in merged["benchmarks"]:
+    if bench.get("run_type") != "iteration":
+        continue
+    run = bench.get("run_name", bench.get("name", ""))
+    if not run.startswith("BM_FleetTick_1M/"):
+        continue
+    fleet_tick.append({
+        "sources": int(bench.get("sources", 0)),
+        "pooled": bool(bench.get("pooled", 0)),
+        "sources_per_sec": round(bench.get("items_per_second", 0.0), 1),
+        "tick_ms": round(bench.get("real_time", 0.0), 3),
+    })
+fleet_tick.sort(key=lambda r: (r["sources"], r["pooled"]))
+by_key = {(r["sources"], r["pooled"]): r["sources_per_sec"]
+          for r in fleet_tick}
+speedup = None
+if (100000, False) in by_key and (100000, True) in by_key \
+        and by_key[(100000, False)] > 0:
+    speedup = round(by_key[(100000, True)] / by_key[(100000, False)], 2)
+merged["fleet_tick_1m"] = {
+    "rows": fleet_tick,
+    "pooled_speedup_100k": speedup,
+}
 with open("BENCH_perf.json", "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -126,6 +154,12 @@ for row in overhead:
 for row in recorder_overhead:
     print(f"  recorder overhead {row['model']}: {row['base_ns']} -> "
           f"{row['recorded_ns']} ns ({row['overhead_pct']:+.2f}%)")
+for row in fleet_tick:
+    kind = "pooled" if row["pooled"] else "per-object"
+    print(f"  fleet tick {row['sources']} sources ({kind}): "
+          f"{row['sources_per_sec']:,.0f} sources/sec")
+if speedup is not None:
+    print(f"  fleet tick pooled speedup @100k: {speedup}x")
 EOF
 
 echo "run_benches: OK"

@@ -1,0 +1,492 @@
+#include "fleet/pool.h"
+
+#include <cassert>
+
+#include "common/chisq.h"
+#include "linalg/decomp.h"
+#include "linalg/kernels.h"
+#include "obs/metrics.h"
+
+namespace kc {
+
+// ---------------------------------------------------------------- FilterPool
+
+FilterPool::FilterPool(StateSpaceModel model, KalmanFilter::UpdateForm form)
+    : model_(std::move(model)), form_(form) {
+  assert(model_.Validate().ok());
+}
+
+bool FilterPool::Matches(const StateSpaceModel& model,
+                         KalmanFilter::UpdateForm form) const {
+  return form == form_ && model.f == model_.f && model.q == model_.q &&
+         model.h == model_.h && model.r == model_.r;
+}
+
+int32_t FilterPool::Acquire(int32_t owner_id) {
+  int32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<int32_t>(x_.size());
+    size_t n = model_.state_dim();
+    x_.emplace_back(n);          // Zero vector.
+    p_.emplace_back(n, n);       // Zero matrix.
+    active_.push_back(0);
+    owner_.push_back(kNoSlot);
+    predicts_.push_back(0);
+    last_nis_.push_back(0.0);
+  }
+  active_[slot] = 1;
+  owner_[slot] = owner_id;
+  predicts_[slot] = 0;
+  last_nis_[slot] = 0.0;
+  ++num_active_;
+  return slot;
+}
+
+void FilterPool::Release(int32_t slot) {
+  assert(IsActive(slot));
+  // Zero on free: a re-registered source id acquiring this slot later
+  // must never observe the previous tenant's state or covariance.
+  x_[slot].SetZero();
+  p_[slot].SetZero();
+  active_[slot] = 0;
+  owner_[slot] = kNoSlot;
+  predicts_[slot] = 0;
+  last_nis_[slot] = 0.0;
+  --num_active_;
+  free_.push_back(slot);
+}
+
+void FilterPool::ResetSlot(int32_t slot, const Vector& x0, const Matrix& p0) {
+  assert(IsActive(slot));
+  assert(x0.size() == model_.state_dim());
+  assert(p0.rows() == model_.state_dim() && p0.cols() == model_.state_dim());
+  x_[slot] = x0;
+  p_[slot] = p0;
+  predicts_[slot] = 0;
+  last_nis_[slot] = 0.0;
+}
+
+void FilterPool::PredictRaw(int32_t slot) {
+  // Same kernel sequence as KalmanFilter::Predict, on slab entries: the
+  // pooled time update is bit-identical to the per-object one.
+  Vector& x = x_[slot];
+  Matrix& p = p_[slot];
+  MultiplyInto(model_.f, x, &ws_.fx);
+  x = ws_.fx;
+  SandwichInto(model_.f, p, &ws_.tmp1, &ws_.j1);
+  AddInto(ws_.j1, model_.q, &p);
+  p.Symmetrize();
+}
+
+void FilterPool::PredictSlot(int32_t slot) {
+  assert(IsActive(slot));
+  PredictRaw(slot);
+  ++predicts_[slot];
+}
+
+void FilterPool::PredictSlotUpTo(int32_t slot, int64_t epoch) {
+  assert(IsActive(slot));
+  while (predicts_[slot] < epoch) {
+    PredictRaw(slot);
+    ++predicts_[slot];
+  }
+}
+
+size_t FilterPool::PredictAll() {
+  // The batched tick: one linear sweep over the slabs. Slots are mutually
+  // independent, so sweep order cannot affect any slot's state.
+  size_t advanced = 0;
+  const size_t n = x_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (active_[i] == 0) continue;
+    PredictRaw(static_cast<int32_t>(i));
+    ++predicts_[i];
+    ++advanced;
+  }
+  return advanced;
+}
+
+Status FilterPool::UpdateSlot(int32_t slot, const Vector& z) {
+  assert(IsActive(slot));
+  // Same kernel sequence as KalmanFilter::Update (minus the log-likelihood
+  // diagnostic, which nothing on the pooled path reads): bit-identical
+  // state, covariance, and NIS.
+  if (z.size() != model_.obs_dim()) {
+    return Status::InvalidArgument("observation dimension mismatch");
+  }
+  Vector& x = x_[slot];
+  Matrix& p = p_[slot];
+  const Matrix& h = model_.h;
+  MultiplyInto(h, x, &ws_.hx);
+  SubInto(z, ws_.hx, &ws_.nu);
+
+  SandwichInto(h, p, &ws_.tmp1, &ws_.s);
+  ws_.s += model_.r;
+  ws_.s.Symmetrize();
+  if (!Cholesky::FactorInto(ws_.s, &ws_.l)) {
+    return Status::FailedPrecondition("innovation covariance not PD");
+  }
+
+  // Gain K = P H^T S^{-1}; computed as solve(S, H P)^T to stay factored.
+  MultiplyTransposedInto(p, h, &ws_.ph_t);
+  TransposeInto(ws_.ph_t, &ws_.tmp1);
+  Cholesky::SolveInto(ws_.l, ws_.tmp1, &ws_.kt);
+  TransposeInto(ws_.kt, &ws_.k);
+
+  MultiplyInto(ws_.k, ws_.nu, &ws_.knu);
+  x += ws_.knu;
+
+  MultiplyInto(ws_.k, h, &ws_.kh);
+  IdentityMinusInto(ws_.kh, &ws_.i_kh);
+  if (form_ == KalmanFilter::UpdateForm::kJoseph) {
+    SandwichInto(ws_.i_kh, p, &ws_.tmp1, &ws_.j1);
+    SandwichInto(ws_.k, model_.r, &ws_.tmp1, &ws_.krk);
+    AddInto(ws_.j1, ws_.krk, &p);
+  } else {
+    MultiplyInto(ws_.i_kh, p, &ws_.j1);
+    p = ws_.j1;
+  }
+  p.Symmetrize();
+
+  Cholesky::SolveInto(ws_.l, ws_.nu, &ws_.sinv_nu);
+  last_nis_[slot] = ws_.nu.Dot(ws_.sinv_nu);
+  return Status::Ok();
+}
+
+size_t FilterPool::UpdateBatch(const int32_t* slots, const Vector* zs,
+                               size_t n) {
+  size_t updated = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (UpdateSlot(slots[i], zs[i]).ok()) ++updated;
+  }
+  return updated;
+}
+
+double FilterPool::GateSlot(int32_t slot, const Vector& z) {
+  assert(IsActive(slot));
+  // Exactly KalmanPredictor's gate: nu = z - H x; S = H P H^T + R;
+  // NIS = nu' S^{-1} nu via the Cholesky factor. The kernels are
+  // bit-identical to the value-returning operators the per-object gate
+  // uses (see linalg/kernels.h).
+  const Vector& x = x_[slot];
+  const Matrix& p = p_[slot];
+  MultiplyInto(model_.h, x, &ws_.hx);
+  SubInto(z, ws_.hx, &ws_.nu);
+  SandwichInto(model_.h, p, &ws_.tmp1, &ws_.s);
+  ws_.s += model_.r;
+  ws_.s.Symmetrize();
+  if (!Cholesky::FactorInto(ws_.s, &ws_.l)) return -1.0;
+  Cholesky::SolveInto(ws_.l, ws_.nu, &ws_.sinv_nu);
+  return ws_.nu.Dot(ws_.sinv_nu);
+}
+
+void FilterPool::GateBatch(const int32_t* slots, const Vector* zs, size_t n,
+                           double* nis_out) {
+  for (size_t i = 0; i < n; ++i) nis_out[i] = GateSlot(slots[i], zs[i]);
+}
+
+Vector FilterPool::PredictObservationOf(int32_t slot) const {
+  assert(IsActive(slot));
+  return model_.h * x_[slot];
+}
+
+std::vector<double> FilterPool::SerializeSlot(int32_t slot) const {
+  assert(IsActive(slot));
+  const Vector& x = x_[slot];
+  const Matrix& p = p_[slot];
+  std::vector<double> buf;
+  buf.reserve(x.size() + x.size() * x.size());
+  buf.insert(buf.end(), x.data().begin(), x.data().end());
+  buf.insert(buf.end(), p.data().begin(), p.data().end());
+  return buf;
+}
+
+Status FilterPool::DeserializeSlot(int32_t slot,
+                                   const std::vector<double>& payload) {
+  assert(IsActive(slot));
+  size_t n = model_.state_dim();
+  if (payload.size() != n + n * n) {
+    return Status::InvalidArgument("serialized state has wrong size");
+  }
+  Vector& x = x_[slot];
+  Matrix& p = p_[slot];
+  for (size_t i = 0; i < n; ++i) x[i] = payload[i];
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) p(r, c) = payload[n + r * n + c];
+  }
+  p.Symmetrize();
+  return Status::Ok();
+}
+
+Status FilterPool::OverwriteStateOf(int32_t slot,
+                                    const std::vector<double>& payload) {
+  assert(IsActive(slot));
+  size_t n = model_.state_dim();
+  if (payload.size() != n) {
+    return Status::InvalidArgument("state payload has wrong size");
+  }
+  Vector& x = x_[slot];
+  for (size_t i = 0; i < n; ++i) x[i] = payload[i];
+  // The per-object path round-trips the unchanged P through
+  // DeserializeState, whose final Symmetrize we replicate for exact
+  // behavioral equivalence.
+  p_[slot].Symmetrize();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- FilterPoolSet
+
+FilterPool* FilterPoolSet::PoolFor(const StateSpaceModel& model,
+                                   KalmanFilter::UpdateForm form) {
+  // Linear scan: a deployment has a handful of distinct models, not
+  // thousands, and PoolFor runs only at source registration.
+  for (auto& pool : pools_) {
+    if (pool->Matches(model, form)) return pool.get();
+  }
+  pools_.push_back(std::make_unique<FilterPool>(model, form));
+  return pools_.back().get();
+}
+
+size_t FilterPoolSet::PredictAll() {
+  size_t advanced = 0;
+  for (auto& pool : pools_) advanced += pool->PredictAll();
+  return advanced;
+}
+
+size_t FilterPoolSet::num_active() const {
+  size_t total = 0;
+  for (const auto& pool : pools_) total += pool->num_active();
+  return total;
+}
+
+// ----------------------------------------------------- PooledKalmanPredictor
+
+PooledKalmanPredictor::PooledKalmanPredictor(KalmanPredictor::Config config,
+                                             FilterPoolSet* pools)
+    : config_(std::move(config)), pools_(pools) {
+  assert(pools_ != nullptr);
+  assert(config_.model.Validate().ok());
+  // Adaptive noise estimation mutates the per-source model and cannot
+  // share a pool; MakePooledPredictor filters such configs out.
+  assert(!config_.adaptive.has_value());
+  if (config_.outlier_gate_prob > 0.0 && config_.outlier_gate_prob < 1.0) {
+    gate_threshold_ =
+        ChiSquaredQuantile(config_.outlier_gate_prob, config_.model.obs_dim());
+  }
+}
+
+PooledKalmanPredictor::~PooledKalmanPredictor() { ReleaseSlots(); }
+
+void PooledKalmanPredictor::ReleaseSlots() {
+  if (pool_ == nullptr) return;
+  if (shadow_slot_ != FilterPool::kNoSlot) pool_->Release(shadow_slot_);
+  if (private_slot_ != FilterPool::kNoSlot) pool_->Release(private_slot_);
+  shadow_slot_ = FilterPool::kNoSlot;
+  private_slot_ = FilterPool::kNoSlot;
+}
+
+void PooledKalmanPredictor::Init(const Reading& first) {
+  assert(first.value.size() == config_.model.obs_dim());
+  if (pool_ == nullptr) {
+    pool_ = pools_->PoolFor(config_.model, config_.update_form);
+  }
+  // Same lift as KalmanPredictor::Init: H^T z places observed values in
+  // their state slots, derivatives start at zero.
+  size_t n = config_.model.state_dim();
+  Vector x0 = config_.model.h.Transposed() * first.value;
+  Matrix p0 = Matrix::ScalarDiagonal(n, config_.init_var);
+  if (shadow_slot_ == FilterPool::kNoSlot) {
+    shadow_slot_ = pool_->Acquire(/*owner_id=*/-1);
+  }
+  pool_->ResetSlot(shadow_slot_, x0, p0);
+  if (config_.sync_mode != KalmanPredictor::SyncMode::kMeasurement) {
+    // The private slot is materialized lazily (EnsurePrivateSlot): a
+    // server replica clone never observes locally, so its private filter
+    // would only waste a slot — and a batched time update per tick.
+    if (private_slot_ != FilterPool::kNoSlot) {
+      pool_->ResetSlot(private_slot_, x0, p0);
+      private_pending_ = false;
+    } else {
+      private_pending_ = true;
+      init_value_ = first.value;
+    }
+  } else {
+    if (private_slot_ != FilterPool::kNoSlot) {
+      pool_->Release(private_slot_);
+      private_slot_ = FilterPool::kNoSlot;
+    }
+    private_pending_ = false;
+  }
+  shadow_ticks_ = 0;
+  private_ticks_ = 0;
+  consecutive_rejects_ = 0;
+  outliers_rejected_ = 0;
+  last_nis_ = -1.0;
+  last_observed_ = first;
+}
+
+void PooledKalmanPredictor::EnsurePrivateSlot() {
+  if (!private_pending_) return;
+  size_t n = config_.model.state_dim();
+  Vector x0 = config_.model.h.Transposed() * init_value_;
+  Matrix p0 = Matrix::ScalarDiagonal(n, config_.init_var);
+  private_slot_ = pool_->Acquire(/*owner_id=*/-1);
+  pool_->ResetSlot(private_slot_, x0, p0);
+  private_pending_ = false;
+}
+
+void PooledKalmanPredictor::Tick() {
+  assert(shadow_slot_ != FilterPool::kNoSlot);
+  ++shadow_ticks_;
+  // A no-op when the shard's batched PredictAll already advanced the
+  // slot this tick; does the time update itself in standalone use.
+  pool_->PredictSlotUpTo(shadow_slot_, shadow_ticks_);
+}
+
+void PooledKalmanPredictor::ObserveLocal(const Reading& measured) {
+  last_observed_ = measured;
+  if (config_.sync_mode == KalmanPredictor::SyncMode::kMeasurement) return;
+  EnsurePrivateSlot();
+  ++private_ticks_;
+  pool_->PredictSlotUpTo(private_slot_, private_ticks_);
+
+  if (gate_threshold_ > 0.0) {
+    // Identical control flow to KalmanPredictor's innovation gate,
+    // including the conclusive-gate-only reset of the rejection run.
+    double nis = pool_->GateSlot(private_slot_, measured.value);
+    if (nis >= 0.0) {
+      last_nis_ = nis;  // A rejected reading is still a consistency sample.
+      if (nis > gate_threshold_) {
+        if (consecutive_rejects_ + 1 < config_.outlier_gate_limit) {
+          ++consecutive_rejects_;
+          ++outliers_rejected_;
+          if (metrics_.outliers_rejected) metrics_.outliers_rejected->Inc();
+          return;  // Predict-only this tick.
+        }
+        if (metrics_.forced_accepts) metrics_.forced_accepts->Inc();
+      }
+    }
+    consecutive_rejects_ = 0;
+  }
+
+  Status s = pool_->UpdateSlot(private_slot_, measured.value);
+  assert(s.ok());
+  (void)s;
+  last_nis_ = pool_->LastNisOf(private_slot_);
+}
+
+Vector PooledKalmanPredictor::Target() const {
+  if (config_.sync_mode != KalmanPredictor::SyncMode::kMeasurement &&
+      (private_slot_ != FilterPool::kNoSlot || private_pending_)) {
+    // Materializing the pending slot is logically const: the returned
+    // value is exactly what the per-object path computes from x0.
+    auto* self = const_cast<PooledKalmanPredictor*>(this);
+    self->EnsurePrivateSlot();
+    return pool_->PredictObservationOf(private_slot_);
+  }
+  return last_observed_.value;
+}
+
+Vector PooledKalmanPredictor::Predict() const {
+  assert(shadow_slot_ != FilterPool::kNoSlot);
+  return pool_->PredictObservationOf(shadow_slot_);
+}
+
+std::vector<double> PooledKalmanPredictor::EncodeCorrection(
+    const Reading& measured) const {
+  switch (config_.sync_mode) {
+    case KalmanPredictor::SyncMode::kMeasurement:
+      return measured.value.data();
+    case KalmanPredictor::SyncMode::kState:
+      const_cast<PooledKalmanPredictor*>(this)->EnsurePrivateSlot();
+      return pool_->StateOf(private_slot_).data();
+    case KalmanPredictor::SyncMode::kStateAndCov:
+      const_cast<PooledKalmanPredictor*>(this)->EnsurePrivateSlot();
+      return pool_->SerializeSlot(private_slot_);
+  }
+  return {};
+}
+
+Status PooledKalmanPredictor::ApplyCorrection(
+    int64_t /*seq*/, double /*time*/, const std::vector<double>& payload) {
+  if (shadow_slot_ == FilterPool::kNoSlot) {
+    return Status::FailedPrecondition("predictor not initialized");
+  }
+  switch (config_.sync_mode) {
+    case KalmanPredictor::SyncMode::kMeasurement: {
+      if (payload.size() != config_.model.obs_dim()) {
+        return Status::InvalidArgument("correction payload has wrong size");
+      }
+      z_scratch_.ResizeUninit(payload.size());
+      for (size_t i = 0; i < payload.size(); ++i) z_scratch_[i] = payload[i];
+      return pool_->UpdateSlot(shadow_slot_, z_scratch_);
+    }
+    case KalmanPredictor::SyncMode::kState:
+      return pool_->OverwriteStateOf(shadow_slot_, payload);
+    case KalmanPredictor::SyncMode::kStateAndCov:
+      return pool_->DeserializeSlot(shadow_slot_, payload);
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<double> PooledKalmanPredictor::EncodeFullState() const {
+  assert(shadow_slot_ != FilterPool::kNoSlot);
+  return pool_->SerializeSlot(shadow_slot_);
+}
+
+Status PooledKalmanPredictor::ApplyFullState(
+    const std::vector<double>& payload) {
+  if (shadow_slot_ == FilterPool::kNoSlot) {
+    return Status::FailedPrecondition("predictor not initialized");
+  }
+  if (metrics_.filter_resets) metrics_.filter_resets->Inc();
+  return pool_->DeserializeSlot(shadow_slot_, payload);
+}
+
+void PooledKalmanPredictor::BindMetrics(obs::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics();
+    return;
+  }
+  metrics_.outliers_rejected =
+      registry->GetCounter("kc.kalman.outliers_rejected");
+  metrics_.forced_accepts =
+      registry->GetCounter("kc.kalman.gate_forced_accepts");
+  metrics_.filter_resets = registry->GetCounter("kc.kalman.filter_resets");
+}
+
+std::unique_ptr<Predictor> PooledKalmanPredictor::Clone() const {
+  return std::make_unique<PooledKalmanPredictor>(config_, pools_);
+}
+
+std::string PooledKalmanPredictor::name() const {
+  switch (config_.sync_mode) {
+    case KalmanPredictor::SyncMode::kState:
+      return "kalman";
+    case KalmanPredictor::SyncMode::kStateAndCov:
+      return "kalman_cov";
+    case KalmanPredictor::SyncMode::kMeasurement:
+      return "kalman_meas";
+  }
+  return "kalman";
+}
+
+std::unique_ptr<Predictor> MakePooledPredictor(const Predictor& prototype,
+                                               FilterPoolSet* pools) {
+  const auto* kp = dynamic_cast<const KalmanPredictor*>(&prototype);
+  if (kp == nullptr) return nullptr;
+  const KalmanPredictor::Config& config = kp->config();
+  if (config.adaptive.has_value()) return nullptr;
+  if (config.model.state_dim() > Vector::kInlineCap ||
+      config.model.state_dim() * config.model.state_dim() >
+          Matrix::kInlineCap ||
+      config.model.obs_dim() > Vector::kInlineCap) {
+    return nullptr;  // Outside the inline-slab envelope.
+  }
+  return std::make_unique<PooledKalmanPredictor>(config, pools);
+}
+
+}  // namespace kc

@@ -1,0 +1,299 @@
+#ifndef KALMANCAST_FLEET_POOL_H_
+#define KALMANCAST_FLEET_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "kalman/kalman_filter.h"
+#include "kalman/model.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "suppression/policies.h"
+#include "suppression/predictor.h"
+
+namespace kc {
+
+namespace obs {
+class Counter;
+class MetricRegistry;
+}  // namespace obs
+
+/// Structure-of-arrays storage for many Kalman filters that share one
+/// (model, update form). Instead of each source owning a heap-scattered
+/// KalmanFilter — whose ~7 KB of model + workspace matrices dominate the
+/// per-tick cache traffic at fleet scale — a pool keeps every filter's
+/// mutable state (x, P) in two contiguous slabs and shares a single
+/// scratch workspace and model across all slots. A fleet tick then sweeps
+/// the slabs front to back (PredictAll), touching ~600 bytes per source
+/// instead of chasing pointers through tens of kilobytes.
+///
+/// Bit-identity contract: every per-slot operation executes the *same*
+/// destination-passing kernel sequence as KalmanFilter::Predict/Update
+/// (src/kalman/kalman_filter.cc), so a pooled filter's state is
+/// bit-identical to a per-object filter fed the same inputs — pooling is
+/// a memory-layout change, never a numerical one. Slots are mutually
+/// independent, so the sweep order of PredictAll cannot affect any slot's
+/// result (see docs/PERF.md for the full determinism argument).
+///
+/// Slot lifecycle: Acquire() -> ResetSlot() -> {PredictAll / PredictSlot /
+/// UpdateSlot / GateSlot ...} -> Release(). Release zeroes x and P before
+/// returning the slot to the free list, so a later Acquire for a
+/// re-registered source id can never observe a previous tenant's state.
+///
+/// Threading: a pool is single-writer, like the shard that owns it. The
+/// sharded fleet gives each shard its own FilterPoolSet; the shard's
+/// worker thread is the only thread that touches it during a tick.
+class FilterPool {
+ public:
+  /// Invalid slot sentinel.
+  static constexpr int32_t kNoSlot = -1;
+
+  FilterPool(StateSpaceModel model, KalmanFilter::UpdateForm form);
+
+  /// True if this pool stores filters for exactly this (model, form).
+  bool Matches(const StateSpaceModel& model,
+               KalmanFilter::UpdateForm form) const;
+
+  /// Claims a slot (reusing a freed one when available) and records the
+  /// owning source id for diagnostics. The slot starts zeroed; call
+  /// ResetSlot before filtering with it.
+  int32_t Acquire(int32_t owner_id);
+
+  /// Returns a slot to the free list, zeroing x and P so the next tenant
+  /// can never observe stale state (id-reuse hygiene).
+  void Release(int32_t slot);
+
+  /// (Re)initializes a slot's state and covariance and clears its predict
+  /// epoch and diagnostics — the pooled equivalent of constructing a
+  /// fresh KalmanFilter.
+  void ResetSlot(int32_t slot, const Vector& x0, const Matrix& p0);
+
+  // --- Batched tick kernels -------------------------------------------
+
+  /// Advances every active slot one time update, sweeping the x/P slabs
+  /// in slot order, and bumps each slot's predict epoch. Returns the
+  /// number of slots advanced. This is the fleet's per-tick hot loop.
+  size_t PredictAll();
+
+  /// Measurement-updates each (slot, z) pair in order. Returns the number
+  /// of successful updates; a failed update (singular S) skips that slot
+  /// without touching its state, exactly like KalmanFilter::Update.
+  size_t UpdateBatch(const int32_t* slots, const Vector* zs, size_t n);
+
+  /// Computes the gate NIS of z against each slot (see GateSlot) into
+  /// nis_out[i], without mutating any state.
+  void GateBatch(const int32_t* slots, const Vector* zs, size_t n,
+                 double* nis_out);
+
+  // --- Per-slot operations (same kernels, one slot at a time) ---------
+
+  /// One time update: x <- F x, P <- F P F^T + Q. Bumps the predict epoch.
+  void PredictSlot(int32_t slot);
+
+  /// Runs time updates until the slot's predict epoch reaches `epoch`.
+  /// No-op if PredictAll already advanced it there — this is how pooled
+  /// predictors stay correct whether or not a batched sweep is driving
+  /// the pool (standalone use never calls PredictAll).
+  void PredictSlotUpTo(int32_t slot, int64_t epoch);
+
+  /// Measurement update with observation z; identical kernel sequence to
+  /// KalmanFilter::Update, including the Joseph/standard covariance forms
+  /// and the NIS diagnostic (LastNisOf). Fails without modifying state if
+  /// z has the wrong dimension or S is not positive definite.
+  Status UpdateSlot(int32_t slot, const Vector& z);
+
+  /// Innovation gate statistic: NIS of z against the slot's predicted
+  /// observation, computed exactly as KalmanPredictor's gate does.
+  /// Returns a negative value if S fails to factor (gate inconclusive);
+  /// never mutates state.
+  double GateSlot(int32_t slot, const Vector& z);
+
+  // --- Accessors -------------------------------------------------------
+
+  const Vector& StateOf(int32_t slot) const { return x_[slot]; }
+  const Matrix& CovarianceOf(int32_t slot) const { return p_[slot]; }
+  /// Expected observation H x (value-identical to
+  /// KalmanFilter::PredictObservation).
+  Vector PredictObservationOf(int32_t slot) const;
+  /// NIS of the slot's most recent successful UpdateSlot (0 before any).
+  double LastNisOf(int32_t slot) const { return last_nis_[slot]; }
+  /// Time updates applied since the slot's last ResetSlot.
+  int64_t PredictEpochOf(int32_t slot) const { return predicts_[slot]; }
+  int32_t OwnerOf(int32_t slot) const { return owner_[slot]; }
+  bool IsActive(int32_t slot) const {
+    return slot >= 0 && static_cast<size_t>(slot) < active_.size() &&
+           active_[slot] != 0;
+  }
+
+  /// Flattens (x, P) as KalmanFilter::SerializeState does: x's entries
+  /// followed by P's rows.
+  std::vector<double> SerializeSlot(int32_t slot) const;
+  /// Restores (x, P) from SerializeSlot/SerializeState output.
+  Status DeserializeSlot(int32_t slot, const std::vector<double>& payload);
+  /// Overwrites x only (state-sync corrections), leaving P in place and
+  /// re-symmetrizing it — behaviorally identical to the per-object path,
+  /// which round-trips the unchanged P through DeserializeState.
+  Status OverwriteStateOf(int32_t slot, const std::vector<double>& payload);
+
+  const StateSpaceModel& model() const { return model_; }
+  KalmanFilter::UpdateForm form() const { return form_; }
+  size_t state_dim() const { return model_.state_dim(); }
+  size_t obs_dim() const { return model_.obs_dim(); }
+  /// Slots currently in use / ever allocated.
+  size_t num_active() const { return num_active_; }
+  size_t capacity() const { return x_.size(); }
+
+ private:
+  /// Shared scratch, one per pool (not per filter): the same temporaries
+  /// KalmanFilter::Workspace holds, reshaped once and fully overwritten
+  /// by the *Into kernels on every use.
+  struct Workspace {
+    Vector fx, hx, nu, knu, sinv_nu;
+    Matrix tmp1, s, l, ph_t, kt, k, kh, i_kh, j1, krk;
+  };
+
+  /// The time-update kernels, without epoch bookkeeping.
+  void PredictRaw(int32_t slot);
+
+  StateSpaceModel model_;
+  KalmanFilter::UpdateForm form_;
+
+  // SoA slabs, indexed by slot. Vector/Matrix storage is small-buffer
+  // inline for the documented state_dim <= 8 envelope, so std::vector of
+  // them IS the contiguous slab — no separate flat-double layout needed,
+  // and the kernels run on the slab entries directly.
+  std::vector<Vector> x_;
+  std::vector<Matrix> p_;
+  std::vector<uint8_t> active_;
+  std::vector<int32_t> owner_;     ///< Source id, kNoSlot when free.
+  std::vector<int64_t> predicts_;  ///< Time updates since ResetSlot.
+  std::vector<double> last_nis_;   ///< Last UpdateSlot NIS.
+  std::vector<int32_t> free_;      ///< Released slots, reused LIFO.
+  size_t num_active_ = 0;
+
+  Workspace ws_;
+};
+
+/// The per-shard collection of filter pools: one FilterPool per distinct
+/// (model, update form) among the shard's pooled sources. PoolFor returns
+/// a stable pointer (pools are never destroyed before the set), and
+/// PredictAll sweeps every pool in creation order — the batched tick the
+/// sharded server runs at the top of each shard tick.
+class FilterPoolSet {
+ public:
+  /// The pool for this (model, form), created on first use. Pointers stay
+  /// valid for the set's lifetime.
+  FilterPool* PoolFor(const StateSpaceModel& model,
+                      KalmanFilter::UpdateForm form);
+
+  /// Batched tick: PredictAll on every pool, in creation order. Returns
+  /// total slots advanced.
+  size_t PredictAll();
+
+  size_t num_pools() const { return pools_.size(); }
+  size_t num_active() const;
+
+ private:
+  std::vector<std::unique_ptr<FilterPool>> pools_;
+};
+
+/// Drop-in pooled replacement for a non-adaptive KalmanPredictor: the same
+/// dual-filter suppression protocol (shadow + private, sync modes, outlier
+/// gate, serialization formats, metric names), with both filters living as
+/// slots in a shared FilterPool instead of owning KalmanFilter objects.
+/// Every ObserveLocal/ApplyCorrection/... is bit-identical to the
+/// per-object KalmanPredictor fed the same inputs (pinned by
+/// tests/pool_test.cc), so the fleet can substitute one for the other
+/// freely.
+///
+/// Predict epochs: Tick() and ObserveLocal() advance per-predictor tick
+/// counters and ask the pool to catch the slot up (PredictSlotUpTo). When
+/// the owning shard runs FilterPoolSet::PredictAll once per tick, the
+/// catch-up is a no-op and the time updates happen in the batched sweep;
+/// without a sweep (standalone use, unit tests) the catch-up does the
+/// predicts itself. Either way each slot sees exactly one time update per
+/// protocol tick.
+///
+/// The private filter's slot is materialized lazily at first use: a
+/// server-side replica clone never observes locally, so its private slot
+/// is never created and the batched sweep never wastes a time update on
+/// state nobody reads.
+class PooledKalmanPredictor : public Predictor {
+ public:
+  /// `pools` must outlive the predictor (the sharded server's pool sets
+  /// outlive its shards' replicas by member order).
+  PooledKalmanPredictor(KalmanPredictor::Config config, FilterPoolSet* pools);
+  ~PooledKalmanPredictor() override;
+
+  void Init(const Reading& first) override;
+  void Tick() override;
+  void ObserveLocal(const Reading& measured) override;
+  Vector Target() const override;
+  Vector Predict() const override;
+  std::vector<double> EncodeCorrection(const Reading& measured) const override;
+  Status ApplyCorrection(int64_t seq, double time,
+                         const std::vector<double>& payload) override;
+  std::vector<double> EncodeFullState() const override;
+  Status ApplyFullState(const std::vector<double>& payload) override;
+  void BindMetrics(obs::MetricRegistry* registry) override;
+  double LastNis() const override { return last_nis_; }
+  int64_t OutliersRejected() const override { return outliers_rejected_; }
+  std::unique_ptr<Predictor> Clone() const override;
+  /// Same names as KalmanPredictor: pooling is invisible to reports.
+  std::string name() const override;
+  size_t dims() const override { return config_.model.obs_dim(); }
+
+  const KalmanPredictor::Config& config() const { return config_; }
+  /// The pool backing this predictor (nullptr before Init).
+  const FilterPool* pool() const { return pool_; }
+  int32_t shadow_slot() const { return shadow_slot_; }
+  int32_t private_slot() const { return private_slot_; }
+
+ private:
+  /// Arena counter handles, cached at bind time; null until BindMetrics.
+  struct Metrics {
+    obs::Counter* outliers_rejected = nullptr;
+    obs::Counter* forced_accepts = nullptr;
+    obs::Counter* filter_resets = nullptr;
+  };
+
+  /// Materializes the private slot from the Init reading if it is still
+  /// pending (state-sync modes only).
+  void EnsurePrivateSlot();
+  void ReleaseSlots();
+
+  KalmanPredictor::Config config_;
+  FilterPoolSet* pools_;
+  FilterPool* pool_ = nullptr;  ///< Resolved at first Init.
+  Metrics metrics_;
+  int32_t shadow_slot_ = FilterPool::kNoSlot;
+  int32_t private_slot_ = FilterPool::kNoSlot;
+  /// True between Init and the first private-slot use (lazy acquisition).
+  bool private_pending_ = false;
+  /// The Init reading's value, kept so a pending private slot can be
+  /// materialized with the same x0/P0 Init would have used.
+  Vector init_value_;
+  double gate_threshold_ = 0.0;  ///< Chi-squared NIS cutoff (0 = no gate).
+  int consecutive_rejects_ = 0;
+  int64_t outliers_rejected_ = 0;
+  double last_nis_ = -1.0;
+  int64_t shadow_ticks_ = 0;   ///< Tick() calls since Init.
+  int64_t private_ticks_ = 0;  ///< ObserveLocal() calls since Init.
+  /// Reusable payload -> Vector scratch for measurement-sync corrections.
+  Vector z_scratch_;
+};
+
+/// If `prototype` is a poolable KalmanPredictor — non-adaptive (adaptive
+/// noise estimation mutates the per-source model, defeating sharing) and
+/// within the inline state_dim/obs_dim <= 8 envelope — returns a pooled
+/// equivalent backed by `pools`. Returns nullptr when the prototype must
+/// stay on the virtual per-object path (EKF/UKF/IMM-style predictors,
+/// adaptive configs, oversized models).
+std::unique_ptr<Predictor> MakePooledPredictor(const Predictor& prototype,
+                                               FilterPoolSet* pools);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_FLEET_POOL_H_

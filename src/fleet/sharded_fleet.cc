@@ -43,6 +43,18 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
   auto slot = std::make_unique<SourceSlot>();
   slot->id = id;
 
+  // Poolable Kalman sources swap onto the shard's SoA filter pool; the
+  // replica clone below inherits the same pool set, so both ends of the
+  // protocol live in the owning shard's slabs. Bit-identical to the
+  // per-object predictor, so the substitution is invisible to the
+  // protocol, reports, and determinism contract.
+  if (config_.pooling) {
+    if (auto pooled =
+            MakePooledPredictor(*predictor, server_.shard_pools(shard_index))) {
+      predictor = std::move(pooled);
+    }
+  }
+
   // Identical seed derivation to the single-threaded Fleet: pure function
   // of (fleet seed, id), never of shard or thread count.
   slot->generator = std::move(generator);

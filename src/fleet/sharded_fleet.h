@@ -52,6 +52,15 @@ class ShardedFleet {
     /// fine (workers pick up shards dynamically); results never depend on
     /// either knob.
     size_t num_shards = 0;
+    /// Pool eligible Kalman predictors into per-shard structure-of-arrays
+    /// FilterPools swept by a batched PredictAll each tick (see
+    /// fleet/pool.h). Bit-identical to the per-object path — pinned by
+    /// tests/pool_test.cc — so this is purely a performance knob; turning
+    /// it off forces every source onto the virtual Predictor path (the
+    /// per-object baseline BM_FleetTick_1M measures against). Predictors
+    /// that cannot pool (adaptive configs, non-Kalman policies) always
+    /// use the per-object path regardless.
+    bool pooling = true;
   };
 
   ShardedFleet();

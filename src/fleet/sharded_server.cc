@@ -5,8 +5,11 @@
 namespace kc {
 
 ShardedServer::ShardedServer(size_t num_shards) {
-  shards_.reserve(std::max<size_t>(num_shards, 1));
-  for (size_t i = 0; i < std::max<size_t>(num_shards, 1); ++i) {
+  size_t n = std::max<size_t>(num_shards, 1);
+  pool_sets_.reserve(n);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool_sets_.push_back(std::make_unique<FilterPoolSet>());
     shards_.push_back(std::make_unique<StreamServer>());
   }
 }
@@ -31,10 +34,18 @@ Status ShardedServer::UnregisterSource(int32_t source_id) {
 }
 
 void ShardedServer::Tick() {
-  for (auto& shard : shards_) shard->Tick();
+  for (size_t i = 0; i < shards_.size(); ++i) TickShard(i);
 }
 
-void ShardedServer::TickShard(size_t index) { shards_[index]->Tick(); }
+void ShardedServer::TickShard(size_t index) {
+  // Batched sweep first: every pooled filter on the shard gets its one
+  // time update for this tick in a contiguous slab pass. Predictor Tick()
+  // calls inside the replicas then see an already-advanced slot (their
+  // PredictSlotUpTo is a no-op). Slots are mutually independent, so this
+  // hoist is state-identical to per-replica predicts — see docs/PERF.md.
+  pool_sets_[index]->PredictAll();
+  shards_[index]->Tick();
+}
 
 Status ShardedServer::OnMessage(const Message& msg) {
   return shards_[ShardOf(msg.source_id)]->OnMessage(msg);

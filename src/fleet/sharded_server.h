@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/pool.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -61,9 +62,17 @@ class ShardedServer : public SourceView {
   /// workers instead.
   void Tick();
 
-  /// Advances one shard one stream tick. Thread-affine: at most one
-  /// thread per shard per tick.
+  /// Advances one shard one stream tick: first the shard's batched filter
+  /// sweep (FilterPoolSet::PredictAll — one contiguous pass over every
+  /// pooled filter's state), then the shard's replicas. Thread-affine: at
+  /// most one thread per shard per tick.
   void TickShard(size_t index);
+
+  /// The shard's filter pools. Pooled predictors registered on a shard
+  /// (ShardedFleet does this for poolable Kalman sources) must draw their
+  /// slots from its own pool set, so the shard's worker remains the only
+  /// thread touching that state. Stable for the server's lifetime.
+  FilterPoolSet* shard_pools(size_t index) { return pool_sets_[index].get(); }
 
   /// Routes a wire message to the owning shard's replica. In threaded
   /// use, call only from the thread driving that shard this tick.
@@ -181,6 +190,10 @@ class ShardedServer : public SourceView {
   /// Mirrors one cross-shard query evaluation onto the driver arena.
   void RecordQueryOutcome(bool ok, bool stale) const;
 
+  /// Declared before shards_: replicas (and the fleet's agents) hold pool
+  /// slots, so the pool sets must be destroyed after every predictor that
+  /// releases into them.
+  std::vector<std::unique_ptr<FilterPoolSet>> pool_sets_;
   std::vector<std::unique_ptr<StreamServer>> shards_;
   QueryTable queries_;
   std::vector<std::unique_ptr<obs::MetricRegistry>> shard_metrics_;

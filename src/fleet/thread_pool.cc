@@ -2,6 +2,17 @@
 
 namespace kc {
 
+namespace {
+
+/// The pool whose batch body is executing on this thread, if any. Lets
+/// ParallelFor detect re-entrant calls from inside a body — previously a
+/// deadlock: the nested batch overwrote batch_/generation_, workers
+/// blocked inside the outer batch never picked it up, and the nested
+/// driver waited forever on completions that could not arrive.
+thread_local const ThreadPool* t_running_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t threads) {
   if (threads <= 1) return;
   workers_.reserve(threads - 1);
@@ -22,7 +33,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  // Re-entry from inside one of this pool's own bodies (nested batched
+  // work) runs inline on the calling thread: the outer batch already owns
+  // the workers, and publishing a second batch would deadlock both.
+  if (workers_.empty() || n == 1 || t_running_pool == this) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -58,13 +72,16 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunItems(Batch& batch) {
+  const ThreadPool* prev = t_running_pool;
+  t_running_pool = this;
   for (;;) {
     size_t i = batch.next.fetch_add(1);
-    if (i >= batch.n) return;
+    if (i >= batch.n) break;
     (*batch.body)(i);
     std::lock_guard<std::mutex> lock(mu_);
     if (++batch.completed == batch.n) done_cv_.notify_all();
   }
+  t_running_pool = prev;
 }
 
 }  // namespace kc

@@ -24,8 +24,11 @@ namespace kc {
 /// a plain sequential loop, so a --threads=1 run executes exactly the
 /// code a --threads=N run executes, minus the scheduling.
 ///
-/// Contract: one driver thread; bodies must not throw and must not call
-/// back into the pool.
+/// Contract: one driver thread; bodies must not throw. A body MAY call
+/// ParallelFor on its own pool again (nested batched work): the re-entry
+/// is detected and the nested loop runs inline on the calling thread,
+/// sequentially — correct and deterministic, though without additional
+/// parallelism.
 class ThreadPool {
  public:
   /// `threads` is the total parallelism including the calling thread:

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -24,23 +25,102 @@ const char* KindShortName(MetricKind kind) {
 
 }  // namespace
 
+namespace {
+
+/// Log-once cadence for degenerate bucket layouts: big enough that each
+/// call site below effectively fires a single warning per process, small
+/// enough that a pathological hot loop still resurfaces eventually.
+constexpr int64_t kBucketWarnEvery = int64_t{1} << 30;
+
+/// Drops any bound that fails to strictly increase (duplicate, decreasing,
+/// or non-finite after overflow) by truncating the layout there. A final
+/// backstop: the clamps in Exponential/Linear make this a no-op for every
+/// sane input.
+void TruncateNonMonotone(Buckets* b) {
+  for (size_t i = 0; i < b->count; ++i) {
+    bool bad = !std::isfinite(b->bounds[i]) ||
+               (i > 0 && !(b->bounds[i] > b->bounds[i - 1]));
+    if (bad) {
+      KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+          << "histogram bounds stop increasing at index " << i
+          << "; truncating to " << i << " finite buckets";
+      b->count = i;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 Buckets Buckets::Exponential(double first, double factor, size_t n) {
   Buckets b;
+  if (n == 0) {
+    // Legal but almost certainly a bug upstream: the histogram degenerates
+    // to a single overflow bucket.
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Exponential(n=0): histogram will have only the "
+           "overflow bucket";
+    return b;
+  }
+  if (n > kMaxBounds) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Exponential(n=" << n << ") clamped to " << kMaxBounds
+        << " bounds";
+  }
+  if (!std::isfinite(first) || first <= 0.0) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Exponential(first=" << first
+        << "): first bound must be finite and > 0; using 1.0";
+    first = 1.0;
+  }
+  if (!std::isfinite(factor) || factor <= 1.0) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Exponential(factor=" << factor
+        << "): factor must be finite and > 1 for increasing bounds; "
+           "using 2.0";
+    factor = 2.0;
+  }
   b.count = std::min(n, kMaxBounds);
   double bound = first;
   for (size_t i = 0; i < b.count; ++i) {
     b.bounds[i] = bound;
     bound *= factor;
   }
+  TruncateNonMonotone(&b);
   return b;
 }
 
 Buckets Buckets::Linear(double start, double width, size_t n) {
   Buckets b;
+  if (n == 0) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Linear(n=0): histogram will have only the overflow "
+           "bucket";
+    return b;
+  }
+  if (n > kMaxBounds) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Linear(n=" << n << ") clamped to " << kMaxBounds
+        << " bounds";
+  }
+  if (!std::isfinite(start)) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Linear(start=" << start
+        << "): start must be finite; using 0.0";
+    start = 0.0;
+  }
+  if (!std::isfinite(width) || width <= 0.0) {
+    KC_LOG_EVERY_N(Warning, kBucketWarnEvery)
+        << "Buckets::Linear(width=" << width
+        << "): width must be finite and > 0 for increasing bounds; "
+           "using 1.0";
+    width = 1.0;
+  }
   b.count = std::min(n, kMaxBounds);
   for (size_t i = 0; i < b.count; ++i) {
     b.bounds[i] = start + width * static_cast<double>(i);
   }
+  TruncateNonMonotone(&b);
   return b;
 }
 

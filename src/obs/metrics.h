@@ -82,9 +82,16 @@ struct Buckets {
   std::array<double, kMaxBounds> bounds{};
   size_t count = 0;
 
-  /// bounds[i] = first * factor^i, `n` of them (clamped to kMaxBounds).
+  /// bounds[i] = first * factor^i, `n` of them. Degenerate inputs are
+  /// clamped to a valid strictly-increasing layout and warned about once
+  /// through the pluggable log sink: n is clamped to kMaxBounds, first
+  /// must be finite and > 0 (else 1.0), factor finite and > 1 (else 2.0),
+  /// and n == 0 yields only the implicit overflow bucket.
   static Buckets Exponential(double first, double factor, size_t n);
-  /// bounds[i] = start + width * i, `n` of them (clamped to kMaxBounds).
+  /// bounds[i] = start + width * i, `n` of them. Same degenerate-input
+  /// policy: n clamped to kMaxBounds, start must be finite (else 0.0),
+  /// width finite and > 0 (else 1.0), n == 0 yields only the overflow
+  /// bucket. Either way the resulting bounds are strictly increasing.
   static Buckets Linear(double start, double width, size_t n);
 };
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "fleet/pool.h"
 #include "kalman/ekf.h"
 #include "kalman/imm.h"
 #include "kalman/kalman_filter.h"
@@ -262,6 +263,69 @@ TEST(ZeroAllocTest, RecorderAndHealthSuppressedTicksStayAllocationFree) {
   EXPECT_GT(entry->nis_windows(), 5);
   EXPECT_EQ(entry->state(), obs::HealthState::kOk);
   EXPECT_EQ(registry.GetCounter("kc.recorder.events")->value(), 325);
+}
+
+TEST(ZeroAllocTest, PooledFleetTickSteadyStateIsAllocationFree) {
+  // The SoA hot loop at fleet scale in miniature: one pool, many slots,
+  // each tick a batched PredictAll sweep plus gated per-slot updates.
+  // Slabs and the shared workspace are sized at Acquire/first use, so the
+  // steady state must be zero-alloc — the property BM_FleetTick_1M's
+  // sources/sec rests on.
+  StateSpaceModel model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  FilterPool pool(model, KalmanFilter::UpdateForm::kJoseph);
+  constexpr int kSlots = 32;
+  std::vector<int32_t> slots;
+  std::vector<Vector> zs(kSlots, Vector(1));
+  std::vector<double> nis(kSlots);
+  for (int i = 0; i < kSlots; ++i) {
+    slots.push_back(pool.Acquire(i));
+    pool.ResetSlot(slots.back(), Vector(2), Matrix::ScalarDiagonal(2, 1.0));
+  }
+  Rng rng(42);
+  auto tick = [&] {
+    for (int i = 0; i < kSlots; ++i) zs[i][0] = rng.Gaussian(0.0, 0.3);
+    pool.PredictAll();
+    pool.GateBatch(slots.data(), zs.data(), kSlots, nis.data());
+    pool.UpdateBatch(slots.data(), zs.data(), kSlots);
+  };
+  for (int t = 0; t < 5; ++t) tick();
+  long before = AllocCount();
+  for (int t = 0; t < 200; ++t) tick();
+  EXPECT_EQ(AllocCount() - before, 0);
+  EXPECT_EQ(pool.num_active(), static_cast<size_t>(kSlots));
+}
+
+TEST(ZeroAllocTest, PooledPredictorSuppressedTicksStayAllocationFree) {
+  // The pooled drop-in under the same protocol loop the per-object
+  // KalmanPredictor test above runs: gate, suppressed ticks, contract
+  // checks. Pooling must not reintroduce allocations the per-object path
+  // already eliminated.
+  FilterPoolSet pools;
+  KalmanPredictor::Config config;
+  config.model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  config.outlier_gate_prob = 0.999;
+  PooledKalmanPredictor predictor(config, &pools);
+  Reading first;
+  first.value = Vector{0.0};
+  predictor.Init(first);
+
+  Rng rng(7);
+  auto tick = [&](int64_t seq) {
+    Reading z;
+    z.seq = seq;
+    z.time = static_cast<double>(seq);
+    z.value = Vector{rng.Gaussian(0.0, 0.3)};
+    pools.PredictAll();  // The shard's batched sweep.
+    predictor.Tick();
+    predictor.ObserveLocal(z);
+    Vector err = predictor.Target() - predictor.Predict();
+    return err.NormInf();
+  };
+  for (int64_t s = 1; s <= 5; ++s) tick(s);
+  long before = AllocCount();
+  double acc = 0.0;
+  for (int64_t s = 6; s <= 205; ++s) acc += tick(s);
+  EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
 }
 
 // ----------------------------------------------------------- SmallBuf edges

@@ -407,6 +407,114 @@ TEST(ExportTest, DefaultRegistryIsAProcessSingleton) {
   EXPECT_EQ(&DefaultRegistry(), &DefaultRegistry());
 }
 
+// ------------------------------------------- degenerate bucket layouts
+
+void ExpectStrictlyIncreasing(const Buckets& b) {
+  for (size_t i = 1; i < b.count; ++i) {
+    EXPECT_GT(b.bounds[i], b.bounds[i - 1]) << i;
+  }
+}
+
+// One test exercises every degenerate call site while a sink is
+// installed: KC_LOG_EVERY_N keeps a per-callsite counter for the whole
+// process, so the first hit of each site (which happens here, before any
+// other test touches them) must warn and repeats must stay silent.
+TEST(BucketValidationTest, DegenerateInputsClampAndWarnOnce) {
+  std::vector<std::string> captured;
+  LogSink previous =
+      SetLogSink([&captured](LogLevel level, const std::string& line) {
+        if (level == LogLevel::kWarning) captured.push_back(line);
+      });
+
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  double inf = std::numeric_limits<double>::infinity();
+
+  // n == 0: legal but suspicious — only the overflow bucket remains.
+  EXPECT_EQ(Buckets::Exponential(1.0, 2.0, 0).count, 0u);
+  EXPECT_EQ(Buckets::Linear(0.0, 1.0, 0).count, 0u);
+
+  // n > kMaxBounds clamps.
+  EXPECT_EQ(Buckets::Exponential(1.0, 2.0, 1000).count, Buckets::kMaxBounds);
+  EXPECT_EQ(Buckets::Linear(0.0, 1.0, 1000).count, Buckets::kMaxBounds);
+
+  // Bad first bound / factor fall back to 1.0 / 2.0.
+  Buckets e = Buckets::Exponential(-5.0, 0.5, 4);
+  ASSERT_EQ(e.count, 4u);
+  EXPECT_EQ(e.bounds[0], 1.0);
+  EXPECT_EQ(e.bounds[1], 2.0);
+  EXPECT_EQ(e.bounds[2], 4.0);
+  EXPECT_EQ(e.bounds[3], 8.0);
+  ExpectStrictlyIncreasing(e);
+  ExpectStrictlyIncreasing(Buckets::Exponential(nan, nan, 8));
+  ExpectStrictlyIncreasing(Buckets::Exponential(inf, 1.0, 8));
+
+  // Bad start / width fall back to 0.0 / 1.0.
+  Buckets l = Buckets::Linear(nan, -2.0, 3);
+  ASSERT_EQ(l.count, 3u);
+  EXPECT_EQ(l.bounds[0], 0.0);
+  EXPECT_EQ(l.bounds[1], 1.0);
+  EXPECT_EQ(l.bounds[2], 2.0);
+  ExpectStrictlyIncreasing(Buckets::Linear(inf, 0.0, 5));
+
+  // Overflow to +inf mid-layout trips the monotonicity backstop.
+  Buckets o = Buckets::Exponential(1e300, 1e9, 5);
+  EXPECT_EQ(o.count, 1u);
+  EXPECT_EQ(o.bounds[0], 1e300);
+
+  // Each degenerate site this test hits first must have warned. (The two
+  // n > kMaxBounds sites are excluded: the clamp test above already
+  // consumed their process-wide first hit.)
+  for (const char* needle :
+       {"Exponential(n=0", "Linear(n=0", "first bound must be finite",
+        "factor must be finite", "start must be finite",
+        "width must be finite", "stop increasing"}) {
+    size_t hits = 0;
+    for (const std::string& line : captured) {
+      if (line.find(needle) != std::string::npos) ++hits;
+    }
+    EXPECT_EQ(hits, 1u) << "expected exactly one warning for: " << needle;
+  }
+  size_t first_pass = captured.size();
+
+  // Second pass over the same sites: the per-site once-cadence holds.
+  Buckets::Exponential(1.0, 2.0, 0);
+  Buckets::Exponential(1.0, 2.0, 1000);
+  Buckets::Exponential(-5.0, 0.5, 4);
+  Buckets::Exponential(1e300, 1e9, 5);
+  Buckets::Linear(0.0, 1.0, 0);
+  Buckets::Linear(0.0, 1.0, 1000);
+  Buckets::Linear(nan, -2.0, 3);
+  SetLogSink(std::move(previous));
+  EXPECT_EQ(captured.size(), first_pass) << "degenerate sites warned again";
+}
+
+TEST(BucketValidationTest, DegenerateLayoutsStillMakeWorkingHistograms) {
+  MetricRegistry registry;
+
+  // n == 0: everything lands in the single overflow bucket.
+  Histogram* overflow_only =
+      registry.GetHistogram("kc.degenerate.overflow",
+                            Buckets::Exponential(1.0, 2.0, 0));
+  ASSERT_NE(overflow_only, nullptr);
+  EXPECT_EQ(overflow_only->num_buckets(), 1u);
+  EXPECT_EQ(overflow_only->bucket_bound(0),
+            std::numeric_limits<double>::infinity());
+  overflow_only->Record(-1.0);
+  overflow_only->Record(1e12);
+  EXPECT_EQ(overflow_only->count(), 2);
+  EXPECT_EQ(overflow_only->bucket_count(0), 2);
+
+  // Clamped layout records into sane buckets instead of scanning garbage.
+  Histogram* clamped = registry.GetHistogram(
+      "kc.degenerate.clamped",
+      Buckets::Linear(std::numeric_limits<double>::quiet_NaN(), -2.0, 3));
+  ASSERT_NE(clamped, nullptr);
+  EXPECT_EQ(clamped->num_buckets(), 4u);
+  clamped->Record(0.5);
+  EXPECT_EQ(clamped->bucket_count(1), 1);
+  EXPECT_EQ(clamped->count(), 1);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace kc

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "fleet/sharded_server.h"
+#include "fleet/thread_pool.h"
 #include "obs/export.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -76,12 +78,14 @@ void ExpectEqualFingerprints(const Fingerprint& a, const Fingerprint& b,
 }
 
 Fingerprint RunSharded(size_t threads, size_t shards,
-                       Channel::Config channel = Channel::Config()) {
+                       Channel::Config channel = Channel::Config(),
+                       bool pooling = true) {
   ShardedFleet::Config config;
   config.seed = 12345;
   config.threads = threads;
   config.num_shards = shards;
   config.channel = channel;
+  config.pooling = pooling;
   ShardedFleet fleet(config);
   AddStandardSources(fleet, 12);
 
@@ -291,6 +295,24 @@ TEST(ShardedFleetTest, BitIdenticalUnderLossAndLatency) {
   ExpectEqualFingerprints(one, four, "lossy threads 1 vs 4");
 }
 
+TEST(ShardedFleetTest, PooledBitIdenticalToPerObjectPredictors) {
+  // The SoA filter pools are a memory-layout change only: the pooled path
+  // must reproduce the virtual per-object Predictor path bit-for-bit, on
+  // clean and lossy channels alike.
+  Fingerprint pooled = RunSharded(2, 8);
+  Fingerprint object = RunSharded(2, 8, Channel::Config(), /*pooling=*/false);
+  ExpectEqualFingerprints(pooled, object, "pooled vs per-object");
+
+  Channel::Config lossy;
+  lossy.loss_prob = 0.2;
+  lossy.latency_ticks = 3;
+  Fingerprint pooled_lossy = RunSharded(2, 8, lossy);
+  Fingerprint object_lossy = RunSharded(2, 8, lossy, /*pooling=*/false);
+  EXPECT_GT(pooled_lossy.net.messages_dropped, 0);
+  ExpectEqualFingerprints(pooled_lossy, object_lossy,
+                          "pooled vs per-object (lossy)");
+}
+
 TEST(ShardedFleetTest, MatchesSingleThreadedFleet) {
   // The sharded executor must reproduce the classic Fleet bit-for-bit:
   // same seed, same AddSource order => same per-source answers and the
@@ -411,6 +433,49 @@ TEST(ShardedFleetTest, ShardAssignmentIsStable) {
   for (int shard = 0; shard < 8; ++shard) {
     EXPECT_GT(counts[shard], 50) << "shard " << shard;
   }
+}
+
+// Regression: ParallelFor used to deadlock when a body called back into
+// its own pool (the nested batch overwrote the published batch while the
+// workers were still draining the outer one, and the nested join waited
+// on completions that could never arrive). Re-entry must now be detected
+// and the nested loop run inline.
+TEST(ThreadPoolTest, ReentrantParallelForRunsInline) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t i) {
+    // Nested batched work from inside a body — on workers and on the
+    // driver thread alike.
+    pool.ParallelFor(kInner, [&](size_t j) {
+      hits[i * kInner + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedAndDegenerateReentry) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(3, [&](size_t) {
+      pool.ParallelFor(2, [&](size_t) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+      });
+      pool.ParallelFor(0, [&](size_t) { FAIL() << "n=0 body must not run"; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 3 * 2);
+  // A sequential pool (threads=1) accepts the same nesting.
+  ThreadPool seq(1);
+  std::atomic<int> seq_leaves{0};
+  seq.ParallelFor(2, [&](size_t) {
+    seq.ParallelFor(2, [&](size_t) {
+      seq_leaves.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(seq_leaves.load(), 4);
 }
 
 }  // namespace
