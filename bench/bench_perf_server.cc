@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "fleet/sharded_fleet.h"
 #include "query/parser.h"
@@ -82,12 +83,14 @@ BENCHMARK(BM_ShardedFleetStep)
     ->Args({1000, 4})
     ->Args({10000, 4});
 
-// Fleet-scale tick throughput: {sources, pooled}. The pooled rows run
-// the SoA FilterPool path (per-shard contiguous x/P slabs swept by one
-// batched PredictAll per tick); pooled=0 forces every source onto the
-// per-object virtual Predictor path the pools replaced. Single worker
-// thread so rows measure memory layout, not parallelism; answers are
-// bit-identical between the two paths (tests/pool_test.cc), so
+// Fleet-scale tick throughput: {sources, pooled, threads, simd}. The
+// pooled rows run the SoA FilterPool path (per-shard lane-interleaved x/P
+// slabs swept by the vectorized batched kernels once per tick); pooled=0
+// forces every source onto the per-object virtual Predictor path the
+// pools replaced. The threads axis drives both the shard fan-out and the
+// phase-1 pool sweep; the simd axis toggles the AVX2 lane kernels against
+// their portable scalar twins. Answers are bit-identical across the
+// entire matrix (tests/pool_test.cc, tests/batch_kernels_test.cc), so
 // items_per_second — sources ticked per second — is the only thing that
 // may differ. run_benches.sh folds these rows into BENCH_perf.json's
 // fleet_tick_1m table. The per-object baseline stops at 100k sources:
@@ -95,10 +98,13 @@ BENCHMARK(BM_ShardedFleetStep)
 void BM_FleetTick_1M(benchmark::State& state) {
   const auto sources = static_cast<int>(state.range(0));
   const bool pooled = state.range(1) != 0;
+  const auto threads = static_cast<size_t>(state.range(2));
+  const bool simd = state.range(3) != 0;
   kc::ShardedFleet::Config config;
-  config.threads = 1;
+  config.threads = threads;
   config.num_shards = 8;
   config.pooling = pooled;
+  config.simd = simd;
   kc::ShardedFleet fleet(config);
   kc::KalmanPredictor::Config kf;  // Non-adaptive: eligible for pooling.
   kf.model = kc::MakeRandomWalkModel(0.1, 0.25);
@@ -116,11 +122,20 @@ void BM_FleetTick_1M(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sources);
   state.counters["sources"] = static_cast<double>(sources);
   state.counters["pooled"] = pooled ? 1.0 : 0.0;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["simd"] = simd ? 1.0 : 0.0;
+}
+void FleetTickMatrix(benchmark::internal::Benchmark* b) {
+  b->Args({100000, 0, 1, 1});    // Per-object baseline.
+  b->Args({100000, 1, 1, 1});    // Pooled, 1 thread, SIMD.
+  b->Args({1000000, 1, 1, 1});   // The headline row.
+  b->Args({1000000, 1, 1, 0});   // SIMD off: the scalar-lane cost.
+  b->Args({1000000, 1, 4, 1});   // Multi-threaded sweep + shard fan-out.
+  const auto hw = static_cast<int64_t>(std::thread::hardware_concurrency());
+  if (hw > 1 && hw != 4) b->Args({1000000, 1, hw, 1});
 }
 BENCHMARK(BM_FleetTick_1M)
-    ->Args({100000, 0})
-    ->Args({100000, 1})
-    ->Args({1000000, 1})
+    ->Apply(FleetTickMatrix)
     ->Unit(benchmark::kMillisecond);
 
 void BM_AggregateEvaluate(benchmark::State& state) {

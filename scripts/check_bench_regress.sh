@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Diffs the fleet_tick_1m table in BENCH_perf.json against the previous
+# commit's and warns on any row whose sources/sec dropped more than 20%.
+# Advisory (always exits 0 unless the working-tree file is unreadable):
+# bench numbers are machine- and load-dependent, so a warning is a prompt
+# to re-measure on an idle machine, not a hard gate.
+#
+# Usage: scripts/check_bench_regress.sh [ref]   (default: HEAD~1)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REF="${1:-HEAD~1}"
+
+if [ ! -f BENCH_perf.json ]; then
+  echo "check_bench_regress: no BENCH_perf.json in working tree; skipping"
+  exit 0
+fi
+if ! OLD_JSON=$(git show "$REF:BENCH_perf.json" 2>/dev/null); then
+  echo "check_bench_regress: no BENCH_perf.json at $REF; skipping"
+  exit 0
+fi
+
+OLD_JSON="$OLD_JSON" python3 - <<'EOF'
+import json, os, sys
+
+with open("BENCH_perf.json") as f:
+    new = json.load(f)
+old = json.loads(os.environ["OLD_JSON"])
+
+def rows(report):
+    table = {}
+    for r in report.get("fleet_tick_1m", {}).get("rows", []):
+        # Rows from before the threads/simd axes existed default to the
+        # single-threaded SIMD configuration they actually measured.
+        key = (r["sources"], r["pooled"],
+               r.get("threads", 1), r.get("simd", True))
+        table[key] = r["sources_per_sec"]
+    return table
+
+old_rows, new_rows = rows(old), rows(new)
+if not old_rows:
+    print("check_bench_regress: previous commit has no fleet_tick_1m rows; "
+          "skipping")
+    sys.exit(0)
+
+regressed = False
+for key in sorted(old_rows.keys() & new_rows.keys()):
+    was, now = old_rows[key], new_rows[key]
+    if was <= 0:
+        continue
+    delta = (now - was) / was
+    label = (f"sources={key[0]} pooled={int(key[1])} "
+             f"threads={key[2]} simd={int(key[3])}")
+    if delta < -0.20:
+        regressed = True
+        print(f"WARNING: fleet_tick_1m regression [{label}]: "
+              f"{was:,.0f} -> {now:,.0f} sources/sec ({delta:+.1%})")
+    else:
+        print(f"  fleet_tick_1m [{label}]: "
+              f"{was:,.0f} -> {now:,.0f} sources/sec ({delta:+.1%})")
+if not regressed:
+    print("check_bench_regress: no >20% regressions")
+EOF

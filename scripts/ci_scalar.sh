@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI configuration with the SIMD batch kernels forced off (-DKC_SIMD=OFF
+# defines KC_BATCH_FORCE_SCALAR, so only the portable scalar lanes
+# compile), then runs the pool and batch-kernel suites under it. Keeps the
+# scalar fallback path green on every change — the bit-identity contract
+# is only meaningful if both code paths keep passing the same pins.
+#
+# Usage: scripts/ci_scalar.sh [build-dir]   (default: build-scalar)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-scalar}"
+
+cmake -B "$BUILD_DIR" -S . -DKC_SIMD=OFF
+cmake --build "$BUILD_DIR" -j --target pool_test batch_kernels_test
+"$BUILD_DIR/tests/pool_test"
+"$BUILD_DIR/tests/batch_kernels_test"
+
+echo "ci_scalar: OK"

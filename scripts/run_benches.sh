@@ -112,10 +112,12 @@ for bench in merged["benchmarks"]:
         "recovery_ticks_per_resync": bench.get("recovery_ticks_per_resync"),
     })
 merged["loss_sweep_recovery"] = loss_sweep
-# Fleet tick throughput at scale: BM_FleetTick_1M rows (sources ticked
-# per second) for the SoA filter-pool path vs the per-object baseline.
-# The headline numbers for the pooling work: the 100k pooled/per-object
-# ratio, and the absolute 1M-source pooled rate.
+# Fleet tick throughput at scale: the BM_FleetTick_1M matrix (sources
+# ticked per second) over {sources, pooled, threads, simd} — the SoA
+# filter-pool path with vectorized/parallel sweeps vs the per-object
+# baseline. Rows from older binaries without the threads/simd counters
+# default to threads=1, simd=1. Headline numbers: the 100k
+# pooled/per-object ratio and the absolute single-threaded SIMD 1M rate.
 fleet_tick = []
 for bench in merged["benchmarks"]:
     if bench.get("run_type") != "iteration":
@@ -126,16 +128,20 @@ for bench in merged["benchmarks"]:
     fleet_tick.append({
         "sources": int(bench.get("sources", 0)),
         "pooled": bool(bench.get("pooled", 0)),
+        "threads": int(bench.get("threads", 1)),
+        "simd": bool(bench.get("simd", 1)),
         "sources_per_sec": round(bench.get("items_per_second", 0.0), 1),
         "tick_ms": round(bench.get("real_time", 0.0), 3),
     })
-fleet_tick.sort(key=lambda r: (r["sources"], r["pooled"]))
-by_key = {(r["sources"], r["pooled"]): r["sources_per_sec"]
-          for r in fleet_tick}
+fleet_tick.sort(key=lambda r: (r["sources"], r["pooled"], r["threads"],
+                               r["simd"]))
+by_key = {(r["sources"], r["pooled"], r["threads"], r["simd"]):
+          r["sources_per_sec"] for r in fleet_tick}
 speedup = None
-if (100000, False) in by_key and (100000, True) in by_key \
-        and by_key[(100000, False)] > 0:
-    speedup = round(by_key[(100000, True)] / by_key[(100000, False)], 2)
+if (100000, False, 1, True) in by_key and (100000, True, 1, True) in by_key \
+        and by_key[(100000, False, 1, True)] > 0:
+    speedup = round(by_key[(100000, True, 1, True)]
+                    / by_key[(100000, False, 1, True)], 2)
 merged["fleet_tick_1m"] = {
     "rows": fleet_tick,
     "pooled_speedup_100k": speedup,
@@ -156,7 +162,9 @@ for row in recorder_overhead:
           f"{row['recorded_ns']} ns ({row['overhead_pct']:+.2f}%)")
 for row in fleet_tick:
     kind = "pooled" if row["pooled"] else "per-object"
-    print(f"  fleet tick {row['sources']} sources ({kind}): "
+    lanes = "simd" if row["simd"] else "scalar"
+    print(f"  fleet tick {row['sources']} sources ({kind}, "
+          f"threads={row['threads']}, {lanes}): "
           f"{row['sources_per_sec']:,.0f} sources/sec")
 if speedup is not None:
     print(f"  fleet tick pooled speedup @100k: {speedup}x")

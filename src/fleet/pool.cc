@@ -1,6 +1,9 @@
 #include "fleet/pool.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <functional>
 
 #include "common/chisq.h"
 #include "linalg/decomp.h"
@@ -12,7 +15,11 @@ namespace kc {
 // ---------------------------------------------------------------- FilterPool
 
 FilterPool::FilterPool(StateSpaceModel model, KalmanFilter::UpdateForm form)
-    : model_(std::move(model)), form_(form) {
+    : model_(std::move(model)),
+      form_(form),
+      dim_(model_.state_dim()),
+      simd_fn_(batch::SimdPredictFn(dim_)),
+      portable_fn_(batch::PortablePredictFn(dim_)) {
   assert(model_.Validate().ok());
 }
 
@@ -22,24 +29,34 @@ bool FilterPool::Matches(const StateSpaceModel& model,
          model.h == model_.h && model.r == model_.r;
 }
 
+void FilterPool::GrowBlock() {
+  xs_.resize(xs_.size() + dim_ * kLanes, 0.0);
+  ps_.resize(ps_.size() + dim_ * dim_ * kLanes, 0.0);
+  block_mask_.push_back(0);
+  owner_.resize(owner_.size() + kLanes, kNoSlot);
+  epoch_base_.resize(epoch_base_.size() + kLanes, 0);
+  last_nis_.resize(last_nis_.size() + kLanes, 0.0);
+}
+
 int32_t FilterPool::Acquire(int32_t owner_id) {
   int32_t slot;
   if (!free_.empty()) {
+    // Min-heap pop: always reuse the lowest-indexed freed slot, keeping
+    // active slots packed toward the front of the slabs (slab locality
+    // for the sweep) regardless of release order.
+    std::pop_heap(free_.begin(), free_.end(), std::greater<int32_t>());
     slot = free_.back();
     free_.pop_back();
   } else {
-    slot = static_cast<int32_t>(x_.size());
-    size_t n = model_.state_dim();
-    x_.emplace_back(n);          // Zero vector.
-    p_.emplace_back(n, n);       // Zero matrix.
-    active_.push_back(0);
-    owner_.push_back(kNoSlot);
-    predicts_.push_back(0);
-    last_nis_.push_back(0.0);
+    if (size_ == block_mask_.size() * kLanes) GrowBlock();
+    slot = static_cast<int32_t>(size_++);
   }
-  active_[slot] = 1;
+  block_mask_[static_cast<size_t>(slot) / kLanes] |=
+      static_cast<uint8_t>(1u << (static_cast<size_t>(slot) % kLanes));
   owner_[slot] = owner_id;
-  predicts_[slot] = 0;
+  // Effective epoch = sweep_count_ + epoch_base_, so "epoch 0 now" is an
+  // offset of -sweep_count_ (sweeps before this slot existed don't count).
+  epoch_base_[slot] = -sweep_count_;
   last_nis_[slot] = 0.0;
   ++num_active_;
   return slot;
@@ -48,82 +65,158 @@ int32_t FilterPool::Acquire(int32_t owner_id) {
 void FilterPool::Release(int32_t slot) {
   assert(IsActive(slot));
   // Zero on free: a re-registered source id acquiring this slot later
-  // must never observe the previous tenant's state or covariance.
-  x_[slot].SetZero();
-  p_[slot].SetZero();
-  active_[slot] = 0;
+  // must never observe the previous tenant's state or covariance — and
+  // the batch kernel computes on (then discards) inactive lanes, which
+  // must hold finite values.
+  for (size_t e = 0; e < dim_; ++e) XAt(slot, e) = 0.0;
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c < dim_; ++c) PAt(slot, r, c) = 0.0;
+  }
+  block_mask_[static_cast<size_t>(slot) / kLanes] &=
+      static_cast<uint8_t>(~(1u << (static_cast<size_t>(slot) % kLanes)));
   owner_[slot] = kNoSlot;
-  predicts_[slot] = 0;
+  epoch_base_[slot] = 0;
   last_nis_[slot] = 0.0;
   --num_active_;
   free_.push_back(slot);
+  std::push_heap(free_.begin(), free_.end(), std::greater<int32_t>());
 }
 
 void FilterPool::ResetSlot(int32_t slot, const Vector& x0, const Matrix& p0) {
   assert(IsActive(slot));
-  assert(x0.size() == model_.state_dim());
-  assert(p0.rows() == model_.state_dim() && p0.cols() == model_.state_dim());
-  x_[slot] = x0;
-  p_[slot] = p0;
-  predicts_[slot] = 0;
+  assert(x0.size() == dim_);
+  assert(p0.rows() == dim_ && p0.cols() == dim_);
+  StoreSlotFrom(slot, x0, p0);
+  epoch_base_[slot] = -sweep_count_;
   last_nis_[slot] = 0.0;
 }
 
+void FilterPool::LoadSlotInto(int32_t slot, Vector* x, Matrix* p) const {
+  x->ResizeUninit(dim_);
+  p->ResizeUninit(dim_, dim_);
+  for (size_t e = 0; e < dim_; ++e) (*x)[e] = XAt(slot, e);
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c < dim_; ++c) (*p)(r, c) = PAt(slot, r, c);
+  }
+}
+
+void FilterPool::StoreSlotFrom(int32_t slot, const Vector& x,
+                               const Matrix& p) {
+  for (size_t e = 0; e < dim_; ++e) XAt(slot, e) = x[e];
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c < dim_; ++c) PAt(slot, r, c) = p(r, c);
+  }
+}
+
+void FilterPool::SymmetrizeSlotCov(int32_t slot) {
+  // Same op order as Matrix::Symmetrize, on the strided slab entries.
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = r + 1; c < dim_; ++c) {
+      double avg = 0.5 * (PAt(slot, r, c) + PAt(slot, c, r));
+      PAt(slot, r, c) = avg;
+      PAt(slot, c, r) = avg;
+    }
+  }
+}
+
+void FilterPool::PredictScalarSlot(int32_t slot, Workspace* ws) {
+  // Same kernel sequence as KalmanFilter::Predict, on gathered slab
+  // entries: the pooled time update is bit-identical to the per-object
+  // one (and to the batch kernel, which runs this sequence per lane).
+  LoadSlotInto(slot, &ws->x, &ws->p);
+  MultiplyInto(model_.f, ws->x, &ws->fx);
+  ws->x = ws->fx;
+  SandwichInto(model_.f, ws->p, &ws->tmp1, &ws->j1);
+  AddInto(ws->j1, model_.q, &ws->p);
+  ws->p.Symmetrize();
+  StoreSlotFrom(slot, ws->x, ws->p);
+}
+
 void FilterPool::PredictRaw(int32_t slot) {
-  // Same kernel sequence as KalmanFilter::Predict, on slab entries: the
-  // pooled time update is bit-identical to the per-object one.
-  Vector& x = x_[slot];
-  Matrix& p = p_[slot];
-  MultiplyInto(model_.f, x, &ws_.fx);
-  x = ws_.fx;
-  SandwichInto(model_.f, p, &ws_.tmp1, &ws_.j1);
-  AddInto(ws_.j1, model_.q, &p);
-  p.Symmetrize();
+  batch::PredictBlockFn fn = simd_ ? simd_fn_ : portable_fn_;
+  if (fn != nullptr) {
+    // Single-lane-mask call of the very kernel the sweep uses: computes
+    // all four lanes, stores one — bit-identical to a sweep over this
+    // block by construction.
+    const size_t block = static_cast<size_t>(slot) / kLanes;
+    fn(model_.f.data().data(), model_.q.data().data(), XBlock(block),
+       PBlock(block), 1u << (static_cast<size_t>(slot) % kLanes));
+    return;
+  }
+  PredictScalarSlot(slot, &ws_);
 }
 
 void FilterPool::PredictSlot(int32_t slot) {
   assert(IsActive(slot));
   PredictRaw(slot);
-  ++predicts_[slot];
+  ++epoch_base_[slot];
 }
 
 void FilterPool::PredictSlotUpTo(int32_t slot, int64_t epoch) {
   assert(IsActive(slot));
-  while (predicts_[slot] < epoch) {
+  while (PredictEpochOf(slot) < epoch) {
     PredictRaw(slot);
-    ++predicts_[slot];
+    ++epoch_base_[slot];
   }
 }
 
-size_t FilterPool::PredictAll() {
-  // The batched tick: one linear sweep over the slabs. Slots are mutually
-  // independent, so sweep order cannot affect any slot's state.
+void FilterPool::BeginSweep() { ++sweep_count_; }
+
+size_t FilterPool::SweepBlocks(size_t begin_block, size_t end_block) {
+  // The batched tick: a linear walk over whole blocks, vectorized lane-
+  // per-slot. Slots are mutually independent, so neither sweep order nor
+  // chunking across threads can affect any slot's state; blocks with no
+  // active slots cost one mask test. Thread-safe for disjoint ranges:
+  // only block-local slab memory and shared read-only model data are
+  // touched (no pool workspace).
+  batch::PredictBlockFn fn = simd_ ? simd_fn_ : portable_fn_;
   size_t advanced = 0;
-  const size_t n = x_.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (active_[i] == 0) continue;
-    PredictRaw(static_cast<int32_t>(i));
-    ++predicts_[i];
-    ++advanced;
+  if (fn != nullptr) {
+    const double* f = model_.f.data().data();
+    const double* q = model_.q.data().data();
+    for (size_t b = begin_block; b < end_block; ++b) {
+      unsigned mask = block_mask_[b];
+      if (mask == 0) continue;
+      fn(f, q, XBlock(b), PBlock(b), mask);
+      advanced += static_cast<size_t>(std::popcount(mask));
+    }
+  } else {
+    // dim > batch::kMaxDim: scalar per-slot fallback. Stack-local scratch
+    // keeps concurrent chunk sweeps off the shared workspace.
+    Workspace ws;
+    for (size_t b = begin_block; b < end_block; ++b) {
+      unsigned mask = block_mask_[b];
+      if (mask == 0) continue;
+      for (size_t l = 0; l < kLanes; ++l) {
+        if ((mask & (1u << l)) == 0) continue;
+        PredictScalarSlot(static_cast<int32_t>(b * kLanes + l), &ws);
+        ++advanced;
+      }
+    }
   }
   return advanced;
+}
+
+size_t FilterPool::PredictAll() {
+  BeginSweep();
+  return SweepBlocks(0, num_blocks());
 }
 
 Status FilterPool::UpdateSlot(int32_t slot, const Vector& z) {
   assert(IsActive(slot));
   // Same kernel sequence as KalmanFilter::Update (minus the log-likelihood
   // diagnostic, which nothing on the pooled path reads): bit-identical
-  // state, covariance, and NIS.
+  // state, covariance, and NIS. Gather, update, scatter — a failed update
+  // returns before the scatter, leaving the slot untouched.
   if (z.size() != model_.obs_dim()) {
     return Status::InvalidArgument("observation dimension mismatch");
   }
-  Vector& x = x_[slot];
-  Matrix& p = p_[slot];
+  LoadSlotInto(slot, &ws_.x, &ws_.p);
   const Matrix& h = model_.h;
-  MultiplyInto(h, x, &ws_.hx);
+  MultiplyInto(h, ws_.x, &ws_.hx);
   SubInto(z, ws_.hx, &ws_.nu);
 
-  SandwichInto(h, p, &ws_.tmp1, &ws_.s);
+  SandwichInto(h, ws_.p, &ws_.tmp1, &ws_.s);
   ws_.s += model_.r;
   ws_.s.Symmetrize();
   if (!Cholesky::FactorInto(ws_.s, &ws_.l)) {
@@ -131,28 +224,29 @@ Status FilterPool::UpdateSlot(int32_t slot, const Vector& z) {
   }
 
   // Gain K = P H^T S^{-1}; computed as solve(S, H P)^T to stay factored.
-  MultiplyTransposedInto(p, h, &ws_.ph_t);
+  MultiplyTransposedInto(ws_.p, h, &ws_.ph_t);
   TransposeInto(ws_.ph_t, &ws_.tmp1);
   Cholesky::SolveInto(ws_.l, ws_.tmp1, &ws_.kt);
   TransposeInto(ws_.kt, &ws_.k);
 
   MultiplyInto(ws_.k, ws_.nu, &ws_.knu);
-  x += ws_.knu;
+  ws_.x += ws_.knu;
 
   MultiplyInto(ws_.k, h, &ws_.kh);
   IdentityMinusInto(ws_.kh, &ws_.i_kh);
   if (form_ == KalmanFilter::UpdateForm::kJoseph) {
-    SandwichInto(ws_.i_kh, p, &ws_.tmp1, &ws_.j1);
+    SandwichInto(ws_.i_kh, ws_.p, &ws_.tmp1, &ws_.j1);
     SandwichInto(ws_.k, model_.r, &ws_.tmp1, &ws_.krk);
-    AddInto(ws_.j1, ws_.krk, &p);
+    AddInto(ws_.j1, ws_.krk, &ws_.p);
   } else {
-    MultiplyInto(ws_.i_kh, p, &ws_.j1);
-    p = ws_.j1;
+    MultiplyInto(ws_.i_kh, ws_.p, &ws_.j1);
+    ws_.p = ws_.j1;
   }
-  p.Symmetrize();
+  ws_.p.Symmetrize();
 
   Cholesky::SolveInto(ws_.l, ws_.nu, &ws_.sinv_nu);
   last_nis_[slot] = ws_.nu.Dot(ws_.sinv_nu);
+  StoreSlotFrom(slot, ws_.x, ws_.p);
   return Status::Ok();
 }
 
@@ -170,12 +264,11 @@ double FilterPool::GateSlot(int32_t slot, const Vector& z) {
   // Exactly KalmanPredictor's gate: nu = z - H x; S = H P H^T + R;
   // NIS = nu' S^{-1} nu via the Cholesky factor. The kernels are
   // bit-identical to the value-returning operators the per-object gate
-  // uses (see linalg/kernels.h).
-  const Vector& x = x_[slot];
-  const Matrix& p = p_[slot];
-  MultiplyInto(model_.h, x, &ws_.hx);
+  // uses (see linalg/kernels.h). Read-only: gathers, never scatters.
+  LoadSlotInto(slot, &ws_.x, &ws_.p);
+  MultiplyInto(model_.h, ws_.x, &ws_.hx);
   SubInto(z, ws_.hx, &ws_.nu);
-  SandwichInto(model_.h, p, &ws_.tmp1, &ws_.s);
+  SandwichInto(model_.h, ws_.p, &ws_.tmp1, &ws_.s);
   ws_.s += model_.r;
   ws_.s.Symmetrize();
   if (!Cholesky::FactorInto(ws_.s, &ws_.l)) return -1.0;
@@ -188,52 +281,66 @@ void FilterPool::GateBatch(const int32_t* slots, const Vector* zs, size_t n,
   for (size_t i = 0; i < n; ++i) nis_out[i] = GateSlot(slots[i], zs[i]);
 }
 
+Vector FilterPool::StateOf(int32_t slot) const {
+  assert(IsActive(slot));
+  Vector x;
+  x.ResizeUninit(dim_);
+  for (size_t e = 0; e < dim_; ++e) x[e] = XAt(slot, e);
+  return x;
+}
+
+Matrix FilterPool::CovarianceOf(int32_t slot) const {
+  assert(IsActive(slot));
+  Matrix p;
+  p.ResizeUninit(dim_, dim_);
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c < dim_; ++c) p(r, c) = PAt(slot, r, c);
+  }
+  return p;
+}
+
 Vector FilterPool::PredictObservationOf(int32_t slot) const {
   assert(IsActive(slot));
-  return model_.h * x_[slot];
+  return model_.h * StateOf(slot);
 }
 
 std::vector<double> FilterPool::SerializeSlot(int32_t slot) const {
   assert(IsActive(slot));
-  const Vector& x = x_[slot];
-  const Matrix& p = p_[slot];
   std::vector<double> buf;
-  buf.reserve(x.size() + x.size() * x.size());
-  buf.insert(buf.end(), x.data().begin(), x.data().end());
-  buf.insert(buf.end(), p.data().begin(), p.data().end());
+  buf.reserve(dim_ + dim_ * dim_);
+  for (size_t e = 0; e < dim_; ++e) buf.push_back(XAt(slot, e));
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c < dim_; ++c) buf.push_back(PAt(slot, r, c));
+  }
   return buf;
 }
 
 Status FilterPool::DeserializeSlot(int32_t slot,
                                    const std::vector<double>& payload) {
   assert(IsActive(slot));
-  size_t n = model_.state_dim();
+  const size_t n = dim_;
   if (payload.size() != n + n * n) {
     return Status::InvalidArgument("serialized state has wrong size");
   }
-  Vector& x = x_[slot];
-  Matrix& p = p_[slot];
-  for (size_t i = 0; i < n; ++i) x[i] = payload[i];
+  for (size_t e = 0; e < n; ++e) XAt(slot, e) = payload[e];
   for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < n; ++c) p(r, c) = payload[n + r * n + c];
+    for (size_t c = 0; c < n; ++c) PAt(slot, r, c) = payload[n + r * n + c];
   }
-  p.Symmetrize();
+  SymmetrizeSlotCov(slot);
   return Status::Ok();
 }
 
 Status FilterPool::OverwriteStateOf(int32_t slot,
                                     const std::vector<double>& payload) {
   assert(IsActive(slot));
-  size_t n = model_.state_dim();
-  if (payload.size() != n) {
+  if (payload.size() != dim_) {
     return Status::InvalidArgument("state payload has wrong size");
   }
-  Vector& x = x_[slot];
-  for (size_t i = 0; i < n; ++i) x[i] = payload[i];
+  for (size_t e = 0; e < dim_; ++e) XAt(slot, e) = payload[e];
   // The per-object path round-trips the unchanged P through
   // DeserializeState, whose final Symmetrize we replicate for exact
   // behavioral equivalence.
-  p_[slot].Symmetrize();
+  SymmetrizeSlotCov(slot);
   return Status::Ok();
 }
 
@@ -247,6 +354,7 @@ FilterPool* FilterPoolSet::PoolFor(const StateSpaceModel& model,
     if (pool->Matches(model, form)) return pool.get();
   }
   pools_.push_back(std::make_unique<FilterPool>(model, form));
+  pools_.back()->set_simd(simd_);
   return pools_.back().get();
 }
 
@@ -262,19 +370,48 @@ size_t FilterPoolSet::num_active() const {
   return total;
 }
 
+void FilterPoolSet::set_simd(bool on) {
+  simd_ = on;
+  for (auto& pool : pools_) pool->set_simd(on);
+}
+
+std::shared_ptr<const KalmanPredictor::Config> FilterPoolSet::InternConfig(
+    const KalmanPredictor::Config& config) {
+  assert(!config.adaptive.has_value());
+  for (const auto& interned : configs_) {
+    const KalmanPredictor::Config& c = *interned;
+    if (c.sync_mode == config.sync_mode && c.init_var == config.init_var &&
+        c.update_form == config.update_form &&
+        c.outlier_gate_prob == config.outlier_gate_prob &&
+        c.outlier_gate_limit == config.outlier_gate_limit &&
+        c.model.f == config.model.f && c.model.q == config.model.q &&
+        c.model.h == config.model.h && c.model.r == config.model.r) {
+      return interned;
+    }
+  }
+  configs_.push_back(std::make_shared<const KalmanPredictor::Config>(config));
+  return configs_.back();
+}
+
 // ----------------------------------------------------- PooledKalmanPredictor
 
 PooledKalmanPredictor::PooledKalmanPredictor(KalmanPredictor::Config config,
                                              FilterPoolSet* pools)
+    : PooledKalmanPredictor(
+          (assert(pools != nullptr), pools->InternConfig(config)), pools) {}
+
+PooledKalmanPredictor::PooledKalmanPredictor(
+    std::shared_ptr<const KalmanPredictor::Config> config,
+    FilterPoolSet* pools)
     : config_(std::move(config)), pools_(pools) {
   assert(pools_ != nullptr);
-  assert(config_.model.Validate().ok());
+  assert(config_->model.Validate().ok());
   // Adaptive noise estimation mutates the per-source model and cannot
   // share a pool; MakePooledPredictor filters such configs out.
-  assert(!config_.adaptive.has_value());
-  if (config_.outlier_gate_prob > 0.0 && config_.outlier_gate_prob < 1.0) {
-    gate_threshold_ =
-        ChiSquaredQuantile(config_.outlier_gate_prob, config_.model.obs_dim());
+  assert(!config_->adaptive.has_value());
+  if (config_->outlier_gate_prob > 0.0 && config_->outlier_gate_prob < 1.0) {
+    gate_threshold_ = ChiSquaredQuantile(config_->outlier_gate_prob,
+                                         config_->model.obs_dim());
   }
 }
 
@@ -289,20 +426,20 @@ void PooledKalmanPredictor::ReleaseSlots() {
 }
 
 void PooledKalmanPredictor::Init(const Reading& first) {
-  assert(first.value.size() == config_.model.obs_dim());
+  assert(first.value.size() == config_->model.obs_dim());
   if (pool_ == nullptr) {
-    pool_ = pools_->PoolFor(config_.model, config_.update_form);
+    pool_ = pools_->PoolFor(config_->model, config_->update_form);
   }
   // Same lift as KalmanPredictor::Init: H^T z places observed values in
   // their state slots, derivatives start at zero.
-  size_t n = config_.model.state_dim();
-  Vector x0 = config_.model.h.Transposed() * first.value;
-  Matrix p0 = Matrix::ScalarDiagonal(n, config_.init_var);
+  size_t n = config_->model.state_dim();
+  Vector x0 = config_->model.h.Transposed() * first.value;
+  Matrix p0 = Matrix::ScalarDiagonal(n, config_->init_var);
   if (shadow_slot_ == FilterPool::kNoSlot) {
     shadow_slot_ = pool_->Acquire(/*owner_id=*/-1);
   }
   pool_->ResetSlot(shadow_slot_, x0, p0);
-  if (config_.sync_mode != KalmanPredictor::SyncMode::kMeasurement) {
+  if (config_->sync_mode != KalmanPredictor::SyncMode::kMeasurement) {
     // The private slot is materialized lazily (EnsurePrivateSlot): a
     // server replica clone never observes locally, so its private filter
     // would only waste a slot — and a batched time update per tick.
@@ -330,9 +467,9 @@ void PooledKalmanPredictor::Init(const Reading& first) {
 
 void PooledKalmanPredictor::EnsurePrivateSlot() {
   if (!private_pending_) return;
-  size_t n = config_.model.state_dim();
-  Vector x0 = config_.model.h.Transposed() * init_value_;
-  Matrix p0 = Matrix::ScalarDiagonal(n, config_.init_var);
+  size_t n = config_->model.state_dim();
+  Vector x0 = config_->model.h.Transposed() * init_value_;
+  Matrix p0 = Matrix::ScalarDiagonal(n, config_->init_var);
   private_slot_ = pool_->Acquire(/*owner_id=*/-1);
   pool_->ResetSlot(private_slot_, x0, p0);
   private_pending_ = false;
@@ -348,7 +485,7 @@ void PooledKalmanPredictor::Tick() {
 
 void PooledKalmanPredictor::ObserveLocal(const Reading& measured) {
   last_observed_ = measured;
-  if (config_.sync_mode == KalmanPredictor::SyncMode::kMeasurement) return;
+  if (config_->sync_mode == KalmanPredictor::SyncMode::kMeasurement) return;
   EnsurePrivateSlot();
   ++private_ticks_;
   pool_->PredictSlotUpTo(private_slot_, private_ticks_);
@@ -360,7 +497,7 @@ void PooledKalmanPredictor::ObserveLocal(const Reading& measured) {
     if (nis >= 0.0) {
       last_nis_ = nis;  // A rejected reading is still a consistency sample.
       if (nis > gate_threshold_) {
-        if (consecutive_rejects_ + 1 < config_.outlier_gate_limit) {
+        if (consecutive_rejects_ + 1 < config_->outlier_gate_limit) {
           ++consecutive_rejects_;
           ++outliers_rejected_;
           if (metrics_.outliers_rejected) metrics_.outliers_rejected->Inc();
@@ -379,7 +516,7 @@ void PooledKalmanPredictor::ObserveLocal(const Reading& measured) {
 }
 
 Vector PooledKalmanPredictor::Target() const {
-  if (config_.sync_mode != KalmanPredictor::SyncMode::kMeasurement &&
+  if (config_->sync_mode != KalmanPredictor::SyncMode::kMeasurement &&
       (private_slot_ != FilterPool::kNoSlot || private_pending_)) {
     // Materializing the pending slot is logically const: the returned
     // value is exactly what the per-object path computes from x0.
@@ -397,7 +534,7 @@ Vector PooledKalmanPredictor::Predict() const {
 
 std::vector<double> PooledKalmanPredictor::EncodeCorrection(
     const Reading& measured) const {
-  switch (config_.sync_mode) {
+  switch (config_->sync_mode) {
     case KalmanPredictor::SyncMode::kMeasurement:
       return measured.value.data();
     case KalmanPredictor::SyncMode::kState:
@@ -415,9 +552,9 @@ Status PooledKalmanPredictor::ApplyCorrection(
   if (shadow_slot_ == FilterPool::kNoSlot) {
     return Status::FailedPrecondition("predictor not initialized");
   }
-  switch (config_.sync_mode) {
+  switch (config_->sync_mode) {
     case KalmanPredictor::SyncMode::kMeasurement: {
-      if (payload.size() != config_.model.obs_dim()) {
+      if (payload.size() != config_->model.obs_dim()) {
         return Status::InvalidArgument("correction payload has wrong size");
       }
       z_scratch_.ResizeUninit(payload.size());
@@ -459,11 +596,12 @@ void PooledKalmanPredictor::BindMetrics(obs::MetricRegistry* registry) {
 }
 
 std::unique_ptr<Predictor> PooledKalmanPredictor::Clone() const {
+  // Clones share the interned config (no per-clone model copies).
   return std::make_unique<PooledKalmanPredictor>(config_, pools_);
 }
 
 std::string PooledKalmanPredictor::name() const {
-  switch (config_.sync_mode) {
+  switch (config_->sync_mode) {
     case KalmanPredictor::SyncMode::kState:
       return "kalman";
     case KalmanPredictor::SyncMode::kStateAndCov:
@@ -486,7 +624,8 @@ std::unique_ptr<Predictor> MakePooledPredictor(const Predictor& prototype,
       config.model.obs_dim() > Vector::kInlineCap) {
     return nullptr;  // Outside the inline-slab envelope.
   }
-  return std::make_unique<PooledKalmanPredictor>(config, pools);
+  return std::make_unique<PooledKalmanPredictor>(pools->InternConfig(config),
+                                                 pools);
 }
 
 }  // namespace kc

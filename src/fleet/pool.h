@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "kalman/kalman_filter.h"
 #include "kalman/model.h"
+#include "linalg/batch_kernels.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "suppression/policies.h"
@@ -24,31 +25,52 @@ class MetricRegistry;
 /// (model, update form). Instead of each source owning a heap-scattered
 /// KalmanFilter — whose ~7 KB of model + workspace matrices dominate the
 /// per-tick cache traffic at fleet scale — a pool keeps every filter's
-/// mutable state (x, P) in two contiguous slabs and shares a single
-/// scratch workspace and model across all slots. A fleet tick then sweeps
-/// the slabs front to back (PredictAll), touching ~600 bytes per source
-/// instead of chasing pointers through tens of kilobytes.
+/// mutable state (x, P) in two contiguous slabs and shares a single model
+/// and scratch workspace across all slots.
+///
+/// Slab layout (AoSoA): slots are grouped into blocks of
+/// batch::kLanes (4); element e of slot s lives at
+/// xs_[(block*dim + e)*kLanes + lane] with block = s/4, lane = s%4, and
+/// P entry (r, c) at ps_[(block*dim*dim + r*dim + c)*kLanes + lane].
+/// One SIMD register load at an element's address therefore picks up the
+/// *same* element of four adjacent slots — the lane-per-slot layout the
+/// batched predict sweep (linalg/batch_kernels.h) vectorizes over. The
+/// layout is fixed (independent of whether SIMD is compiled in or
+/// enabled), so serialized state and test fixtures never depend on the
+/// instruction set.
 ///
 /// Bit-identity contract: every per-slot operation executes the *same*
 /// destination-passing kernel sequence as KalmanFilter::Predict/Update
-/// (src/kalman/kalman_filter.cc), so a pooled filter's state is
-/// bit-identical to a per-object filter fed the same inputs — pooling is
-/// a memory-layout change, never a numerical one. Slots are mutually
-/// independent, so the sweep order of PredictAll cannot affect any slot's
-/// result (see docs/PERF.md for the full determinism argument).
+/// (src/kalman/kalman_filter.cc), and the vectorized sweep executes that
+/// sequence per lane without reordering anything within a slot — so a
+/// pooled filter's state is bit-identical to a per-object filter fed the
+/// same inputs whether the sweep ran scalar, vectorized, chunked across
+/// threads, or slot-at-a-time. Pooling is a memory-layout change, never a
+/// numerical one (see docs/PERF.md for the full argument).
 ///
 /// Slot lifecycle: Acquire() -> ResetSlot() -> {PredictAll / PredictSlot /
 /// UpdateSlot / GateSlot ...} -> Release(). Release zeroes x and P before
 /// returning the slot to the free list, so a later Acquire for a
 /// re-registered source id can never observe a previous tenant's state.
+/// The free list is a min-heap: Acquire always reuses the lowest-indexed
+/// free slot, so long-lived pools stay dense at the front of the slabs
+/// and re-acquired slots land next to live ones (slab locality) instead
+/// of wherever the most recent release happened to be.
 ///
-/// Threading: a pool is single-writer, like the shard that owns it. The
-/// sharded fleet gives each shard its own FilterPoolSet; the shard's
-/// worker thread is the only thread that touches it during a tick.
+/// Threading: a pool is single-writer for slot lifecycle and per-slot
+/// operations, like the shard that owns it. The *sweep* may be chunked:
+/// disjoint block ranges (SweepBlocks) touch disjoint slab memory and
+/// only shared read-only model data, so different threads may sweep
+/// different ranges of the same pool concurrently — that is how
+/// ShardedServer::SweepPools parallelizes one big pool across the
+/// ThreadPool (slots are mutually independent, so any chunking yields
+/// the same bits).
 class FilterPool {
  public:
   /// Invalid slot sentinel.
   static constexpr int32_t kNoSlot = -1;
+  /// Slots per block (SIMD lanes of the batched predict kernel).
+  static constexpr size_t kLanes = batch::kLanes;
 
   FilterPool(StateSpaceModel model, KalmanFilter::UpdateForm form);
 
@@ -56,9 +78,9 @@ class FilterPool {
   bool Matches(const StateSpaceModel& model,
                KalmanFilter::UpdateForm form) const;
 
-  /// Claims a slot (reusing a freed one when available) and records the
-  /// owning source id for diagnostics. The slot starts zeroed; call
-  /// ResetSlot before filtering with it.
+  /// Claims a slot (reusing the lowest-indexed freed one when available)
+  /// and records the owning source id for diagnostics. The slot starts
+  /// zeroed; call ResetSlot before filtering with it.
   int32_t Acquire(int32_t owner_id);
 
   /// Returns a slot to the free list, zeroing x and P so the next tenant
@@ -72,10 +94,26 @@ class FilterPool {
 
   // --- Batched tick kernels -------------------------------------------
 
-  /// Advances every active slot one time update, sweeping the x/P slabs
-  /// in slot order, and bumps each slot's predict epoch. Returns the
-  /// number of slots advanced. This is the fleet's per-tick hot loop.
+  /// Advances every active slot one time update (one sweep over the
+  /// slabs) and bumps the pool's sweep epoch. Returns the number of slots
+  /// advanced. Equivalent to BeginSweep() + SweepBlocks(0, num_blocks()).
   size_t PredictAll();
+
+  /// Starts a sweep: advances the pool-level sweep counter that every
+  /// active slot's predict epoch is measured against. Call once per
+  /// sweep, then cover every block via SweepBlocks (in any chunking).
+  void BeginSweep();
+
+  /// Runs the time update on every active slot in blocks
+  /// [begin_block, end_block), using the vectorized batch kernel (or its
+  /// scalar twin when SIMD is off). Returns slots advanced. Disjoint
+  /// ranges may run on different threads concurrently; blocks with no
+  /// active slots cost one mask-byte test.
+  size_t SweepBlocks(size_t begin_block, size_t end_block);
+
+  /// Blocks the slabs currently span (including dead ones, skipped by
+  /// their zero activity mask).
+  size_t num_blocks() const { return block_mask_.size(); }
 
   /// Measurement-updates each (slot, z) pair in order. Returns the number
   /// of successful updates; a failed update (singular S) skips that slot
@@ -93,9 +131,9 @@ class FilterPool {
   void PredictSlot(int32_t slot);
 
   /// Runs time updates until the slot's predict epoch reaches `epoch`.
-  /// No-op if PredictAll already advanced it there — this is how pooled
-  /// predictors stay correct whether or not a batched sweep is driving
-  /// the pool (standalone use never calls PredictAll).
+  /// No-op if a batched sweep already advanced it there — this is how
+  /// pooled predictors stay correct whether or not a batched sweep is
+  /// driving the pool (standalone use never calls PredictAll).
   void PredictSlotUpTo(int32_t slot, int64_t epoch);
 
   /// Measurement update with observation z; identical kernel sequence to
@@ -112,19 +150,28 @@ class FilterPool {
 
   // --- Accessors -------------------------------------------------------
 
-  const Vector& StateOf(int32_t slot) const { return x_[slot]; }
-  const Matrix& CovarianceOf(int32_t slot) const { return p_[slot]; }
+  /// The slot's state / covariance, gathered out of the lane-interleaved
+  /// slab (by value; inline small-buffer storage, so no heap traffic for
+  /// the dim <= 8 envelope).
+  Vector StateOf(int32_t slot) const;
+  Matrix CovarianceOf(int32_t slot) const;
   /// Expected observation H x (value-identical to
   /// KalmanFilter::PredictObservation).
   Vector PredictObservationOf(int32_t slot) const;
   /// NIS of the slot's most recent successful UpdateSlot (0 before any).
   double LastNisOf(int32_t slot) const { return last_nis_[slot]; }
-  /// Time updates applied since the slot's last ResetSlot.
-  int64_t PredictEpochOf(int32_t slot) const { return predicts_[slot]; }
+  /// Time updates applied since the slot's last ResetSlot. Stored as an
+  /// offset from the pool-level sweep counter, so a batched sweep
+  /// advances every active slot's epoch with a single counter increment
+  /// instead of a per-slot write.
+  int64_t PredictEpochOf(int32_t slot) const {
+    return sweep_count_ + epoch_base_[slot];
+  }
   int32_t OwnerOf(int32_t slot) const { return owner_[slot]; }
   bool IsActive(int32_t slot) const {
-    return slot >= 0 && static_cast<size_t>(slot) < active_.size() &&
-           active_[slot] != 0;
+    return slot >= 0 && static_cast<size_t>(slot) < size_ &&
+           (block_mask_[static_cast<size_t>(slot) / kLanes] &
+            (1u << (static_cast<size_t>(slot) % kLanes))) != 0;
   }
 
   /// Flattens (x, P) as KalmanFilter::SerializeState does: x's entries
@@ -143,35 +190,88 @@ class FilterPool {
   size_t obs_dim() const { return model_.obs_dim(); }
   /// Slots currently in use / ever allocated.
   size_t num_active() const { return num_active_; }
-  size_t capacity() const { return x_.size(); }
+  size_t capacity() const { return size_; }
+
+  /// Toggles the vectorized sweep kernel at runtime (on by default). Both
+  /// settings produce identical bits — this is a bench/test knob, plus
+  /// the escape hatch KC_SIMD=OFF builds pin in CI.
+  void set_simd(bool on) { simd_ = on; }
+  bool simd() const { return simd_; }
 
  private:
   /// Shared scratch, one per pool (not per filter): the same temporaries
-  /// KalmanFilter::Workspace holds, reshaped once and fully overwritten
-  /// by the *Into kernels on every use.
+  /// KalmanFilter::Workspace holds, plus gather targets for the slot
+  /// being operated on, reshaped once and fully overwritten on every use.
+  /// Used only by single-writer per-slot operations — the chunked sweep
+  /// needs no workspace at all (the batch kernel lives in registers).
   struct Workspace {
-    Vector fx, hx, nu, knu, sinv_nu;
-    Matrix tmp1, s, l, ph_t, kt, k, kh, i_kh, j1, krk;
+    Vector x, fx, hx, nu, knu, sinv_nu;
+    Matrix p, tmp1, s, l, ph_t, kt, k, kh, i_kh, j1, krk;
   };
 
-  /// The time-update kernels, without epoch bookkeeping.
+  // Lane-addressing helpers (see the class comment for the layout).
+  double* XBlock(size_t block) { return xs_.data() + block * dim_ * kLanes; }
+  double* PBlock(size_t block) {
+    return ps_.data() + block * dim_ * dim_ * kLanes;
+  }
+  double& XAt(int32_t slot, size_t e) {
+    return xs_[((static_cast<size_t>(slot) / kLanes) * dim_ + e) * kLanes +
+               static_cast<size_t>(slot) % kLanes];
+  }
+  double XAt(int32_t slot, size_t e) const {
+    return xs_[((static_cast<size_t>(slot) / kLanes) * dim_ + e) * kLanes +
+               static_cast<size_t>(slot) % kLanes];
+  }
+  double& PAt(int32_t slot, size_t r, size_t c) {
+    return ps_[((static_cast<size_t>(slot) / kLanes) * dim_ * dim_ +
+                r * dim_ + c) *
+                   kLanes +
+               static_cast<size_t>(slot) % kLanes];
+  }
+  double PAt(int32_t slot, size_t r, size_t c) const {
+    return ps_[((static_cast<size_t>(slot) / kLanes) * dim_ * dim_ +
+                r * dim_ + c) *
+                   kLanes +
+               static_cast<size_t>(slot) % kLanes];
+  }
+
+  /// Gather / scatter one slot's (x, P) between the slabs and dense
+  /// Vector/Matrix scratch (pure copies: bit-preserving by definition).
+  void LoadSlotInto(int32_t slot, Vector* x, Matrix* p) const;
+  void StoreSlotFrom(int32_t slot, const Vector& x, const Matrix& p);
+  /// In-place strided Symmetrize of a slot's P, same operation order as
+  /// Matrix::Symmetrize.
+  void SymmetrizeSlotCov(int32_t slot);
+
+  /// The time-update kernels on one slot, without epoch bookkeeping:
+  /// a single-lane-mask call of the same block kernel the sweep uses.
   void PredictRaw(int32_t slot);
+  /// Scalar fallback for dims beyond the specialized kernels
+  /// (dim > batch::kMaxDim — never pooled by MakePooledPredictor, but
+  /// FilterPool itself stays fully functional): gather, run the scalar
+  /// kernel sequence in `ws`, scatter.
+  void PredictScalarSlot(int32_t slot, Workspace* ws);
+  /// Appends one zeroed block to the slabs and bookkeeping arrays.
+  void GrowBlock();
 
   StateSpaceModel model_;
   KalmanFilter::UpdateForm form_;
+  size_t dim_;  ///< model_.state_dim(), cached for lane addressing.
+  batch::PredictBlockFn simd_fn_;      ///< Vector kernel (null if dim > 8).
+  batch::PredictBlockFn portable_fn_;  ///< Scalar-lane twin (ditto).
+  bool simd_ = true;
 
-  // SoA slabs, indexed by slot. Vector/Matrix storage is small-buffer
-  // inline for the documented state_dim <= 8 envelope, so std::vector of
-  // them IS the contiguous slab — no separate flat-double layout needed,
-  // and the kernels run on the slab entries directly.
-  std::vector<Vector> x_;
-  std::vector<Matrix> p_;
-  std::vector<uint8_t> active_;
-  std::vector<int32_t> owner_;     ///< Source id, kNoSlot when free.
-  std::vector<int64_t> predicts_;  ///< Time updates since ResetSlot.
-  std::vector<double> last_nis_;   ///< Last UpdateSlot NIS.
-  std::vector<int32_t> free_;      ///< Released slots, reused LIFO.
+  // AoSoA slabs + per-slot bookkeeping, sized in whole blocks.
+  std::vector<double> xs_;
+  std::vector<double> ps_;
+  std::vector<uint8_t> block_mask_;  ///< Bit l set = slot 4b+l active.
+  std::vector<int32_t> owner_;       ///< Source id, kNoSlot when free.
+  std::vector<int64_t> epoch_base_;  ///< Epoch offset from sweep_count_.
+  std::vector<double> last_nis_;     ///< Last UpdateSlot NIS.
+  std::vector<int32_t> free_;        ///< Min-heap of released slots.
+  size_t size_ = 0;  ///< Slots ever created (<= blocks * kLanes).
   size_t num_active_ = 0;
+  int64_t sweep_count_ = 0;  ///< Batched sweeps since construction.
 
   Workspace ws_;
 };
@@ -180,7 +280,10 @@ class FilterPool {
 /// (model, update form) among the shard's pooled sources. PoolFor returns
 /// a stable pointer (pools are never destroyed before the set), and
 /// PredictAll sweeps every pool in creation order — the batched tick the
-/// sharded server runs at the top of each shard tick.
+/// sharded server runs at the top of each shard tick. The set also
+/// interns predictor configs (InternConfig) so a million pooled sources
+/// share one Config allocation per distinct configuration instead of
+/// carrying ~2 KB of model copies each.
 class FilterPoolSet {
  public:
   /// The pool for this (model, form), created on first use. Pointers stay
@@ -193,10 +296,29 @@ class FilterPoolSet {
   size_t PredictAll();
 
   size_t num_pools() const { return pools_.size(); }
+  /// Pool by creation index (stable; for sweep drivers that chunk across
+  /// pools, see ShardedServer::SweepPools).
+  FilterPool* pool(size_t index) { return pools_[index].get(); }
   size_t num_active() const;
+
+  /// Applies to every pool, current and future (PoolFor inherits it).
+  void set_simd(bool on);
+  bool simd() const { return simd_; }
+
+  /// Returns a shared, deduplicated copy of `config`: configs comparing
+  /// equal (model matrices and all behavioral knobs) map to one
+  /// allocation. A KalmanPredictor::Config embeds four model matrices —
+  /// ~2 KB even for a scalar model — and every pooled predictor used to
+  /// carry its own copy; at fleet scale those copies were gigabytes of
+  /// cold, duplicated heap that the tick had to walk around. Non-adaptive
+  /// configs only (adaptive configs are never pooled).
+  std::shared_ptr<const KalmanPredictor::Config> InternConfig(
+      const KalmanPredictor::Config& config);
 
  private:
   std::vector<std::unique_ptr<FilterPool>> pools_;
+  std::vector<std::shared_ptr<const KalmanPredictor::Config>> configs_;
+  bool simd_ = true;
 };
 
 /// Drop-in pooled replacement for a non-adaptive KalmanPredictor: the same
@@ -223,8 +345,12 @@ class FilterPoolSet {
 class PooledKalmanPredictor : public Predictor {
  public:
   /// `pools` must outlive the predictor (the sharded server's pool sets
-  /// outlive its shards' replicas by member order).
+  /// outlive its shards' replicas by member order). The config is
+  /// interned through `pools` so clones and same-configured predictors
+  /// share one copy.
   PooledKalmanPredictor(KalmanPredictor::Config config, FilterPoolSet* pools);
+  PooledKalmanPredictor(std::shared_ptr<const KalmanPredictor::Config> config,
+                        FilterPoolSet* pools);
   ~PooledKalmanPredictor() override;
 
   void Init(const Reading& first) override;
@@ -243,9 +369,9 @@ class PooledKalmanPredictor : public Predictor {
   std::unique_ptr<Predictor> Clone() const override;
   /// Same names as KalmanPredictor: pooling is invisible to reports.
   std::string name() const override;
-  size_t dims() const override { return config_.model.obs_dim(); }
+  size_t dims() const override { return config_->model.obs_dim(); }
 
-  const KalmanPredictor::Config& config() const { return config_; }
+  const KalmanPredictor::Config& config() const { return *config_; }
   /// The pool backing this predictor (nullptr before Init).
   const FilterPool* pool() const { return pool_; }
   int32_t shadow_slot() const { return shadow_slot_; }
@@ -264,7 +390,7 @@ class PooledKalmanPredictor : public Predictor {
   void EnsurePrivateSlot();
   void ReleaseSlots();
 
-  KalmanPredictor::Config config_;
+  std::shared_ptr<const KalmanPredictor::Config> config_;
   FilterPoolSet* pools_;
   FilterPool* pool_ = nullptr;  ///< Resolved at first Init.
   Metrics metrics_;

@@ -33,6 +33,11 @@ ShardedFleet::ShardedFleet(Config config)
     return by_id_[idx]->control_channel->Send(msg);
   });
   if (config_.recovery.enabled) server_.SetRecovery(config_.recovery);
+  if (!config_.simd) server_.SetSimdEnabled(false);
+  if (config_.sweep_threads != 0 &&
+      config_.sweep_threads != std::max<size_t>(config_.threads, 1)) {
+    sweep_pool_ = std::make_unique<ThreadPool>(config_.sweep_threads);
+  }
 }
 
 int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
@@ -162,7 +167,7 @@ void ShardedFleet::EnablePeriodicMetricsReport(int64_t every_n_ticks,
 
 void ShardedFleet::StepShard(size_t index) {
   KC_TRACE_SCOPE("fleet.step_shard");
-  server_.TickShard(index);
+  server_.TickShard(index, /*run_pool_sweep=*/false);
   Shard& shard = shards_[index];
   for (auto& slot : shard.sources) {
     slot->channel->AdvanceTick();
@@ -178,6 +183,13 @@ void ShardedFleet::StepShard(size_t index) {
 Status ShardedFleet::Step() {
   KC_TRACE_SCOPE("fleet.step");
   int64_t t0 = step_latency_us_ != nullptr ? obs::TraceNowNs() : 0;
+  // Phase 1: the batched filter sweep, every shard's pools flattened into
+  // one block list and chunked across the sweep driver — one big shard no
+  // longer serializes its million slots on a single worker. Phase 2 (the
+  // shard fan-out below) then runs with run_pool_sweep=false. The split
+  // is state-identical to sweeping inside TickShard: a shard's tick only
+  // reads and writes its own pools, and slots are mutually independent.
+  server_.SweepPools(SweepDriver());
   pool_.ParallelFor(shards_.size(), [this](size_t s) { StepShard(s); });
   // Barrier passed: every shard has ticked once and drained its messages;
   // the merged view is consistent.

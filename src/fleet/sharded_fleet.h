@@ -61,6 +61,16 @@ class ShardedFleet {
     /// that cannot pool (adaptive configs, non-Kalman policies) always
     /// use the per-object path regardless.
     bool pooling = true;
+    /// Threads for the phase-1 batched pool sweep (every pool's blocks
+    /// flattened into one list and chunked — parallelism *within* shards,
+    /// see ShardedServer::SweepPools). 0 reuses `threads`' pool; any other
+    /// value gets a dedicated pool of that size. Results never depend on
+    /// it (sweep chunks are mutually independent).
+    size_t sweep_threads = 0;
+    /// Vectorized (lane-per-slot SIMD) sweep kernels. Bit-identical on or
+    /// off — pinned by tests/batch_kernels_test.cc — so purely a bench/CI
+    /// knob.
+    bool simd = true;
   };
 
   ShardedFleet();
@@ -187,6 +197,11 @@ class ShardedFleet {
   };
 
   void StepShard(size_t index);
+  /// The thread pool driving the phase-1 pool sweep (config.sweep_threads;
+  /// pool_ itself when 0).
+  ThreadPool* SweepDriver() {
+    return sweep_pool_ != nullptr ? sweep_pool_.get() : &pool_;
+  }
   /// Binds one slot's channels and agent to its shard's arena.
   void BindSlotMetrics(SourceSlot* slot, size_t shard_index);
   /// Binds one slot's agent to its shard's recorder ring / watchdog entry
@@ -198,6 +213,9 @@ class ShardedFleet {
   std::vector<Shard> shards_;
   std::vector<SourceSlot*> by_id_;  ///< id -> slot (owned by its shard).
   ThreadPool pool_;
+  /// Dedicated sweep pool when config.sweep_threads differs from threads;
+  /// null otherwise (the sweep borrows pool_).
+  std::unique_ptr<ThreadPool> sweep_pool_;
   int64_t ticks_ = 0;
   obs::Histogram* step_latency_us_ = nullptr;  ///< Wall-clock; driver arena.
   int64_t report_every_ = 0;

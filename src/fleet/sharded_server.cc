@@ -37,14 +37,68 @@ void ShardedServer::Tick() {
   for (size_t i = 0; i < shards_.size(); ++i) TickShard(i);
 }
 
-void ShardedServer::TickShard(size_t index) {
+void ShardedServer::TickShard(size_t index, bool run_pool_sweep) {
   // Batched sweep first: every pooled filter on the shard gets its one
   // time update for this tick in a contiguous slab pass. Predictor Tick()
   // calls inside the replicas then see an already-advanced slot (their
   // PredictSlotUpTo is a no-op). Slots are mutually independent, so this
   // hoist is state-identical to per-replica predicts — see docs/PERF.md.
-  pool_sets_[index]->PredictAll();
+  // Skipped when the driver already ran SweepPools this tick.
+  if (run_pool_sweep) pool_sets_[index]->PredictAll();
   shards_[index]->Tick();
+}
+
+void ShardedServer::SweepPools(ThreadPool* pool) {
+  // Flatten every pool of every shard into one block list, so one big
+  // shard's pool is chunked across threads instead of pinning its whole
+  // sweep to one worker (the shard fan-out parallelizes *across* shards;
+  // this parallelizes *within* them).
+  sweep_units_.clear();
+  size_t total_blocks = 0;
+  for (auto& set : pool_sets_) {
+    for (size_t i = 0; i < set->num_pools(); ++i) {
+      FilterPool* p = set->pool(i);
+      p->BeginSweep();
+      if (p->num_blocks() == 0) continue;
+      sweep_units_.push_back({p, total_blocks});
+      total_blocks += p->num_blocks();
+    }
+  }
+  if (total_blocks == 0) return;
+  auto sweep_range = [this](size_t begin, size_t end) {
+    // Locate the first unit containing `begin` (units are sorted by
+    // first_block), then walk forward translating the global range into
+    // per-pool block ranges.
+    size_t lo = 0;
+    size_t hi = sweep_units_.size();
+    while (lo + 1 < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (sweep_units_[mid].first_block <= begin) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    for (size_t u = lo;
+         u < sweep_units_.size() && sweep_units_[u].first_block < end; ++u) {
+      const SweepUnit& unit = sweep_units_[u];
+      size_t unit_end = unit.first_block + unit.pool->num_blocks();
+      size_t b = std::max(begin, unit.first_block);
+      size_t e = std::min(end, unit_end);
+      if (b < e) {
+        unit.pool->SweepBlocks(b - unit.first_block, e - unit.first_block);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForRanges(total_blocks, sweep_range);
+  } else {
+    sweep_range(0, total_blocks);
+  }
+}
+
+void ShardedServer::SetSimdEnabled(bool on) {
+  for (auto& set : pool_sets_) set->set_simd(on);
 }
 
 Status ShardedServer::OnMessage(const Message& msg) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fleet/pool.h"
+#include "fleet/thread_pool.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -65,8 +66,28 @@ class ShardedServer : public SourceView {
   /// Advances one shard one stream tick: first the shard's batched filter
   /// sweep (FilterPoolSet::PredictAll — one contiguous pass over every
   /// pooled filter's state), then the shard's replicas. Thread-affine: at
-  /// most one thread per shard per tick.
-  void TickShard(size_t index);
+  /// most one thread per shard per tick. Drivers that already swept every
+  /// pool via SweepPools this tick pass run_pool_sweep = false, otherwise
+  /// the slots would advance twice.
+  void TickShard(size_t index, bool run_pool_sweep = true);
+
+  /// Runs this tick's batched filter sweep for EVERY shard's pools, as one
+  /// flat list of slab blocks chunked across `pool` (sequentially on the
+  /// calling thread when null or when the pool is this thread's own — the
+  /// chunking is ThreadPool::NumChunks, a pure function of the block
+  /// count). Pool slots are mutually independent and a sweep writes only
+  /// block-local slab memory, so any chunking of the block list — across
+  /// pools, shards, and threads — produces bit-identical state; it also
+  /// cannot race the subsequent per-shard tick work, which this call must
+  /// complete before (call from the driver, then fan out TickShard(s,
+  /// /*run_pool_sweep=*/false)). Hoisting the sweep out of the per-shard
+  /// ticks is state-identical because a shard's tick only ever touches its
+  /// own pools.
+  void SweepPools(ThreadPool* pool = nullptr);
+
+  /// Toggles the vectorized sweep kernels on every shard's pool set
+  /// (current and future pools). Bit-identical either way; bench/CI knob.
+  void SetSimdEnabled(bool on);
 
   /// The shard's filter pools. Pooled predictors registered on a shard
   /// (ShardedFleet does this for poolable Kalman sources) must draw their
@@ -190,11 +211,21 @@ class ShardedServer : public SourceView {
   /// Mirrors one cross-shard query evaluation onto the driver arena.
   void RecordQueryOutcome(bool ok, bool stale) const;
 
+  /// One pool's position in the flattened block list SweepPools chunks
+  /// over: its blocks occupy [first_block, first_block + num_blocks()).
+  struct SweepUnit {
+    FilterPool* pool;
+    size_t first_block;
+  };
+
   /// Declared before shards_: replicas (and the fleet's agents) hold pool
   /// slots, so the pool sets must be destroyed after every predictor that
   /// releases into them.
   std::vector<std::unique_ptr<FilterPoolSet>> pool_sets_;
   std::vector<std::unique_ptr<StreamServer>> shards_;
+  /// Rebuilt by each SweepPools call; a member so the steady-state tick
+  /// reuses its capacity (zero allocations per tick).
+  std::vector<SweepUnit> sweep_units_;
   QueryTable queries_;
   std::vector<std::unique_ptr<obs::MetricRegistry>> shard_metrics_;
   std::unique_ptr<obs::MetricRegistry> driver_metrics_;

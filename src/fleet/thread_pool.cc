@@ -30,8 +30,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t)>& body) {
+void ThreadPool::ParallelFor(size_t n, FuncRef body) {
   if (n == 0) return;
   // Re-entry from inside one of this pool's own bodies (nested batched
   // work) runs inline on the calling thread: the outer batch already owns
@@ -40,18 +39,41 @@ void ThreadPool::ParallelFor(size_t n,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  auto batch = std::make_shared<Batch>();
-  batch->body = &body;
-  batch->n = n;
+  std::shared_ptr<Batch> batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = batch;
+    // Recycle the previous batch unless a straggler worker still holds
+    // it (holders tracks threads inside RunItems, so holders == 0 means
+    // nobody can touch the old fields again without re-reading batch_
+    // under this mutex). Stragglers that wake after the swap grab the
+    // *current* batch and legitimately steal its items.
+    if (batch_ == nullptr || batch_->holders != 0) {
+      batch_ = std::make_shared<Batch>();
+    }
+    batch_->body = body;
+    batch_->n = n;
+    batch_->next.store(0, std::memory_order_relaxed);
+    batch_->completed = 0;
+    batch_->holders = 1;  // The driver.
     ++generation_;
+    batch = batch_;
   }
   work_cv_.notify_all();
-  RunItems(*batch);
+  RunItems(batch);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return batch->completed == batch->n; });
+}
+
+void ThreadPool::ParallelForRanges(size_t n, RangeFuncRef body) {
+  const size_t chunks = NumChunks(n);
+  if (chunks == 0) return;
+  const size_t base = n / chunks;
+  const size_t rem = n % chunks;
+  ParallelFor(chunks, [&](size_t i) {
+    size_t begin = i * base + (i < rem ? i : rem);
+    size_t end = begin + base + (i < rem ? 1 : 0);
+    body(begin, end);
+  });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -66,22 +88,30 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_) return;
       seen_generation = generation_;
       batch = batch_;
+      ++batch->holders;
     }
-    RunItems(*batch);
+    RunItems(batch);
   }
 }
 
-void ThreadPool::RunItems(Batch& batch) {
+void ThreadPool::RunItems(const std::shared_ptr<Batch>& batch) {
   const ThreadPool* prev = t_running_pool;
   t_running_pool = this;
+  // n and body are stable while holders > 0: the driver only resets a
+  // batch after observing holders == 0 under mu_, and this thread
+  // incremented holders under mu_ before reading them.
+  const size_t n = batch->n;
+  const FuncRef body = batch->body;
   for (;;) {
-    size_t i = batch.next.fetch_add(1);
-    if (i >= batch.n) break;
-    (*batch.body)(i);
+    size_t i = batch->next.fetch_add(1);
+    if (i >= n) break;
+    body(i);
     std::lock_guard<std::mutex> lock(mu_);
-    if (++batch.completed == batch.n) done_cv_.notify_all();
+    if (++batch->completed == n) done_cv_.notify_all();
   }
   t_running_pool = prev;
+  std::lock_guard<std::mutex> lock(mu_);
+  --batch->holders;
 }
 
 }  // namespace kc

@@ -3,14 +3,58 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace kc {
+
+/// A non-owning reference to a `void(size_t)` callable — what ParallelFor
+/// carries instead of std::function so the per-tick fork/join never heap
+/// allocates (std::function copies the callable; a fleet tick would pay
+/// that allocation every Step). The referenced callable must outlive the
+/// call, which ParallelFor guarantees by blocking until the batch joins.
+class FuncRef {
+ public:
+  FuncRef() = default;
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                                        FuncRef>>>
+  FuncRef(const F& f)  // NOLINT: implicit by design, mirrors function_ref.
+      : obj_(&f), fn_([](const void* obj, size_t i) {
+          (*static_cast<const F*>(obj))(i);
+        }) {}
+
+  void operator()(size_t i) const { fn_(obj_, i); }
+  explicit operator bool() const { return fn_ != nullptr; }
+
+ private:
+  const void* obj_ = nullptr;
+  void (*fn_)(const void*, size_t) = nullptr;
+};
+
+/// Same, for a `void(size_t begin, size_t end)` range body.
+class RangeFuncRef {
+ public:
+  RangeFuncRef() = default;
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                                        RangeFuncRef>>>
+  RangeFuncRef(const F& f)  // NOLINT: implicit by design.
+      : obj_(&f), fn_([](const void* obj, size_t b, size_t e) {
+          (*static_cast<const F*>(obj))(b, e);
+        }) {}
+
+  void operator()(size_t begin, size_t end) const { fn_(obj_, begin, end); }
+
+ private:
+  const void* obj_ = nullptr;
+  void (*fn_)(const void*, size_t, size_t) = nullptr;
+};
 
 /// A persistent pool of worker threads driving fork/join batches.
 ///
@@ -29,8 +73,38 @@ namespace kc {
 /// is detected and the nested loop runs inline on the calling thread,
 /// sequentially — correct and deterministic, though without additional
 /// parallelism.
+///
+/// Steady-state ParallelFor is allocation-free: the batch control block
+/// is recycled across calls (a fresh one is allocated only on first use,
+/// or in the rare window where a straggler worker still holds the
+/// previous one), and FuncRef carries the body without copying it.
 class ThreadPool {
  public:
+  /// Deterministic chunking for range sweeps: ParallelForRanges splits
+  /// [0, n) into exactly
+  ///
+  ///   NumChunks(n) = clamp(n / kChunkItems, 1, kMaxChunks)      (n > 0)
+  ///
+  /// contiguous ranges whose sizes differ by at most one (chunk i starts
+  /// at i*floor(n/chunks) + min(i, n mod chunks)). The formula is a pure
+  /// function of n — never of the pool's thread count or runtime load —
+  /// so the work partition of a sweep is reproducible for a fixed input
+  /// size. (Partitioning cannot affect *results*: chunked items must be
+  /// mutually independent. Making it deterministic anyway keeps perf
+  /// profiles comparable across runs and guarantees a --threads=N sweep
+  /// partitions exactly like --threads=1.) kChunkItems trades scheduling
+  /// overhead against load-balancing granularity; kMaxChunks bounds the
+  /// bookkeeping for very large n.
+  static constexpr size_t kChunkItems = 64;
+  static constexpr size_t kMaxChunks = 1024;
+  static size_t NumChunks(size_t n) {
+    if (n == 0) return 0;
+    size_t chunks = n / kChunkItems;
+    if (chunks < 1) chunks = 1;
+    if (chunks > kMaxChunks) chunks = kMaxChunks;
+    return chunks;
+  }
+
   /// `threads` is the total parallelism including the calling thread:
   /// threads-1 workers are spawned. 0 is treated as 1.
   explicit ThreadPool(size_t threads);
@@ -41,24 +115,32 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, n), dynamically load-balanced across
   /// the pool, and blocks until all n items completed.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t n, FuncRef body);
+
+  /// Runs body(begin, end) over the NumChunks(n) deterministic contiguous
+  /// ranges covering [0, n), load-balanced like ParallelFor items, and
+  /// blocks until every range completed.
+  void ParallelForRanges(size_t n, RangeFuncRef body);
 
   /// Total parallelism (workers + the calling thread).
   size_t threads() const { return workers_.size() + 1; }
 
  private:
-  /// One fork/join batch. Heap-allocated and shared with the workers so a
-  /// straggler waking up late sees a monotonically exhausted index space
-  /// of the *old* batch instead of stealing items from the next one.
+  /// One fork/join batch. Shared with the workers so a straggler waking
+  /// up late sees a monotonically exhausted index space of the *old*
+  /// batch instead of stealing items from the next one; recycled for the
+  /// next batch once no thread holds it (holders == 0), which keeps the
+  /// steady state allocation-free.
   struct Batch {
-    const std::function<void(size_t)>* body = nullptr;
+    FuncRef body;
     size_t n = 0;
     std::atomic<size_t> next{0};
     size_t completed = 0;  ///< Guarded by ThreadPool::mu_.
+    size_t holders = 0;    ///< Threads inside RunItems; guarded by mu_.
   };
 
   void WorkerLoop();
-  void RunItems(Batch& batch);
+  void RunItems(const std::shared_ptr<Batch>& batch);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -11,6 +11,8 @@
 
 #include "common/rng.h"
 #include "fleet/pool.h"
+#include "fleet/sharded_server.h"
+#include "fleet/thread_pool.h"
 #include "kalman/ekf.h"
 #include "kalman/imm.h"
 #include "kalman/kalman_filter.h"
@@ -18,6 +20,7 @@
 #include "kalman/ukf.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "net/message.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -293,6 +296,39 @@ TEST(ZeroAllocTest, PooledFleetTickSteadyStateIsAllocationFree) {
   for (int t = 0; t < 200; ++t) tick();
   EXPECT_EQ(AllocCount() - before, 0);
   EXPECT_EQ(pool.num_active(), static_cast<size_t>(kSlots));
+}
+
+TEST(ZeroAllocTest, ParallelVectorizedSweepSteadyStateIsAllocationFree) {
+  // The phase-1 parallel sweep end to end: a sharded server's pools swept
+  // through a ThreadPool with the SIMD lane kernels on. Everything the
+  // sweep touches is preallocated — the flattened SweepUnit list reuses
+  // its capacity, the thread pool recycles its dispatch batches, and the
+  // batch kernels run out of registers and stack lanes — so the steady
+  // state must be zero-alloc on every thread (the global counting
+  // allocator sees worker-thread allocations too).
+  ShardedServer server(4);
+  KalmanPredictor::Config config;
+  config.model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  for (int32_t id = 0; id < 64; ++id) {
+    size_t shard = server.ShardOf(id);
+    ASSERT_TRUE(server
+                    .RegisterSource(id, std::make_unique<PooledKalmanPredictor>(
+                                            config, server.shard_pools(shard)))
+                    .ok());
+    Message init;
+    init.source_id = id;
+    init.type = MessageType::kInit;
+    init.seq = 0;
+    init.wire_seq = 0;
+    init.payload = {0.5, static_cast<double>(id)};  // delta, value.
+    ASSERT_TRUE(server.OnMessage(init).ok());
+  }
+  ThreadPool workers(4);
+  server.SetSimdEnabled(true);
+  for (int t = 0; t < 5; ++t) server.SweepPools(&workers);  // Warmup.
+  long before = AllocCount();
+  for (int t = 0; t < 200; ++t) server.SweepPools(&workers);
+  EXPECT_EQ(AllocCount() - before, 0);
 }
 
 TEST(ZeroAllocTest, PooledPredictorSuppressedTicksStayAllocationFree) {

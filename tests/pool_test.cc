@@ -302,7 +302,8 @@ TEST(FilterPoolTest, ReleaseZeroesSlotForReuse) {
   pool.Release(slot);
   EXPECT_EQ(pool.num_active(), 0u);
 
-  // LIFO reuse hands back the same physical slot; it must be fully clean.
+  // The min-heap free list hands back the lowest-indexed free slot — here
+  // the one just released — and it must be fully clean.
   int32_t again = pool.Acquire(/*owner_id=*/12);
   EXPECT_EQ(again, slot);
   for (size_t i = 0; i < 2; ++i) {
@@ -330,6 +331,70 @@ TEST(FilterPoolTest, PredictAllSkipsFreedSlots) {
   EXPECT_EQ(pool.PredictEpochOf(s0), 1);
   EXPECT_EQ(pool.PredictEpochOf(s2), 1);
   EXPECT_FALSE(pool.IsActive(s1));
+}
+
+TEST(FilterPoolTest, FreeListReusesLowestIndexFirst) {
+  // The free list is a min-heap, not a LIFO stack: after releasing slots
+  // in arbitrary order, Acquire hands them back lowest-index-first so
+  // long-lived pools re-densify toward the front of the slabs instead of
+  // churning whatever happened to be freed last.
+  StateSpaceModel model = MakeDimModel(1);
+  FilterPool pool(model, KalmanFilter::UpdateForm::kJoseph);
+  for (int32_t i = 0; i < 8; ++i) ASSERT_EQ(pool.Acquire(i), i);
+  // Release out of order: 6, 1, 4, 2.
+  for (int32_t s : {6, 1, 4, 2}) pool.Release(s);
+  EXPECT_EQ(pool.Acquire(100), 1);
+  EXPECT_EQ(pool.Acquire(101), 2);
+  EXPECT_EQ(pool.Acquire(102), 4);
+  EXPECT_EQ(pool.Acquire(103), 6);
+  // Heap exhausted: the next Acquire extends the pool.
+  EXPECT_EQ(pool.Acquire(104), 8);
+}
+
+TEST(FilterPoolTest, FragmentedPoolSweepsBitIdenticalToDense) {
+  // The superlinear-falloff fix pin: a pool with 50% of its slots
+  // released (every other slot, maximal fragmentation) must sweep its
+  // survivors to bit-identical states as a dense pool holding only those
+  // survivors. Freed lanes are masked out of the batched kernels, never
+  // fed into them — fragmentation may change speed but not one bit of
+  // filter state.
+  const size_t kDim = 3;
+  const size_t kSlots = 22;  // Partial final block in the fragmented pool.
+  StateSpaceModel model = MakeDimModel(kDim);
+  Matrix p0 = Matrix::ScalarDiagonal(kDim, 25.0);
+  auto x0_of = [&](size_t i) {
+    Vector x0(kDim);
+    for (size_t e = 0; e < kDim; ++e) {
+      x0[e] = 0.1 * static_cast<double>(i) + 0.01 * static_cast<double>(e);
+    }
+    return x0;
+  };
+
+  FilterPool fragmented(model, KalmanFilter::UpdateForm::kJoseph);
+  for (size_t i = 0; i < kSlots; ++i) {
+    int32_t s = fragmented.Acquire(static_cast<int32_t>(i));
+    fragmented.ResetSlot(s, x0_of(i), p0);
+  }
+  for (size_t i = 1; i < kSlots; i += 2) {
+    fragmented.Release(static_cast<int32_t>(i));
+  }
+
+  FilterPool dense(model, KalmanFilter::UpdateForm::kJoseph);
+  std::vector<int32_t> dense_slot(kSlots, FilterPool::kNoSlot);
+  for (size_t i = 0; i < kSlots; i += 2) {
+    dense_slot[i] = dense.Acquire(static_cast<int32_t>(i));
+    dense.ResetSlot(dense_slot[i], x0_of(i), p0);
+  }
+
+  const size_t survivors = (kSlots + 1) / 2;
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    ASSERT_EQ(fragmented.PredictAll(), survivors);
+    ASSERT_EQ(dense.PredictAll(), survivors);
+    for (size_t i = 0; i < kSlots; i += 2) {
+      ExpectBitEqual(fragmented.SerializeSlot(static_cast<int32_t>(i)),
+                     dense.SerializeSlot(dense_slot[i]), "xP", sweep);
+    }
+  }
 }
 
 TEST(FilterPoolTest, IdReuseAfterUnregisterSeesNoStaleState) {

@@ -79,13 +79,16 @@ void ExpectEqualFingerprints(const Fingerprint& a, const Fingerprint& b,
 
 Fingerprint RunSharded(size_t threads, size_t shards,
                        Channel::Config channel = Channel::Config(),
-                       bool pooling = true) {
+                       bool pooling = true, size_t sweep_threads = 0,
+                       bool simd = true) {
   ShardedFleet::Config config;
   config.seed = 12345;
   config.threads = threads;
   config.num_shards = shards;
   config.channel = channel;
   config.pooling = pooling;
+  config.sweep_threads = sweep_threads;
+  config.simd = simd;
   ShardedFleet fleet(config);
   AddStandardSources(fleet, 12);
 
@@ -311,6 +314,51 @@ TEST(ShardedFleetTest, PooledBitIdenticalToPerObjectPredictors) {
   EXPECT_GT(pooled_lossy.net.messages_dropped, 0);
   ExpectEqualFingerprints(pooled_lossy, object_lossy,
                           "pooled vs per-object (lossy)");
+}
+
+TEST(ShardedFleetTest, BitIdenticalForAnySweepThreadCount) {
+  // The phase-1 parallel pool sweep: chunk boundaries depend only on the
+  // block count (ThreadPool::NumChunks), never on who executes them, so
+  // any sweep_threads setting — shared pool, dedicated 1-thread pool,
+  // dedicated 4-thread pool — must reproduce the same run bit-for-bit.
+  Fingerprint shared = RunSharded(2, 8);
+  Fingerprint dedicated1 =
+      RunSharded(2, 8, Channel::Config(), true, /*sweep_threads=*/1);
+  Fingerprint dedicated4 =
+      RunSharded(2, 8, Channel::Config(), true, /*sweep_threads=*/4);
+  ExpectEqualFingerprints(shared, dedicated1, "sweep shared vs 1");
+  ExpectEqualFingerprints(shared, dedicated4, "sweep shared vs 4");
+}
+
+TEST(ShardedFleetTest, BitIdenticalWithSimdOnAndOff) {
+  // The lane kernels execute the exact scalar FP op sequence per slot, so
+  // disabling them at runtime is invisible to every answer — with single-
+  // and multi-threaded sweeps alike.
+  Fingerprint simd_on = RunSharded(2, 8);
+  Fingerprint simd_off = RunSharded(2, 8, Channel::Config(), true, 0,
+                                    /*simd=*/false);
+  ExpectEqualFingerprints(simd_on, simd_off, "simd on vs off");
+
+  Fingerprint simd_off_swept = RunSharded(2, 8, Channel::Config(), true,
+                                          /*sweep_threads=*/4, /*simd=*/false);
+  ExpectEqualFingerprints(simd_on, simd_off_swept,
+                          "simd on vs off (parallel sweep)");
+}
+
+TEST(ShardedFleetTest, PooledBitIdenticalToPerObjectUnderFaultsWithSweeps) {
+  // The strongest cross-cutting pin: SIMD lanes + a parallel sweep pool +
+  // a faulty channel (loss, latency) on the pooled path must reproduce
+  // the per-object scalar path bit-for-bit. Any FP reordering, masked-
+  // store leak, or sweep/update interleaving bug shows up here.
+  Channel::Config lossy;
+  lossy.loss_prob = 0.2;
+  lossy.latency_ticks = 3;
+  Fingerprint pooled = RunSharded(4, 8, lossy, /*pooling=*/true,
+                                  /*sweep_threads=*/4, /*simd=*/true);
+  Fingerprint object = RunSharded(1, 8, lossy, /*pooling=*/false);
+  EXPECT_GT(pooled.net.messages_dropped, 0);
+  ExpectEqualFingerprints(pooled, object,
+                          "pooled simd parallel-sweep vs per-object (lossy)");
 }
 
 TEST(ShardedFleetTest, MatchesSingleThreadedFleet) {

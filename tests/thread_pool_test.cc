@@ -74,5 +74,53 @@ TEST(ThreadPoolTest, MoreItemsThanThreads) {
   EXPECT_EQ(sum.load(), static_cast<long>(n * (n - 1) / 2));
 }
 
+// ------------------------------------------------------- Range chunking
+
+TEST(ThreadPoolTest, NumChunksIsAPureFunctionOfN) {
+  // The deterministic chunk-count formula the sweep's bit-stability rests
+  // on: clamp(n / kChunkItems, 1, kMaxChunks), zero for empty ranges, and
+  // never a function of thread count or runtime state. These pins freeze
+  // the formula — changing it changes which chunks exist and is a visible
+  // (if still bit-identical) scheduling change.
+  EXPECT_EQ(ThreadPool::NumChunks(0), 0u);
+  EXPECT_EQ(ThreadPool::NumChunks(1), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(63), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(64), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(127), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(128), 2u);
+  EXPECT_EQ(ThreadPool::NumChunks(64 * 1024), 1024u);
+  EXPECT_EQ(ThreadPool::NumChunks(64 * 1024 + 1), 1024u);
+  EXPECT_EQ(ThreadPool::NumChunks(100000000), 1024u);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCoversExactlyOnce) {
+  // Every index in [0, n) lands in exactly one range, and the partition
+  // is the deterministic base/remainder split: the first (n % chunks)
+  // chunks get one extra item. Checked across n values straddling the
+  // chunking breakpoints, on a real multi-worker pool.
+  ThreadPool pool(4);
+  for (size_t n : {1u, 2u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u, 4096u}) {
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<size_t> ranges{0};
+    pool.ParallelForRanges(n, [&](size_t begin, size_t end) {
+      ASSERT_LT(begin, end);
+      ASSERT_LE(end, n);
+      ranges.fetch_add(1);
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n " << n << " item " << i;
+    }
+    EXPECT_EQ(ranges.load(), ThreadPool::NumChunks(n)) << "n " << n;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangesZeroIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelForRanges(0, [&calls](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
 }  // namespace
 }  // namespace kc
