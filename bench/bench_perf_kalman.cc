@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "kalman/adaptive.h"
+#include "obs/audit.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -140,6 +141,44 @@ void BM_PredictUpdateRecorded(benchmark::State& state) {
   state.SetLabel(model.name);
 }
 BENCHMARK(BM_PredictUpdateRecorded)->DenseRange(0, 5);
+
+/// BM_PredictUpdate plus the precision auditor at its default cadence:
+/// every iteration pays the tick % sample_every check, and every fourth
+/// pays a full Sample() (containment test, utilization + staleness
+/// histogram records). The delta against BM_PredictUpdate is the audit
+/// tax; run_benches.sh writes it into BENCH_perf.json as
+/// `audit_overhead`, and check_bench_regress.sh diffs it.
+void BM_PredictUpdateAudited(benchmark::State& state) {
+  kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));
+  size_t n = model.state_dim();
+  size_t m = model.obs_dim();
+  kc::KalmanFilter kf(model, kc::Vector(n), kc::Matrix::ScalarDiagonal(n, 1.0));
+  kc::Rng rng(1);
+  constexpr size_t kSteps = 1024;
+  std::vector<double> zs(kSteps * m);
+  for (double& v : zs) v = rng.Gaussian();
+  kc::obs::MetricRegistry registry;
+  kc::obs::PrecisionAuditor auditor;  // Default: sample_every = 4.
+  auditor.BindMetrics(&registry);
+  kc::obs::SourceAudit* audit = auditor.ForSource(0);
+  kc::Vector z(m);
+  size_t step = 0;
+  int64_t tick = 0;
+  for (auto _ : state) {
+    const double* src = zs.data() + (step & (kSteps - 1)) * m;
+    for (size_t d = 0; d < m; ++d) z[d] = src[d];
+    ++step;
+    kf.Predict();
+    benchmark::DoNotOptimize(kf.Update(z).ok());
+    ++tick;
+    if (auditor.ShouldSample(tick)) {
+      audit->Sample(tick, std::fabs(z[0]), /*bound=*/4.0,
+                    /*staleness_ticks=*/0, /*degraded=*/false);
+    }
+  }
+  state.SetLabel(model.name);
+}
+BENCHMARK(BM_PredictUpdateAudited)->DenseRange(0, 5);
 
 void BM_PredictOnly(benchmark::State& state) {
   kc::StateSpaceModel model = ModelFor(static_cast<int>(state.range(0)));

@@ -35,12 +35,26 @@
 //                          Perfetto JSON file (load via chrome://tracing
 //                          or https://ui.perfetto.dev). Causal flow ids
 //                          stitch each agent send to its replica apply.
+//   --audit[=N]            precision/SLO auditor: every N ticks (default
+//                          4) each sensor's replica answer is checked
+//                          against the agent's contract target; prints
+//                          the containment/budget report after the run.
+//   --timeseries[=K]       windowed metric time-series, one capture per K
+//                          ticks (default 64); prints the series table
+//                          after the run. Implies metrics.
+//   --http-port=P          scrapeable telemetry endpoint on
+//                          127.0.0.1:P (/metrics /healthz /audit
+//                          /timeseries). Implies metrics.
+//   --serve-seconds=S      keep the HTTP endpoint up S seconds after the
+//                          run (so you can curl the final state).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -120,6 +134,10 @@ int main(int argc, char** argv) {
   size_t flight_recorder_capacity = 0;
   bool health_enabled = false;
   const char* trace_file = nullptr;
+  long audit_every = 0;       // 0 = auditing off.
+  long timeseries_every = 0;  // 0 = time-series off.
+  int http_port = -1;         // -1 = endpoint off (0 = ephemeral port).
+  long serve_seconds = 0;
   kc::obs::ExportOptions dump_options;
   dump_options.include_wall_clock = false;
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +166,22 @@ int main(int argc, char** argv) {
       health_enabled = true;
     } else if (std::strncmp(argv[i], "--trace-export=", 15) == 0) {
       trace_file = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--audit", 7) == 0) {
+      audit_every = 4;
+      if (argv[i][7] == '=') {
+        long v = std::atol(argv[i] + 8);
+        if (v > 0) audit_every = v;
+      }
+    } else if (std::strncmp(argv[i], "--timeseries", 12) == 0) {
+      timeseries_every = 64;
+      if (argv[i][12] == '=') {
+        long v = std::atol(argv[i] + 13);
+        if (v > 0) timeseries_every = v;
+      }
+    } else if (std::strncmp(argv[i], "--http-port=", 12) == 0) {
+      http_port = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      serve_seconds = std::atol(argv[i] + 16);
     }
   }
   const bool faulty = fleet_config.channel.faults.any_enabled() ||
@@ -166,6 +200,22 @@ int main(int argc, char** argv) {
     fleet.EnableFlightRecorder(flight_recorder_capacity);
   }
   if (health_enabled) fleet.EnableHealth();
+  if (audit_every > 0) {
+    kc::obs::AuditConfig audit_config;
+    audit_config.sample_every = audit_every;
+    fleet.EnableAudit(audit_config);
+  }
+  if (timeseries_every > 0) fleet.EnableTimeseries(timeseries_every);
+  if (http_port >= 0) {
+    kc::Status s = fleet.EnableHttpTelemetry(http_port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "telemetry endpoint: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics (also /healthz "
+                "/audit /timeseries)\n",
+                fleet.http()->port());
+  }
   if (trace_file != nullptr) kc::obs::SetTracingEnabled(true);
   kc::Rng rng(2026);
 
@@ -298,11 +348,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (audit_every > 0) {
+    std::printf("\n-- precision audit (every %ld ticks) --\n%s", audit_every,
+                fleet.AuditReportText().c_str());
+  }
+
+  if (timeseries_every > 0) {
+    std::printf("\n-- time-series (1 capture / %ld ticks) --\n%s",
+                timeseries_every, fleet.timeseries()->ExportText().c_str());
+  }
+
   if (metrics_dump) {
     kc::obs::MetricRegistry merged;
     fleet.MergeMetricsInto(&merged);
     std::printf("\n-- metrics --\n%s",
                 kc::obs::ExportMetrics(merged, dump_options).c_str());
+  }
+
+  if (http_port >= 0 && serve_seconds > 0) {
+    std::printf("\nserving telemetry for %lds on http://127.0.0.1:%d ...\n",
+                serve_seconds, fleet.http()->port());
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
   }
 
   if (trace_file != nullptr) {

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
-# Diffs the fleet_tick_1m table in BENCH_perf.json against the previous
-# commit's and warns on any row whose sources/sec dropped more than 20%.
+# Diffs BENCH_perf.json against the previous commit's:
+#  - fleet_tick_1m: warns on any row whose sources/sec dropped more
+#    than 20%.
+#  - observability_overhead / recorder_overhead / audit_overhead: warns
+#    when a model's overhead_pct grew by more than 5 percentage points.
+#  - loss_sweep_recovery: fully deterministic (fixed seed), so ANY change
+#    is flagged as a protocol change, not noise.
 # Advisory (always exits 0 unless the working-tree file is unreadable):
 # bench numbers are machine- and load-dependent, so a warning is a prompt
 # to re-measure on an idle machine, not a hard gate.
@@ -28,7 +33,15 @@ with open("BENCH_perf.json") as f:
     new = json.load(f)
 old = json.loads(os.environ["OLD_JSON"])
 
-def rows(report):
+warned = False
+
+def warn(msg):
+    global warned
+    warned = True
+    print("WARNING: " + msg)
+
+# ---- fleet_tick_1m: throughput rows, 20% drop tolerance. ----
+def tick_rows(report):
     table = {}
     for r in report.get("fleet_tick_1m", {}).get("rows", []):
         # Rows from before the threads/simd axes existed default to the
@@ -38,13 +51,9 @@ def rows(report):
         table[key] = r["sources_per_sec"]
     return table
 
-old_rows, new_rows = rows(old), rows(new)
+old_rows, new_rows = tick_rows(old), tick_rows(new)
 if not old_rows:
-    print("check_bench_regress: previous commit has no fleet_tick_1m rows; "
-          "skipping")
-    sys.exit(0)
-
-regressed = False
+    print("check_bench_regress: previous commit has no fleet_tick_1m rows")
 for key in sorted(old_rows.keys() & new_rows.keys()):
     was, now = old_rows[key], new_rows[key]
     if was <= 0:
@@ -52,13 +61,54 @@ for key in sorted(old_rows.keys() & new_rows.keys()):
     delta = (now - was) / was
     label = (f"sources={key[0]} pooled={int(key[1])} "
              f"threads={key[2]} simd={int(key[3])}")
+    line = (f"fleet_tick_1m [{label}]: "
+            f"{was:,.0f} -> {now:,.0f} sources/sec ({delta:+.1%})")
     if delta < -0.20:
-        regressed = True
-        print(f"WARNING: fleet_tick_1m regression [{label}]: "
-              f"{was:,.0f} -> {now:,.0f} sources/sec ({delta:+.1%})")
+        warn("fleet_tick_1m regression " + line)
     else:
-        print(f"  fleet_tick_1m [{label}]: "
-              f"{was:,.0f} -> {now:,.0f} sources/sec ({delta:+.1%})")
-if not regressed:
-    print("check_bench_regress: no >20% regressions")
+        print("  " + line)
+
+# ---- Overhead tables: observability / recorder / audit taxes. ----
+# The per-model overhead_pct is a few percent; allow 5 percentage points
+# of growth before flagging (ns-scale numbers bounce with machine load).
+def overhead_rows(report, table):
+    return {r["model"]: r.get("overhead_pct")
+            for r in report.get(table, [])}
+
+for table in ("observability_overhead", "recorder_overhead",
+              "audit_overhead"):
+    old_pct, new_pct = overhead_rows(old, table), overhead_rows(new, table)
+    if not old_pct:
+        print(f"check_bench_regress: previous commit has no {table} rows")
+        continue
+    for model in sorted(old_pct.keys() & new_pct.keys()):
+        was, now = old_pct[model], new_pct[model]
+        if was is None or now is None:
+            continue
+        line = f"{table} [{model}]: {was:+.2f}% -> {now:+.2f}%"
+        if now - was > 5.0:
+            warn(line + " (grew > 5pp)")
+        else:
+            print("  " + line)
+
+# ---- loss_sweep_recovery: deterministic healing counters. ----
+def sweep_rows(report):
+    return {r["bad_state_pct"]: {k: v for k, v in r.items()
+                                 if k != "bad_state_pct"}
+            for r in report.get("loss_sweep_recovery", [])}
+
+old_sweep, new_sweep = sweep_rows(old), sweep_rows(new)
+if not old_sweep:
+    print("check_bench_regress: previous commit has no loss_sweep_recovery "
+          "rows")
+for pct in sorted(old_sweep.keys() & new_sweep.keys()):
+    if old_sweep[pct] != new_sweep[pct]:
+        warn(f"loss_sweep_recovery changed at bad={pct}%: "
+             f"{old_sweep[pct]} -> {new_sweep[pct]} "
+             f"(fixed-seed run: this is a protocol change, not noise)")
+    else:
+        print(f"  loss_sweep_recovery bad={pct}%: unchanged")
+
+if not warned:
+    print("check_bench_regress: no regressions")
 EOF

@@ -25,4 +25,54 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Loopback HTTP telemetry smoke under the sanitizers: run the audited
+# sensor-network example with the endpoint on an ephemeral port, scrape
+# every route over a real socket, and check the audit layer reports full
+# containment on this fault-free run.
+SMOKE_LOG="$BUILD_DIR/http_smoke.log"
+"$BUILD_DIR"/examples/sensor_network --audit --timeseries \
+  --http-port=0 --serve-seconds=20 >"$SMOKE_LOG" 2>&1 &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null || true' EXIT
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's#^telemetry: http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' \
+    "$SMOKE_LOG")
+  [ -n "$PORT" ] && break
+  sleep 0.2
+done
+if [ -z "$PORT" ]; then
+  echo "ci_asan: telemetry endpoint never came up"; cat "$SMOKE_LOG"; exit 1
+fi
+PORT="$PORT" python3 - <<'EOF'
+import os, sys, urllib.request
+
+port = os.environ["PORT"]
+
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as r:
+        return r.status, r.read().decode()
+
+status, metrics = get("/metrics")
+assert status == 200, status
+for line in metrics.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.partition(" ")
+    float(value)  # Every sample line is `name value`.
+assert "kc_audit_samples_total" in metrics, metrics[:400]
+status, healthz = get("/healthz")
+assert status == 200 and "containment=100%" in healthz, healthz
+status, audit = get("/audit")
+assert status == 200 and '"violations":0' in audit, audit[:400]
+status, ts = get("/timeseries")
+assert status == 200 and '"series":[' in ts, ts[:200]
+status, scoped = get("/metrics?prefix=kc.audit")
+assert "kc_audit_" in scoped and "kc_agent_" not in scoped, scoped[:400]
+print("http smoke: all routes OK")
+EOF
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "ci_asan: OK (no memory errors reported)"

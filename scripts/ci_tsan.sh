@@ -22,7 +22,8 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test sharded_fleet_test pool_test recovery_test \
-  metrics_test recorder_test health_test trace_span_test
+  metrics_test recorder_test health_test trace_span_test \
+  audit_test timeseries_test http_exporter_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/thread_pool_test
@@ -47,5 +48,13 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/recorder_test
 "$BUILD_DIR"/tests/health_test
 "$BUILD_DIR"/tests/trace_span_test
+# The audit arenas are fed by the shard workers while the driver renders
+# merged reports between ticks; the fleet tests inside run under threads.
+"$BUILD_DIR"/tests/audit_test
+# The time-series store is driver-owned but read by telemetry endpoints.
+"$BUILD_DIR"/tests/timeseries_test
+# The HTTP server races its serving thread against driver-side Publish*
+# calls and Stop(); the loopback scrapes here exercise both.
+"$BUILD_DIR"/tests/http_exporter_test
 
 echo "ci_tsan: OK (no data races reported)"

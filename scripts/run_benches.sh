@@ -54,6 +54,7 @@ for name in ("bench_perf_kalman", "bench_perf_linalg", "bench_perf_server"):
 plain = {}
 instrumented = {}
 recorded = {}
+audited = {}
 for bench in merged["benchmarks"]:
     is_median = bench.get("aggregate_name") == "median"
     if not is_median and bench.get("run_type") != "iteration":
@@ -63,6 +64,8 @@ for bench in merged["benchmarks"]:
         table = instrumented
     elif run.startswith("BM_PredictUpdateRecorded/"):
         table = recorded
+    elif run.startswith("BM_PredictUpdateAudited/"):
+        table = audited
     elif run.startswith("BM_PredictUpdate/"):
         table = plain
     else:
@@ -94,6 +97,20 @@ for key in sorted(plain.keys() & recorded.keys()):
         "overhead_pct": round(100.0 * (rec - base) / base, 2),
     })
 merged["recorder_overhead"] = recorder_overhead
+# Precision-audit tax: the filter step with the auditor sampling at its
+# default cadence (every 4th tick) vs the bare step. The acceptance bar
+# for the audit layer is <= 10% overhead at the default sample rate.
+audit_overhead = []
+for key in sorted(plain.keys() & audited.keys()):
+    base = plain[key]["real_time"]
+    aud = audited[key]["real_time"]
+    audit_overhead.append({
+        "model": plain[key].get("label", key),
+        "base_ns": round(base, 2),
+        "audited_ns": round(aud, 2),
+        "overhead_pct": round(100.0 * (aud - base) / base, 2),
+    })
+merged["audit_overhead"] = audit_overhead
 # Recovery-protocol loss sweep: BM_LossSweepRecovery runs a fixed-seed
 # faulty link per bad-state fraction and reports its healing counters.
 # Fully deterministic, so any diff here is a protocol change.
@@ -160,6 +177,9 @@ for row in overhead:
 for row in recorder_overhead:
     print(f"  recorder overhead {row['model']}: {row['base_ns']} -> "
           f"{row['recorded_ns']} ns ({row['overhead_pct']:+.2f}%)")
+for row in audit_overhead:
+    print(f"  audit overhead {row['model']}: {row['base_ns']} -> "
+          f"{row['audited_ns']} ns ({row['overhead_pct']:+.2f}%)")
 for row in fleet_tick:
     kind = "pooled" if row["pooled"] else "per-object"
     lanes = "simd" if row["simd"] else "scalar"

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
+#include "common/strings.h"
 #include "obs/trace.h"
 
 namespace kc {
@@ -102,6 +104,7 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
 
   if (server_.metrics_enabled()) BindSlotMetrics(slot.get(), shard_index);
   BindSlotObservability(slot.get(), shard_index);
+  BindSlotAudit(slot.get(), shard_index);
 
   by_id_.push_back(slot.get());
   shards_[shard_index].sources.push_back(std::move(slot));
@@ -143,6 +146,71 @@ void ShardedFleet::EnableHealth(const obs::HealthConfig& config) {
   server_.EnableHealth(config);
   for (size_t s = 0; s < shards_.size(); ++s) {
     for (auto& slot : shards_[s].sources) BindSlotObservability(slot.get(), s);
+    // Audit enabled first: its per-source entries resolved against an
+    // absent watchdog, so re-bind now that the entries above exist.
+    if (server_.audit_enabled()) {
+      server_.shard_audit(s)->BindHealth(server_.shard_health(s));
+    }
+  }
+}
+
+void ShardedFleet::EnableAudit(const obs::AuditConfig& config) {
+  if (server_.audit_enabled()) return;
+  server_.EnableAudit(config);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (auto& slot : shards_[s].sources) BindSlotAudit(slot.get(), s);
+  }
+}
+
+void ShardedFleet::BindSlotAudit(SourceSlot* slot, size_t shard_index) {
+  obs::PrecisionAuditor* auditor = server_.shard_audit(shard_index);
+  if (auditor != nullptr) slot->audit = auditor->ForSource(slot->id);
+}
+
+void ShardedFleet::EnableTimeseries(int64_t every_n_ticks,
+                                    obs::TimeSeriesConfig config) {
+  if (timeseries_ != nullptr) return;
+  EnableMetrics();
+  timeseries_ = std::make_unique<obs::TimeSeriesStore>(config);
+  timeseries_->BindMetrics(server_.driver_metrics());
+  timeseries_every_ = std::max<int64_t>(every_n_ticks, 1);
+}
+
+Status ShardedFleet::EnableHttpTelemetry(int port,
+                                         int64_t publish_every_n_ticks) {
+  if (http_ != nullptr) return Status::Ok();
+  EnableMetrics();
+  obs::TelemetryHttpServer::Config http_config;
+  http_config.port = port;
+  http_ = std::make_unique<obs::TelemetryHttpServer>(http_config);
+  Status s = http_->Start();
+  if (!s.ok()) {
+    http_.reset();
+    return s;
+  }
+  publish_every_ = std::max<int64_t>(publish_every_n_ticks, 1);
+  // Scrapes before the first publish see the startup state, not 404s.
+  PublishTelemetry();
+  return Status::Ok();
+}
+
+void ShardedFleet::PublishTelemetry() {
+  if (http_ == nullptr) return;
+  obs::MetricRegistry merged;
+  server_.MergeMetricsInto(&merged);
+  http_->PublishMetrics(merged.Rows());
+  std::string body = StrFormat("ticks=%lld sources=%lld\n",
+                               static_cast<long long>(ticks_),
+                               static_cast<long long>(by_id_.size()));
+  bool healthy = true;
+  if (server_.audit_enabled()) {
+    body += server_.AuditSummaryLine();
+    healthy = server_.AuditExhaustedSources() == 0;
+    http_->PublishAudit(server_.AuditReportJson());
+  }
+  http_->PublishHealthz(healthy, std::move(body));
+  if (timeseries_ != nullptr) {
+    http_->PublishTimeseries(timeseries_->ExportJson());
   }
 }
 
@@ -178,6 +246,38 @@ void ShardedFleet::StepShard(size_t index) {
     Status s = slot->agent->Offer(slot->last_sample.measured);
     if (!s.ok() && shard.status.ok()) shard.status = s;
   }
+  // Audit pass: after Offer, a zero-latency channel has delivered this
+  // tick's traffic, so replica and agent are in lockstep and the paper's
+  // guarantee must hold exactly. The shard's tick is the audit clock
+  // (identical across shards), so every shard samples the same ticks.
+  obs::PrecisionAuditor* auditor = server_.shard_audit(index);
+  if (auditor != nullptr) {
+    int64_t tick = server_.shard(index).ticks();
+    if (auditor->ShouldSample(tick)) AuditShard(index, tick);
+  }
+}
+
+void ShardedFleet::AuditShard(size_t index, int64_t tick) {
+  const StreamServer& shard_server = server_.shard(index);
+  for (auto& slot : shards_[index].sources) {
+    const ServerReplica* replica = shard_server.replica(slot->id);
+    if (replica == nullptr || !replica->initialized() ||
+        !slot->agent->initialized()) {
+      continue;
+    }
+    // L-inf distance between the replica's cached answer and the contract
+    // target the agent is suppressing against — the exact quantity the
+    // protocol bounds.
+    Vector predicted = replica->Value();
+    Vector target = slot->agent->ContractTarget();
+    double err = 0.0;
+    size_t dims = std::min(predicted.size(), target.size());
+    for (size_t d = 0; d < dims; ++d) {
+      err = std::max(err, std::abs(predicted[d] - target[d]));
+    }
+    slot->audit->Sample(tick, err, replica->bound(), replica->TicksSinceHeard(),
+                        replica->desynced());
+  }
 }
 
 Status ShardedFleet::Step() {
@@ -209,6 +309,14 @@ Status ShardedFleet::Step() {
     server_.MergeMetricsInto(&merged);
     report_sink_(obs::ExportMetrics(merged, report_options_));
   }
+  if (timeseries_every_ > 0 && ticks_ % timeseries_every_ == 0) {
+    // Same post-barrier merge discipline: each capture snapshots the
+    // merged registry, so the rings are deterministic across threads.
+    obs::MetricRegistry merged;
+    server_.MergeMetricsInto(&merged);
+    timeseries_->Capture(merged, ticks_);
+  }
+  if (publish_every_ > 0 && ticks_ % publish_every_ == 0) PublishTelemetry();
   return Status::Ok();
 }
 

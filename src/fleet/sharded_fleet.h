@@ -9,6 +9,8 @@
 #include "fleet/sharded_server.h"
 #include "fleet/thread_pool.h"
 #include "obs/export.h"
+#include "obs/http_exporter.h"
+#include "obs/timeseries.h"
 #include "server/simulation.h"
 
 namespace kc {
@@ -159,12 +161,47 @@ class ShardedFleet {
   void EnableHealth(const obs::HealthConfig& config = {});
   bool health_enabled() const { return server_.health_enabled(); }
 
+  /// Turns on the per-shard precision auditors and the end-to-end sample
+  /// feed: every `config.sample_every` ticks each shard worker compares,
+  /// for each of its sources, the replica-side answer against the
+  /// agent-side contract target (the fleet owns both ends, so this is
+  /// ground truth, not an estimate) and hands the auditor the error, the
+  /// in-force bound, staleness, and quarantine state. On a lossless
+  /// channel containment is exactly 100% by the paper's guarantee; any
+  /// violation is an injected fault or a bug. Sampling runs inside the
+  /// shard's step (single writer, no locks, no allocations); merged
+  /// reports come from ShardedServer::AuditReport*. Idempotent; covers
+  /// sources added later.
+  void EnableAudit(const obs::AuditConfig& config = {});
+  bool audit_enabled() const { return server_.audit_enabled(); }
+
+  /// Turns on windowed metric time-series: after the barrier of every
+  /// `every_n_ticks`-th Step the merged registry is snapshotted into the
+  /// store's rings (counter deltas, gauge lasts, windowed histogram
+  /// percentiles — see obs/timeseries.h). Requires EnableMetrics (called
+  /// implicitly). Idempotent.
+  void EnableTimeseries(int64_t every_n_ticks,
+                        obs::TimeSeriesConfig config = {});
+  bool timeseries_enabled() const { return timeseries_ != nullptr; }
+  const obs::TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+
+  /// Starts the scrapeable HTTP telemetry endpoint (obs/http_exporter.h)
+  /// on 127.0.0.1:`port` (0 = ephemeral; see http()->port()) and
+  /// republishes /metrics, /healthz, /audit, and /timeseries snapshots
+  /// after the barrier of every `publish_every_n_ticks`-th Step (plus
+  /// once at startup). Requires EnableMetrics (called implicitly).
+  Status EnableHttpTelemetry(int port, int64_t publish_every_n_ticks = 64);
+  obs::TelemetryHttpServer* http() { return http_.get(); }
+
   /// Fleet-wide deterministic dumps (empty when the facility is off);
   /// driver thread, after the barrier. Forwarded from ShardedServer.
   std::string DumpFlightRecorderText() const {
     return server_.DumpFlightRecorderText();
   }
   std::string HealthSummaryText() const { return server_.HealthSummaryText(); }
+  std::string AuditReportText() const { return server_.AuditReportText(); }
+  std::string AuditReportJson() const { return server_.AuditReportJson(); }
+  std::string AuditSummaryLine() const { return server_.AuditSummaryLine(); }
   obs::HealthState HealthOf(int32_t id) const { return server_.HealthOf(id); }
 
   /// Installs a periodic telemetry report: after the barrier of every
@@ -177,7 +214,8 @@ class ShardedFleet {
   void EnablePeriodicMetricsReport(int64_t every_n_ticks, ReportSink sink,
                                    obs::ExportOptions options = {
                                        obs::ExportFormat::kText,
-                                       /*include_wall_clock=*/false});
+                                       /*include_wall_clock=*/false,
+                                       /*prefix=*/{}});
 
  private:
   struct SourceSlot {
@@ -187,6 +225,7 @@ class ShardedFleet {
     std::unique_ptr<Channel> control_channel;  ///< Downlink: server -> source.
     std::unique_ptr<SourceAgent> agent;
     Sample last_sample;
+    obs::SourceAudit* audit = nullptr;  ///< Shard auditor entry (or null).
   };
 
   /// One shard's exclusively-owned simulation state. `sources` is kept in
@@ -207,6 +246,14 @@ class ShardedFleet {
   /// Binds one slot's agent to its shard's recorder ring / watchdog entry
   /// (whichever facilities are enabled).
   void BindSlotObservability(SourceSlot* slot, size_t shard_index);
+  /// Registers one slot with its shard's precision auditor (no-op when
+  /// auditing is off).
+  void BindSlotAudit(SourceSlot* slot, size_t shard_index);
+  /// One shard's audit pass: samples every initialized source at `tick`
+  /// (shard worker, inside the step — single writer, allocation-free).
+  void AuditShard(size_t index, int64_t tick);
+  /// Republishes every HTTP snapshot from the merged post-barrier view.
+  void PublishTelemetry();
 
   Config config_;
   ShardedServer server_;
@@ -221,6 +268,10 @@ class ShardedFleet {
   int64_t report_every_ = 0;
   ReportSink report_sink_;
   obs::ExportOptions report_options_;
+  std::unique_ptr<obs::TimeSeriesStore> timeseries_;
+  int64_t timeseries_every_ = 0;
+  std::unique_ptr<obs::TelemetryHttpServer> http_;
+  int64_t publish_every_ = 0;
 };
 
 }  // namespace kc

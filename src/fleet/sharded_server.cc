@@ -195,12 +195,16 @@ void ShardedServer::EnableMetrics() {
   for (size_t i = 0; i < shards_.size(); ++i) {
     shard_metrics_.push_back(std::make_unique<obs::MetricRegistry>());
     shards_[i]->BindMetrics(shard_metrics_[i].get());
-    // Recorder/watchdog enabled first: late-bind them to the new arenas.
+    // Recorder/watchdog/auditor enabled first: late-bind them to the new
+    // arenas.
     if (!shard_recorders_.empty()) {
       shard_recorders_[i]->BindMetrics(shard_metrics_[i].get());
     }
     if (!shard_health_.empty()) {
       shard_health_[i]->BindMetrics(shard_metrics_[i].get());
+    }
+    if (!shard_audits_.empty()) {
+      shard_audits_[i]->BindMetrics(shard_metrics_[i].get());
     }
   }
   driver_metrics_ = std::make_unique<obs::MetricRegistry>();
@@ -221,6 +225,9 @@ void ShardedServer::EnableFlightRecorder(size_t capacity_per_source) {
     if (!shard_health_.empty()) {
       shard_health_[i]->BindRecorder(shard_recorders_[i].get());
     }
+    if (!shard_audits_.empty()) {
+      shard_audits_[i]->BindRecorder(shard_recorders_[i].get());
+    }
     shards_[i]->BindFlightRecorder(shard_recorders_[i].get());
   }
 }
@@ -237,7 +244,79 @@ void ShardedServer::EnableHealth(const obs::HealthConfig& config) {
       shard_health_[i]->BindRecorder(shard_recorders_[i].get());
     }
     shards_[i]->BindHealth(shard_health_[i].get());
+    // Audit enabled first: its sources can now feed the new watchdog.
+    if (!shard_audits_.empty()) {
+      shard_audits_[i]->BindHealth(shard_health_[i].get());
+    }
   }
+}
+
+void ShardedServer::EnableAudit(const obs::AuditConfig& config) {
+  if (audit_enabled()) return;
+  shard_audits_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_audits_.push_back(std::make_unique<obs::PrecisionAuditor>(config));
+    if (!shard_metrics_.empty()) {
+      shard_audits_[i]->BindMetrics(shard_metrics_[i].get());
+    }
+    if (!shard_recorders_.empty()) {
+      shard_audits_[i]->BindRecorder(shard_recorders_[i].get());
+    }
+    if (!shard_health_.empty()) {
+      shard_audits_[i]->BindHealth(shard_health_[i].get());
+    }
+    // Shard-local query evaluations land in the shard's own ledger;
+    // merged reports re-merge them by name.
+    shards_[i]->BindAudit(shard_audits_[i].get());
+  }
+  // The driver auditor holds only the cross-shard query ledger (its
+  // kc.audit.* metrics live in the driver arena, where the all-zero
+  // source gauges merge harmlessly).
+  driver_audit_ = std::make_unique<obs::PrecisionAuditor>(config);
+  if (driver_metrics_ != nullptr) {
+    driver_audit_->BindMetrics(driver_metrics_.get());
+  }
+}
+
+obs::AuditMergeView ShardedServer::AuditView() const {
+  obs::AuditMergeView view;
+  if (shard_audits_.empty()) return view;
+  view.config = &shard_audits_.front()->config();
+  view.arenas.reserve(shard_audits_.size() + 1);
+  for (const auto& arena : shard_audits_) view.arenas.push_back(arena.get());
+  view.arenas.push_back(driver_audit_.get());
+  view.ids = SourceIds();
+  view.arena_of = [this](int32_t id) -> const obs::PrecisionAuditor* {
+    return shard_audits_[ShardOf(id)].get();
+  };
+  return view;
+}
+
+std::string ShardedServer::AuditReportText() const {
+  if (shard_audits_.empty()) return std::string();
+  return obs::MergedAuditReportText(AuditView());
+}
+
+std::string ShardedServer::AuditReportJson() const {
+  if (shard_audits_.empty()) return "{}";
+  return obs::MergedAuditReportJson(AuditView());
+}
+
+std::string ShardedServer::AuditSummaryLine() const {
+  if (shard_audits_.empty()) return std::string();
+  return obs::MergedAuditSummaryLine(AuditView());
+}
+
+int64_t ShardedServer::AuditExhaustedSources() const {
+  if (shard_audits_.empty()) return 0;
+  int64_t exhausted = 0;
+  for (int32_t id : SourceIds()) {
+    const obs::SourceAudit* a = shard_audits_[ShardOf(id)]->Find(id);
+    if (a != nullptr && a->slo_state() == obs::SloState::kExhausted) {
+      ++exhausted;
+    }
+  }
+  return exhausted;
 }
 
 obs::HealthState ShardedServer::HealthOf(int32_t source_id) const {
@@ -295,9 +374,21 @@ void ShardedServer::RecordQueryOutcome(bool ok, bool stale) const {
   if (stale) queries_stale_->Inc();
 }
 
+void ShardedServer::RecordQueryAudit(const std::string& name,
+                                     const QueryResult* result) const {
+  if (driver_audit_ == nullptr) return;
+  if (result == nullptr) {
+    driver_audit_->OnQuery(name, /*ok=*/false, false, false, false);
+    return;
+  }
+  driver_audit_->OnQuery(name, /*ok=*/true, result->stale, result->degraded,
+                         result->health != obs::HealthState::kOk);
+}
+
 StatusOr<QueryResult> ShardedServer::Evaluate(const std::string& name) const {
   StatusOr<QueryResult> result = queries_.Evaluate(*this, name);
   RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  RecordQueryAudit(name, result.ok() ? &*result : nullptr);
   return result;
 }
 
@@ -305,18 +396,25 @@ StatusOr<QueryResult> ShardedServer::EvaluateSpec(
     const QuerySpec& spec, const std::string& name) const {
   StatusOr<QueryResult> result = EvaluateSpecOn(*this, spec, name);
   RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  RecordQueryAudit(name, result.ok() ? &*result : nullptr);
   return result;
 }
 
 std::vector<QueryResult> ShardedServer::EvaluateAll() const {
   std::vector<QueryResult> results = queries_.EvaluateAll(*this);
-  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  for (const QueryResult& r : results) {
+    RecordQueryOutcome(true, r.stale);
+    RecordQueryAudit(r.name, &r);
+  }
   return results;
 }
 
 std::vector<QueryResult> ShardedServer::EvaluateDue() {
   std::vector<QueryResult> results = queries_.EvaluateDue(*this);
-  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  for (const QueryResult& r : results) {
+    RecordQueryOutcome(true, r.stale);
+    RecordQueryAudit(r.name, &r);
+  }
   return results;
 }
 

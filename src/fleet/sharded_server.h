@@ -8,6 +8,7 @@
 
 #include "fleet/pool.h"
 #include "fleet/thread_pool.h"
+#include "obs/audit.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -198,6 +199,36 @@ class ShardedServer : public SourceView {
     return shard_health_.empty() ? nullptr : shard_health_[index].get();
   }
 
+  // --- Per-shard precision audit ---
+
+  /// Creates one precision auditor per shard plus a driver-side auditor
+  /// for the cross-shard query ledger, each bound to its shard's metric
+  /// arena / recorder / watchdog (whichever are enabled, in either
+  /// order). The fleet feeds per-source samples into the shard auditors
+  /// from the shard workers; this server feeds its own cross-shard query
+  /// evaluations into the driver auditor. Idempotent.
+  void EnableAudit(const obs::AuditConfig& config = {});
+  bool audit_enabled() const { return !shard_audits_.empty(); }
+
+  /// A shard's auditor / the driver-side query auditor (nullptr before
+  /// EnableAudit).
+  obs::PrecisionAuditor* shard_audit(size_t index) {
+    return shard_audits_.empty() ? nullptr : shard_audits_[index].get();
+  }
+  obs::PrecisionAuditor* driver_audit() { return driver_audit_.get(); }
+
+  /// Merged fleet-wide audit reports: sources in ascending-id order,
+  /// query tallies merged by name across every arena (shard order, then
+  /// driver). Call after the tick barrier; bit-identical for any worker
+  /// thread count. Empty ("{}"/"" ) when disabled.
+  std::string AuditReportText() const;
+  std::string AuditReportJson() const;
+  std::string AuditSummaryLine() const;
+
+  /// Sources whose SLO error budget is currently EXHAUSTED (0 when
+  /// disabled) — the /healthz verdict input.
+  int64_t AuditExhaustedSources() const;
+
   /// The watchdog's merged verdict for one source (kOk when disabled).
   obs::HealthState HealthOf(int32_t source_id) const override;
 
@@ -210,6 +241,14 @@ class ShardedServer : public SourceView {
  private:
   /// Mirrors one cross-shard query evaluation onto the driver arena.
   void RecordQueryOutcome(bool ok, bool stale) const;
+
+  /// Mirrors one cross-shard evaluation into the driver audit ledger
+  /// (null `result` = failed evaluation).
+  void RecordQueryAudit(const std::string& name,
+                        const QueryResult* result) const;
+
+  /// The merged view over every audit arena (shard order, then driver).
+  obs::AuditMergeView AuditView() const;
 
   /// One pool's position in the flattened block list SweepPools chunks
   /// over: its blocks occupy [first_block, first_block + num_blocks()).
@@ -231,6 +270,8 @@ class ShardedServer : public SourceView {
   std::unique_ptr<obs::MetricRegistry> driver_metrics_;
   std::vector<std::unique_ptr<obs::FlightRecorder>> shard_recorders_;
   std::vector<std::unique_ptr<obs::HealthMonitor>> shard_health_;
+  std::vector<std::unique_ptr<obs::PrecisionAuditor>> shard_audits_;
+  std::unique_ptr<obs::PrecisionAuditor> driver_audit_;
   obs::Counter* queries_served_ = nullptr;
   obs::Counter* queries_failed_ = nullptr;
   obs::Counter* queries_stale_ = nullptr;

@@ -1,0 +1,457 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+namespace obs {
+
+namespace {
+
+/// Deterministic double rendering (same convention as the exporters).
+std::string Num(double v) { return StrFormat("%.9g", v); }
+
+}  // namespace
+
+const char* SloStateName(SloState state) {
+  switch (state) {
+    case SloState::kOk:
+      return "OK";
+    case SloState::kBurning:
+      return "BURNING";
+    case SloState::kExhausted:
+      return "EXHAUSTED";
+  }
+  return "?";
+}
+
+SourceAudit::SourceAudit(PrecisionAuditor* owner, int32_t source_id)
+    : owner_(owner), source_id_(source_id) {}
+
+void SourceAudit::Sample(int64_t tick, double abs_error, double bound,
+                         int64_t staleness_ticks, bool degraded) {
+  const AuditConfig& c = owner_->config_;
+  if (window_end_ == 0) {
+    // First sample anchors the tick-aligned window grid.
+    window_end_ = (tick / c.slo_window_ticks + 1) * c.slo_window_ticks;
+  } else if (tick >= window_end_) {
+    CloseWindow(tick);
+  }
+  ++samples_;
+  ++window_samples_;
+  last_staleness_ = staleness_ticks;
+  // A non-positive bound cannot contain anything; report full budget burn.
+  double util = bound > 0.0 ? abs_error / bound : (abs_error > 0.0 ? 2.0 : 0.0);
+  utilization_sum_ += util;
+  if (util > max_utilization_) max_utilization_ = util;
+  if (owner_->samples_metric_ != nullptr) owner_->samples_metric_->Inc();
+  if (owner_->utilization_metric_ != nullptr) {
+    owner_->utilization_metric_->Record(util);
+  }
+  if (owner_->staleness_metric_ != nullptr) {
+    owner_->staleness_metric_->Record(static_cast<double>(staleness_ticks));
+  }
+  if (degraded) {
+    ++degraded_samples_;
+    if (owner_->degraded_metric_ != nullptr) owner_->degraded_metric_->Inc();
+  }
+  if (abs_error <= bound) {
+    ++contained_;
+    return;
+  }
+  ++violations_;
+  ++window_violations_;
+  if (owner_->violations_metric_ != nullptr) owner_->violations_metric_->Inc();
+  if (recorder_ != nullptr) {
+    recorder_->Record(tick, RecorderEventKind::kAuditViolation, /*seq=*/tick,
+                      /*value=*/util);
+  }
+}
+
+void SourceAudit::CloseWindow(int64_t tick) {
+  const AuditConfig& c = owner_->config_;
+  ++windows_;
+  if (owner_->windows_metric_ != nullptr) owner_->windows_metric_->Inc();
+  SloState next = SloState::kOk;
+  if (window_violations_ >= c.exhausted_after) {
+    next = SloState::kExhausted;
+  } else if (window_violations_ >= c.burning_after) {
+    next = SloState::kBurning;
+  }
+  if (next != slo_state_) {
+    SloState prev = slo_state_;
+    slo_state_ = next;
+    if (recorder_ != nullptr) {
+      RecorderEventKind kind = RecorderEventKind::kAuditSloOk;
+      if (next == SloState::kBurning) {
+        kind = RecorderEventKind::kAuditSloBurning;
+      } else if (next == SloState::kExhausted) {
+        kind = RecorderEventKind::kAuditSloExhausted;
+      }
+      recorder_->Record(tick, kind, /*seq=*/0,
+                        /*value=*/static_cast<double>(window_violations_));
+    }
+    owner_->OnSloTransition(prev, next);
+  }
+  // The watchdog sees every window verdict, clean or breached, so its
+  // streak machine recovers on clean windows like the other detectors.
+  if (health_ != nullptr) health_->OnAuditWindow(window_violations_ > 0);
+  window_violations_ = 0;
+  window_samples_ = 0;
+  window_end_ = (tick / c.slo_window_ticks + 1) * c.slo_window_ticks;
+}
+
+PrecisionAuditor::PrecisionAuditor(AuditConfig config) : config_(config) {
+  if (config_.sample_every < 1) config_.sample_every = 1;
+  if (config_.slo_window_ticks < 1) config_.slo_window_ticks = 1;
+  if (config_.burning_after < 1) config_.burning_after = 1;
+  if (config_.exhausted_after < config_.burning_after) {
+    config_.exhausted_after = config_.burning_after;
+  }
+}
+
+SourceAudit* PrecisionAuditor::ForSource(int32_t source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    it = sources_
+             .emplace(source_id, std::unique_ptr<SourceAudit>(
+                                     new SourceAudit(this, source_id)))
+             .first;
+    if (recorder_ != nullptr) {
+      it->second->recorder_ = recorder_->ForSource(source_id);
+    }
+    if (health_ != nullptr) {
+      it->second->health_ = health_->FindMutable(source_id);
+    }
+    ++num_ok_;  // New sources start with an intact budget.
+    UpdateStateGauges();
+  }
+  return it->second.get();
+}
+
+const SourceAudit* PrecisionAuditor::Find(int32_t source_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+void PrecisionAuditor::BindMetrics(MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    samples_metric_ = nullptr;
+    violations_metric_ = nullptr;
+    degraded_metric_ = nullptr;
+    windows_metric_ = nullptr;
+    transitions_metric_ = nullptr;
+    utilization_metric_ = nullptr;
+    staleness_metric_ = nullptr;
+    ok_gauge_ = nullptr;
+    burning_gauge_ = nullptr;
+    exhausted_gauge_ = nullptr;
+    return;
+  }
+  samples_metric_ = registry->GetCounter("kc.audit.samples");
+  violations_metric_ = registry->GetCounter("kc.audit.violations");
+  degraded_metric_ = registry->GetCounter("kc.audit.degraded_samples");
+  windows_metric_ = registry->GetCounter("kc.audit.windows");
+  transitions_metric_ = registry->GetCounter("kc.audit.slo_transitions");
+  // Utilization of the bound: 0.05-wide buckets to 1.0, then overflow —
+  // anything above 1.0 is a violation by definition.
+  utilization_metric_ = registry->GetHistogram(
+      "kc.audit.utilization", Buckets::Linear(0.05, 0.05, 20));
+  staleness_metric_ = registry->GetHistogram(
+      "kc.audit.staleness", Buckets::Exponential(1.0, 2.0, 12));
+  ok_gauge_ = registry->GetGauge("kc.audit.sources_ok");
+  burning_gauge_ = registry->GetGauge("kc.audit.sources_burning");
+  exhausted_gauge_ = registry->GetGauge("kc.audit.sources_exhausted");
+  UpdateStateGauges();
+}
+
+void PrecisionAuditor::BindRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+  for (auto& [id, audit] : sources_) {
+    audit->recorder_ =
+        recorder_ == nullptr ? nullptr : recorder_->ForSource(id);
+  }
+}
+
+void PrecisionAuditor::BindHealth(HealthMonitor* health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_ = health;
+  for (auto& [id, audit] : sources_) {
+    audit->health_ = health_ == nullptr ? nullptr : health_->FindMutable(id);
+  }
+}
+
+void PrecisionAuditor::OnQuery(std::string_view name, bool ok, bool stale,
+                               bool degraded, bool unhealthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    std::string key(name);
+    it = queries_.emplace(key, AuditQueryTally{}).first;
+    it->second.name = key;
+  }
+  AuditQueryTally& t = it->second;
+  if (!ok) {
+    ++t.failed;
+    return;
+  }
+  ++t.evals;
+  if (stale) ++t.stale;
+  if (degraded) ++t.degraded;
+  if (unhealthy) ++t.unhealthy;
+}
+
+std::vector<int32_t> PrecisionAuditor::SourceIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int32_t> ids;
+  ids.reserve(sources_.size());
+  for (const auto& [id, audit] : sources_) {
+    (void)audit;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<AuditQueryTally> PrecisionAuditor::QueryTallies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditQueryTally> tallies;
+  tallies.reserve(queries_.size());
+  for (const auto& [name, tally] : queries_) {
+    (void)name;
+    tallies.push_back(tally);
+  }
+  return tallies;
+}
+
+std::string PrecisionAuditor::SourceLine(int32_t source_id) const {
+  const SourceAudit* a = Find(source_id);
+  if (a == nullptr) return std::string();
+  return StrFormat(
+      "source %4d  slo=%-9s samples=%lld contained=%lld violations=%lld "
+      "max_util=%s degraded=%lld staleness=%lld\n",
+      source_id, SloStateName(a->slo_state()),
+      static_cast<long long>(a->samples()),
+      static_cast<long long>(a->contained()),
+      static_cast<long long>(a->violations()),
+      Num(a->max_utilization()).c_str(),
+      static_cast<long long>(a->degraded_samples()),
+      static_cast<long long>(a->last_staleness()));
+}
+
+std::string PrecisionAuditor::SourceJson(int32_t source_id) const {
+  const SourceAudit* a = Find(source_id);
+  if (a == nullptr) return std::string();
+  std::ostringstream os;
+  os << "{\"id\":" << source_id << ",\"slo\":\"" << SloStateName(a->slo_state())
+     << "\",\"samples\":" << a->samples() << ",\"contained\":" << a->contained()
+     << ",\"violations\":" << a->violations()
+     << ",\"windows\":" << a->windows()
+     << ",\"max_utilization\":" << Num(a->max_utilization())
+     << ",\"mean_utilization\":" << Num(a->mean_utilization())
+     << ",\"degraded_samples\":" << a->degraded_samples()
+     << ",\"last_staleness\":" << a->last_staleness() << "}";
+  return os.str();
+}
+
+std::string PrecisionAuditor::ReportText() const {
+  AuditMergeView view;
+  view.config = &config_;
+  view.arenas = {this};
+  view.ids = SourceIds();
+  view.arena_of = [this](int32_t) { return this; };
+  return MergedAuditReportText(view);
+}
+
+std::string PrecisionAuditor::ReportJson() const {
+  AuditMergeView view;
+  view.config = &config_;
+  view.arenas = {this};
+  view.ids = SourceIds();
+  view.arena_of = [this](int32_t) { return this; };
+  return MergedAuditReportJson(view);
+}
+
+void PrecisionAuditor::OnSloTransition(SloState from, SloState to) {
+  auto count = [this](SloState s) -> int64_t& {
+    switch (s) {
+      case SloState::kBurning:
+        return num_burning_;
+      case SloState::kExhausted:
+        return num_exhausted_;
+      case SloState::kOk:
+      default:
+        return num_ok_;
+    }
+  };
+  --count(from);
+  ++count(to);
+  UpdateStateGauges();
+  if (transitions_metric_ != nullptr) transitions_metric_->Inc();
+}
+
+void PrecisionAuditor::UpdateStateGauges() {
+  if (ok_gauge_ != nullptr) ok_gauge_->Set(static_cast<double>(num_ok_));
+  if (burning_gauge_ != nullptr) {
+    burning_gauge_->Set(static_cast<double>(num_burning_));
+  }
+  if (exhausted_gauge_ != nullptr) {
+    exhausted_gauge_->Set(static_cast<double>(num_exhausted_));
+  }
+}
+
+namespace {
+
+/// Fleet-wide sums used by every merged renderer.
+struct AuditTotals {
+  int64_t sources = 0;
+  int64_t samples = 0;
+  int64_t contained = 0;
+  int64_t violations = 0;
+  int64_t degraded = 0;
+  int64_t windows = 0;
+  int64_t slo_ok = 0;
+  int64_t slo_burning = 0;
+  int64_t slo_exhausted = 0;
+
+  double containment_pct() const {
+    return samples > 0
+               ? 100.0 * static_cast<double>(contained) /
+                     static_cast<double>(samples)
+               : 100.0;
+  }
+};
+
+AuditTotals Totals(const AuditMergeView& view) {
+  AuditTotals t;
+  for (int32_t id : view.ids) {
+    const PrecisionAuditor* arena = view.arena_of(id);
+    const SourceAudit* a = arena == nullptr ? nullptr : arena->Find(id);
+    if (a == nullptr) continue;
+    ++t.sources;
+    t.samples += a->samples();
+    t.contained += a->contained();
+    t.violations += a->violations();
+    t.degraded += a->degraded_samples();
+    t.windows += a->windows();
+    switch (a->slo_state()) {
+      case SloState::kOk:
+        ++t.slo_ok;
+        break;
+      case SloState::kBurning:
+        ++t.slo_burning;
+        break;
+      case SloState::kExhausted:
+        ++t.slo_exhausted;
+        break;
+    }
+  }
+  return t;
+}
+
+/// Query tallies merged by name across every arena (arenas are walked in
+/// the given order; names sort the final list, so the result is
+/// deterministic for any sharding).
+std::vector<AuditQueryTally> MergedQueries(const AuditMergeView& view) {
+  std::map<std::string, AuditQueryTally> merged;
+  for (const PrecisionAuditor* arena : view.arenas) {
+    if (arena == nullptr) continue;
+    for (const AuditQueryTally& t : arena->QueryTallies()) {
+      AuditQueryTally& m = merged[t.name];
+      m.name = t.name;
+      m.evals += t.evals;
+      m.failed += t.failed;
+      m.stale += t.stale;
+      m.degraded += t.degraded;
+      m.unhealthy += t.unhealthy;
+    }
+  }
+  std::vector<AuditQueryTally> out;
+  out.reserve(merged.size());
+  for (auto& [name, tally] : merged) {
+    (void)name;
+    out.push_back(std::move(tally));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MergedAuditSummaryLine(const AuditMergeView& view) {
+  AuditTotals t = Totals(view);
+  return StrFormat(
+      "audit: sources=%lld ok=%lld burning=%lld exhausted=%lld samples=%lld "
+      "violations=%lld containment=%s%%\n",
+      static_cast<long long>(t.sources), static_cast<long long>(t.slo_ok),
+      static_cast<long long>(t.slo_burning),
+      static_cast<long long>(t.slo_exhausted),
+      static_cast<long long>(t.samples),
+      static_cast<long long>(t.violations), Num(t.containment_pct()).c_str());
+}
+
+std::string MergedAuditReportText(const AuditMergeView& view) {
+  std::ostringstream os;
+  os << MergedAuditSummaryLine(view);
+  for (int32_t id : view.ids) {
+    const PrecisionAuditor* arena = view.arena_of(id);
+    if (arena != nullptr) os << arena->SourceLine(id);
+  }
+  for (const AuditQueryTally& q : MergedQueries(view)) {
+    os << StrFormat(
+        "query %-16s evals=%lld failed=%lld stale=%lld degraded=%lld "
+        "unhealthy=%lld\n",
+        q.name.c_str(), static_cast<long long>(q.evals),
+        static_cast<long long>(q.failed), static_cast<long long>(q.stale),
+        static_cast<long long>(q.degraded),
+        static_cast<long long>(q.unhealthy));
+  }
+  return os.str();
+}
+
+std::string MergedAuditReportJson(const AuditMergeView& view) {
+  AuditTotals t = Totals(view);
+  std::ostringstream os;
+  os << "{\"config\":{";
+  if (view.config != nullptr) {
+    os << "\"sample_every\":" << view.config->sample_every
+       << ",\"slo_window_ticks\":" << view.config->slo_window_ticks
+       << ",\"burning_after\":" << view.config->burning_after
+       << ",\"exhausted_after\":" << view.config->exhausted_after;
+  }
+  os << "},\"totals\":{\"sources\":" << t.sources
+     << ",\"samples\":" << t.samples << ",\"contained\":" << t.contained
+     << ",\"violations\":" << t.violations << ",\"degraded\":" << t.degraded
+     << ",\"windows\":" << t.windows
+     << ",\"containment_pct\":" << Num(t.containment_pct())
+     << ",\"slo_ok\":" << t.slo_ok << ",\"slo_burning\":" << t.slo_burning
+     << ",\"slo_exhausted\":" << t.slo_exhausted << "},\"sources\":[";
+  bool first = true;
+  for (int32_t id : view.ids) {
+    const PrecisionAuditor* arena = view.arena_of(id);
+    std::string obj = arena == nullptr ? std::string() : arena->SourceJson(id);
+    if (obj.empty()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << obj;
+  }
+  os << "],\"queries\":[";
+  first = true;
+  for (const AuditQueryTally& q : MergedQueries(view)) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << q.name << "\",\"evals\":" << q.evals
+       << ",\"failed\":" << q.failed << ",\"stale\":" << q.stale
+       << ",\"degraded\":" << q.degraded << ",\"unhealthy\":" << q.unhealthy
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace kc

@@ -1,0 +1,248 @@
+#ifndef KALMANCAST_OBS_AUDIT_H_
+#define KALMANCAST_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace kc {
+namespace obs {
+
+/// The precision/SLO auditor (docs/OBSERVABILITY.md, "Precision audit"):
+/// continuous runtime verification of the paper's headline guarantee.
+/// Every `sample_every` ticks the driving layer (the fleet, which owns
+/// both ends of the protocol) hands the auditor one sample per source —
+/// the absolute error between the replica-side answer and the agent-side
+/// contract target, together with the bound currently in force. The
+/// auditor records containment (|error| <= bound), bound utilization
+/// (|error| / bound), staleness, and degradation, and closes an SLO
+/// window every `slo_window_ticks`: the count of violations inside the
+/// window classifies the source's error budget as OK, BURNING, or
+/// EXHAUSTED.
+///
+/// The bound passed in is the replica's *in-force* bound — widened by the
+/// quarantine factor while the source is desynced — so the auditor checks
+/// the honesty of what the server would actually answer, not the
+/// fair-weather declared bound. On a lossless channel the protocol
+/// guarantees containment is exactly 100%; any violation is a bug or an
+/// injected fault, which is what makes this worth auditing continuously.
+///
+/// Threading follows the arena model shared with metrics / recorder /
+/// health: one PrecisionAuditor per shard, ForSource() is the cold
+/// registering path, Sample() is the lock- and allocation-free hot path
+/// with a single writer (the thread stepping the source's shard). Merged
+/// fleet reports walk sources in ascending-id order, so they are
+/// bit-identical for any thread count.
+
+struct AuditConfig {
+  /// Sample each source every N ticks (the deterministic sampling
+  /// scheme: a tick t is audited iff t % sample_every == 0, identical for
+  /// every source and shard). 1 audits every tick.
+  int64_t sample_every = 4;
+  /// SLO window length in ticks. Windows are tick-aligned
+  /// ([k*W, (k+1)*W)), so window boundaries are identical across shards
+  /// and thread counts.
+  int64_t slo_window_ticks = 256;
+  /// Violations within one window at or above which the budget state is
+  /// BURNING.
+  int64_t burning_after = 1;
+  /// Violations within one window at or above which the budget state is
+  /// EXHAUSTED.
+  int64_t exhausted_after = 4;
+};
+
+/// Per-window error-budget verdict. Ordered by severity so merging takes
+/// the max.
+enum class SloState : uint8_t { kOk = 0, kBurning = 1, kExhausted = 2 };
+
+const char* SloStateName(SloState state);
+
+/// One query name's audited outcome tally (driver-side cold path).
+struct AuditQueryTally {
+  std::string name;
+  int64_t evals = 0;      ///< Successful evaluations.
+  int64_t failed = 0;     ///< Evaluations that returned an error.
+  int64_t stale = 0;      ///< Served with a stale member source.
+  int64_t degraded = 0;   ///< Served with a quarantined member source.
+  int64_t unhealthy = 0;  ///< Served while the watchdog was not OK.
+};
+
+class PrecisionAuditor;
+
+/// One source's audit state. Obtain via PrecisionAuditor::ForSource();
+/// feed from the owning shard's worker (single writer).
+class SourceAudit {
+ public:
+  /// Hot path: one audited sample. `abs_error` is the L-inf distance
+  /// between the replica's answer and the contract target; `bound` the
+  /// replica's in-force (possibly quarantine-widened) bound;
+  /// `staleness_ticks` the replica's ticks since the last accepted
+  /// message; `degraded` whether the replica is quarantined. No locks, no
+  /// allocations.
+  void Sample(int64_t tick, double abs_error, double bound,
+              int64_t staleness_ticks, bool degraded);
+
+  int32_t source_id() const { return source_id_; }
+  int64_t samples() const { return samples_; }
+  int64_t contained() const { return contained_; }
+  int64_t violations() const { return violations_; }
+  int64_t degraded_samples() const { return degraded_samples_; }
+  int64_t windows() const { return windows_; }
+  int64_t last_staleness() const { return last_staleness_; }
+  double max_utilization() const { return max_utilization_; }
+  /// Mean |error| / bound over every sample (0 before the first).
+  double mean_utilization() const {
+    return samples_ > 0 ? utilization_sum_ / static_cast<double>(samples_)
+                        : 0.0;
+  }
+  SloState slo_state() const { return slo_state_; }
+
+ private:
+  friend class PrecisionAuditor;
+  SourceAudit(PrecisionAuditor* owner, int32_t source_id);
+
+  /// Classifies the finished window, fires transition bookkeeping, and
+  /// re-anchors on the window containing `tick`.
+  void CloseWindow(int64_t tick);
+
+  PrecisionAuditor* owner_;
+  int32_t source_id_;
+  SourceRecorder* recorder_ = nullptr;  ///< Optional AUDIT_* event log.
+  SourceHealth* health_ = nullptr;      ///< Optional watchdog feed.
+
+  int64_t samples_ = 0;
+  int64_t contained_ = 0;
+  int64_t violations_ = 0;
+  int64_t degraded_samples_ = 0;
+  int64_t last_staleness_ = 0;
+  double utilization_sum_ = 0.0;
+  double max_utilization_ = 0.0;
+
+  // SLO window state. window_end_ == 0 means "not yet anchored".
+  int64_t window_end_ = 0;
+  int64_t window_violations_ = 0;
+  int64_t window_samples_ = 0;
+  int64_t windows_ = 0;
+  SloState slo_state_ = SloState::kOk;
+};
+
+/// One audit arena: source id -> SourceAudit. One per shard (plus a
+/// driver-side arena for cross-shard query outcomes).
+class PrecisionAuditor {
+ public:
+  explicit PrecisionAuditor(AuditConfig config = AuditConfig());
+  PrecisionAuditor(const PrecisionAuditor&) = delete;
+  PrecisionAuditor& operator=(const PrecisionAuditor&) = delete;
+
+  /// Cold path: registers the source on first use; the returned pointer
+  /// is stable for the auditor's lifetime.
+  SourceAudit* ForSource(int32_t source_id);
+  const SourceAudit* Find(int32_t source_id) const;
+
+  /// True when tick t is an audit tick (t % sample_every == 0) — a pure
+  /// function of the tick, so every shard samples the same ticks.
+  bool ShouldSample(int64_t tick) const {
+    return tick % config_.sample_every == 0;
+  }
+
+  /// Registers kc.audit.* metrics in `registry`; call before the hot
+  /// path starts (arena model: the shard's own registry).
+  void BindMetrics(MetricRegistry* registry);
+  /// AUDIT_* events for each source get recorded into the matching ring
+  /// of `recorder`. Applies to current and future sources.
+  void BindRecorder(FlightRecorder* recorder);
+  /// SLO windows feed the matching watchdog entry as a third detector
+  /// (SourceHealth::OnAuditWindow). Applies to current and future
+  /// sources. `obs_dim` registration on the monitor reuses dim 1 when the
+  /// source is unknown to it; fleets bind health first, so in practice
+  /// the entry already exists.
+  void BindHealth(HealthMonitor* health);
+
+  /// Tallies one query evaluation outcome (driver thread; takes the map
+  /// mutex — queries are low-rate). `unhealthy` = watchdog verdict was
+  /// not OK.
+  void OnQuery(std::string_view name, bool ok, bool stale, bool degraded,
+               bool unhealthy);
+
+  /// Registered source ids, ascending.
+  std::vector<int32_t> SourceIds() const;
+  /// Per-query tallies, sorted by name.
+  std::vector<AuditQueryTally> QueryTallies() const;
+
+  /// One source's deterministic report line / JSON object (empty if
+  /// unknown).
+  std::string SourceLine(int32_t source_id) const;
+  std::string SourceJson(int32_t source_id) const;
+
+  /// Deterministic single-arena reports (the fleet uses the Merged*
+  /// helpers below instead).
+  std::string ReportText() const;
+  std::string ReportJson() const;
+
+  const AuditConfig& config() const { return config_; }
+
+ private:
+  friend class SourceAudit;
+  /// SLO transition bookkeeping: population counts, gauges, counter.
+  void OnSloTransition(SloState from, SloState to);
+  void UpdateStateGauges();
+
+  AuditConfig config_;
+  mutable std::mutex mu_;  ///< Guards the maps, not the per-source state.
+  std::map<int32_t, std::unique_ptr<SourceAudit>> sources_;
+  std::map<std::string, AuditQueryTally, std::less<>> queries_;
+  FlightRecorder* recorder_ = nullptr;
+  HealthMonitor* health_ = nullptr;
+
+  // Per-state population (single writer per arena; exported as gauges).
+  int64_t num_ok_ = 0;
+  int64_t num_burning_ = 0;
+  int64_t num_exhausted_ = 0;
+
+  Counter* samples_metric_ = nullptr;      ///< kc.audit.samples
+  Counter* violations_metric_ = nullptr;   ///< kc.audit.violations
+  Counter* degraded_metric_ = nullptr;     ///< kc.audit.degraded_samples
+  Counter* windows_metric_ = nullptr;      ///< kc.audit.windows
+  Counter* transitions_metric_ = nullptr;  ///< kc.audit.slo_transitions
+  Histogram* utilization_metric_ = nullptr;  ///< kc.audit.utilization
+  Histogram* staleness_metric_ = nullptr;    ///< kc.audit.staleness
+  Gauge* ok_gauge_ = nullptr;         ///< kc.audit.sources_ok
+  Gauge* burning_gauge_ = nullptr;    ///< kc.audit.sources_burning
+  Gauge* exhausted_gauge_ = nullptr;  ///< kc.audit.sources_exhausted
+};
+
+/// A merged view over one or more audit arenas — how the sharded fleet
+/// renders ONE deterministic report from per-shard auditors. `arenas`
+/// lists every arena in shard order (plus any driver arena, last);
+/// `ids` the global ascending source-id order; `arena_of` resolves a
+/// source to its owning arena. A single-arena deployment passes itself
+/// three times; see PrecisionAuditor::ReportJson.
+struct AuditMergeView {
+  const AuditConfig* config = nullptr;
+  std::vector<const PrecisionAuditor*> arenas;
+  std::vector<int32_t> ids;
+  std::function<const PrecisionAuditor*(int32_t)> arena_of;
+};
+
+/// Full deterministic reports: per-source table / JSON document with
+/// fleet totals and per-query tallies (merged by name across arenas).
+std::string MergedAuditReportText(const AuditMergeView& view);
+std::string MergedAuditReportJson(const AuditMergeView& view);
+/// One-line budget summary for health endpoints, e.g.
+/// "audit: sources=100 ok=100 burning=0 exhausted=0 samples=2880
+///  violations=0 containment=100%".
+std::string MergedAuditSummaryLine(const AuditMergeView& view);
+
+}  // namespace obs
+}  // namespace kc
+
+#endif  // KALMANCAST_OBS_AUDIT_H_

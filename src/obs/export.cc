@@ -45,7 +45,14 @@ void TextRow(std::ostringstream& os, const MetricRow& row) {
                         ? row.hist_sum / static_cast<double>(row.hist_count)
                         : 0.0;
       os << "count=" << row.hist_count << " sum=" << Num(row.hist_sum)
-         << " mean=" << Num(mean) << "\n";
+         << " mean=" << Num(mean)
+         << " p50=" << Num(HistogramQuantile(row.hist_bounds,
+                                             row.hist_counts, 0.50))
+         << " p90=" << Num(HistogramQuantile(row.hist_bounds,
+                                             row.hist_counts, 0.90))
+         << " p99=" << Num(HistogramQuantile(row.hist_bounds,
+                                             row.hist_counts, 0.99))
+         << "\n";
       for (size_t i = 0; i < row.hist_counts.size(); ++i) {
         if (row.hist_counts[i] == 0) continue;  // Keep the table compact.
         double bound = i < row.hist_bounds.size()
@@ -71,6 +78,12 @@ void JsonRow(std::ostringstream& os, const MetricRow& row) {
       break;
     case MetricKind::kHistogram: {
       os << ",\"count\":" << row.hist_count << ",\"sum\":" << Num(row.hist_sum)
+         << ",\"p50\":"
+         << Num(HistogramQuantile(row.hist_bounds, row.hist_counts, 0.50))
+         << ",\"p90\":"
+         << Num(HistogramQuantile(row.hist_bounds, row.hist_counts, 0.90))
+         << ",\"p99\":"
+         << Num(HistogramQuantile(row.hist_bounds, row.hist_counts, 0.99))
          << ",\"buckets\":[";
       for (size_t i = 0; i < row.hist_counts.size(); ++i) {
         if (i > 0) os << ",";
@@ -131,11 +144,15 @@ void PromRow(std::ostringstream& os, const MetricRow& row) {
 
 }  // namespace
 
-std::string ExportMetrics(const MetricRegistry& registry,
-                          const ExportOptions& options) {
+std::string ExportRows(const std::vector<MetricRow>& rows,
+                       const ExportOptions& options) {
   std::ostringstream os;
-  for (const MetricRow& row : registry.Rows()) {
+  for (const MetricRow& row : rows) {
     if (row.wall_clock && !options.include_wall_clock) continue;
+    if (!options.prefix.empty() &&
+        row.name.compare(0, options.prefix.size(), options.prefix) != 0) {
+      continue;
+    }
     switch (options.format) {
       case ExportFormat::kText:
         TextRow(os, row);
@@ -151,22 +168,29 @@ std::string ExportMetrics(const MetricRegistry& registry,
   return os.str();
 }
 
-std::string ExportText(const MetricRegistry& registry,
-                       bool include_wall_clock) {
+std::string ExportMetrics(const MetricRegistry& registry,
+                          const ExportOptions& options) {
+  return ExportRows(registry.Rows(), options);
+}
+
+std::string ExportText(const MetricRegistry& registry, bool include_wall_clock,
+                       const std::string& prefix) {
   return ExportMetrics(registry,
-                       {ExportFormat::kText, include_wall_clock});
+                       {ExportFormat::kText, include_wall_clock, prefix});
 }
 
 std::string ExportJsonLines(const MetricRegistry& registry,
-                            bool include_wall_clock) {
+                            bool include_wall_clock,
+                            const std::string& prefix) {
   return ExportMetrics(registry,
-                       {ExportFormat::kJsonLines, include_wall_clock});
+                       {ExportFormat::kJsonLines, include_wall_clock, prefix});
 }
 
 std::string ExportPrometheus(const MetricRegistry& registry,
-                             bool include_wall_clock) {
+                             bool include_wall_clock,
+                             const std::string& prefix) {
   return ExportMetrics(registry,
-                       {ExportFormat::kPrometheus, include_wall_clock});
+                       {ExportFormat::kPrometheus, include_wall_clock, prefix});
 }
 
 std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {

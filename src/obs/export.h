@@ -23,6 +23,11 @@ struct ExportOptions {
   /// run-dependent metrics; excluding them makes the export byte-identical
   /// across runs and thread counts for a deterministic workload.
   bool include_wall_clock = true;
+  /// When non-empty, only metrics whose name starts with this prefix are
+  /// rendered (e.g. "kc.audit." keeps a /metrics scrape small at fleet
+  /// scale). Matches the raw dotted name, not the sanitized Prometheus
+  /// one.
+  std::string prefix;
 };
 
 /// Renders every metric of `registry`, sorted by name. All formats are
@@ -30,13 +35,24 @@ struct ExportOptions {
 std::string ExportMetrics(const MetricRegistry& registry,
                           const ExportOptions& options = {});
 
-/// Convenience wrappers.
+/// Renders an already-snapshotted row set (rows keep their given order;
+/// MetricRegistry::Rows() is sorted by name). This is the backend of
+/// ExportMetrics, split out so consumers holding a published snapshot —
+/// the HTTP telemetry endpoint — can re-render it per request (with a
+/// per-request prefix) without touching the live registry.
+std::string ExportRows(const std::vector<MetricRow>& rows,
+                       const ExportOptions& options = {});
+
+/// Convenience wrappers. `prefix` as in ExportOptions.
 std::string ExportText(const MetricRegistry& registry,
-                       bool include_wall_clock = true);
+                       bool include_wall_clock = true,
+                       const std::string& prefix = {});
 std::string ExportJsonLines(const MetricRegistry& registry,
-                            bool include_wall_clock = true);
+                            bool include_wall_clock = true,
+                            const std::string& prefix = {});
 std::string ExportPrometheus(const MetricRegistry& registry,
-                             bool include_wall_clock = true);
+                             bool include_wall_clock = true,
+                             const std::string& prefix = {});
 
 /// Renders trace spans (CollectTraceEvents) as Chrome trace-event JSON,
 /// loadable by chrome://tracing and Perfetto. Each span becomes a

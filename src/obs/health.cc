@@ -52,6 +52,18 @@ void SourceHealth::OnDecision(bool suppressed) {
 
 void SourceHealth::OnResync() { ++resyncs_in_window_; }
 
+void SourceHealth::OnAuditWindow(bool breached) {
+  if (breached) {
+    ++audit_breaches_;
+    if (owner_->audit_breaches_metric_ != nullptr) {
+      owner_->audit_breaches_metric_->Inc();
+    }
+  }
+  audit_state_ = StepDetector(audit_state_, breached, &audit_breach_streak_,
+                              &audit_clean_streak_, owner_->config_);
+  Recombine(breached ? 1.0 : 0.0);
+}
+
 void SourceHealth::EvaluateNisWindow() {
   const HealthConfig& c = owner_->config_;
   bool breached = nis_sum_ < nis_sum_lo_ || nis_sum_ > nis_sum_hi_;
@@ -121,7 +133,7 @@ HealthState SourceHealth::StepDetector(HealthState current, bool breached,
 }
 
 void SourceHealth::Recombine(double detail) {
-  HealthState next = std::max(nis_state_, rate_state_);
+  HealthState next = std::max({nis_state_, rate_state_, audit_state_});
   if (next == state_) return;
   HealthState prev = state_;
   state_ = next;
@@ -168,6 +180,12 @@ const SourceHealth* HealthMonitor::Find(int32_t source_id) const {
   return it == sources_.end() ? nullptr : it->second.get();
 }
 
+SourceHealth* HealthMonitor::FindMutable(int32_t source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source_id);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
 HealthState HealthMonitor::StateOf(int32_t source_id) const {
   const SourceHealth* health = Find(source_id);
   return health == nullptr ? HealthState::kOk : health->state();
@@ -190,6 +208,7 @@ void HealthMonitor::BindMetrics(MetricRegistry* registry) {
     nis_windows_metric_ = nullptr;
     nis_breaches_metric_ = nullptr;
     rate_breaches_metric_ = nullptr;
+    audit_breaches_metric_ = nullptr;
     transitions_metric_ = nullptr;
     ok_gauge_ = nullptr;
     suspect_gauge_ = nullptr;
@@ -199,6 +218,7 @@ void HealthMonitor::BindMetrics(MetricRegistry* registry) {
   nis_windows_metric_ = registry->GetCounter("kc.health.nis_windows");
   nis_breaches_metric_ = registry->GetCounter("kc.health.nis_breaches");
   rate_breaches_metric_ = registry->GetCounter("kc.health.rate_breaches");
+  audit_breaches_metric_ = registry->GetCounter("kc.health.audit_breaches");
   transitions_metric_ = registry->GetCounter("kc.health.transitions");
   ok_gauge_ = registry->GetGauge("kc.health.sources_ok");
   suspect_gauge_ = registry->GetGauge("kc.health.sources_suspect");

@@ -21,7 +21,7 @@ namespace obs {
 /// answers the question metrics alone cannot — *is this source's filter
 /// still statistically consistent with what the stream is doing?*
 ///
-/// Two deterministic detectors per source, each evaluated on a fixed
+/// Three deterministic detectors per source, each evaluated on a fixed
 /// window so the verdict is a pure function of the simulated history:
 ///
 ///  - **NIS consistency.** Every accepted reading yields a normalized
@@ -36,11 +36,15 @@ namespace obs {
 ///    over `rate_window_ticks` are the protocol-level symptom of the
 ///    same disease; either breaching its configured limit trips the
 ///    detector.
+///  - **Precision audit.** The precision auditor (obs/audit.h) closes an
+///    SLO window every `slo_window_ticks` and reports whether any
+///    sampled answer escaped its bound. This is the only detector that
+///    observes the contract *directly* rather than statistically.
 ///
 /// Each detector runs the same streak machine: one breached window
 /// escalates OK -> SUSPECT, `windows_to_diverge` consecutive breaches
 /// escalate to DIVERGED, `windows_to_recover` consecutive clean windows
-/// drop back to OK. The source's state is the max of the two detectors.
+/// drop back to OK. The source's state is the max of the detectors.
 ///
 /// Threading follows the arena model: one HealthMonitor per shard,
 /// ForSource() is the registering cold path, the On*() feeds are the
@@ -87,12 +91,19 @@ class SourceHealth {
   void OnDecision(bool suppressed);
   /// Feeds one replica-issued resync request.
   void OnResync();
+  /// Feeds one completed precision-audit SLO window (breached = any
+  /// containment violation inside it; see obs/audit.h). Runs the same
+  /// streak machine as the other detectors; the source verdict is the max
+  /// of all three. The auditor calls this on its window boundaries, so a
+  /// contract breach the statistics miss still trips the watchdog.
+  void OnAuditWindow(bool breached);
 
   HealthState state() const { return state_; }
   int32_t source_id() const { return source_id_; }
   int64_t nis_windows() const { return nis_windows_; }
   int64_t nis_breaches() const { return nis_breaches_; }
   int64_t rate_breaches() const { return rate_breaches_; }
+  int64_t audit_breaches() const { return audit_breaches_; }
   /// Mean per-sample NIS of the last completed window (0 before the
   /// first completes). A healthy stream hovers near obs_dim.
   double last_window_mean_nis() const { return last_window_mean_nis_; }
@@ -140,6 +151,12 @@ class SourceHealth {
   int rate_clean_streak_ = 0;
   int64_t rate_breaches_ = 0;
 
+  // Audit detector (fed by the precision auditor's SLO windows).
+  HealthState audit_state_ = HealthState::kOk;
+  int audit_breach_streak_ = 0;
+  int audit_clean_streak_ = 0;
+  int64_t audit_breaches_ = 0;
+
   HealthState state_ = HealthState::kOk;
   int64_t tick_ = 0;  ///< Ticks seen (stamps transition events).
 };
@@ -157,6 +174,11 @@ class HealthMonitor {
   SourceHealth* ForSource(int32_t source_id, size_t obs_dim);
 
   const SourceHealth* Find(int32_t source_id) const;
+
+  /// Non-creating mutable lookup (nullptr if the source is unknown).
+  /// For binders — the precision auditor — that must not register a
+  /// source without knowing its true obs_dim.
+  SourceHealth* FindMutable(int32_t source_id);
 
   /// kOk for unknown sources (mirrors SourceView::IsDesynced).
   HealthState StateOf(int32_t source_id) const;
@@ -202,6 +224,7 @@ class HealthMonitor {
   Counter* nis_windows_metric_ = nullptr;   ///< kc.health.nis_windows
   Counter* nis_breaches_metric_ = nullptr;  ///< kc.health.nis_breaches
   Counter* rate_breaches_metric_ = nullptr; ///< kc.health.rate_breaches
+  Counter* audit_breaches_metric_ = nullptr; ///< kc.health.audit_breaches
   Counter* transitions_metric_ = nullptr;   ///< kc.health.transitions
   Gauge* ok_gauge_ = nullptr;               ///< kc.health.sources_ok
   Gauge* suspect_gauge_ = nullptr;          ///< kc.health.sources_suspect

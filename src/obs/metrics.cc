@@ -135,6 +135,64 @@ double Histogram::bucket_bound(size_t i) const {
                          : std::numeric_limits<double>::infinity();
 }
 
+namespace {
+
+/// Shared estimator behind Histogram::Quantile and HistogramQuantile.
+/// `counts` has num_bounds + 1 entries (overflow last).
+double QuantileImpl(const double* bounds, size_t num_bounds,
+                    const int64_t* counts, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t total = 0;
+  for (size_t i = 0; i <= num_bounds; ++i) total += counts[i];
+  if (total <= 0) return 0.0;
+  double rank = q * static_cast<double>(total);
+  int64_t cum_before = 0;
+  for (size_t i = 0; i <= num_bounds; ++i) {
+    if (counts[i] == 0) continue;
+    int64_t cum = cum_before + counts[i];
+    if (static_cast<double>(cum) >= rank) {
+      // Overflow bucket: no upper edge to interpolate toward, so the
+      // estimate saturates at the largest finite bound.
+      if (i == num_bounds) return num_bounds == 0 ? 0.0 : bounds[num_bounds - 1];
+      double upper = bounds[i];
+      double lower;
+      if (i == 0) {
+        // Prometheus convention: a positive first bound interpolates from
+        // an assumed 0 lower edge; a non-positive one cannot, so the
+        // bucket reports its bound.
+        if (upper <= 0.0) return upper;
+        lower = 0.0;
+      } else {
+        lower = bounds[i - 1];
+      }
+      double in_bucket = rank - static_cast<double>(cum_before);
+      double frac = in_bucket / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum_before = cum;
+  }
+  return num_bounds == 0 ? 0.0 : bounds[num_bounds - 1];
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  std::array<int64_t, Buckets::kMaxBounds + 1> counts;
+  for (size_t i = 0; i <= num_bounds_; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return QuantileImpl(bounds_.data(), num_bounds_, counts.data(), q);
+}
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<int64_t>& counts, double q) {
+  // Tolerate a short counts vector (treat missing buckets as empty) so the
+  // helper is safe on hand-built rows.
+  std::vector<int64_t> padded = counts;
+  padded.resize(bounds.size() + 1, 0);
+  return QuantileImpl(bounds.data(), bounds.size(), padded.data(), q);
+}
+
 Counter* MetricRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);

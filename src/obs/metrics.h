@@ -118,6 +118,10 @@ class Histogram {
     }
     return total;
   }
+  /// Estimates the q-quantile of the recorded distribution by linear
+  /// interpolation inside the containing bucket (cold path; see
+  /// HistogramQuantile for the exact semantics).
+  double Quantile(double q) const;
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   size_t num_buckets() const { return num_bounds_ + 1; }
   /// Upper bound of bucket `i`; the last bucket is unbounded (+inf).
@@ -211,6 +215,19 @@ class MetricRegistry {
 /// tests, the non-sharded Fleet). Sharded deployments use per-shard
 /// registries instead.
 MetricRegistry& DefaultRegistry();
+
+/// Estimates the q-quantile of a bucketed distribution by linear
+/// interpolation inside the containing bucket (the classic Prometheus
+/// `histogram_quantile` estimator). `bounds` holds the finite upper
+/// bounds, strictly increasing; `counts` the per-bucket (non-cumulative)
+/// counts, sized bounds.size() + 1 with the overflow bucket last — the
+/// layout MetricRow carries. q is clamped to [0, 1]. Deterministic
+/// conventions at the edges: an empty histogram yields 0; a quantile
+/// landing in the overflow bucket clamps to the last finite bound (there
+/// is no upper edge to interpolate toward); the first bucket interpolates
+/// from 0 when its bound is positive, else reports its bound.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<int64_t>& counts, double q);
 
 }  // namespace obs
 }  // namespace kc

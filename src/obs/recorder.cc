@@ -42,6 +42,14 @@ const char* RecorderEventKindName(RecorderEventKind kind) {
       return "HEALTH_SUSPECT";
     case RecorderEventKind::kHealthDiverged:
       return "HEALTH_DIVERGED";
+    case RecorderEventKind::kAuditViolation:
+      return "AUDIT_VIOLATION";
+    case RecorderEventKind::kAuditSloOk:
+      return "AUDIT_SLO_OK";
+    case RecorderEventKind::kAuditSloBurning:
+      return "AUDIT_SLO_BURNING";
+    case RecorderEventKind::kAuditSloExhausted:
+      return "AUDIT_SLO_EXHAUSTED";
   }
   return "?";
 }

@@ -51,10 +51,18 @@ enum class RecorderEventKind : uint8_t {
   kHealthOk,             ///< Watchdog transition back to OK.
   kHealthSuspect,        ///< Watchdog transition to SUSPECT.
   kHealthDiverged,       ///< Watchdog transition to DIVERGED.
+  kAuditViolation,       ///< Auditor saw |error| > bound (value = |error| /
+                         ///< bound; seq = audit tick).
+  kAuditSloOk,           ///< SLO budget back to OK (value = window
+                         ///< violations).
+  kAuditSloBurning,      ///< SLO budget entered BURNING (value = window
+                         ///< violations).
+  kAuditSloExhausted,    ///< SLO budget entered EXHAUSTED (value = window
+                         ///< violations).
 };
 
 /// Number of RecorderEventKind values.
-inline constexpr size_t kNumRecorderEventKinds = 16;
+inline constexpr size_t kNumRecorderEventKinds = 20;
 
 const char* RecorderEventKindName(RecorderEventKind kind);
 

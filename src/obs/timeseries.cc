@@ -1,0 +1,179 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kc {
+namespace obs {
+
+namespace {
+
+std::string Num(double v) { return StrFormat("%.9g", v); }
+
+bool HasPrefix(std::string_view name, std::string_view prefix) {
+  return prefix.empty() ||
+         (name.size() >= prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0);
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+void TimeSeriesStore::BindMetrics(MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    captures_metric_ = nullptr;
+    evictions_metric_ = nullptr;
+    series_gauge_ = nullptr;
+    return;
+  }
+  captures_metric_ = registry->GetCounter("kc.ts.captures");
+  evictions_metric_ = registry->GetCounter("kc.ts.evicted_points");
+  series_gauge_ = registry->GetGauge("kc.ts.series");
+  series_gauge_->Set(static_cast<double>(series_.size()));
+}
+
+void TimeSeriesStore::PushLocked(const std::string& name, int64_t tick,
+                                 double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, Ring{}).first;
+    it->second.points.resize(config_.capacity);
+    if (series_gauge_ != nullptr) {
+      series_gauge_->Set(static_cast<double>(series_.size()));
+    }
+  }
+  Ring& ring = it->second;
+  ring.points[ring.head % ring.points.size()] = SeriesPoint{tick, value};
+  ++ring.head;
+  if (ring.head > ring.points.size() && evictions_metric_ != nullptr) {
+    evictions_metric_->Inc();
+  }
+}
+
+void TimeSeriesStore::Capture(const MetricRegistry& registry, int64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++captures_;
+  if (captures_metric_ != nullptr) captures_metric_->Inc();
+  for (const MetricRow& row : registry.Rows()) {
+    if (row.wall_clock && !config_.include_wall_clock) continue;
+    switch (row.kind) {
+      case MetricKind::kCounter: {
+        int64_t& last = last_counter_[row.name];
+        PushLocked(row.name + ".delta", tick,
+                   static_cast<double>(row.counter - last));
+        last = row.counter;
+        break;
+      }
+      case MetricKind::kGauge:
+        PushLocked(row.name + ".last", tick, row.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        std::vector<int64_t>& last = last_hist_counts_[row.name];
+        last.resize(row.hist_counts.size(), 0);
+        std::vector<int64_t> delta(row.hist_counts.size());
+        int64_t count_delta = 0;
+        for (size_t i = 0; i < row.hist_counts.size(); ++i) {
+          delta[i] = row.hist_counts[i] - last[i];
+          count_delta += delta[i];
+        }
+        last = row.hist_counts;
+        PushLocked(row.name + ".count_delta", tick,
+                   static_cast<double>(count_delta));
+        // Windowed percentiles from the bucket-count deltas: what the
+        // lifetime histogram cannot answer once the distribution drifts.
+        PushLocked(row.name + ".p50", tick,
+                   HistogramQuantile(row.hist_bounds, delta, 0.50));
+        PushLocked(row.name + ".p90", tick,
+                   HistogramQuantile(row.hist_bounds, delta, 0.90));
+        PushLocked(row.name + ".p99", tick,
+                   HistogramQuantile(row.hist_bounds, delta, 0.99));
+        break;
+      }
+    }
+  }
+}
+
+size_t TimeSeriesStore::num_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+int64_t TimeSeriesStore::captures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captures_;
+}
+
+std::vector<std::string> TimeSeriesStore::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    (void)ring;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::Points(
+    std::string_view series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(std::string(series));
+  if (it == series_.end()) return {};
+  const Ring& ring = it->second;
+  uint64_t retained = std::min<uint64_t>(ring.head, ring.points.size());
+  std::vector<SeriesPoint> out;
+  out.reserve(retained);
+  for (uint64_t i = ring.head - retained; i < ring.head; ++i) {
+    out.push_back(ring.points[i % ring.points.size()]);
+  }
+  return out;
+}
+
+std::string TimeSeriesStore::ExportJson(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"capacity\":" << config_.capacity << ",\"captures\":" << captures_
+     << ",\"series\":[";
+  bool first_series = true;
+  for (const auto& [name, ring] : series_) {
+    if (!HasPrefix(name, prefix)) continue;
+    if (!first_series) os << ",";
+    first_series = false;
+    os << "{\"name\":\"" << name << "\",\"points\":[";
+    uint64_t retained = std::min<uint64_t>(ring.head, ring.points.size());
+    bool first_point = true;
+    for (uint64_t i = ring.head - retained; i < ring.head; ++i) {
+      const SeriesPoint& p = ring.points[i % ring.points.size()];
+      if (!first_point) os << ",";
+      first_point = false;
+      os << "[" << p.tick << "," << Num(p.value) << "]";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string TimeSeriesStore::ExportText(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, ring] : series_) {
+    if (!HasPrefix(name, prefix)) continue;
+    uint64_t retained = std::min<uint64_t>(ring.head, ring.points.size());
+    if (retained == 0) continue;
+    const SeriesPoint& last = ring.points[(ring.head - 1) % ring.points.size()];
+    os << StrFormat("%-48s n=%llu last=%s @ tick %lld\n", name.c_str(),
+                    static_cast<unsigned long long>(retained),
+                    Num(last.value).c_str(), static_cast<long long>(last.tick));
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace kc

@@ -1,0 +1,116 @@
+#ifndef KALMANCAST_OBS_TIMESERIES_H_
+#define KALMANCAST_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kc {
+namespace obs {
+
+/// Windowed metric time-series (docs/OBSERVABILITY.md, "Time-series
+/// rings"): lifetime counters answer "how many ever?", but operating a
+/// fleet needs "how many per window, lately?" — messages/sec saved vs.
+/// broadcast, corrections per window, latency percentiles over the last
+/// K windows. The store keeps one fixed-capacity ring of points per
+/// derived series and appends one point per Capture() call (the driver
+/// snapshots the merged registry every K ticks, after the barrier).
+///
+/// Derived series per metric kind:
+///  - counter `m`   -> `m.delta`        (increase during the window)
+///  - gauge `m`     -> `m.last`         (value at the window boundary)
+///  - histogram `m` -> `m.count_delta`  (records during the window)
+///                     `m.p50` / `m.p90` / `m.p99` (quantile estimates
+///                     over the window's bucket-count deltas — true
+///                     windowed percentiles, not lifetime ones)
+///
+/// Rings are preallocated at series creation, so steady-state captures
+/// are allocation-free per series (a metric appearing mid-run allocates
+/// its ring once, cold). Points carry the capture tick, never wall
+/// clock; with wall-clock metrics excluded (the default) every export is
+/// bit-identical across runs and thread counts. Capture() and the
+/// readers take one store mutex — the store is driver-thread-owned and
+/// read by telemetry endpoints between captures, never on the tick hot
+/// path.
+struct TimeSeriesConfig {
+  /// Points (windows) retained per series; older points are evicted.
+  size_t capacity = 64;
+  /// Derive series from wall-clock metrics too (breaks determinism of
+  /// exports; off by default).
+  bool include_wall_clock = false;
+};
+
+/// One window's datum: the capture tick and the derived value.
+struct SeriesPoint {
+  int64_t tick = 0;
+  double value = 0.0;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesConfig config = TimeSeriesConfig());
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Registers kc.ts.* meta-metrics (captures, series population, point
+  /// evictions) in `registry`.
+  void BindMetrics(MetricRegistry* registry);
+
+  /// Appends one point to every series derived from `registry`'s current
+  /// rows, stamped with `tick`. Call from the driver thread after the
+  /// barrier, every K ticks.
+  void Capture(const MetricRegistry& registry, int64_t tick);
+
+  size_t capacity() const { return config_.capacity; }
+  size_t num_series() const;
+  int64_t captures() const;
+
+  /// Series names, sorted (deterministic).
+  std::vector<std::string> SeriesNames() const;
+  /// Retained points, oldest first (empty for unknown series).
+  std::vector<SeriesPoint> Points(std::string_view series) const;
+
+  /// Deterministic exports; `prefix` scopes to series whose name starts
+  /// with it (same convention as ExportOptions::prefix).
+  ///   JSON: {"capacity":K,"captures":N,"series":[
+  ///           {"name":"...","points":[[tick,value],...]},...]}
+  ///   Text: one "name  n=<points> last=<value> @ tick <tick>" line per
+  ///         series.
+  std::string ExportJson(std::string_view prefix = {}) const;
+  std::string ExportText(std::string_view prefix = {}) const;
+
+  const TimeSeriesConfig& config() const { return config_; }
+
+ private:
+  struct Ring {
+    std::vector<SeriesPoint> points;  ///< Sized `capacity` at creation.
+    uint64_t head = 0;                ///< Total pushes (monotonic).
+  };
+
+  /// Looks up or creates (preallocating the ring) a series; pushes one
+  /// point. Caller holds mu_.
+  void PushLocked(const std::string& name, int64_t tick, double value);
+
+  TimeSeriesConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> series_;
+  /// Previous capture's cumulative values, for window deltas.
+  std::map<std::string, int64_t> last_counter_;
+  std::map<std::string, std::vector<int64_t>> last_hist_counts_;
+  int64_t captures_ = 0;
+
+  Counter* captures_metric_ = nullptr;   ///< kc.ts.captures
+  Counter* evictions_metric_ = nullptr;  ///< kc.ts.evicted_points
+  Gauge* series_gauge_ = nullptr;        ///< kc.ts.series
+};
+
+}  // namespace obs
+}  // namespace kc
+
+#endif  // KALMANCAST_OBS_TIMESERIES_H_

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include "common/strings.h"
+#include "obs/audit.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -41,6 +42,17 @@ void StreamServer::RecordQueryOutcome(bool ok, bool stale) const {
   }
   metrics_.queries_served->Inc();
   if (stale) metrics_.queries_stale->Inc();
+}
+
+void StreamServer::RecordQueryAudit(const std::string& name,
+                                    const QueryResult* result) const {
+  if (auditor_ == nullptr) return;
+  if (result == nullptr) {
+    auditor_->OnQuery(name, /*ok=*/false, false, false, false);
+    return;
+  }
+  auditor_->OnQuery(name, /*ok=*/true, result->stale, result->degraded,
+                    result->health != obs::HealthState::kOk);
 }
 
 Status StreamServer::RegisterSource(int32_t source_id,
@@ -150,6 +162,7 @@ StatusOr<QueryResult> StreamServer::Evaluate(const std::string& name) const {
   KC_TRACE_SCOPE("server.evaluate");
   StatusOr<QueryResult> result = queries_.Evaluate(*this, name);
   RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  RecordQueryAudit(name, result.ok() ? &*result : nullptr);
   return result;
 }
 
@@ -157,20 +170,27 @@ StatusOr<QueryResult> StreamServer::EvaluateSpec(const QuerySpec& spec,
                                                  const std::string& name) const {
   StatusOr<QueryResult> result = EvaluateSpecOn(*this, spec, name);
   RecordQueryOutcome(result.ok(), result.ok() && result->stale);
+  RecordQueryAudit(name, result.ok() ? &*result : nullptr);
   return result;
 }
 
 std::vector<QueryResult> StreamServer::EvaluateAll() const {
   KC_TRACE_SCOPE("server.evaluate_all");
   std::vector<QueryResult> results = queries_.EvaluateAll(*this);
-  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  for (const QueryResult& r : results) {
+    RecordQueryOutcome(true, r.stale);
+    RecordQueryAudit(r.name, &r);
+  }
   return results;
 }
 
 std::vector<QueryResult> StreamServer::EvaluateDue() {
   KC_TRACE_SCOPE("server.evaluate_due");
   std::vector<QueryResult> results = queries_.EvaluateDue(*this);
-  for (const QueryResult& r : results) RecordQueryOutcome(true, r.stale);
+  for (const QueryResult& r : results) {
+    RecordQueryOutcome(true, r.stale);
+    RecordQueryAudit(r.name, &r);
+  }
   return results;
 }
 

@@ -23,6 +23,7 @@ class Gauge;
 class HealthMonitor;
 class Histogram;
 class MetricRegistry;
+class PrecisionAuditor;
 }  // namespace obs
 
 /// The stream management server: a registry of per-source predictor
@@ -179,6 +180,13 @@ class StreamServer : public SourceView {
   /// The watchdog's verdict for one source (kOk when no watchdog bound).
   obs::HealthState HealthOf(int32_t source_id) const override;
 
+  /// Attaches the precision auditor's query ledger: every evaluation on
+  /// this server is tallied per query name (served/failed/stale/degraded/
+  /// unhealthy). Source-level audit sampling is driven by the deployment
+  /// that owns both protocol ends (the fleet), not here. Pass nullptr to
+  /// detach.
+  void BindAudit(obs::PrecisionAuditor* auditor) { auditor_ = auditor; }
+
  private:
   /// Arena handles, cached at bind time; null until BindMetrics.
   struct Metrics {
@@ -196,6 +204,11 @@ class StreamServer : public SourceView {
   /// Mirrors one query evaluation onto the arena (no-op when unbound).
   void RecordQueryOutcome(bool ok, bool stale) const;
 
+  /// Mirrors one evaluation into the audit ledger (no-op when unbound).
+  /// `result` is null for failed evaluations.
+  void RecordQueryAudit(const std::string& name,
+                        const QueryResult* result) const;
+
   /// Wires one replica's outbound RESYNC_REQUESTs into the control sink.
   void InstallControlSender(ServerReplica* replica);
 
@@ -212,6 +225,7 @@ class StreamServer : public SourceView {
   obs::MetricRegistry* registry_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
   obs::HealthMonitor* health_ = nullptr;
+  obs::PrecisionAuditor* auditor_ = nullptr;
   size_t archive_capacity_ = 0;  ///< 0 = archiving disabled.
   int64_t ticks_ = 0;
   int64_t messages_processed_ = 0;

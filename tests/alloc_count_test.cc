@@ -21,6 +21,7 @@
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "net/message.h"
+#include "obs/audit.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -266,6 +267,60 @@ TEST(ZeroAllocTest, RecorderAndHealthSuppressedTicksStayAllocationFree) {
   EXPECT_GT(entry->nis_windows(), 5);
   EXPECT_EQ(entry->state(), obs::HealthState::kOk);
   EXPECT_EQ(registry.GetCounter("kc.recorder.events")->value(), 325);
+}
+
+TEST(ZeroAllocTest, AuditedSuppressedTicksStayAllocationFree) {
+  // The precision auditor's hot path on top of the full observability
+  // stack: every tick computes the contract error and feeds Sample(),
+  // with metrics, the flight recorder, and the watchdog all bound. The
+  // loop spans many SLO window closes (window 16, 320 audited ticks), so
+  // the windowed state machine — transitions included — must also be
+  // allocation-free.
+  obs::MetricRegistry registry;
+  obs::FlightRecorder recorder(64);
+  obs::HealthMonitor health;
+  recorder.BindMetrics(&registry);
+  health.BindMetrics(&registry);
+  health.ForSource(0, /*obs_dim=*/1);
+  obs::AuditConfig audit_config;
+  audit_config.sample_every = 1;
+  audit_config.slo_window_ticks = 16;
+  obs::PrecisionAuditor auditor(audit_config);
+  auditor.BindMetrics(&registry);
+  auditor.BindRecorder(&recorder);
+  auditor.BindHealth(&health);
+  obs::SourceAudit* audit = auditor.ForSource(0);  // Cold path.
+
+  KalmanPredictor::Config config;
+  config.model = MakeConstantVelocityModel(1.0, 0.1, 0.25);
+  config.outlier_gate_prob = 0.999;
+  KalmanPredictor predictor(std::move(config));
+  Reading first;
+  first.value = Vector{0.0};
+  predictor.Init(first);
+
+  Rng rng(7);
+  auto tick = [&](int64_t seq) {
+    Reading z;
+    z.seq = seq;
+    z.time = static_cast<double>(seq);
+    z.value = Vector{rng.Gaussian(0.0, 0.3)};
+    predictor.Tick();
+    predictor.ObserveLocal(z);
+    Vector err = predictor.Target() - predictor.Predict();
+    double e = err.NormInf();
+    audit->Sample(seq, e, /*bound=*/0.5, /*staleness_ticks=*/0,
+                  /*degraded=*/false);
+    return e;
+  };
+  for (int64_t s = 1; s <= 5; ++s) tick(s);
+  long before = AllocCount();
+  double acc = 0.0;
+  for (int64_t s = 6; s <= 325; ++s) acc += tick(s);
+  EXPECT_EQ(AllocCount() - before, 0) << "accumulated drift " << acc;
+  EXPECT_EQ(audit->samples(), 325);
+  EXPECT_GT(audit->windows(), 10);
+  EXPECT_EQ(registry.GetCounter("kc.audit.samples")->value(), 325);
 }
 
 TEST(ZeroAllocTest, PooledFleetTickSteadyStateIsAllocationFree) {

@@ -221,7 +221,7 @@ TEST(ExportTest, TextGolden) {
       "kc.a.counter                             counter   42\n"
       "kc.b.gauge                               gauge     2.5\n"
       "kc.c.hist                                histogram "
-      "count=3 sum=11 mean=3.66666667\n"
+      "count=3 sum=11 mean=3.66666667 p50=1.5 p90=2 p99=2\n"
       "                                           le 1: 1\n"
       "                                           le 2: 1\n"
       "                                           le +Inf: 1\n";
@@ -235,7 +235,8 @@ TEST(ExportTest, JsonLinesGolden) {
       "{\"name\":\"kc.a.counter\",\"kind\":\"counter\",\"value\":42}\n"
       "{\"name\":\"kc.b.gauge\",\"kind\":\"gauge\",\"value\":2.5}\n"
       "{\"name\":\"kc.c.hist\",\"kind\":\"histogram\",\"count\":3,"
-      "\"sum\":11,\"buckets\":[{\"le\":1,\"n\":1},{\"le\":2,\"n\":1},"
+      "\"sum\":11,\"p50\":1.5,\"p90\":2,\"p99\":2,"
+      "\"buckets\":[{\"le\":1,\"n\":1},{\"le\":2,\"n\":1},"
       "{\"le\":\"+Inf\",\"n\":1}]}\n";
   EXPECT_EQ(ExportJsonLines(registry, /*include_wall_clock=*/false), expected);
 }
@@ -348,6 +349,94 @@ TEST(ExportTest, JsonLinesParsesBack) {
         break;
     }
   }
+}
+
+// ------------------------------------------------------------- quantiles
+
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZero) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("kc.q.empty", Buckets::Linear(1.0, 1.0, 4));
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_EQ(HistogramQuantile({1.0, 2.0}, {0, 0, 0}, 0.99), 0.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesLinearlyInsideBucket) {
+  // 10 records in (0, 10]: rank q*10 interpolates from the bucket's lower
+  // edge (0 for the first bucket).
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {10, 0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {10, 0}, 0.25), 2.5);
+  // Second bucket (10, 20]: 4 below, rank 7 lands 3/6 into it.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {4, 6, 0}, 0.7), 15.0);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClampsToLastBound) {
+  // Everything beyond the last finite bound: the estimate cannot invent an
+  // upper edge, so it reports the last bound (Prometheus convention).
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 2.0}, {0, 0, 5}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 2.0}, {1, 1, 8}, 0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, ClampsQOutsideUnitInterval) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {10, 0}, -0.5),
+                   HistogramQuantile({10.0}, {10, 0}, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {10, 0}, 2.0),
+                   HistogramQuantile({10.0}, {10, 0}, 1.0));
+}
+
+TEST(HistogramQuantileTest, MemberMatchesFreeFunction) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("kc.q.member", Buckets::Linear(1.0, 1.0, 4));
+  for (double v : {0.5, 1.5, 1.7, 2.5, 3.5, 9.0}) h->Record(v);
+  MetricRow row;
+  for (const MetricRow& r : registry.Rows()) {
+    if (r.name == "kc.q.member") row = r;
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->Quantile(q),
+                     HistogramQuantile(row.hist_bounds, row.hist_counts, q));
+  }
+}
+
+// --------------------------------------------------------- prefix filters
+
+TEST(ExportTest, PrefixFiltersEveryFormat) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  // Text/JSON/Prometheus all honour the same raw-dotted-name prefix.
+  std::string text = ExportText(registry, /*include_wall_clock=*/false,
+                                /*prefix=*/"kc.a");
+  EXPECT_EQ(text,
+            "kc.a.counter                             counter   42\n");
+  std::string json = ExportJsonLines(registry, /*include_wall_clock=*/false,
+                                     /*prefix=*/"kc.b");
+  EXPECT_EQ(json, "{\"name\":\"kc.b.gauge\",\"kind\":\"gauge\","
+                  "\"value\":2.5}\n");
+  std::string prom = ExportPrometheus(registry, /*include_wall_clock=*/false,
+                                      /*prefix=*/"kc.c");
+  EXPECT_NE(prom.find("kc_c_hist_count 3\n"), std::string::npos);
+  EXPECT_EQ(prom.find("kc_a_counter"), std::string::npos);
+  EXPECT_EQ(prom.find("kc_b_gauge"), std::string::npos);
+}
+
+TEST(ExportTest, PrefixWithNoMatchesRendersNothing) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  EXPECT_EQ(ExportText(registry, false, "kc.nope"), "");
+  EXPECT_EQ(ExportJsonLines(registry, false, "kc.nope"), "");
+  EXPECT_EQ(ExportPrometheus(registry, false, "kc.nope"), "");
+}
+
+TEST(ExportTest, ExportRowsMatchesExportMetrics) {
+  MetricRegistry registry;
+  FillGolden(&registry);
+  ExportOptions options;
+  options.format = ExportFormat::kPrometheus;
+  options.include_wall_clock = false;
+  options.prefix = "kc.";
+  EXPECT_EQ(ExportRows(registry.Rows(), options),
+            ExportMetrics(registry, options));
 }
 
 // ------------------------------------------------------- conflict reporting

@@ -167,6 +167,9 @@ struct ObsArtifacts {
   std::string recorder_json;
   std::string health_summary;
   std::string metrics;
+  std::string audit_text;
+  std::string audit_json;
+  std::string audit_summary;
   std::vector<obs::HealthState> states;
 };
 
@@ -189,6 +192,10 @@ ObsArtifacts RunShardedObservability(size_t threads) {
   obs::HealthConfig health;
   health.nis_window = 16;
   fleet.EnableHealth(health);
+  obs::AuditConfig audit;
+  audit.sample_every = 2;
+  audit.slo_window_ticks = 64;
+  fleet.EnableAudit(audit);
   AddStandardSources(fleet, 12);
   EXPECT_TRUE(fleet.Run(300).ok());
 
@@ -196,6 +203,9 @@ ObsArtifacts RunShardedObservability(size_t threads) {
   out.recorder_text = fleet.DumpFlightRecorderText();
   out.recorder_json = fleet.server().DumpFlightRecorderJson();
   out.health_summary = fleet.HealthSummaryText();
+  out.audit_text = fleet.AuditReportText();
+  out.audit_json = fleet.AuditReportJson();
+  out.audit_summary = fleet.AuditSummaryLine();
   obs::MetricRegistry merged;
   fleet.MergeMetricsInto(&merged);
   out.metrics = obs::ExportText(merged, /*include_wall_clock=*/false);
@@ -210,6 +220,9 @@ TEST(ShardedFleetTest, ObservabilityArtifactsBitIdenticalForAnyThreadCount) {
   EXPECT_EQ(one.recorder_json, four.recorder_json);
   EXPECT_EQ(one.health_summary, four.health_summary);
   EXPECT_EQ(one.metrics, four.metrics);
+  EXPECT_EQ(one.audit_text, four.audit_text);
+  EXPECT_EQ(one.audit_json, four.audit_json);
+  EXPECT_EQ(one.audit_summary, four.audit_summary);
   EXPECT_EQ(one.states, four.states);
 
   // The run actually exercised the interesting paths: faults left a
@@ -233,6 +246,14 @@ TEST(ShardedFleetTest, ObservabilityArtifactsBitIdenticalForAnyThreadCount) {
   EXPECT_NE(one.metrics.find("kc.recorder.events"), std::string::npos);
   EXPECT_NE(one.metrics.find("kc.health.nis_windows"), std::string::npos);
   EXPECT_NE(one.metrics.find("kc.health.sources_ok"), std::string::npos);
+  // The precision auditor rode along: per-source report lines, a fleet
+  // summary, and its metric family all landed in the artefacts.
+  EXPECT_NE(one.audit_text.find("source    0"), std::string::npos);
+  EXPECT_NE(one.audit_text.find("source   11"), std::string::npos);
+  EXPECT_NE(one.audit_summary.find("audit: sources=12"), std::string::npos);
+  EXPECT_NE(one.audit_json.find("\"totals\":"), std::string::npos);
+  EXPECT_NE(one.metrics.find("kc.audit.samples"), std::string::npos);
+  EXPECT_NE(one.metrics.find("kc.health.audit_breaches"), std::string::npos);
 }
 
 TEST(ShardedFleetTest, MetricsMirrorProtocolCounters) {

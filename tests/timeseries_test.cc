@@ -1,0 +1,186 @@
+// The windowed metric time-series store: counter deltas, gauge samples,
+// true windowed histogram percentiles, ring eviction, and the
+// deterministic JSON/text exports the HTTP endpoint serves.
+
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kc {
+namespace obs {
+namespace {
+
+TEST(TimeSeriesTest, CounterSeriesCarriesWindowDeltas) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kc.x.messages");
+  TimeSeriesStore store;
+  c->Inc(3);
+  store.Capture(registry, /*tick=*/10);
+  c->Inc(5);
+  store.Capture(registry, 20);
+  store.Capture(registry, 30);  // Quiet window.
+  std::vector<SeriesPoint> points = store.Points("kc.x.messages.delta");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].tick, 10);
+  EXPECT_DOUBLE_EQ(points[0].value, 3.0);
+  EXPECT_EQ(points[1].tick, 20);
+  EXPECT_DOUBLE_EQ(points[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(points[2].value, 0.0);
+}
+
+TEST(TimeSeriesTest, GaugeSeriesSamplesTheBoundaryValue) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("kc.x.level");
+  TimeSeriesStore store;
+  g->Set(4.5);
+  store.Capture(registry, 1);
+  g->Set(-2.0);
+  store.Capture(registry, 2);
+  std::vector<SeriesPoint> points = store.Points("kc.x.level.last");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 4.5);
+  EXPECT_DOUBLE_EQ(points[1].value, -2.0);
+}
+
+TEST(TimeSeriesTest, HistogramSeriesAreWindowedNotLifetime) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("kc.x.lat", Buckets::Linear(1.0, 1.0, 4));
+  TimeSeriesStore store;
+  // Window 1: all fast (bucket <= 1).
+  for (int i = 0; i < 10; ++i) h->Record(0.5);
+  store.Capture(registry, 100);
+  // Window 2: all slow (bucket <= 4). A lifetime p50 would still sit in
+  // the fast bucket; the windowed p50 must move to the slow one.
+  for (int i = 0; i < 10; ++i) h->Record(3.5);
+  store.Capture(registry, 200);
+
+  std::vector<SeriesPoint> count = store.Points("kc.x.lat.count_delta");
+  ASSERT_EQ(count.size(), 2u);
+  EXPECT_DOUBLE_EQ(count[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(count[1].value, 10.0);
+  std::vector<SeriesPoint> p50 = store.Points("kc.x.lat.p50");
+  ASSERT_EQ(p50.size(), 2u);
+  EXPECT_LE(p50[0].value, 1.0);
+  EXPECT_GT(p50[1].value, 3.0);
+  EXPECT_LE(p50[1].value, 4.0);
+  // p99 of the slow window also lands in the slow bucket.
+  std::vector<SeriesPoint> p99 = store.Points("kc.x.lat.p99");
+  EXPECT_GT(p99[1].value, p50[1].value - 1.0);
+}
+
+TEST(TimeSeriesTest, RingEvictsOldestAtCapacity) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kc.x.n");
+  TimeSeriesConfig config;
+  config.capacity = 4;
+  TimeSeriesStore store(config);
+  MetricRegistry meta;
+  store.BindMetrics(&meta);
+  for (int64_t t = 1; t <= 6; ++t) {
+    c->Inc();
+    store.Capture(registry, t * 10);
+  }
+  std::vector<SeriesPoint> points = store.Points("kc.x.n.delta");
+  ASSERT_EQ(points.size(), 4u);  // Two oldest evicted.
+  EXPECT_EQ(points.front().tick, 30);
+  EXPECT_EQ(points.back().tick, 60);
+  EXPECT_EQ(store.captures(), 6);
+  EXPECT_EQ(meta.GetCounter("kc.ts.captures")->value(), 6);
+  EXPECT_EQ(meta.GetCounter("kc.ts.evicted_points")->value(), 2);
+  EXPECT_DOUBLE_EQ(meta.GetGauge("kc.ts.series")->value(), 1.0);
+}
+
+TEST(TimeSeriesTest, WallClockMetricsAreExcludedByDefault) {
+  MetricRegistry registry;
+  registry.GetHistogram("kc.time.step", Buckets::Linear(1.0, 1.0, 2),
+                        /*wall_clock=*/true)
+      ->Record(1.5);
+  registry.GetCounter("kc.x.steady")->Inc();
+  TimeSeriesStore store;
+  store.Capture(registry, 1);
+  EXPECT_EQ(store.Points("kc.time.step.p50").size(), 0u);
+  EXPECT_EQ(store.Points("kc.x.steady.delta").size(), 1u);
+
+  TimeSeriesConfig config;
+  config.include_wall_clock = true;
+  TimeSeriesStore with_wall(config);
+  with_wall.Capture(registry, 1);
+  EXPECT_EQ(with_wall.Points("kc.time.step.p50").size(), 1u);
+}
+
+TEST(TimeSeriesTest, SeriesNamesAreSortedAndStable) {
+  MetricRegistry registry;
+  registry.GetGauge("kc.b.g")->Set(1.0);
+  registry.GetCounter("kc.a.c")->Inc();
+  TimeSeriesStore store;
+  store.Capture(registry, 1);
+  EXPECT_EQ(store.SeriesNames(),
+            (std::vector<std::string>{"kc.a.c.delta", "kc.b.g.last"}));
+  EXPECT_EQ(store.num_series(), 2u);
+  EXPECT_TRUE(store.Points("kc.unknown").empty());
+}
+
+TEST(TimeSeriesTest, ExportJsonGolden) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kc.a.c");
+  TimeSeriesConfig config;
+  config.capacity = 8;
+  TimeSeriesStore store(config);
+  c->Inc(2);
+  store.Capture(registry, 5);
+  c->Inc(1);
+  store.Capture(registry, 6);
+  EXPECT_EQ(store.ExportJson(),
+            "{\"capacity\":8,\"captures\":2,\"series\":["
+            "{\"name\":\"kc.a.c.delta\",\"points\":[[5,2],[6,1]]}]}");
+  // Renders are repeatable byte for byte.
+  EXPECT_EQ(store.ExportJson(), store.ExportJson());
+}
+
+TEST(TimeSeriesTest, ExportsHonorThePrefixFilter) {
+  MetricRegistry registry;
+  registry.GetCounter("kc.audit.samples")->Inc(4);
+  registry.GetGauge("kc.server.sources")->Set(9.0);
+  TimeSeriesStore store;
+  store.Capture(registry, 7);
+
+  std::string scoped = store.ExportJson("kc.audit");
+  EXPECT_NE(scoped.find("kc.audit.samples.delta"), std::string::npos);
+  EXPECT_EQ(scoped.find("kc.server.sources"), std::string::npos);
+
+  std::string text = store.ExportText("kc.server");
+  EXPECT_EQ(text.find("kc.audit"), std::string::npos);
+  EXPECT_NE(text.find("kc.server.sources.last"), std::string::npos);
+  EXPECT_NE(text.find("n=1 last=9 @ tick 7"), std::string::npos);
+
+  // An unmatched prefix renders the empty document, not an error.
+  EXPECT_EQ(store.ExportText("nope"), "");
+  EXPECT_EQ(store.ExportJson("nope"),
+            "{\"capacity\":64,\"captures\":1,\"series\":[]}");
+}
+
+TEST(TimeSeriesTest, ZeroCapacityIsClampedToOne) {
+  TimeSeriesConfig config;
+  config.capacity = 0;
+  TimeSeriesStore store(config);
+  EXPECT_EQ(store.capacity(), 1u);
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kc.x");
+  c->Inc();
+  store.Capture(registry, 1);
+  c->Inc();
+  store.Capture(registry, 2);
+  std::vector<SeriesPoint> points = store.Points("kc.x.delta");
+  ASSERT_EQ(points.size(), 1u);  // Only the newest point survives.
+  EXPECT_EQ(points[0].tick, 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kc
