@@ -47,6 +47,23 @@
 //                          /timeseries). Implies metrics.
 //   --serve-seconds=S      keep the HTTP endpoint up S seconds after the
 //                          run (so you can curl the final state).
+//
+// Split-process deployment (docs/PROTOCOL.md, "Split-process deployment"):
+//   --listen=PORT          run the stream-server half over real sockets
+//                          (UDP uplink + TCP control on PORT); serves one
+//                          client, prints its delivery books, exits.
+//   --connect=HOST:PORT    run the sensor-fleet half against a listening
+//                          server; prints its send books on exit.
+//   --ticks=N              override the run length (default 2880).
+//   --net-stats            after a simulated run, print the same
+//                          normalized "uplink sent/delivered" book lines
+//                          the split halves print — identical strings
+//                          mean the socket transport charged exactly the
+//                          bytes the simulation predicts (pinned by
+//                          scripts/ci_asan.sh).
+// Both halves rebuild the identical workload (sensor configs, volatility
+// probes, variance-proportional bounds) from the same seeds, so no
+// configuration travels out of band.
 
 #include <chrono>
 #include <cstdio>
@@ -65,6 +82,7 @@
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "server/allocation.h"
+#include "server/split_deploy.h"
 #include "streams/generators.h"
 #include "streams/noise.h"
 #include "suppression/policies.h"
@@ -123,11 +141,107 @@ bool ParseFaults(const char* spec, kc::ShardedFleet::Config* config) {
   return true;
 }
 
+// The workload both deployment shapes (simulated fleet, split processes)
+// reconstruct from seeds alone: the sensor prototypes and the
+// variance-proportional precision bounds.
+struct Workload {
+  std::vector<std::unique_ptr<kc::StreamGenerator>> sensors;
+  std::vector<double> deltas;
+};
+
+Workload BuildWorkload(int num_sensors, double avg_budget) {
+  kc::Rng rng(2026);
+  Workload w;
+  std::vector<double> volatilities;
+  for (int i = 0; i < num_sensors; ++i) {
+    auto gen = MakeSensor(rng);
+    // Peek one day to estimate per-tick volatility for allocation.
+    auto probe = gen->Clone();
+    probe->Reset(1000 + static_cast<uint64_t>(i));
+    double prev = probe->Next().measured.scalar();
+    kc::RunningStats deltas;
+    for (int t = 1; t < 288; ++t) {
+      double v = probe->Next().measured.scalar();
+      deltas.Add(v - prev);
+      prev = v;
+    }
+    volatilities.push_back(deltas.stddev());
+    w.sensors.push_back(std::move(gen));
+  }
+  // Budget: the building-wide average must be accurate to avg_budget
+  // degrees; the sum budget splits across members by volatility.
+  w.deltas = kc::AllocateBounds(kc::AllocationPolicy::kVarianceProportional,
+                                avg_budget * num_sensors, volatilities);
+  return w;
+}
+
+// One half of the split-process deployment. Runs the server when
+// `listen` is set, the client otherwise; either way the workload is
+// rebuilt locally so both processes agree by construction.
+int RunSplitMode(bool listen, const std::string& host, int port, size_t ticks,
+                 int num_sensors, double avg_budget) {
+  Workload w = BuildWorkload(num_sensors, avg_budget);
+  kc::SplitConfig config;
+  config.host = host;
+  config.port = port;
+  config.ticks = ticks;
+  config.num_sources = num_sensors;
+  config.seed = 1;  // == ShardedFleet::Config default, so streams match.
+  config.deltas = w.deltas;
+  auto make_predictor = [](int32_t) {
+    return kc::MakeDefaultKalmanPredictor(0.01, 0.09);
+  };
+
+  if (listen) {
+    std::printf("split server: listening on %s:%d (UDP uplink + TCP "
+                "control), %d sensors, %zu ticks\n",
+                host.c_str(), port, num_sensors, ticks);
+    auto report = kc::RunSplitServer(config, make_predictor);
+    if (!report.ok()) {
+      std::fprintf(stderr, "split server: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("split server: %lld tick barriers, %d/%d replicas "
+                "initialized, %lld malformed frames, %lld resyncs "
+                "requested, mean answer %.3f\n",
+                static_cast<long long>(report->ticks), report->initialized,
+                num_sensors, static_cast<long long>(report->frames_rejected),
+                static_cast<long long>(report->resyncs_requested),
+                report->mean_value);
+    std::printf("uplink delivered: %s\n",
+                report->uplink.DeliveredLine().c_str());
+    return 0;
+  }
+
+  auto make_generator = [&w](int32_t id) {
+    return w.sensors[static_cast<size_t>(id)]->Clone();
+  };
+  std::printf("split client: connecting to %s:%d, %d sensors, %zu ticks\n",
+              host.c_str(), port, num_sensors, ticks);
+  auto report = kc::RunSplitClient(config, make_generator, make_predictor);
+  if (!report.ok()) {
+    std::fprintf(stderr, "split client: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("split client: %lld ticks, %lld corrections, %lld suppressed "
+              "(%.4f suppression), %lld resyncs served\n",
+              static_cast<long long>(report->ticks),
+              static_cast<long long>(report->corrections),
+              static_cast<long long>(report->suppressed),
+              report->suppression_ratio,
+              static_cast<long long>(report->resyncs_served));
+  std::printf("uplink sent: %s\n", report->uplink.SentLine().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   constexpr int kSensors = 100;
-  constexpr size_t kTicks = 2880;  // 10 days of 5-minute samples.
+  size_t ticks = 2880;  // 10 days of 5-minute samples.
+  constexpr double kAvgBudget = 0.25;
 
   kc::ShardedFleet::Config fleet_config;
   bool metrics_dump = false;
@@ -138,6 +252,9 @@ int main(int argc, char** argv) {
   long timeseries_every = 0;  // 0 = time-series off.
   int http_port = -1;         // -1 = endpoint off (0 = ephemeral port).
   long serve_seconds = 0;
+  int listen_port = -1;          // >= 0 = split-server role.
+  std::string connect_spec;      // non-empty = split-client role.
+  bool net_stats = false;
   kc::obs::ExportOptions dump_options;
   dump_options.include_wall_clock = false;
   for (int i = 1; i < argc; ++i) {
@@ -182,7 +299,38 @@ int main(int argc, char** argv) {
       http_port = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
       serve_seconds = std::atol(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      listen_port = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_spec = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--ticks=", 8) == 0) {
+      long v = std::atol(argv[i] + 8);
+      if (v > 0) ticks = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--net-stats") == 0) {
+      net_stats = true;
     }
+  }
+  if (listen_port >= 0) {
+    return RunSplitMode(/*listen=*/true, "127.0.0.1", listen_port, ticks,
+                        kSensors, kAvgBudget);
+  }
+  if (!connect_spec.empty()) {
+    std::string host = "127.0.0.1";
+    int port;
+    size_t colon = connect_spec.rfind(':');
+    if (colon != std::string::npos) {
+      host = connect_spec.substr(0, colon);
+      port = std::atoi(connect_spec.c_str() + colon + 1);
+    } else {
+      port = std::atoi(connect_spec.c_str());  // Bare port: localhost.
+    }
+    if (port <= 0) {
+      std::fprintf(stderr, "--connect wants HOST:PORT, got %s\n",
+                   connect_spec.c_str());
+      return 1;
+    }
+    return RunSplitMode(/*listen=*/false, host, port, ticks, kSensors,
+                        kAvgBudget);
   }
   const bool faulty = fleet_config.channel.faults.any_enabled() ||
                       fleet_config.channel.loss_prob > 0.0;
@@ -217,36 +365,21 @@ int main(int argc, char** argv) {
                 fleet.http()->port());
   }
   if (trace_file != nullptr) kc::obs::SetTracingEnabled(true);
-  kc::Rng rng(2026);
 
   // Every sensor runs the adaptive dual-Kalman predictor. The AVG query's
-  // error budget below is split across members with the variance-
-  // proportional policy once we've watched each stream for a day.
-  std::vector<double> volatilities;
+  // error budget is split across members with the variance-proportional
+  // policy after watching each stream for a probe day (BuildWorkload —
+  // shared with the split-process halves so every deployment shape runs
+  // the identical fleet).
+  Workload workload = BuildWorkload(kSensors, kAvgBudget);
   for (int i = 0; i < kSensors; ++i) {
-    auto gen = MakeSensor(rng);
-    // Peek one day to estimate per-tick volatility for allocation.
-    auto probe = gen->Clone();
-    probe->Reset(1000 + static_cast<uint64_t>(i));
-    double prev = probe->Next().measured.scalar();
-    kc::RunningStats deltas;
-    for (int t = 1; t < 288; ++t) {
-      double v = probe->Next().measured.scalar();
-      deltas.Add(v - prev);
-      prev = v;
-    }
-    volatilities.push_back(deltas.stddev());
-    fleet.AddSource(std::move(gen),
+    fleet.AddSource(std::move(workload.sensors[static_cast<size_t>(i)]),
                     kc::MakeDefaultKalmanPredictor(0.01, 0.09),
                     /*delta=*/0.5);
   }
-
-  // Budget: the building-wide average must be accurate to 0.25 degrees.
-  double avg_budget = 0.25;
-  double sum_budget = avg_budget * kSensors;
-  auto bounds = kc::AllocateBounds(kc::AllocationPolicy::kVarianceProportional,
-                                   sum_budget, volatilities);
-  for (int i = 0; i < kSensors; ++i) fleet.SetDelta(i, bounds[static_cast<size_t>(i)]);
+  for (int i = 0; i < kSensors; ++i) {
+    fleet.SetDelta(i, workload.deltas[static_cast<size_t>(i)]);
+  }
 
   // Register queries through the query language.
   std::vector<int32_t> all;
@@ -274,13 +407,13 @@ int main(int argc, char** argv) {
   std::printf("sensor_network: %d diurnal sensors, %zu ticks, AVG budget "
               "+/-%.2fC (variance-proportional split), %zu shards / %zu "
               "threads\n\n",
-              kSensors, kTicks, avg_budget, fleet.num_shards(),
+              kSensors, ticks, kAvgBudget, fleet.num_shards(),
               fleet.threads());
   std::printf("%8s %14s %10s %22s %16s\n", "tick", "building_avg", "bound",
               "true_avg (err)", "hot_zone trigger");
 
   kc::RunningStats avg_err;
-  for (size_t t = 0; t < kTicks; ++t) {
+  for (size_t t = 0; t < ticks; ++t) {
     if (!fleet.Step().ok()) {
       std::fprintf(stderr, "simulation error at tick %zu\n", t);
       return 1;
@@ -302,13 +435,23 @@ int main(int argc, char** argv) {
 
   long long messages = fleet.TotalMessages();
   double per_sensor_rate = static_cast<double>(messages) /
-                           (static_cast<double>(kSensors) * kTicks);
+                           (static_cast<double>(kSensors) * static_cast<double>(ticks));
   std::printf("\ntotal messages: %lld (%.4f per sensor-tick; naive streaming "
               "would be 1.0)\nworst daily AVG error: %.3fC against a "
               "guaranteed bound of %.3fC\n",
               messages, per_sensor_rate,
               std::max(std::fabs(avg_err.min()), std::fabs(avg_err.max())),
-              avg_budget);
+              kAvgBudget);
+
+  if (net_stats) {
+    // The same normalized book lines the split-process halves print:
+    // byte-for-byte identical output here and there means the socket
+    // transport and the simulated channel charge identical books for the
+    // identical workload (the parity contract in docs/PROTOCOL.md).
+    kc::NetworkStats net = fleet.TotalNetworkStats();
+    std::printf("\nuplink sent: %s\nuplink delivered: %s\n",
+                net.SentLine().c_str(), net.DeliveredLine().c_str());
+  }
 
   if (faulty) {
     kc::NetworkStats net = fleet.TotalNetworkStats();

@@ -23,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test sharded_fleet_test pool_test recovery_test \
   metrics_test recorder_test health_test trace_span_test \
-  audit_test timeseries_test http_exporter_test
+  audit_test timeseries_test http_exporter_test codec_test transport_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "$BUILD_DIR"/tests/thread_pool_test
@@ -56,5 +56,12 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # The HTTP server races its serving thread against driver-side Publish*
 # calls and Stop(); the loopback scrapes here exercise both.
 "$BUILD_DIR"/tests/http_exporter_test
+# Wire codec is pure code but runs here so its garbage matrix also gets
+# a -fsanitize=thread build's stricter codegen pass.
+"$BUILD_DIR"/tests/codec_test
+# SocketChannel loopback suite: SplitDeployTest runs the client and
+# server halves on two threads of one process, racing real socket I/O
+# against both reports — the transport's only multi-threaded consumer.
+"$BUILD_DIR"/tests/transport_test
 
 echo "ci_tsan: OK (no data races reported)"

@@ -69,7 +69,9 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
 
   Channel::Config channel_config = config_.channel;
   channel_config.seed = SourceUplinkSeed(config_.seed, id);
-  slot->channel = std::make_unique<Channel>(channel_config);
+  slot->channel = config_.uplink_factory
+                      ? config_.uplink_factory(id, channel_config)
+                      : std::make_unique<Channel>(channel_config);
   // The uplink delivers straight into the owning shard's StreamServer, so
   // a shard worker's sends never cross shard boundaries.
   StreamServer* shard_server = &server_.shard(shard_index);
@@ -94,7 +96,9 @@ int32_t ShardedFleet::AddSource(std::unique_ptr<StreamGenerator> generator,
 
   Channel::Config control_config = config_.control_channel;
   control_config.seed = SourceControlSeed(config_.seed, id);
-  slot->control_channel = std::make_unique<Channel>(control_config);
+  slot->control_channel = config_.control_factory
+                              ? config_.control_factory(id, control_config)
+                              : std::make_unique<Channel>(control_config);
   SourceAgent* agent = slot->agent.get();
   slot->control_channel->SetReceiver([agent](const Message& msg) {
     Status s = agent->OnControl(msg);

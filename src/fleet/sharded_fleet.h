@@ -73,6 +73,18 @@ class ShardedFleet {
     /// off — pinned by tests/batch_kernels_test.cc — so purely a bench/CI
     /// knob.
     bool simd = true;
+    /// Transport seam: when set, every source's uplink channel comes from
+    /// this factory instead of `new Channel(config)` — e.g. a socket
+    /// backend (net/transport.h) so the fleet's traffic crosses a real
+    /// wire. The factory receives the per-source config (seed already
+    /// derived); the fleet wires the receiver and metrics exactly as for
+    /// a simulated channel, so NetworkStats books stay comparable across
+    /// backends (pinned by tests/transport_test.cc).
+    using ChannelFactory = std::function<std::unique_ptr<Channel>(
+        int32_t id, const Channel::Config& config)>;
+    ChannelFactory uplink_factory;
+    /// Same seam for the server -> source control downlink.
+    ChannelFactory control_factory;
   };
 
   ShardedFleet();

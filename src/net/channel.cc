@@ -22,6 +22,8 @@ void NetworkStats::Merge(const NetworkStats& other) {
     by_type[i] += other.by_type[i];
     by_type_sent[i] += other.by_type_sent[i];
     by_type_dropped[i] += other.by_type_dropped[i];
+    by_type_bytes_sent[i] += other.by_type_bytes_sent[i];
+    by_type_bytes_delivered[i] += other.by_type_bytes_delivered[i];
   }
 }
 
@@ -37,6 +39,14 @@ std::string NetworkStats::ToString() const {
     os << MessageTypeName(static_cast<MessageType>(i)) << ":"
        << by_type_sent[i] << "/" << by_type[i] << "/" << by_type_dropped[i];
   }
+  os << "] bytes_by_type=[";
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    if (i > 0) os << " ";
+    // sent/delivered bytes per kind, charged from the same encoded-frame
+    // size model on every backend.
+    os << MessageTypeName(static_cast<MessageType>(i)) << ":"
+       << by_type_bytes_sent[i] << "/" << by_type_bytes_delivered[i];
+  }
   os << "]";
   if (messages_duplicated > 0 || messages_reordered > 0 || burst_drops > 0 ||
       partition_drops > 0) {
@@ -45,6 +55,33 @@ std::string NetworkStats::ToString() const {
        << " partition_drop=" << partition_drops << "]";
   }
   return os.str();
+}
+
+namespace {
+
+std::string BooksLine(const char* verb, int64_t messages, int64_t bytes,
+                      const int64_t counts[], const int64_t byte_counts[]) {
+  std::ostringstream os;
+  os << verb << "=" << messages << " bytes=" << bytes << " by_type=[";
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    if (i > 0) os << " ";
+    os << MessageTypeName(static_cast<MessageType>(i)) << ":" << counts[i]
+       << "/" << byte_counts[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::string NetworkStats::SentLine() const {
+  return BooksLine("sent", messages_sent, bytes_sent, by_type_sent,
+                   by_type_bytes_sent);
+}
+
+std::string NetworkStats::DeliveredLine() const {
+  return BooksLine("delivered", messages_delivered, bytes_delivered, by_type,
+                   by_type_bytes_delivered);
 }
 
 Channel::Channel() : Channel(Config()) {}
@@ -71,6 +108,10 @@ void Channel::BindMetrics(obs::MetricRegistry* registry) {
         registry->GetCounter(StrFormat("kc.net.delivered.%s", type));
     metrics_.dropped_by_type[i] =
         registry->GetCounter(StrFormat("kc.net.dropped.%s", type));
+    metrics_.bytes_sent_by_type[i] =
+        registry->GetCounter(StrFormat("kc.net.bytes_sent.%s", type));
+    metrics_.bytes_delivered_by_type[i] =
+        registry->GetCounter(StrFormat("kc.net.bytes_delivered.%s", type));
   }
   if (config_.faults.any_enabled()) {
     // Registered only on channels with a fault model, so fault-free
@@ -93,21 +134,32 @@ void Channel::ChargeDrop(size_t type) {
   }
 }
 
+void Channel::AccountSend(const Message& msg) {
+  size_t type = static_cast<size_t>(msg.type);
+  int64_t bytes = static_cast<int64_t>(msg.SizeBytes());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  ++stats_.by_type_sent[type];
+  stats_.by_type_bytes_sent[type] += bytes;
+  if (metrics_bound_) {
+    metrics_.messages_sent->Inc();
+    metrics_.bytes_sent->Inc(bytes);
+    metrics_.sent_by_type[type]->Inc();
+    metrics_.bytes_sent_by_type[type]->Inc(bytes);
+  }
+}
+
+void Channel::AccountDrop(const Message& msg) {
+  ChargeDrop(static_cast<size_t>(msg.type));
+}
+
 Status Channel::Send(const Message& msg) {
   KC_TRACE_SCOPE("net.send");
   if (!receiver_) {
     return Status::FailedPrecondition("channel has no receiver");
   }
   size_t type = static_cast<size_t>(msg.type);
-  int64_t bytes = static_cast<int64_t>(msg.SizeBytes());
-  ++stats_.messages_sent;
-  stats_.bytes_sent += bytes;
-  ++stats_.by_type_sent[type];
-  if (metrics_bound_) {
-    metrics_.messages_sent->Inc();
-    metrics_.bytes_sent->Inc(bytes);
-    metrics_.sent_by_type[type]->Inc();
-  }
+  AccountSend(msg);
   if (config_.faults.InPartition(now_)) {
     // The link is severed: the datagram vanishes. (In-flight messages
     // queued before the window opened are held, not dropped — see
@@ -182,12 +234,14 @@ void Channel::Deliver(const Message& msg) {
   ++stats_.messages_delivered;
   stats_.bytes_delivered += bytes;
   ++stats_.by_type[type];
+  stats_.by_type_bytes_delivered[type] += bytes;
   if (metrics_bound_) {
     metrics_.messages_delivered->Inc();
     metrics_.bytes_delivered->Inc(bytes);
     metrics_.delivered_by_type[type]->Inc();
+    metrics_.bytes_delivered_by_type[type]->Inc(bytes);
   }
-  receiver_(msg);
+  if (receiver_) receiver_(msg);
 }
 
 }  // namespace kc

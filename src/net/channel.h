@@ -43,6 +43,13 @@ struct NetworkStats {
   /// with `by_type` (delivered) they make loss visible per message kind.
   int64_t by_type_sent[kNumMessageTypes] = {};
   int64_t by_type_dropped[kNumMessageTypes] = {};
+  /// Per-type byte totals, indexed by MessageType. Charged from the same
+  /// SizeBytes() == encoded-frame-size model as the aggregate byte
+  /// counters, so a simulated Channel and a SocketChannel running the
+  /// same workload report identical breakdowns (the byte-parity contract
+  /// in docs/PROTOCOL.md).
+  int64_t by_type_bytes_sent[kNumMessageTypes] = {};
+  int64_t by_type_bytes_delivered[kNumMessageTypes] = {};
 
   void Reset() { *this = NetworkStats(); }
 
@@ -51,9 +58,19 @@ struct NetworkStats {
   void Merge(const NetworkStats& other);
 
   /// "sent=... delivered=... dropped=... bytes_sent=... bytes_delivered=...
-  ///  by_type=[TYPE:sent/delivered/dropped ...]", followed by a
+  ///  by_type=[TYPE:sent/delivered/dropped ...]
+  ///  bytes_by_type=[TYPE:sent/delivered ...]", followed by a
   /// " faults=[...]" section only when fault events occurred.
   std::string ToString() const;
+
+  /// Normalized one-line send-side books:
+  ///   "sent=N bytes=B by_type=[TYPE:count/bytes ...]"
+  /// Identical strings from a simulated run's merged stats and a socket
+  /// sender's stats mean identical books — the diffable surface the
+  /// split-process CI smoke compares (scripts/ci_asan.sh).
+  std::string SentLine() const;
+  /// Normalized one-line delivery-side books, same shape as SentLine.
+  std::string DeliveredLine() const;
 };
 
 /// Simulated source-to-server link with exact message/byte accounting —
@@ -66,6 +83,13 @@ struct NetworkStats {
 /// recovery protocol; the paper's exact precision contract holds on a
 /// lossless channel, and recovery (docs/PROTOCOL.md, "Recovery & fault
 /// model") restores it within a bounded window after faults.
+///
+/// Channel is also the transport seam: Send() and AdvanceTick() are
+/// virtual, and net/transport.h's SocketChannel reimplements them over
+/// real UDP/TCP sockets while reusing this class's accounting (the
+/// protected Account* helpers), so NetworkStats and the mirrored kc.net.*
+/// metrics mean the same thing on every backend. This simulated
+/// implementation stays the deterministic test backend.
 class Channel {
  public:
   using Receiver = std::function<void(const Message&)>;
@@ -86,6 +110,10 @@ class Channel {
 
   Channel();
   explicit Channel(Config config);
+  virtual ~Channel() = default;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
 
   /// Installs the delivery callback (the server side).
   void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
@@ -103,14 +131,16 @@ class Channel {
   /// queues it for delivery `latency_ticks` (+ any reordering delay)
   /// AdvanceTick() calls later. During a partition window the message is
   /// dropped. Fails if no receiver is installed.
-  Status Send(const Message& msg);
+  virtual Status Send(const Message& msg);
 
   /// Advances simulated time one tick and delivers every due in-flight
   /// message (in send order; reordered messages wait for their extra
   /// delay). During a partition window nothing is delivered — held
   /// messages drain on the first tick after the window closes. No-op on
-  /// zero-latency fault-free channels.
-  void AdvanceTick();
+  /// zero-latency fault-free channels. Socket backends use this same
+  /// call to drain their receive path, so drivers advance every Channel
+  /// identically regardless of backend.
+  virtual void AdvanceTick();
 
   /// Messages currently in flight (latency/reorder/partition-hold).
   size_t in_flight() const { return pending_.size(); }
@@ -122,6 +152,20 @@ class Channel {
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
+
+ protected:
+  /// Accounting seam shared with transport backends (net/transport.h):
+  /// every helper charges the per-channel NetworkStats and, once
+  /// BindMetrics has run, the mirrored kc.net.* arena counters — so a
+  /// socket channel's books are kept by exactly the code the simulated
+  /// channel uses.
+  void AccountSend(const Message& msg);
+  /// Charges one delivery and hands `msg` to the receiver. A backend
+  /// must only call this for messages that actually arrived.
+  void Deliver(const Message& msg);
+  /// Charges one dropped message of `msg`'s type (e.g. a failed sendto).
+  void AccountDrop(const Message& msg);
+  bool has_receiver() const { return static_cast<bool>(receiver_); }
 
  private:
   struct Pending {
@@ -140,6 +184,8 @@ class Channel {
     obs::Counter* sent_by_type[kNumMessageTypes] = {};
     obs::Counter* delivered_by_type[kNumMessageTypes] = {};
     obs::Counter* dropped_by_type[kNumMessageTypes] = {};
+    obs::Counter* bytes_sent_by_type[kNumMessageTypes] = {};
+    obs::Counter* bytes_delivered_by_type[kNumMessageTypes] = {};
     /// kc.net.faults.* — registered only when faults are configured.
     obs::Counter* duplicates = nullptr;
     obs::Counter* reorders = nullptr;
@@ -147,7 +193,6 @@ class Channel {
     obs::Counter* partition_drops = nullptr;
   };
 
-  void Deliver(const Message& msg);
   void DeliverDue();
   void ChargeDrop(size_t type);
 

@@ -1,0 +1,198 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace kc {
+namespace codec {
+
+namespace {
+
+/// Smallest body a frame can declare: 1-byte varints for source_id, seq,
+/// and wire_seq, the type byte, and the 8-byte timestamp.
+constexpr size_t kMinBodyBytes = Message::kMinBodyBytes;
+
+void AppendVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void AppendDoubleLe(double d, std::vector<uint8_t>* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d), "IEEE-754 double expected");
+  std::memcpy(&bits, &d, sizeof(bits));  // Preserves NaN payloads exactly.
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+double ReadDoubleLe(const uint8_t* p) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// Reads one canonical varint from data[*pos..size). kOutOfRange if the
+/// buffer ends first, kInvalidArgument if it runs past 10 bytes or uses
+/// more bytes than the decoded value needs (non-canonical padding).
+Status ReadVarint(const uint8_t* data, size_t size, size_t* pos,
+                  uint64_t* value) {
+  uint64_t v = 0;
+  size_t shift = 0;
+  size_t start = *pos;
+  while (true) {
+    if (*pos >= size) {
+      return Status::OutOfRange("varint truncated");
+    }
+    uint8_t byte = data[*pos];
+    if (shift >= 63 && (byte >> (64 - shift)) != 0) {
+      return Status::InvalidArgument("varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    ++(*pos);
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) {
+      return Status::InvalidArgument("varint longer than 10 bytes");
+    }
+  }
+  if (*pos - start != wire::VarintSize(v)) {
+    // An overlong encoding (e.g. 0x80 0x00 for zero) would let a sender
+    // put more bytes on the wire than SizeBytes() charges.
+    return Status::InvalidArgument("non-canonical varint");
+  }
+  *value = v;
+  return Status::Ok();
+}
+
+/// Signed-varint read bounded by the *body* of a fully received frame: a
+/// varint that runs into the body's end is a malformed frame, not a
+/// short buffer, so the truncation code is remapped to kInvalidArgument
+/// (kOutOfRange must only ever mean "feed DecodeFrame more bytes").
+Status ReadSignedVarint(const uint8_t* data, size_t body_end, size_t* pos,
+                        int64_t* value) {
+  uint64_t raw = 0;
+  Status s = ReadVarint(data, body_end, pos, &raw);
+  if (s.code() == StatusCode::kOutOfRange) {
+    return Status::InvalidArgument("header varint overruns frame body");
+  }
+  KC_RETURN_IF_ERROR(s);
+  *value = wire::UnZigZag(raw);
+  return Status::Ok();
+}
+
+}  // namespace
+
+size_t EncodedSize(const Message& msg) { return msg.SizeBytes(); }
+
+void EncodeFrame(const Message& msg, std::vector<uint8_t>* out) {
+  size_t body = wire::SignedVarintSize(msg.source_id) + 1 +
+                wire::SignedVarintSize(msg.seq) +
+                wire::SignedVarintSize(msg.wire_seq) + 8 +
+                8 * msg.payload.size();
+  out->reserve(out->size() + wire::VarintSize(body) + body);
+  AppendVarint(body, out);
+  AppendVarint(wire::ZigZag(msg.source_id), out);
+  out->push_back(static_cast<uint8_t>(msg.type));
+  AppendVarint(wire::ZigZag(msg.seq), out);
+  AppendVarint(wire::ZigZag(msg.wire_seq), out);
+  AppendDoubleLe(msg.time, out);
+  for (double d : msg.payload) AppendDoubleLe(d, out);
+}
+
+std::vector<uint8_t> Encode(const Message& msg) {
+  std::vector<uint8_t> out;
+  EncodeFrame(msg, &out);
+  return out;
+}
+
+Status FrameExtent(const uint8_t* data, size_t size, size_t* frame_size) {
+  size_t pos = 0;
+  uint64_t body = 0;
+  Status s = ReadVarint(data, size, &pos, &body);
+  if (!s.ok()) return s;
+  if (body > kMaxBodyBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame body of %llu bytes exceeds the %llu-byte limit",
+                  static_cast<unsigned long long>(body),
+                  static_cast<unsigned long long>(kMaxBodyBytes)));
+  }
+  if (body < kMinBodyBytes) {
+    return Status::InvalidArgument("frame body shorter than minimal header");
+  }
+  *frame_size = pos + static_cast<size_t>(body);
+  return Status::Ok();
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, Message* out,
+                   size_t* consumed) {
+  size_t total = 0;
+  KC_RETURN_IF_ERROR(FrameExtent(data, size, &total));
+  if (size < total) {
+    return Status::OutOfRange("frame truncated");
+  }
+  // Re-read the (already validated) length prefix to find the body start.
+  size_t pos = 0;
+  uint64_t body_len = 0;
+  KC_RETURN_IF_ERROR(ReadVarint(data, size, &pos, &body_len));
+  const size_t body_end = pos + static_cast<size_t>(body_len);
+
+  Message msg;
+  int64_t source_id = 0;
+  KC_RETURN_IF_ERROR(ReadSignedVarint(data, body_end, &pos, &source_id));
+  if (source_id < INT32_MIN || source_id > INT32_MAX) {
+    return Status::InvalidArgument("source_id outside int32 range");
+  }
+  msg.source_id = static_cast<int32_t>(source_id);
+
+  if (pos >= body_end) return Status::InvalidArgument("frame body too short");
+  uint8_t raw_type = data[pos++];
+  if (!IsValidMessageTypeByte(raw_type)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown message type byte %d", raw_type));
+  }
+  msg.type = static_cast<MessageType>(raw_type);
+
+  KC_RETURN_IF_ERROR(ReadSignedVarint(data, body_end, &pos, &msg.seq));
+  KC_RETURN_IF_ERROR(ReadSignedVarint(data, body_end, &pos, &msg.wire_seq));
+
+  if (body_end - pos < 8) {
+    return Status::InvalidArgument("frame body ends inside timestamp");
+  }
+  msg.time = ReadDoubleLe(data + pos);
+  pos += 8;
+
+  size_t payload_bytes = body_end - pos;
+  if (payload_bytes % 8 != 0) {
+    return Status::InvalidArgument("payload is not a whole number of doubles");
+  }
+  size_t doubles = payload_bytes / 8;
+  if (doubles > kMaxPayloadDoubles) {
+    return Status::InvalidArgument("payload exceeds the per-frame limit");
+  }
+  msg.payload.resize(doubles);
+  for (size_t i = 0; i < doubles; ++i) {
+    msg.payload[i] = ReadDoubleLe(data + pos + 8 * i);
+  }
+
+  // flow_id never crosses the wire: reconstruct it exactly as the sender
+  // stamped it — CausalFlowId on the four uplink kinds, unset on downlink
+  // control (net/message.h).
+  msg.flow_id =
+      IsUplinkType(msg.type) ? CausalFlowId(msg.source_id, msg.wire_seq) : 0;
+
+  *out = std::move(msg);
+  *consumed = total;
+  return Status::Ok();
+}
+
+}  // namespace codec
+}  // namespace kc

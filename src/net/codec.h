@@ -1,0 +1,83 @@
+#ifndef KALMANCAST_NET_CODEC_H_
+#define KALMANCAST_NET_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace kc {
+namespace codec {
+
+/// The framed binary wire encoding of a Message (docs/PROTOCOL.md, "Wire
+/// format"). One frame, all little-endian:
+///
+///   frame     := body_len:varint body
+///   body      := source_id:zigzag-varint
+///                type:u8                     (0..5; anything else rejected)
+///                seq:zigzag-varint
+///                wire_seq:zigzag-varint
+///                time:f64le                  (raw IEEE-754 bit pattern)
+///                payload:f64le*              (count implied by body_len)
+///
+/// Invariants the codec guarantees and tests pin:
+///  - EncodedSize(m) == m.SizeBytes() for EVERY message, so the paper's
+///    messages/bytes metric is identical on simulated and real
+///    transports.
+///  - Decode(Encode(m)) == m, with flow_id reconstructed at the receiver
+///    (CausalFlowId for uplink types, 0 for downlink control) exactly as
+///    net/message.h promises — flow_id never crosses the wire.
+///  - Varints must be canonical (minimal length): Encode(Decode(bytes))
+///    == bytes for every accepted frame, so a peer cannot pad its frames
+///    and skew the byte accounting.
+///  - Decode never crashes on arbitrary bytes: truncation is reported as
+///    kOutOfRange ("feed me more bytes" — the TCP reassembly signal),
+///    every structural violation as kInvalidArgument. No input casts an
+///    unvalidated byte to MessageType.
+
+/// Hard ceiling on payload doubles per frame (IMM full syncs are a few
+/// hundred; this is headroom, not a target). Oversized length prefixes
+/// are rejected before any allocation, so a corrupt TCP byte cannot make
+/// the receiver buffer gigabytes waiting for a frame that never ends.
+inline constexpr size_t kMaxPayloadDoubles = 1 << 16;
+
+/// Largest body a conforming frame can declare: maximal header (5-byte
+/// source_id, type, 10-byte seq and wire_seq, 8-byte time) + max payload.
+inline constexpr size_t kMaxBodyBytes = 5 + 1 + 10 + 10 + 8 + 8 * kMaxPayloadDoubles;
+
+/// Exact frame size Encode will produce. Identical to msg.SizeBytes() —
+/// the cost model and the codec are one function, pinned by test.
+size_t EncodedSize(const Message& msg);
+
+/// Appends one frame to `out`.
+void EncodeFrame(const Message& msg, std::vector<uint8_t>* out);
+
+/// One frame as a fresh buffer.
+std::vector<uint8_t> Encode(const Message& msg);
+
+/// Decodes exactly one frame from data[0..size). On success fills `out`,
+/// sets `*consumed` to the frame's length, and reconstructs out->flow_id
+/// (never transmitted). Errors:
+///  - kOutOfRange: the buffer ends mid-frame; nothing consumed. A stream
+///    caller should read more bytes and retry; a datagram caller should
+///    treat it as corruption.
+///  - kInvalidArgument: structurally malformed (oversized or undersized
+///    body length, unknown type byte, non-canonical or overlong varint,
+///    payload not a multiple of 8 bytes). The frame is unusable and a
+///    stream carrying it has lost sync.
+Status DecodeFrame(const uint8_t* data, size_t size, Message* out,
+                   size_t* consumed);
+
+/// Peeks the total size of the frame starting at data[0] without decoding
+/// its body: sets `*frame_size` and returns OK when the length prefix is
+/// readable and sane, kOutOfRange when more bytes are needed to know, and
+/// kInvalidArgument on an oversized/overlong declaration. Lets a stream
+/// transport reassemble exact frames before handing them to DecodeFrame.
+Status FrameExtent(const uint8_t* data, size_t size, size_t* frame_size);
+
+}  // namespace codec
+}  // namespace kc
+
+#endif  // KALMANCAST_NET_CODEC_H_

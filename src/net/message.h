@@ -38,14 +38,66 @@ inline constexpr size_t kNumMessageTypes = 6;
 
 const char* MessageTypeName(MessageType type);
 
-/// A simulated wire message. The evaluation metric of the reproduced paper
-/// is communication overhead, so the only fidelity that matters is the
-/// cost model: SizeBytes() charges a fixed header plus 8 bytes per payload
-/// double, mirroring a compact binary encoding.
+/// True for the four source-to-server kinds the agent stamps a dense
+/// wire_seq (and hence a CausalFlowId) on; SET_BOUND / RESYNC_REQUEST are
+/// downlink control and carry neither.
+inline constexpr bool IsUplinkType(MessageType type) {
+  return static_cast<uint8_t>(type) <=
+         static_cast<uint8_t>(MessageType::kHeartbeat);
+}
+
+/// True iff `raw` is one of the six defined MessageType values. The enum
+/// is backed by uint8_t, so casting an arbitrary byte first and asking
+/// questions later is how a malformed frame turns into out-of-bounds
+/// per-type counter indexing — validate, then cast.
+inline constexpr bool IsValidMessageTypeByte(uint8_t raw) {
+  return raw < kNumMessageTypes;
+}
+
+namespace wire {
+
+/// Bytes an unsigned LEB128 varint needs for `v` (1..10).
+inline constexpr size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// ZigZag-maps a signed 64-bit value onto unsigned so small-magnitude
+/// values (positive or negative) get short varints.
+inline constexpr uint64_t ZigZag(int64_t v) {
+  // Written without shifting a signed value, so it is well-defined under
+  // every standard mode UBSan checks.
+  return (static_cast<uint64_t>(v) << 1) ^ (v < 0 ? ~uint64_t{0} : uint64_t{0});
+}
+
+inline constexpr int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (0 - (v & 1)));
+}
+
+/// Bytes a zigzag varint needs for signed `v`.
+inline constexpr size_t SignedVarintSize(int64_t v) {
+  return VarintSize(ZigZag(v));
+}
+
+}  // namespace wire
+
+/// A wire message. The evaluation metric of the reproduced paper is
+/// communication overhead, so SizeBytes() must be *exactly* the framed
+/// binary encoding net/codec.h produces: a varint length prefix, then
+/// zigzag-varint source_id, one type byte, zigzag-varint seq and
+/// wire_seq, an 8-byte little-endian IEEE-754 timestamp, and 8 bytes per
+/// payload double. Simulated channels charge SizeBytes(); socket
+/// transports put those same bytes on a real wire — the byte-parity
+/// contract pinned by tests/codec_test.cc.
 struct Message {
-  /// Fixed per-message overhead (source id, type, reading seq, wire seq,
-  /// timestamp, length — modeled as a compact varint-style encoding).
-  static constexpr size_t kHeaderBytes = 20;
+  /// Body bytes of the smallest possible header (1-byte source_id, type,
+  /// 1-byte seq, 1-byte wire_seq, 8-byte time); with its 1-byte length
+  /// prefix the smallest whole frame is kMinBodyBytes + 1 = 13.
+  static constexpr size_t kMinBodyBytes = 12;
 
   int32_t source_id = 0;
   MessageType type = MessageType::kCorrection;
@@ -65,7 +117,17 @@ struct Message {
   double time = 0.0;  ///< Stream time of the triggering reading.
   std::vector<double> payload;
 
-  size_t SizeBytes() const { return kHeaderBytes + 8 * payload.size(); }
+  /// Exact framed size on the wire: length prefix + header + payload.
+  /// Value-dependent (varint header fields), so large seq/wire_seq/
+  /// source_id values cost more bytes, exactly as they would on a real
+  /// link. flow_id is NOT charged: the receiver reconstructs it from
+  /// (source_id, wire_seq) — see CausalFlowId below.
+  size_t SizeBytes() const {
+    size_t body = wire::SignedVarintSize(source_id) + 1 +
+                  wire::SignedVarintSize(seq) +
+                  wire::SignedVarintSize(wire_seq) + 8 + 8 * payload.size();
+    return wire::VarintSize(body) + body;
+  }
 
   std::string ToString() const;
 };

@@ -1,0 +1,380 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace kc {
+
+namespace {
+
+/// Escape frames: a protocol frame's first byte is its body-length varint,
+/// and the codec rejects any body shorter than Message::kMinBodyBytes, so
+/// a leading 0x00 byte can never start a protocol frame. The transport
+/// claims that byte for its own framing:
+///
+///   escape := 0x00 opcode:u8 arg:u64le
+///
+/// Opcode 0x01 = tick barrier (arg = the sender's stream tick). Escape
+/// frames are transport metadata, not protocol traffic: they bypass the
+/// codec and are never charged to NetworkStats.
+constexpr uint8_t kEscapeByte = 0x00;
+constexpr uint8_t kOpTickBarrier = 0x01;
+constexpr size_t kEscapeFrameBytes = 10;
+
+/// Largest UDP datagram we ever read. A conforming frame fits easily
+/// (kMaxBodyBytes is the decode-side cap, but senders here emit payloads
+/// of at most a few hundred doubles); anything larger is rejected by the
+/// codec anyway.
+constexpr size_t kRecvChunkBytes = 64 * 1024;
+
+Status SysError(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+Status MakeAddr(const std::string& host, int port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  const std::string& ip = (host == "localhost") ? std::string("127.0.0.1")
+                                                : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("not an IPv4 address: '%s'", host.c_str()));
+  }
+  return Status::Ok();
+}
+
+int LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+void WriteLe64(uint64_t v, uint8_t* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+SocketChannel::SocketChannel(Kind kind, int fd, int port)
+    : kind_(kind), fd_(fd), port_(port) {}
+
+SocketChannel::~SocketChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<SocketChannel>> SocketChannel::UdpConnect(
+    const std::string& host, int port) {
+  sockaddr_in addr;
+  KC_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return SysError("socket(udp)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = SysError("connect(udp)");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<SocketChannel>(
+      new SocketChannel(Kind::kUdpSender, fd, port));
+}
+
+StatusOr<std::unique_ptr<SocketChannel>> SocketChannel::UdpBind(
+    const std::string& host, int port) {
+  sockaddr_in addr;
+  KC_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return SysError("socket(udp)");
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = SysError("bind(udp)");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<SocketChannel>(
+      new SocketChannel(Kind::kUdpReceiver, fd, LocalPort(fd)));
+}
+
+StatusOr<std::unique_ptr<SocketChannel>> SocketChannel::TcpConnect(
+    const std::string& host, int port) {
+  sockaddr_in addr;
+  KC_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SysError("socket(tcp)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = SysError("connect(tcp)");
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SocketChannel>(
+      new SocketChannel(Kind::kTcp, fd, LocalPort(fd)));
+}
+
+Status SocketChannel::SetRecvBufferBytes(int bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) != 0) {
+    return SysError("setsockopt(SO_RCVBUF)");
+  }
+  return Status::Ok();
+}
+
+Status SocketChannel::WriteAll(const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SysError("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SocketChannel::Send(const Message& msg) {
+  if (kind_ == Kind::kUdpReceiver) {
+    return Status::FailedPrecondition("send on a receive-only UDP channel");
+  }
+  if (!last_error_.ok()) return last_error_;
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  // Charged before the syscall: "sent" means the sender paid the bytes,
+  // identically to the simulated channel (which then decides delivery).
+  AccountSend(msg);
+  tx_buf_.clear();
+  codec::EncodeFrame(msg, &tx_buf_);
+  if (kind_ == Kind::kUdpSender) {
+    ssize_t n;
+    do {
+      n = ::send(fd_, tx_buf_.data(), tx_buf_.size(), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      // The kernel refused the datagram (full socket buffer, ICMP port
+      // unreachable from an earlier send, ...). On a datagram link that
+      // is just loss: charge the drop, keep flying.
+      AccountDrop(msg);
+    }
+    return Status::Ok();
+  }
+  Status s = WriteAll(tx_buf_.data(), tx_buf_.size());
+  if (!s.ok()) {
+    AccountDrop(msg);
+    Poison(s);
+    return s;
+  }
+  return Status::Ok();
+}
+
+Status SocketChannel::SendTickBarrier(int64_t tick) {
+  if (kind_ != Kind::kTcp) {
+    return Status::FailedPrecondition("tick barriers ride the TCP control "
+                                      "stream only");
+  }
+  if (!last_error_.ok()) return last_error_;
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  uint8_t frame[kEscapeFrameBytes];
+  frame[0] = kEscapeByte;
+  frame[1] = kOpTickBarrier;
+  WriteLe64(static_cast<uint64_t>(tick), frame + 2);
+  Status s = WriteAll(frame, sizeof(frame));
+  if (!s.ok()) Poison(s);
+  return s;
+}
+
+void SocketChannel::AdvanceTick() {
+  if (fd_ < 0) return;
+  if (kind_ == Kind::kTcp) {
+    DrainTcp();
+  } else {
+    DrainUdp();
+  }
+}
+
+int SocketChannel::Poll(int timeout_ms) {
+  int64_t before = stats().messages_delivered;
+  if (fd_ >= 0 && timeout_ms != 0) {
+    pollfd pfd = {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int r;
+    do {
+      r = ::poll(&pfd, 1, timeout_ms);
+    } while (r < 0 && errno == EINTR);
+  }
+  AdvanceTick();
+  return static_cast<int>(stats().messages_delivered - before);
+}
+
+bool SocketChannel::HandleEscapeFrame(const uint8_t* data, size_t size) {
+  if (size != kEscapeFrameBytes || data[1] != kOpTickBarrier) return false;
+  int64_t tick = static_cast<int64_t>(ReadLe64(data + 2));
+  if (tick_sink_) tick_sink_(tick);
+  return true;
+}
+
+void SocketChannel::DrainUdp() {
+  uint8_t buf[kRecvChunkBytes];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: drained. ECONNREFUSED (connected-UDP ICMP echo of an
+      // earlier send): nothing to read either. Both end the drain.
+      return;
+    }
+    if (n == 0) {
+      // A zero-length datagram: not a frame this protocol emits.
+      ++frames_rejected_;
+      continue;
+    }
+    if (buf[0] == kEscapeByte) {
+      if (!HandleEscapeFrame(buf, static_cast<size_t>(n))) ++frames_rejected_;
+      continue;
+    }
+    Message msg;
+    size_t consumed = 0;
+    Status s = codec::DecodeFrame(buf, static_cast<size_t>(n), &msg, &consumed);
+    if (!s.ok() || consumed != static_cast<size_t>(n)) {
+      // Datagram framing: one datagram must be exactly one frame. A
+      // truncated, malformed, or trailing-garbage datagram is corruption;
+      // count it and move on — malformed input is never fatal on UDP.
+      ++frames_rejected_;
+      continue;
+    }
+    Deliver(msg);
+  }
+}
+
+void SocketChannel::DrainTcp() {
+  uint8_t buf[kRecvChunkBytes];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      Poison(SysError("recv(tcp)"));
+      return;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      break;
+    }
+    rx_buf_.insert(rx_buf_.end(), buf, buf + n);
+  }
+  ParseTcpBuffer();
+}
+
+bool SocketChannel::ParseTcpBuffer() {
+  size_t off = 0;
+  while (off < rx_buf_.size()) {
+    const uint8_t* p = rx_buf_.data() + off;
+    const size_t avail = rx_buf_.size() - off;
+    if (p[0] == kEscapeByte) {
+      if (avail < kEscapeFrameBytes) break;  // Wait for the rest.
+      if (!HandleEscapeFrame(p, kEscapeFrameBytes)) {
+        ++frames_rejected_;
+        Poison(Status::DataLoss("malformed escape frame on control stream"));
+        return false;
+      }
+      off += kEscapeFrameBytes;
+      continue;
+    }
+    size_t frame_size = 0;
+    Status s = codec::FrameExtent(p, avail, &frame_size);
+    if (s.code() == StatusCode::kOutOfRange) break;  // Partial length prefix.
+    if (s.ok() && avail < frame_size) break;         // Partial body.
+    Message msg;
+    size_t consumed = 0;
+    if (s.ok()) s = codec::DecodeFrame(p, avail, &msg, &consumed);
+    if (!s.ok()) {
+      // A malformed frame on a byte stream means framing is lost for
+      // good — there is no datagram boundary to resynchronize on. The
+      // connection is poisoned; recovery is the peer reconnecting.
+      ++frames_rejected_;
+      Poison(Status::DataLoss(
+          StrFormat("control stream lost framing: %s", s.message().c_str())));
+      return false;
+    }
+    Deliver(msg);
+    off += consumed;
+  }
+  if (off > 0) {
+    rx_buf_.erase(rx_buf_.begin(),
+                  rx_buf_.begin() + static_cast<ptrdiff_t>(off));
+  }
+  return true;
+}
+
+void SocketChannel::Poison(Status error) {
+  last_error_ = std::move(error);
+  peer_closed_ = true;
+  rx_buf_.clear();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    const std::string& host, int port) {
+  sockaddr_in addr;
+  KC_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SysError("socket(tcp)");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = SysError("bind(tcp)");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 8) != 0) {
+    Status s = SysError("listen");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, LocalPort(fd)));
+}
+
+StatusOr<std::unique_ptr<SocketChannel>> TcpListener::Accept(int timeout_ms) {
+  pollfd pfd = {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int r;
+  do {
+    r = ::poll(&pfd, 1, timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) return SysError("poll(accept)");
+  if (r == 0) {
+    return Status::OutOfRange("no connection within the accept timeout");
+  }
+  int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return SysError("accept");
+  int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SocketChannel>(new SocketChannel(
+      SocketChannel::Kind::kTcp, cfd, LocalPort(cfd)));
+}
+
+}  // namespace kc

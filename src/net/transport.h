@@ -1,0 +1,170 @@
+#ifndef KALMANCAST_NET_TRANSPORT_H_
+#define KALMANCAST_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/channel.h"
+#include "net/codec.h"
+
+namespace kc {
+
+/// A Channel whose messages cross a real socket as net/codec.h frames —
+/// the deployment backend behind the same Send()/AdvanceTick() contract
+/// the simulated Channel defines, so agents, replicas, and servers are
+/// byte-for-byte oblivious to which one they run on.
+///
+/// Roles (one object is one endpoint of one directed link):
+///  - UdpConnect(host, port): uplink sender. Send() encodes one frame
+///    per datagram; delivery is fire-and-forget exactly like the paper's
+///    source->server data plane.
+///  - UdpBind(host, port): uplink receiver. AdvanceTick()/Poll() drain
+///    the socket, decode, and Deliver() into the installed receiver.
+///  - TcpConnect(host, port) / TcpListener::Accept(): one end of the
+///    reliable control plane (SET_BOUND, RESYNC_REQUEST), full duplex —
+///    Send() writes frames downstream, AdvanceTick()/Poll() drain and
+///    dispatch whatever the peer wrote.
+///
+/// Byte accounting: Send() charges AccountSend (== Message::SizeBytes()
+/// == the frame's true size on the wire) before the syscall; a failed
+/// datagram send is charged as a drop, exactly like simulated loss. The
+/// receive path charges Deliver() per decoded frame. A sender's
+/// NetworkStats therefore matches the simulated channel's sent-side books
+/// for the same workload, and the receiver's matches the delivered side —
+/// the parity contract tests/transport_test.cc pins.
+///
+/// Malformed input never crashes: every frame passes the hardened
+/// codec::DecodeFrame. A bad datagram is counted (frames_rejected) and
+/// discarded; a bad byte on a TCP stream poisons the connection (framing
+/// is unrecoverable) — last_error() reports it and the fd is closed.
+///
+/// Threading: one SocketChannel belongs to one driver thread, like every
+/// other Channel.
+class SocketChannel final : public Channel {
+ public:
+  ~SocketChannel() override;
+
+  /// UDP sender connected to host:port. Send()-only; AdvanceTick is a
+  /// no-op drain of stray datagrams.
+  static StatusOr<std::unique_ptr<SocketChannel>> UdpConnect(
+      const std::string& host, int port);
+
+  /// UDP receiver bound to host:port (port 0 = ephemeral; see port()).
+  static StatusOr<std::unique_ptr<SocketChannel>> UdpBind(
+      const std::string& host, int port);
+
+  /// TCP client endpoint connected to host:port (full duplex).
+  static StatusOr<std::unique_ptr<SocketChannel>> TcpConnect(
+      const std::string& host, int port);
+
+  /// Encodes `msg` as one frame and writes it to the socket. UDP send
+  /// failures are charged as drops and return OK (datagram semantics —
+  /// the wire eats it silently); TCP failures poison the channel and
+  /// return the error. Sending on a receive-only (bound UDP) channel is
+  /// a FailedPrecondition and charges nothing.
+  Status Send(const Message& msg) override;
+
+  /// Non-blocking drain: reads every frame currently available, decodes,
+  /// and Deliver()s into the receiver. Safe to call every tick.
+  void AdvanceTick() override;
+
+  /// Drains like AdvanceTick but first waits up to `timeout_ms` for the
+  /// socket to become readable (0 = don't wait, <0 = wait indefinitely).
+  /// Returns the number of protocol messages delivered.
+  int Poll(int timeout_ms);
+
+  /// Transport-internal tick barrier (TCP only): tells the peer the
+  /// sender's discrete clock advanced to `tick`, so a split-process
+  /// deployment can keep replica Tick()s lockstep with the source
+  /// process. Rides the stream as an escape frame the codec never sees
+  /// and the byte accounting never charges — it is an artifact of
+  /// distributing the simulation clock, not protocol traffic
+  /// (docs/PROTOCOL.md, "Split-process deployments").
+  Status SendTickBarrier(int64_t tick);
+
+  /// Installs the handler AdvanceTick()/Poll() invoke per received tick
+  /// barrier.
+  void SetTickSink(std::function<void(int64_t)> sink) {
+    tick_sink_ = std::move(sink);
+  }
+
+  /// Local bound port (meaningful for UdpBind and accepted TCP ends).
+  int port() const { return port_; }
+  int fd() const { return fd_; }
+
+  /// Frames discarded by the decode hardening (malformed datagrams /
+  /// stream bytes). Never fatal on UDP.
+  int64_t frames_rejected() const { return frames_rejected_; }
+
+  /// OK until a TCP framing error / fatal socket error poisoned the
+  /// channel.
+  const Status& last_error() const { return last_error_; }
+
+  /// True once a TCP peer has closed its end (or the channel poisoned).
+  bool peer_closed() const { return peer_closed_; }
+
+  /// Shrinks the kernel receive buffer (SO_RCVBUF) — the fault-injection
+  /// hook for loopback tests: burst enough datagrams without draining
+  /// and the kernel genuinely drops the overflow, which is exactly the
+  /// loss the PR 4 recovery protocol exists for.
+  Status SetRecvBufferBytes(int bytes);
+
+ private:
+  friend class TcpListener;
+
+  enum class Kind { kUdpSender, kUdpReceiver, kTcp };
+
+  SocketChannel(Kind kind, int fd, int port);
+
+  Status WriteAll(const uint8_t* data, size_t size);
+  void DrainUdp();
+  void DrainTcp();
+  /// Parses every complete frame in rx_buf_; returns false when the
+  /// stream is poisoned.
+  bool ParseTcpBuffer();
+  /// Handles one complete escape frame (tick barrier); false = malformed.
+  bool HandleEscapeFrame(const uint8_t* data, size_t size);
+  void Poison(Status error);
+
+  Kind kind_;
+  int fd_ = -1;
+  int port_ = 0;
+  bool peer_closed_ = false;
+  int64_t frames_rejected_ = 0;
+  Status last_error_;
+  std::vector<uint8_t> rx_buf_;   ///< TCP reassembly buffer.
+  std::vector<uint8_t> tx_buf_;   ///< Per-send encode scratch.
+  std::function<void(int64_t)> tick_sink_;
+};
+
+/// Accepts the control-plane TCP connection of a split-process
+/// deployment (port 0 = ephemeral; see port()).
+class TcpListener {
+ public:
+  static StatusOr<std::unique_ptr<TcpListener>> Listen(
+      const std::string& host, int port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Waits up to `timeout_ms` (<0 = indefinitely) for one peer and
+  /// returns its full-duplex channel.
+  StatusOr<std::unique_ptr<SocketChannel>> Accept(int timeout_ms);
+
+  int port() const { return port_; }
+
+ private:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace kc
+
+#endif  // KALMANCAST_NET_TRANSPORT_H_

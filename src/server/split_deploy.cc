@@ -1,0 +1,183 @@
+#include "server/split_deploy.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "net/transport.h"
+#include "server/simulation.h"
+
+namespace kc {
+
+StatusOr<SplitClientReport> RunSplitClient(
+    const SplitConfig& config, const GeneratorFactory& make_generator,
+    const PredictorFactory& make_predictor) {
+  if (config.num_sources <= 0) {
+    return Status::InvalidArgument("split client needs at least one source");
+  }
+  if (config.deltas.size() != static_cast<size_t>(config.num_sources)) {
+    return Status::InvalidArgument("one delta per source required");
+  }
+
+  auto uplink_or = SocketChannel::UdpConnect(config.host, config.port);
+  if (!uplink_or.ok()) return uplink_or.status();
+  std::unique_ptr<SocketChannel> uplink = std::move(uplink_or).value();
+  auto control_or = SocketChannel::TcpConnect(config.host, config.port);
+  if (!control_or.ok()) return control_or.status();
+  std::unique_ptr<SocketChannel> control = std::move(control_or).value();
+
+  // All agents share the one uplink socket; the aggregate books it keeps
+  // are exactly the merge a simulated fleet computes over its per-source
+  // channels.
+  std::vector<std::unique_ptr<StreamGenerator>> generators;
+  std::vector<std::unique_ptr<SourceAgent>> agents;
+  for (int32_t id = 0; id < config.num_sources; ++id) {
+    auto generator = make_generator(id);
+    generator->Reset(SourceGeneratorSeed(config.seed, id));
+    generators.push_back(std::move(generator));
+    AgentConfig agent_config = config.agent_base;
+    agent_config.delta = config.deltas[static_cast<size_t>(id)];
+    agents.push_back(std::make_unique<SourceAgent>(
+        id, make_predictor(id), agent_config, uplink.get()));
+  }
+  // Downlink control (SET_BOUND, RESYNC_REQUEST) demuxes by source id.
+  control->SetReceiver([&agents](const Message& msg) {
+    if (msg.source_id < 0 ||
+        msg.source_id >= static_cast<int32_t>(agents.size())) {
+      return;  // Not ours; a real deployment would log and drop.
+    }
+    Status s = agents[static_cast<size_t>(msg.source_id)]->OnControl(msg);
+    (void)s;
+  });
+  // Flow control: the server echoes each tick barrier once it has
+  // processed the tick. Running at most one unacknowledged tick keeps
+  // the datagrams in flight bounded by one tick's worth, so the server's
+  // UDP buffer cannot overflow no matter how fast this process runs —
+  // loss stays a property of the network, not of the harness.
+  int64_t acked = -1;
+  control->SetTickSink([&acked](int64_t tick) { acked = tick; });
+
+  for (size_t t = 0; t < config.ticks; ++t) {
+    // Control first, matching the simulated fleet's per-tick order
+    // (channels advance before this tick's offers), so a resync request
+    // is answered by this tick's uplink message.
+    control->AdvanceTick();
+    if (!control->last_error().ok()) return control->last_error();
+    for (int32_t id = 0; id < config.num_sources; ++id) {
+      Sample sample = generators[static_cast<size_t>(id)]->Next();
+      Status s = agents[static_cast<size_t>(id)]->Offer(sample.measured);
+      if (!s.ok()) return s;
+    }
+    // The barrier publishes "tick t's datagrams are all in flight".
+    Status s = control->SendTickBarrier(static_cast<int64_t>(t));
+    if (!s.ok()) return s;
+    while (acked < static_cast<int64_t>(t)) {
+      control->Poll(/*timeout_ms=*/50);
+      if (!control->last_error().ok()) return control->last_error();
+      if (control->peer_closed()) {
+        return Status::DataLoss("server closed the control link mid-run");
+      }
+    }
+  }
+
+  SplitClientReport report;
+  report.uplink = uplink->stats();
+  report.control = control->stats();
+  report.ticks = static_cast<int64_t>(config.ticks);
+  for (const auto& agent : agents) {
+    report.corrections += agent->stats().corrections;
+    report.suppressed += agent->stats().suppressed;
+    report.resyncs_served += agent->stats().resyncs_served;
+  }
+  int64_t decisions = report.uplink.messages_sent + report.suppressed;
+  report.suppression_ratio =
+      decisions > 0
+          ? static_cast<double>(report.suppressed) / static_cast<double>(decisions)
+          : 0.0;
+  // Destructors close both sockets; the TCP FIN is the end-of-run signal
+  // the server waits for.
+  return report;
+}
+
+StatusOr<SplitServerReport> RunSplitServer(
+    const SplitConfig& config, const PredictorFactory& make_predictor,
+    const std::function<void(int64_t tick)>& progress) {
+  if (config.num_sources <= 0) {
+    return Status::InvalidArgument("split server needs at least one source");
+  }
+
+  // Bind the uplink before accepting control, so the client's first
+  // datagram (sent right after its TCP connect succeeds) has a socket to
+  // land in.
+  auto uplink_or = SocketChannel::UdpBind(config.host, config.port);
+  if (!uplink_or.ok()) return uplink_or.status();
+  std::unique_ptr<SocketChannel> uplink = std::move(uplink_or).value();
+  auto listener_or = TcpListener::Listen(config.host, config.port);
+  if (!listener_or.ok()) return listener_or.status();
+  auto control_or = (*listener_or)->Accept(config.accept_timeout_ms);
+  if (!control_or.ok()) return control_or.status();
+  std::unique_ptr<SocketChannel> control = std::move(control_or).value();
+
+  std::vector<std::unique_ptr<ServerReplica>> replicas;
+  for (int32_t id = 0; id < config.num_sources; ++id) {
+    auto replica = std::make_unique<ServerReplica>(id, make_predictor(id));
+    if (config.recovery.enabled) replica->SetRecovery(config.recovery);
+    replica->SetControlSender([&control](const Message& msg) {
+      Status s = control->Send(msg);
+      (void)s;  // Backoff retries; a torn control link ends the run below.
+    });
+    replicas.push_back(std::move(replica));
+  }
+  uplink->SetReceiver([&replicas](const Message& msg) {
+    if (msg.source_id < 0 ||
+        msg.source_id >= static_cast<int32_t>(replicas.size())) {
+      return;
+    }
+    Status s = replicas[static_cast<size_t>(msg.source_id)]->OnMessage(msg);
+    (void)s;  // CORRECTION-before-INIT is expected under real loss.
+  });
+
+  int64_t ticks = 0;
+  control->SetTickSink([&](int64_t tick) {
+    // Barrier semantics: every datagram of `tick` was sent before the
+    // barrier. Tick the replica clocks into `tick`, then apply what the
+    // wire has delivered; stragglers apply next barrier (the wire_seq
+    // guard keeps ordering honest). The echoed barrier acknowledges the
+    // tick — the client's flow-control window.
+    for (auto& replica : replicas) replica->Tick();
+    uplink->Poll(/*timeout_ms=*/1);
+    ++ticks;
+    Status s = control->SendTickBarrier(tick);
+    (void)s;  // A torn link surfaces via peer_closed below.
+    if (progress) progress(tick);
+  });
+
+  while (!control->peer_closed()) {
+    control->Poll(/*timeout_ms=*/50);
+    uplink->AdvanceTick();
+  }
+  if (!control->last_error().ok()) return control->last_error();
+  // Grace drain: the client's last datagrams may still be in flight.
+  for (int i = 0; i < 20; ++i) uplink->Poll(/*timeout_ms=*/10);
+
+  SplitServerReport report;
+  report.uplink = uplink->stats();
+  report.control = control->stats();
+  report.ticks = ticks;
+  report.frames_rejected = uplink->frames_rejected();
+  double sum = 0.0;
+  int32_t valued = 0;
+  for (const auto& replica : replicas) {
+    if (!replica->initialized()) continue;
+    ++report.initialized;
+    report.resyncs_requested += replica->resyncs_requested();
+    Vector v = replica->Value();
+    if (!v.empty()) {
+      sum += v[0];
+      ++valued;
+    }
+  }
+  report.mean_value = valued > 0 ? sum / valued : 0.0;
+  return report;
+}
+
+}  // namespace kc

@@ -1,0 +1,105 @@
+#ifndef KALMANCAST_SERVER_SPLIT_DEPLOY_H_
+#define KALMANCAST_SERVER_SPLIT_DEPLOY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/channel.h"
+#include "streams/generator.h"
+#include "suppression/agent.h"
+#include "suppression/predictor.h"
+#include "suppression/replica.h"
+
+namespace kc {
+
+/// Split-process deployment: the source fleet and the stream server run
+/// as separate OS processes joined by real sockets (net/transport.h) —
+/// the distributed shape the paper's sensor networks assume.
+///
+/// Topology (one port, two protocols):
+///  - UDP `port`: the uplink. Every agent in the client process shares
+///    one datagram socket; frames carry source_id, the server demuxes.
+///  - TCP `port`: the control plane. RESYNC_REQUEST / SET_BOUND ride it
+///    server -> client, and transport-level tick barriers client ->
+///    server keep the two processes' stream clocks lockstep.
+///
+/// The client drives the clock: each tick it offers every source's
+/// reading, then sends a tick barrier. The server ticks its replicas per
+/// barrier and applies whatever the uplink delivered. Closing the TCP
+/// connection ends the run; the server drains a short grace window and
+/// reports.
+///
+/// Byte-accounting parity: the client's uplink SentLine() and the
+/// server's uplink DeliveredLine() are comparable, string for string,
+/// with a simulated fleet running the same seed and workload — the CI
+/// smoke in scripts/ci_asan.sh pins exactly that.
+
+/// Workload + wiring shared by both halves. Sources are identified by
+/// dense ids [0, num_sources); all per-source state is derived from the
+/// factories so the two processes (and the simulated reference run)
+/// construct identical fleets.
+struct SplitConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  size_t ticks = 2880;
+  int32_t num_sources = 0;
+  /// Fleet seed: generators are Reset with SourceGeneratorSeed(seed, id),
+  /// identically to Fleet/ShardedFleet.
+  uint64_t seed = 1;
+  AgentConfig agent_base;      ///< delta is overridden per source.
+  std::vector<double> deltas;  ///< Per-source precision bounds.
+  /// Server-side loss recovery (real UDP loses datagrams under load).
+  ReplicaRecoveryConfig recovery;
+  /// How long the server waits for the client to connect.
+  int accept_timeout_ms = 30000;
+};
+
+/// Per-source factories. The predictor factory is called once per source
+/// on each side (agent replica in the client, server replica in the
+/// server), so both processes clone the same prototype by construction.
+using GeneratorFactory =
+    std::function<std::unique_ptr<StreamGenerator>(int32_t id)>;
+using PredictorFactory =
+    std::function<std::unique_ptr<Predictor>(int32_t id)>;
+
+/// What the client half reports after the run.
+struct SplitClientReport {
+  NetworkStats uplink;   ///< Send-side books (SentLine is the CI surface).
+  NetworkStats control;  ///< Control endpoint books (delivered = received).
+  int64_t ticks = 0;
+  int64_t corrections = 0;
+  int64_t suppressed = 0;
+  int64_t resyncs_served = 0;
+  double suppression_ratio = 0.0;
+};
+
+/// What the server half reports after the run.
+struct SplitServerReport {
+  NetworkStats uplink;   ///< Delivery-side books (DeliveredLine).
+  NetworkStats control;  ///< Send-side books of the control plane.
+  int64_t ticks = 0;            ///< Tick barriers processed.
+  int64_t frames_rejected = 0;  ///< Malformed datagrams discarded.
+  int32_t initialized = 0;      ///< Replicas that saw INIT.
+  int64_t resyncs_requested = 0;
+  double mean_value = 0.0;  ///< Mean of replica answers at end (scalar).
+};
+
+/// Runs the source-fleet half: connects to a listening server at
+/// config.host:config.port, drives config.ticks ticks, closes, reports.
+StatusOr<SplitClientReport> RunSplitClient(
+    const SplitConfig& config, const GeneratorFactory& make_generator,
+    const PredictorFactory& make_predictor);
+
+/// Runs the server half: listens on config.host:config.port, serves one
+/// client until it disconnects, reports. `progress` (optional) is called
+/// once per processed tick barrier.
+StatusOr<SplitServerReport> RunSplitServer(
+    const SplitConfig& config, const PredictorFactory& make_predictor,
+    const std::function<void(int64_t tick)>& progress = nullptr);
+
+}  // namespace kc
+
+#endif  // KALMANCAST_SERVER_SPLIT_DEPLOY_H_

@@ -23,8 +23,22 @@ Message MakeMessage(size_t payload_doubles) {
 }
 
 TEST(MessageTest, SizeModel) {
-  EXPECT_EQ(MakeMessage(0).SizeBytes(), Message::kHeaderBytes);
-  EXPECT_EQ(MakeMessage(3).SizeBytes(), Message::kHeaderBytes + 24);
+  // Exact framed encoding: 1-byte length prefix + body of 1-byte zigzag
+  // varints for source_id=3, seq=10, wire_seq=0, the type byte, the
+  // 8-byte timestamp, and 8 bytes per payload double.
+  EXPECT_EQ(MakeMessage(0).SizeBytes(), 13u);
+  EXPECT_EQ(MakeMessage(3).SizeBytes(), 13u + 24u);
+}
+
+TEST(MessageTest, SizeModelIsValueDependent) {
+  // Varint header fields: large sequence numbers cost more bytes on the
+  // wire, and SizeBytes() tracks that exactly (the codec parity contract
+  // in tests/codec_test.cc pins SizeBytes == encoded size).
+  Message small = MakeMessage(0);
+  Message large = MakeMessage(0);
+  large.seq = int64_t{1} << 40;
+  large.wire_seq = -(int64_t{1} << 40);
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes());
 }
 
 TEST(MessageTest, TypeNames) {
@@ -165,8 +179,8 @@ TEST(NetworkStatsTest, ToStringReportsDeliveredBytesAndPerType) {
   channel.SetReceiver([](const Message&) {});
   ASSERT_TRUE(channel.Send(MakeMessage(2)).ok());
   std::string s = channel.stats().ToString();
-  EXPECT_NE(s.find("bytes_sent=36"), std::string::npos) << s;
-  EXPECT_NE(s.find("bytes_delivered=36"), std::string::npos) << s;
+  EXPECT_NE(s.find("bytes_sent=29"), std::string::npos) << s;
+  EXPECT_NE(s.find("bytes_delivered=29"), std::string::npos) << s;
   EXPECT_NE(s.find("CORRECTION:1"), std::string::npos) << s;
 }
 

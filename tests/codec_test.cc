@@ -1,0 +1,367 @@
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/message.h"
+
+namespace kc {
+namespace {
+
+bool SameBits(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+/// Equality including NaN payloads (bit-pattern compare on doubles) and
+/// the receiver-side flow_id reconstruction contract.
+void ExpectRoundTrips(const Message& in) {
+  std::vector<uint8_t> bytes = codec::Encode(in);
+  ASSERT_EQ(bytes.size(), in.SizeBytes()) << in.ToString();
+
+  Message out;
+  size_t consumed = 0;
+  Status s = codec::DecodeFrame(bytes.data(), bytes.size(), &out, &consumed);
+  ASSERT_TRUE(s.ok()) << s << " for " << in.ToString();
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out.source_id, in.source_id);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.wire_seq, in.wire_seq);
+  EXPECT_TRUE(SameBits(out.time, in.time));
+  ASSERT_EQ(out.payload.size(), in.payload.size());
+  for (size_t i = 0; i < in.payload.size(); ++i) {
+    EXPECT_TRUE(SameBits(out.payload[i], in.payload[i])) << "payload[" << i
+                                                         << "]";
+  }
+  // flow_id never crosses the wire: the decoder reconstructs the value
+  // the sender stamps on uplink kinds and leaves control kinds unset.
+  if (IsUplinkType(in.type)) {
+    EXPECT_EQ(out.flow_id, CausalFlowId(in.source_id, in.wire_seq));
+  } else {
+    EXPECT_EQ(out.flow_id, 0u);
+  }
+
+  // Canonicality: re-encoding an accepted frame reproduces it bit for bit.
+  EXPECT_EQ(codec::Encode(out), bytes);
+}
+
+Message MakeMessage(MessageType type, size_t payload_doubles) {
+  Message msg;
+  msg.source_id = 42;
+  msg.type = type;
+  msg.seq = 1000;
+  msg.wire_seq = 7;
+  msg.time = 123.25;
+  if (IsUplinkType(type)) {
+    msg.flow_id = CausalFlowId(msg.source_id, msg.wire_seq);
+  }
+  for (size_t i = 0; i < payload_doubles; ++i) {
+    msg.payload.push_back(0.5 * static_cast<double>(i) - 1.0);
+  }
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-accounting parity: the frame the codec emits is exactly the size
+// the simulated channel charges, for every type and payload shape.
+
+TEST(CodecParityTest, EncodedSizeEqualsSizeBytesForAllTypesAndShapes) {
+  const size_t shapes[] = {0, 1, 8};
+  for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    for (size_t doubles : shapes) {
+      Message msg = MakeMessage(static_cast<MessageType>(t), doubles);
+      std::vector<uint8_t> bytes = codec::Encode(msg);
+      EXPECT_EQ(bytes.size(), msg.SizeBytes())
+          << MessageTypeName(msg.type) << " with " << doubles << " doubles";
+      EXPECT_EQ(codec::EncodedSize(msg), msg.SizeBytes());
+    }
+  }
+}
+
+TEST(CodecParityTest, VarintFieldsChangeSizeExactly) {
+  Message msg = MakeMessage(MessageType::kCorrection, 2);
+  msg.seq = 0;
+  size_t base = codec::Encode(msg).size();
+  EXPECT_EQ(base, msg.SizeBytes());
+  msg.seq = int64_t{1} << 42;  // zigzag -> 2^43, a 7-byte varint.
+  EXPECT_EQ(codec::Encode(msg).size(), base + 6);
+  EXPECT_EQ(codec::Encode(msg).size(), msg.SizeBytes());
+  msg.seq = std::numeric_limits<int64_t>::min();  // 10-byte varint.
+  EXPECT_EQ(codec::Encode(msg).size(), base + 9);
+  EXPECT_EQ(codec::Encode(msg).size(), msg.SizeBytes());
+}
+
+TEST(CodecParityTest, FlowIdIsNeverCharged) {
+  Message with = MakeMessage(MessageType::kHeartbeat, 0);
+  Message without = with;
+  without.flow_id = 0;
+  EXPECT_EQ(with.SizeBytes(), without.SizeBytes());
+  EXPECT_EQ(codec::Encode(with), codec::Encode(without));
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(CodecRoundTripTest, AllTypesAllShapes) {
+  const size_t shapes[] = {0, 1, 8};
+  for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    for (size_t doubles : shapes) {
+      ExpectRoundTrips(MakeMessage(static_cast<MessageType>(t), doubles));
+    }
+  }
+}
+
+TEST(CodecRoundTripTest, ExtremeFieldValues) {
+  Message msg = MakeMessage(MessageType::kFullSync, 3);
+  msg.source_id = std::numeric_limits<int32_t>::min();
+  msg.seq = std::numeric_limits<int64_t>::max();
+  msg.wire_seq = std::numeric_limits<int64_t>::min();
+  msg.flow_id = CausalFlowId(msg.source_id, msg.wire_seq);
+  msg.time = -0.0;
+  ExpectRoundTrips(msg);
+
+  msg.source_id = std::numeric_limits<int32_t>::max();
+  msg.seq = -1;
+  msg.wire_seq = -1;
+  msg.flow_id = CausalFlowId(msg.source_id, msg.wire_seq);
+  ExpectRoundTrips(msg);
+}
+
+TEST(CodecRoundTripTest, NonFinitePayloadBitsSurvive) {
+  Message msg = MakeMessage(MessageType::kInit, 0);
+  msg.payload = {std::numeric_limits<double>::quiet_NaN(),
+                 std::numeric_limits<double>::infinity(),
+                 -std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::denorm_min(),
+                 -std::nan("0x5ca1ab1e")};
+  msg.time = std::numeric_limits<double>::quiet_NaN();
+  ExpectRoundTrips(msg);
+}
+
+TEST(CodecRoundTripTest, RandomizedProperty) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Message msg;
+    msg.source_id = static_cast<int32_t>(
+        rng.UniformInt(std::numeric_limits<int32_t>::min(),
+                       std::numeric_limits<int32_t>::max()));
+    msg.type = static_cast<MessageType>(
+        rng.UniformInt(0, static_cast<int64_t>(kNumMessageTypes) - 1));
+    // Mix small (1-byte varint) and arbitrary 64-bit magnitudes.
+    msg.seq = rng.Bernoulli(0.5)
+                  ? rng.UniformInt(-64, 64)
+                  : rng.UniformInt(std::numeric_limits<int64_t>::min(),
+                                   std::numeric_limits<int64_t>::max());
+    msg.wire_seq = rng.Bernoulli(0.5)
+                       ? rng.UniformInt(0, 1 << 20)
+                       : rng.UniformInt(std::numeric_limits<int64_t>::min(),
+                                        std::numeric_limits<int64_t>::max());
+    if (IsUplinkType(msg.type)) {
+      msg.flow_id = CausalFlowId(msg.source_id, msg.wire_seq);
+    }
+    msg.time = rng.Bernoulli(0.1) ? std::numeric_limits<double>::quiet_NaN()
+                                  : rng.Gaussian(0.0, 1e6);
+    size_t doubles = static_cast<size_t>(rng.UniformInt(0, 20));
+    for (size_t i = 0; i < doubles; ++i) {
+      double d = rng.Gaussian(0.0, 1e9);
+      if (rng.Bernoulli(0.05)) d = std::numeric_limits<double>::infinity();
+      if (rng.Bernoulli(0.05)) d = std::numeric_limits<double>::quiet_NaN();
+      msg.payload.push_back(d);
+    }
+    ExpectRoundTrips(msg);
+  }
+}
+
+TEST(CodecRoundTripTest, BackToBackFramesDecodeInSequence) {
+  // Stream transports concatenate frames; consumed must step exactly one
+  // frame at a time.
+  std::vector<uint8_t> stream;
+  std::vector<Message> sent;
+  for (int i = 0; i < 5; ++i) {
+    Message m = MakeMessage(MessageType::kCorrection, i);
+    m.seq = 100 + i;
+    sent.push_back(m);
+    codec::EncodeFrame(m, &stream);
+  }
+  size_t off = 0;
+  for (const Message& expect : sent) {
+    Message got;
+    size_t consumed = 0;
+    ASSERT_TRUE(codec::DecodeFrame(stream.data() + off, stream.size() - off,
+                                   &got, &consumed)
+                    .ok());
+    EXPECT_EQ(got.seq, expect.seq);
+    EXPECT_EQ(got.payload.size(), expect.payload.size());
+    off += consumed;
+  }
+  EXPECT_EQ(off, stream.size());
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: truncation, garbage, unknown types. Decode must classify,
+// never crash.
+
+TEST(CodecHardeningTest, EveryProperPrefixIsOutOfRange) {
+  for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    for (size_t doubles : {size_t{0}, size_t{3}}) {
+      Message msg = MakeMessage(static_cast<MessageType>(t), doubles);
+      std::vector<uint8_t> bytes = codec::Encode(msg);
+      for (size_t len = 0; len < bytes.size(); ++len) {
+        Message out;
+        size_t consumed = 0;
+        Status s = codec::DecodeFrame(bytes.data(), len, &out, &consumed);
+        EXPECT_EQ(s.code(), StatusCode::kOutOfRange)
+            << "prefix of " << len << "/" << bytes.size() << " bytes: " << s;
+      }
+    }
+  }
+}
+
+TEST(CodecHardeningTest, UnknownTypeBytesAreInvalidNotUB) {
+  // source_id=42 zigzags to 84, a single byte, so the type byte sits at
+  // offset 2 (after the length prefix and source_id).
+  Message msg = MakeMessage(MessageType::kInit, 1);
+  std::vector<uint8_t> bytes = codec::Encode(msg);
+  ASSERT_EQ(bytes[2], static_cast<uint8_t>(MessageType::kInit));
+  for (int raw = static_cast<int>(kNumMessageTypes); raw <= 255; ++raw) {
+    bytes[2] = static_cast<uint8_t>(raw);
+    Message out;
+    size_t consumed = 0;
+    Status s = codec::DecodeFrame(bytes.data(), bytes.size(), &out, &consumed);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "type byte " << raw;
+  }
+}
+
+TEST(CodecHardeningTest, NonCanonicalVarintsRejected) {
+  Message msg = MakeMessage(MessageType::kCorrection, 0);
+  std::vector<uint8_t> canonical = codec::Encode(msg);
+  // Overlong length prefix: same value, padded with a continuation byte.
+  std::vector<uint8_t> padded;
+  padded.push_back(canonical[0] | 0x80);
+  padded.push_back(0x00);
+  padded.insert(padded.end(), canonical.begin() + 1, canonical.end());
+  Message out;
+  size_t consumed = 0;
+  Status s = codec::DecodeFrame(padded.data(), padded.size(), &out, &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s;
+
+  // Overlong source_id inside the body: the body grows by one byte, so
+  // re-declare the length accordingly — still rejected, because varint
+  // padding would break the byte-parity contract.
+  std::vector<uint8_t> body(canonical.begin() + 1, canonical.end());
+  std::vector<uint8_t> padded_src;
+  padded_src.push_back(static_cast<uint8_t>(body.size() + 1));
+  padded_src.push_back(body[0] | 0x80);
+  padded_src.push_back(0x00);
+  padded_src.insert(padded_src.end(), body.begin() + 1, body.end());
+  s = codec::DecodeFrame(padded_src.data(), padded_src.size(), &out,
+                         &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s;
+}
+
+TEST(CodecHardeningTest, OversizedAndUndersizedBodiesRejected) {
+  // body_len over the hard cap: rejected before any allocation.
+  std::vector<uint8_t> oversized;
+  uint64_t huge = codec::kMaxBodyBytes + 1;
+  while (huge >= 0x80) {
+    oversized.push_back(static_cast<uint8_t>(huge) | 0x80);
+    huge >>= 7;
+  }
+  oversized.push_back(static_cast<uint8_t>(huge));
+  oversized.resize(oversized.size() + 64, 0xAB);
+  Message out;
+  size_t consumed = 0;
+  EXPECT_EQ(codec::DecodeFrame(oversized.data(), oversized.size(), &out,
+                               &consumed)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // body_len below the minimal header: there is no such frame.
+  for (uint8_t body_len = 0; body_len < Message::kMinBodyBytes; ++body_len) {
+    std::vector<uint8_t> tiny = {body_len};
+    tiny.resize(1 + body_len, 0x00);
+    EXPECT_EQ(
+        codec::DecodeFrame(tiny.data(), tiny.size(), &out, &consumed).code(),
+        StatusCode::kInvalidArgument)
+        << "body_len " << static_cast<int>(body_len);
+  }
+}
+
+TEST(CodecHardeningTest, RaggedPayloadRejected) {
+  // A body whose payload region is not a whole number of doubles.
+  Message msg = MakeMessage(MessageType::kCorrection, 1);
+  std::vector<uint8_t> bytes = codec::Encode(msg);
+  // Append 4 stray bytes to the body and re-declare the (1-byte) length.
+  bytes[0] = static_cast<uint8_t>(bytes[0] + 4);
+  bytes.resize(bytes.size() + 4, 0xCD);
+  Message out;
+  size_t consumed = 0;
+  EXPECT_EQ(
+      codec::DecodeFrame(bytes.data(), bytes.size(), &out, &consumed).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CodecHardeningTest, RandomGarbageNeverCrashes) {
+  Rng rng(99);
+  for (int iter = 0; iter < 5000; ++iter) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 256));
+    std::vector<uint8_t> junk(len);
+    for (uint8_t& b : junk) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    Message out;
+    size_t consumed = 0;
+    Status s = codec::DecodeFrame(junk.data(), junk.size(), &out, &consumed);
+    if (s.ok()) {
+      // The one-in-a-zillion valid frame must at least be self-consistent.
+      EXPECT_LE(consumed, junk.size());
+      EXPECT_EQ(out.SizeBytes(), consumed);
+    } else {
+      EXPECT_TRUE(s.code() == StatusCode::kOutOfRange ||
+                  s.code() == StatusCode::kInvalidArgument)
+          << s;
+    }
+  }
+}
+
+TEST(CodecHardeningTest, SingleByteCorruptionsNeverCrash) {
+  Message msg = MakeMessage(MessageType::kFullSync, 4);
+  msg.seq = 123456789;
+  msg.wire_seq = 55;
+  const std::vector<uint8_t> clean = codec::Encode(msg);
+  for (size_t pos = 0; pos < clean.size(); ++pos) {
+    for (int delta : {1, 0x55, 0x80, 0xFF}) {
+      std::vector<uint8_t> bytes = clean;
+      bytes[pos] = static_cast<uint8_t>(bytes[pos] ^ delta);
+      Message out;
+      size_t consumed = 0;
+      Status s =
+          codec::DecodeFrame(bytes.data(), bytes.size(), &out, &consumed);
+      if (s.ok()) {
+        EXPECT_LE(consumed, bytes.size());
+      }
+    }
+  }
+}
+
+TEST(CodecHardeningTest, FrameExtentClassifiesPrefixes) {
+  Message msg = MakeMessage(MessageType::kHeartbeat, 0);
+  std::vector<uint8_t> bytes = codec::Encode(msg);
+  size_t frame_size = 0;
+  EXPECT_EQ(codec::FrameExtent(bytes.data(), 0, &frame_size).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(codec::FrameExtent(bytes.data(), 1, &frame_size).ok());
+  EXPECT_EQ(frame_size, bytes.size());
+}
+
+}  // namespace
+}  // namespace kc
