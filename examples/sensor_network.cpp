@@ -54,6 +54,17 @@
 //                          client, prints its delivery books, exits.
 //   --connect=HOST:PORT    run the sensor-fleet half against a listening
 //                          server; prints its send books on exit.
+//   --telemetry[=N]        distributed telemetry plane, one snapshot per N
+//                          ticks (default 32). In split mode the client
+//                          ships metric/trace/send-log snapshots over the
+//                          control stream and the server merges them into
+//                          kc.remote.client.* rows (plus clock-offset and
+//                          one-way wire-latency tracking); in simulated
+//                          mode the fleet self-merges through the same
+//                          codec path. Combine with --http-port on the
+//                          split server for a one-scrape view of both
+//                          processes, and with --trace-export for a
+//                          stitched cross-process trace.
 //   --ticks=N              override the run length (default 2880).
 //   --net-stats            after a simulated run, print the same
 //                          normalized "uplink sent/delivered" book lines
@@ -179,7 +190,8 @@ Workload BuildWorkload(int num_sensors, double avg_budget) {
 // `listen` is set, the client otherwise; either way the workload is
 // rebuilt locally so both processes agree by construction.
 int RunSplitMode(bool listen, const std::string& host, int port, size_t ticks,
-                 int num_sensors, double avg_budget) {
+                 int num_sensors, double avg_budget, long telemetry_every,
+                 int http_port, long serve_seconds, const char* trace_file) {
   Workload w = BuildWorkload(num_sensors, avg_budget);
   kc::SplitConfig config;
   config.host = host;
@@ -188,11 +200,21 @@ int RunSplitMode(bool listen, const std::string& host, int port, size_t ticks,
   config.num_sources = num_sensors;
   config.seed = 1;  // == ShardedFleet::Config default, so streams match.
   config.deltas = w.deltas;
+  config.telemetry_every = telemetry_every;
+  config.trace = trace_file != nullptr;
   auto make_predictor = [](int32_t) {
     return kc::MakeDefaultKalmanPredictor(0.01, 0.09);
   };
 
   if (listen) {
+    config.http_port = http_port;
+    config.serve_seconds = static_cast<int>(serve_seconds);
+    config.on_http_ready = [](int bound_port) {
+      std::printf("telemetry: http://127.0.0.1:%d/metrics (also /healthz "
+                  "/audit /timeseries)\n",
+                  bound_port);
+      std::fflush(stdout);  // Scrapers watch the pipe while we serve.
+    };
     std::printf("split server: listening on %s:%d (UDP uplink + TCP "
                 "control), %d sensors, %zu ticks\n",
                 host.c_str(), port, num_sensors, ticks);
@@ -211,6 +233,35 @@ int RunSplitMode(bool listen, const std::string& host, int port, size_t ticks,
                 report->mean_value);
     std::printf("uplink delivered: %s\n",
                 report->uplink.DeliveredLine().c_str());
+    if (telemetry_every > 0) {
+      std::printf("telemetry: %lld snapshots merged, wire latency %lld "
+                  "matched / %lld unmatched, clock offset %+.1fus "
+                  "(+/-%.1fus), %zu remote black boxes\n",
+                  static_cast<long long>(report->snapshots_merged),
+                  static_cast<long long>(report->latency_matched),
+                  static_cast<long long>(report->latency_unmatched),
+                  static_cast<double>(report->clock_offset_ns) / 1000.0,
+                  report->clock_uncertainty_ns < 0
+                      ? -1.0
+                      : static_cast<double>(report->clock_uncertainty_ns) /
+                            1000.0,
+                  report->remote_black_boxes.size());
+      for (const std::string& dump : report->remote_black_boxes) {
+        std::printf("-- remote black box --\n%s", dump.c_str());
+      }
+    }
+    if (trace_file != nullptr && !report->trace_json.empty()) {
+      FILE* f = std::fopen(trace_file, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", trace_file);
+        return 1;
+      }
+      std::fwrite(report->trace_json.data(), 1, report->trace_json.size(), f);
+      std::fclose(f);
+      std::printf("trace: stitched cross-process trace -> %s "
+                  "(chrome://tracing or ui.perfetto.dev)\n",
+                  trace_file);
+    }
     return 0;
   }
 
@@ -233,6 +284,18 @@ int RunSplitMode(bool listen, const std::string& host, int port, size_t ticks,
               report->suppression_ratio,
               static_cast<long long>(report->resyncs_served));
   std::printf("uplink sent: %s\n", report->uplink.SentLine().c_str());
+  if (telemetry_every > 0) {
+    std::printf("telemetry: %lld snapshots sent, %lld clock samples, offset "
+                "%+.1fus (+/-%.1fus), %lld black-box dumps served\n",
+                static_cast<long long>(report->snapshots_sent),
+                static_cast<long long>(report->clock_samples),
+                static_cast<double>(report->clock_offset_ns) / 1000.0,
+                report->clock_uncertainty_ns < 0
+                    ? -1.0
+                    : static_cast<double>(report->clock_uncertainty_ns) /
+                          1000.0,
+                static_cast<long long>(report->blackbox_dumps_served));
+  }
   return 0;
 }
 
@@ -250,6 +313,7 @@ int main(int argc, char** argv) {
   const char* trace_file = nullptr;
   long audit_every = 0;       // 0 = auditing off.
   long timeseries_every = 0;  // 0 = time-series off.
+  long telemetry_every = 0;   // 0 = distributed telemetry plane off.
   int http_port = -1;         // -1 = endpoint off (0 = ephemeral port).
   long serve_seconds = 0;
   int listen_port = -1;          // >= 0 = split-server role.
@@ -295,6 +359,12 @@ int main(int argc, char** argv) {
         long v = std::atol(argv[i] + 13);
         if (v > 0) timeseries_every = v;
       }
+    } else if (std::strncmp(argv[i], "--telemetry", 11) == 0) {
+      telemetry_every = 32;
+      if (argv[i][11] == '=') {
+        long v = std::atol(argv[i] + 12);
+        if (v > 0) telemetry_every = v;
+      }
     } else if (std::strncmp(argv[i], "--http-port=", 12) == 0) {
       http_port = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
@@ -312,7 +382,8 @@ int main(int argc, char** argv) {
   }
   if (listen_port >= 0) {
     return RunSplitMode(/*listen=*/true, "127.0.0.1", listen_port, ticks,
-                        kSensors, kAvgBudget);
+                        kSensors, kAvgBudget, telemetry_every, http_port,
+                        serve_seconds, trace_file);
   }
   if (!connect_spec.empty()) {
     std::string host = "127.0.0.1";
@@ -330,7 +401,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     return RunSplitMode(/*listen=*/false, host, port, ticks, kSensors,
-                        kAvgBudget);
+                        kAvgBudget, telemetry_every, /*http_port=*/-1,
+                        /*serve_seconds=*/0, trace_file);
   }
   const bool faulty = fleet_config.channel.faults.any_enabled() ||
                       fleet_config.channel.loss_prob > 0.0;
@@ -354,6 +426,10 @@ int main(int argc, char** argv) {
     fleet.EnableAudit(audit_config);
   }
   if (timeseries_every > 0) fleet.EnableTimeseries(timeseries_every);
+  // Simulated-mode telemetry plane: the fleet snapshots itself through the
+  // same codec + merger path the split deployment ships over sockets, so
+  // the encode/decode/fold surface is exercised without a second process.
+  if (telemetry_every > 0) fleet.EnableTelemetryPlane(telemetry_every);
   if (http_port >= 0) {
     kc::Status s = fleet.EnableHttpTelemetry(http_port);
     if (!s.ok()) {
@@ -363,6 +439,7 @@ int main(int argc, char** argv) {
     std::printf("telemetry: http://127.0.0.1:%d/metrics (also /healthz "
                 "/audit /timeseries)\n",
                 fleet.http()->port());
+    std::fflush(stdout);  // Scrapers watch the pipe while we serve.
   }
   if (trace_file != nullptr) kc::obs::SetTracingEnabled(true);
 

@@ -80,24 +80,69 @@ wait "$SMOKE_PID" 2>/dev/null || true
 trap - EXIT
 
 # Split-process smoke under the sanitizers: run the sensor network as two
-# real OS processes joined by UDP + TCP (--listen / --connect), and pin
-# the byte-accounting parity contract — the client's send books and the
-# server's delivery books must equal, string for string, the books a
-# simulated single-process run predicts for the same seed and workload.
+# real OS processes joined by UDP + TCP (--listen / --connect) with the
+# distributed telemetry plane on, and pin three contracts at once:
+#  - byte-accounting parity: telemetry rides uncharged escape frames, so
+#    the client's send books and the server's delivery books must equal,
+#    string for string, the books a simulated single-process run (with
+#    telemetry off) predicts for the same seed and workload;
+#  - merged exposition: one scrape of the server's /metrics carries both
+#    its local rows and the client's rows under kc.remote.client.*;
+#  - stitched tracing: the exported Chrome trace holds both named process
+#    tracks and at least one causal flow crossing the pid boundary.
 SPLIT_TICKS=288
 SPLIT_PORT=$((20000 + RANDOM % 20000))
 SIM_LOG="$BUILD_DIR/split_sim.log"
 SRV_LOG="$BUILD_DIR/split_server.log"
 CLI_LOG="$BUILD_DIR/split_client.log"
+SPLIT_TRACE="$BUILD_DIR/split_trace.json"
+rm -f "$SPLIT_TRACE"
 "$BUILD_DIR"/examples/sensor_network --ticks="$SPLIT_TICKS" --net-stats \
   >"$SIM_LOG" 2>&1
 "$BUILD_DIR"/examples/sensor_network --listen="$SPLIT_PORT" \
-  --ticks="$SPLIT_TICKS" >"$SRV_LOG" 2>&1 &
+  --ticks="$SPLIT_TICKS" --telemetry=32 --http-port=0 --serve-seconds=15 \
+  --trace-export="$SPLIT_TRACE" >"$SRV_LOG" 2>&1 &
 SRV_PID=$!
 trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
 sleep 1
+# The client never writes a trace file (only the server has the merged
+# view), but the flag turns its span capture on so snapshots carry spans.
 "$BUILD_DIR"/examples/sensor_network --connect=127.0.0.1:"$SPLIT_PORT" \
-  --ticks="$SPLIT_TICKS" >"$CLI_LOG" 2>&1
+  --ticks="$SPLIT_TICKS" --telemetry=32 \
+  --trace-export="$BUILD_DIR/unused_client_trace.json" >"$CLI_LOG" 2>&1
+# The client is done, so the server is inside its post-run serve window
+# with the final merged state published: scrape the single endpoint and
+# demand rows from both processes.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's#^telemetry: http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' \
+    "$SRV_LOG")
+  [ -n "$PORT" ] && break
+  sleep 0.2
+done
+if [ -z "$PORT" ]; then
+  echo "ci_asan: split server telemetry endpoint never came up"
+  cat "$SRV_LOG"; exit 1
+fi
+PORT="$PORT" python3 - <<'EOF'
+import os, urllib.request
+
+port = os.environ["PORT"]
+with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics") as r:
+    assert r.status == 200, r.status
+    metrics = r.read().decode()
+for line in metrics.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.partition(" ")
+    float(value)
+# Local server rows and the client's rows merged under one namespace.
+assert "kc_replica_messages_applied_total" in metrics, metrics[:400]
+assert "kc_remote_client_agent_decisions_total" in metrics, metrics[:400]
+assert "kc_net_wire_latency_us" in metrics, metrics[:400]
+assert "kc_remote_snapshots_total" in metrics, metrics[:400]
+print("split smoke: one scrape covers both processes")
+EOF
 wait "$SRV_PID"
 trap - EXIT
 SIM_SENT=$(grep '^uplink sent:' "$SIM_LOG")
@@ -117,5 +162,26 @@ if [ "$SIM_DELIVERED" != "$SRV_DELIVERED" ]; then
   exit 1
 fi
 echo "split smoke: books match across simulated and socket backends"
+# The stitched trace the server wrote after its serve window: named
+# tracks for both processes and at least one flow arrow whose start
+# ("s") and binding ("f") land on different pids.
+SPLIT_TRACE="$SPLIT_TRACE" python3 - <<'EOF'
+import json, os
+
+with open(os.environ["SPLIT_TRACE"]) as f:
+    trace = json.load(f)
+assert trace["displayTimeUnit"] == "ms"
+events = trace["traceEvents"]
+names = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+assert {"stream-server", "fleet-client"} <= names, names
+flows = {}
+for e in events:
+    if e.get("ph") in ("s", "f"):
+        flows.setdefault(e["id"], {"s": set(), "f": set()})
+        flows[e["id"]][e["ph"]].add(e["pid"])
+cross = sum(1 for v in flows.values() if v["s"] and v["f"] - v["s"])
+assert cross > 0, f"no cross-pid flow among {len(flows)} flows"
+print(f"split smoke: stitched trace OK ({cross} cross-pid flows)")
+EOF
 
 echo "ci_asan: OK (no memory errors reported)"

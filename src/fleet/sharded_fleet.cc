@@ -178,6 +178,7 @@ void ShardedFleet::EnableTimeseries(int64_t every_n_ticks,
   timeseries_ = std::make_unique<obs::TimeSeriesStore>(config);
   timeseries_->BindMetrics(server_.driver_metrics());
   timeseries_every_ = std::max<int64_t>(every_n_ticks, 1);
+  if (http_ != nullptr) http_->SetTimeseriesSource(timeseries_.get());
 }
 
 Status ShardedFleet::EnableHttpTelemetry(int port,
@@ -193,6 +194,10 @@ Status ShardedFleet::EnableHttpTelemetry(int port,
     return s;
   }
   publish_every_ = std::max<int64_t>(publish_every_n_ticks, 1);
+  // /timeseries renders from the live store per request (with ?prefix=
+  // support); the store is self-locking and outlives the server (member
+  // order: timeseries_ before http_, so http_ is destroyed first).
+  if (timeseries_ != nullptr) http_->SetTimeseriesSource(timeseries_.get());
   // Scrapes before the first publish see the startup state, not 404s.
   PublishTelemetry();
   return Status::Ok();
@@ -202,7 +207,14 @@ void ShardedFleet::PublishTelemetry() {
   if (http_ == nullptr) return;
   obs::MetricRegistry merged;
   server_.MergeMetricsInto(&merged);
-  http_->PublishMetrics(merged.Rows());
+  if (telemetry_merger_ != nullptr) {
+    // One scrape covers both "processes": the merger's namespaced remote
+    // rows join the local ones, exactly as on a split deployment's
+    // server.
+    http_->PublishMetrics(telemetry_merger_->MergedRows(merged.Rows()));
+  } else {
+    http_->PublishMetrics(merged.Rows());
+  }
   std::string body = StrFormat("ticks=%lld sources=%lld\n",
                                static_cast<long long>(ticks_),
                                static_cast<long long>(by_id_.size()));
@@ -210,12 +222,24 @@ void ShardedFleet::PublishTelemetry() {
   if (server_.audit_enabled()) {
     body += server_.AuditSummaryLine();
     healthy = server_.AuditExhaustedSources() == 0;
-    http_->PublishAudit(server_.AuditReportJson());
+    // The structured doc enables ?prefix=source.<id> / ?prefix=query.
+    // scoped /audit scrapes.
+    http_->PublishAuditDoc(server_.AuditReportDoc());
   }
   http_->PublishHealthz(healthy, std::move(body));
-  if (timeseries_ != nullptr) {
-    http_->PublishTimeseries(timeseries_->ExportJson());
-  }
+}
+
+void ShardedFleet::EnableTelemetryPlane(int64_t every_n_ticks) {
+  if (telemetry_merger_ != nullptr) return;
+  EnableMetrics();
+  telemetry_merger_ =
+      std::make_unique<obs::RemoteTelemetryMerger>(obs::RemoteTelemetryMerger::Options());
+  telemetry_merger_->BindMetrics(server_.driver_metrics());
+  telemetry_snapshots_ =
+      server_.driver_metrics()->GetCounter("kc.telemetry.snapshots");
+  telemetry_snapshot_bytes_ = server_.driver_metrics()->GetCounter(
+      "kc.telemetry.snapshot_bytes", /*wall_clock=*/true);
+  telemetry_every_ = std::max<int64_t>(every_n_ticks, 1);
 }
 
 void ShardedFleet::EnableMetrics() {
@@ -312,6 +336,31 @@ Status ShardedFleet::Step() {
     obs::MetricRegistry merged;
     server_.MergeMetricsInto(&merged);
     report_sink_(obs::ExportMetrics(merged, report_options_));
+  }
+  if (telemetry_every_ > 0 && ticks_ % telemetry_every_ == 0) {
+    // Self-merge round trip: encode the merged registry through the
+    // snapshot codec and absorb it, the exact path a split deployment's
+    // server runs on its client's snapshots. Rows already under the
+    // merger's namespace are excluded — re-snapshotting them would grow
+    // "kc.remote.client.remote.client.*" names without bound.
+    obs::MetricRegistry merged;
+    server_.MergeMetricsInto(&merged);
+    obs::TelemetrySnapshot snapshot;
+    snapshot.tick = ticks_;
+    for (obs::MetricRow& row : merged.Rows()) {
+      if (row.name.compare(0, 10, "kc.remote.") == 0) continue;
+      if (row.name.compare(0, 13, "kc.telemetry.") == 0) continue;
+      snapshot.rows.push_back(std::move(row));
+    }
+    std::vector<uint8_t> encoded;
+    obs::EncodeSnapshot(snapshot, &encoded);
+    telemetry_snapshots_->Inc();
+    telemetry_snapshot_bytes_->Inc(static_cast<int64_t>(encoded.size()));
+    obs::TelemetrySnapshot decoded;
+    Status s = obs::DecodeSnapshot(encoded.data(), encoded.size(), &decoded);
+    assert(s.ok());
+    (void)s;
+    telemetry_merger_->Absorb(decoded);
   }
   if (timeseries_every_ > 0 && ticks_ % timeseries_every_ == 0) {
     // Same post-barrier merge discipline: each capture snapshots the

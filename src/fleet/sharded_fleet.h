@@ -10,6 +10,8 @@
 #include "fleet/thread_pool.h"
 #include "obs/export.h"
 #include "obs/http_exporter.h"
+#include "obs/remote.h"
+#include "obs/snapshot.h"
 #include "obs/timeseries.h"
 #include "server/simulation.h"
 
@@ -205,6 +207,24 @@ class ShardedFleet {
   Status EnableHttpTelemetry(int port, int64_t publish_every_n_ticks = 64);
   obs::TelemetryHttpServer* http() { return http_.get(); }
 
+  /// Turns on the distributed-telemetry plane in self-merge mode: after
+  /// the barrier of every `every_n_ticks`-th Step, the merged registry is
+  /// encoded through the snapshot codec (obs/snapshot.h) and absorbed by
+  /// a RemoteTelemetryMerger exactly as a split deployment's server
+  /// absorbs its client's snapshots — so the single-process run exercises
+  /// the same codec/merge path the split smoke pins, and /metrics gains
+  /// the same kc.remote.client.* namespaced rows. Deterministic: rows are
+  /// merged in shard order, and the only run-dependent products
+  /// (kc.telemetry.snapshot_bytes, remote copies of wall-clock rows) are
+  /// wall_clock-flagged, so deterministic exports stay bit-identical for
+  /// any thread count. Requires EnableMetrics (called implicitly).
+  /// Idempotent.
+  void EnableTelemetryPlane(int64_t every_n_ticks = 32);
+  bool telemetry_plane_enabled() const { return telemetry_merger_ != nullptr; }
+  const obs::RemoteTelemetryMerger* telemetry_merger() const {
+    return telemetry_merger_.get();
+  }
+
   /// Fleet-wide deterministic dumps (empty when the facility is off);
   /// driver thread, after the barrier. Forwarded from ShardedServer.
   std::string DumpFlightRecorderText() const {
@@ -213,6 +233,7 @@ class ShardedFleet {
   std::string HealthSummaryText() const { return server_.HealthSummaryText(); }
   std::string AuditReportText() const { return server_.AuditReportText(); }
   std::string AuditReportJson() const { return server_.AuditReportJson(); }
+  obs::AuditDoc AuditReportDoc() const { return server_.AuditReportDoc(); }
   std::string AuditSummaryLine() const { return server_.AuditSummaryLine(); }
   obs::HealthState HealthOf(int32_t id) const { return server_.HealthOf(id); }
 
@@ -284,6 +305,12 @@ class ShardedFleet {
   int64_t timeseries_every_ = 0;
   std::unique_ptr<obs::TelemetryHttpServer> http_;
   int64_t publish_every_ = 0;
+  std::unique_ptr<obs::RemoteTelemetryMerger> telemetry_merger_;
+  int64_t telemetry_every_ = 0;
+  obs::Counter* telemetry_snapshots_ = nullptr;  ///< kc.telemetry.snapshots
+  /// kc.telemetry.snapshot_bytes — wall-clock (varint sizes depend on
+  /// wall-clock histogram values).
+  obs::Counter* telemetry_snapshot_bytes_ = nullptr;
 };
 
 }  // namespace kc

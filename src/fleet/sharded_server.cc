@@ -302,6 +302,15 @@ std::string ShardedServer::AuditReportJson() const {
   return obs::MergedAuditReportJson(AuditView());
 }
 
+obs::AuditDoc ShardedServer::AuditReportDoc() const {
+  if (shard_audits_.empty()) {
+    obs::AuditDoc doc;
+    doc.full = "{}";
+    return doc;
+  }
+  return obs::MergedAuditReportDoc(AuditView());
+}
+
 std::string ShardedServer::AuditSummaryLine() const {
   if (shard_audits_.empty()) return std::string();
   return obs::MergedAuditSummaryLine(AuditView());

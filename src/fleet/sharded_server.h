@@ -223,6 +223,9 @@ class ShardedServer : public SourceView {
   /// thread count. Empty ("{}"/"" ) when disabled.
   std::string AuditReportText() const;
   std::string AuditReportJson() const;
+  /// The JSON report as addressable pieces (obs::AuditDoc) for
+  /// `?prefix=`-scoped /audit scrapes. Empty doc when disabled.
+  obs::AuditDoc AuditReportDoc() const;
   std::string AuditSummaryLine() const;
 
   /// Sources whose SLO error budget is currently EXHAUSTED (0 when

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace kc {
 
@@ -21,14 +22,43 @@ namespace {
 /// a leading 0x00 byte can never start a protocol frame. The transport
 /// claims that byte for its own framing:
 ///
-///   escape := 0x00 opcode:u8 arg:u64le
+///   escape := 0x00 opcode:u8 arg:u64le [payload]
 ///
-/// Opcode 0x01 = tick barrier (arg = the sender's stream tick). Escape
-/// frames are transport metadata, not protocol traffic: they bypass the
-/// codec and are never charged to NetworkStats.
+/// Opcodes below 0x10 are fixed-size (the 10-byte header is the whole
+/// frame; arg is the value). Opcodes 0x10 and up carry a payload: arg is
+/// its byte length and the payload follows the header on the stream.
+///
+///   0x01 tick barrier     arg = sender's stream tick
+///   0x02 clock ping       arg = sender's monotonic clock, ns
+///   0x03 black-box request arg = source id
+///   0x10 clock pong       payload = echoed t0:u64le + peer clock ns:u64le
+///   0x11 telemetry snapshot payload = obs/snapshot.h codec bytes
+///   0x12 black-box dump   payload = source id:u64le + dump text
+///
+/// Escape frames are transport metadata, not protocol traffic: they
+/// bypass the codec and are never charged to NetworkStats. An unknown
+/// opcode is malformed (poisons a TCP stream, is counted on UDP).
 constexpr uint8_t kEscapeByte = 0x00;
 constexpr uint8_t kOpTickBarrier = 0x01;
+constexpr uint8_t kOpClockPing = 0x02;
+constexpr uint8_t kOpBlackboxRequest = 0x03;
+constexpr uint8_t kOpClockPong = 0x10;
+constexpr uint8_t kOpSnapshot = 0x11;
+constexpr uint8_t kOpBlackboxDump = 0x12;
 constexpr size_t kEscapeFrameBytes = 10;
+constexpr uint8_t kFirstVariableOpcode = 0x10;
+/// Caps a variable escape frame's payload. Snapshots of even huge fleets
+/// are far below this; anything above it is stream corruption, not data.
+constexpr size_t kMaxEscapePayloadBytes = 4 * 1024 * 1024;
+
+bool IsVariableEscapeOpcode(uint8_t op) {
+  return op >= kFirstVariableOpcode && op <= kOpBlackboxDump;
+}
+
+bool IsKnownEscapeOpcode(uint8_t op) {
+  return (op >= kOpTickBarrier && op <= kOpBlackboxRequest) ||
+         IsVariableEscapeOpcode(op);
+}
 
 /// Largest UDP datagram we ever read. A conforming frame fits easily
 /// (kMaxBodyBytes is the decode-side cap, but senders here emit payloads
@@ -170,6 +200,8 @@ Status SocketChannel::Send(const Message& msg) {
       // unreachable from an earlier send, ...). On a datagram link that
       // is just loss: charge the drop, keep flying.
       AccountDrop(msg);
+    } else {
+      LogSendTimestamp(msg);
     }
     return Status::Ok();
   }
@@ -179,7 +211,41 @@ Status SocketChannel::Send(const Message& msg) {
     Poison(s);
     return s;
   }
+  LogSendTimestamp(msg);
   return Status::Ok();
+}
+
+void SocketChannel::LogSendTimestamp(const Message& msg) {
+  // Only flow-stamped messages can be joined against the peer's arrival
+  // times; a dropped datagram never reaches the wire and is not logged.
+  if (!send_log_enabled_ || msg.flow_id == 0) return;
+  if (send_log_.size() >= send_log_capacity_) {
+    send_log_.erase(send_log_.begin());
+    ++send_log_dropped_;
+  }
+  obs::WireSendRecord rec;
+  rec.flow_id = msg.flow_id;
+  rec.type = static_cast<uint8_t>(msg.type);
+  rec.send_ns = obs::TraceNowNs();
+  send_log_.push_back(rec);
+}
+
+Status SocketChannel::SendEscape(uint8_t opcode, uint64_t arg,
+                                 const uint8_t* payload, size_t payload_size) {
+  if (kind_ != Kind::kTcp) {
+    return Status::FailedPrecondition("escape frames ride the TCP control "
+                                      "stream only");
+  }
+  if (!last_error_.ok()) return last_error_;
+  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
+  uint8_t frame[kEscapeFrameBytes];
+  frame[0] = kEscapeByte;
+  frame[1] = opcode;
+  WriteLe64(arg, frame + 2);
+  Status s = WriteAll(frame, sizeof(frame));
+  if (s.ok() && payload_size > 0) s = WriteAll(payload, payload_size);
+  if (!s.ok()) Poison(s);
+  return s;
 }
 
 Status SocketChannel::SendTickBarrier(int64_t tick) {
@@ -187,15 +253,53 @@ Status SocketChannel::SendTickBarrier(int64_t tick) {
     return Status::FailedPrecondition("tick barriers ride the TCP control "
                                       "stream only");
   }
-  if (!last_error_.ok()) return last_error_;
-  if (fd_ < 0) return Status::FailedPrecondition("channel is closed");
-  uint8_t frame[kEscapeFrameBytes];
-  frame[0] = kEscapeByte;
-  frame[1] = kOpTickBarrier;
-  WriteLe64(static_cast<uint64_t>(tick), frame + 2);
-  Status s = WriteAll(frame, sizeof(frame));
-  if (!s.ok()) Poison(s);
-  return s;
+  return SendEscape(kOpTickBarrier, static_cast<uint64_t>(tick), nullptr, 0);
+}
+
+Status SocketChannel::SendClockPing(int64_t t0_ns) {
+  return SendEscape(kOpClockPing, static_cast<uint64_t>(t0_ns), nullptr, 0);
+}
+
+Status SocketChannel::SendClockPong(int64_t echoed_t0_ns, int64_t now_ns) {
+  uint8_t payload[16];
+  WriteLe64(static_cast<uint64_t>(echoed_t0_ns), payload);
+  WriteLe64(static_cast<uint64_t>(now_ns), payload + 8);
+  return SendEscape(kOpClockPong, sizeof(payload), payload, sizeof(payload));
+}
+
+Status SocketChannel::SendTelemetrySnapshot(const uint8_t* data, size_t size) {
+  if (size == 0 || size > kMaxEscapePayloadBytes) {
+    return Status::InvalidArgument("telemetry snapshot size out of range");
+  }
+  return SendEscape(kOpSnapshot, size, data, size);
+}
+
+Status SocketChannel::SendBlackboxRequest(int64_t source_id) {
+  return SendEscape(kOpBlackboxRequest, static_cast<uint64_t>(source_id),
+                    nullptr, 0);
+}
+
+Status SocketChannel::SendBlackboxDump(int64_t source_id,
+                                       const std::string& dump) {
+  if (dump.size() > kMaxEscapePayloadBytes - 8) {
+    return Status::InvalidArgument("black-box dump too large");
+  }
+  std::vector<uint8_t> payload(8 + dump.size());
+  WriteLe64(static_cast<uint64_t>(source_id), payload.data());
+  std::memcpy(payload.data() + 8, dump.data(), dump.size());
+  return SendEscape(kOpBlackboxDump, payload.size(), payload.data(),
+                    payload.size());
+}
+
+void SocketChannel::EnableSendTimestampLog(size_t capacity) {
+  send_log_enabled_ = true;
+  send_log_capacity_ = capacity == 0 ? 1 : capacity;
+  send_log_.reserve(send_log_capacity_);
+}
+
+void SocketChannel::DrainSendTimestamps(std::vector<obs::WireSendRecord>* out) {
+  out->insert(out->end(), send_log_.begin(), send_log_.end());
+  send_log_.clear();
 }
 
 void SocketChannel::AdvanceTick() {
@@ -223,10 +327,59 @@ int SocketChannel::Poll(int timeout_ms) {
 }
 
 bool SocketChannel::HandleEscapeFrame(const uint8_t* data, size_t size) {
-  if (size != kEscapeFrameBytes || data[1] != kOpTickBarrier) return false;
-  int64_t tick = static_cast<int64_t>(ReadLe64(data + 2));
-  if (tick_sink_) tick_sink_(tick);
-  return true;
+  if (size < kEscapeFrameBytes) return false;
+  const uint8_t opcode = data[1];
+  if (!IsKnownEscapeOpcode(opcode)) return false;
+  const uint64_t arg = ReadLe64(data + 2);
+  if (IsVariableEscapeOpcode(opcode)) {
+    if (arg > kMaxEscapePayloadBytes) return false;
+    if (size != kEscapeFrameBytes + arg) return false;
+  } else if (size != kEscapeFrameBytes) {
+    return false;
+  }
+  const uint8_t* payload = data + kEscapeFrameBytes;
+  switch (opcode) {
+    case kOpTickBarrier:
+      if (tick_sink_) tick_sink_(static_cast<int64_t>(arg));
+      return true;
+    case kOpClockPing:
+      // Answer in the transport itself: the round trip must not depend
+      // on the application draining and re-sending, or queueing delay
+      // would masquerade as clock offset. Best effort — a failed pong
+      // just costs the peer one sample.
+      if (kind_ == Kind::kTcp && fd_ >= 0) {
+        (void)SendClockPong(static_cast<int64_t>(arg), obs::TraceNowNs());
+      }
+      return true;
+    case kOpBlackboxRequest:
+      if (blackbox_request_sink_) {
+        blackbox_request_sink_(static_cast<int64_t>(arg));
+      }
+      return true;
+    case kOpClockPong: {
+      if (arg != 16) return false;
+      if (clock_pong_sink_) {
+        clock_pong_sink_(static_cast<int64_t>(ReadLe64(payload)),
+                         static_cast<int64_t>(ReadLe64(payload + 8)));
+      }
+      return true;
+    }
+    case kOpSnapshot:
+      if (arg == 0) return false;
+      if (snapshot_sink_) snapshot_sink_(payload, static_cast<size_t>(arg));
+      return true;
+    case kOpBlackboxDump: {
+      if (arg < 8) return false;
+      if (blackbox_dump_sink_) {
+        blackbox_dump_sink_(
+            static_cast<int64_t>(ReadLe64(payload)),
+            std::string(reinterpret_cast<const char*>(payload + 8),
+                        static_cast<size_t>(arg - 8)));
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 void SocketChannel::DrainUdp() {
@@ -287,13 +440,27 @@ bool SocketChannel::ParseTcpBuffer() {
     const uint8_t* p = rx_buf_.data() + off;
     const size_t avail = rx_buf_.size() - off;
     if (p[0] == kEscapeByte) {
-      if (avail < kEscapeFrameBytes) break;  // Wait for the rest.
-      if (!HandleEscapeFrame(p, kEscapeFrameBytes)) {
+      if (avail < kEscapeFrameBytes) break;  // Wait for the header.
+      size_t escape_size = kEscapeFrameBytes;
+      if (IsVariableEscapeOpcode(p[1])) {
+        const uint64_t len = ReadLe64(p + 2);
+        if (len > kMaxEscapePayloadBytes) {
+          // An absurd length is corruption; waiting for that many bytes
+          // would stall the stream forever.
+          ++frames_rejected_;
+          Poison(Status::DataLoss(
+              "oversized escape payload on control stream"));
+          return false;
+        }
+        escape_size += static_cast<size_t>(len);
+        if (avail < escape_size) break;  // Wait for the payload.
+      }
+      if (!HandleEscapeFrame(p, escape_size)) {
         ++frames_rejected_;
         Poison(Status::DataLoss("malformed escape frame on control stream"));
         return false;
       }
-      off += kEscapeFrameBytes;
+      off += escape_size;
       continue;
     }
     size_t frame_size = 0;

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "net/channel.h"
 #include "net/codec.h"
+#include "obs/snapshot.h"
 
 namespace kc {
 
@@ -92,6 +93,71 @@ class SocketChannel final : public Channel {
     tick_sink_ = std::move(sink);
   }
 
+  // --- Telemetry control plane (TCP escape frames, uncharged) ---------
+  //
+  // Everything below rides the same 0x00 escape scheme as the tick
+  // barrier: invisible to the codec, never charged to NetworkStats, so
+  // enabling telemetry cannot perturb the byte-accounting parity the
+  // transport tests pin (docs/PROTOCOL.md, "Telemetry control plane").
+
+  /// Clock probe: carries the sender's monotonic clock reading `t0_ns`.
+  /// The receiving transport answers automatically with a clock pong
+  /// echoing t0 plus its own clock — no sink required on the far side.
+  Status SendClockPing(int64_t t0_ns);
+
+  /// Explicit pong (the auto-answer uses this; exposed for tests).
+  Status SendClockPong(int64_t echoed_t0_ns, int64_t now_ns);
+
+  /// Ships one encoded telemetry snapshot (obs/snapshot.h bytes) to the
+  /// peer's snapshot sink.
+  Status SendTelemetrySnapshot(const uint8_t* data, size_t size);
+
+  /// Asks the peer to dump its flight recorder for `source_id` (the
+  /// remote black-box pull; the peer answers with SendBlackboxDump).
+  Status SendBlackboxRequest(int64_t source_id);
+
+  /// Ships a flight-recorder dump for `source_id` to the peer's dump
+  /// sink.
+  Status SendBlackboxDump(int64_t source_id, const std::string& dump);
+
+  /// Handler for clock pongs: (echoed_t0_ns, peer_clock_ns). The caller
+  /// pairs it with its own clock read to form an NTP-style sample
+  /// (obs::ClockOffsetEstimator::AddSample).
+  void SetClockPongSink(std::function<void(int64_t, int64_t)> sink) {
+    clock_pong_sink_ = std::move(sink);
+  }
+
+  /// Handler for received telemetry snapshots (raw codec bytes; decode
+  /// with obs::DecodeSnapshot).
+  void SetSnapshotSink(std::function<void(const uint8_t*, size_t)> sink) {
+    snapshot_sink_ = std::move(sink);
+  }
+
+  /// Handler for black-box dump requests (source id).
+  void SetBlackboxRequestSink(std::function<void(int64_t)> sink) {
+    blackbox_request_sink_ = std::move(sink);
+  }
+
+  /// Handler for black-box dumps: (source_id, dump text).
+  void SetBlackboxDumpSink(std::function<void(int64_t, std::string)> sink) {
+    blackbox_dump_sink_ = std::move(sink);
+  }
+
+  /// Starts recording {flow_id, type, send wall-clock ns} per Send() of
+  /// a flow-stamped message, bounded to `capacity` records (oldest
+  /// dropped). The drained log rides telemetry snapshots so the peer can
+  /// join sends against its own arrival times into true one-way wire
+  /// latencies (obs::RemoteTelemetryMerger).
+  void EnableSendTimestampLog(size_t capacity = 8192);
+
+  /// Moves every logged send record into `out` (appends) and clears the
+  /// log — each record is drained exactly once, a natural per-snapshot
+  /// delta.
+  void DrainSendTimestamps(std::vector<obs::WireSendRecord>* out);
+
+  /// Records dropped because the send log hit capacity undrained.
+  int64_t send_log_dropped() const { return send_log_dropped_; }
+
   /// Local bound port (meaningful for UdpBind and accepted TCP ends).
   int port() const { return port_; }
   int fd() const { return fd_; }
@@ -126,8 +192,13 @@ class SocketChannel final : public Channel {
   /// Parses every complete frame in rx_buf_; returns false when the
   /// stream is poisoned.
   bool ParseTcpBuffer();
-  /// Handles one complete escape frame (tick barrier); false = malformed.
+  /// Handles one complete escape frame (header + any payload); false =
+  /// malformed.
   bool HandleEscapeFrame(const uint8_t* data, size_t size);
+  /// Writes a 10-byte escape header (+ optional payload) to the stream.
+  Status SendEscape(uint8_t opcode, uint64_t arg, const uint8_t* payload,
+                    size_t payload_size);
+  void LogSendTimestamp(const Message& msg);
   void Poison(Status error);
 
   Kind kind_;
@@ -139,6 +210,14 @@ class SocketChannel final : public Channel {
   std::vector<uint8_t> rx_buf_;   ///< TCP reassembly buffer.
   std::vector<uint8_t> tx_buf_;   ///< Per-send encode scratch.
   std::function<void(int64_t)> tick_sink_;
+  std::function<void(int64_t, int64_t)> clock_pong_sink_;
+  std::function<void(const uint8_t*, size_t)> snapshot_sink_;
+  std::function<void(int64_t)> blackbox_request_sink_;
+  std::function<void(int64_t, std::string)> blackbox_dump_sink_;
+  bool send_log_enabled_ = false;
+  size_t send_log_capacity_ = 0;
+  int64_t send_log_dropped_ = 0;
+  std::vector<obs::WireSendRecord> send_log_;
 };
 
 /// Accepts the control-plane TCP connection of a split-process

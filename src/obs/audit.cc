@@ -413,44 +413,61 @@ std::string MergedAuditReportText(const AuditMergeView& view) {
   return os.str();
 }
 
-std::string MergedAuditReportJson(const AuditMergeView& view) {
+AuditDoc MergedAuditReportDoc(const AuditMergeView& view) {
+  AuditDoc doc;
   AuditTotals t = Totals(view);
-  std::ostringstream os;
-  os << "{\"config\":{";
+  std::ostringstream head;
+  head << "{\"config\":{";
   if (view.config != nullptr) {
-    os << "\"sample_every\":" << view.config->sample_every
-       << ",\"slo_window_ticks\":" << view.config->slo_window_ticks
-       << ",\"burning_after\":" << view.config->burning_after
-       << ",\"exhausted_after\":" << view.config->exhausted_after;
+    head << "\"sample_every\":" << view.config->sample_every
+         << ",\"slo_window_ticks\":" << view.config->slo_window_ticks
+         << ",\"burning_after\":" << view.config->burning_after
+         << ",\"exhausted_after\":" << view.config->exhausted_after;
   }
-  os << "},\"totals\":{\"sources\":" << t.sources
-     << ",\"samples\":" << t.samples << ",\"contained\":" << t.contained
-     << ",\"violations\":" << t.violations << ",\"degraded\":" << t.degraded
-     << ",\"windows\":" << t.windows
-     << ",\"containment_pct\":" << Num(t.containment_pct())
-     << ",\"slo_ok\":" << t.slo_ok << ",\"slo_burning\":" << t.slo_burning
-     << ",\"slo_exhausted\":" << t.slo_exhausted << "},\"sources\":[";
-  bool first = true;
+  head << "},\"totals\":{\"sources\":" << t.sources
+       << ",\"samples\":" << t.samples << ",\"contained\":" << t.contained
+       << ",\"violations\":" << t.violations << ",\"degraded\":" << t.degraded
+       << ",\"windows\":" << t.windows
+       << ",\"containment_pct\":" << Num(t.containment_pct())
+       << ",\"slo_ok\":" << t.slo_ok << ",\"slo_burning\":" << t.slo_burning
+       << ",\"slo_exhausted\":" << t.slo_exhausted << "}";
+  doc.head = head.str();
   for (int32_t id : view.ids) {
     const PrecisionAuditor* arena = view.arena_of(id);
     std::string obj = arena == nullptr ? std::string() : arena->SourceJson(id);
     if (obj.empty()) continue;
-    if (!first) os << ",";
-    first = false;
-    os << obj;
+    doc.sources.emplace_back(StrFormat("source.%d", id), std::move(obj));
   }
-  os << "],\"queries\":[";
-  first = true;
   for (const AuditQueryTally& q : MergedQueries(view)) {
-    if (!first) os << ",";
-    first = false;
+    std::ostringstream os;
     os << "{\"name\":\"" << q.name << "\",\"evals\":" << q.evals
        << ",\"failed\":" << q.failed << ",\"stale\":" << q.stale
        << ",\"degraded\":" << q.degraded << ",\"unhealthy\":" << q.unhealthy
        << "}";
+    doc.queries.emplace_back("query." + q.name, os.str());
   }
-  os << "]}";
-  return os.str();
+  std::ostringstream full;
+  full << doc.head << ",\"sources\":[";
+  bool first = true;
+  for (const auto& [name, obj] : doc.sources) {
+    if (!first) full << ",";
+    first = false;
+    full << obj;
+  }
+  full << "],\"queries\":[";
+  first = true;
+  for (const auto& [name, obj] : doc.queries) {
+    if (!first) full << ",";
+    first = false;
+    full << obj;
+  }
+  full << "]}";
+  doc.full = full.str();
+  return doc;
+}
+
+std::string MergedAuditReportJson(const AuditMergeView& view) {
+  return MergedAuditReportDoc(view).full;
 }
 
 }  // namespace obs

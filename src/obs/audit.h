@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/health.h"
@@ -237,6 +238,23 @@ struct AuditMergeView {
 /// fleet totals and per-query tallies (merged by name across arenas).
 std::string MergedAuditReportText(const AuditMergeView& view);
 std::string MergedAuditReportJson(const AuditMergeView& view);
+
+/// The JSON report split into addressable pieces, so the HTTP endpoint
+/// can serve `?prefix=`-scoped subsets without re-walking live arenas
+/// (the publish-snapshot model: the driver publishes one doc per report
+/// interval; the serving thread only reassembles strings).
+///   full     the complete MergedAuditReportJson document
+///   head     its `{"config":{...},"totals":{...}` fragment (no brace
+///            balance — the reassembler appends sources/queries/"}")
+///   sources  ("source.<id>", json object) per source, report order
+///   queries  ("query.<name>", json object) per query tally, name order
+struct AuditDoc {
+  std::string full;
+  std::string head;
+  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<std::pair<std::string, std::string>> queries;
+};
+AuditDoc MergedAuditReportDoc(const AuditMergeView& view);
 /// One-line budget summary for health endpoints, e.g.
 /// "audit: sources=100 ok=100 burning=0 exhausted=0 samples=2880
 ///  violations=0 containment=100%".

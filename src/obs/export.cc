@@ -193,9 +193,11 @@ std::string ExportPrometheus(const MetricRegistry& registry,
                        {ExportFormat::kPrometheus, include_wall_clock, prefix});
 }
 
-std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
-  // Stable order: by start time, thread, then name, so the export is a
-  // pure function of the span set and each flow's "s" event comes from
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const ChromeTraceOptions& options) {
+  // Stable order: by start time, with pid then thread as tiebreaks, so
+  // the export is a pure function of the span set, merged multi-process
+  // traces load in causal order, and each flow's "s" event comes from
   // its earliest span.
   std::vector<const TraceEvent*> ordered;
   ordered.reserve(events.size());
@@ -205,16 +207,34 @@ std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
                      if (a->start_ns != b->start_ns) {
                        return a->start_ns < b->start_ns;
                      }
+                     if (a->pid != b->pid) return a->pid < b->pid;
                      return a->thread_index < b->thread_index;
                    });
   std::ostringstream os;
-  os << "{\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  std::set<uint64_t> flows_started;
   auto comma = [&os, &first] {
     if (!first) os << ",";
     first = false;
   };
+  // process_name metadata first: the explicitly named pids in their given
+  // order, then any unnamed pid present in the span set (ascending).
+  std::set<uint32_t> named_pids;
+  for (const auto& [pid, name] : options.process_names) {
+    if (!named_pids.insert(pid).second) continue;
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+  std::set<uint32_t> span_pids;
+  for (const TraceEvent* e : ordered) span_pids.insert(e->pid);
+  for (uint32_t pid : span_pids) {
+    if (named_pids.count(pid) != 0) continue;
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"process " << pid << "\"}}";
+  }
+  std::set<uint64_t> flows_started;
   for (const TraceEvent* e : ordered) {
     std::string ts = StrFormat("%.3f", static_cast<double>(e->start_ns) / 1e3);
     std::string dur =
@@ -222,7 +242,7 @@ std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
     comma();
     os << "{\"name\":\"" << (e->name != nullptr ? e->name : "?")
        << "\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
-       << ",\"pid\":0,\"tid\":" << e->thread_index
+       << ",\"pid\":" << e->pid << ",\"tid\":" << e->thread_index
        << ",\"args\":{\"depth\":" << e->depth << "}}";
     if (e->flow_id == 0) continue;
     // Flow stitching: the earliest span of a flow starts it ("s"); every
@@ -232,7 +252,7 @@ std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
     os << "{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\""
        << (starts ? "s" : "f") << "\"" << (starts ? "" : ",\"bp\":\"e\"")
        << ",\"id\":" << e->flow_id << ",\"ts\":" << ts
-       << ",\"pid\":0,\"tid\":" << e->thread_index << "}";
+       << ",\"pid\":" << e->pid << ",\"tid\":" << e->thread_index << "}";
   }
   os << "]}";
   return os.str();

@@ -2,6 +2,7 @@
 #define KALMANCAST_OBS_EXPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -54,13 +55,26 @@ std::string ExportPrometheus(const MetricRegistry& registry,
                              bool include_wall_clock = true,
                              const std::string& prefix = {});
 
-/// Renders trace spans (CollectTraceEvents) as Chrome trace-event JSON,
-/// loadable by chrome://tracing and Perfetto. Each span becomes a
-/// complete ("X") event on its recording thread's track; spans sharing a
-/// nonzero flow_id additionally emit flow ("s"/"f") events, so the
-/// agent-side decision and the replica-side apply of one message render
-/// as a connected arrow.
-std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+struct ChromeTraceOptions {
+  /// process_name metadata per pid (rendered as "M" events, in the given
+  /// order). Pids present in the span set but not named here get
+  /// "process <pid>". A split deployment names pid 0 "stream-server" and
+  /// pid 1 "fleet-client" so the stitched trace reads like the topology.
+  std::vector<std::pair<uint32_t, std::string>> process_names;
+};
+
+/// Renders trace spans (CollectTraceEvents, possibly merged with a
+/// RemoteTelemetryMerger's rebased remote events) as Chrome trace-event
+/// JSON, loadable by chrome://tracing and Perfetto. Events are sorted by
+/// timestamp (stable; pid then thread as tiebreaks) so merged
+/// multi-process traces load in causal order. Each span becomes a
+/// complete ("X") event on its (pid, tid) track; spans sharing a nonzero
+/// flow_id additionally emit flow ("s"/"f") events, so the agent-side
+/// decision and the replica-side apply of one message render as a
+/// connected arrow — across processes when the spans carry different
+/// pids.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const ChromeTraceOptions& options = {});
 
 }  // namespace obs
 }  // namespace kc

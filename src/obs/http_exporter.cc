@@ -150,11 +150,24 @@ void TelemetryHttpServer::PublishHealthz(bool healthy, std::string body) {
 void TelemetryHttpServer::PublishAudit(std::string json) {
   std::lock_guard<std::mutex> lock(mu_);
   audit_json_ = std::move(json);
+  has_audit_doc_ = false;
+}
+
+void TelemetryHttpServer::PublishAuditDoc(AuditDoc doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  audit_json_ = doc.full;
+  audit_doc_ = std::move(doc);
+  has_audit_doc_ = true;
 }
 
 void TelemetryHttpServer::PublishTimeseries(std::string json) {
   std::lock_guard<std::mutex> lock(mu_);
   timeseries_json_ = std::move(json);
+}
+
+void TelemetryHttpServer::SetTimeseriesSource(const TimeSeriesStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeseries_source_ = store;
 }
 
 TelemetryHttpServer::Response TelemetryHttpServer::Handle(
@@ -188,10 +201,44 @@ TelemetryHttpServer::Response TelemetryHttpServer::Handle(
                                    : healthz_body_;
   } else if (path == "/audit") {
     r.content_type = "application/json";
-    r.body = audit_json_.empty() ? "{}" : audit_json_;
+    std::string prefix = QueryParam(query, "prefix");
+    if (prefix.empty() || !has_audit_doc_) {
+      r.body = audit_json_.empty() ? "{}" : audit_json_;
+    } else {
+      // Reassemble a scoped document from the published pieces: the head
+      // fragment plus only the "source.<id>" / "query.<name>" entries
+      // matching the prefix. Totals stay fleet-wide by design — the
+      // scope narrows the detail arrays, not the accounting.
+      std::ostringstream os;
+      os << audit_doc_.head << ",\"sources\":[";
+      bool first = true;
+      for (const auto& [name, obj] : audit_doc_.sources) {
+        if (name.compare(0, prefix.size(), prefix) != 0) continue;
+        if (!first) os << ",";
+        first = false;
+        os << obj;
+      }
+      os << "],\"queries\":[";
+      first = true;
+      for (const auto& [name, obj] : audit_doc_.queries) {
+        if (name.compare(0, prefix.size(), prefix) != 0) continue;
+        if (!first) os << ",";
+        first = false;
+        os << obj;
+      }
+      os << "]}";
+      r.body = os.str();
+    }
   } else if (path == "/timeseries") {
     r.content_type = "application/json";
-    r.body = timeseries_json_.empty() ? "{}" : timeseries_json_;
+    if (timeseries_source_ != nullptr) {
+      // Live source: render per request, honoring ?prefix=. ExportJson
+      // takes the store's own mutex; the store is documented readable by
+      // endpoints between captures.
+      r.body = timeseries_source_->ExportJson(QueryParam(query, "prefix"));
+    } else {
+      r.body = timeseries_json_.empty() ? "{}" : timeseries_json_;
+    }
   } else {
     r.status = 404;
     r.content_type = "text/plain; charset=utf-8";

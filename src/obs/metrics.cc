@@ -193,12 +193,13 @@ double HistogramQuantile(const std::vector<double>& bounds,
   return QuantileImpl(bounds.data(), bounds.size(), padded.data(), q);
 }
 
-Counter* MetricRegistry::GetCounter(std::string_view name) {
+Counter* MetricRegistry::GetCounter(std::string_view name, bool wall_clock) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry entry;
     entry.kind = MetricKind::kCounter;
+    entry.wall_clock = wall_clock;
     entry.counter.reset(new Counter());
     it = metrics_.emplace(std::string(name), std::move(entry)).first;
   }
@@ -209,12 +210,13 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
   return it->second.counter.get();
 }
 
-Gauge* MetricRegistry::GetGauge(std::string_view name) {
+Gauge* MetricRegistry::GetGauge(std::string_view name, bool wall_clock) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry entry;
     entry.kind = MetricKind::kGauge;
+    entry.wall_clock = wall_clock;
     entry.gauge.reset(new Gauge());
     it = metrics_.emplace(std::string(name), std::move(entry)).first;
   }
@@ -248,12 +250,12 @@ void MetricRegistry::MergeFrom(const MetricRegistry& other) {
   for (const MetricRow& row : other.Rows()) {
     switch (row.kind) {
       case MetricKind::kCounter: {
-        Counter* c = GetCounter(row.name);
+        Counter* c = GetCounter(row.name, row.wall_clock);
         if (c != nullptr) c->Inc(row.counter);
         break;
       }
       case MetricKind::kGauge: {
-        Gauge* g = GetGauge(row.name);
+        Gauge* g = GetGauge(row.name, row.wall_clock);
         if (g != nullptr) g->Add(row.gauge);
         break;
       }
@@ -265,10 +267,22 @@ void MetricRegistry::MergeFrom(const MetricRegistry& other) {
         }
         Histogram* h = GetHistogram(row.name, buckets, row.wall_clock);
         if (h == nullptr) break;
-        // Add bucket-by-bucket: layouts agree because the first
-        // registration of a name fixes them fleet-wide.
-        size_t n = std::min(row.hist_counts.size(), h->num_buckets());
-        for (size_t i = 0; i < n; ++i) {
+        // Bucket-by-bucket addition is only meaningful when both sides
+        // use the same layout. Arenas built from the same code do by
+        // construction; a remote registry (obs/snapshot.h) need not, and
+        // misbinning its counts would corrupt quantile estimates
+        // silently. A mismatched row is dropped and recorded instead.
+        bool same_layout = row.hist_bounds.size() + 1 == h->num_buckets();
+        for (size_t i = 0; same_layout && i < row.hist_bounds.size(); ++i) {
+          same_layout = row.hist_bounds[i] == h->bucket_bound(i);
+        }
+        if (!same_layout || row.hist_counts.size() != h->num_buckets()) {
+          NoteConflict(row.name +
+                       ": histogram bucket layouts differ across registries; "
+                       "merge row dropped");
+          break;
+        }
+        for (size_t i = 0; i < row.hist_counts.size(); ++i) {
           h->counts_[i].store(
               h->counts_[i].load(std::memory_order_relaxed) +
                   row.hist_counts[i],
@@ -329,14 +343,22 @@ std::vector<std::string> MetricRegistry::Validate() const {
 void MetricRegistry::NoteConflictLocked(std::string_view name,
                                         MetricKind registered,
                                         MetricKind requested) {
-  std::string desc = std::string(name) + ": registered as " +
-                     KindShortName(registered) + ", requested as " +
-                     KindShortName(requested);
+  NoteConflictDescLocked(std::string(name) + ": registered as " +
+                         KindShortName(registered) + ", requested as " +
+                         KindShortName(requested));
+}
+
+void MetricRegistry::NoteConflict(std::string desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteConflictDescLocked(std::move(desc));
+}
+
+void MetricRegistry::NoteConflictDescLocked(std::string desc) {
   for (const std::string& seen : conflicts_) {
     if (seen == desc) return;  // Log each distinct conflict once.
   }
-  conflicts_.push_back(desc);
-  KC_LOG(Warning) << "metric kind conflict (instrument disabled): " << desc;
+  KC_LOG(Warning) << "metric conflict: " << desc;
+  conflicts_.push_back(std::move(desc));
 }
 
 MetricRegistry& DefaultRegistry() {

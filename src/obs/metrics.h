@@ -168,17 +168,23 @@ class MetricRegistry {
   /// Registers (or finds) a metric. Returns nullptr only if `name` is
   /// already registered as a different kind. A histogram's bucket layout
   /// is fixed by its first registration; later calls ignore `buckets`.
-  /// `wall_clock` marks run-dependent timing metrics for exporters.
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  /// `wall_clock` marks run-dependent metrics for exporters (timings, and
+  /// anything derived from them such as encoded-snapshot byte counts);
+  /// like the bucket layout, it is fixed by the first registration.
+  Counter* GetCounter(std::string_view name, bool wall_clock = false);
+  Gauge* GetGauge(std::string_view name, bool wall_clock = false);
   Histogram* GetHistogram(std::string_view name, const Buckets& buckets,
                           bool wall_clock = false);
 
   /// Accumulates every metric of `other` into this registry, registering
-  /// missing names. Counters and histogram buckets add; gauges add (see
-  /// Gauge). Kind conflicts are skipped. Merging shard arenas in shard
-  /// order after the barrier yields identical results for any thread
-  /// count.
+  /// missing names (wall-clock flags carry over). Counters and histogram
+  /// buckets add; gauges add (see Gauge). Kind conflicts are skipped, as
+  /// are histograms whose bucket layout disagrees with the one already
+  /// registered here — a layout mismatch means two arenas registered the
+  /// same name with different buckets, so bucket-by-bucket addition would
+  /// silently misbin; the row is dropped and the conflict is recorded
+  /// (see Validate). Merging shard arenas in shard order after the
+  /// barrier yields identical results for any thread count.
   void MergeFrom(const MetricRegistry& other);
 
   /// Snapshot of every metric, sorted by name (cold path).
@@ -186,11 +192,13 @@ class MetricRegistry {
 
   size_t size() const;
 
-  /// Kind conflicts seen so far ("name: registered as X, requested as
-  /// Y"), in first-seen order. A conflict means some caller got nullptr
-  /// and its instrument is silently disabled; each distinct conflict is
-  /// also logged once through the pluggable log sink when it first
-  /// happens. Empty means every registration agreed.
+  /// Conflicts seen so far, in first-seen order: kind conflicts ("name:
+  /// registered as X, requested as Y") and histogram bucket-layout
+  /// mismatches found by MergeFrom. A kind conflict means some caller got
+  /// nullptr and its instrument is silently disabled; a layout conflict
+  /// means a MergeFrom row was dropped. Each distinct conflict is also
+  /// logged once through the pluggable log sink when it first happens.
+  /// Empty means every registration agreed.
   std::vector<std::string> Validate() const;
 
  private:
@@ -205,6 +213,9 @@ class MetricRegistry {
   /// Records (and logs, first time) a kind conflict. Caller holds mu_.
   void NoteConflictLocked(std::string_view name, MetricKind registered,
                           MetricKind requested);
+  /// Records (and logs, first time) an arbitrary conflict description.
+  void NoteConflict(std::string desc);
+  void NoteConflictDescLocked(std::string desc);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> metrics_;

@@ -1,0 +1,191 @@
+#include "obs/remote.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace kc {
+namespace obs {
+
+ClockOffsetEstimator::ClockOffsetEstimator(size_t window)
+    : window_(window == 0 ? 1 : window), capacity_(window == 0 ? 1 : window) {}
+
+void ClockOffsetEstimator::AddSample(int64_t t0_ns, int64_t t1_ns,
+                                     int64_t peer_ns) {
+  int64_t rtt = t1_ns - t0_ns;
+  if (rtt < 0) return;  // Non-monotonic clock read; not a usable probe.
+  // Midpoint estimate: the peer answered somewhere inside [t0, t1]; the
+  // midpoint is the minimax choice, wrong by at most rtt/2.
+  Sample s;
+  s.rtt_ns = rtt;
+  s.offset_ns = peer_ns - (t0_ns + rtt / 2);
+  window_[next_] = s;
+  next_ = (next_ + 1) % capacity_;
+  count_ = std::min(count_ + 1, capacity_);
+  ++total_samples_;
+  // Recompute the window minimum (the window is small and probes arrive
+  // once per tick barrier — this is nowhere near a hot path).
+  best_rtt_ns_ = -1;
+  for (size_t i = 0; i < count_; ++i) {
+    if (best_rtt_ns_ < 0 || window_[i].rtt_ns < best_rtt_ns_) {
+      best_rtt_ns_ = window_[i].rtt_ns;
+      best_offset_ns_ = window_[i].offset_ns;
+    }
+  }
+}
+
+RemoteTelemetryMerger::RemoteTelemetryMerger(Options options)
+    : options_(std::move(options)) {
+  if (!options_.type_name) {
+    options_.type_name = [](uint8_t type) {
+      return StrFormat("type%u", static_cast<unsigned>(type));
+    };
+  }
+}
+
+void RemoteTelemetryMerger::BindMetrics(MetricRegistry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  snapshots_metric_ = registry_->GetCounter("kc.remote.snapshots");
+  // Clock and latency instruments hold real-time measurements — flagged
+  // wall_clock so deterministic exports stay byte-identical.
+  matched_metric_ =
+      registry_->GetCounter("kc.remote.latency_matched", /*wall_clock=*/true);
+  unmatched_metric_ = registry_->GetCounter("kc.remote.latency_unmatched",
+                                            /*wall_clock=*/true);
+  offset_us_metric_ =
+      registry_->GetGauge("kc.remote.clock_offset_us", /*wall_clock=*/true);
+  uncertainty_us_metric_ = registry_->GetGauge(
+      "kc.remote.clock_uncertainty_us", /*wall_clock=*/true);
+}
+
+Histogram* RemoteTelemetryMerger::LatencyHistogram(uint8_t type) {
+  auto it = latency_hists_.find(type);
+  if (it != latency_hists_.end()) return it->second;
+  Histogram* h = nullptr;
+  if (registry_ != nullptr) {
+    // 1 us .. ~0.5 s in octaves: loopback sits in the first buckets, a
+    // congested WAN still lands inside the finite range.
+    h = registry_->GetHistogram(
+        StrFormat("kc.net.wire_latency_us.%s",
+                  options_.type_name(type).c_str()),
+        Buckets::Exponential(1.0, 2.0, 20), /*wall_clock=*/true);
+  }
+  latency_hists_.emplace(type, h);
+  return h;
+}
+
+void RemoteTelemetryMerger::RecordArrival(uint64_t flow_id, uint8_t type,
+                                          int64_t arrival_ns) {
+  // emplace: first delivery wins; a duplicate's arrival time is not the
+  // original datagram's wire latency.
+  pending_arrivals_.emplace(flow_id, std::make_pair(type, arrival_ns));
+  if (pending_arrivals_.size() > options_.max_pending_arrivals) {
+    // Flow ids grow with (source, wire_seq), so begin() is the oldest.
+    pending_arrivals_.erase(pending_arrivals_.begin());
+  }
+}
+
+std::string RemoteTelemetryMerger::NamespacedName(
+    const std::string& name) const {
+  // Fold a leading "kc." into the namespace: "kc.agent.sent" becomes
+  // "kc.remote.client.agent.sent", not "kc.remote.client.kc.agent.sent".
+  if (name.compare(0, 3, "kc.") == 0) return options_.ns + name.substr(3);
+  return options_.ns + name;
+}
+
+void RemoteTelemetryMerger::Absorb(const TelemetrySnapshot& snapshot) {
+  ++snapshots_absorbed_;
+  last_tick_ = snapshot.tick;
+  clock_offset_ns_ = snapshot.clock_offset_ns;
+  clock_uncertainty_ns_ = snapshot.clock_uncertainty_ns;
+  health_summary_ = snapshot.health_summary;
+  audit_summary_ = snapshot.audit_summary;
+  if (snapshots_metric_ != nullptr) snapshots_metric_->Inc();
+  if (offset_us_metric_ != nullptr) {
+    offset_us_metric_->Set(static_cast<double>(clock_offset_ns_) * 1e-3);
+  }
+  if (uncertainty_us_metric_ != nullptr) {
+    uncertainty_us_metric_->Set(static_cast<double>(clock_uncertainty_ns_) *
+                                1e-3);
+  }
+
+  // Latest-wins per name: a snapshot row carries the remote instrument's
+  // full cumulative value, so replacement (not addition) is what keeps a
+  // scrape's remote counters honest.
+  for (const MetricRow& row : snapshot.rows) {
+    MetricRow namespaced = row;
+    namespaced.name = NamespacedName(row.name);
+    remote_rows_[namespaced.name] = std::move(namespaced);
+  }
+
+  // The remote trace ring is cumulative too: each snapshot re-sends the
+  // retained window, so keeping only the latest set avoids duplicate
+  // spans in the stitched export.
+  if (!snapshot.trace_events.empty()) {
+    remote_events_ = snapshot.trace_events;
+    for (const SnapshotTraceEvent& e : remote_events_) {
+      interned_names_.insert(e.name);
+    }
+  }
+
+  // Join the remote send log against local arrivals. The send log is a
+  // natural delta (the transport drains it into each snapshot), so every
+  // record is seen exactly once; an unmatched record is a message the
+  // wire genuinely lost (or one still in flight at the very end).
+  bool offset_usable = clock_uncertainty_ns_ >= 0;
+  for (const WireSendRecord& send : snapshot.send_log) {
+    auto it = pending_arrivals_.find(send.flow_id);
+    if (it == pending_arrivals_.end() || !offset_usable) {
+      ++latency_unmatched_;
+      if (unmatched_metric_ != nullptr) unmatched_metric_->Inc();
+      continue;
+    }
+    int64_t arrival_ns = it->second.second;
+    // Rebase the remote send time into the local clock; the offset's
+    // error bar can push a loopback latency slightly negative, which is
+    // measurement noise, not time travel — clamp to zero.
+    int64_t latency_ns =
+        arrival_ns - (send.send_ns + clock_offset_ns_);
+    if (latency_ns < 0) latency_ns = 0;
+    Histogram* h = LatencyHistogram(it->second.first);
+    if (h != nullptr) h->Record(static_cast<double>(latency_ns) * 1e-3);
+    ++latency_matched_;
+    if (matched_metric_ != nullptr) matched_metric_->Inc();
+    pending_arrivals_.erase(it);
+  }
+}
+
+std::vector<MetricRow> RemoteTelemetryMerger::MergedRows(
+    std::vector<MetricRow> local_rows) const {
+  local_rows.reserve(local_rows.size() + remote_rows_.size());
+  for (const auto& [name, row] : remote_rows_) local_rows.push_back(row);
+  std::sort(local_rows.begin(), local_rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return local_rows;
+}
+
+std::vector<TraceEvent> RemoteTelemetryMerger::RemoteTraceEvents() const {
+  std::vector<TraceEvent> events;
+  events.reserve(remote_events_.size());
+  for (const SnapshotTraceEvent& e : remote_events_) {
+    auto it = interned_names_.find(e.name);
+    if (it == interned_names_.end()) continue;  // Unreachable by Absorb.
+    TraceEvent out;
+    out.name = it->c_str();
+    out.start_ns = e.start_ns + clock_offset_ns_;
+    out.duration_ns = e.duration_ns;
+    out.flow_id = e.flow_id;
+    out.depth = e.depth;
+    out.thread_index = e.thread_index;
+    out.pid = options_.remote_pid;
+    events.push_back(out);
+  }
+  return events;
+}
+
+}  // namespace obs
+}  // namespace kc

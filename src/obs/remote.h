@@ -1,0 +1,170 @@
+#ifndef KALMANCAST_OBS_REMOTE_H_
+#define KALMANCAST_OBS_REMOTE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
+namespace kc {
+namespace obs {
+
+/// NTP-style clock-offset estimator over request/response round trips.
+/// Feed it (t0, t1, peer_ns) per probe — local send time, local receive
+/// time of the echo, and the peer's clock when it answered — and it
+/// estimates offset = peer_clock - local_clock as the midpoint estimate
+/// of the sample with the smallest RTT in a sliding window. Minimum-RTT
+/// filtering is the classic defense against queueing asymmetry: the
+/// fastest round trip is the one least distorted by buffering, and its
+/// midpoint error is bounded by rtt/2 — which is exactly the honest
+/// uncertainty this class reports. Single-threaded (driver thread).
+class ClockOffsetEstimator {
+ public:
+  static constexpr size_t kDefaultWindow = 64;
+
+  explicit ClockOffsetEstimator(size_t window = kDefaultWindow);
+
+  /// One completed probe. Samples with t1 < t0 (a non-monotonic clock
+  /// read) are ignored.
+  void AddSample(int64_t t0_ns, int64_t t1_ns, int64_t peer_ns);
+
+  bool has_estimate() const { return best_rtt_ns_ >= 0; }
+  /// peer_clock - local_clock, from the window's minimum-RTT sample.
+  int64_t offset_ns() const { return best_offset_ns_; }
+  /// Error bar: the winning sample's rtt/2 (-1 before any sample). The
+  /// true offset lies within [offset - u, offset + u] as long as the
+  /// winning round trip was not pathologically asymmetric.
+  int64_t uncertainty_ns() const {
+    return best_rtt_ns_ < 0 ? -1 : best_rtt_ns_ / 2;
+  }
+  int64_t samples() const { return total_samples_; }
+
+ private:
+  struct Sample {
+    int64_t offset_ns = 0;
+    int64_t rtt_ns = 0;
+  };
+
+  std::vector<Sample> window_;  ///< Ring, sized `capacity`.
+  size_t capacity_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  int64_t total_samples_ = 0;
+  int64_t best_offset_ns_ = 0;
+  int64_t best_rtt_ns_ = -1;
+};
+
+/// Folds a remote process's telemetry snapshots into the local
+/// observability surface (docs/OBSERVABILITY.md, "Distributed
+/// telemetry"):
+///
+///  - Metric rows are namespaced under `options.ns` ("kc.remote.client."
+///    by default; a leading "kc." on the remote name is folded into the
+///    namespace, so "kc.agent.sent" becomes "kc.remote.client.agent.sent")
+///    and kept latest-wins per name — remote rows are cumulative
+///    registry states, not deltas to add.
+///  - Trace events are kept latest-wins per snapshot (the remote ring is
+///    cumulative too), rebased into the local clock with the snapshot's
+///    own offset estimate, and tagged `options.remote_pid` so
+///    ExportChromeTrace renders them on their own process track.
+///  - The remote send log is joined against locally recorded arrivals
+///    (RecordArrival, keyed by causal flow id) to produce true one-way
+///    wire-latency histograms per message type — possible only because
+///    the snapshot carries the sender's clock offset.
+///
+/// Single-threaded: Absorb/RecordArrival/readers all run on the driver
+/// thread (transport sinks fire inside the driver's Poll). Deterministic
+/// by construction: remote rows live in an ordered map and MergedRows
+/// sorts, so a merged export is a pure function of the absorbed
+/// snapshots, in order.
+class RemoteTelemetryMerger {
+ public:
+  struct Options {
+    /// Namespace prefixed onto remote metric names.
+    std::string ns = "kc.remote.client.";
+    /// Chrome-trace pid for remote spans (local recorders emit pid 0).
+    uint32_t remote_pid = 1;
+    /// Renders a message-type byte into the latency histogram's name
+    /// suffix; defaults to "type<N>". The split deployment passes the
+    /// wire protocol's real type names (obs/ cannot name them without
+    /// inverting the net -> obs layering).
+    std::function<std::string(uint8_t type)> type_name;
+    /// Bound on arrivals waiting for their send record (oldest evicted).
+    size_t max_pending_arrivals = 8192;
+  };
+
+  RemoteTelemetryMerger() : RemoteTelemetryMerger(Options()) {}
+  explicit RemoteTelemetryMerger(Options options);
+
+  /// Registers the merger's own instruments (kc.remote.*) and the
+  /// per-type wire-latency histograms' home. Clock/latency instruments
+  /// are wall_clock-flagged: their values depend on real time, never on
+  /// the simulated workload.
+  void BindMetrics(MetricRegistry* registry);
+
+  /// Notes a locally delivered message (driver thread, at delivery time,
+  /// on the local steady clock). First arrival wins — a duplicate's
+  /// timestamp is not the wire latency of the original.
+  void RecordArrival(uint64_t flow_id, uint8_t type, int64_t arrival_ns);
+
+  /// Folds one decoded snapshot (see class comment).
+  void Absorb(const TelemetrySnapshot& snapshot);
+
+  /// The one-scrape-covers-both-processes view: `local_rows` plus the
+  /// namespaced remote rows, sorted by name.
+  std::vector<MetricRow> MergedRows(std::vector<MetricRow> local_rows) const;
+
+  /// The latest remote trace events rebased into the local clock
+  /// (start_ns + offset) and tagged remote_pid. Returned TraceEvent
+  /// names point at strings interned in this merger — they stay valid
+  /// for the merger's lifetime.
+  std::vector<TraceEvent> RemoteTraceEvents() const;
+
+  int64_t snapshots_absorbed() const { return snapshots_absorbed_; }
+  int64_t last_tick() const { return last_tick_; }
+  int64_t clock_offset_ns() const { return clock_offset_ns_; }
+  int64_t clock_uncertainty_ns() const { return clock_uncertainty_ns_; }
+  int64_t latency_matched() const { return latency_matched_; }
+  int64_t latency_unmatched() const { return latency_unmatched_; }
+  const std::string& health_summary() const { return health_summary_; }
+  const std::string& audit_summary() const { return audit_summary_; }
+
+ private:
+  std::string NamespacedName(const std::string& name) const;
+  Histogram* LatencyHistogram(uint8_t type);
+
+  Options options_;
+  std::map<std::string, MetricRow> remote_rows_;  ///< Namespaced, latest.
+  std::vector<SnapshotTraceEvent> remote_events_;  ///< Latest snapshot's.
+  std::set<std::string> interned_names_;  ///< Stable char* for TraceEvent.
+  /// flow id -> (type, local arrival ns), awaiting the send record.
+  std::map<uint64_t, std::pair<uint8_t, int64_t>> pending_arrivals_;
+  std::map<uint8_t, Histogram*> latency_hists_;
+
+  MetricRegistry* registry_ = nullptr;
+  Counter* snapshots_metric_ = nullptr;
+  Counter* matched_metric_ = nullptr;
+  Counter* unmatched_metric_ = nullptr;
+  Gauge* offset_us_metric_ = nullptr;
+  Gauge* uncertainty_us_metric_ = nullptr;
+
+  int64_t snapshots_absorbed_ = 0;
+  int64_t last_tick_ = -1;
+  int64_t clock_offset_ns_ = 0;
+  int64_t clock_uncertainty_ns_ = -1;
+  int64_t latency_matched_ = 0;
+  int64_t latency_unmatched_ = 0;
+  std::string health_summary_;
+  std::string audit_summary_;
+};
+
+}  // namespace obs
+}  // namespace kc
+
+#endif  // KALMANCAST_OBS_REMOTE_H_

@@ -41,6 +41,11 @@ struct TraceEvent {
   uint64_t flow_id = 0;
   uint32_t depth = 0;  ///< Nesting depth within the recording thread.
   uint32_t thread_index = 0;  ///< Stable per-thread recorder index.
+  /// Originating process track for the Chrome-trace export. Recorders
+  /// always emit 0 (this process); a merger of remote spans
+  /// (obs/remote.h) assigns nonzero pids so a stitched multi-process
+  /// trace keeps each process on its own track.
+  uint32_t pid = 0;
 };
 
 /// Per-thread ring buffer of completed spans. Obtain via

@@ -1,12 +1,46 @@
 #include "server/split_deploy.h"
 
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
 #include "net/transport.h"
+#include "obs/export.h"
+#include "obs/http_exporter.h"
+#include "obs/recorder.h"
+#include "obs/remote.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "server/simulation.h"
 
 namespace kc {
+
+namespace {
+
+/// True when the row differs from what the client last shipped — the
+/// per-snapshot delta filter (the merger is latest-wins per name, so
+/// resending unchanged rows is pure overhead).
+bool RowChanged(const obs::MetricRow& row,
+                const std::map<std::string, obs::MetricRow>& sent) {
+  auto it = sent.find(row.name);
+  if (it == sent.end()) return true;
+  const obs::MetricRow& old = it->second;
+  switch (row.kind) {
+    case obs::MetricKind::kCounter:
+      return row.counter != old.counter;
+    case obs::MetricKind::kGauge:
+      return row.gauge != old.gauge;
+    case obs::MetricKind::kHistogram:
+      return row.hist_counts != old.hist_counts ||
+             row.hist_sum != old.hist_sum;
+  }
+  return true;
+}
+
+}  // namespace
 
 StatusOr<SplitClientReport> RunSplitClient(
     const SplitConfig& config, const GeneratorFactory& make_generator,
@@ -56,6 +90,89 @@ StatusOr<SplitClientReport> RunSplitClient(
   int64_t acked = -1;
   control->SetTickSink([&acked](int64_t tick) { acked = tick; });
 
+  // --- Telemetry plane (client half) ---
+  const bool telemetry = config.telemetry_every > 0;
+  obs::MetricRegistry registry;
+  obs::FlightRecorder recorder;
+  obs::ClockOffsetEstimator estimator;
+  obs::Gauge* offset_gauge = nullptr;
+  obs::Gauge* uncertainty_gauge = nullptr;
+  int64_t snapshots_sent = 0;
+  int64_t dumps_served = 0;
+  std::map<std::string, obs::MetricRow> sent_rows;
+  if (telemetry) {
+    uplink->BindMetrics(&registry);
+    control->BindMetrics(&registry);
+    recorder.BindMetrics(&registry);
+    for (int32_t id = 0; id < config.num_sources; ++id) {
+      agents[static_cast<size_t>(id)]->BindMetrics(&registry);
+      agents[static_cast<size_t>(id)]->BindObservability(
+          recorder.ForSource(id), nullptr);
+    }
+    // Wall-clock instruments: real-time measurements, excluded from
+    // deterministic exports by flag.
+    offset_gauge =
+        registry.GetGauge("kc.net.clock_offset_us", /*wall_clock=*/true);
+    uncertainty_gauge = registry.GetGauge("kc.net.clock_offset_uncertainty_us",
+                                          /*wall_clock=*/true);
+    uplink->EnableSendTimestampLog();
+    control->SetClockPongSink([&](int64_t t0_ns, int64_t peer_ns) {
+      estimator.AddSample(t0_ns, obs::TraceNowNs(), peer_ns);
+      if (estimator.has_estimate()) {
+        offset_gauge->Set(static_cast<double>(estimator.offset_ns()) * 1e-3);
+        uncertainty_gauge->Set(
+            static_cast<double>(estimator.uncertainty_ns()) * 1e-3);
+      }
+    });
+    // Remote black-box pull: the server names a source, this half answers
+    // with its flight-recorder ring — the client-side decision history the
+    // server cannot see.
+    control->SetBlackboxRequestSink([&](int64_t source_id) {
+      std::string dump = recorder.DumpText(static_cast<int32_t>(source_id));
+      Status s = control->SendBlackboxDump(source_id, dump);
+      (void)s;  // A torn link surfaces via last_error in the tick loop.
+      ++dumps_served;
+    });
+    if (config.trace) obs::SetTracingEnabled(true);
+  }
+  // Encodes and ships one snapshot: changed metric rows, the clock
+  // estimate, drained send timestamps, and (when tracing) the retained
+  // trace spans.
+  auto send_snapshot = [&](int64_t tick) -> Status {
+    obs::TelemetrySnapshot snapshot;
+    snapshot.tick = tick;
+    if (estimator.has_estimate()) {
+      snapshot.clock_offset_ns = estimator.offset_ns();
+      snapshot.clock_uncertainty_ns = estimator.uncertainty_ns();
+    }
+    snapshot.health_summary = StrFormat(
+        "client: ticks=%lld sources=%d", static_cast<long long>(tick),
+        config.num_sources);
+    for (obs::MetricRow& row : registry.Rows()) {
+      if (!RowChanged(row, sent_rows)) continue;
+      sent_rows[row.name] = row;
+      snapshot.rows.push_back(std::move(row));
+    }
+    uplink->DrainSendTimestamps(&snapshot.send_log);
+    if (config.trace) {
+      for (const obs::TraceEvent& e : obs::CollectTraceEvents()) {
+        obs::SnapshotTraceEvent se;
+        se.name = e.name != nullptr ? e.name : "?";
+        se.start_ns = e.start_ns;
+        se.duration_ns = e.duration_ns;
+        se.flow_id = e.flow_id;
+        se.depth = e.depth;
+        se.thread_index = e.thread_index;
+        snapshot.trace_events.push_back(std::move(se));
+      }
+    }
+    std::vector<uint8_t> encoded;
+    obs::EncodeSnapshot(snapshot, &encoded);
+    Status s = control->SendTelemetrySnapshot(encoded.data(), encoded.size());
+    if (s.ok()) ++snapshots_sent;
+    return s;
+  };
+
   for (size_t t = 0; t < config.ticks; ++t) {
     // Control first, matching the simulated fleet's per-tick order
     // (channels advance before this tick's offers), so a resync request
@@ -67,6 +184,14 @@ StatusOr<SplitClientReport> RunSplitClient(
       Status s = agents[static_cast<size_t>(id)]->Offer(sample.measured);
       if (!s.ok()) return s;
     }
+    if (telemetry) {
+      // Clock probe adjacent to the barrier: the server answers inside
+      // its transport, so the ack wait below collects the pong within
+      // this tick — one offset sample per tick, each bounded by a
+      // loopback-tight RTT.
+      Status ps = control->SendClockPing(obs::TraceNowNs());
+      if (!ps.ok()) return ps;
+    }
     // The barrier publishes "tick t's datagrams are all in flight".
     Status s = control->SendTickBarrier(static_cast<int64_t>(t));
     if (!s.ok()) return s;
@@ -77,6 +202,20 @@ StatusOr<SplitClientReport> RunSplitClient(
         return Status::DataLoss("server closed the control link mid-run");
       }
     }
+    if (telemetry &&
+        (t + 1) % static_cast<size_t>(config.telemetry_every) == 0) {
+      Status ss = send_snapshot(static_cast<int64_t>(t) + 1);
+      if (!ss.ok()) return ss;
+    }
+  }
+  if (telemetry) {
+    // Final snapshot: the last partial window's rows, send log, and
+    // trace spans, so the server's merged view covers the whole run.
+    Status s = send_snapshot(static_cast<int64_t>(config.ticks));
+    if (!s.ok()) return s;
+    // Serve any in-flight black-box pulls racing the shutdown before the
+    // FIN ends the run.
+    control->Poll(/*timeout_ms=*/20);
   }
 
   SplitClientReport report;
@@ -93,6 +232,14 @@ StatusOr<SplitClientReport> RunSplitClient(
       decisions > 0
           ? static_cast<double>(report.suppressed) / static_cast<double>(decisions)
           : 0.0;
+  report.snapshots_sent = snapshots_sent;
+  report.clock_samples = static_cast<int64_t>(estimator.samples());
+  if (estimator.has_estimate()) {
+    report.clock_offset_ns = estimator.offset_ns();
+    report.clock_uncertainty_ns = estimator.uncertainty_ns();
+  }
+  report.blackbox_dumps_served = dumps_served;
+  if (telemetry && config.trace) obs::SetTracingEnabled(false);
   // Destructors close both sockets; the TCP FIN is the end-of-run signal
   // the server waits for.
   return report;
@@ -127,10 +274,78 @@ StatusOr<SplitServerReport> RunSplitServer(
     });
     replicas.push_back(std::move(replica));
   }
-  uplink->SetReceiver([&replicas](const Message& msg) {
+  // --- Telemetry plane (server half) ---
+  const bool telemetry = config.telemetry_every > 0;
+  obs::MetricRegistry registry;
+  obs::RemoteTelemetryMerger::Options merger_options;
+  merger_options.type_name = [](uint8_t type) {
+    return std::string(MessageTypeName(static_cast<MessageType>(type)));
+  };
+  obs::RemoteTelemetryMerger merger(std::move(merger_options));
+  std::unique_ptr<obs::TelemetryHttpServer> http;
+  if (telemetry) {
+    uplink->BindMetrics(&registry);
+    control->BindMetrics(&registry);
+    for (auto& replica : replicas) replica->BindMetrics(&registry);
+    merger.BindMetrics(&registry);
+    if (config.trace) obs::SetTracingEnabled(true);
+  }
+  if (telemetry && config.http_port >= 0) {
+    obs::TelemetryHttpServer::Config http_config;
+    http_config.port = config.http_port;
+    http = std::make_unique<obs::TelemetryHttpServer>(http_config);
+    Status s = http->Start();
+    if (!s.ok()) return s;
+    if (config.on_http_ready) config.on_http_ready(http->port());
+  }
+  // Republishes every HTTP snapshot from the current merged view — one
+  // scrape covers both processes.
+  auto publish = [&] {
+    if (http == nullptr) return;
+    http->PublishMetrics(merger.MergedRows(registry.Rows()));
+    std::string body = StrFormat(
+        "server: snapshots=%lld offset_us=%lld\n",
+        static_cast<long long>(merger.snapshots_absorbed()),
+        static_cast<long long>(merger.clock_offset_ns() / 1000));
+    if (!merger.health_summary().empty()) {
+      body += merger.health_summary() + "\n";
+    }
+    http->PublishHealthz(true, std::move(body));
+  };
+  if (telemetry) {
+    control->SetSnapshotSink([&](const uint8_t* data, size_t size) {
+      obs::TelemetrySnapshot snapshot;
+      Status s = obs::DecodeSnapshot(data, size, &snapshot);
+      if (!s.ok()) return;  // A garbage snapshot never crashes the merge.
+      merger.Absorb(snapshot);
+      publish();
+    });
+  }
+  std::vector<std::string> black_boxes;
+  if (telemetry) {
+    control->SetBlackboxDumpSink([&black_boxes](int64_t source_id,
+                                                std::string dump) {
+      black_boxes.push_back(
+          StrFormat("source %lld:\n", static_cast<long long>(source_id)) +
+          dump);
+    });
+  }
+  // Black-box pull trigger: a replica asking for a resync means the
+  // protocol saw loss or divergence — exactly when the client-side
+  // decision history is worth having. One pull per observed increase.
+  std::vector<int64_t> resyncs_seen(replicas.size(), 0);
+
+  uplink->SetReceiver([&](const Message& msg) {
     if (msg.source_id < 0 ||
         msg.source_id >= static_cast<int32_t>(replicas.size())) {
       return;
+    }
+    // Arrival time on the local steady clock, at delivery — the join key
+    // for the client's send log (one-way latency = arrival - rebased
+    // send).
+    if (telemetry && msg.flow_id != 0) {
+      merger.RecordArrival(msg.flow_id, static_cast<uint8_t>(msg.type),
+                           obs::TraceNowNs());
     }
     Status s = replicas[static_cast<size_t>(msg.source_id)]->OnMessage(msg);
     (void)s;  // CORRECTION-before-INIT is expected under real loss.
@@ -148,6 +363,17 @@ StatusOr<SplitServerReport> RunSplitServer(
     ++ticks;
     Status s = control->SendTickBarrier(tick);
     (void)s;  // A torn link surfaces via peer_closed below.
+    if (telemetry) {
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        int64_t resyncs = replicas[i]->resyncs_requested();
+        if (resyncs > resyncs_seen[i]) {
+          resyncs_seen[i] = resyncs;
+          Status rs =
+              control->SendBlackboxRequest(static_cast<int64_t>(i));
+          (void)rs;
+        }
+      }
+    }
     if (progress) progress(tick);
   });
 
@@ -177,6 +403,39 @@ StatusOr<SplitServerReport> RunSplitServer(
     }
   }
   report.mean_value = valued > 0 ? sum / valued : 0.0;
+
+  if (telemetry) {
+    report.snapshots_merged = merger.snapshots_absorbed();
+    report.latency_matched = merger.latency_matched();
+    report.latency_unmatched = merger.latency_unmatched();
+    report.clock_offset_ns = merger.clock_offset_ns();
+    report.clock_uncertainty_ns = merger.clock_uncertainty_ns();
+    report.remote_black_boxes = std::move(black_boxes);
+    if (config.trace) {
+      obs::SetTracingEnabled(false);
+      // Stitch: local spans keep pid 0; the client's spans arrive rebased
+      // onto this clock (snapshot offset) as pid 1. Flow ids are
+      // CausalFlowId(source, wire_seq) on BOTH ends, so an agent.send
+      // span and the replica.apply span of the same message connect
+      // across the pid boundary in the exported flow events.
+      std::vector<obs::TraceEvent> events = obs::CollectTraceEvents();
+      std::vector<obs::TraceEvent> remote = merger.RemoteTraceEvents();
+      events.insert(events.end(), remote.begin(), remote.end());
+      obs::ChromeTraceOptions trace_options;
+      trace_options.process_names = {{0, "stream-server"},
+                                     {1, "fleet-client"}};
+      report.trace_json = obs::ExportChromeTrace(events, trace_options);
+    }
+    publish();  // Final merged state, covering the grace-drain arrivals.
+    if (http != nullptr) {
+      report.http_port = http->port();
+      // Hold the endpoint open so post-run scrapes (the CI smoke, a
+      // human) see the final merged state before the process exits.
+      for (int i = 0; i < config.serve_seconds * 10; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
   return report;
 }
 

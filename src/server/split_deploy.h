@@ -55,6 +55,31 @@ struct SplitConfig {
   ReplicaRecoveryConfig recovery;
   /// How long the server waits for the client to connect.
   int accept_timeout_ms = 30000;
+
+  // --- Distributed telemetry plane (docs/OBSERVABILITY.md,
+  // "Distributed telemetry"; 0 = off) ---
+
+  /// Snapshot cadence: every N ticks the client encodes its metric
+  /// registry, recent trace spans, and drained send-timestamp log into a
+  /// telemetry snapshot (obs/snapshot.h) and ships it over the control
+  /// stream as an uncharged escape frame; the server's merger folds it
+  /// into kc.remote.client.* rows. Also enables per-tick clock probes
+  /// (offset + wire-latency attribution) and the remote black-box pull.
+  int64_t telemetry_every = 0;
+  /// Server-side HTTP telemetry endpoint: -1 = off, 0 = ephemeral port,
+  /// >0 = that port. One scrape of /metrics covers both processes.
+  int http_port = -1;
+  /// Keeps the server's HTTP endpoint alive this many seconds after the
+  /// client disconnects, so post-run scrapes see the final merged state.
+  int serve_seconds = 0;
+  /// Called once the HTTP endpoint is listening (resolved port).
+  std::function<void(int port)> on_http_ready;
+  /// Enables trace rings on both halves and a stitched cross-process
+  /// Chrome trace (SplitServerReport::trace_json): client spans are
+  /// rebased onto the server clock via the estimated offset and rendered
+  /// as pid 1 ("fleet-client") next to the server's pid 0
+  /// ("stream-server").
+  bool trace = false;
 };
 
 /// Per-source factories. The predictor factory is called once per source
@@ -74,6 +99,12 @@ struct SplitClientReport {
   int64_t suppressed = 0;
   int64_t resyncs_served = 0;
   double suppression_ratio = 0.0;
+  // Telemetry plane (zero / -1 when telemetry_every == 0):
+  int64_t snapshots_sent = 0;
+  int64_t clock_samples = 0;          ///< Accepted ping/pong round trips.
+  int64_t clock_offset_ns = 0;        ///< Final estimate (server - client).
+  int64_t clock_uncertainty_ns = -1;  ///< best RTT / 2; -1 = no estimate.
+  int64_t blackbox_dumps_served = 0;  ///< Flight-recorder pulls answered.
 };
 
 /// What the server half reports after the run.
@@ -85,6 +116,18 @@ struct SplitServerReport {
   int32_t initialized = 0;      ///< Replicas that saw INIT.
   int64_t resyncs_requested = 0;
   double mean_value = 0.0;  ///< Mean of replica answers at end (scalar).
+  // Telemetry plane (zero / empty when telemetry_every == 0):
+  int64_t snapshots_merged = 0;
+  int64_t latency_matched = 0;    ///< Send records joined to arrivals.
+  int64_t latency_unmatched = 0;  ///< Sends the wire genuinely lost.
+  int64_t clock_offset_ns = 0;    ///< As reported by the client's last
+                                  ///< snapshot.
+  int64_t clock_uncertainty_ns = -1;
+  int http_port = 0;        ///< Bound telemetry port (0 = endpoint off).
+  std::string trace_json;   ///< Stitched cross-process trace (trace on).
+  /// Flight-recorder dumps pulled from the client over the control
+  /// channel (one per source whose replica requested a resync).
+  std::vector<std::string> remote_black_boxes;
 };
 
 /// Runs the source-fleet half: connects to a listening server at

@@ -182,6 +182,66 @@ TEST(HttpExporterTest, AuditAndTimeseriesRoutesServePublishedJson) {
             "{\"capacity\":64,\"series\":[]}");
 }
 
+TEST(HttpExporterTest, AuditPrefixScopesSourcesAndQueries) {
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  AuditDoc doc;
+  doc.full =
+      "{\"config\":{},\"totals\":{\"samples\":9},"
+      "\"sources\":[{\"id\":0},{\"id\":1}],"
+      "\"queries\":[{\"name\":\"avg\"}]}";
+  doc.head = "{\"config\":{},\"totals\":{\"samples\":9}";
+  doc.sources = {{"source.0", "{\"id\":0}"}, {"source.1", "{\"id\":1}"}};
+  doc.queries = {{"query.avg", "{\"name\":\"avg\"}"}};
+  server.PublishAuditDoc(doc);
+
+  // Unscoped: the full document, byte for byte.
+  EXPECT_EQ(Get(server.port(), "/audit").body, doc.full);
+  // Scoped to one source: the head (totals stay fleet-wide) plus only
+  // the matching source entry; the queries array empties.
+  EXPECT_EQ(Get(server.port(), "/audit?prefix=source.1").body,
+            "{\"config\":{},\"totals\":{\"samples\":9},"
+            "\"sources\":[{\"id\":1}],\"queries\":[]}");
+  // Scoped to the query family: all sources drop out.
+  EXPECT_EQ(Get(server.port(), "/audit?prefix=query.").body,
+            "{\"config\":{},\"totals\":{\"samples\":9},"
+            "\"sources\":[],\"queries\":[{\"name\":\"avg\"}]}");
+  // A prefix matching nothing still renders a valid, empty-detail doc.
+  EXPECT_EQ(Get(server.port(), "/audit?prefix=source.9").body,
+            "{\"config\":{},\"totals\":{\"samples\":9},"
+            "\"sources\":[],\"queries\":[]}");
+  // Plain PublishAudit drops back to whole-document-only behavior.
+  server.PublishAudit("{\"totals\":{\"samples\":10}}");
+  EXPECT_EQ(Get(server.port(), "/audit?prefix=source.").body,
+            "{\"totals\":{\"samples\":10}}");
+}
+
+TEST(HttpExporterTest, TimeseriesPrefixScopesLiveStore) {
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  MetricRegistry registry;
+  registry.GetCounter("kc.agent.sent")->Inc(3);
+  registry.GetCounter("kc.server.ticks")->Inc(1);
+  TimeSeriesStore store;
+  store.Capture(registry, /*tick=*/1);
+  registry.GetCounter("kc.agent.sent")->Inc(2);
+  registry.GetCounter("kc.server.ticks")->Inc(1);
+  store.Capture(registry, /*tick=*/2);
+  server.SetTimeseriesSource(&store);
+
+  // The live source renders per request — no Publish step.
+  HttpResponse all = Get(server.port(), "/timeseries");
+  EXPECT_EQ(all.status, 200);
+  EXPECT_NE(all.body.find("kc.agent.sent"), std::string::npos);
+  EXPECT_NE(all.body.find("kc.server.ticks"), std::string::npos);
+  // ?prefix= narrows to one family, exactly as ExportJson would.
+  HttpResponse scoped = Get(server.port(), "/timeseries?prefix=kc.agent.");
+  EXPECT_EQ(scoped.status, 200);
+  EXPECT_NE(scoped.body.find("kc.agent.sent"), std::string::npos);
+  EXPECT_EQ(scoped.body.find("kc.server.ticks"), std::string::npos);
+  EXPECT_EQ(scoped.body, store.ExportJson("kc.agent."));
+}
+
 TEST(HttpExporterTest, RejectsUnknownRoutesMethodsAndGarbage) {
   TelemetryHttpServer server;
   ASSERT_TRUE(server.Start().ok());
@@ -234,6 +294,7 @@ TEST(HttpExporterTest, FleetEndToEndScrape) {
   audit.sample_every = 1;
   fleet.EnableAudit(audit);
   fleet.EnableTimeseries(/*every_n_ticks=*/10);
+  fleet.EnableTelemetryPlane(/*every_n_ticks=*/10);
   ASSERT_TRUE(fleet.EnableHttpTelemetry(/*port=*/0,
                                         /*publish_every_n_ticks=*/10)
                   .ok());
@@ -256,6 +317,14 @@ TEST(HttpExporterTest, FleetEndToEndScrape) {
   EXPECT_NE(metrics.body.find("kc_agent_decisions_total"),
             std::string::npos);
   EXPECT_NE(metrics.body.find("kc_audit_samples_total"), std::string::npos);
+  // With the telemetry plane on, the fleet self-merges its own snapshot
+  // loopback: the scrape carries the remote namespace next to the local
+  // rows — the same shape a split deployment's server exposes.
+  EXPECT_NE(metrics.body.find("kc_remote_client_agent_decisions_total"),
+            std::string::npos)
+      << metrics.body.substr(0, 400);
+  EXPECT_NE(metrics.body.find("kc_remote_snapshots_total"),
+            std::string::npos);
 
   // Lossless run: the audited fleet is healthy with full containment.
   HttpResponse healthz = Get(port, "/healthz");

@@ -140,6 +140,52 @@ TEST(MetricRegistryTest, MergeSkipsKindConflicts) {
   EXPECT_EQ(a.GetCounter("kc.conflict")->value(), 1);  // Unchanged.
 }
 
+TEST(MetricRegistryTest, MergeDropsConflictingHistogramLayouts) {
+  MetricRegistry a;
+  MetricRegistry b;
+  Histogram* ha =
+      a.GetHistogram("kc.layout", Buckets::Linear(1.0, 1.0, 2));
+  Histogram* hb =
+      b.GetHistogram("kc.layout", Buckets::Exponential(1.0, 2.0, 4));
+  ha->Record(0.5);
+  hb->Record(0.5);
+  hb->Record(3.0);
+
+  a.MergeFrom(b);
+  // Bucket-by-bucket addition across disagreeing layouts would silently
+  // misbin, so the remote row is dropped whole...
+  EXPECT_EQ(ha->count(), 1);
+  EXPECT_EQ(ha->bucket_count(0), 1);
+  // ...and the drop is observable, not silent.
+  std::vector<std::string> conflicts = a.Validate();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_NE(conflicts[0].find("kc.layout"), std::string::npos);
+  // Same layout described differently is still a conflict (bound lists
+  // must agree exactly); same generator args are not.
+  MetricRegistry c;
+  c.GetHistogram("kc.layout", Buckets::Linear(1.0, 1.0, 2))->Record(9.0);
+  a.MergeFrom(c);
+  EXPECT_EQ(a.Validate().size(), 1u);  // No new conflict recorded.
+  EXPECT_EQ(ha->count(), 2);
+}
+
+TEST(MetricRegistryTest, MergeCarriesWallClockFlagsToNewRows) {
+  MetricRegistry a;
+  MetricRegistry b;
+  b.GetCounter("kc.wall.counter", /*wall_clock=*/true)->Inc(3);
+  b.GetGauge("kc.wall.gauge", /*wall_clock=*/true)->Set(1.5);
+  b.GetCounter("kc.sim.counter")->Inc(4);
+  a.MergeFrom(b);
+
+  for (const MetricRow& row : a.Rows()) {
+    if (row.name == "kc.sim.counter") {
+      EXPECT_FALSE(row.wall_clock);
+    } else {
+      EXPECT_TRUE(row.wall_clock) << row.name;
+    }
+  }
+}
+
 // ------------------------------------------------------ concurrent recording
 
 // Recording is single-writer by contract (one arena per shard, one thread
@@ -464,7 +510,7 @@ TEST(MetricRegistryTest, KindConflictLogsOnceThroughSink) {
   std::vector<std::string> captured;
   LogSink previous = SetLogSink(
       [&captured](LogLevel, const std::string& line) {
-        if (line.find("metric kind conflict") != std::string::npos) {
+        if (line.find("metric conflict") != std::string::npos) {
           captured.push_back(line);
         }
       });

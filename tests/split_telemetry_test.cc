@@ -1,0 +1,216 @@
+// End-to-end distributed-telemetry test: a split deployment (client and
+// server halves over real loopback sockets) with the telemetry plane on
+// must produce merged kc.remote.client.* rows on the server, a usable
+// clock-offset estimate with an honest error bar, one-way wire-latency
+// joins for every delivered uplink message, and a stitched Chrome trace
+// whose causal flows cross the process boundary.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/split_deploy.h"
+#include "streams/generators.h"
+#include "suppression/policies.h"
+#include "suppression/predictor.h"
+
+namespace kc {
+namespace {
+
+KalmanPredictor::Config TestKalman() {
+  KalmanPredictor::Config config;
+  config.model = MakeRandomWalkModel(0.1, 0.5);
+  config.sync_mode = KalmanPredictor::SyncMode::kMeasurement;
+  return config;
+}
+
+struct SplitRun {
+  StatusOr<SplitClientReport> client = Status::Internal("not run");
+  StatusOr<SplitServerReport> server = Status::Internal("not run");
+};
+
+SplitRun RunSplitPair(const SplitConfig& config) {
+  auto make_generator = [](int32_t id) -> std::unique_ptr<StreamGenerator> {
+    RandomWalkGenerator::Config walk;
+    walk.start = 5.0 * id;
+    walk.step_sigma = 0.25;
+    return std::make_unique<RandomWalkGenerator>(walk);
+  };
+  auto make_predictor = [](int32_t) -> std::unique_ptr<Predictor> {
+    return std::make_unique<KalmanPredictor>(TestKalman());
+  };
+
+  SplitRun run;
+  std::thread server([&] {
+    run.server = RunSplitServer(config, make_predictor);
+  });
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    run.client = RunSplitClient(config, make_generator, make_predictor);
+    if (run.client.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.join();
+  return run;
+}
+
+TEST(SplitTelemetryTest, SnapshotsMergeAndLatenciesJoinOverLoopback) {
+  SplitConfig config;
+  config.host = "127.0.0.1";
+  config.port = 39217;
+  config.ticks = 64;
+  config.num_sources = 3;
+  config.deltas = {0.3, 0.5, 0.7};
+  config.agent_base.heartbeat_every = 5;
+  config.agent_base.full_sync_every = 16;
+  config.accept_timeout_ms = 10000;
+  config.telemetry_every = 8;
+  config.trace = true;
+
+  SplitRun run = RunSplitPair(config);
+  ASSERT_TRUE(run.client.ok()) << run.client.status();
+  ASSERT_TRUE(run.server.ok()) << run.server.status();
+  const SplitClientReport& client = *run.client;
+  const SplitServerReport& server = *run.server;
+
+  // The client cut a snapshot every 8 ticks (64 / 8 = 8) plus the final
+  // end-of-run snapshot, and every one of them reached the merger.
+  EXPECT_EQ(client.snapshots_sent, 9);
+  EXPECT_EQ(server.snapshots_merged, client.snapshots_sent);
+
+  // One clock probe per tick barrier, answered on the spot over loopback.
+  EXPECT_GT(client.clock_samples, 0);
+  EXPECT_GE(client.clock_uncertainty_ns, 0);
+  EXPECT_EQ(server.clock_offset_ns, client.clock_offset_ns);
+  EXPECT_EQ(server.clock_uncertainty_ns, client.clock_uncertainty_ns);
+
+  // Lossless loopback under lockstep flow control: every uplink send has
+  // a matching arrival, so the one-way latency join accounts for every
+  // message and loses none.
+  EXPECT_EQ(server.latency_matched, client.uplink.messages_sent);
+  EXPECT_EQ(server.latency_unmatched, 0);
+
+  // Telemetry rides uncharged escape frames: the uplink's byte books are
+  // exactly what a telemetry-off run produces (the parity smoke in
+  // scripts/ci_asan.sh pins this against the simulated fleet; here the
+  // cheap invariant is send == delivered despite all the extra control
+  // traffic).
+  EXPECT_EQ(client.uplink.messages_sent, server.uplink.messages_delivered);
+  EXPECT_EQ(client.uplink.bytes_sent, server.uplink.bytes_delivered);
+
+  // The stitched trace: both process tracks named, and at least one
+  // causal flow with its start on one pid and a binding on the other.
+  const std::string& trace = server.trace_json;
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"fleet-client\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"stream-server\""), std::string::npos);
+  // Spans from both processes...
+  EXPECT_NE(trace.find(",\"pid\":0,"), std::string::npos);
+  EXPECT_NE(trace.find(",\"pid\":1,"), std::string::npos);
+  // ...and flow events on both sides of the boundary. The client sends
+  // (pid 1) and the server applies (pid 0), so with the client's spans
+  // rebased behind the server's, "s" lands on pid 1 and "f" on pid 0 for
+  // at least one flow id.
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  bool cross_pid_flow = false;
+  size_t at = 0;
+  while ((at = trace.find("\"ph\":\"s\"", at)) != std::string::npos) {
+    size_t id_at = trace.find("\"id\":", at);
+    size_t pid_at = trace.find("\"pid\":", at);
+    if (id_at == std::string::npos || pid_at == std::string::npos) break;
+    std::string id = trace.substr(id_at + 5, trace.find(',', id_at) - id_at - 5);
+    std::string start_pid =
+        trace.substr(pid_at + 6, trace.find(',', pid_at) - pid_at - 6);
+    // Find a binding ("f") for the same flow id on a different pid.
+    size_t f_at = 0;
+    while ((f_at = trace.find("\"ph\":\"f\"", f_at)) != std::string::npos) {
+      size_t f_id_at = trace.find("\"id\":", f_at);
+      size_t f_pid_at = trace.find("\"pid\":", f_at);
+      if (f_id_at == std::string::npos || f_pid_at == std::string::npos) break;
+      std::string f_id =
+          trace.substr(f_id_at + 5, trace.find(',', f_id_at) - f_id_at - 5);
+      std::string f_pid = trace.substr(
+          f_pid_at + 6, trace.find(',', f_pid_at) - f_pid_at - 6);
+      if (f_id == id && f_pid != start_pid) {
+        cross_pid_flow = true;
+        break;
+      }
+      ++f_at;
+    }
+    if (cross_pid_flow) break;
+    ++at;
+  }
+  EXPECT_TRUE(cross_pid_flow) << trace.substr(0, 400);
+}
+
+TEST(SplitTelemetryTest, ResyncTriggersRemoteBlackBoxPull) {
+  SplitConfig config;
+  config.host = "127.0.0.1";
+  config.port = 39219;
+  config.ticks = 48;
+  config.num_sources = 2;
+  config.deltas = {0.3, 0.5};
+  config.agent_base.heartbeat_every = 4;
+  config.accept_timeout_ms = 10000;
+  config.telemetry_every = 8;
+  // Force the recovery path without needing real packet loss: a replica
+  // that never hears anything for suspect_after_silent_ticks requests a
+  // resync. Tiny deltas make the agents chatty, so instead make the
+  // replica hair-trigger — any delivered correction keeps it healthy, so
+  // drive suspicion off the heartbeat gap by suppressing aggressively.
+  config.agent_base.full_sync_every = 0;
+  config.recovery.enabled = true;
+  config.recovery.suspect_after_silent_ticks = 1;
+
+  SplitRun run = RunSplitPair(config);
+  ASSERT_TRUE(run.client.ok()) << run.client.status();
+  ASSERT_TRUE(run.server.ok()) << run.server.status();
+
+  if (run.server->resyncs_requested > 0) {
+    // Every resync request marks the source suspect; the server pulled
+    // its flight-recorder ring over the control channel in response.
+    EXPECT_GT(run.server->remote_black_boxes.size(), 0u);
+    EXPECT_EQ(run.client->blackbox_dumps_served,
+              static_cast<int64_t>(run.server->remote_black_boxes.size()));
+    for (const std::string& dump : run.server->remote_black_boxes) {
+      EXPECT_NE(dump.find("source"), std::string::npos);
+    }
+  } else {
+    // Loopback delivered everything inside the silence window — the
+    // recovery path simply never fired; nothing to assert beyond the run
+    // completing with telemetry on.
+    EXPECT_GT(run.server->snapshots_merged, 0);
+  }
+}
+
+TEST(SplitTelemetryTest, TelemetryOffLeavesReportsInert) {
+  SplitConfig config;
+  config.host = "127.0.0.1";
+  config.port = 39221;
+  config.ticks = 16;
+  config.num_sources = 2;
+  config.deltas = {0.3, 0.5};
+  config.accept_timeout_ms = 10000;
+
+  SplitRun run = RunSplitPair(config);
+  ASSERT_TRUE(run.client.ok()) << run.client.status();
+  ASSERT_TRUE(run.server.ok()) << run.server.status();
+  EXPECT_EQ(run.client->snapshots_sent, 0);
+  EXPECT_EQ(run.client->clock_samples, 0);
+  EXPECT_EQ(run.client->clock_uncertainty_ns, -1);
+  EXPECT_EQ(run.server->snapshots_merged, 0);
+  EXPECT_EQ(run.server->latency_matched, 0);
+  EXPECT_EQ(run.server->clock_uncertainty_ns, -1);
+  EXPECT_TRUE(run.server->trace_json.empty());
+  EXPECT_TRUE(run.server->remote_black_boxes.empty());
+}
+
+}  // namespace
+}  // namespace kc

@@ -132,8 +132,8 @@ TEST(ChromeTraceExportTest, EmitsCompleteEventsAndStitchesFlows) {
   std::string json = ExportChromeTrace(events);
 
   // Minimal schema: a traceEvents array of "X" complete events with
-  // ts/dur in microseconds.
-  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  // ts/dur in microseconds, under a millisecond display unit.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("{\"name\":\"agent.send\",\"ph\":\"X\",\"ts\":1.000,"
                       "\"dur\":0.500,\"pid\":0,\"tid\":0,"
@@ -150,10 +150,73 @@ TEST(ChromeTraceExportTest, EmitsCompleteEventsAndStitchesFlows) {
   EXPECT_LT(s_at, f_at);  // "s" comes from the earliest span.
   // The flow-less span contributes no flow events.
   EXPECT_EQ(json.find("\"id\":0"), std::string::npos);
+  // Unnamed pids present in the span set still get a process_name row.
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"args\":{\"name\":\"process 0\"}}"),
+            std::string::npos);
 }
 
 TEST(ChromeTraceExportTest, EmptyInputIsValidJson) {
-  EXPECT_EQ(ExportChromeTrace({}), "{\"traceEvents\":[]}");
+  EXPECT_EQ(ExportChromeTrace({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(ChromeTraceExportTest, SortsByTimestampAcrossPids) {
+  // Events arrive in recorder order (per-thread rings drained one after
+  // another), deliberately shuffled here; the export must order them by
+  // start time with pid/tid as tiebreaks so merged multi-process traces
+  // load causally.
+  std::vector<TraceEvent> events(4);
+  events[0] = {"late", 4000, 10, 0, 0, /*thread=*/0};
+  events[1] = {"early", 1000, 10, 0, 0, /*thread=*/1};
+  events[2] = {"tie.remote", 2000, 10, 0, 0, /*thread=*/0};
+  events[2].pid = 1;
+  events[3] = {"tie.local", 2000, 10, 0, 0, /*thread=*/0};
+  std::string json = ExportChromeTrace(events);
+
+  size_t early = json.find("\"name\":\"early\"");
+  size_t tie_local = json.find("\"name\":\"tie.local\"");
+  size_t tie_remote = json.find("\"name\":\"tie.remote\"");
+  size_t late = json.find("\"name\":\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(tie_local, std::string::npos);
+  ASSERT_NE(tie_remote, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, tie_local);
+  EXPECT_LT(tie_local, tie_remote);  // Same ts: lower pid first.
+  EXPECT_LT(tie_remote, late);
+}
+
+TEST(ChromeTraceExportTest, NamesProcessesAndStitchesAcrossPids) {
+  // A split deployment's shape: the client's send (pid 1, rebased into
+  // the server clock) and the server's apply (pid 0) share a flow id.
+  std::vector<TraceEvent> events(2);
+  events[0] = {"agent.send", 1000, 50, /*flow_id=*/42, 0, /*thread=*/0};
+  events[0].pid = 1;
+  events[1] = {"replica.apply", 2000, 80, /*flow_id=*/42, 0, /*thread=*/0};
+
+  ChromeTraceOptions options;
+  options.process_names = {{0, "stream-server"}, {1, "fleet-client"}};
+  std::string json = ExportChromeTrace(events, options);
+
+  // Both tracks named, in the given order, before any span.
+  size_t server_name = json.find(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"stream-server\"}}");
+  size_t client_name = json.find(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"fleet-client\"}}");
+  ASSERT_NE(server_name, std::string::npos);
+  ASSERT_NE(client_name, std::string::npos);
+  EXPECT_LT(server_name, client_name);
+  // The flow starts on the client pid (earliest span) and binds on the
+  // server pid: one arrow across the process boundary.
+  size_t s_at = json.find("\"ph\":\"s\",\"id\":42,\"ts\":1.000,\"pid\":1");
+  size_t f_at =
+      json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":42,\"ts\":2.000,\"pid\":0");
+  ASSERT_NE(s_at, std::string::npos) << json;
+  ASSERT_NE(f_at, std::string::npos) << json;
+  EXPECT_LT(s_at, f_at);
 }
 
 }  // namespace

@@ -292,6 +292,222 @@ TEST(TcpTransportTest, TickBarriersBypassAccounting) {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry control plane: the uncharged escape frames distributed
+// telemetry rides on (clock probes, snapshots, black-box pulls).
+
+TEST(TcpTransportTest, ClockPingAutoPongRoundTrip) {
+  TcpPair link = MakeTcpPair();
+  link.server->SetReceiver([](const Message&) {});
+  std::vector<std::pair<int64_t, int64_t>> pongs;
+  link.client->SetClockPongSink([&pongs](int64_t t0, int64_t peer_ns) {
+    pongs.emplace_back(t0, peer_ns);
+  });
+
+  // The transport answers pings itself (no application drain in the
+  // round trip, so queueing delay cannot masquerade as clock offset).
+  ASSERT_TRUE(link.client->SendClockPing(123456789).ok());
+  for (int i = 0; i < 40 && pongs.empty(); ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+    link.client->Poll(/*timeout_ms=*/25);
+  }
+  ASSERT_EQ(pongs.size(), 1u);
+  EXPECT_EQ(pongs[0].first, 123456789);  // t0 echoed for RTT pairing.
+  EXPECT_GT(pongs[0].second, 0);         // The peer's clock reading.
+
+  // The whole exchange is transport metadata: neither side's books moved.
+  EXPECT_EQ(link.client->stats().messages_sent, 0);
+  EXPECT_EQ(link.client->stats().bytes_sent, 0);
+  EXPECT_EQ(link.client->stats().messages_delivered, 0);
+  EXPECT_EQ(link.server->stats().messages_sent, 0);
+  EXPECT_EQ(link.server->stats().messages_delivered, 0);
+}
+
+TEST(TcpTransportTest, SnapshotFramesDeliverBytesUncharged) {
+  TcpPair link = MakeTcpPair();
+  std::vector<std::vector<uint8_t>> got;
+  link.server->SetSnapshotSink([&got](const uint8_t* data, size_t size) {
+    got.emplace_back(data, data + size);
+  });
+
+  std::vector<uint8_t> payload = {0x4B, 0x01, 0x00, 0xFF, 0x80, 0x7F};
+  ASSERT_TRUE(
+      link.client->SendTelemetrySnapshot(payload.data(), payload.size()).ok());
+  for (int i = 0; i < 40 && got.empty(); ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);  // Opaque to the transport, byte-exact.
+  EXPECT_EQ(link.client->stats().messages_sent, 0);
+  EXPECT_EQ(link.server->stats().messages_delivered, 0);
+  EXPECT_EQ(link.server->stats().bytes_delivered, 0);
+
+  // Degenerate sizes are refused at the send API, not on the wire.
+  EXPECT_EQ(link.client->SendTelemetrySnapshot(payload.data(), 0).code(),
+            StatusCode::kInvalidArgument);
+  // And UDP channels have no control stream to carry them.
+  UdpPair udp = MakeUdpPair();
+  EXPECT_EQ(
+      udp.tx->SendTelemetrySnapshot(payload.data(), payload.size()).code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(TcpTransportTest, BlackboxPullRoundTrip) {
+  TcpPair link = MakeTcpPair();
+  // Server asks; client answers with the flight-recorder dump.
+  std::vector<int64_t> requests;
+  link.client->SetBlackboxRequestSink(
+      [&requests](int64_t source_id) { requests.push_back(source_id); });
+  std::vector<std::pair<int64_t, std::string>> dumps;
+  link.server->SetBlackboxDumpSink(
+      [&dumps](int64_t source_id, std::string dump) {
+        dumps.emplace_back(source_id, std::move(dump));
+      });
+
+  ASSERT_TRUE(link.server->SendBlackboxRequest(42).ok());
+  for (int i = 0; i < 40 && requests.empty(); ++i) {
+    link.client->Poll(/*timeout_ms=*/25);
+  }
+  ASSERT_EQ(requests, (std::vector<int64_t>{42}));
+  ASSERT_TRUE(link.client->SendBlackboxDump(42, "ring: tick 7 SUPPRESS").ok());
+  for (int i = 0; i < 40 && dumps.empty(); ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].first, 42);
+  EXPECT_EQ(dumps[0].second, "ring: tick 7 SUPPRESS");
+  // An empty dump still travels (the id alone is the 8-byte payload).
+  ASSERT_TRUE(link.client->SendBlackboxDump(7, "").ok());
+  for (int i = 0; i < 40 && dumps.size() < 2; ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+  }
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[1].first, 7);
+  EXPECT_TRUE(dumps[1].second.empty());
+  EXPECT_EQ(link.server->stats().messages_sent, 0);
+  EXPECT_EQ(link.server->stats().messages_delivered, 0);
+}
+
+TEST(TcpTransportTest, TornEscapeFrameReassemblesByteByByte) {
+  TcpPair link = MakeTcpPair();
+  std::vector<std::vector<uint8_t>> got;
+  link.server->SetSnapshotSink([&got](const uint8_t* data, size_t size) {
+    got.emplace_back(data, data + size);
+  });
+
+  // A snapshot escape frame: 0x00 0x11 len:u64le payload. Trickle it one
+  // byte at a time; the stream parser must wait for the whole frame and
+  // fire the sink exactly once.
+  std::vector<uint8_t> payload = {0xAA, 0xBB, 0xCC};
+  std::vector<uint8_t> frame = {0x00, 0x11};
+  uint64_t len = payload.size();
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_EQ(::send(link.client->fd(), frame.data() + i, 1, 0), 1);
+    link.server->Poll(/*timeout_ms=*/10);
+    if (i + 1 < frame.size()) {
+      EXPECT_TRUE(got.empty()) << "fired after " << i + 1 << " bytes";
+    }
+  }
+  for (int i = 0; i < 40 && got.empty(); ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+  EXPECT_TRUE(link.server->last_error().ok());
+}
+
+TEST(TcpTransportTest, OversizedEscapePayloadPoisonsStream) {
+  TcpPair link = MakeTcpPair();
+  link.server->SetReceiver([](const Message&) {});
+  // A declared payload over the 4 MiB cap cannot be skipped (stream
+  // framing is lost), so the connection is poisoned on the header alone.
+  std::vector<uint8_t> frame = {0x00, 0x11};
+  uint64_t len = (4u << 20) + 1;
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  ASSERT_EQ(::send(link.client->fd(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  for (int i = 0; i < 40 && link.server->last_error().ok(); ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+  }
+  EXPECT_FALSE(link.server->last_error().ok());
+  EXPECT_GE(link.server->frames_rejected(), 1);
+}
+
+TEST(TcpTransportTest, UnknownEscapeOpcodePoisonsStream) {
+  TcpPair link = MakeTcpPair();
+  link.server->SetReceiver([](const Message&) {});
+  uint8_t frame[10] = {0x00, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::send(link.client->fd(), frame, sizeof(frame), 0),
+            static_cast<ssize_t>(sizeof(frame)));
+  for (int i = 0; i < 40 && link.server->last_error().ok(); ++i) {
+    link.server->Poll(/*timeout_ms=*/25);
+  }
+  EXPECT_FALSE(link.server->last_error().ok());
+}
+
+TEST(UdpTransportTest, MalformedEscapeDatagramsRejectedNotFatal) {
+  UdpPair link = MakeUdpPair();
+  std::vector<Message> got;
+  link.rx->SetReceiver([&got](const Message& m) { got.push_back(m); });
+
+  // Truncated escape header, unknown opcode, and a variable frame whose
+  // size disagrees with its declared length — each is one rejected
+  // datagram, none is fatal (datagram framing self-heals).
+  const uint8_t torn[5] = {0x00, 0x02, 1, 2, 3};
+  ASSERT_EQ(::send(link.tx->fd(), torn, sizeof(torn), 0), 5);
+  const uint8_t unknown[10] = {0x00, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::send(link.tx->fd(), unknown, sizeof(unknown), 0), 10);
+  uint8_t short_pong[10] = {0x00, 0x10, 16, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::send(link.tx->fd(), short_pong, sizeof(short_pong), 0), 10);
+  for (int i = 0; i < 40 && link.rx->frames_rejected() < 3; ++i) {
+    link.rx->Poll(/*timeout_ms=*/25);
+  }
+  EXPECT_EQ(link.rx->frames_rejected(), 3);
+  EXPECT_TRUE(link.rx->last_error().ok());
+
+  // The channel still delivers real traffic afterwards.
+  ASSERT_TRUE(link.tx->Send(MakeMessage(MessageType::kCorrection, 1, 1)).ok());
+  DrainUntil(link.rx.get(), 1);
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(UdpTransportTest, SendTimestampLogRecordsFlowStampedSends) {
+  UdpPair link = MakeUdpPair();
+  link.rx->SetReceiver([](const Message&) {});
+  link.tx->EnableSendTimestampLog(/*capacity=*/4);
+
+  // Six flow-stamped uplink sends against a capacity of four: the two
+  // oldest records are evicted and counted, the rest drain in order.
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        link.tx->Send(MakeMessage(MessageType::kCorrection, i, 1)).ok());
+  }
+  // Control traffic without a flow id is never logged.
+  ASSERT_TRUE(link.tx->Send(MakeMessage(MessageType::kSetBound, 9, 1)).ok());
+
+  std::vector<obs::WireSendRecord> records;
+  link.tx->DrainSendTimestamps(&records);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(link.tx->send_log_dropped(), 2);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].flow_id,
+              CausalFlowId(5, static_cast<int64_t>(i) + 2));
+    EXPECT_EQ(records[i].type,
+              static_cast<uint8_t>(MessageType::kCorrection));
+    EXPECT_GT(records[i].send_ns, 0);
+    if (i > 0) EXPECT_GE(records[i].send_ns, records[i - 1].send_ns);
+  }
+  // Draining empties the log; the next drain returns nothing new.
+  link.tx->DrainSendTimestamps(&records);
+  EXPECT_EQ(records.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
 // Backend parity: the same agent workload over a simulated Channel and
 // over a socket pair must produce identical NetworkStats books and an
 // identical replica state.
